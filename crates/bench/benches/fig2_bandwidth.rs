@@ -1,0 +1,111 @@
+//! Figure 2: PaRSEC windowed ping-pong bandwidth vs. task granularity.
+//!
+//! * Fig. 2a — one stream, synchronized; NetPIPE raw-fabric baseline.
+//! * Fig. 2b — two streams, synchronized and unsynchronized.
+//!
+//! Also prints the §6.2 headline numbers: the granularity at which each
+//! backend falls below ~64 and ~45 Gbit/s and the resulting
+//! "LCI supports ~2.8× smaller tasks at similar efficiency" ratio.
+//!
+//! Scaled by default (fewer iterations and a pruned small-size tail); pass
+//! `-- --full` for the paper's full ladder.
+
+use amt_bench::pingpong::{run_pingpong, PingPongCfg};
+use amt_bench::table::{banner, cell, header, row};
+use amt_bench::{fmt_size, full_scale, granularities, harness_args};
+use amt_comm::BackendKind;
+use amt_netmodel::{raw_pingpong_gbps, FabricConfig};
+
+fn crossing(series: &[(usize, f64)], level: f64) -> Option<usize> {
+    // Largest granularity at which the series is at or below `level`
+    // (series ascending in size, bandwidth increasing).
+    series
+        .iter()
+        .filter(|(_, bw)| *bw <= level)
+        .map(|(n, _)| *n)
+        .max()
+}
+
+fn main() {
+    let args = harness_args();
+    let full = full_scale(&args);
+    let iters = if full { 8 } else { 5 };
+    let min = if full { 8 * 1024 } else { 16 * 1024 };
+    let sizes = granularities(min);
+
+    banner("Figure 2a: ping-pong bandwidth, one stream (Gbit/s)");
+    header(&[
+        ("granularity", 12),
+        ("window", 8),
+        ("LCI", 8),
+        ("Open MPI", 9),
+        ("NetPIPE", 8),
+    ]);
+    let mut lci_series = Vec::new();
+    let mut mpi_series = Vec::new();
+    for &n in &sizes {
+        let cfg = PingPongCfg::bandwidth(n, 1, true, iters);
+        let lci = run_pingpong(BackendKind::Lci, &cfg).gbit_per_s;
+        let mpi = run_pingpong(BackendKind::Mpi, &cfg).gbit_per_s;
+        let netpipe = raw_pingpong_gbps(&FabricConfig::expanse(2), n, 8);
+        lci_series.push((n, lci));
+        mpi_series.push((n, mpi));
+        row(&[
+            cell(fmt_size(n), 12),
+            cell(format!("{}", cfg.window), 8),
+            cell(format!("{lci:.1}"), 8),
+            cell(format!("{mpi:.1}"), 9),
+            cell(format!("{netpipe:.1}"), 8),
+        ]);
+    }
+
+    banner("§6.2 headline: granularity sustaining similar efficiency");
+    for (name, level) in [("~64 Gbit/s", 64.0), ("~45 Gbit/s", 45.0)] {
+        let l = crossing(&lci_series, level);
+        let m = crossing(&mpi_series, level);
+        match (l, m) {
+            (Some(l), Some(m)) => {
+                println!(
+                    "{name}: MPI falls below at {}, LCI at {} -> LCI tasks {:.2}x smaller \
+                     (paper: 2.83x at similar efficiency)",
+                    fmt_size(m),
+                    fmt_size(l),
+                    m as f64 / l as f64
+                );
+            }
+            _ => println!("{name}: no crossing within the measured range"),
+        }
+    }
+
+    banner("Figure 2b: ping-pong bandwidth, two streams (Gbit/s)");
+    header(&[
+        ("granularity", 12),
+        ("LCI", 8),
+        ("Open MPI", 9),
+        ("LCI nosync", 11),
+        ("MPI nosync", 11),
+    ]);
+    for &n in &sizes {
+        let sync_cfg = PingPongCfg::bandwidth(n, 2, true, iters);
+        let nosync_cfg = PingPongCfg::bandwidth(n, 2, false, iters);
+        let lci = run_pingpong(BackendKind::Lci, &sync_cfg).gbit_per_s;
+        let mpi = run_pingpong(BackendKind::Mpi, &sync_cfg).gbit_per_s;
+        let lci_ns = run_pingpong(BackendKind::Lci, &nosync_cfg).gbit_per_s;
+        let mpi_ns = run_pingpong(BackendKind::Mpi, &nosync_cfg).gbit_per_s;
+        row(&[
+            cell(fmt_size(n), 12),
+            cell(format!("{lci:.1}"), 8),
+            cell(format!("{mpi:.1}"), 9),
+            cell(format!("{lci_ns:.1}"), 11),
+            cell(format!("{mpi_ns:.1}"), 11),
+        ]);
+    }
+    println!();
+    println!(
+        "note: the paper's two-stream queueing anomaly (streams drifting into the same\n\
+         direction under tight synchronization) is a stochastic effect; the deterministic\n\
+         simulation keeps the streams anti-phased, so the synchronized two-stream series\n\
+         stays near peak instead of dipping. The no-sync recovery it reports is\n\
+         reproduced trivially (both no-sync series reach full duplex)."
+    );
+}

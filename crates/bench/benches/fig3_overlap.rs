@@ -1,0 +1,83 @@
+//! Figure 3: computation/communication overlap with GEMM-like intensity.
+//!
+//! Each PINGPONG task executes `√(M/8)` FMA per 8-byte element of its
+//! fragment (GEMM's N ops/element), total FLOPs held constant across
+//! granularities, SYNC removed. As granularity shrinks the
+//! computation-to-communication ratio falls: first parallelism-limited,
+//! then compute-limited, finally network-limited — where the MPI backend
+//! collapses and LCI keeps pace (the paper reports >2× at 128 KiB and an
+//! order of magnitude at 32 KiB).
+//!
+//! "Roofline" assumes perfect overlap; "No Overlap" serializes compute and
+//! communication. Both are printed analytically, as in the paper.
+
+use amt_bench::pingpong::{run_pingpong, PingPongCfg};
+use amt_bench::table::{banner, cell, header, row};
+use amt_bench::{fmt_size, full_scale, granularities, harness_args};
+use amt_comm::BackendKind;
+
+fn main() {
+    let args = harness_args();
+    let full = full_scale(&args);
+    // Total FLOPs per measurement point. The full setting approaches the
+    // paper's multi-second runs; the scaled one keeps task counts tractable
+    // at the finest granularity.
+    let total_flops = if full { 5e11 } else { 6e10 };
+    let min = if full { 8 * 1024 } else { 16 * 1024 };
+    let sizes = granularities(min);
+
+    // Platform envelope.
+    let workers = 2.0 * 126.0;
+    let peak_tflops = workers * 36.0e9 / 1e12; // 36 GFLOP/s per worker → TFLOP/s
+    let wire_bytes_per_s = 12.5e9; // one direction
+    // Without synchronization consecutive iterations move opposite
+    // directions concurrently, so the fabric sustains up to full duplex.
+    let duplex = 2.0;
+
+    banner("Figure 3: overlap with GEMM-like intensity (TFLOP/s)");
+    header(&[
+        ("granularity", 12),
+        ("LCI", 9),
+        ("Open MPI", 9),
+        ("No Overlap", 11),
+        ("Roofline", 9),
+        ("tasks", 9),
+    ]);
+    for &n in &sizes {
+        let cfg = PingPongCfg::overlap(n, total_flops);
+        let flops_task = cfg.flops_per_task();
+        let tasks = cfg.window * cfg.iters;
+        // Parallelism bound: only `window` tasks exist per in-flight
+        // iteration wave.
+        let par_frac = (cfg.window as f64 / workers).min(1.0);
+        let compute_tflops = peak_tflops * par_frac;
+        // Both analytic curves from the same actual workload quantities.
+        let actual_flops = flops_task * (cfg.window * cfg.iters) as f64;
+        let t_compute = actual_flops / (compute_tflops * 1e12);
+        let t_comm = cfg.bytes_moved() / (wire_bytes_per_s * duplex);
+        let roofline = actual_flops / t_compute.max(t_comm) / 1e12;
+        let no_overlap = actual_flops / (t_compute + t_comm) / 1e12;
+
+        let lci = run_pingpong(BackendKind::Lci, &cfg).tflop_per_s;
+        let mpi = run_pingpong(BackendKind::Mpi, &cfg).tflop_per_s;
+        row(&[
+            cell(fmt_size(n), 12),
+            cell(format!("{lci:.3}"), 9),
+            cell(format!("{mpi:.3}"), 9),
+            cell(format!("{no_overlap:.3}"), 11),
+            cell(format!("{roofline:.3}"), 9),
+            cell(format!("{tasks}"), 9),
+        ]);
+    }
+    println!();
+    println!("headline ratios (paper: >2x at 128 KiB, ~10x at 32 KiB):");
+    for &n in &[128 * 1024, 32 * 1024] {
+        if n < min {
+            continue;
+        }
+        let cfg = PingPongCfg::overlap(n, total_flops);
+        let lci = run_pingpong(BackendKind::Lci, &cfg).tflop_per_s;
+        let mpi = run_pingpong(BackendKind::Mpi, &cfg).tflop_per_s;
+        println!("  {}: LCI/MPI = {:.2}x", fmt_size(n), lci / mpi);
+    }
+}

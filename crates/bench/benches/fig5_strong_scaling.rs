@@ -1,0 +1,144 @@
+//! Figure 5 + Table 2: TLR Cholesky strong scaling, 1 → 32 nodes.
+//!
+//! The problem size is fixed; the tile size shrinks as nodes are added to
+//! keep enough parallelism. Three series, as in the paper:
+//!   * LCI at its best tile size,
+//!   * Open MPI at the *same* tile size LCI prefers,
+//!   * Open MPI at its own best tile size ("Open MPI (best)").
+//!
+//! `-- --sweep` finds the best tile size per (backend, nodes) by sweeping
+//! the Fig. 4 tile-size axis and prints Table 2 from the measurements;
+//! the default uses the paper's Table 2 entries directly.
+
+use amt_bench::table::{banner, cell, header, row};
+use amt_bench::tlrrun::{run_tlr, TlrRunCfg, N_FULL, N_SCALED, TILE_SIZES};
+use amt_bench::{full_scale, harness_args};
+use amt_comm::BackendKind;
+
+const NODE_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// Table 2 of the paper: tile size with the lowest time-to-solution.
+const PAPER_BEST_MPI: [usize; 6] = [4500, 4500, 3600, 3000, 3000, 3000];
+const PAPER_BEST_LCI: [usize; 6] = [4500, 4500, 3600, 3000, 2400, 1800];
+
+fn main() {
+    let args = harness_args();
+    let full = full_scale(&args);
+    let sweep = args.iter().any(|a| a == "--sweep");
+    let n = if full { N_FULL } else { N_SCALED };
+
+    println!("TLR Cholesky strong scaling, N = {n}, maxrank 150, acc 1e-8, band 1");
+
+    let best_for = |backend: BackendKind, nodes: usize, fallback: usize| -> (usize, f64) {
+        if sweep {
+            TILE_SIZES
+                .iter()
+                .map(|&ts| {
+                    let r = run_tlr(&TlrRunCfg {
+                        backend,
+                        nodes,
+                        n,
+                        tile_size: ts,
+                        multithread_am: false,
+                    });
+                    (ts, r.tts_s)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty sweep")
+        } else {
+            let r = run_tlr(&TlrRunCfg {
+                backend,
+                nodes,
+                n,
+                tile_size: fallback,
+                multithread_am: false,
+            });
+            (fallback, r.tts_s)
+        }
+    };
+
+    let mut table2: Vec<(usize, usize, usize)> = Vec::new();
+    let mut rows = Vec::new();
+    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let (lci_ts, lci_tts) = best_for(BackendKind::Lci, nodes, PAPER_BEST_LCI[i]);
+        let (mpi_best_ts, mpi_best_tts) = best_for(BackendKind::Mpi, nodes, PAPER_BEST_MPI[i]);
+        // MPI at LCI's tile size.
+        let mpi_at_lci = if mpi_best_ts == lci_ts {
+            mpi_best_tts
+        } else {
+            run_tlr(&TlrRunCfg {
+                backend: BackendKind::Mpi,
+                nodes,
+                n,
+                tile_size: lci_ts,
+                multithread_am: false,
+            })
+            .tts_s
+        };
+        // Latency series at LCI's tile size.
+        let lci_lat = run_tlr(&TlrRunCfg {
+            backend: BackendKind::Lci,
+            nodes,
+            n,
+            tile_size: lci_ts,
+            multithread_am: false,
+        })
+        .req_us;
+        let mpi_lat = run_tlr(&TlrRunCfg {
+            backend: BackendKind::Mpi,
+            nodes,
+            n,
+            tile_size: lci_ts,
+            multithread_am: false,
+        })
+        .req_us;
+        table2.push((nodes, mpi_best_ts, lci_ts));
+        rows.push((nodes, lci_ts, lci_tts, mpi_at_lci, mpi_best_ts, mpi_best_tts, lci_lat, mpi_lat));
+    }
+
+    banner("Figure 5a: time-to-solution (s)");
+    header(&[
+        ("nodes", 6),
+        ("LCI", 9),
+        ("Open MPI", 9),
+        ("MPI(best)", 10),
+        ("LCI ts", 7),
+        ("MPI ts", 7),
+    ]);
+    for &(nodes, lci_ts, lci_tts, mpi_at_lci, mpi_ts, mpi_best, _, _) in &rows {
+        row(&[
+            cell(format!("{nodes}"), 6),
+            cell(format!("{lci_tts:.3}"), 9),
+            cell(format!("{mpi_at_lci:.3}"), 9),
+            cell(format!("{mpi_best:.3}"), 10),
+            cell(format!("{lci_ts}"), 7),
+            cell(format!("{mpi_ts}"), 7),
+        ]);
+    }
+
+    banner("Figure 5b: mean control-path communication latency (us), at LCI's tile size");
+    header(&[("nodes", 6), ("LCI", 9), ("Open MPI", 9)]);
+    for &(nodes, _, _, _, _, _, lci_lat, mpi_lat) in &rows {
+        if nodes == 1 {
+            continue; // no inter-node communication
+        }
+        row(&[
+            cell(format!("{nodes}"), 6),
+            cell(format!("{lci_lat:.1}"), 9),
+            cell(format!("{mpi_lat:.1}"), 9),
+        ]);
+    }
+
+    banner("Table 2: tile size with lowest time-to-solution");
+    header(&[("nodes", 6), ("Open MPI", 9), ("LCI", 9)]);
+    for &(nodes, mpi_ts, lci_ts) in &table2 {
+        row(&[
+            cell(format!("{nodes}"), 6),
+            cell(format!("{mpi_ts}"), 9),
+            cell(format!("{lci_ts}"), 9),
+        ]);
+    }
+    if !sweep {
+        println!();
+        println!("(tile sizes taken from the paper's Table 2; run with -- --sweep to re-derive)");
+    }
+}

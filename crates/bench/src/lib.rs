@@ -1,0 +1,72 @@
+//! # amt-bench
+//!
+//! Workload builders and measurement helpers shared by the per-figure
+//! benchmark harnesses (see `benches/`). Each harness regenerates one table
+//! or figure of the paper; see `EXPERIMENTS.md` at the workspace root for
+//! the index and recorded results.
+//!
+//! All harnesses run a *scaled* configuration by default so `cargo bench`
+//! finishes in minutes on a laptop; pass `-- --full` (or set `AMT_FULL=1`)
+//! for the paper-scale parameters.
+
+pub mod pingpong;
+pub mod table;
+pub mod tlrrun;
+
+/// True when the harness should run paper-scale parameters.
+pub fn full_scale(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--full") || std::env::var("AMT_FULL").is_ok_and(|v| v == "1")
+}
+
+/// Skip flag criterion-style harness args we don't use (`--bench`, test
+/// filters), returning the interesting ones.
+pub fn harness_args() -> Vec<String> {
+    std::env::args().skip(1).filter(|a| a != "--bench").collect()
+}
+
+/// Granularities of Fig. 2/3: 8 KiB → 8 MiB in √2 steps (the paper's
+/// 90.5 KiB / 45.25 KiB points come from these half-power steps).
+pub fn granularities(min_bytes: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut exact: f64 = 8.0 * 1024.0;
+    while exact <= 8.0 * 1024.0 * 1024.0 + 1.0 {
+        let g = exact.round() as usize;
+        if g >= min_bytes {
+            out.push(g);
+        }
+        exact *= std::f64::consts::SQRT_2;
+    }
+    out
+}
+
+/// Human-readable size.
+pub fn fmt_size(bytes: usize) -> String {
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.2} MiB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} KiB", b / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_series_matches_paper_points() {
+        let g = granularities(8 * 1024);
+        assert_eq!(g.first(), Some(&8192));
+        assert_eq!(g.last(), Some(&(8 * 1024 * 1024)));
+        // The √2 ladder contains the quoted 90.5 KiB and 45.25 KiB points.
+        assert!(g.iter().any(|&x| (x as f64 - 90.5 * 1024.0).abs() < 512.0));
+        assert!(g.iter().any(|&x| (x as f64 - 45.25 * 1024.0).abs() < 512.0));
+        assert_eq!(g.len(), 21);
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(8192), "8.00 KiB");
+        assert_eq!(fmt_size(8 * 1024 * 1024), "8.00 MiB");
+    }
+}

@@ -1,0 +1,44 @@
+//! Minimal fixed-width table printing for harness output.
+
+/// Print a header row followed by a rule.
+pub fn header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    let mut rule = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = w));
+        rule.push_str(&format!("{:->w$}  ", "", w = w));
+    }
+    println!("{line}");
+    println!("{rule}");
+}
+
+/// Print one row of already-formatted cells with the same widths.
+pub fn row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (cell, w) in cells {
+        line.push_str(&format!("{cell:>w$}  ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Shorthand: build a `(String, usize)` cell.
+pub fn cell(s: impl Into<String>, w: usize) -> (String, usize) {
+    (s.into(), w)
+}
+
+/// Section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_build() {
+        assert_eq!(cell("x", 5), ("x".to_string(), 5));
+    }
+}

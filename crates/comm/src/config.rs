@@ -1,0 +1,127 @@
+//! Communication-engine configuration.
+
+use amt_simnet::SimTime;
+
+/// Which communication library backs the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// MiniMPI two-sided backend (§4.2).
+    Mpi,
+    /// LCI backend with a dedicated progress thread (§5.3).
+    Lci,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Mpi => write!(f, "Open MPI (modelled)"),
+            BackendKind::Lci => write!(f, "LCI"),
+        }
+    }
+}
+
+/// Engine parameters. Defaults reproduce the paper's configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub backend: BackendKind,
+    /// Persistent receives posted per registered AM tag (MPI backend; the
+    /// paper's implementation uses five).
+    pub am_recv_depth: usize,
+    /// Maximum concurrently polled data transfers, sends plus receives
+    /// (MPI backend; the paper's implementation uses 30).
+    pub max_concurrent_transfers: usize,
+    /// AM completions processed per communication-thread round before the
+    /// bulk-data queue is drained (LCI backend; the paper uses five).
+    pub am_batch: usize,
+    /// Puts at or below this size ride eagerly inside the LCI handshake
+    /// message (§5.3.3 optimization).
+    pub eager_put_max: usize,
+    /// Aggregate funneled AMs to the same (destination, tag) up to this many
+    /// payload bytes (§4.3 duty #1). Set to 0 to disable aggregation.
+    pub agg_max_bytes: usize,
+    /// Multithreaded-ACTIVATE mode: workers send AMs directly instead of
+    /// funneling through the communication thread (§6.4.3).
+    pub multithread_am: bool,
+    /// Ablation: run `LCI_progress` on the *communication* thread's core
+    /// instead of a dedicated progress thread — undoing the §5.3.1 design
+    /// so its benefit can be isolated.
+    pub lci_shared_progress: bool,
+    /// §7 future work: use LCI's one-sided `putd` (RDMA write with
+    /// immediate data) to implement the put interface directly, instead of
+    /// the handshake + two-sided emulation of §5.3.3.
+    pub lci_direct_put: bool,
+    /// §7 future work: number of LCI progress threads (cores). More threads
+    /// drain completions concurrently under heavy load.
+    pub lci_progress_threads: usize,
+    /// CPU cost of dequeueing/bookkeeping one submitted command on the
+    /// communication thread.
+    pub cmd_overhead: SimTime,
+    /// CPU cost of popping one completion-FIFO entry (LCI backend).
+    pub fifo_pop: SimTime,
+    /// Latency for an idle polling thread to notice new work (poll-loop
+    /// granularity).
+    pub wake_latency: SimTime,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            backend: BackendKind::Lci,
+            am_recv_depth: 5,
+            max_concurrent_transfers: 30,
+            am_batch: 5,
+            eager_put_max: 4096,
+            agg_max_bytes: 8192,
+            multithread_am: false,
+            lci_shared_progress: false,
+            lci_direct_put: false,
+            lci_progress_threads: 1,
+            cmd_overhead: SimTime::from_ns(100),
+            fifo_pop: SimTime::from_ns(40),
+            wake_latency: SimTime::from_ns(100),
+        }
+    }
+}
+
+impl EngineConfig {
+    pub fn mpi() -> Self {
+        EngineConfig {
+            backend: BackendKind::Mpi,
+            ..Default::default()
+        }
+    }
+
+    pub fn lci() -> Self {
+        EngineConfig {
+            backend: BackendKind::Lci,
+            ..Default::default()
+        }
+    }
+
+    /// Enable the §6.4.3 multithreaded-ACTIVATE mode.
+    pub fn with_multithread_am(mut self, on: bool) -> Self {
+        self.multithread_am = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EngineConfig::mpi();
+        assert_eq!(c.am_recv_depth, 5);
+        assert_eq!(c.max_concurrent_transfers, 30);
+        assert_eq!(c.am_batch, 5);
+        assert!(!c.multithread_am);
+    }
+
+    #[test]
+    fn builders() {
+        assert_eq!(EngineConfig::lci().backend, BackendKind::Lci);
+        assert!(EngineConfig::mpi().with_multithread_am(true).multithread_am);
+        assert_eq!(format!("{}", BackendKind::Lci), "LCI");
+    }
+}

@@ -1,0 +1,772 @@
+//! The communication engine: public API (paper Listing 1) and the
+//! communication-thread micro-task actor shared by both backends.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::{Rc, Weak};
+
+use amt_lci::{Lci, LciCosts, LciWorld};
+use amt_minimpi::{Mpi, MpiCosts, MpiWorld};
+use amt_netmodel::{FabricHandle, NodeId};
+use amt_simnet::{CoreHandle, CoreResource, Sim, SimTime};
+use bytes::Bytes;
+
+use crate::config::{BackendKind, EngineConfig};
+use crate::lci_backend::{DataDone, LciState, QueuedAm};
+use crate::mpi_backend::MpiState;
+use crate::stats::EngineStats;
+
+/// Active-message tags ≥ this value are reserved for the engine's internal
+/// protocol (put handshakes, data transfers).
+pub const RESERVED_TAG_BASE: u64 = 1 << 60;
+
+/// An active message delivered to a registered callback.
+#[derive(Debug)]
+pub struct AmEvent {
+    pub src: NodeId,
+    pub tag: u64,
+    pub size: usize,
+    /// Payload. With aggregation, multiple submitted payloads arrive
+    /// concatenated; the consumer's records must be self-delimiting.
+    pub data: Option<Bytes>,
+}
+
+/// A completed put delivered to the target's registered one-sided callback.
+#[derive(Debug)]
+pub struct PutEvent {
+    pub src: NodeId,
+    pub size: usize,
+    pub data: Option<Bytes>,
+    /// The `r_cb_data` the origin attached to the put.
+    pub cb_data: Bytes,
+}
+
+/// Registered AM callback: runs on the communication thread; returns the CPU
+/// time it consumed (charged to the communication thread's core).
+pub type AmCallback = Rc<dyn Fn(&mut Sim, &Rc<CommEngine>, AmEvent) -> SimTime>;
+
+/// Registered one-sided (put remote completion) callback.
+pub type OnesidedCallback = Rc<dyn Fn(&mut Sim, &Rc<CommEngine>, PutEvent) -> SimTime>;
+
+/// Origin-side put completion callback.
+pub type PutLocalCb = Box<dyn FnOnce(&mut Sim, &Rc<CommEngine>) -> SimTime>;
+
+/// A one-sided put: move `size` bytes to `dst` and run the one-sided
+/// callback registered under `r_tag` there, with `cb_data` attached.
+pub struct PutRequest {
+    pub dst: NodeId,
+    pub size: usize,
+    pub data: Option<Bytes>,
+    pub r_tag: u64,
+    pub cb_data: Bytes,
+    pub on_local: PutLocalCb,
+}
+
+/// Commands submitted to the communication thread.
+pub(crate) enum Command {
+    SendAm {
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        frames: Vec<Bytes>,
+        aggregate: bool,
+        submissions: u64,
+    },
+    Put(PutRequest),
+    /// LCI backend: a handshake whose `sendb` hit `Retry`.
+    RawSendb {
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    },
+}
+
+/// Micro-tasks of the communication thread. Each executes as one charge on
+/// the communication core.
+pub(crate) enum Micro {
+    /// Drain the submitted-command queue.
+    Commands,
+    /// One `Testsome` sweep over the global request array (MPI).
+    MpiProgress,
+    /// One completed request's callback work (MPI).
+    MpiCompletion(amt_minimpi::Completion),
+    /// One §5.3.4 fairness round over the completion FIFOs (LCI).
+    FifoRound,
+    /// One queued AM callback (LCI).
+    LciAm(QueuedAm),
+    /// One bulk-data completion callback (LCI).
+    LciData(DataDone),
+    /// Retry receives delegated by the progress thread (LCI).
+    LciDelegated,
+}
+
+pub(crate) struct Inner {
+    pub am_cbs: HashMap<u64, AmCallback>,
+    pub onesided_cbs: HashMap<u64, OnesidedCallback>,
+    pub pending: VecDeque<Command>,
+    pub micro: VecDeque<Micro>,
+    /// A charge is in flight on the communication core.
+    pub busy: bool,
+    /// The communication thread is parked, waiting for a waker.
+    pub idle: bool,
+    /// Executing a callback on the communication thread: nested engine
+    /// calls issue immediately and accumulate cost here.
+    pub in_ctx: bool,
+    pub ctx_cost: SimTime,
+    pub stats: EngineStats,
+    pub mpi: MpiState,
+    pub lci: LciState,
+}
+
+/// One node's communication engine. Create with [`CommWorld::create`].
+pub struct CommEngine {
+    pub(crate) node: NodeId,
+    pub(crate) cfg: EngineConfig,
+    /// The communication thread's dedicated core (§4.3).
+    pub(crate) comm_core: CoreHandle,
+    /// The LCI progress threads' dedicated cores (§5.3.1; more than one is
+    /// the §7 multi-progress-thread extension).
+    pub(crate) progress_cores: Vec<CoreHandle>,
+    /// MPI library serialization (multithreaded senders contend here).
+    pub(crate) mpi_lock: Option<CoreHandle>,
+    pub(crate) mpi: Option<Mpi>,
+    pub(crate) lci: Option<Lci>,
+    pub(crate) inner: RefCell<Inner>,
+    me: RefCell<Weak<CommEngine>>,
+}
+
+/// Factory for per-node engines over a shared fabric.
+pub struct CommWorld;
+
+impl CommWorld {
+    /// Build one engine per fabric node, with the chosen backend, and wire
+    /// up wakers/handlers. For the MPI backend this also registers the
+    /// internal handshake tag (posting its persistent receives), which is
+    /// why `sim` is needed.
+    pub fn create(sim: &mut Sim, fabric: &FabricHandle, cfg: EngineConfig) -> Vec<Rc<CommEngine>> {
+        let nodes = fabric.borrow().nodes();
+        let mut engines = Vec::with_capacity(nodes);
+        match cfg.backend {
+            BackendKind::Mpi => {
+                let ranks = MpiWorld::create(fabric, MpiCosts::default());
+                for (node, mpi) in ranks.into_iter().enumerate() {
+                    let eng = Rc::new(CommEngine {
+                        node,
+                        cfg: cfg.clone(),
+                        comm_core: CoreResource::new_shared(format!("n{node}.comm")),
+                        progress_cores: Vec::new(),
+                        mpi_lock: Some(CoreResource::new_shared(format!("n{node}.mpilock"))),
+                        mpi: Some(mpi),
+                        lci: None,
+                        inner: RefCell::new(Inner::new()),
+                        me: RefCell::new(Weak::new()),
+                    });
+                    *eng.me.borrow_mut() = Rc::downgrade(&eng);
+                    let weak = Rc::downgrade(&eng);
+                    eng.mpi.as_ref().expect("mpi backend").set_waker(move |sim| {
+                        if let Some(eng) = weak.upgrade() {
+                            eng.inner.borrow_mut().mpi.progress_queued = true;
+                            CommEngine::wake_comm(&eng, sim);
+                        }
+                    });
+                    crate::mpi_backend::register_internal(&eng, sim);
+                    engines.push(eng);
+                }
+            }
+            BackendKind::Lci => {
+                let eps = LciWorld::create(fabric, LciCosts::default());
+                for (node, lci) in eps.into_iter().enumerate() {
+                    let eng = Rc::new(CommEngine {
+                        node,
+                        cfg: cfg.clone(),
+                        comm_core: CoreResource::new_shared(format!("n{node}.comm")),
+                        progress_cores: (0..cfg.lci_progress_threads.max(1))
+                            .map(|i| CoreResource::new_shared(format!("n{node}.prog{i}")))
+                            .collect(),
+                        mpi_lock: None,
+                        mpi: None,
+                        lci: Some(lci),
+                        inner: RefCell::new(Inner::new()),
+                        me: RefCell::new(Weak::new()),
+                    });
+                    *eng.me.borrow_mut() = Rc::downgrade(&eng);
+                    let weak = Rc::downgrade(&eng);
+                    eng.lci.as_ref().expect("lci backend").set_waker(move |sim| {
+                        if let Some(eng) = weak.upgrade() {
+                            CommEngine::pump_progress(&eng, sim);
+                            // Freed resources may also unblock queued
+                            // commands or delegated receives on the
+                            // communication thread.
+                            eng.inner.borrow_mut().lci.retry_wanted = true;
+                            CommEngine::wake_comm(&eng, sim);
+                        }
+                    });
+                    let weak = Rc::downgrade(&eng);
+                    eng.lci.as_ref().expect("lci backend").set_am_handler(move |sim, msg| {
+                        match weak.upgrade() {
+                            Some(eng) => crate::lci_backend::on_am(&eng, sim, msg),
+                            None => SimTime::ZERO,
+                        }
+                    });
+                    let weak = Rc::downgrade(&eng);
+                    eng.lci.as_ref().expect("lci backend").set_put_handler(move |sim, msg| {
+                        match weak.upgrade() {
+                            Some(eng) => crate::lci_backend::on_put(&eng, sim, msg),
+                            None => SimTime::ZERO,
+                        }
+                    });
+                    engines.push(eng);
+                }
+            }
+        }
+        engines
+    }
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            am_cbs: HashMap::new(),
+            onesided_cbs: HashMap::new(),
+            pending: VecDeque::new(),
+            micro: VecDeque::new(),
+            busy: false,
+            idle: true,
+            in_ctx: false,
+            ctx_cost: SimTime::ZERO,
+            stats: EngineStats::default(),
+            mpi: MpiState::default(),
+            lci: LciState::default(),
+        }
+    }
+}
+
+impl CommEngine {
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    pub fn backend(&self) -> BackendKind {
+        self.cfg.backend
+    }
+
+    /// The communication thread's core (utilization diagnostics).
+    pub fn comm_core(&self) -> CoreHandle {
+        self.comm_core.clone()
+    }
+
+    /// The progress threads' cores, if this backend has any.
+    pub fn progress_cores(&self) -> &[CoreHandle] {
+        &self.progress_cores
+    }
+
+    /// The first progress thread's core, if this backend has one.
+    pub fn progress_core(&self) -> Option<CoreHandle> {
+        self.progress_cores.first().cloned()
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    pub(crate) fn me(&self) -> Rc<CommEngine> {
+        self.me.borrow().upgrade().expect("engine dropped")
+    }
+
+    /// Register an active-message callback under `tag` (Listing 1
+    /// `tag_reg`). For the MPI backend this posts the tag's persistent
+    /// receives, hence `sim`.
+    pub fn register_am(self: &Rc<Self>, sim: &mut Sim, tag: u64, cb: AmCallback) {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        let prev = self.inner.borrow_mut().am_cbs.insert(tag, cb);
+        assert!(prev.is_none(), "tag {tag} registered twice");
+        if self.backend() == BackendKind::Mpi {
+            crate::mpi_backend::register_am_tag(self, sim, tag);
+        }
+    }
+
+    /// Register a one-sided completion callback under `r_tag` (the callback
+    /// a put names for its remote completion).
+    pub fn register_onesided(&self, r_tag: u64, cb: OnesidedCallback) {
+        let prev = self.inner.borrow_mut().onesided_cbs.insert(r_tag, cb);
+        assert!(prev.is_none(), "one-sided tag {r_tag} registered twice");
+    }
+
+    /// Submit an active message (Listing 1 `send_am`).
+    ///
+    /// Outside a communication-thread callback this *funnels*: the command
+    /// is queued for the communication thread, aggregating with a pending AM
+    /// to the same `(dst, tag)` when allowed (§4.3 duty #1). Inside a
+    /// callback it issues immediately, its cost accruing to the running
+    /// callback.
+    pub fn send_am(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) {
+        self.send_am_opts(sim, dst, tag, size, data, true);
+    }
+
+    /// `send_am` with explicit control over aggregation eligibility.
+    pub fn send_am_opts(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+        aggregate: bool,
+    ) {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.am_submitted += 1;
+            if inner.in_ctx {
+                drop(inner);
+                let c = self.issue_am(sim, dst, tag, size, data.into_iter().collect(), 1);
+                self.inner.borrow_mut().ctx_cost += c;
+                return;
+            }
+            // Try to aggregate with a queued AM to the same destination/tag.
+            if aggregate && self.cfg.agg_max_bytes > 0 {
+                for cmd in inner.pending.iter_mut() {
+                    if let Command::SendAm {
+                        dst: d,
+                        tag: t,
+                        size: s,
+                        frames,
+                        aggregate: true,
+                        submissions,
+                    } = cmd
+                    {
+                        if *d == dst && *t == tag && *s + size <= self.cfg.agg_max_bytes {
+                            *s += size;
+                            *submissions += 1;
+                            if let Some(b) = data {
+                                frames.push(b);
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
+            inner.pending.push_back(Command::SendAm {
+                dst,
+                tag,
+                size,
+                frames: data.into_iter().collect(),
+                aggregate,
+                submissions: 1,
+            });
+        }
+        CommEngine::wake_comm(self, sim);
+    }
+
+    /// Multithreaded AM send (§6.4.3): the calling worker thread sends
+    /// directly, bypassing the communication thread and aggregation.
+    /// Returns the CPU cost the caller must charge to its own core — for
+    /// the MPI backend this includes waiting for the library's serializing
+    /// lock.
+    pub fn send_am_direct(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> SimTime {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.am_submitted += 1;
+            inner.stats.am_sent += 1;
+        }
+        match self.backend() {
+            BackendKind::Mpi => {
+                let mpi = self.mpi.as_ref().expect("mpi backend").clone();
+                let costs = mpi.costs();
+                let op_cost = costs.call_base + costs.send_eager_base + costs.copy_cost(size);
+                let lock = self.mpi_lock.as_ref().expect("mpi lock").clone();
+                let now = sim.now();
+                let end = lock.borrow_mut().occupy(now, op_cost);
+                // The message leaves once the lock slot is served.
+                sim.schedule_at(end, move |sim| {
+                    let _ = mpi.send(sim, dst, tag, size, data);
+                });
+                end - now
+            }
+            BackendKind::Lci => {
+                let lci = self.lci.as_ref().expect("lci backend").clone();
+                let costs = lci.costs();
+                let res = if size <= costs.imm_max {
+                    lci.sendi(sim, dst, tag, size, data.clone())
+                } else {
+                    lci.sendb(sim, dst, tag, size, data.clone())
+                };
+                match res {
+                    Ok(c) => c,
+                    Err(_) => {
+                        // Back-pressure: fall back to funneling.
+                        self.inner.borrow_mut().stats.backend_retries += 1;
+                        self.inner.borrow_mut().stats.am_sent -= 1;
+                        let me = self.me();
+                        me.send_am_opts(sim, dst, tag, size, data, false);
+                        costs.call_base
+                    }
+                }
+            }
+        }
+    }
+
+    /// Start a one-sided put (Listing 1 `put`). Funnelled to the
+    /// communication thread unless called from a communication-thread
+    /// callback (the GET DATA pattern), in which case it issues immediately.
+    pub fn put(self: &Rc<Self>, sim: &mut Sim, req: PutRequest) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.in_ctx {
+                drop(inner);
+                let c = self.issue_put(sim, req);
+                self.inner.borrow_mut().ctx_cost += c;
+                return;
+            }
+            inner.pending.push_back(Command::Put(req));
+        }
+        CommEngine::wake_comm(self, sim);
+    }
+
+    // ------------------------------------------------------------------
+    // Communication-thread actor
+    // ------------------------------------------------------------------
+
+    /// Wake the communication thread if it is parked.
+    pub(crate) fn wake_comm(eng: &Rc<Self>, sim: &mut Sim) {
+        {
+            let mut inner = eng.inner.borrow_mut();
+            if inner.busy || !inner.idle {
+                return;
+            }
+            inner.idle = false;
+            inner.busy = true;
+        }
+        let eng2 = eng.clone();
+        let wake = eng.cfg.wake_latency;
+        eng.comm_core.borrow_mut().charge(sim, wake, move |sim| {
+            eng2.inner.borrow_mut().busy = false;
+            CommEngine::pump(&eng2, sim);
+        });
+    }
+
+    /// Pick the next micro-task, or park.
+    fn next_micro(&self) -> Option<Micro> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(m) = inner.micro.pop_front() {
+            return Some(m);
+        }
+        if !inner.pending.is_empty() {
+            return Some(Micro::Commands);
+        }
+        match self.cfg.backend {
+            BackendKind::Mpi => {
+                if inner.mpi.progress_queued {
+                    inner.mpi.progress_queued = false;
+                    return Some(Micro::MpiProgress);
+                }
+            }
+            BackendKind::Lci => {
+                if !inner.lci.am_fifo.is_empty()
+                    || !inner.lci.data_fifo.is_empty()
+                    || (inner.lci.retry_wanted && !inner.lci.delegated.is_empty())
+                {
+                    return Some(Micro::FifoRound);
+                }
+            }
+        }
+        None
+    }
+
+    /// Run the communication thread until it has no work: each micro-task's
+    /// logic executes now and its cost is charged to the communication core;
+    /// the next micro-task starts when the charge completes.
+    pub(crate) fn pump(eng: &Rc<Self>, sim: &mut Sim) {
+        if eng.inner.borrow().busy {
+            return;
+        }
+        let Some(task) = eng.next_micro() else {
+            eng.inner.borrow_mut().idle = true;
+            return;
+        };
+        {
+            let mut inner = eng.inner.borrow_mut();
+            inner.busy = true;
+            inner.idle = false;
+            inner.stats.comm_rounds += 1;
+        }
+        let mut cost = eng.execute_micro(sim, task);
+        if cost.is_zero() {
+            cost = SimTime::from_ns(1);
+        }
+        // MPI library calls from the communication thread hold the
+        // serializing lock; multithreaded senders add waiting time here.
+        let total = match &eng.mpi_lock {
+            Some(lock) => {
+                let now = sim.now();
+                let end = lock.borrow_mut().occupy(now, cost);
+                end - now
+            }
+            None => cost,
+        };
+        eng.inner.borrow_mut().stats.comm_busy += total;
+        let eng2 = eng.clone();
+        eng.comm_core.borrow_mut().charge(sim, total, move |sim| {
+            eng2.inner.borrow_mut().busy = false;
+            CommEngine::pump(&eng2, sim);
+        });
+    }
+
+    fn execute_micro(self: &Rc<Self>, sim: &mut Sim, task: Micro) -> SimTime {
+        match task {
+            Micro::Commands => self.exec_commands(sim),
+            Micro::MpiProgress => crate::mpi_backend::exec_progress(self, sim),
+            Micro::MpiCompletion(c) => crate::mpi_backend::exec_completion(self, sim, c),
+            Micro::FifoRound => crate::lci_backend::exec_fifo_round(self, sim),
+            Micro::LciAm(a) => crate::lci_backend::exec_am(self, sim, a),
+            Micro::LciData(d) => crate::lci_backend::exec_data(self, sim, d),
+            Micro::LciDelegated => crate::lci_backend::exec_delegated(self, sim),
+        }
+    }
+
+    fn exec_commands(self: &Rc<Self>, sim: &mut Sim) -> SimTime {
+        let mut cost = SimTime::ZERO;
+        loop {
+            let (cmd, len_after_pop) = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.pending.pop_front() {
+                    Some(c) => {
+                        let len = inner.pending.len();
+                        (c, len)
+                    }
+                    None => break,
+                }
+            };
+            cost += self.cfg.cmd_overhead;
+            match cmd {
+                Command::SendAm {
+                    dst,
+                    tag,
+                    size,
+                    frames,
+                    submissions,
+                    ..
+                } => {
+                    cost += self.issue_am(sim, dst, tag, size, frames, submissions);
+                }
+                Command::Put(req) => {
+                    cost += self.issue_put(sim, req);
+                }
+                Command::RawSendb {
+                    dst,
+                    tag,
+                    size,
+                    data,
+                } => {
+                    let lci = self.lci.as_ref().expect("lci backend");
+                    match lci.sendb(sim, dst, tag, size, data.clone()) {
+                        Ok(c) => cost += c,
+                        Err(_) => {
+                            let mut inner = self.inner.borrow_mut();
+                            inner.stats.backend_retries += 1;
+                            inner
+                                .pending
+                                .push_front(Command::RawSendb { dst, tag, size, data });
+                        }
+                    }
+                }
+            }
+            // A command that hit back-pressure re-queues itself at the
+            // front; stop draining — it will be retried on the next wake,
+            // once resources have freed.
+            if self.inner.borrow().pending.len() > len_after_pop {
+                break;
+            }
+        }
+        cost
+    }
+
+    /// Issue an AM on the wire (from the communication thread or a
+    /// callback). `frames` are concatenated when aggregation merged several
+    /// submissions.
+    pub(crate) fn issue_am(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        frames: Vec<Bytes>,
+        submissions: u64,
+    ) -> SimTime {
+        let data = concat_frames(frames);
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.am_sent += 1;
+            let _ = submissions;
+        }
+        match self.backend() {
+            BackendKind::Mpi => {
+                let mpi = self.mpi.as_ref().expect("mpi backend");
+                mpi.send(sim, dst, tag, size, data)
+            }
+            BackendKind::Lci => {
+                let lci = self.lci.as_ref().expect("lci backend");
+                let costs = lci.costs();
+                let res = if size <= costs.imm_max {
+                    lci.sendi(sim, dst, tag, size, data.clone())
+                } else {
+                    lci.sendb(sim, dst, tag, size, data.clone())
+                };
+                match res {
+                    Ok(c) => c,
+                    Err(_) => {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.stats.backend_retries += 1;
+                        inner.stats.am_sent -= 1;
+                        inner.pending.push_front(Command::RawSendb {
+                            dst,
+                            tag,
+                            size,
+                            data,
+                        });
+                        costs.call_base
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn issue_put(self: &Rc<Self>, sim: &mut Sim, req: PutRequest) -> SimTime {
+        match self.backend() {
+            BackendKind::Mpi => crate::mpi_backend::issue_put(self, sim, req),
+            BackendKind::Lci => crate::lci_backend::issue_put(self, sim, req),
+        }
+    }
+
+    /// Run a user callback in communication-thread context: nested engine
+    /// calls issue immediately and bill the callback.
+    pub(crate) fn run_in_ctx(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        f: impl FnOnce(&mut Sim, &Rc<CommEngine>) -> SimTime,
+    ) -> SimTime {
+        {
+            let mut inner = self.inner.borrow_mut();
+            assert!(!inner.in_ctx, "nested communication-thread callback");
+            inner.in_ctx = true;
+            inner.ctx_cost = SimTime::ZERO;
+        }
+        let c = f(sim, self);
+        let mut inner = self.inner.borrow_mut();
+        inner.in_ctx = false;
+        c + std::mem::take(&mut inner.ctx_cost)
+    }
+
+    // ------------------------------------------------------------------
+    // LCI progress-thread actor (§5.3.1)
+    // ------------------------------------------------------------------
+
+    /// Pump the dedicated progress thread: if it is idle and LCI has work,
+    /// run one `LCI_progress` sweep and charge its cost to the progress
+    /// core.
+    pub(crate) fn pump_progress(eng: &Rc<Self>, sim: &mut Sim) {
+        let lci = match &eng.lci {
+            Some(l) => l.clone(),
+            None => return,
+        };
+        {
+            let mut inner = eng.inner.borrow_mut();
+            if inner.lci.progress_busy {
+                return;
+            }
+            if !lci.has_work() {
+                return;
+            }
+            inner.lci.progress_busy = true;
+        }
+        let cost = lci.progress(sim) + eng.cfg.wake_latency;
+        eng.inner.borrow_mut().stats.progress_busy += cost;
+        // Ablation: share the communication thread's core instead of using
+        // the dedicated progress core(s). With several progress threads
+        // (§7), the sweep lands on the earliest-available core — an
+        // idealized work split.
+        let core = if eng.cfg.lci_shared_progress {
+            eng.comm_core.clone()
+        } else {
+            eng.progress_cores
+                .iter()
+                .min_by_key(|c| c.borrow().available_at())
+                .expect("progress core")
+                .clone()
+        };
+        let eng2 = eng.clone();
+        core.borrow_mut().charge(sim, cost, move |sim| {
+            eng2.inner.borrow_mut().lci.progress_busy = false;
+            CommEngine::pump_progress(&eng2, sim);
+        });
+    }
+}
+
+fn concat_frames(mut frames: Vec<Bytes>) -> Option<Bytes> {
+    match frames.len() {
+        0 => None,
+        1 => frames.pop(),
+        _ => {
+            let total: usize = frames.iter().map(|f| f.len()).sum();
+            let mut out = bytes::BytesMut::with_capacity(total);
+            for f in frames {
+                out.extend_from_slice(&f);
+            }
+            Some(out.freeze())
+        }
+    }
+}
+
+/// Helpers shared by the backends for dispatching user callbacks.
+pub(crate) fn dispatch_am(eng: &Rc<CommEngine>, sim: &mut Sim, ev: AmEvent) -> SimTime {
+    let cb = eng
+        .inner
+        .borrow()
+        .am_cbs
+        .get(&ev.tag)
+        .unwrap_or_else(|| panic!("no AM callback registered for tag {}", ev.tag))
+        .clone();
+    eng.inner.borrow_mut().stats.am_received += 1;
+    eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng, ev))
+}
+
+pub(crate) fn dispatch_onesided(eng: &Rc<CommEngine>, sim: &mut Sim, r_tag: u64, ev: PutEvent) -> SimTime {
+    let cb = eng
+        .inner
+        .borrow()
+        .onesided_cbs
+        .get(&r_tag)
+        .unwrap_or_else(|| panic!("no one-sided callback registered for tag {r_tag}"))
+        .clone();
+    {
+        let mut inner = eng.inner.borrow_mut();
+        inner.stats.puts_remote_done += 1;
+        inner.stats.put_bytes_in += ev.size as u64;
+    }
+    eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng, ev))
+}
+
+pub(crate) fn dispatch_put_local(eng: &Rc<CommEngine>, sim: &mut Sim, cb: PutLocalCb) -> SimTime {
+    eng.inner.borrow_mut().stats.puts_local_done += 1;
+    eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng))
+}

@@ -1,0 +1,503 @@
+//! The LCI backend (§5.3): progress thread, completion FIFOs, specialized
+//! handshake path, eager small puts, delegated receives.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use amt_lci::{AmMsg, LciError, OnComplete, PutMsg};
+use amt_netmodel::NodeId;
+use amt_simnet::{Sim, SimTime};
+use bytes::Bytes;
+
+use crate::engine::{
+    dispatch_am, dispatch_onesided, dispatch_put_local, AmEvent, Command, CommEngine, Micro,
+    PutEvent, PutLocalCb, PutRequest,
+};
+use crate::wire::{EagerMode, PutHandshake};
+
+/// AM-tag bit marking a put handshake; the rendezvous tag rides in the low
+/// bits, so the handler never consults the AM hash table (§5.3.3).
+pub(crate) const HS_FLAG: u64 = 1 << 63;
+
+/// CPU cost of the progress-thread handler for a user AM: tag hash lookup
+/// plus callback-handle pool allocation plus FIFO push (§5.3.2).
+const AM_HANDLER_COST: SimTime = SimTime(90);
+/// CPU cost of the specialized handshake handler (no hash lookup).
+const HS_HANDLER_COST: SimTime = SimTime(60);
+/// CPU cost of a completion handler pushing to a FIFO.
+const COMP_HANDLER_COST: SimTime = SimTime(40);
+
+/// An AM queued for the communication thread.
+pub(crate) struct QueuedAm {
+    pub ev: AmEvent,
+    pub owns_packet: bool,
+}
+
+/// A bulk-data completion queued for the communication thread.
+pub(crate) enum DataDone {
+    /// Small put sent eagerly inside the handshake: origin-side completion.
+    LocalEager(Option<PutLocalCb>),
+    /// Direct-send local completion at the origin.
+    Local { rtag: u64 },
+    /// Data arrived at the target (eagerly or via direct receive).
+    Remote {
+        src: NodeId,
+        size: usize,
+        data: Option<Bytes>,
+        r_tag: u64,
+        cb_data: Bytes,
+    },
+}
+
+/// A receive the progress thread could not post (`Retry`), delegated to the
+/// communication thread (§5.3.3).
+pub(crate) struct DelegatedRecv {
+    pub src: NodeId,
+    pub rtag: u64,
+    pub r_tag: u64,
+    pub cb_data: Bytes,
+}
+
+#[derive(Default)]
+pub(crate) struct LciState {
+    pub am_fifo: VecDeque<QueuedAm>,
+    pub data_fifo: VecDeque<DataDone>,
+    pub delegated: VecDeque<DelegatedRecv>,
+    /// Retry delegated receives on the next communication-thread visit
+    /// (set by the backend waker when resources may have freed).
+    pub retry_wanted: bool,
+    pub origin_puts: HashMap<u64, Option<PutLocalCb>>,
+    pub put_seq: u64,
+    pub progress_busy: bool,
+}
+
+/// The endpoint AM handler, executed on the **progress thread** inside
+/// `LCI_progress`. User AMs are queued to the communication thread;
+/// handshakes take the specialized path: decode, free the packet, and either
+/// deliver the eager payload or post the direct receive immediately —
+/// delegating to the communication thread on `Retry`.
+pub(crate) fn on_am(eng: &Rc<CommEngine>, sim: &mut Sim, msg: AmMsg) -> SimTime {
+    if msg.tag & HS_FLAG == 0 {
+        eng.inner.borrow_mut().lci.am_fifo.push_back(QueuedAm {
+            ev: AmEvent {
+                src: msg.src,
+                tag: msg.tag,
+                size: msg.size,
+                data: msg.data,
+            },
+            owns_packet: msg.owns_packet,
+        });
+        CommEngine::wake_comm(eng, sim);
+        return AM_HANDLER_COST;
+    }
+
+    // Specialized handshake path.
+    let mut cost = HS_HANDLER_COST;
+    let lci = eng.lci.as_ref().expect("lci backend").clone();
+    let hs = PutHandshake::decode(msg.data.expect("handshake payload"));
+    if msg.owns_packet {
+        lci.buffer_free(sim);
+    }
+    let src = msg.src;
+    if hs.is_eager() {
+        let data = match hs.eager {
+            EagerMode::EagerBytes(b) => Some(b),
+            _ => None,
+        };
+        eng.inner.borrow_mut().lci.data_fifo.push_back(DataDone::Remote {
+            src,
+            size: hs.size as usize,
+            data,
+            r_tag: hs.r_tag,
+            cb_data: hs.cb_data,
+        });
+        CommEngine::wake_comm(eng, sim);
+        return cost;
+    }
+
+    // Rendezvous: post the matching direct receive right here on the
+    // progress thread so the RTS can be answered with minimum latency.
+    match try_post_recvd(eng, sim, src, hs.data_tag, hs.r_tag, hs.cb_data) {
+        Ok(c) => cost += c,
+        Err(d) => {
+            // §5.3.3: we cannot spin or recurse into progress here —
+            // delegate to the communication thread.
+            let mut inner = eng.inner.borrow_mut();
+            inner.stats.delegated_recvs += 1;
+            inner.lci.delegated.push_back(d);
+            inner.lci.retry_wanted = true;
+            drop(inner);
+            CommEngine::wake_comm(eng, sim);
+        }
+    }
+    cost
+}
+
+/// Attempt to post the direct receive for an incoming put.
+fn try_post_recvd(
+    eng: &Rc<CommEngine>,
+    sim: &mut Sim,
+    src: NodeId,
+    rtag: u64,
+    r_tag: u64,
+    cb_data: Bytes,
+) -> Result<SimTime, DelegatedRecv> {
+    let lci = eng.lci.as_ref().expect("lci backend").clone();
+    let weak = Rc::downgrade(&eng.me());
+    let cb_data2 = cb_data.clone();
+    let res = lci.recvd(
+        sim,
+        src,
+        rtag,
+        r_tag,
+        OnComplete::Handler(Box::new(move |sim, e| {
+            if let Some(eng) = weak.upgrade() {
+                eng.inner.borrow_mut().lci.data_fifo.push_back(DataDone::Remote {
+                    src: e.peer,
+                    size: e.size,
+                    data: e.data,
+                    r_tag,
+                    cb_data: cb_data2,
+                });
+                CommEngine::wake_comm(&eng, sim);
+            }
+            COMP_HANDLER_COST
+        })),
+    );
+    match res {
+        Ok(c) => Ok(c),
+        Err(LciError::Retry) => Err(DelegatedRecv {
+            src,
+            rtag,
+            r_tag,
+            cb_data,
+        }),
+    }
+}
+
+/// The endpoint put handler (§7 direct-put extension), executed on the
+/// progress thread: queue the remote completion for the communication
+/// thread. No matching, no rendezvous, no hash lookup.
+pub(crate) fn on_put(eng: &Rc<CommEngine>, sim: &mut Sim, msg: PutMsg) -> SimTime {
+    let hs = PutHandshake::decode(msg.cb_data);
+    eng.inner.borrow_mut().lci.data_fifo.push_back(DataDone::Remote {
+        src: msg.src,
+        size: msg.size,
+        data: msg.data,
+        r_tag: hs.r_tag,
+        cb_data: hs.cb_data,
+    });
+    CommEngine::wake_comm(eng, sim);
+    HS_HANDLER_COST
+}
+
+/// §7 direct-put path: one `putd` carries data and callback descriptor in a
+/// single one-sided write.
+fn issue_put_direct(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest, rtag: u64) -> SimTime {
+    let lci = eng.lci.as_ref().expect("lci backend").clone();
+    let PutRequest {
+        dst,
+        size,
+        data,
+        r_tag,
+        cb_data,
+        on_local,
+    } = req;
+    // The callback descriptor rides as immediate data.
+    let imm = PutHandshake {
+        data_tag: rtag,
+        size: size as u64,
+        r_tag,
+        cb_data,
+        eager: EagerMode::Rendezvous,
+    };
+    let weak = Rc::downgrade(&eng.me());
+    let res = lci.putd(
+        sim,
+        dst,
+        rtag,
+        size,
+        data.clone(),
+        imm.encode(),
+        rtag,
+        OnComplete::Handler(Box::new(move |sim, e| {
+            if let Some(eng) = weak.upgrade() {
+                eng.inner
+                    .borrow_mut()
+                    .lci
+                    .data_fifo
+                    .push_back(DataDone::Local { rtag: e.ctx });
+                CommEngine::wake_comm(&eng, sim);
+            }
+            COMP_HANDLER_COST
+        })),
+    );
+    match res {
+        Ok(c) => {
+            eng.inner
+                .borrow_mut()
+                .lci
+                .origin_puts
+                .insert(rtag, Some(on_local));
+            c
+        }
+        Err(LciError::Retry) => {
+            let mut inner = eng.inner.borrow_mut();
+            inner.stats.backend_retries += 1;
+            inner.stats.puts_started -= 1;
+            inner.lci.put_seq -= 1;
+            let data = data;
+            inner.pending.push_front(Command::Put(PutRequest {
+                dst,
+                size,
+                data,
+                r_tag: imm.r_tag,
+                cb_data: imm.cb_data,
+                on_local,
+            }));
+            eng.cfg.cmd_overhead
+        }
+    }
+}
+
+/// Issue a put from the communication thread (§5.3.3): small payloads ride
+/// eagerly in the handshake; larger ones go `sendd` + handshake.
+pub(crate) fn issue_put(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
+    let lci = eng.lci.as_ref().expect("lci backend").clone();
+    let rtag = {
+        let mut inner = eng.inner.borrow_mut();
+        inner.stats.puts_started += 1;
+        let t = inner.lci.put_seq;
+        inner.lci.put_seq += 1;
+        t
+    };
+    if eng.cfg.lci_direct_put {
+        return issue_put_direct(eng, sim, req, rtag);
+    }
+    let PutRequest {
+        dst,
+        size,
+        data,
+        r_tag,
+        cb_data,
+        on_local,
+    } = req;
+
+    if size <= eng.cfg.eager_put_max {
+        let eager = match data {
+            Some(b) => EagerMode::EagerBytes(b),
+            None => EagerMode::EagerCostOnly,
+        };
+        let hs = PutHandshake {
+            data_tag: rtag,
+            size: size as u64,
+            r_tag,
+            cb_data,
+            eager,
+        };
+        let wire_len = hs.wire_len();
+        match lci.sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(hs.encode())) {
+            Ok(c) => {
+                // Data copied into the packet: local completion immediate.
+                eng.inner
+                    .borrow_mut()
+                    .micro
+                    .push_back(Micro::LciData(DataDone::LocalEager(Some(on_local))));
+                c
+            }
+            Err(LciError::Retry) => {
+                // Requeue the whole put; retried on the next wake.
+                let mut inner = eng.inner.borrow_mut();
+                inner.stats.backend_retries += 1;
+                inner.stats.puts_started -= 1;
+                inner.lci.put_seq -= 1;
+                let data = match hs.eager {
+                    EagerMode::EagerBytes(b) => Some(b),
+                    _ => None,
+                };
+                inner.pending.push_front(Command::Put(PutRequest {
+                    dst,
+                    size,
+                    data,
+                    r_tag: hs.r_tag,
+                    cb_data: hs.cb_data,
+                    on_local,
+                }));
+                eng.cfg.cmd_overhead
+            }
+        }
+    } else {
+        // Rendezvous: direct send first (its RTS waits at the target until
+        // the handshake posts the receive), then the handshake.
+        let weak = Rc::downgrade(&eng.me());
+        let send_res = lci.sendd(
+            sim,
+            dst,
+            rtag,
+            size,
+            data.clone(),
+            rtag,
+            OnComplete::Handler(Box::new(move |sim, e| {
+                if let Some(eng) = weak.upgrade() {
+                    eng.inner
+                        .borrow_mut()
+                        .lci
+                        .data_fifo
+                        .push_back(DataDone::Local { rtag: e.ctx });
+                    CommEngine::wake_comm(&eng, sim);
+                }
+                COMP_HANDLER_COST
+            })),
+        );
+        let mut cost = match send_res {
+            Ok(c) => c,
+            Err(LciError::Retry) => {
+                let mut inner = eng.inner.borrow_mut();
+                inner.stats.backend_retries += 1;
+                inner.stats.puts_started -= 1;
+                inner.lci.put_seq -= 1;
+                inner.pending.push_front(Command::Put(PutRequest {
+                    dst,
+                    size,
+                    data,
+                    r_tag,
+                    cb_data,
+                    on_local,
+                }));
+                return eng.cfg.cmd_overhead;
+            }
+        };
+        eng.inner
+            .borrow_mut()
+            .lci
+            .origin_puts
+            .insert(rtag, Some(on_local));
+        let hs = PutHandshake {
+            data_tag: rtag,
+            size: size as u64,
+            r_tag,
+            cb_data,
+            eager: EagerMode::Rendezvous,
+        };
+        let enc = hs.encode();
+        let wire_len = enc.len();
+        match lci.sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(enc.clone())) {
+            Ok(c) => cost += c,
+            Err(LciError::Retry) => {
+                // The data send is in flight; only the handshake needs
+                // retrying.
+                let mut inner = eng.inner.borrow_mut();
+                inner.stats.backend_retries += 1;
+                inner.pending.push_front(Command::RawSendb {
+                    dst,
+                    tag: HS_FLAG | rtag,
+                    size: wire_len,
+                    data: Some(enc),
+                });
+            }
+        }
+        cost
+    }
+}
+
+/// One §5.3.4 fairness round: up to `am_batch` AM completions, then all
+/// bulk-data completions; repeat while anything was processed.
+pub(crate) fn exec_fifo_round(eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
+    let mut cost = eng.cfg.fifo_pop;
+    let mut popped = false;
+    {
+        let mut inner = eng.inner.borrow_mut();
+        for _ in 0..eng.cfg.am_batch {
+            match inner.lci.am_fifo.pop_front() {
+                Some(a) => {
+                    inner.micro.push_back(Micro::LciAm(a));
+                    cost += eng.cfg.fifo_pop;
+                    popped = true;
+                }
+                None => break,
+            }
+        }
+        while let Some(d) = inner.lci.data_fifo.pop_front() {
+            inner.micro.push_back(Micro::LciData(d));
+            cost += eng.cfg.fifo_pop;
+            popped = true;
+        }
+        if std::mem::take(&mut inner.lci.retry_wanted) && !inner.lci.delegated.is_empty() {
+            inner.micro.push_back(Micro::LciDelegated);
+        }
+        if popped {
+            inner.micro.push_back(Micro::FifoRound);
+        }
+    }
+    let _ = sim;
+    cost
+}
+
+/// Run one queued AM callback and release its receive packet.
+pub(crate) fn exec_am(eng: &Rc<CommEngine>, sim: &mut Sim, q: QueuedAm) -> SimTime {
+    let cost = dispatch_am(eng, sim, q.ev);
+    if q.owns_packet {
+        eng.lci.as_ref().expect("lci backend").buffer_free(sim);
+    }
+    cost
+}
+
+/// Run one bulk-data completion callback.
+pub(crate) fn exec_data(eng: &Rc<CommEngine>, sim: &mut Sim, d: DataDone) -> SimTime {
+    match d {
+        DataDone::LocalEager(cb) => {
+            let cb = cb.expect("local completion consumed twice");
+            dispatch_put_local(eng, sim, cb)
+        }
+        DataDone::Local { rtag } => {
+            let cb = eng
+                .inner
+                .borrow_mut()
+                .lci
+                .origin_puts
+                .remove(&rtag)
+                .expect("unknown put rtag")
+                .expect("local completion consumed twice");
+            dispatch_put_local(eng, sim, cb)
+        }
+        DataDone::Remote {
+            src,
+            size,
+            data,
+            r_tag,
+            cb_data,
+        } => dispatch_onesided(
+            eng,
+            sim,
+            r_tag,
+            PutEvent {
+                src,
+                size,
+                data,
+                cb_data,
+            },
+        ),
+    }
+}
+
+/// Retry delegated receives from the communication thread.
+pub(crate) fn exec_delegated(eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
+    let mut cost = SimTime::ZERO;
+    let mut queue = std::mem::take(&mut eng.inner.borrow_mut().lci.delegated);
+    while let Some(d) = queue.pop_front() {
+        cost += eng.cfg.cmd_overhead;
+        match try_post_recvd(eng, sim, d.src, d.rtag, d.r_tag, d.cb_data) {
+            Ok(c) => cost += c,
+            Err(d) => {
+                // Still exhausted: put everything back and stop.
+                let mut inner = eng.inner.borrow_mut();
+                inner.lci.delegated.push_front(d);
+                while let Some(rest) = queue.pop_front() {
+                    inner.lci.delegated.push_back(rest);
+                }
+                break;
+            }
+        }
+    }
+    cost
+}

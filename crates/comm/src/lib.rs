@@ -1,0 +1,54 @@
+//! # amt-comm
+//!
+//! The PaRSEC-style **communication engine** (paper §4–§5): the abstraction
+//! of Listing 1 — registered active messages, one-sided `put` with remote
+//! completion callbacks, explicit progress — implemented over two backends:
+//!
+//! * **MPI backend** (§4.2): five persistent wildcard receives per AM tag,
+//!   blocking eager sends for AMs, put emulated with a handshake AM plus
+//!   two-sided transfers on unique tags, a global request array capped at 30
+//!   concurrent data transfers polled with `Testsome`, completion callbacks
+//!   executed *inline in the progress loop* (blocking all other progress —
+//!   the measured pathology), deferred sends and dynamically-allocated
+//!   receives promoted FIFO as slots free up.
+//! * **LCI backend** (§5.3): a dedicated **progress thread** on its own core
+//!   draining `LCI_progress`; active messages delivered through dynamically
+//!   allocated buffers and pushed onto FIFO completion queues consumed by
+//!   the communication thread (≤5 AM completions per round, then all bulk
+//!   data completions, looping); put handshakes on a specialized tag path
+//!   that bypasses the AM hash lookup; small puts carried eagerly inside the
+//!   handshake; `Retry` on receive posting delegated from the progress
+//!   thread to the communication thread.
+//!
+//! ## The communication thread (§4.3)
+//!
+//! Each node's engine embodies PaRSEC's communication thread as a
+//! **micro-task actor** pinned to a dedicated simulated core: every unit of
+//! work (a batch of submitted commands, one `Testsome` sweep, one completion
+//! callback) executes as a separate charge on that core, so a long active
+//! message callback really does delay everything queued behind it — in the
+//! MPI backend that includes all matching and progress, in the LCI backend
+//! only the callback FIFOs (the progress thread keeps running).
+//!
+//! Worker threads normally *funnel* ACTIVATE-class messages through the
+//! communication thread (with per-destination aggregation); the
+//! **multithreaded mode** (§6.4.3) lets workers send directly —
+//! [`CommEngine::send_am_direct`] — which disables aggregation and, for the
+//! MPI backend, contends on the library's serializing lock.
+
+mod config;
+mod engine;
+mod lci_backend;
+mod mpi_backend;
+mod stats;
+mod wire;
+
+pub use config::{BackendKind, EngineConfig};
+pub use engine::{
+    AmCallback, AmEvent, CommEngine, CommWorld, OnesidedCallback, PutEvent, PutLocalCb,
+    PutRequest,
+};
+pub use stats::EngineStats;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,357 @@
+//! The MPI backend (§4.2): persistent wildcard receives for AMs, handshake +
+//! two-sided transfers for puts, a bounded global request array polled with
+//! `Testsome`, inline callbacks, deferred sends and dynamic receives.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use amt_minimpi::{Completion, ReqId, SrcSel};
+use amt_netmodel::NodeId;
+use amt_simnet::{Sim, SimTime};
+use bytes::Bytes;
+
+use crate::engine::{
+    dispatch_am, dispatch_onesided, dispatch_put_local, AmEvent, CommEngine, Micro, PutEvent,
+    PutLocalCb, PutRequest, RESERVED_TAG_BASE,
+};
+use crate::wire::{EagerMode, PutHandshake};
+
+/// Internal AM tag carrying put handshakes.
+pub(crate) const HS_TAG: u64 = RESERVED_TAG_BASE;
+/// Data-transfer tags: `DATA_TAG_BASE + put_id`, unique per origin.
+pub(crate) const DATA_TAG_BASE: u64 = RESERVED_TAG_BASE + 1;
+
+pub(crate) enum TrackKind {
+    /// A persistent AM receive for `tag`.
+    AmRecv { tag: u64 },
+    /// The origin-side data send of a put.
+    DataSend { put_id: u64 },
+    /// The target-side data receive of a put.
+    DataRecv { src: NodeId, data_tag: u64 },
+}
+
+pub(crate) struct TrackedReq {
+    pub req: ReqId,
+    pub kind: TrackKind,
+    /// FIFO promotion order for dynamic receives.
+    pub seq: u64,
+}
+
+pub(crate) struct TargetPut {
+    pub r_tag: u64,
+    pub cb_data: Bytes,
+}
+
+/// Backend state living inside the engine.
+#[derive(Default)]
+pub(crate) struct MpiState {
+    /// The global request array (`5 × N_am + 30` entries in the paper).
+    pub tracked: Vec<TrackedReq>,
+    /// Dynamically-allocated receives, posted but *not polled* until
+    /// promoted into the global array (§4.2.2).
+    pub dynamic: VecDeque<TrackedReq>,
+    /// Data transfers (sends + receives) currently in the global array.
+    pub slots_in_use: usize,
+    /// Puts waiting for a free transfer slot, FIFO.
+    pub deferred_puts: VecDeque<(u64, PutRequest)>,
+    /// Sequence source for FIFO promotion ordering.
+    pub next_seq: u64,
+    /// Origin-side put completions by put id.
+    pub origin_puts: HashMap<u64, Option<PutLocalCb>>,
+    /// Target-side put metadata by (origin, data tag).
+    pub target_puts: HashMap<(NodeId, u64), TargetPut>,
+    pub put_seq: u64,
+    /// A `Testsome` sweep is wanted (set by the backend waker).
+    pub progress_queued: bool,
+}
+
+impl MpiState {
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+/// Post the persistent receives for the internal handshake tag.
+pub(crate) fn register_internal(eng: &Rc<CommEngine>, sim: &mut Sim) {
+    post_persistent(eng, sim, HS_TAG);
+}
+
+/// Post the persistent receives for a user AM tag.
+pub(crate) fn register_am_tag(eng: &Rc<CommEngine>, sim: &mut Sim, tag: u64) {
+    post_persistent(eng, sim, tag);
+}
+
+fn post_persistent(eng: &Rc<CommEngine>, sim: &mut Sim, tag: u64) {
+    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
+    for _ in 0..eng.cfg.am_recv_depth {
+        let (req, _c) = mpi.recv_init(SrcSel::Any, tag);
+        mpi.start(sim, req);
+        let mut inner = eng.inner.borrow_mut();
+        let seq = inner.mpi.bump_seq();
+        inner.mpi.tracked.push(TrackedReq {
+            req,
+            kind: TrackKind::AmRecv { tag },
+            seq,
+        });
+    }
+}
+
+/// One `Testsome` sweep over the global array. Completions become their own
+/// micro-tasks; if any completed, another sweep follows them (§4.2.3: "if no
+/// communications were completed ... the progress function returns;
+/// otherwise, it repeats").
+pub(crate) fn exec_progress(eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
+    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
+    let reqs: Vec<ReqId> = eng
+        .inner
+        .borrow()
+        .mpi
+        .tracked
+        .iter()
+        .map(|t| t.req)
+        .collect();
+    let (completions, cost) = mpi.testsome(sim, &reqs);
+    if !completions.is_empty() {
+        let mut inner = eng.inner.borrow_mut();
+        for c in completions {
+            inner.micro.push_back(Micro::MpiCompletion(c));
+        }
+        inner.micro.push_back(Micro::MpiProgress);
+    }
+    cost
+}
+
+/// Process one completed request: run its callback inline (this is the
+/// §4.3/§5.2 pathology — while this executes, nothing else progresses), then
+/// re-enable persistent receives / release transfer slots / promote deferred
+/// work.
+pub(crate) fn exec_completion(eng: &Rc<CommEngine>, sim: &mut Sim, c: Completion) -> SimTime {
+    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
+    let pos = {
+        let inner = eng.inner.borrow();
+        inner.mpi.tracked.iter().position(|t| t.req == c.req)
+    };
+    let Some(pos) = pos else {
+        panic!("completion for untracked request");
+    };
+    let mut cost = SimTime::ZERO;
+    let kind = {
+        let inner = eng.inner.borrow();
+        match &inner.mpi.tracked[pos].kind {
+            TrackKind::AmRecv { tag } => TrackKind::AmRecv { tag: *tag },
+            TrackKind::DataSend { put_id } => TrackKind::DataSend { put_id: *put_id },
+            TrackKind::DataRecv { src, data_tag } => TrackKind::DataRecv {
+                src: *src,
+                data_tag: *data_tag,
+            },
+        }
+    };
+    match kind {
+        TrackKind::AmRecv { tag } => {
+            // Execute the callback, then re-enable the persistent receive.
+            if tag == HS_TAG {
+                cost += handle_handshake(eng, sim, c.status.src, c.status.data.expect("handshake payload"));
+            } else {
+                cost += dispatch_am(
+                    eng,
+                    sim,
+                    AmEvent {
+                        src: c.status.src,
+                        tag,
+                        size: c.status.size,
+                        data: c.status.data,
+                    },
+                );
+            }
+            cost += mpi.start(sim, c.req);
+        }
+        TrackKind::DataSend { put_id } => {
+            eng.inner.borrow_mut().mpi.tracked.remove(pos);
+            release_slot(eng);
+            let cb = eng
+                .inner
+                .borrow_mut()
+                .mpi
+                .origin_puts
+                .remove(&put_id)
+                .expect("unknown put id")
+                .expect("local completion consumed twice");
+            cost += dispatch_put_local(eng, sim, cb);
+            cost += promote(eng, sim);
+        }
+        TrackKind::DataRecv { src, data_tag } => {
+            eng.inner.borrow_mut().mpi.tracked.remove(pos);
+            release_slot(eng);
+            let meta = eng
+                .inner
+                .borrow_mut()
+                .mpi
+                .target_puts
+                .remove(&(src, data_tag))
+                .expect("data arrived without handshake");
+            cost += dispatch_onesided(
+                eng,
+                sim,
+                meta.r_tag,
+                PutEvent {
+                    src,
+                    size: c.status.size,
+                    data: c.status.data,
+                    cb_data: meta.cb_data,
+                },
+            );
+            cost += promote(eng, sim);
+        }
+    }
+    cost
+}
+
+fn release_slot(eng: &Rc<CommEngine>) {
+    let mut inner = eng.inner.borrow_mut();
+    debug_assert!(inner.mpi.slots_in_use > 0);
+    inner.mpi.slots_in_use -= 1;
+}
+
+/// Start a put: handshake AM + data `isend` when a transfer slot is free,
+/// deferred otherwise (§4.2.2).
+pub(crate) fn issue_put(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
+    {
+        let mut inner = eng.inner.borrow_mut();
+        inner.stats.puts_started += 1;
+        if inner.mpi.slots_in_use >= eng.cfg.max_concurrent_transfers {
+            inner.stats.deferred_puts += 1;
+            let seq = inner.mpi.bump_seq();
+            inner.mpi.deferred_puts.push_back((seq, req));
+            return eng.cfg.cmd_overhead;
+        }
+        inner.mpi.slots_in_use += 1;
+    }
+    start_put(eng, sim, req)
+}
+
+fn start_put(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
+    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
+    let put_id = {
+        let mut inner = eng.inner.borrow_mut();
+        let id = inner.mpi.put_seq;
+        inner.mpi.put_seq += 1;
+        id
+    };
+    let data_tag = DATA_TAG_BASE + put_id;
+    let hs = PutHandshake {
+        data_tag,
+        size: req.size as u64,
+        r_tag: req.r_tag,
+        cb_data: req.cb_data,
+        eager: EagerMode::Rendezvous,
+    };
+    let enc = hs.encode();
+    let mut cost = mpi.send(sim, req.dst, HS_TAG, enc.len(), Some(enc));
+    let (sreq, c2) = mpi.isend(sim, req.dst, data_tag, req.size, req.data);
+    cost += c2;
+    let mut inner = eng.inner.borrow_mut();
+    let seq = inner.mpi.bump_seq();
+    inner.mpi.tracked.push(TrackedReq {
+        req: sreq,
+        kind: TrackKind::DataSend { put_id },
+        seq,
+    });
+    inner.mpi.origin_puts.insert(put_id, Some(req.on_local));
+    inner.mpi.progress_queued = true;
+    cost
+}
+
+/// Target side of the handshake: post the matching receive — into the
+/// global array when a slot is free, as an unpolled *dynamic* receive
+/// otherwise (§4.2.2).
+fn handle_handshake(eng: &Rc<CommEngine>, sim: &mut Sim, src: NodeId, payload: Bytes) -> SimTime {
+    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
+    let hs = PutHandshake::decode(payload);
+    debug_assert!(matches!(hs.eager, EagerMode::Rendezvous), "MPI puts never ride eagerly");
+    let (rreq, mut cost) = mpi.irecv(sim, SrcSel::Rank(src), hs.data_tag);
+    let mut inner = eng.inner.borrow_mut();
+    inner.mpi.target_puts.insert(
+        (src, hs.data_tag),
+        TargetPut {
+            r_tag: hs.r_tag,
+            cb_data: hs.cb_data,
+        },
+    );
+    let seq = inner.mpi.bump_seq();
+    let tracked = TrackedReq {
+        req: rreq,
+        kind: TrackKind::DataRecv {
+            src,
+            data_tag: hs.data_tag,
+        },
+        seq,
+    };
+    if inner.mpi.slots_in_use < eng.cfg.max_concurrent_transfers {
+        inner.mpi.slots_in_use += 1;
+        inner.mpi.tracked.push(tracked);
+        inner.mpi.progress_queued = true;
+    } else {
+        inner.stats.dynamic_recvs += 1;
+        inner.mpi.dynamic.push_back(tracked);
+    }
+    cost += eng.cfg.cmd_overhead;
+    cost
+}
+
+/// While slots are free, start deferred puts and promote dynamic receives
+/// in FIFO order (§4.2.3).
+fn promote(eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
+    let mut cost = SimTime::ZERO;
+    loop {
+        enum Next {
+            Put(PutRequest),
+            Dyn,
+            None,
+        }
+        let next = {
+            let mut inner = eng.inner.borrow_mut();
+            if inner.mpi.slots_in_use >= eng.cfg.max_concurrent_transfers {
+                Next::None
+            } else {
+                let pseq = inner.mpi.deferred_puts.front().map(|(s, _)| *s);
+                let dseq = inner.mpi.dynamic.front().map(|t| t.seq);
+                match (pseq, dseq) {
+                    (None, None) => Next::None,
+                    (Some(_), None) => {
+                        let (_, p) = inner.mpi.deferred_puts.pop_front().expect("front checked");
+                        inner.mpi.slots_in_use += 1;
+                        Next::Put(p)
+                    }
+                    (None, Some(_)) => Next::Dyn,
+                    (Some(p), Some(d)) => {
+                        if p < d {
+                            let (_, p) =
+                                inner.mpi.deferred_puts.pop_front().expect("front checked");
+                            inner.mpi.slots_in_use += 1;
+                            Next::Put(p)
+                        } else {
+                            Next::Dyn
+                        }
+                    }
+                }
+            }
+        };
+        match next {
+            Next::None => break,
+            Next::Put(p) => {
+                cost += start_put(eng, sim, p);
+            }
+            Next::Dyn => {
+                let mut inner = eng.inner.borrow_mut();
+                let t = inner.mpi.dynamic.pop_front().expect("checked non-empty");
+                inner.mpi.slots_in_use += 1;
+                inner.mpi.tracked.push(t);
+                inner.mpi.progress_queued = true;
+                cost += eng.cfg.cmd_overhead;
+            }
+        }
+    }
+    cost
+}

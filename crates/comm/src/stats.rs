@@ -1,0 +1,37 @@
+//! Engine statistics, used by benches and diagnostics.
+
+use amt_simnet::SimTime;
+
+/// Per-engine counters. All monotonically increasing.
+#[derive(Debug, Default, Clone)]
+pub struct EngineStats {
+    /// AMs sent (wire messages, after aggregation).
+    pub am_sent: u64,
+    /// AM payloads submitted (before aggregation).
+    pub am_submitted: u64,
+    /// AMs received and dispatched to callbacks.
+    pub am_received: u64,
+    /// Puts started at this origin.
+    pub puts_started: u64,
+    /// Puts completed locally at this origin.
+    pub puts_local_done: u64,
+    /// Put payload bytes received at this target.
+    pub put_bytes_in: u64,
+    /// Puts completed remotely at this target.
+    pub puts_remote_done: u64,
+    /// Times a put had to be deferred for lack of transfer slots (MPI).
+    pub deferred_puts: u64,
+    /// Times a receive was posted as "dynamic" outside the polled array (MPI).
+    pub dynamic_recvs: u64,
+    /// Times the LCI progress thread delegated a receive to the
+    /// communication thread after `Retry` (§5.3.3).
+    pub delegated_recvs: u64,
+    /// Backend `Retry` results absorbed by the engine (LCI).
+    pub backend_retries: u64,
+    /// Communication-thread rounds executed.
+    pub comm_rounds: u64,
+    /// Total CPU time charged to the communication thread.
+    pub comm_busy: SimTime,
+    /// Total CPU time charged to the progress thread (LCI).
+    pub progress_busy: SimTime,
+}

@@ -1,0 +1,446 @@
+//! Communication-engine tests: AM and put round trips on both backends,
+//! aggregation, deferral, eager puts, callback-context issuing, and the
+//! headline latency ordering (LCI < MPI).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use amt_netmodel::{Fabric, FabricConfig};
+use amt_simnet::{Sim, SimTime};
+use bytes::Bytes;
+
+use crate::{CommEngine, CommWorld, EngineConfig, PutRequest};
+
+fn setup(nodes: usize, cfg: EngineConfig) -> (Sim, Vec<Rc<CommEngine>>) {
+    let mut sim = Sim::new();
+    let fabric = Fabric::new(FabricConfig::expanse(nodes));
+    let engines = CommWorld::create(&mut sim, &fabric, cfg);
+    (sim, engines)
+}
+
+fn both_backends() -> Vec<EngineConfig> {
+    vec![EngineConfig::mpi(), EngineConfig::lci()]
+}
+
+#[test]
+fn am_roundtrip_both_backends() {
+    for cfg in both_backends() {
+        let backend = cfg.backend;
+        let (mut sim, engines) = setup(2, cfg);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        engines[1].register_am(
+            &mut sim,
+            7,
+            Rc::new(move |_sim, _eng, ev| {
+                g.borrow_mut().push((ev.src, ev.tag, ev.size, ev.data));
+                SimTime::from_ns(200)
+            }),
+        );
+        let payload = Bytes::from_static(b"activate!");
+        engines[0].send_am(&mut sim, 1, 7, payload.len(), Some(payload.clone()));
+        sim.run();
+        let log = got.borrow();
+        assert_eq!(log.len(), 1, "{backend}: AM not delivered");
+        assert_eq!(log[0].0, 0);
+        assert_eq!(log[0].3.as_ref(), Some(&payload));
+        assert_eq!(engines[0].stats().am_sent, 1);
+        assert_eq!(engines[1].stats().am_received, 1);
+    }
+}
+
+#[test]
+fn put_roundtrip_both_backends() {
+    for cfg in both_backends() {
+        let backend = cfg.backend;
+        let (mut sim, engines) = setup(2, cfg);
+        let remote = Rc::new(RefCell::new(None));
+        let local = Rc::new(RefCell::new(false));
+        let r = remote.clone();
+        engines[1].register_onesided(
+            1,
+            Rc::new(move |_sim, _eng, ev| {
+                *r.borrow_mut() = Some((ev.src, ev.size, ev.data, ev.cb_data));
+                SimTime::from_ns(100)
+            }),
+        );
+        let size = 1 << 20;
+        let data = Bytes::from(vec![5u8; size]);
+        let l = local.clone();
+        engines[0].put(
+            &mut sim,
+            PutRequest {
+                dst: 1,
+                size,
+                data: Some(data.clone()),
+                r_tag: 1,
+                cb_data: Bytes::from_static(b"meta"),
+                on_local: Box::new(move |_sim, _eng| {
+                    *l.borrow_mut() = true;
+                    SimTime::from_ns(50)
+                }),
+            },
+        );
+        sim.run();
+        assert!(*local.borrow(), "{backend}: local completion missing");
+        let r = remote.borrow();
+        let (src, sz, d, cb) = r.as_ref().expect("remote completion");
+        assert_eq!(*src, 0, "{backend}");
+        assert_eq!(*sz, size, "{backend}");
+        assert_eq!(d.as_deref(), Some(&data[..]), "{backend}");
+        assert_eq!(&cb[..], b"meta", "{backend}");
+        assert_eq!(engines[0].stats().puts_local_done, 1);
+        assert_eq!(engines[1].stats().puts_remote_done, 1);
+    }
+}
+
+#[test]
+fn small_put_rides_eagerly_on_lci() {
+    let (mut sim, engines) = setup(2, EngineConfig::lci());
+    let remote = Rc::new(RefCell::new(None));
+    let r = remote.clone();
+    engines[1].register_onesided(
+        9,
+        Rc::new(move |_sim, _eng, ev| {
+            *r.borrow_mut() = Some((ev.size, ev.data));
+            SimTime::ZERO
+        }),
+    );
+    let data = Bytes::from_static(b"small payload");
+    engines[0].put(
+        &mut sim,
+        PutRequest {
+            dst: 1,
+            size: data.len(),
+            data: Some(data.clone()),
+            r_tag: 9,
+            cb_data: Bytes::new(),
+            on_local: Box::new(|_s, _e| SimTime::ZERO),
+        },
+    );
+    sim.run();
+    let r = remote.borrow();
+    let (sz, d) = r.as_ref().expect("remote completion");
+    assert_eq!(*sz, data.len());
+    assert_eq!(d.as_deref(), Some(&data[..]));
+    assert_eq!(engines[1].stats().delegated_recvs, 0);
+}
+
+#[test]
+fn activates_aggregate_per_destination() {
+    for cfg in both_backends() {
+        let backend = cfg.backend;
+        let (mut sim, engines) = setup(2, cfg);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        engines[1].register_am(
+            &mut sim,
+            3,
+            Rc::new(move |_sim, _eng, ev| {
+                g.borrow_mut().push((ev.size, ev.data));
+                SimTime::ZERO
+            }),
+        );
+        // Submit 4 AMs back-to-back; the communication thread is woken once
+        // and they aggregate into fewer wire messages.
+        for i in 0..4u8 {
+            engines[0].send_am(&mut sim, 1, 3, 8, Some(Bytes::from(vec![i; 8])));
+        }
+        sim.run();
+        let stats = engines[0].stats();
+        assert_eq!(stats.am_submitted, 4, "{backend}");
+        assert!(
+            stats.am_sent < 4,
+            "{backend}: no aggregation happened ({} wire msgs)",
+            stats.am_sent
+        );
+        // All payload bytes arrive, concatenated.
+        let total: usize = got.borrow().iter().map(|(s, _)| *s).sum();
+        assert_eq!(total, 32, "{backend}");
+    }
+}
+
+#[test]
+fn mpi_puts_defer_beyond_transfer_cap() {
+    let mut cfg = EngineConfig::mpi();
+    cfg.max_concurrent_transfers = 4;
+    let (mut sim, engines) = setup(2, cfg);
+    let done = Rc::new(RefCell::new(0));
+    let d = done.clone();
+    engines[1].register_onesided(
+        1,
+        Rc::new(move |_sim, _eng, _ev| {
+            *d.borrow_mut() += 1;
+            SimTime::ZERO
+        }),
+    );
+    for _ in 0..10 {
+        engines[0].put(
+            &mut sim,
+            PutRequest {
+                dst: 1,
+                size: 256 << 10,
+                data: None,
+                r_tag: 1,
+                cb_data: Bytes::new(),
+                on_local: Box::new(|_s, _e| SimTime::ZERO),
+            },
+        );
+    }
+    sim.run();
+    assert_eq!(*done.borrow(), 10, "all puts must eventually complete");
+    let stats = engines[0].stats();
+    assert!(
+        stats.deferred_puts > 0,
+        "cap of 4 with 10 puts must defer some (deferred={})",
+        stats.deferred_puts
+    );
+}
+
+#[test]
+fn put_inside_am_callback_get_data_pattern() {
+    // The GET DATA pattern: an AM callback at the data owner issues the put
+    // directly from communication-thread context.
+    for cfg in both_backends() {
+        let backend = cfg.backend;
+        let (mut sim, engines) = setup(2, cfg);
+        let delivered = Rc::new(RefCell::new(None));
+
+        // Node 0 owns data; GET DATA requests arrive on tag 11.
+        let payload = Bytes::from(vec![42u8; 128 << 10]);
+        let p2 = payload.clone();
+        engines[0].register_am(
+            &mut sim,
+            11,
+            Rc::new(move |sim, eng, ev| {
+                let data = p2.clone();
+                eng.put(
+                    sim,
+                    PutRequest {
+                        dst: ev.src,
+                        size: data.len(),
+                        data: Some(data),
+                        r_tag: 2,
+                        cb_data: Bytes::new(),
+                        on_local: Box::new(|_s, _e| SimTime::ZERO),
+                    },
+                );
+                SimTime::from_ns(500)
+            }),
+        );
+        let d = delivered.clone();
+        engines[1].register_onesided(
+            2,
+            Rc::new(move |_sim, _eng, ev| {
+                *d.borrow_mut() = ev.data;
+                SimTime::ZERO
+            }),
+        );
+        // Node 1 asks node 0 for the data.
+        engines[1].send_am(&mut sim, 0, 11, 16, None);
+        sim.run();
+        assert_eq!(
+            delivered.borrow().as_deref(),
+            Some(&payload[..]),
+            "{backend}: GET DATA round trip failed"
+        );
+    }
+}
+
+/// Measure the AM software latency (send_am submission to callback start).
+fn measure_am_latency(cfg: EngineConfig) -> SimTime {
+    let (mut sim, engines) = setup(2, cfg);
+    let arrival: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    let a = arrival.clone();
+    engines[1].register_am(
+        &mut sim,
+        1,
+        Rc::new(move |sim, _eng, _ev| {
+            a.borrow_mut().get_or_insert(sim.now());
+            SimTime::ZERO
+        }),
+    );
+    engines[0].send_am_opts(&mut sim, 1, 1, 64, None, false);
+    let t0 = sim.now();
+    sim.run();
+    let t1 = arrival.borrow().expect("latency probe never delivered");
+    t1 - t0
+}
+
+#[test]
+fn lci_am_latency_beats_mpi() {
+    let lci = measure_am_latency(EngineConfig::lci());
+    let mpi = measure_am_latency(EngineConfig::mpi());
+    assert!(lci < mpi, "LCI AM latency ({lci}) should beat MPI ({mpi})");
+}
+
+#[test]
+fn direct_send_bypasses_comm_thread() {
+    for cfg in both_backends() {
+        let backend = cfg.backend;
+        let (mut sim, engines) = setup(2, cfg.with_multithread_am(true));
+        let got = Rc::new(RefCell::new(0));
+        let g = got.clone();
+        engines[1].register_am(
+            &mut sim,
+            5,
+            Rc::new(move |_sim, _eng, _ev| {
+                *g.borrow_mut() += 1;
+                SimTime::ZERO
+            }),
+        );
+        let cost = engines[0].send_am_direct(&mut sim, 1, 5, 128, None);
+        assert!(cost > SimTime::ZERO, "{backend}");
+        sim.run();
+        assert_eq!(*got.borrow(), 1, "{backend}");
+        assert_eq!(engines[0].stats().am_sent, 1, "{backend}");
+    }
+}
+
+#[test]
+fn many_concurrent_puts_complete_on_lci() {
+    let (mut sim, engines) = setup(2, EngineConfig::lci());
+    let done = Rc::new(RefCell::new(0));
+    let d = done.clone();
+    engines[1].register_onesided(
+        1,
+        Rc::new(move |_sim, _eng, _ev| {
+            *d.borrow_mut() += 1;
+            SimTime::ZERO
+        }),
+    );
+    let n = 600; // beyond max_posted_recvd=512, exercising Retry/delegation
+    for _ in 0..n {
+        engines[0].put(
+            &mut sim,
+            PutRequest {
+                dst: 1,
+                size: 64 << 10,
+                data: None,
+                r_tag: 1,
+                cb_data: Bytes::new(),
+                on_local: Box::new(|_s, _e| SimTime::ZERO),
+            },
+        );
+    }
+    sim.run();
+    assert_eq!(*done.borrow(), n, "all puts must complete despite back-pressure");
+}
+
+#[test]
+fn deterministic_replay_same_schedule() {
+    for cfg in both_backends() {
+        let run = || {
+            let (mut sim, engines) = setup(3, cfg.clone());
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for engine in engines.iter().take(3) {
+                let l = log.clone();
+                engine.register_am(
+                    &mut sim,
+                    1,
+                    Rc::new(move |sim, _eng, ev| {
+                        l.borrow_mut().push((ev.src, sim.now().as_ns()));
+                        SimTime::from_ns(100)
+                    }),
+                );
+            }
+            for i in 0..12usize {
+                engines[i % 3].send_am(&mut sim, (i + 1) % 3, 1, 64, None);
+            }
+            sim.run();
+            let out = log.borrow().clone();
+            out
+        };
+        assert_eq!(run(), run(), "{}", cfg.backend);
+    }
+}
+
+#[test]
+fn stats_track_comm_thread_occupancy() {
+    let (mut sim, engines) = setup(2, EngineConfig::lci());
+    engines[1].register_am(&mut sim, 1, Rc::new(|_s, _e, _ev| SimTime::from_us(1)));
+    for _ in 0..10 {
+        engines[0].send_am_opts(&mut sim, 1, 1, 64, None, false);
+    }
+    sim.run();
+    let s = engines[1].stats();
+    assert!(s.comm_busy >= SimTime::from_us(10), "callback time accounted");
+    assert!(s.progress_busy > SimTime::ZERO, "progress thread worked");
+    assert!(s.comm_rounds > 0);
+}
+
+#[test]
+fn direct_put_mode_round_trips() {
+    // §7 future work: the put interface implemented directly by LCI.
+    let mut cfg = EngineConfig::lci();
+    cfg.lci_direct_put = true;
+    let (mut sim, engines) = setup(2, cfg);
+    let remote = Rc::new(RefCell::new(None));
+    let local = Rc::new(RefCell::new(false));
+    let r = remote.clone();
+    engines[1].register_onesided(
+        4,
+        Rc::new(move |_sim, _eng, ev| {
+            *r.borrow_mut() = Some((ev.src, ev.size, ev.data, ev.cb_data));
+            SimTime::ZERO
+        }),
+    );
+    let data = Bytes::from(vec![9u8; 300_000]);
+    let l = local.clone();
+    engines[0].put(
+        &mut sim,
+        PutRequest {
+            dst: 1,
+            size: data.len(),
+            data: Some(data.clone()),
+            r_tag: 4,
+            cb_data: Bytes::from_static(b"ctx"),
+            on_local: Box::new(move |_s, _e| {
+                *l.borrow_mut() = true;
+                SimTime::ZERO
+            }),
+        },
+    );
+    sim.run();
+    assert!(*local.borrow());
+    let r = remote.borrow();
+    let (src, size, d, cb) = r.as_ref().expect("remote completion");
+    assert_eq!((*src, *size), (0, 300_000));
+    assert_eq!(d.as_deref(), Some(&data[..]));
+    assert_eq!(&cb[..], b"ctx");
+}
+
+#[test]
+fn multiple_progress_threads_complete_and_split_load() {
+    let mut cfg = EngineConfig::lci();
+    cfg.lci_progress_threads = 2;
+    let (mut sim, engines) = setup(2, cfg);
+    let n = Rc::new(RefCell::new(0));
+    let n2 = n.clone();
+    engines[1].register_onesided(
+        1,
+        Rc::new(move |_s, _e, _ev| {
+            *n2.borrow_mut() += 1;
+            SimTime::ZERO
+        }),
+    );
+    for _ in 0..100 {
+        engines[0].put(
+            &mut sim,
+            PutRequest {
+                dst: 1,
+                size: 64 << 10,
+                data: None,
+                r_tag: 1,
+                cb_data: Bytes::new(),
+                on_local: Box::new(|_s, _e| SimTime::ZERO),
+            },
+        );
+    }
+    sim.run();
+    assert_eq!(*n.borrow(), 100);
+    // Both progress cores saw work.
+    let cores = engines[1].progress_cores();
+    assert_eq!(cores.len(), 2);
+    assert!(cores.iter().all(|c| c.borrow().jobs() > 0));
+}

@@ -1,0 +1,253 @@
+//! The simulated cluster: Sim + fabric + engines + per-node runtimes, and
+//! the run report benches consume.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use amt_comm::{CommEngine, CommWorld, EngineStats};
+use amt_netmodel::{Fabric, FabricHandle};
+use amt_simnet::{shared, CoreHandle, CoreResource, OnlineStats, Sim, SimTime};
+use bytes::Bytes;
+
+use crate::config::ClusterConfig;
+use crate::graph::{TaskGraph, VersionId};
+use crate::node::{NodeRt, RtHandle, AM_ACTIVATE, AM_GETDATA, RTAG_DATA};
+
+/// Outcome of one [`Cluster::execute`] run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time from dispatch to full drain (includes trailing
+    /// communication).
+    pub makespan: SimTime,
+    pub tasks_executed: u64,
+    pub tasks_total: u64,
+    /// End-to-end latency per remote flow, µs (ACTIVATE send → data
+    /// arrival), merged across nodes.
+    pub e2e_latency_us: OnlineStats,
+    /// Individual ACTIVATE message latency, µs.
+    pub msg_latency_us: OnlineStats,
+    /// Control-path latency (ACTIVATE send → GET DATA arrival at owner), µs.
+    pub request_latency_us: OnlineStats,
+    /// Total virtual CPU time spent executing tasks.
+    pub worker_busy: SimTime,
+    /// Mean worker utilization over the makespan.
+    pub worker_util: f64,
+    /// Mean communication-thread utilization.
+    pub comm_util: f64,
+    /// Mean progress-thread utilization (LCI; 0 for MPI).
+    pub progress_util: f64,
+    /// Per-node engine counters.
+    pub engine_stats: Vec<EngineStats>,
+    /// Per task-class (name, executions, total busy time), sorted by busy
+    /// time descending.
+    pub class_stats: Vec<(String, u64, SimTime)>,
+}
+
+impl RunReport {
+    /// Did every task run?
+    pub fn complete(&self) -> bool {
+        self.tasks_executed == self.tasks_total
+    }
+
+    /// Total put payload bytes received across the cluster.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.engine_stats.iter().map(|s| s.put_bytes_in).sum()
+    }
+}
+
+/// A simulated cluster ready to execute task graphs.
+pub struct Cluster {
+    sim: Sim,
+    #[allow(dead_code)]
+    fabric: FabricHandle,
+    engines: Vec<Rc<CommEngine>>,
+    workers: Vec<Vec<CoreHandle>>,
+    cfg: ClusterConfig,
+    /// Active per-node runtimes (set during/after `execute`).
+    rts: Rc<RefCell<Option<Vec<RtHandle>>>>,
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let mut fabric_cfg = cfg.fabric.clone();
+        fabric_cfg.nodes = cfg.nodes;
+        let mut engine_cfg = cfg.engine.clone();
+        engine_cfg.backend = cfg.backend;
+        engine_cfg.multithread_am = cfg.multithread_am;
+
+        let mut sim = Sim::new();
+        let fabric = Fabric::new(fabric_cfg);
+        let engines = CommWorld::create(&mut sim, &fabric, engine_cfg);
+        let workers: Vec<Vec<CoreHandle>> = (0..cfg.nodes)
+            .map(|n| {
+                (0..cfg.workers_per_node)
+                    .map(|w| CoreResource::new_shared(format!("n{n}.w{w}")))
+                    .collect()
+            })
+            .collect();
+
+        let rts: Rc<RefCell<Option<Vec<RtHandle>>>> = Rc::new(RefCell::new(None));
+        for (node, engine) in engines.iter().enumerate() {
+            let slot = rts.clone();
+            engine.register_am(
+                &mut sim,
+                AM_ACTIVATE,
+                Rc::new(move |sim, _eng, ev| {
+                    let rt = slot.borrow().as_ref().expect("no active execution")[node].clone();
+                    NodeRt::on_activate(&rt, sim, ev)
+                }),
+            );
+            let slot = rts.clone();
+            engine.register_am(
+                &mut sim,
+                AM_GETDATA,
+                Rc::new(move |sim, _eng, ev| {
+                    let rt = slot.borrow().as_ref().expect("no active execution")[node].clone();
+                    NodeRt::on_getdata(&rt, sim, ev)
+                }),
+            );
+            let slot = rts.clone();
+            engine.register_onesided(
+                RTAG_DATA,
+                Rc::new(move |sim, _eng, ev| {
+                    let rt = slot.borrow().as_ref().expect("no active execution")[node].clone();
+                    NodeRt::on_data(&rt, sim, ev)
+                }),
+            );
+        }
+
+        Cluster {
+            sim,
+            fabric,
+            engines,
+            workers,
+            cfg,
+            rts,
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Execute a task graph to completion (drains the virtual event queue)
+    /// and report.
+    pub fn execute(&mut self, graph: TaskGraph) -> RunReport {
+        let tasks_total = graph.task_count() as u64;
+        let graph = Rc::new(graph);
+        let node_rts: Vec<RtHandle> = (0..self.cfg.nodes)
+            .map(|n| {
+                shared(NodeRt::new(
+                    n,
+                    graph.clone(),
+                    self.engines[n].clone(),
+                    self.cfg.clone(),
+                    self.workers[n].clone(),
+                ))
+            })
+            .collect();
+        *self.rts.borrow_mut() = Some(node_rts.clone());
+
+        let t0 = self.sim.now();
+        for rt in &node_rts {
+            NodeRt::init(rt, &mut self.sim);
+        }
+        self.sim.run();
+        let makespan = self.sim.now() - t0;
+
+        let mut e2e = OnlineStats::new();
+        let mut msg = OnlineStats::new();
+        let mut req = OnlineStats::new();
+        let mut executed = 0;
+        let mut worker_busy = SimTime::ZERO;
+        let mut classes: std::collections::HashMap<&'static str, (u64, SimTime)> =
+            std::collections::HashMap::new();
+        for rt in &node_rts {
+            let r = rt.borrow();
+            e2e.merge(&r.e2e);
+            msg.merge(&r.msg_lat);
+            req.merge(&r.req_lat);
+            executed += r.executed;
+            worker_busy += r.worker_busy;
+            for (name, (n, busy)) in &r.class_stats {
+                let e = classes.entry(name).or_insert((0, SimTime::ZERO));
+                e.0 += n;
+                e.1 += *busy;
+            }
+        }
+        let mut class_stats: Vec<(String, u64, SimTime)> = classes
+            .into_iter()
+            .map(|(k, (n, b))| (k.to_string(), n, b))
+            .collect();
+        class_stats.sort_by_key(|c| std::cmp::Reverse(c.2));
+        let total_workers = (self.cfg.nodes * self.cfg.workers_per_node) as f64;
+        let span = makespan.as_secs_f64().max(1e-12);
+        let worker_util = worker_busy.as_secs_f64() / (span * total_workers);
+        let now = self.sim.now();
+        let comm_util = self
+            .engines
+            .iter()
+            .map(|e| e.comm_core().borrow().utilization(now))
+            .sum::<f64>()
+            / self.cfg.nodes as f64;
+        let progress_util = self
+            .engines
+            .iter()
+            .filter_map(|e| e.progress_core().map(|c| c.borrow().utilization(now)))
+            .sum::<f64>()
+            / self.cfg.nodes as f64;
+
+        RunReport {
+            makespan,
+            tasks_executed: executed,
+            tasks_total,
+            e2e_latency_us: e2e,
+            msg_latency_us: msg,
+            request_latency_us: req,
+            worker_busy,
+            worker_util,
+            comm_util,
+            progress_util,
+            engine_stats: self.engines.iter().map(|e| e.stats()).collect(),
+            class_stats,
+        }
+    }
+
+    /// Chrome-trace JSON of the last execution's task timeline (enable with
+    /// [`crate::ClusterConfig::trace`]); load in chrome://tracing or
+    /// Perfetto. `None` before the first execution.
+    pub fn trace_json(&self) -> Option<String> {
+        let rts = self.rts.borrow();
+        let rts = rts.as_ref()?;
+        let mut merged = amt_simnet::Trace::new(true);
+        for rt in rts {
+            let r = rt.borrow();
+            for s in r.trace.spans() {
+                merged.record(s.track.clone(), s.name.clone(), s.start, s.end);
+            }
+        }
+        Some(merged.to_chrome_json())
+    }
+
+    /// Payload of `version` from whichever node holds it (after a Numeric
+    /// execution).
+    pub fn data(&self, version: VersionId) -> Option<Bytes> {
+        let rts = self.rts.borrow();
+        let rts = rts.as_ref()?;
+        rts.iter().find_map(|rt| rt.borrow().data(version))
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // The engines' registered callbacks hold the `rts` slot, and each
+        // NodeRt holds its engine — an Rc cycle through the slot's
+        // contents. Clear it so the node runtimes (and the task graph and
+        // data store they reference) are actually freed.
+        *self.rts.borrow_mut() = None;
+    }
+}

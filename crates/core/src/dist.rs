@@ -1,0 +1,127 @@
+//! Data distributions: which node owns which datum.
+
+use amt_netmodel::NodeId;
+
+/// Maps data keys to owning nodes.
+pub trait DataDist {
+    fn owner(&self, key: u64) -> NodeId;
+}
+
+/// Round-robin 1-D distribution.
+#[derive(Debug, Clone)]
+pub struct Cyclic1d {
+    pub nodes: usize,
+}
+
+impl DataDist for Cyclic1d {
+    fn owner(&self, key: u64) -> NodeId {
+        (key as usize) % self.nodes
+    }
+}
+
+/// 2-D block-cyclic tile distribution over a `p × q` process grid, the
+/// layout DPLASMA/HiCMA use. Keys encode tile coordinates as
+/// `row * cols + col`.
+#[derive(Debug, Clone)]
+pub struct TileDist2d {
+    /// Tiles per matrix dimension.
+    pub rows: u64,
+    pub cols: u64,
+    /// Process grid.
+    pub p: usize,
+    pub q: usize,
+}
+
+impl TileDist2d {
+    /// Choose a near-square process grid for `nodes` nodes.
+    pub fn square_grid(rows: u64, cols: u64, nodes: usize) -> Self {
+        let mut p = (nodes as f64).sqrt() as usize;
+        while p > 1 && !nodes.is_multiple_of(p) {
+            p -= 1;
+        }
+        let p = p.max(1);
+        TileDist2d {
+            rows,
+            cols,
+            p,
+            q: nodes / p,
+        }
+    }
+
+    pub fn key(&self, row: u64, col: u64) -> u64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    pub fn coords(&self, key: u64) -> (u64, u64) {
+        (key / self.cols, key % self.cols)
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.p * self.q
+    }
+}
+
+impl DataDist for TileDist2d {
+    fn owner(&self, key: u64) -> NodeId {
+        let (r, c) = self.coords(key);
+        (r as usize % self.p) * self.q + (c as usize % self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_wraps() {
+        let d = Cyclic1d { nodes: 3 };
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(4), 1);
+        assert_eq!(d.owner(5), 2);
+    }
+
+    #[test]
+    fn tile2d_roundtrip_and_ownership() {
+        let d = TileDist2d {
+            rows: 8,
+            cols: 8,
+            p: 2,
+            q: 2,
+        };
+        for r in 0..8 {
+            for c in 0..8 {
+                let k = d.key(r, c);
+                assert_eq!(d.coords(k), (r, c));
+                assert!(d.owner(k) < 4);
+            }
+        }
+        // Neighbors in a row alternate across q.
+        assert_ne!(d.owner(d.key(0, 0)), d.owner(d.key(0, 1)));
+        // Same (r%p, c%q) → same owner.
+        assert_eq!(d.owner(d.key(0, 0)), d.owner(d.key(2, 4)));
+    }
+
+    #[test]
+    fn square_grid_factors() {
+        let d = TileDist2d::square_grid(10, 10, 6);
+        assert_eq!(d.p * d.q, 6);
+        assert!(d.p <= d.q);
+        let d = TileDist2d::square_grid(10, 10, 16);
+        assert_eq!((d.p, d.q), (4, 4));
+        let d = TileDist2d::square_grid(10, 10, 1);
+        assert_eq!((d.p, d.q), (1, 1));
+    }
+
+    #[test]
+    fn tile2d_balances_load() {
+        let d = TileDist2d::square_grid(16, 16, 4);
+        let mut counts = [0usize; 4];
+        for r in 0..16 {
+            for c in 0..16 {
+                counts[d.owner(d.key(r, c))] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 64), "{counts:?}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Dynamic task-graph insertion with automatic dependence analysis.
+//!
+//! Writes create new immutable *versions* of a datum (data renaming, like
+//! PaRSEC's data copies), so the only true dependencies are
+//! read-after-write: a task depends on the producer of every version it
+//! reads. Insertion order defines which version a `read_key` refers to,
+//! exactly like PaRSEC's dynamic task discovery interface.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use amt_netmodel::NodeId;
+use bytes::Bytes;
+
+/// User-level datum identifier (e.g. a tile index).
+pub type DataKey = u64;
+
+/// Task index within a graph.
+pub type TaskId = usize;
+
+/// An immutable version of a datum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VersionId(pub usize);
+
+/// A real compute kernel: consumes input payloads, produces one payload per
+/// declared output. Shared so the same graph can be executed repeatedly
+/// (e.g. once per backend) and verified against a sequential oracle.
+pub type Kernel = Rc<dyn Fn(&[Bytes]) -> Vec<Bytes>>;
+
+/// Builder-style description of one task.
+pub struct TaskDesc {
+    pub(crate) name: &'static str,
+    pub(crate) node: Option<NodeId>,
+    pub(crate) flops: f64,
+    pub(crate) efficiency: f64,
+    pub(crate) priority: i64,
+    pub(crate) reads: Vec<ReadRef>,
+    pub(crate) writes: Vec<(DataKey, usize)>,
+    pub(crate) kernel: Option<Kernel>,
+}
+
+pub(crate) enum ReadRef {
+    Version(VersionId),
+    Current(DataKey),
+}
+
+impl TaskDesc {
+    pub fn new(name: &'static str) -> Self {
+        TaskDesc {
+            name,
+            node: None,
+            flops: 0.0,
+            efficiency: 1.0,
+            priority: 0,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            kernel: None,
+        }
+    }
+
+    /// Pin execution to a node. Defaults to the home node of the first
+    /// read, else node 0.
+    pub fn on_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Floating-point operations this task performs (drives the virtual
+    /// duration).
+    pub fn flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Fraction of peak FLOP rate this task class achieves, in (0, 1].
+    pub fn efficiency(mut self, e: f64) -> Self {
+        assert!(e > 0.0 && e <= 1.0, "efficiency must be in (0,1]");
+        self.efficiency = e;
+        self
+    }
+
+    /// Scheduling priority (higher runs first; also prioritizes its input
+    /// communication, §4.1).
+    pub fn priority(mut self, p: i64) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Read a specific version.
+    pub fn read(mut self, v: VersionId) -> Self {
+        self.reads.push(ReadRef::Version(v));
+        self
+    }
+
+    /// Read the current (insertion-time) version of `key`.
+    pub fn read_key(mut self, key: DataKey) -> Self {
+        self.reads.push(ReadRef::Current(key));
+        self
+    }
+
+    /// Write `key`, producing a new version of declared `size` bytes.
+    pub fn write(mut self, key: DataKey, size: usize) -> Self {
+        self.writes.push((key, size));
+        self
+    }
+
+    /// Attach a real kernel (Numeric mode). It receives the read payloads
+    /// in declaration order and must return one payload per write.
+    pub fn kernel(mut self, k: impl Fn(&[Bytes]) -> Vec<Bytes> + 'static) -> Self {
+        self.kernel = Some(Rc::new(k));
+        self
+    }
+}
+
+/// One inserted task.
+pub struct Task {
+    pub id: TaskId,
+    pub name: &'static str,
+    pub node: NodeId,
+    pub flops: f64,
+    pub efficiency: f64,
+    pub priority: i64,
+    pub inputs: Vec<VersionId>,
+    pub outputs: Vec<VersionId>,
+    pub kernel: Option<Kernel>,
+}
+
+/// One version of a datum.
+pub struct Version {
+    pub key: DataKey,
+    pub size: usize,
+    /// Node where this version is produced / initially resides.
+    pub home: NodeId,
+    pub producer: Option<TaskId>,
+    pub consumers: Vec<TaskId>,
+    /// Initial payload for producer-less versions (Numeric mode).
+    pub initial: Option<Bytes>,
+}
+
+/// The immutable task graph handed to [`crate::Cluster::execute`].
+pub struct TaskGraph {
+    pub tasks: Vec<Task>,
+    pub versions: Vec<Version>,
+}
+
+impl TaskGraph {
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn total_flops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+
+    /// Versions that cross nodes (each remote consumer node counts once).
+    pub fn remote_flows(&self) -> usize {
+        self.versions
+            .iter()
+            .map(|v| {
+                let mut nodes: Vec<NodeId> = v
+                    .consumers
+                    .iter()
+                    .map(|&t| self.tasks[t].node)
+                    .filter(|&n| n != v.home)
+                    .collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                nodes.len()
+            })
+            .sum()
+    }
+
+    /// Execute every kernel sequentially in insertion order — the
+    /// correctness oracle for Numeric-mode runs.
+    pub fn sequential_oracle(&self) -> HashMap<VersionId, Bytes> {
+        let mut store: HashMap<VersionId, Bytes> = HashMap::new();
+        for (i, v) in self.versions.iter().enumerate() {
+            if let Some(b) = &v.initial {
+                store.insert(VersionId(i), b.clone());
+            }
+        }
+        for t in &self.tasks {
+            let Some(kernel) = &t.kernel else { continue };
+            let inputs: Vec<Bytes> = t
+                .inputs
+                .iter()
+                .filter(|v| self.versions[v.0].size > 0) // CTL flows carry no payload
+                .map(|v| store.get(v).expect("oracle: input missing").clone())
+                .collect();
+            let outs = kernel(&inputs);
+            assert_eq!(outs.len(), t.outputs.len(), "kernel output arity");
+            for (vid, b) in t.outputs.iter().zip(outs) {
+                store.insert(*vid, b);
+            }
+        }
+        store
+    }
+}
+
+/// Incremental graph builder.
+pub struct GraphBuilder {
+    nodes: usize,
+    tasks: Vec<Task>,
+    versions: Vec<Version>,
+    current: HashMap<DataKey, VersionId>,
+}
+
+impl GraphBuilder {
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0);
+        GraphBuilder {
+            nodes,
+            tasks: Vec::new(),
+            versions: Vec::new(),
+            current: HashMap::new(),
+        }
+    }
+
+    /// Declare an initial datum residing on `node`. Returns its version.
+    pub fn data(
+        &mut self,
+        key: DataKey,
+        size: usize,
+        node: NodeId,
+        bytes: Option<Bytes>,
+    ) -> VersionId {
+        assert!(node < self.nodes, "node {node} out of range");
+        if let Some(b) = &bytes {
+            assert_eq!(b.len(), size, "declared size must match payload");
+        }
+        let vid = VersionId(self.versions.len());
+        self.versions.push(Version {
+            key,
+            size,
+            home: node,
+            producer: None,
+            consumers: Vec::new(),
+            initial: bytes,
+        });
+        let prev = self.current.insert(key, vid);
+        assert!(prev.is_none(), "initial data for key {key} declared twice");
+        vid
+    }
+
+    /// Current version of `key`, if any.
+    pub fn current(&self, key: DataKey) -> Option<VersionId> {
+        self.current.get(&key).copied()
+    }
+
+    /// Insert a task; returns its id.
+    pub fn insert(&mut self, desc: TaskDesc) -> TaskId {
+        let id = self.tasks.len();
+        let inputs: Vec<VersionId> = desc
+            .reads
+            .iter()
+            .map(|r| match r {
+                ReadRef::Version(v) => *v,
+                ReadRef::Current(k) => *self
+                    .current
+                    .get(k)
+                    .unwrap_or_else(|| panic!("read of key {k} with no version")),
+            })
+            .collect();
+        let node = desc
+            .node
+            .unwrap_or_else(|| inputs.first().map(|v| self.versions[v.0].home).unwrap_or(0));
+        assert!(node < self.nodes, "node {node} out of range");
+        for &v in &inputs {
+            self.versions[v.0].consumers.push(id);
+        }
+        let outputs: Vec<VersionId> = desc
+            .writes
+            .iter()
+            .map(|&(key, size)| {
+                let vid = VersionId(self.versions.len());
+                self.versions.push(Version {
+                    key,
+                    size,
+                    home: node,
+                    producer: Some(id),
+                    consumers: Vec::new(),
+                    initial: None,
+                });
+                self.current.insert(key, vid);
+                vid
+            })
+            .collect();
+        self.tasks.push(Task {
+            id,
+            name: desc.name,
+            node,
+            flops: desc.flops,
+            efficiency: desc.efficiency,
+            priority: desc.priority,
+            inputs,
+            outputs,
+            kernel: desc.kernel,
+        });
+        id
+    }
+
+    pub fn build(self) -> TaskGraph {
+        TaskGraph {
+            tasks: self.tasks,
+            versions: self.versions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_write_chains() {
+        let mut g = GraphBuilder::new(1);
+        g.data(0, 8, 0, None);
+        let t1 = g.insert(TaskDesc::new("w1").read_key(0).write(0, 8));
+        let t2 = g.insert(TaskDesc::new("w2").read_key(0).write(0, 8));
+        let graph = g.build();
+        // t2 reads the version produced by t1, not the initial one.
+        assert_eq!(graph.versions[graph.tasks[t2].inputs[0].0].producer, Some(t1));
+        // The initial version's only consumer is t1.
+        assert_eq!(graph.versions[0].consumers, vec![t1]);
+    }
+
+    #[test]
+    fn renaming_removes_anti_dependencies() {
+        let mut g = GraphBuilder::new(1);
+        let v0 = g.data(0, 8, 0, None);
+        let r1 = g.insert(TaskDesc::new("reader1").read(v0));
+        let r2 = g.insert(TaskDesc::new("reader2").read(v0));
+        let w = g.insert(TaskDesc::new("writer").write(0, 8));
+        let graph = g.build();
+        // The writer has no inputs at all: no write-after-read edges.
+        assert!(graph.tasks[w].inputs.is_empty());
+        assert_eq!(graph.versions[v0.0].consumers, vec![r1, r2]);
+    }
+
+    #[test]
+    fn default_node_follows_first_input() {
+        let mut g = GraphBuilder::new(4);
+        let v = g.data(0, 8, 3, None);
+        let t = g.insert(TaskDesc::new("t").read(v));
+        assert_eq!(g.tasks[t].node, 3);
+    }
+
+    #[test]
+    fn remote_flow_count() {
+        let mut g = GraphBuilder::new(3);
+        let v = g.data(0, 8, 0, None);
+        g.insert(TaskDesc::new("a").on_node(1).read(v));
+        g.insert(TaskDesc::new("b").on_node(1).read(v));
+        g.insert(TaskDesc::new("c").on_node(2).read(v));
+        g.insert(TaskDesc::new("d").on_node(0).read(v));
+        let graph = g.build();
+        // Nodes 1 and 2 each need one flow; node 0 is local.
+        assert_eq!(graph.remote_flows(), 2);
+    }
+
+    #[test]
+    fn sequential_oracle_runs_kernels() {
+        let mut g = GraphBuilder::new(1);
+        g.data(0, 1, 0, Some(Bytes::from_static(&[1])));
+        g.insert(
+            TaskDesc::new("inc")
+                .read_key(0)
+                .write(0, 1)
+                .kernel(|ins| vec![Bytes::from(vec![ins[0][0] + 1])]),
+        );
+        g.insert(
+            TaskDesc::new("double")
+                .read_key(0)
+                .write(0, 1)
+                .kernel(|ins| vec![Bytes::from(vec![ins[0][0] * 2])]),
+        );
+        let last = g.current(0).expect("current version");
+        let graph = g.build();
+        let store = graph.sequential_oracle();
+        assert_eq!(store[&last][0], 4); // (1+1)*2
+    }
+
+    #[test]
+    #[should_panic(expected = "read of key 5 with no version")]
+    fn reading_unknown_key_panics() {
+        let mut g = GraphBuilder::new(1);
+        g.insert(TaskDesc::new("bad").read_key(5));
+    }
+}

@@ -1,0 +1,617 @@
+//! Per-node runtime: ready queue, worker cores, data store, and the
+//! ACTIVATE / GET DATA / put protocol handlers (paper Figure 1).
+
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+use amt_comm::{AmEvent, CommEngine, PutEvent, PutRequest};
+use amt_netmodel::NodeId;
+use amt_simnet::{CoreHandle, OnlineStats, Shared, Sim, SimTime, Trace};
+use bytes::{Bytes, BytesMut};
+
+use crate::config::{ClusterConfig, ExecMode};
+use crate::graph::{TaskGraph, TaskId, VersionId};
+use crate::records::{ActivateRec, GetRec, PutCb, ACTIVATE_WIRE_BYTES, GET_WIRE_BYTES};
+
+/// AM tag for task-activation messages.
+pub(crate) const AM_ACTIVATE: u64 = 1;
+/// AM tag for data requests.
+pub(crate) const AM_GETDATA: u64 = 2;
+/// One-sided callback tag for data arrival.
+pub(crate) const RTAG_DATA: u64 = 1;
+
+enum DataState {
+    /// Payload available locally (bytes absent in CostOnly mode).
+    Present(Option<Bytes>),
+    /// Announced by an ACTIVATE; GET DATA queued or in flight.
+    Requested,
+}
+
+#[derive(PartialEq, Eq)]
+struct Ready {
+    priority: i64,
+    seq: u64,
+    task: TaskId,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then insertion order.
+        (self.priority, std::cmp::Reverse(self.seq)).cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+    }
+}
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct PendingGet {
+    priority: i64,
+    seq: u64,
+    version: usize,
+    src: NodeId,
+    size: usize,
+    activate_sent_at_ns: u64,
+}
+
+impl Ord for PendingGet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, std::cmp::Reverse(self.seq)).cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+    }
+}
+impl PartialOrd for PendingGet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+pub(crate) struct NodeRt {
+    pub node: NodeId,
+    pub graph: Rc<TaskGraph>,
+    pub engine: Rc<CommEngine>,
+    pub cfg: ClusterConfig,
+    pub workers: Vec<CoreHandle>,
+    idle_workers: Vec<usize>,
+    ready: BinaryHeap<Ready>,
+    /// Unsatisfied input count per task (only local tasks maintained).
+    remaining: Vec<usize>,
+    store: HashMap<VersionId, DataState>,
+    pending_gets: BinaryHeap<PendingGet>,
+    inflight_gets: usize,
+    inflight_get_bytes: usize,
+    /// Multicast subtrees to forward once the version's data arrives.
+    pending_forwards: HashMap<VersionId, (Vec<u32>, i64, u64)>,
+    seq: u64,
+    pub executed: u64,
+    pub worker_busy: SimTime,
+    /// Per task-class execution counts and busy time.
+    pub class_stats: HashMap<&'static str, (u64, SimTime)>,
+    /// End-to-end latency per flow: ACTIVATE send → data arrival (§6.4.2).
+    pub e2e: OnlineStats,
+    /// Individual ACTIVATE message latency (§6.4.3).
+    pub msg_lat: OnlineStats,
+    /// Control-path latency: ACTIVATE send → GET DATA arrival at the data
+    /// owner (the software component of the end-to-end path, excluding the
+    /// bulk transfer itself).
+    pub req_lat: OnlineStats,
+    /// Optional execution timeline (Chrome-trace export).
+    pub trace: Trace,
+}
+
+pub(crate) type RtHandle = Shared<NodeRt>;
+
+impl NodeRt {
+    pub fn new(
+        node: NodeId,
+        graph: Rc<TaskGraph>,
+        engine: Rc<CommEngine>,
+        cfg: ClusterConfig,
+        workers: Vec<CoreHandle>,
+    ) -> NodeRt {
+        let nworkers = workers.len();
+        let trace = Trace::new(cfg.trace);
+        NodeRt {
+            node,
+            graph,
+            engine,
+            cfg,
+            workers,
+            idle_workers: (0..nworkers).rev().collect(),
+            ready: BinaryHeap::new(),
+            remaining: Vec::new(),
+            store: HashMap::new(),
+            pending_gets: BinaryHeap::new(),
+            inflight_gets: 0,
+            inflight_get_bytes: 0,
+            pending_forwards: HashMap::new(),
+            seq: 0,
+            executed: 0,
+            worker_busy: SimTime::ZERO,
+            class_stats: HashMap::new(),
+            e2e: OnlineStats::new(),
+            msg_lat: OnlineStats::new(),
+            req_lat: OnlineStats::new(),
+            trace,
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Initialize local state: resident initial data, dependence counters,
+    /// initially-ready tasks, and ACTIVATEs for initial data needed
+    /// remotely.
+    pub fn init(rt: &RtHandle, sim: &mut Sim) {
+        let (graph, node) = {
+            let r = rt.borrow();
+            (r.graph.clone(), r.node)
+        };
+        {
+            let mut r = rt.borrow_mut();
+            r.remaining = vec![0; graph.tasks.len()];
+            for (i, v) in graph.versions.iter().enumerate() {
+                if v.producer.is_none() && v.home == node {
+                    r.store
+                        .insert(VersionId(i), DataState::Present(v.initial.clone()));
+                }
+            }
+            for t in &graph.tasks {
+                if t.node != node {
+                    continue;
+                }
+                let missing = t
+                    .inputs
+                    .iter()
+                    .filter(|v| !matches!(r.store.get(v), Some(DataState::Present(_))))
+                    .count();
+                r.remaining[t.id] = missing;
+                if missing == 0 {
+                    let seq = r.next_seq();
+                    r.ready.push(Ready {
+                        priority: t.priority,
+                        seq,
+                        task: t.id,
+                    });
+                }
+            }
+        }
+        // Announce initial data to remote consumers (pseudo-completion of a
+        // "source" task at t=0).
+        for (i, v) in graph.versions.iter().enumerate() {
+            if v.producer.is_none() && v.home == node {
+                NodeRt::announce(rt, sim, VersionId(i), None);
+            }
+        }
+        NodeRt::dispatch(rt, sim);
+    }
+
+    /// Send ACTIVATE records for `version` to every remote node that
+    /// consumes it. In multithreaded mode the worker sends directly and the
+    /// costs are returned for charging to the worker (`None` ⇒ funneled).
+    fn announce(rt: &RtHandle, sim: &mut Sim, version: VersionId, mt_cost: Option<&mut SimTime>) {
+        let (graph, node, engine, size) = {
+            let r = rt.borrow();
+            let size = match r.store.get(&version) {
+                Some(DataState::Present(Some(b))) => b.len(),
+                _ => r.graph.versions[version.0].size,
+            };
+            (r.graph.clone(), r.node, r.engine.clone(), size)
+        };
+        let v = &graph.versions[version.0];
+        // Group remote consumers by node, remembering the best priority.
+        let mut dests: Vec<(NodeId, i64)> = Vec::new();
+        for &t in &v.consumers {
+            let tn = graph.tasks[t].node;
+            if tn == node {
+                continue;
+            }
+            match dests.iter_mut().find(|(n, _)| *n == tn) {
+                Some((_, p)) => *p = (*p).max(graph.tasks[t].priority),
+                None => dests.push((tn, graph.tasks[t].priority)),
+            }
+        }
+        if dests.is_empty() {
+            return;
+        }
+        let mt = mt_cost.is_some() && rt.borrow().cfg.multithread_am;
+        let tree_min = rt.borrow().cfg.bcast_tree_min;
+        let sent_at = sim.now().as_ns();
+
+        // Wide broadcasts go through a binomial multicast tree (Figure 1).
+        let sends: Vec<ActivateRec_Send> = if tree_min.is_some_and(|m| dests.len() >= m) {
+            let best_priority = dests.iter().map(|(_, p)| *p).max().expect("non-empty");
+            let mut ids: Vec<u32> = dests.iter().map(|(n, _)| *n as u32).collect();
+            ids.sort_unstable();
+            crate::records::tree_children(&ids)
+                .into_iter()
+                .map(|(child, subtree)| ActivateRec_Send {
+                    dst: child as NodeId,
+                    rec: ActivateRec {
+                        version: version.0 as u64,
+                        size: size as u64,
+                        priority: best_priority,
+                        sent_at_ns: sent_at,
+                        forward: subtree,
+                    },
+                })
+                .collect()
+        } else {
+            dests
+                .into_iter()
+                .map(|(dst, priority)| ActivateRec_Send {
+                    dst,
+                    rec: ActivateRec::direct(version.0 as u64, size as u64, priority, sent_at),
+                })
+                .collect()
+        };
+
+        let mut extra = SimTime::ZERO;
+        for s in sends {
+            let wire = ACTIVATE_WIRE_BYTES + 4 * s.rec.forward.len();
+            let payload = s.rec.encode_one();
+            if mt {
+                extra += engine.send_am_direct(sim, s.dst, AM_ACTIVATE, wire, Some(payload));
+            } else {
+                engine.send_am(sim, s.dst, AM_ACTIVATE, wire, Some(payload));
+                extra += rt.borrow().cfg.cost.submit_cost;
+            }
+        }
+        if let Some(c) = mt_cost {
+            *c += extra;
+        }
+    }
+
+    /// Forward a multicast announcement down the subtree once the data is
+    /// locally present (called from the communication-thread context).
+    fn forward_subtree(
+        rt: &RtHandle,
+        sim: &mut Sim,
+        version: VersionId,
+        subtree: &[u32],
+        priority: i64,
+        sent_at_ns: u64,
+        size: usize,
+    ) {
+        let engine = rt.borrow().engine.clone();
+        for (child, sub) in crate::records::tree_children(subtree) {
+            let rec = ActivateRec {
+                version: version.0 as u64,
+                size: size as u64,
+                priority,
+                sent_at_ns,
+                forward: sub,
+            };
+            let wire = ACTIVATE_WIRE_BYTES + 4 * rec.forward.len();
+            engine.send_am(sim, child as NodeId, AM_ACTIVATE, wire, Some(rec.encode_one()));
+        }
+    }
+
+    /// Assign ready tasks to idle workers.
+    pub fn dispatch(rt: &RtHandle, sim: &mut Sim) {
+        loop {
+            let (task, widx, dur) = {
+                let mut r = rt.borrow_mut();
+                if r.ready.is_empty() || r.idle_workers.is_empty() {
+                    return;
+                }
+                let ready = r.ready.pop().expect("checked non-empty");
+                let widx = r.idle_workers.pop().expect("checked non-empty");
+                let t = &r.graph.tasks[ready.task];
+                let dur = r.cfg.cost.task_duration(t.flops, t.efficiency);
+                let name = t.name;
+                r.worker_busy += dur;
+                let entry = r.class_stats.entry(name).or_insert((0, SimTime::ZERO));
+                entry.0 += 1;
+                entry.1 += dur;
+                (ready.task, widx, dur)
+            };
+            let rt2 = rt.clone();
+            let core = rt.borrow().workers[widx].clone();
+            core.borrow_mut().charge(sim, dur, move |sim| {
+                {
+                    let mut r = rt2.borrow_mut();
+                    if r.trace.enabled() {
+                        let end = sim.now();
+                        let name = r.graph.tasks[task].name;
+                        let node = r.node;
+                        r.trace
+                            .record(format!("n{node}.w{widx}"), name, end - dur, end);
+                    }
+                }
+                NodeRt::task_done(&rt2, sim, task, widx);
+            });
+        }
+    }
+
+    /// A task finished on a worker: run its kernel (Numeric mode), store
+    /// outputs, release local consumers, announce to remote ones, then
+    /// return the worker to the idle pool.
+    fn task_done(rt: &RtHandle, sim: &mut Sim, task: TaskId, widx: usize) {
+        let graph = rt.borrow().graph.clone();
+        let t = &graph.tasks[task];
+
+        // Execute the kernel on real payloads.
+        let outputs: Vec<Option<Bytes>> = {
+            let r = rt.borrow();
+            if r.cfg.mode == ExecMode::Numeric {
+                if let Some(kernel) = &t.kernel {
+                    // Control (size-0) inputs carry no payload and are not
+                    // handed to kernels.
+                    let inputs: Vec<Bytes> = t
+                        .inputs
+                        .iter()
+                        .filter(|v| graph.versions[v.0].size > 0)
+                        .map(|v| match r.store.get(v) {
+                            Some(DataState::Present(Some(b))) => b.clone(),
+                            _ => panic!(
+                                "task {} ran without input version {:?} present",
+                                t.name, v
+                            ),
+                        })
+                        .collect();
+                    drop(r);
+                    let outs = kernel(&inputs);
+                    assert_eq!(outs.len(), t.outputs.len(), "kernel output arity");
+                    outs.into_iter().map(Some).collect()
+                } else {
+                    t.outputs.iter().map(|_| None).collect()
+                }
+            } else {
+                t.outputs.iter().map(|_| None).collect()
+            }
+        };
+
+        {
+            let mut r = rt.borrow_mut();
+            r.executed += 1;
+            for (vid, bytes) in t.outputs.iter().zip(outputs) {
+                let prev = r.store.insert(*vid, DataState::Present(bytes));
+                assert!(prev.is_none(), "output version produced twice");
+            }
+        }
+
+        // Release local consumers of each output.
+        for vid in &t.outputs {
+            NodeRt::release_local(rt, *vid);
+        }
+
+        // Announce to remote consumers; in multithreaded mode the send cost
+        // extends the worker's occupancy.
+        let mut extra = SimTime::ZERO;
+        for vid in &t.outputs {
+            NodeRt::announce(rt, sim, *vid, Some(&mut extra));
+        }
+
+        let rt2 = rt.clone();
+        let core = rt.borrow().workers[widx].clone();
+        if extra.is_zero() {
+            extra = SimTime::from_ns(1);
+        }
+        rt.borrow_mut().worker_busy += extra;
+        core.borrow_mut().charge(sim, extra, move |sim| {
+            rt2.borrow_mut().idle_workers.push(widx);
+            NodeRt::dispatch(&rt2, sim);
+        });
+        NodeRt::dispatch(rt, sim);
+    }
+
+    fn release_local(rt: &RtHandle, version: VersionId) {
+        let graph = rt.borrow().graph.clone();
+        let node = rt.borrow().node;
+        let mut r = rt.borrow_mut();
+        for &c in &graph.versions[version.0].consumers {
+            if graph.tasks[c].node != node {
+                continue;
+            }
+            let rem = &mut r.remaining[c];
+            debug_assert!(*rem > 0, "double release of task {c}");
+            *rem -= 1;
+            if *rem == 0 {
+                let seq = r.next_seq();
+                r.ready.push(Ready {
+                    priority: graph.tasks[c].priority,
+                    seq,
+                    task: c,
+                });
+            }
+        }
+    }
+
+    /// ACTIVATE callback (communication-thread context): prioritize each
+    /// announced flow and request it now or defer it behind the in-flight
+    /// window (§4.1).
+    pub fn on_activate(rt: &RtHandle, sim: &mut Sim, ev: AmEvent) -> SimTime {
+        let recs = ActivateRec::decode_all(ev.data.expect("ACTIVATE payload"));
+        let mut cost = SimTime::ZERO;
+        {
+            let mut r = rt.borrow_mut();
+            let now_ns = sim.now().as_ns();
+            let mut ctl_released = Vec::new();
+            for rec in &recs {
+                cost += r.cfg.cost.activate_record_cost;
+                r.msg_lat
+                    .record((SimTime::from_ns(now_ns) - SimTime::from_ns(rec.sent_at_ns)).as_us_f64());
+                let vid = VersionId(rec.version as usize);
+                if rec.size == 0 {
+                    // Control dependency (PaRSEC CTL flow): the ACTIVATE
+                    // itself satisfies it — no GET DATA / put round trip.
+                    let prev = r.store.insert(vid, DataState::Present(None));
+                    assert!(prev.is_none(), "version announced twice to one node");
+                    ctl_released.push((vid, rec.clone()));
+                    continue;
+                }
+                let prev = r.store.insert(vid, DataState::Requested);
+                assert!(prev.is_none(), "version announced twice to one node");
+                if !rec.forward.is_empty() {
+                    r.pending_forwards.insert(
+                        vid,
+                        (rec.forward.clone(), rec.priority, rec.sent_at_ns),
+                    );
+                }
+                let seq = r.next_seq();
+                r.pending_gets.push(PendingGet {
+                    priority: rec.priority,
+                    seq,
+                    version: rec.version as usize,
+                    src: ev.src,
+                    size: rec.size as usize,
+                    activate_sent_at_ns: rec.sent_at_ns,
+                });
+            }
+            drop(r);
+            if !ctl_released.is_empty() {
+                for (vid, rec) in ctl_released {
+                    NodeRt::release_local(rt, vid);
+                    if !rec.forward.is_empty() {
+                        NodeRt::forward_subtree(
+                            rt, sim, vid, &rec.forward, rec.priority, rec.sent_at_ns, 0,
+                        );
+                    }
+                }
+                let rt2 = rt.clone();
+                sim.schedule_now(move |sim| NodeRt::dispatch(&rt2, sim));
+            }
+        }
+        cost + NodeRt::pump_gets(rt, sim)
+    }
+
+    /// Send GET DATA for the highest-priority pending flows while the
+    /// in-flight window has room. Communication-thread context.
+    fn pump_gets(rt: &RtHandle, sim: &mut Sim) -> SimTime {
+        let mut cost = SimTime::ZERO;
+        loop {
+            let (engine, get) = {
+                let mut r = rt.borrow_mut();
+                if r.inflight_gets >= r.cfg.get_window {
+                    return cost;
+                }
+                let next_size = match r.pending_gets.peek() {
+                    Some(g) => g.size,
+                    None => return cost,
+                };
+                // Byte budget (priority-relative deferral): beyond the
+                // minimum concurrency, defer fetches that would exceed it.
+                if r.cfg.get_window_bytes > 0
+                    && r.inflight_gets >= r.cfg.get_window_min_flows
+                    && r.inflight_get_bytes + next_size > r.cfg.get_window_bytes
+                {
+                    return cost;
+                }
+                let g = r.pending_gets.pop().expect("peeked non-empty");
+                r.inflight_gets += 1;
+                r.inflight_get_bytes += g.size;
+                (r.engine.clone(), g)
+            };
+            let rec = GetRec {
+                version: get.version as u64,
+                activate_sent_at_ns: get.activate_sent_at_ns,
+            };
+            engine.send_am_opts(sim, get.src, AM_GETDATA, GET_WIRE_BYTES, Some(rec.encode()), false);
+            cost += rt.borrow().cfg.cost.get_send_cost;
+        }
+    }
+
+    /// GET DATA callback at the data owner: start the put (Figure 1).
+    pub fn on_getdata(rt: &RtHandle, sim: &mut Sim, ev: AmEvent) -> SimTime {
+        let recs = GetRec::decode_all(ev.data.expect("GET DATA payload"));
+        let mut cost = SimTime::ZERO;
+        for rec in recs {
+            {
+                let mut r = rt.borrow_mut();
+                let lat = sim.now() - SimTime::from_ns(rec.activate_sent_at_ns);
+                r.req_lat.record(lat.as_us_f64());
+            }
+            let (engine, size, data) = {
+                let r = rt.borrow();
+                let vid = VersionId(rec.version as usize);
+                let (size, data) = match r.store.get(&vid) {
+                    Some(DataState::Present(Some(b))) => (b.len(), Some(b.clone())),
+                    Some(DataState::Present(None)) => (r.graph.versions[vid.0].size, None),
+                    _ => panic!("GET DATA for version not present at owner"),
+                };
+                (r.engine.clone(), size, data)
+            };
+            cost += rt.borrow().cfg.cost.get_request_cost;
+            let cb = PutCb {
+                version: rec.version,
+                activate_sent_at_ns: rec.activate_sent_at_ns,
+            };
+            engine.put(
+                sim,
+                PutRequest {
+                    dst: ev.src,
+                    size,
+                    data,
+                    r_tag: RTAG_DATA,
+                    cb_data: cb.encode(),
+                    on_local: Box::new(|_sim, _eng| SimTime::ZERO),
+                },
+            );
+        }
+        cost
+    }
+
+    /// Data-arrival callback (one-sided completion at the consumer node):
+    /// store the payload, record end-to-end latency, release consumers.
+    pub fn on_data(rt: &RtHandle, sim: &mut Sim, ev: PutEvent) -> SimTime {
+        let cb = PutCb::decode(ev.cb_data.clone());
+        let vid = VersionId(cb.version as usize);
+        let cost;
+        {
+            let mut r = rt.borrow_mut();
+            let e2e_us =
+                (sim.now() - SimTime::from_ns(cb.activate_sent_at_ns)).as_us_f64();
+            r.e2e.record(e2e_us);
+            let prev = r.store.insert(vid, DataState::Present(ev.data));
+            assert!(
+                matches!(prev, Some(DataState::Requested)),
+                "data arrived for un-requested version"
+            );
+            debug_assert!(r.inflight_gets > 0);
+            r.inflight_gets -= 1;
+            r.inflight_get_bytes = r.inflight_get_bytes.saturating_sub(ev.size);
+            cost = r.cfg.cost.arrival_cost;
+        }
+        NodeRt::release_local(rt, vid);
+        // Multicast relay: now that the data is local, announce it down the
+        // subtree; children will GET it from this node.
+        let fwd = rt.borrow_mut().pending_forwards.remove(&vid);
+        if let Some((subtree, priority, sent_at_ns)) = fwd {
+            NodeRt::forward_subtree(rt, sim, vid, &subtree, priority, sent_at_ns, ev.size);
+        }
+        let cost = cost + NodeRt::pump_gets(rt, sim);
+        // Worker dispatch happens outside the communication thread.
+        let rt2 = rt.clone();
+        sim.schedule_now(move |sim| NodeRt::dispatch(&rt2, sim));
+        cost
+    }
+
+    /// Payload of the current state of `version`, if locally present.
+    pub fn data(&self, version: VersionId) -> Option<Bytes> {
+        match self.store.get(&version) {
+            Some(DataState::Present(b)) => b.clone(),
+            _ => None,
+        }
+    }
+}
+
+#[allow(non_camel_case_types)]
+struct ActivateRec_Send {
+    dst: NodeId,
+    rec: ActivateRec,
+}
+
+/// Encode several ACTIVATE records into one payload (used by tests).
+#[allow(dead_code)]
+pub(crate) fn encode_records(recs: &[ActivateRec]) -> Bytes {
+    let mut b = BytesMut::with_capacity(recs.iter().map(|r| r.enc_len()).sum());
+    for r in recs {
+        r.encode_into(&mut b);
+    }
+    b.freeze()
+}

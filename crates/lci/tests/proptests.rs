@@ -1,0 +1,133 @@
+//! Property tests for LCI resource conservation and protocol integrity.
+
+use amt_lci::{Lci, LciCosts, LciWorld, OnComplete};
+use amt_netmodel::{Fabric, FabricConfig};
+use amt_simnet::{Sim, SimTime};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn setup(costs: LciCosts) -> (Sim, Vec<Lci>) {
+    let sim = Sim::new();
+    let fabric = Fabric::new(FabricConfig::expanse(2));
+    let eps = LciWorld::create(&fabric, costs);
+    (sim, eps)
+}
+
+fn drive(sim: &mut Sim, eps: &[Lci]) {
+    loop {
+        let mut any = false;
+        for ep in eps {
+            if ep.has_work() {
+                ep.progress(sim);
+                any = true;
+            }
+        }
+        if !sim.step() && !any {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every direct send pairs with its matching receive and delivers its
+    /// payload intact, under arbitrary (src-tag, size) mixes and arbitrary
+    /// post order.
+    #[test]
+    fn direct_rendezvous_pairs_and_delivers(
+        ops in prop::collection::vec((0u64..5, 1usize..100_000), 1..20),
+        recv_first in any::<bool>(),
+    ) {
+        let (mut sim, eps) = setup(LciCosts::default());
+        eps[0].set_am_handler(|_, _| SimTime::ZERO);
+        eps[1].set_am_handler(|_, _| SimTime::ZERO);
+        let got: Rc<RefCell<Vec<(u64, usize, Bytes)>>> = Rc::new(RefCell::new(Vec::new()));
+
+        let mut posted = 0u64;
+        let mut post_recvs = |sim: &mut Sim| {
+            for (i, &(rtag, _size)) in ops.iter().enumerate() {
+                let g = got.clone();
+                eps[1]
+                    .recvd(
+                        sim,
+                        0,
+                        rtag,
+                        i as u64,
+                        OnComplete::Handler(Box::new(move |_s, e| {
+                            g.borrow_mut().push((e.rtag, e.size, e.data.expect("payload")));
+                            SimTime::ZERO
+                        })),
+                    )
+                    .expect("recvd");
+                posted += 1;
+            }
+        };
+        if recv_first {
+            post_recvs(&mut sim);
+        }
+        for &(rtag, size) in &ops {
+            let data = Bytes::from(vec![(rtag as u8).wrapping_add(size as u8); size]);
+            eps[0]
+                .sendd(&mut sim, 1, rtag, size, Some(data), 0, OnComplete::None)
+                .expect("sendd");
+        }
+        if !recv_first {
+            drive(&mut sim, &eps);
+            post_recvs(&mut sim);
+        }
+        drive(&mut sim, &eps);
+
+        let got = got.borrow();
+        prop_assert_eq!(got.len(), ops.len());
+        // Every send pairs with a receive of the same rtag and size.
+        // (Completion *order* may differ: small DATA messages ride the
+        // control lane and can overtake multi-chunk bulk transfers.)
+        for rtag in 0..5u64 {
+            let mut sent: Vec<usize> =
+                ops.iter().filter(|(t, _)| *t == rtag).map(|(_, s)| *s).collect();
+            let mut recvd: Vec<usize> =
+                got.iter().filter(|(t, _, _)| *t == rtag).map(|(_, s, _)| *s).collect();
+            sent.sort_unstable();
+            recvd.sort_unstable();
+            prop_assert_eq!(sent, recvd, "rtag {} pairing", rtag);
+        }
+        for (_, size, data) in got.iter() {
+            prop_assert_eq!(data.len(), *size);
+        }
+    }
+
+    /// Packet pools conserve: after quiescence the endpoint accepts as
+    /// many buffered sends as its pool capacity again.
+    #[test]
+    fn tx_packet_pool_conserves(pool in 1usize..6, batches in 1usize..5) {
+        let costs = LciCosts { tx_packets: pool, ..Default::default() };
+        let (mut sim, eps) = setup(costs);
+        let ep1 = eps[1].clone();
+        eps[1].set_am_handler(move |sim, m| {
+            if m.owns_packet {
+                ep1.buffer_free(sim);
+            }
+            SimTime::ZERO
+        });
+        eps[0].set_am_handler(|_, _| SimTime::ZERO);
+        for _ in 0..batches {
+            let mut sent = 0;
+            // Fill the pool.
+            while eps[0].sendb(&mut sim, 1, 0, 512, None).is_ok() {
+                sent += 1;
+                prop_assert!(sent <= pool, "pool over-granted");
+            }
+            prop_assert_eq!(sent, pool);
+            drive(&mut sim, &eps);
+        }
+        // After draining, the full pool is available again.
+        let mut sent = 0;
+        while eps[0].sendb(&mut sim, 1, 0, 512, None).is_ok() {
+            sent += 1;
+        }
+        prop_assert_eq!(sent, pool);
+    }
+}

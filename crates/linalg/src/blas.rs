@@ -1,0 +1,281 @@
+//! BLAS-3 kernels used by the tile Cholesky: GEMM, SYRK, TRSM, POTRF.
+
+use crate::matrix::Matrix;
+
+/// Transpose selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    No,
+    Yes,
+}
+
+/// `C ← α · op(A) · op(B) + β · C`.
+pub fn gemm(
+    alpha: f64,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (am, ak) = match ta {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
+    };
+    let (bk, bn) = match tb {
+        Trans::No => (b.rows(), b.cols()),
+        Trans::Yes => (b.cols(), b.rows()),
+    };
+    assert_eq!(ak, bk, "gemm inner dimensions");
+    assert_eq!(c.rows(), am, "gemm C rows");
+    assert_eq!(c.cols(), bn, "gemm C cols");
+
+    if beta != 1.0 {
+        for j in 0..bn {
+            for v in c.col_mut(j) {
+                *v *= beta;
+            }
+        }
+    }
+    // jik with column access; specialize the common (No, No) case for a
+    // cache-friendly saxpy inner loop.
+    match (ta, tb) {
+        (Trans::No, Trans::No) => {
+            for j in 0..bn {
+                for l in 0..ak {
+                    let blj = alpha * b.get(l, j);
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let acol = a.col(l);
+                    let ccol = c.col_mut(j);
+                    for i in 0..am {
+                        ccol[i] += blj * acol[i];
+                    }
+                }
+            }
+        }
+        _ => {
+            let at = |i: usize, l: usize| match ta {
+                Trans::No => a.get(i, l),
+                Trans::Yes => a.get(l, i),
+            };
+            let bt = |l: usize, j: usize| match tb {
+                Trans::No => b.get(l, j),
+                Trans::Yes => b.get(j, l),
+            };
+            for j in 0..bn {
+                for i in 0..am {
+                    let mut s = 0.0;
+                    for l in 0..ak {
+                        s += at(i, l) * bt(l, j);
+                    }
+                    c.add_assign_at(i, j, alpha * s);
+                }
+            }
+        }
+    }
+}
+
+/// `C ← α · A · Aᵀ + β · C`, updating the full (symmetric) `C`.
+pub fn syrk_lower(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), a.rows());
+    let n = a.rows();
+    let k = a.cols();
+    if beta != 1.0 {
+        for j in 0..n {
+            for v in c.col_mut(j) {
+                *v *= beta;
+            }
+        }
+    }
+    for j in 0..n {
+        for l in 0..k {
+            let ajl = alpha * a.get(j, l);
+            if ajl == 0.0 {
+                continue;
+            }
+            for i in j..n {
+                let v = ajl * a.get(i, l);
+                c.add_assign_at(i, j, v);
+            }
+        }
+    }
+    // Mirror to the upper triangle so downstream dense kernels can treat C
+    // as a full matrix.
+    for j in 0..n {
+        for i in (j + 1)..n {
+            let v = c.get(i, j);
+            c.set(j, i, v);
+        }
+    }
+}
+
+/// Solve `L · X = B` in place (`B ← L⁻¹ B`), `L` lower-triangular.
+pub fn trsm_left_lower(l: &Matrix, b: &mut Matrix) {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(b.rows(), n);
+    for j in 0..b.cols() {
+        for i in 0..n {
+            let mut s = b.get(i, j);
+            for k in 0..i {
+                s -= l.get(i, k) * b.get(k, j);
+            }
+            b.set(i, j, s / l.get(i, i));
+        }
+    }
+}
+
+/// Solve `X · Lᵀ = B` in place (`B ← B L⁻ᵀ`), `L` lower-triangular — the
+/// Cholesky panel update.
+pub fn trsm_right_lower_t(l: &Matrix, b: &mut Matrix) {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(b.cols(), n);
+    for i in 0..b.rows() {
+        for j in 0..n {
+            let mut s = b.get(i, j);
+            for k in 0..j {
+                s -= b.get(i, k) * l.get(j, k);
+            }
+            b.set(i, j, s / l.get(j, j));
+        }
+    }
+}
+
+/// Cholesky factorization `A = L·Lᵀ` (lower), in place on a copy.
+/// Returns `Err(pivot)` if the matrix is not positive definite.
+pub fn potrf(a: &Matrix) -> Result<Matrix, usize> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            d -= l.get(j, k) * l.get(j, k);
+        }
+        if d <= 0.0 {
+            return Err(j);
+        }
+        let d = d.sqrt();
+        l.set(j, j, d);
+        for i in (j + 1)..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, s / d);
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|l| a.get(i, l) * b.get(l, j)).sum()
+        })
+    }
+
+    fn test_mat(r: usize, c: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17) as f64 + seed).sin())
+    }
+
+    fn spd(n: usize) -> Matrix {
+        let a = test_mat(n, n, 0.3);
+        let mut c = Matrix::zeros(n, n);
+        gemm(1.0, &a, Trans::No, &a, Trans::Yes, 0.0, &mut c);
+        for i in 0..n {
+            c.add_assign_at(i, i, n as f64);
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = test_mat(5, 7, 1.0);
+        let b = test_mat(7, 4, 2.0);
+        let mut c = Matrix::zeros(5, 4);
+        gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+        assert!(c.max_diff(&naive_gemm(&a, &b)) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_transposes() {
+        let a = test_mat(7, 5, 1.0);
+        let b = test_mat(4, 7, 2.0);
+        let mut c = Matrix::zeros(5, 4);
+        gemm(1.0, &a, Trans::Yes, &b, Trans::Yes, 0.0, &mut c);
+        let want = naive_gemm(&a.transpose(), &b.transpose());
+        assert!(c.max_diff(&want) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = test_mat(3, 3, 1.0);
+        let b = test_mat(3, 3, 2.0);
+        let mut c = Matrix::identity(3);
+        gemm(2.0, &a, Trans::No, &b, Trans::No, 3.0, &mut c);
+        let mut want = naive_gemm(&a, &b);
+        want = Matrix::from_fn(3, 3, |i, j| {
+            2.0 * want.get(i, j) + 3.0 * if i == j { 1.0 } else { 0.0 }
+        });
+        assert!(c.max_diff(&want) < 1e-13);
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let a = test_mat(6, 3, 0.5);
+        let mut c1 = spd(6);
+        let mut c2 = c1.clone();
+        syrk_lower(-1.0, &a, 1.0, &mut c1);
+        gemm(-1.0, &a, Trans::No, &a, Trans::Yes, 1.0, &mut c2);
+        assert!(c1.max_diff(&c2) < 1e-13);
+    }
+
+    #[test]
+    fn trsm_left_solves() {
+        let l = potrf(&spd(6)).expect("spd");
+        let x = test_mat(6, 4, 3.0);
+        let mut b = Matrix::zeros(6, 4);
+        gemm(1.0, &l, Trans::No, &x, Trans::No, 0.0, &mut b);
+        trsm_left_lower(&l, &mut b);
+        assert!(b.max_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_right_solves() {
+        let l = potrf(&spd(5)).expect("spd");
+        let x = test_mat(3, 5, 3.0);
+        let mut b = Matrix::zeros(3, 5);
+        gemm(1.0, &x, Trans::No, &l, Trans::Yes, 0.0, &mut b);
+        trsm_right_lower_t(&l, &mut b);
+        assert!(b.max_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn potrf_factorizes_spd() {
+        let a = spd(12);
+        let l = potrf(&a).expect("spd");
+        assert!(crate::cholesky_residual(&a, &l) < 1e-14);
+        // Strictly lower result has zero upper triangle.
+        for j in 1..12 {
+            for i in 0..j {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut a = Matrix::identity(4);
+        a.set(2, 2, -1.0);
+        assert_eq!(potrf(&a), Err(2));
+    }
+}

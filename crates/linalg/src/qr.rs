@@ -1,0 +1,141 @@
+//! Thin Householder QR, used for low-rank recompression.
+
+use crate::matrix::Matrix;
+
+/// Thin QR factorization `A = Q·R` with `Q` of shape `m × min(m,n)` having
+/// orthonormal columns and `R` upper-triangular `min(m,n) × n`.
+pub fn qr_thin(a: &Matrix) -> (Matrix, Matrix) {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Householder vectors stored per reflection.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the Householder vector for column j below the diagonal.
+        let mut norm = 0.0;
+        for i in j..m {
+            norm += r.get(i, j) * r.get(i, j);
+        }
+        let norm = norm.sqrt();
+        let mut v = vec![0.0; m - j];
+        if norm == 0.0 {
+            vs.push(v);
+            continue;
+        }
+        let a0 = r.get(j, j);
+        let alpha = if a0 >= 0.0 { -norm } else { norm };
+        v[0] = a0 - alpha;
+        for i in (j + 1)..m {
+            v[i - j] = r.get(i, j);
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            vs.push(v);
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R[j.., j..].
+        for c in j..n {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += v[i - j] * r.get(i, c);
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for i in j..m {
+                let val = r.get(i, c) - scale * v[i - j];
+                r.set(i, c, val);
+            }
+        }
+        vs.push(v);
+    }
+
+    // Accumulate Q by applying the reflections to the identity (thin).
+    let mut q = Matrix::zeros(m, k);
+    for j in 0..k {
+        q.set(j, j, 1.0);
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for c in 0..k {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += v[i - j] * q.get(i, c);
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for i in j..m {
+                let val = q.get(i, c) - scale * v[i - j];
+                q.set(i, c, val);
+            }
+        }
+    }
+
+    // Zero the strictly-lower part of R and trim to k × n.
+    let mut rk = Matrix::zeros(k, n);
+    for j in 0..n {
+        for i in 0..k.min(j + 1) {
+            rk.set(i, j, r.get(i, j));
+        }
+    }
+    (q, rk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm, Trans};
+
+    fn check_qr(a: &Matrix) {
+        let (q, r) = qr_thin(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(q.rows(), a.rows());
+        assert_eq!(q.cols(), k);
+        assert_eq!(r.rows(), k);
+        assert_eq!(r.cols(), a.cols());
+        // Q R == A
+        let mut qr = Matrix::zeros(a.rows(), a.cols());
+        gemm(1.0, &q, Trans::No, &r, Trans::No, 0.0, &mut qr);
+        assert!(qr.max_diff(a) < 1e-12, "QR != A (diff {})", qr.max_diff(a));
+        // QᵀQ == I
+        let mut qtq = Matrix::zeros(k, k);
+        gemm(1.0, &q, Trans::Yes, &q, Trans::No, 0.0, &mut qtq);
+        assert!(qtq.max_diff(&Matrix::identity(k)) < 1e-12, "Q not orthonormal");
+        // R upper-triangular
+        for j in 0..r.cols() {
+            for i in (j + 1)..r.rows() {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tall_matrix() {
+        check_qr(&Matrix::from_fn(8, 3, |i, j| ((i * 7 + j * 3) as f64).cos()));
+    }
+
+    #[test]
+    fn wide_matrix() {
+        check_qr(&Matrix::from_fn(3, 8, |i, j| ((i * 5 + j) as f64).sin()));
+    }
+
+    #[test]
+    fn square_matrix() {
+        check_qr(&Matrix::from_fn(6, 6, |i, j| 1.0 / (1.0 + i as f64 + j as f64)));
+    }
+
+    #[test]
+    fn rank_deficient() {
+        // Two identical columns.
+        let a = Matrix::from_fn(5, 3, |i, j| if j == 2 { i as f64 } else { (i + j) as f64 });
+        check_qr(&a);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        check_qr(&Matrix::zeros(4, 2));
+    }
+}

@@ -1,0 +1,162 @@
+//! One-sided Jacobi SVD — small, robust, dependency-free; used to truncate
+//! low-rank blocks to the requested accuracy.
+
+use crate::matrix::Matrix;
+
+/// Singular value decomposition `A = U · diag(s) · Vᵀ` with `U: m × n`,
+/// `s` descending, `V: n × n` (requires `m ≥ n`; transpose first if not).
+pub fn svd_jacobi(a: &Matrix) -> (Matrix, Vec<f64>, Matrix) {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "svd_jacobi expects m >= n (got {m} x {n})");
+    let mut u = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let eps = 1e-15;
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for columns p, q.
+                let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                for i in 0..m {
+                    let up = u.get(i, p);
+                    let uq = u.get(i, q);
+                    app += up * up;
+                    aqq += uq * uq;
+                    apq += up * uq;
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
+                    continue;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(1e-300));
+                // Jacobi rotation zeroing the (p,q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let up = u.get(i, p);
+                    let uq = u.get(i, q);
+                    u.set(i, p, c * up - s * uq);
+                    u.set(i, q, s * up + c * uq);
+                }
+                for i in 0..n {
+                    let vp = v.get(i, p);
+                    let vq = v.get(i, q);
+                    v.set(i, p, c * vp - s * vq);
+                    v.set(i, q, s * vp + c * vq);
+                }
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalize U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigma = vec![0.0; n];
+    for (j, s) in sigma.iter_mut().enumerate() {
+        *s = (0..m).map(|i| u.get(i, j) * u.get(i, j)).sum::<f64>().sqrt();
+    }
+    order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).expect("finite singular values"));
+
+    let mut us = Matrix::zeros(m, n);
+    let mut vs = Matrix::zeros(n, n);
+    let mut s_sorted = vec![0.0; n];
+    for (dst, &src) in order.iter().enumerate() {
+        let s = sigma[src];
+        s_sorted[dst] = s;
+        for i in 0..m {
+            us.set(i, dst, if s > 0.0 { u.get(i, src) / s } else { 0.0 });
+        }
+        for i in 0..n {
+            vs.set(i, dst, v.get(i, src));
+        }
+    }
+    (us, s_sorted, vs)
+}
+
+/// Numerical rank at *absolute* threshold `tol` — what an accuracy-bounded
+/// TLR compression uses when the global matrix scale is O(1), as for
+/// covariance matrices.
+pub fn rank_at_abs(s: &[f64], tol: f64) -> usize {
+    s.iter().take_while(|&&x| x > tol).count()
+}
+
+/// Numerical rank at relative threshold `tol` (relative to the largest
+/// singular value).
+pub fn rank_at(s: &[f64], tol: f64) -> usize {
+    let smax = s.first().copied().unwrap_or(0.0);
+    if smax == 0.0 {
+        return 0;
+    }
+    s.iter().take_while(|&&x| x > tol * smax).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm, Trans};
+
+    fn reconstruct(u: &Matrix, s: &[f64], v: &Matrix) -> Matrix {
+        let n = s.len();
+        let mut usv = Matrix::zeros(u.rows(), v.rows());
+        let mut us = u.clone();
+        for (j, &sv) in s.iter().enumerate().take(n) {
+            for i in 0..u.rows() {
+                let val = us.get(i, j) * sv;
+                us.set(i, j, val);
+            }
+        }
+        gemm(1.0, &us, Trans::No, v, Trans::Yes, 0.0, &mut usv);
+        usv
+    }
+
+    #[test]
+    fn reconstructs_random_matrix() {
+        let a = Matrix::from_fn(8, 5, |i, j| ((3 * i + 2 * j) as f64).sin());
+        let (u, s, v) = svd_jacobi(&a);
+        assert!(reconstruct(&u, &s, &v).max_diff(&a) < 1e-12);
+        // Descending.
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-15);
+        }
+        // U orthonormal columns.
+        let mut utu = Matrix::zeros(5, 5);
+        gemm(1.0, &u, Trans::Yes, &u, Trans::No, 0.0, &mut utu);
+        assert!(utu.max_diff(&Matrix::identity(5)) < 1e-12);
+    }
+
+    #[test]
+    fn identifies_exact_low_rank() {
+        // Rank-2 matrix.
+        let x = Matrix::from_fn(10, 2, |i, j| (i + j + 1) as f64);
+        let y = Matrix::from_fn(6, 2, |i, j| ((i * j) as f64).cos());
+        let mut a = Matrix::zeros(10, 6);
+        gemm(1.0, &x, Trans::No, &y, Trans::Yes, 0.0, &mut a);
+        let (_, s, _) = svd_jacobi(&a);
+        assert_eq!(rank_at(&s, 1e-10), 2, "{s:?}");
+    }
+
+    #[test]
+    fn known_singular_values_of_diagonal() {
+        let mut a = Matrix::zeros(4, 3);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, 5.0);
+        a.set(2, 2, 1.0);
+        let (_, s, _) = svd_jacobi(&a);
+        assert!((s[0] - 5.0).abs() < 1e-12);
+        assert!((s[1] - 3.0).abs() < 1e-12);
+        assert!((s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        let a = Matrix::zeros(5, 3);
+        let (_, s, _) = svd_jacobi(&a);
+        assert_eq!(rank_at(&s, 1e-10), 0);
+    }
+}

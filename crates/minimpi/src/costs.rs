@@ -1,0 +1,85 @@
+//! Software-overhead cost model for MiniMPI calls.
+//!
+//! Values are calibrated to published Open MPI/UCX overheads on HDR
+//! InfiniBand-class hardware: sub-microsecond call overheads, tens of
+//! nanoseconds per matching-queue element, memcpy at ~12 GB/s.
+
+use amt_simnet::SimTime;
+
+/// Per-call CPU cost parameters of the MPI-subset library.
+#[derive(Debug, Clone)]
+pub struct MpiCosts {
+    /// Base cost of entering any MPI call.
+    pub call_base: SimTime,
+    /// Additional cost to issue an eager send (descriptor + header build).
+    pub send_eager_base: SimTime,
+    /// Additional cost to issue a rendezvous send (RTS build + registration
+    /// cache lookup).
+    pub send_rndv_base: SimTime,
+    /// Cost of posting/starting a receive.
+    pub recv_post_base: SimTime,
+    /// Per-element cost of scanning a matching queue (posted or unexpected).
+    pub match_per_item: SimTime,
+    /// Base cost of handling one incoming wire message during progress.
+    pub progress_per_msg: SimTime,
+    /// Per-request cost of a `testsome` scan over the caller's request array.
+    pub testsome_per_req: SimTime,
+    /// Copy cost per byte (eager sends copy into library buffers; eager
+    /// receives copy out), in nanoseconds per byte (~12 GB/s memcpy).
+    pub copy_ns_per_byte: f64,
+    /// Messages at or below this size use the eager protocol.
+    pub eager_threshold: usize,
+    /// Wire header bytes added to every message.
+    pub header_bytes: usize,
+}
+
+impl Default for MpiCosts {
+    fn default() -> Self {
+        MpiCosts {
+            call_base: SimTime::from_ns(200),
+            send_eager_base: SimTime::from_ns(1500),
+            send_rndv_base: SimTime::from_ns(1700),
+            recv_post_base: SimTime::from_ns(800),
+            match_per_item: SimTime::from_ns(60),
+            progress_per_msg: SimTime::from_ns(600),
+            testsome_per_req: SimTime::from_ns(60),
+            copy_ns_per_byte: 0.085,
+            eager_threshold: 16 * 1024,
+            header_bytes: 64,
+        }
+    }
+}
+
+impl MpiCosts {
+    /// Cost of copying `bytes` through the CPU.
+    #[inline]
+    pub fn copy_cost(&self, bytes: usize) -> SimTime {
+        SimTime::from_ns_f64(self.copy_ns_per_byte * bytes as f64)
+    }
+
+    /// Whether a payload of `bytes` uses the eager protocol.
+    #[inline]
+    pub fn is_eager(&self, bytes: usize) -> bool {
+        bytes <= self.eager_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_scales() {
+        let c = MpiCosts::default();
+        assert_eq!(c.copy_cost(0), SimTime::ZERO);
+        let one_mb = c.copy_cost(1_000_000);
+        assert!(one_mb > SimTime::from_us(50) && one_mb < SimTime::from_us(150));
+    }
+
+    #[test]
+    fn eager_threshold_boundary() {
+        let c = MpiCosts::default();
+        assert!(c.is_eager(16 * 1024));
+        assert!(!c.is_eager(16 * 1024 + 1));
+    }
+}

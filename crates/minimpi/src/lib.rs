@@ -1,0 +1,46 @@
+//! # amt-minimpi
+//!
+//! An MPI-subset message-passing library over the simulated fabric — the
+//! stand-in for Open MPI/UCX in the paper's MPI backend (§4.2).
+//!
+//! ## What is faithful
+//!
+//! * **Two-sided tag matching** with `ANY_SOURCE` wildcards, posted-receive
+//!   and unexpected-message queues, and O(queue-length) scan costs.
+//! * **Persistent requests** (`recv_init`/`start`), the mechanism PaRSEC's
+//!   MPI backend uses for active messages (five per tag).
+//! * **Eager vs rendezvous** protocols with a configurable threshold; eager
+//!   pays copy costs on both sides, rendezvous pays an RTS/CTS round trip
+//!   but moves data zero-copy.
+//! * **No asynchronous progress**: the library only advances — drains the
+//!   incoming hardware queue, matches messages, reacts to RTS/CTS — *inside*
+//!   MPI calls (`testsome`, `test`, `irecv`, …). An arrived message sits in
+//!   the per-rank incoming queue until somebody calls into the library.
+//!   This is the property the paper's §4.3/§5.2 analysis hinges on.
+//!
+//! ## Time accounting
+//!
+//! Library calls execute their logic immediately (the real matching code
+//! runs for real) and return the CPU time the call consumed as a [`amt_simnet::SimTime`]
+//! cost. The *caller* charges that cost to whichever simulated core its
+//! thread occupies; the call's effects should be acted on after the charge
+//! completes. This mirrors how a DES models fast library code: state changes
+//! at the call instant, the caller's thread is then occupied for the cost.
+//!
+//! ## Simplification
+//!
+//! Message-pair ordering: control and eager messages are single-chunk on the
+//! fabric and therefore arrive in send order per (src, dst); rendezvous bulk
+//! data is matched by request id, not by tag. Consequently matching order is
+//! always well-defined without a reordering buffer — equivalent to running
+//! MPI with `mpi_assert_allow_overtaking`, which is exactly how PaRSEC
+//! configures it (§4.2.2).
+
+mod costs;
+mod world;
+
+pub use costs::MpiCosts;
+pub use world::{Completion, Mpi, MpiWorld, ReqId, SrcSel, Status, ANY_TAG_UNSUPPORTED};
+
+#[cfg(test)]
+mod tests;

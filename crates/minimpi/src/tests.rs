@@ -1,0 +1,247 @@
+//! MiniMPI semantics tests: matching, wildcards, persistent requests,
+//! eager/rendezvous protocols, progress-only-inside-calls.
+
+use amt_netmodel::{Fabric, FabricConfig};
+use amt_simnet::{Sim, SimTime};
+use bytes::Bytes;
+
+use crate::{Mpi, MpiCosts, MpiWorld, SrcSel};
+
+fn setup(nodes: usize) -> (Sim, Vec<Mpi>) {
+    let sim = Sim::new();
+    let fabric = Fabric::new(FabricConfig::expanse(nodes));
+    let ranks = MpiWorld::create(&fabric, MpiCosts::default());
+    (sim, ranks)
+}
+
+/// Poll `rank` until `req` completes, stepping the simulation.
+///
+/// MiniMPI has no asynchronous progress (by design — see crate docs), so a
+/// rendezvous needs *both* sides to call into the library; `peers` are
+/// progressed with empty `testsome` calls, as a real MPI application's other
+/// ranks would be doing inside their own communication loops.
+fn wait_peers(sim: &mut Sim, rank: &Mpi, req: crate::ReqId, peers: &[&Mpi]) -> crate::Status {
+    loop {
+        let (st, _cost) = rank.test(sim, req);
+        if let Some(st) = st {
+            return st;
+        }
+        for p in peers {
+            let _ = p.testsome(sim, &[]);
+        }
+        assert!(sim.step(), "deadlock: simulation idle while waiting");
+    }
+}
+
+fn wait(sim: &mut Sim, rank: &Mpi, req: crate::ReqId) -> crate::Status {
+    wait_peers(sim, rank, req, &[])
+}
+
+#[test]
+fn eager_send_recv_roundtrip() {
+    let (mut sim, ranks) = setup(2);
+    let data = Bytes::from(vec![7u8; 1024]);
+    let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Rank(0), 42);
+    let (_sreq, cost) = ranks[0].isend(&mut sim, 1, 42, data.len(), Some(data.clone()));
+    assert!(cost > SimTime::ZERO);
+    let st = wait(&mut sim, &ranks[1], rreq);
+    assert_eq!(st.src, 0);
+    assert_eq!(st.tag, 42);
+    assert_eq!(st.size, 1024);
+    assert_eq!(st.data.as_deref(), Some(&data[..]));
+}
+
+#[test]
+fn rendezvous_send_recv_roundtrip() {
+    let (mut sim, ranks) = setup(2);
+    let size = 1 << 20; // 1 MiB, above the eager threshold
+    let data = Bytes::from(vec![3u8; size]);
+    let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Rank(0), 9);
+    let (sreq, _) = ranks[0].isend(&mut sim, 1, 9, size, Some(data.clone()));
+    let st = wait_peers(&mut sim, &ranks[1], rreq, &[&ranks[0]]);
+    assert_eq!(st.size, size);
+    assert_eq!(st.data.as_deref(), Some(&data[..]));
+    // Sender side also completes.
+    let st = wait(&mut sim, &ranks[0], sreq);
+    assert_eq!(st.size, size);
+}
+
+#[test]
+fn unexpected_messages_match_later_receive() {
+    let (mut sim, ranks) = setup(2);
+    ranks[0].send(&mut sim, 1, 5, 256, Some(Bytes::from(vec![1u8; 256])));
+    sim.run(); // message delivered, sits in hardware queue
+    assert_eq!(ranks[1].incoming_depth(), 1);
+    // Any MPI call drains it into the unexpected queue; a matching irecv
+    // then completes immediately.
+    let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 99); // wrong tag
+    let (_, _) = ranks[1].test(&mut sim, rreq); // drives progress
+    assert_eq!(ranks[1].unexpected_depth(), 1);
+    let (rreq2, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 5);
+    let st = wait(&mut sim, &ranks[1], rreq2);
+    assert_eq!(st.size, 256);
+    assert_eq!(ranks[1].unexpected_depth(), 0);
+    ranks[1].release(rreq);
+}
+
+#[test]
+fn any_source_matches_multiple_senders() {
+    let (mut sim, ranks) = setup(4);
+    for rank in ranks.iter().take(4).skip(1) {
+        rank.send(&mut sim, 0, 7, 64, None);
+    }
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        let (rreq, _) = ranks[0].irecv(&mut sim, SrcSel::Any, 7);
+        let st = wait(&mut sim, &ranks[0], rreq);
+        seen.push(st.src);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, vec![1, 2, 3]);
+}
+
+#[test]
+fn specific_source_does_not_steal() {
+    let (mut sim, ranks) = setup(3);
+    ranks[2].send(&mut sim, 0, 7, 64, None);
+    sim.run();
+    // Posted receive for rank 1 must not match rank 2's message.
+    let (r1, _) = ranks[0].irecv(&mut sim, SrcSel::Rank(1), 7);
+    let (none, _) = ranks[0].test(&mut sim, r1);
+    assert!(none.is_none());
+    assert_eq!(ranks[0].unexpected_depth(), 1);
+    let (r2, _) = ranks[0].irecv(&mut sim, SrcSel::Rank(2), 7);
+    let st = wait(&mut sim, &ranks[0], r2);
+    assert_eq!(st.src, 2);
+    ranks[0].release(r1);
+}
+
+#[test]
+fn persistent_receive_restarts() {
+    let (mut sim, ranks) = setup(2);
+    let (preq, _) = ranks[1].recv_init(SrcSel::Any, 3);
+    ranks[1].start(&mut sim, preq);
+    for round in 0..5u8 {
+        ranks[0].send(&mut sim, 1, 3, 128, Some(Bytes::from(vec![round; 128])));
+        let st = loop {
+            let (done, _) = ranks[1].testsome(&mut sim, &[preq]);
+            if !done.is_empty() {
+                break done.into_iter().next().expect("non-empty").status;
+            }
+            assert!(sim.step(), "deadlock");
+        };
+        assert_eq!(st.data.as_deref(), Some(&vec![round; 128][..]));
+        // Persistent: the request survives and re-arms.
+        ranks[1].start(&mut sim, preq);
+    }
+    ranks[1].release(preq);
+}
+
+#[test]
+fn testsome_reports_multiple_completions() {
+    let (mut sim, ranks) = setup(2);
+    let mut rreqs = Vec::new();
+    for tag in 0..8u64 {
+        let (r, _) = ranks[1].irecv(&mut sim, SrcSel::Any, tag);
+        rreqs.push(r);
+    }
+    for tag in 0..8u64 {
+        ranks[0].send(&mut sim, 1, tag, 512, None);
+    }
+    sim.run();
+    let (done, cost) = ranks[1].testsome(&mut sim, &rreqs);
+    assert_eq!(done.len(), 8);
+    assert!(cost > SimTime::ZERO);
+    let mut tags: Vec<u64> = done.iter().map(|c| c.status.tag).collect();
+    tags.sort_unstable();
+    assert_eq!(tags, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn no_progress_without_calls() {
+    let (mut sim, ranks) = setup(2);
+    let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 1);
+    ranks[0].send(&mut sim, 1, 1, 64, None);
+    sim.run();
+    // Delivered to hardware, but the library hasn't looked yet.
+    assert_eq!(ranks[1].incoming_depth(), 1);
+    let (st, _) = ranks[1].test(&mut sim, rreq);
+    assert!(st.is_some(), "progress happens inside the call");
+    assert_eq!(ranks[1].incoming_depth(), 0);
+}
+
+#[test]
+fn matching_cost_grows_with_queue_depth() {
+    let (mut sim, ranks) = setup(2);
+    // Fill the unexpected queue with 100 non-matching messages.
+    for i in 0..100u64 {
+        ranks[0].send(&mut sim, 1, 1000 + i, 32, None);
+    }
+    sim.run();
+    let (r, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 1); // drains into unexpected
+    let (_, _) = ranks[1].test(&mut sim, r);
+    assert_eq!(ranks[1].unexpected_depth(), 100);
+    // A non-matching scan of 100 entries must cost more than an empty scan.
+    let (_r2, cost_deep) = ranks[1].irecv(&mut sim, SrcSel::Any, 2);
+    let costs = MpiCosts::default();
+    assert!(cost_deep >= costs.call_base + costs.recv_post_base + costs.match_per_item * 100);
+    ranks[1].release(r);
+}
+
+#[test]
+fn rendezvous_sender_completes_after_data_tx() {
+    let (mut sim, ranks) = setup(2);
+    let size = 4 << 20;
+    let (sreq, _) = ranks[0].isend(&mut sim, 1, 77, size, None);
+    // No receive posted yet: sender cannot complete.
+    sim.run();
+    let (st, _) = ranks[0].test(&mut sim, sreq);
+    assert!(st.is_none(), "rendezvous must wait for the receiver");
+    let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Rank(0), 77);
+    let st = wait_peers(&mut sim, &ranks[1], rreq, &[&ranks[0]]);
+    assert_eq!(st.size, size);
+    let st = wait(&mut sim, &ranks[0], sreq);
+    assert_eq!(st.size, size);
+}
+
+#[test]
+#[should_panic(expected = "stale request handle")]
+fn stale_handle_detected() {
+    let (mut sim, ranks) = setup(2);
+    let (r, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 1);
+    ranks[1].release(r);
+    let _ = ranks[1].test(&mut sim, r);
+}
+
+#[test]
+fn cost_only_transfers_carry_no_bytes() {
+    let (mut sim, ranks) = setup(2);
+    let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 8);
+    ranks[0].isend(&mut sim, 1, 8, 2 << 20, None);
+    let st = wait_peers(&mut sim, &ranks[1], rreq, &[&ranks[0]]);
+    assert_eq!(st.size, 2 << 20);
+    assert!(st.data.is_none());
+}
+
+#[test]
+fn iprobe_reports_without_consuming() {
+    let (mut sim, ranks) = setup(2);
+    ranks[0].send(&mut sim, 1, 9, 300, Some(Bytes::from(vec![5u8; 300])));
+    sim.run();
+    // Probe sees the unexpected message but leaves it queued.
+    let (st, cost) = ranks[1].iprobe(&mut sim, SrcSel::Any, 9);
+    let st = st.expect("probe hit");
+    assert_eq!((st.src, st.tag, st.size), (0, 9, 300));
+    assert!(st.data.is_none(), "probe must not consume the payload");
+    assert!(cost > SimTime::ZERO);
+    assert_eq!(ranks[1].unexpected_depth(), 1);
+    // Probe for a different tag misses.
+    let (miss, _) = ranks[1].iprobe(&mut sim, SrcSel::Any, 10);
+    assert!(miss.is_none());
+    // The probe-allocate-receive pattern the paper contrasts with LCI's
+    // dynamic buffers (§5.2): a subsequent receive gets the data.
+    let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Rank(st.src), st.tag);
+    let got = wait(&mut sim, &ranks[1], rreq);
+    assert_eq!(got.data.as_deref(), Some(&vec![5u8; 300][..]));
+    assert_eq!(ranks[1].unexpected_depth(), 0);
+}

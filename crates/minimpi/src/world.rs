@@ -1,0 +1,838 @@
+//! MiniMPI state machines: requests, matching queues, eager and rendezvous
+//! wire protocols.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use amt_netmodel::{rx_handler, Fabric, FabricHandle, NodeId, Payload};
+use amt_simnet::{Sim, SimTime};
+use bytes::Bytes;
+
+use crate::costs::MpiCosts;
+
+/// MiniMPI does not support wildcard tags: as the paper notes (§4.2.1), all
+/// active-message tags are explicitly registered, so `ANY_TAG` is never
+/// needed by the PaRSEC backend.
+pub const ANY_TAG_UNSUPPORTED: bool = true;
+
+/// Message tag.
+pub type Tag = u64;
+
+type Waker = Rc<dyn Fn(&mut Sim)>;
+
+/// Source selector for receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// `MPI_ANY_SOURCE`.
+    Any,
+    /// A specific rank.
+    Rank(NodeId),
+}
+
+impl SrcSel {
+    #[inline]
+    fn matches(self, src: NodeId) -> bool {
+        match self {
+            SrcSel::Any => true,
+            SrcSel::Rank(r) => r == src,
+        }
+    }
+}
+
+/// Handle to a request. Generation-checked: using a stale handle panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqId {
+    rank: NodeId,
+    idx: usize,
+    gen: u32,
+}
+
+/// Completion information for a finished operation.
+#[derive(Debug, Clone)]
+pub struct Status {
+    pub src: NodeId,
+    pub tag: Tag,
+    pub size: usize,
+    /// Received payload (None for sends and cost-only transfers).
+    pub data: Option<Bytes>,
+}
+
+/// One entry of a `testsome` result.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    pub req: ReqId,
+    pub status: Status,
+}
+
+enum RState {
+    /// Persistent request between `start` calls.
+    Inactive,
+    /// Eager send completed at issue; rendezvous send waiting for CTS/DATA.
+    SendInFlight { tag: Tag, size: usize, data: Option<Bytes> },
+    /// Rendezvous DATA transmitted; completion latched for the next poll.
+    Complete(Status),
+    /// Receive sitting in the posted queue.
+    RecvPosted,
+    /// Receive matched to an RTS; CTS sent, awaiting DATA.
+    RecvAwaitData { src: NodeId, tag: Tag },
+}
+
+struct Request {
+    gen: u32,
+    state: RState,
+    /// `Some(template)` for persistent (recv_init) requests.
+    persistent: Option<(SrcSel, Tag)>,
+}
+
+enum Unexpected {
+    Eager {
+        src: NodeId,
+        tag: Tag,
+        size: usize,
+        data: Option<Bytes>,
+    },
+    Rts {
+        src: NodeId,
+        tag: Tag,
+        size: usize,
+        sender_req: usize,
+    },
+}
+
+impl Unexpected {
+    fn src_tag(&self) -> (NodeId, Tag) {
+        match self {
+            Unexpected::Eager { src, tag, .. } | Unexpected::Rts { src, tag, .. } => (*src, *tag),
+        }
+    }
+}
+
+/// Wire protocol messages.
+enum Wire {
+    Eager {
+        src: NodeId,
+        tag: Tag,
+        size: usize,
+        data: RefCell<Option<Bytes>>,
+    },
+    Rts {
+        src: NodeId,
+        tag: Tag,
+        size: usize,
+        sender_req: usize,
+    },
+    Cts {
+        sender_req: usize,
+        recver: NodeId,
+        recver_req: usize,
+    },
+    Data {
+        recver_req: usize,
+        size: usize,
+        data: RefCell<Option<Bytes>>,
+    },
+}
+
+struct RankState {
+    requests: Vec<Request>,
+    free: Vec<usize>,
+    /// Posted receives, in post order: (req idx, src selector, tag).
+    posted: VecDeque<(usize, SrcSel, Tag)>,
+    /// Unexpected-message queue, in arrival order.
+    unexpected: VecDeque<Unexpected>,
+    /// Hardware queue of delivered-but-unprogressed wire messages.
+    incoming: VecDeque<Rc<Wire>>,
+    /// Invoked when something poll-worthy happens (message arrival, local
+    /// send completion) so a simulated polling thread can schedule a round
+    /// without busy-waiting in virtual time.
+    waker: Option<Waker>,
+}
+
+impl RankState {
+    fn new() -> Self {
+        RankState {
+            requests: Vec::new(),
+            free: Vec::new(),
+            posted: VecDeque::new(),
+            unexpected: VecDeque::new(),
+            incoming: VecDeque::new(),
+            waker: None,
+        }
+    }
+
+    fn alloc(&mut self, state: RState, persistent: Option<(SrcSel, Tag)>) -> (usize, u32) {
+        if let Some(idx) = self.free.pop() {
+            let r = &mut self.requests[idx];
+            r.gen = r.gen.wrapping_add(1);
+            r.state = state;
+            r.persistent = persistent;
+            (idx, r.gen)
+        } else {
+            self.requests.push(Request {
+                gen: 0,
+                state,
+                persistent,
+            });
+            (self.requests.len() - 1, 0)
+        }
+    }
+}
+
+/// The MPI "world": one communicator spanning every fabric node.
+pub struct MpiWorld {
+    fabric: FabricHandle,
+    costs: MpiCosts,
+    ranks: Vec<RankState>,
+}
+
+impl MpiWorld {
+    /// Create a world over `fabric` and register its receive handlers on
+    /// every node. Returns per-rank handles.
+    pub fn create(fabric: &FabricHandle, costs: MpiCosts) -> Vec<Mpi> {
+        let nodes = fabric.borrow().nodes();
+        let world = Rc::new(RefCell::new(MpiWorld {
+            fabric: fabric.clone(),
+            costs,
+            ranks: (0..nodes).map(|_| RankState::new()).collect(),
+        }));
+        for node in 0..nodes {
+            // Weak: the fabric must not keep the world alive (the world
+            // holds the fabric; a strong reference here would leak both).
+            let w = Rc::downgrade(&world);
+            fabric.borrow_mut().set_handler(
+                node,
+                rx_handler(move |sim, d| {
+                    let Some(w) = w.upgrade() else { return };
+                    // Hardware enqueue only; progress happens inside calls.
+                    let wire = d.payload.downcast::<Wire>();
+                    let waker = {
+                        let mut wb = w.borrow_mut();
+                        wb.ranks[node].incoming.push_back(wire);
+                        wb.ranks[node].waker.clone()
+                    };
+                    if let Some(waker) = waker {
+                        waker(sim);
+                    }
+                }),
+            );
+        }
+        (0..nodes)
+            .map(|rank| Mpi {
+                world: world.clone(),
+                rank,
+            })
+            .collect()
+    }
+}
+
+/// Per-rank MPI handle.
+#[derive(Clone)]
+pub struct Mpi {
+    world: Rc<RefCell<MpiWorld>>,
+    rank: NodeId,
+}
+
+impl Mpi {
+    pub fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.world.borrow().ranks.len()
+    }
+
+    pub fn costs(&self) -> MpiCosts {
+        self.world.borrow().costs.clone()
+    }
+
+    fn check(&self, req: ReqId) {
+        assert_eq!(req.rank, self.rank, "request used on wrong rank");
+        let w = self.world.borrow();
+        assert_eq!(
+            w.ranks[self.rank].requests[req.idx].gen, req.gen,
+            "stale request handle"
+        );
+    }
+
+    /// Non-blocking send. Eager payloads complete immediately (buffered);
+    /// larger payloads run the rendezvous protocol. Returns the request and
+    /// the CPU cost of the call.
+    pub fn isend(
+        &self,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: Tag,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> (ReqId, SimTime) {
+        let mut w = self.world.borrow_mut();
+        let costs = w.costs.clone();
+        let fabric = w.fabric.clone();
+        let mut cost = costs.call_base;
+        if costs.is_eager(size) {
+            cost += costs.send_eager_base + costs.copy_cost(size);
+            let wire = Rc::new(Wire::Eager {
+                src: self.rank,
+                tag,
+                size,
+                data: RefCell::new(data),
+            });
+            let (idx, gen) = w.ranks[self.rank].alloc(
+                RState::Complete(Status {
+                    src: self.rank,
+                    tag,
+                    size,
+                    data: None,
+                }),
+                None,
+            );
+            drop(w);
+            Fabric::send(
+                &fabric,
+                sim,
+                self.rank,
+                dst,
+                size + costs.header_bytes,
+                Payload::Any(wire),
+                None,
+            );
+            (
+                ReqId {
+                    rank: self.rank,
+                    idx,
+                    gen,
+                },
+                cost,
+            )
+        } else {
+            cost += costs.send_rndv_base;
+            let (idx, gen) = w.ranks[self.rank].alloc(
+                RState::SendInFlight { tag, size, data },
+                None,
+            );
+            let wire = Rc::new(Wire::Rts {
+                src: self.rank,
+                tag,
+                size,
+                sender_req: idx,
+            });
+            drop(w);
+            Fabric::send(
+                &fabric,
+                sim,
+                self.rank,
+                dst,
+                costs.header_bytes,
+                Payload::Any(wire),
+                None,
+            );
+            (
+                ReqId {
+                    rank: self.rank,
+                    idx,
+                    gen,
+                },
+                cost,
+            )
+        }
+    }
+
+    /// Blocking eager send, as PaRSEC uses for active messages (§4.2.1).
+    /// Panics if the payload exceeds the eager threshold.
+    pub fn send(
+        &self,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: Tag,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> SimTime {
+        assert!(
+            self.world.borrow().costs.is_eager(size),
+            "blocking send restricted to eager payloads ({size} bytes)"
+        );
+        let (req, cost) = self.isend(sim, dst, tag, size, data);
+        // Eager isend is already complete; release the request.
+        self.release(req);
+        cost
+    }
+
+    /// Non-blocking receive. Matches the unexpected queue first.
+    pub fn irecv(&self, sim: &mut Sim, src: SrcSel, tag: Tag) -> (ReqId, SimTime) {
+        let mut w = self.world.borrow_mut();
+        let costs = w.costs.clone();
+        let mut cost = costs.call_base + costs.recv_post_base;
+        // Scan the unexpected queue.
+        let rs = &mut w.ranks[self.rank];
+        let mut found = None;
+        for (pos, u) in rs.unexpected.iter().enumerate() {
+            cost += costs.match_per_item;
+            let (usrc, utag) = u.src_tag();
+            if utag == tag && src.matches(usrc) {
+                found = Some(pos);
+                break;
+            }
+        }
+        if let Some(pos) = found {
+            let u = rs.unexpected.remove(pos).expect("scanned position");
+            match u {
+                Unexpected::Eager {
+                    src: usrc,
+                    tag,
+                    size,
+                    data,
+                } => {
+                    cost += costs.copy_cost(size);
+                    let (idx, gen) = rs.alloc(
+                        RState::Complete(Status {
+                            src: usrc,
+                            tag,
+                            size,
+                            data,
+                        }),
+                        None,
+                    );
+                    (
+                        ReqId {
+                            rank: self.rank,
+                            idx,
+                            gen,
+                        },
+                        cost,
+                    )
+                }
+                Unexpected::Rts {
+                    src: usrc,
+                    tag,
+                    size,
+                    sender_req,
+                } => {
+                    let _ = size;
+                    let (idx, gen) = rs.alloc(
+                        RState::RecvAwaitData { src: usrc, tag },
+                        None,
+                    );
+                    let fabric = w.fabric.clone();
+                    let wire = Rc::new(Wire::Cts {
+                        sender_req,
+                        recver: self.rank,
+                        recver_req: idx,
+                    });
+                    let hdr = costs.header_bytes;
+                    drop(w);
+                    Fabric::send(&fabric, sim, self.rank, usrc, hdr, Payload::Any(wire), None);
+                    (
+                        ReqId {
+                            rank: self.rank,
+                            idx,
+                            gen,
+                        },
+                        cost,
+                    )
+                }
+            }
+        } else {
+            let (idx, gen) = rs.alloc(RState::RecvPosted, None);
+            rs.posted.push_back((idx, src, tag));
+            (
+                ReqId {
+                    rank: self.rank,
+                    idx,
+                    gen,
+                },
+                cost,
+            )
+        }
+    }
+
+    /// Create an inactive persistent receive (`MPI_Recv_init`).
+    pub fn recv_init(&self, src: SrcSel, tag: Tag) -> (ReqId, SimTime) {
+        let mut w = self.world.borrow_mut();
+        let cost = w.costs.call_base;
+        let (idx, gen) = w.ranks[self.rank].alloc(RState::Inactive, Some((src, tag)));
+        (
+            ReqId {
+                rank: self.rank,
+                idx,
+                gen,
+            },
+            cost,
+        )
+    }
+
+    /// Activate a persistent request (`MPI_Start`). Matching against the
+    /// unexpected queue happens exactly as for `irecv`.
+    pub fn start(&self, sim: &mut Sim, req: ReqId) -> SimTime {
+        self.check(req);
+        let (src, tag) = {
+            let w = self.world.borrow();
+            let r = &w.ranks[self.rank].requests[req.idx];
+            assert!(
+                matches!(r.state, RState::Inactive),
+                "start on a non-inactive request"
+            );
+            r.persistent.expect("start on non-persistent request")
+        };
+        let mut w = self.world.borrow_mut();
+        let costs = w.costs.clone();
+        let mut cost = costs.call_base + costs.recv_post_base;
+        let rs = &mut w.ranks[self.rank];
+        let mut found = None;
+        for (pos, u) in rs.unexpected.iter().enumerate() {
+            cost += costs.match_per_item;
+            let (usrc, utag) = u.src_tag();
+            if utag == tag && src.matches(usrc) {
+                found = Some(pos);
+                break;
+            }
+        }
+        match found {
+            Some(pos) => {
+                let u = rs.unexpected.remove(pos).expect("scanned position");
+                match u {
+                    Unexpected::Eager {
+                        src: usrc,
+                        tag,
+                        size,
+                        data,
+                    } => {
+                        cost += costs.copy_cost(size);
+                        rs.requests[req.idx].state = RState::Complete(Status {
+                            src: usrc,
+                            tag,
+                            size,
+                            data,
+                        });
+                    }
+                    Unexpected::Rts {
+                        src: usrc,
+                        tag,
+                        size,
+                        sender_req,
+                    } => {
+                        let _ = size;
+                        rs.requests[req.idx].state = RState::RecvAwaitData { src: usrc, tag };
+                        let fabric = w.fabric.clone();
+                        let wire = Rc::new(Wire::Cts {
+                            sender_req,
+                            recver: self.rank,
+                            recver_req: req.idx,
+                        });
+                        let hdr = costs.header_bytes;
+                        drop(w);
+                        Fabric::send(&fabric, sim, self.rank, usrc, hdr, Payload::Any(wire), None);
+                    }
+                }
+            }
+            None => {
+                rs.requests[req.idx].state = RState::RecvPosted;
+                rs.posted.push_back((req.idx, src, tag));
+            }
+        }
+        cost
+    }
+
+    /// Drain the incoming hardware queue: match eager messages and RTSs,
+    /// react to CTSs (send DATA) and DATA (complete receives). Returns the
+    /// CPU cost. This is the *only* place the library makes progress.
+    fn drain_incoming(&self, sim: &mut Sim) -> SimTime {
+        let mut cost = SimTime::ZERO;
+        loop {
+            let wire = {
+                let mut w = self.world.borrow_mut();
+                match w.ranks[self.rank].incoming.pop_front() {
+                    Some(m) => m,
+                    None => break,
+                }
+            };
+            cost += self.process_wire(sim, &wire);
+        }
+        cost
+    }
+
+    fn process_wire(&self, sim: &mut Sim, wire: &Wire) -> SimTime {
+        let mut w = self.world.borrow_mut();
+        let costs = w.costs.clone();
+        let mut cost = costs.progress_per_msg;
+        match wire {
+            Wire::Eager {
+                src,
+                tag,
+                size,
+                data,
+            } => {
+                let rs = &mut w.ranks[self.rank];
+                let mut matched = None;
+                for (pos, &(ridx, psrc, ptag)) in rs.posted.iter().enumerate() {
+                    cost += costs.match_per_item;
+                    if ptag == *tag && psrc.matches(*src) {
+                        matched = Some((pos, ridx));
+                        break;
+                    }
+                }
+                let data = data.borrow_mut().take();
+                match matched {
+                    Some((pos, ridx)) => {
+                        rs.posted.remove(pos);
+                        cost += costs.copy_cost(*size);
+                        rs.requests[ridx].state = RState::Complete(Status {
+                            src: *src,
+                            tag: *tag,
+                            size: *size,
+                            data,
+                        });
+                    }
+                    None => {
+                        rs.unexpected.push_back(Unexpected::Eager {
+                            src: *src,
+                            tag: *tag,
+                            size: *size,
+                            data,
+                        });
+                    }
+                }
+            }
+            Wire::Rts {
+                src,
+                tag,
+                size,
+                sender_req,
+            } => {
+                let rs = &mut w.ranks[self.rank];
+                let mut matched = None;
+                for (pos, &(ridx, psrc, ptag)) in rs.posted.iter().enumerate() {
+                    cost += costs.match_per_item;
+                    if ptag == *tag && psrc.matches(*src) {
+                        matched = Some((pos, ridx));
+                        break;
+                    }
+                }
+                match matched {
+                    Some((pos, ridx)) => {
+                        rs.posted.remove(pos);
+                        rs.requests[ridx].state = RState::RecvAwaitData {
+                            src: *src,
+                            tag: *tag,
+                        };
+                        let fabric = w.fabric.clone();
+                        let wire = Rc::new(Wire::Cts {
+                            sender_req: *sender_req,
+                            recver: self.rank,
+                            recver_req: ridx,
+                        });
+                        let hdr = costs.header_bytes;
+                        drop(w);
+                        Fabric::send(&fabric, sim, self.rank, *src, hdr, Payload::Any(wire), None);
+                    }
+                    None => {
+                        rs.unexpected.push_back(Unexpected::Rts {
+                            src: *src,
+                            tag: *tag,
+                            size: *size,
+                            sender_req: *sender_req,
+                        });
+                    }
+                }
+            }
+            Wire::Cts {
+                sender_req,
+                recver,
+                recver_req,
+            } => {
+                // We are the sender: ship DATA, zero-copy (RDMA write).
+                let (size, data) = {
+                    let r = &mut w.ranks[self.rank].requests[*sender_req];
+                    match &mut r.state {
+                        RState::SendInFlight { size, data, .. } => (*size, data.take()),
+                        other => panic!("CTS for request in state {other:?}"),
+                    }
+                };
+                let fabric = w.fabric.clone();
+                let hdr = w.costs.header_bytes;
+                let wire = Rc::new(Wire::Data {
+                    recver_req: *recver_req,
+                    size,
+                    data: RefCell::new(data),
+                });
+                let world = self.world.clone();
+                let rank = self.rank;
+                let sreq = *sender_req;
+                drop(w);
+                // Local completion when the last chunk leaves our NIC.
+                Fabric::send(
+                    &fabric,
+                    sim,
+                    rank,
+                    *recver,
+                    size + hdr,
+                    Payload::Any(wire),
+                    Some(Box::new(move |sim| {
+                        let waker = {
+                            let mut w = world.borrow_mut();
+                            let r = &mut w.ranks[rank].requests[sreq];
+                            if let RState::SendInFlight { tag, size, .. } = r.state {
+                                r.state = RState::Complete(Status {
+                                    src: rank,
+                                    tag,
+                                    size,
+                                    data: None,
+                                });
+                            } else {
+                                panic!("DATA tx-done for request in unexpected state");
+                            }
+                            w.ranks[rank].waker.clone()
+                        };
+                        if let Some(waker) = waker {
+                            waker(sim);
+                        }
+                    })),
+                );
+            }
+            Wire::Data {
+                recver_req,
+                size,
+                data,
+            } => {
+                let r = &mut w.ranks[self.rank].requests[*recver_req];
+                match r.state {
+                    RState::RecvAwaitData { src, tag, .. } => {
+                        r.state = RState::Complete(Status {
+                            src,
+                            tag,
+                            size: *size,
+                            data: data.borrow_mut().take(),
+                        });
+                    }
+                    ref other => panic!("DATA for request in state {other:?}"),
+                }
+            }
+        }
+        cost
+    }
+
+    /// Test a single request for completion, making library progress.
+    pub fn test(&self, sim: &mut Sim, req: ReqId) -> (Option<Status>, SimTime) {
+        self.check(req);
+        let mut cost = self.world.borrow().costs.call_base;
+        cost += self.drain_incoming(sim);
+        let mut w = self.world.borrow_mut();
+        let r = &mut w.ranks[self.rank].requests[req.idx];
+        if matches!(r.state, RState::Complete(_)) {
+            let state = std::mem::replace(&mut r.state, RState::Inactive);
+            let RState::Complete(status) = state else {
+                unreachable!()
+            };
+            let persistent = r.persistent.is_some();
+            drop(w);
+            if !persistent {
+                self.release(req);
+            }
+            (Some(status), cost)
+        } else {
+            (None, cost)
+        }
+    }
+
+    /// `MPI_Testsome` over the caller's request array: makes progress, then
+    /// reports every completed request. Completed persistent requests go
+    /// inactive (re-arm with [`Mpi::start`]); completed non-persistent
+    /// requests are freed.
+    pub fn testsome(&self, sim: &mut Sim, reqs: &[ReqId]) -> (Vec<Completion>, SimTime) {
+        let costs = self.world.borrow().costs.clone();
+        let mut cost = costs.call_base + costs.testsome_per_req * reqs.len() as u64;
+        cost += self.drain_incoming(sim);
+        let mut done = Vec::new();
+        for &req in reqs {
+            self.check(req);
+            let mut w = self.world.borrow_mut();
+            let r = &mut w.ranks[self.rank].requests[req.idx];
+            if matches!(r.state, RState::Complete(_)) {
+                let state = std::mem::replace(&mut r.state, RState::Inactive);
+                let RState::Complete(status) = state else {
+                    unreachable!()
+                };
+                let persistent = r.persistent.is_some();
+                drop(w);
+                if !persistent {
+                    self.release(req);
+                }
+                done.push(Completion { req, status });
+            }
+        }
+        (done, cost)
+    }
+
+    /// `MPI_Iprobe`: make progress, then report (without consuming) the
+    /// oldest unexpected message matching `(src, tag)`. The paper's §5.2
+    /// contrasts LCI's dynamic receive buffers with exactly this
+    /// probe-allocate-receive pattern.
+    pub fn iprobe(&self, sim: &mut Sim, src: SrcSel, tag: Tag) -> (Option<Status>, SimTime) {
+        let mut cost = self.world.borrow().costs.call_base;
+        cost += self.drain_incoming(sim);
+        let w = self.world.borrow();
+        let rs = &w.ranks[self.rank];
+        for u in rs.unexpected.iter() {
+            cost += w.costs.match_per_item;
+            let (usrc, utag) = u.src_tag();
+            if utag == tag && src.matches(usrc) {
+                let size = match u {
+                    Unexpected::Eager { size, .. } | Unexpected::Rts { size, .. } => *size,
+                };
+                return (
+                    Some(Status {
+                        src: usrc,
+                        tag: utag,
+                        size,
+                        data: None,
+                    }),
+                    cost,
+                );
+            }
+        }
+        (None, cost)
+    }
+
+    /// Cancel-and-free a posted receive or inactive persistent request.
+    pub fn release(&self, req: ReqId) {
+        self.check(req);
+        let mut w = self.world.borrow_mut();
+        let rs = &mut w.ranks[self.rank];
+        if let RState::RecvPosted = rs.requests[req.idx].state {
+            rs.posted.retain(|&(ridx, _, _)| ridx != req.idx);
+        }
+        rs.requests[req.idx].state = RState::Inactive;
+        rs.requests[req.idx].persistent = None;
+        rs.requests[req.idx].gen = rs.requests[req.idx].gen.wrapping_add(1);
+        rs.free.push(req.idx);
+    }
+
+    /// Register a waker invoked whenever this rank has something new to
+    /// poll: a wire message arrived or a local send completed. Used by
+    /// simulated polling threads to avoid busy-waiting in virtual time.
+    pub fn set_waker(&self, waker: impl Fn(&mut Sim) + 'static) {
+        self.world.borrow_mut().ranks[self.rank].waker = Some(Rc::new(waker));
+    }
+
+    /// Depth of the unexpected-message queue (diagnostics).
+    pub fn unexpected_depth(&self) -> usize {
+        self.world.borrow().ranks[self.rank].unexpected.len()
+    }
+
+    /// Depth of the incoming hardware queue (diagnostics).
+    pub fn incoming_depth(&self) -> usize {
+        self.world.borrow().ranks[self.rank].incoming.len()
+    }
+}
+
+impl std::fmt::Debug for RState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RState::Inactive => write!(f, "Inactive"),
+            RState::SendInFlight { .. } => write!(f, "SendInFlight"),
+            RState::Complete(_) => write!(f, "Complete"),
+            RState::RecvPosted => write!(f, "RecvPosted"),
+            RState::RecvAwaitData { .. } => write!(f, "RecvAwaitData"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Fabric configuration, with defaults calibrated to the paper's platform
+//! (SDSC Expanse: 2×50 Gb/s HDR InfiniBand per node, hybrid fat tree).
+
+use amt_simnet::SimTime;
+
+/// Hardware parameters of the simulated fabric.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-direction NIC injection bandwidth in Gbit/s.
+    /// Expanse: 2 × 50 Gb/s HDR links per node.
+    pub nic_bandwidth_gbps: f64,
+    /// One-way wire/switch latency (constant; the fat tree is treated as
+    /// non-blocking at ≤32 nodes).
+    pub wire_latency: SimTime,
+    /// Segmentation chunk size in bytes. Bounds head-of-line blocking of
+    /// control messages behind bulk transfers.
+    pub chunk_bytes: usize,
+    /// Fixed NIC/driver cost charged once per message on each side
+    /// (message-rate ceiling).
+    pub per_message_overhead: SimTime,
+    /// Fixed cost charged per chunk on each side (DMA descriptor handling).
+    pub per_chunk_overhead: SimTime,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            nodes: 2,
+            nic_bandwidth_gbps: 100.0,
+            wire_latency: SimTime::from_ns(800),
+            chunk_bytes: 64 * 1024,
+            per_message_overhead: SimTime::from_ns(250),
+            per_chunk_overhead: SimTime::from_ns(40),
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Expanse-like fabric with `nodes` nodes.
+    pub fn expanse(nodes: usize) -> Self {
+        FabricConfig {
+            nodes,
+            ..Default::default()
+        }
+    }
+
+    /// Bytes per nanosecond of one NIC direction.
+    #[inline]
+    pub fn bytes_per_ns(&self) -> f64 {
+        // Gbit/s == bits/ns; divide by 8 for bytes/ns.
+        self.nic_bandwidth_gbps / 8.0
+    }
+
+    /// Pure serialization time of `bytes` through one NIC direction.
+    #[inline]
+    pub fn serialization_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_ns_f64(bytes as f64 / self.bytes_per_ns())
+    }
+
+    /// Number of chunks a message of `bytes` occupies (at least 1).
+    #[inline]
+    pub fn chunks_of(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.chunk_bytes).max(1)
+    }
+
+    /// Lower-bound one-way delivery time for an isolated message of `bytes`
+    /// (tx service + wire + rx service of the final chunk overlap-pipelined).
+    pub fn ideal_one_way(&self, bytes: usize) -> SimTime {
+        let chunks = self.chunks_of(bytes);
+        let last_chunk = bytes - (chunks - 1) * self.chunk_bytes.min(bytes);
+        // tx of whole message, then wire latency, then rx of the final chunk
+        // (earlier chunks' rx overlaps with later chunks' tx).
+        self.serialization_time(bytes)
+            + self.per_message_overhead
+            + self.per_chunk_overhead * chunks as u64
+            + self.wire_latency
+            + self.serialization_time(last_chunk)
+            + self.per_message_overhead
+            + self.per_chunk_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_conversion() {
+        let cfg = FabricConfig::default();
+        assert!((cfg.bytes_per_ns() - 12.5).abs() < 1e-12);
+        // 125 KB at 12.5 B/ns = 10 us.
+        assert_eq!(cfg.serialization_time(125_000), SimTime::from_us(10));
+    }
+
+    #[test]
+    fn chunk_count() {
+        let cfg = FabricConfig::default();
+        assert_eq!(cfg.chunks_of(0), 1);
+        assert_eq!(cfg.chunks_of(1), 1);
+        assert_eq!(cfg.chunks_of(64 * 1024), 1);
+        assert_eq!(cfg.chunks_of(64 * 1024 + 1), 2);
+        assert_eq!(cfg.chunks_of(8 * 1024 * 1024), 128);
+    }
+
+    #[test]
+    fn ideal_one_way_scales_with_size() {
+        let cfg = FabricConfig::default();
+        let small = cfg.ideal_one_way(64);
+        let big = cfg.ideal_one_way(8 * 1024 * 1024);
+        assert!(small < SimTime::from_us(2), "small message too slow: {small}");
+        // 8 MiB at 12.5 B/ns is ~671 us one way.
+        assert!(big > SimTime::from_us(650) && big < SimTime::from_us(700), "{big}");
+    }
+}

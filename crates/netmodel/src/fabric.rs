@@ -1,0 +1,397 @@
+//! The fabric proper: per-node NIC transmit/receive engines, chunked
+//! round-robin serialization, wire latency, and delivery to node handlers.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use amt_simnet::{Counter, CoreResource, Sim, SimTime};
+use bytes::Bytes;
+
+use crate::config::FabricConfig;
+
+/// Index of a node in the simulated cluster.
+pub type NodeId = usize;
+
+/// Unique id of a message on the fabric (tracing / debugging).
+pub type MsgId = u64;
+
+/// What a message carries. The fabric is payload-agnostic; communication
+/// libraries layered on top define their own protocol structures.
+pub enum Payload {
+    /// No payload (pure control signal; the wire size is still accounted).
+    Empty,
+    /// Real data bytes (zero-copy shared).
+    Bytes(Bytes),
+    /// An arbitrary protocol structure.
+    Any(Rc<dyn Any>),
+}
+
+impl Payload {
+    /// Byte length of a `Bytes` payload, 0 otherwise.
+    pub fn data_len(&self) -> usize {
+        match self {
+            Payload::Bytes(b) => b.len(),
+            _ => 0,
+        }
+    }
+
+    /// Extract the bytes, panicking if this is not a `Bytes` payload.
+    pub fn expect_bytes(self) -> Bytes {
+        match self {
+            Payload::Bytes(b) => b,
+            _ => panic!("payload is not Bytes"),
+        }
+    }
+
+    /// Downcast an `Any` payload to a concrete protocol type.
+    pub fn downcast<T: 'static>(self) -> Rc<T> {
+        match self {
+            Payload::Any(a) => a.downcast::<T>().expect("payload downcast failed"),
+            _ => panic!("payload is not Any"),
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Empty => write!(f, "Empty"),
+            Payload::Bytes(b) => write!(f, "Bytes({})", b.len()),
+            Payload::Any(_) => write!(f, "Any"),
+        }
+    }
+}
+
+/// A message delivered to a node's receive handler.
+#[derive(Debug)]
+pub struct Delivery {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Wire size in bytes (headers included, as declared by the sender).
+    pub size: usize,
+    pub msg_id: MsgId,
+    pub payload: Payload,
+    /// Virtual time at which the sender injected the message.
+    pub sent_at: SimTime,
+}
+
+/// Per-node receive handler. Invoked once per delivered message, in its own
+/// event (never re-entrantly).
+pub type RxHandler = Rc<RefCell<dyn FnMut(&mut Sim, Delivery)>>;
+
+/// Local-completion callback for a transfer.
+pub type TxDone = Box<dyn FnOnce(&mut Sim)>;
+
+struct Transfer {
+    msg_id: MsgId,
+    src: NodeId,
+    dst: NodeId,
+    size: usize,
+    sent_at: SimTime,
+    remaining: usize,
+    first_chunk: bool,
+    payload: Option<Payload>,
+    on_tx_done: Option<TxDone>,
+}
+
+struct ChunkArrival {
+    msg_id: MsgId,
+    src: NodeId,
+    dst: NodeId,
+    size: usize,
+    sent_at: SimTime,
+    chunk_bytes: usize,
+    first_chunk: bool,
+    /// Present only on the final chunk; its receive completion delivers.
+    finale: Option<(Payload, Option<TxDone>)>,
+}
+
+struct NodeNic {
+    tx_busy: bool,
+    tx_queue: VecDeque<Transfer>,
+    rx: CoreResource,
+    tx_bytes: Counter,
+    rx_bytes: Counter,
+    tx_msgs: Counter,
+    rx_msgs: Counter,
+    tx_busy_time: SimTime,
+}
+
+impl NodeNic {
+    fn new(node: NodeId) -> Self {
+        NodeNic {
+            tx_busy: false,
+            tx_queue: VecDeque::new(),
+            rx: CoreResource::new(format!("nic{node}.rx")),
+            tx_bytes: Counter::default(),
+            rx_bytes: Counter::default(),
+            tx_msgs: Counter::default(),
+            rx_msgs: Counter::default(),
+            tx_busy_time: SimTime::ZERO,
+        }
+    }
+}
+
+/// The simulated cluster fabric. See the crate docs for the model.
+pub struct Fabric {
+    cfg: FabricConfig,
+    nics: Vec<NodeNic>,
+    handlers: Vec<Option<RxHandler>>,
+    next_msg: MsgId,
+}
+
+/// Shared handle to a [`Fabric`]; all operations are associated functions
+/// over the handle so user handlers can re-enter the fabric.
+pub type FabricHandle = Rc<RefCell<Fabric>>;
+
+impl Fabric {
+    /// Build a fabric and return a shared handle.
+    pub fn new(cfg: FabricConfig) -> FabricHandle {
+        let nics = (0..cfg.nodes).map(NodeNic::new).collect();
+        let handlers = (0..cfg.nodes).map(|_| None).collect();
+        Rc::new(RefCell::new(Fabric {
+            cfg,
+            nics,
+            handlers,
+            next_msg: 0,
+        }))
+    }
+
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    /// Register the receive handler for `node` (replaces any previous one).
+    pub fn set_handler(&mut self, node: NodeId, handler: RxHandler) {
+        self.handlers[node] = Some(handler);
+    }
+
+    pub fn tx_bytes(&self, node: NodeId) -> u64 {
+        self.nics[node].tx_bytes.get()
+    }
+
+    pub fn rx_bytes(&self, node: NodeId) -> u64 {
+        self.nics[node].rx_bytes.get()
+    }
+
+    pub fn tx_msgs(&self, node: NodeId) -> u64 {
+        self.nics[node].tx_msgs.get()
+    }
+
+    pub fn rx_msgs(&self, node: NodeId) -> u64 {
+        self.nics[node].rx_msgs.get()
+    }
+
+    /// Total time node `node`'s transmit engine has been occupied.
+    pub fn tx_busy_time(&self, node: NodeId) -> SimTime {
+        self.nics[node].tx_busy_time
+    }
+
+    /// Inject a message. `size` is the wire size in bytes (the caller
+    /// accounts for headers); `payload` rides along and is handed to the
+    /// destination handler; `on_tx_done` fires when the last chunk leaves
+    /// the sender's NIC (local completion).
+    ///
+    /// Self-sends (`src == dst`) bypass the NIC entirely and deliver after
+    /// a small fixed loopback delay.
+    pub fn send(
+        fab: &FabricHandle,
+        sim: &mut Sim,
+        src: NodeId,
+        dst: NodeId,
+        size: usize,
+        payload: Payload,
+        on_tx_done: Option<TxDone>,
+    ) -> MsgId {
+        let msg_id;
+        {
+            let mut f = fab.borrow_mut();
+            msg_id = f.next_msg;
+            f.next_msg += 1;
+            assert!(src < f.cfg.nodes && dst < f.cfg.nodes, "bad node id");
+
+            if src == dst {
+                drop(f);
+                let fab2 = fab.clone();
+                let sent_at = sim.now();
+                sim.schedule_in(SimTime::from_ns(100), move |sim| {
+                    if let Some(cb) = on_tx_done {
+                        cb(sim);
+                    }
+                    Fabric::deliver(
+                        &fab2,
+                        sim,
+                        Delivery {
+                            src,
+                            dst,
+                            size,
+                            msg_id,
+                            payload,
+                            sent_at,
+                        },
+                    );
+                });
+                return msg_id;
+            }
+
+            f.nics[src].tx_msgs.inc();
+            f.nics[src].tx_bytes.add(size as u64);
+            f.nics[src].tx_queue.push_back(Transfer {
+                msg_id,
+                src,
+                dst,
+                size,
+                sent_at: sim.now(),
+                remaining: size,
+                first_chunk: true,
+                payload: Some(payload),
+                on_tx_done,
+            });
+        }
+        Fabric::tx_pump(fab, sim, src);
+        msg_id
+    }
+
+    /// If the transmit engine of `node` is idle and has queued transfers,
+    /// serve the next chunk.
+    ///
+    /// Scheduling policy: bulk (multi-chunk) transfers are served FIFO —
+    /// message by message, as an RDMA NIC drains a queue pair — while
+    /// single-chunk messages (control traffic) jump ahead between chunks,
+    /// modelling a separate virtual lane. This keeps control latency
+    /// bounded without splitting bandwidth across every outstanding bulk
+    /// transfer (completion times matter: a fair round-robin would make
+    /// every transfer of a burst complete at the very end).
+    fn tx_pump(fab: &FabricHandle, sim: &mut Sim, node: NodeId) {
+        let (dur, arrival, wire_latency);
+        {
+            let mut f = fab.borrow_mut();
+            if f.nics[node].tx_busy || f.nics[node].tx_queue.is_empty() {
+                return;
+            }
+            let cfg_chunk = f.cfg.chunk_bytes;
+            let pos = f.nics[node]
+                .tx_queue
+                .iter()
+                .position(|t| t.size <= cfg_chunk)
+                .unwrap_or(0);
+            let mut t = f.nics[node].tx_queue.remove(pos).expect("position valid");
+            let chunk = t.remaining.min(cfg_chunk);
+            let first = t.first_chunk;
+            t.first_chunk = false;
+            t.remaining -= chunk;
+            let finished = t.remaining == 0;
+
+            dur = f.cfg.serialization_time(chunk)
+                + f.cfg.per_chunk_overhead
+                + if first {
+                    f.cfg.per_message_overhead
+                } else {
+                    SimTime::ZERO
+                };
+            wire_latency = f.cfg.wire_latency;
+
+            arrival = ChunkArrival {
+                msg_id: t.msg_id,
+                src: t.src,
+                dst: t.dst,
+                size: t.size,
+                sent_at: t.sent_at,
+                chunk_bytes: chunk,
+                first_chunk: first,
+                finale: if finished {
+                    Some((
+                        t.payload.take().expect("payload consumed twice"),
+                        t.on_tx_done.take(),
+                    ))
+                } else {
+                    None
+                },
+            };
+
+            if !finished {
+                // Unfinished bulk transfer stays at the head (FIFO).
+                f.nics[node].tx_queue.push_front(t);
+            }
+            f.nics[node].tx_busy = true;
+            f.nics[node].tx_busy_time += dur;
+        }
+
+        let fab2 = fab.clone();
+        sim.schedule_in(dur, move |sim| {
+            // Chunk left the sender NIC.
+            fab2.borrow_mut().nics[node].tx_busy = false;
+            let mut arrival = arrival;
+            let on_tx_done = arrival.finale.as_mut().and_then(|(_, cb)| cb.take());
+            if let Some(cb) = on_tx_done {
+                cb(sim);
+            }
+            let fab3 = fab2.clone();
+            sim.schedule_in(wire_latency, move |sim| {
+                Fabric::rx_chunk(&fab3, sim, arrival);
+            });
+            Fabric::tx_pump(&fab2, sim, node);
+        });
+    }
+
+    /// A chunk reached the destination NIC: serialize through the receive
+    /// engine; the final chunk's completion delivers the message.
+    fn rx_chunk(fab: &FabricHandle, sim: &mut Sim, arrival: ChunkArrival) {
+        let dst = arrival.dst;
+        let dur = {
+            let f = fab.borrow();
+            f.cfg.serialization_time(arrival.chunk_bytes)
+                + f.cfg.per_chunk_overhead
+                + if arrival.first_chunk {
+                    f.cfg.per_message_overhead
+                } else {
+                    SimTime::ZERO
+                }
+        };
+        let fab2 = fab.clone();
+        // Charge the rx engine; deliver on completion of the final chunk.
+        let mut f = fab.borrow_mut();
+        f.nics[dst].rx.charge(sim, dur, move |sim| {
+            if let Some((payload, _)) = arrival.finale {
+                {
+                    let mut f = fab2.borrow_mut();
+                    f.nics[dst].rx_msgs.inc();
+                    f.nics[dst].rx_bytes.add(arrival.size as u64);
+                }
+                Fabric::deliver(
+                    &fab2,
+                    sim,
+                    Delivery {
+                        src: arrival.src,
+                        dst,
+                        size: arrival.size,
+                        msg_id: arrival.msg_id,
+                        payload,
+                        sent_at: arrival.sent_at,
+                    },
+                );
+            }
+        });
+    }
+
+    fn deliver(fab: &FabricHandle, sim: &mut Sim, delivery: Delivery) {
+        let handler = fab.borrow().handlers[delivery.dst]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {} has no rx handler", delivery.dst))
+            .clone();
+        sim.schedule_now(move |sim| {
+            (handler.borrow_mut())(sim, delivery);
+        });
+    }
+}
+
+/// Convenience: wrap a closure as an [`RxHandler`].
+pub fn rx_handler(f: impl FnMut(&mut Sim, Delivery) + 'static) -> RxHandler {
+    Rc::new(RefCell::new(f))
+}

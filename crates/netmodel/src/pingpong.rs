@@ -1,0 +1,99 @@
+//! Raw-fabric ping-pong: the NetPIPE-equivalent baseline of Fig. 2a.
+//!
+//! No communication library, no runtime — just the hardware envelope. A
+//! message bounces between node 0 and node 1; bandwidth is reported as
+//! NetPIPE does: `size / (rtt / 2)`.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use amt_simnet::{Sim, SimTime};
+
+use crate::config::FabricConfig;
+use crate::fabric::{rx_handler, Fabric, Payload};
+
+/// Run `iters` ping-pong round trips of `size`-byte messages on a fresh
+/// 2-node fabric; returns the NetPIPE-style bandwidth in Gbit/s.
+pub fn raw_pingpong_gbps(cfg: &FabricConfig, size: usize, iters: usize) -> f64 {
+    let total = run_pingpong(cfg, size, iters);
+    let half_rtt_ns = total.as_ns() as f64 / (2.0 * iters as f64);
+    // bits per ns == Gbit/s.
+    size as f64 * 8.0 / half_rtt_ns
+}
+
+/// Mean one-way latency (half round trip) for `size`-byte messages.
+pub fn raw_roundtrip_latency(cfg: &FabricConfig, size: usize, iters: usize) -> SimTime {
+    let total = run_pingpong(cfg, size, iters);
+    SimTime::from_ns(total.as_ns() / (2 * iters as u64))
+}
+
+fn run_pingpong(cfg: &FabricConfig, size: usize, iters: usize) -> SimTime {
+    assert!(cfg.nodes >= 2, "ping-pong needs two nodes");
+    assert!(iters > 0);
+    let mut sim = Sim::new();
+    let fab = Fabric::new(cfg.clone());
+
+    let remaining = Rc::new(Cell::new(2 * iters)); // messages still to deliver
+    let finish = Rc::new(Cell::new(SimTime::ZERO));
+
+    for node in 0..2usize {
+        let fab2 = fab.clone();
+        let remaining = remaining.clone();
+        let finish = finish.clone();
+        let handler = rx_handler(move |sim, d| {
+            let left = remaining.get() - 1;
+            remaining.set(left);
+            if left == 0 {
+                finish.set(sim.now());
+            } else {
+                // Bounce straight back.
+                Fabric::send(&fab2, sim, d.dst, d.src, d.size, Payload::Empty, None);
+            }
+        });
+        fab.borrow_mut().set_handler(node, handler);
+    }
+
+    Fabric::send(&fab, &mut sim, 0, 1, size, Payload::Empty, None);
+    sim.run();
+    assert_eq!(remaining.get(), 0, "ping-pong did not complete");
+    finish.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_messages_approach_peak_bandwidth() {
+        let cfg = FabricConfig::expanse(2);
+        let bw = raw_pingpong_gbps(&cfg, 8 * 1024 * 1024, 4);
+        assert!(bw > 90.0 && bw <= 100.0, "8 MiB bandwidth {bw} Gbit/s");
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let cfg = FabricConfig::expanse(2);
+        let bw = raw_pingpong_gbps(&cfg, 8 * 1024, 16);
+        // 8 KiB one-way ideal ~1.9 us -> ~30-40 Gbit/s, well below peak.
+        assert!(bw > 10.0 && bw < 60.0, "8 KiB bandwidth {bw} Gbit/s");
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_in_size() {
+        let cfg = FabricConfig::expanse(2);
+        let mut last = 0.0;
+        for shift in 10..=23 {
+            let bw = raw_pingpong_gbps(&cfg, 1usize << shift, 4);
+            assert!(bw > last, "bandwidth dipped at 2^{shift}: {bw} <= {last}");
+            last = bw;
+        }
+    }
+
+    #[test]
+    fn zero_byte_latency_is_wire_plus_overheads() {
+        let cfg = FabricConfig::expanse(2);
+        let lat = raw_roundtrip_latency(&cfg, 0, 8);
+        let ideal = cfg.ideal_one_way(0);
+        assert_eq!(lat, ideal, "lat {lat} vs ideal {ideal}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Fabric behaviour tests: chunk interleaving, payload integrity, accounting,
+//! determinism.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use amt_simnet::{Sim, SimTime};
+use bytes::Bytes;
+
+use crate::{rx_handler, Fabric, FabricConfig, Payload};
+
+fn two_node_fabric() -> (Sim, crate::FabricHandle) {
+    (Sim::new(), Fabric::new(FabricConfig::expanse(2)))
+}
+
+#[test]
+fn payload_bytes_arrive_intact() {
+    let (mut sim, fab) = two_node_fabric();
+    let got: Rc<RefCell<Option<Bytes>>> = Rc::new(RefCell::new(None));
+    let got2 = got.clone();
+    fab.borrow_mut().set_handler(
+        1,
+        rx_handler(move |_sim, d| {
+            *got2.borrow_mut() = Some(d.payload.expect_bytes());
+        }),
+    );
+    fab.borrow_mut().set_handler(0, rx_handler(|_, _| panic!("unexpected")));
+
+    let data = Bytes::from((0..=255u8).collect::<Vec<u8>>());
+    Fabric::send(&fab, &mut sim, 0, 1, data.len(), Payload::Bytes(data.clone()), None);
+    sim.run();
+    assert_eq!(got.borrow().as_deref(), Some(&data[..]));
+}
+
+#[test]
+fn small_message_overtakes_bulk_transfer() {
+    // A tiny control message injected right after an 8 MiB transfer must be
+    // delayed by at most ~one chunk, not the whole transfer.
+    let (mut sim, fab) = two_node_fabric();
+    let deliveries = Rc::new(RefCell::new(Vec::new()));
+    let d2 = deliveries.clone();
+    fab.borrow_mut().set_handler(
+        1,
+        rx_handler(move |sim, d| {
+            d2.borrow_mut().push((d.size, sim.now()));
+        }),
+    );
+    let big = 8 * 1024 * 1024;
+    Fabric::send(&fab, &mut sim, 0, 1, big, Payload::Empty, None);
+    Fabric::send(&fab, &mut sim, 0, 1, 64, Payload::Empty, None);
+    sim.run();
+
+    let log = deliveries.borrow();
+    assert_eq!(log.len(), 2);
+    // Small message delivered first.
+    assert_eq!(log[0].0, 64);
+    assert_eq!(log[1].0, big);
+    // And within a couple of chunk times of t=0 (one chunk ~5.3 us).
+    assert!(
+        log[0].1 < SimTime::from_us(20),
+        "control message delayed: {}",
+        log[0].1
+    );
+    // Bulk transfer takes ~671 us of serialization.
+    assert!(log[1].1 > SimTime::from_us(600));
+}
+
+#[test]
+fn tx_done_fires_before_delivery() {
+    let (mut sim, fab) = two_node_fabric();
+    let order = Rc::new(RefCell::new(Vec::new()));
+    let (o1, o2) = (order.clone(), order.clone());
+    fab.borrow_mut().set_handler(
+        1,
+        rx_handler(move |_sim, _d| o1.borrow_mut().push("delivered")),
+    );
+    Fabric::send(
+        &fab,
+        &mut sim,
+        0,
+        1,
+        1024,
+        Payload::Empty,
+        Some(Box::new(move |_sim| o2.borrow_mut().push("tx_done"))),
+    );
+    sim.run();
+    assert_eq!(*order.borrow(), vec!["tx_done", "delivered"]);
+}
+
+#[test]
+fn counters_track_traffic() {
+    let (mut sim, fab) = two_node_fabric();
+    fab.borrow_mut().set_handler(1, rx_handler(|_, _| {}));
+    fab.borrow_mut().set_handler(0, rx_handler(|_, _| {}));
+    for _ in 0..3 {
+        Fabric::send(&fab, &mut sim, 0, 1, 1000, Payload::Empty, None);
+    }
+    Fabric::send(&fab, &mut sim, 1, 0, 500, Payload::Empty, None);
+    sim.run();
+    let f = fab.borrow();
+    assert_eq!(f.tx_msgs(0), 3);
+    assert_eq!(f.tx_bytes(0), 3000);
+    assert_eq!(f.rx_msgs(1), 3);
+    assert_eq!(f.rx_bytes(1), 3000);
+    assert_eq!(f.tx_bytes(1), 500);
+    assert_eq!(f.rx_bytes(0), 500);
+}
+
+#[test]
+fn self_send_loops_back() {
+    let (mut sim, fab) = two_node_fabric();
+    let hit = Rc::new(RefCell::new(false));
+    let h2 = hit.clone();
+    fab.borrow_mut().set_handler(
+        0,
+        rx_handler(move |_sim, d| {
+            assert_eq!(d.src, 0);
+            assert_eq!(d.dst, 0);
+            *h2.borrow_mut() = true;
+        }),
+    );
+    Fabric::send(&fab, &mut sim, 0, 0, 128, Payload::Empty, None);
+    sim.run();
+    assert!(*hit.borrow());
+    // Loopback does not touch the NIC counters.
+    assert_eq!(fab.borrow().tx_msgs(0), 0);
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = || {
+        let (mut sim, fab) = two_node_fabric();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for node in 0..2 {
+            let l = log.clone();
+            let f2 = fab.clone();
+            fab.borrow_mut().set_handler(
+                node,
+                rx_handler(move |sim, d| {
+                    l.borrow_mut().push((d.msg_id, d.size, sim.now().as_ns()));
+                    if d.size > 1000 {
+                        Fabric::send(&f2, sim, d.dst, d.src, d.size / 2, Payload::Empty, None);
+                    }
+                }),
+            );
+        }
+        for i in 0..10usize {
+            Fabric::send(&fab, &mut sim, i % 2, (i + 1) % 2, 100_000 >> (i % 4), Payload::Empty, None);
+        }
+        sim.run();
+        let result = log.borrow().clone();
+        result
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn concurrent_senders_share_receiver_bandwidth() {
+    // Two senders into one receiver: total time ~ twice a single transfer
+    // (receive engine is the bottleneck).
+    let mut sim = Sim::new();
+    let fab = Fabric::new(FabricConfig::expanse(3));
+    let done = Rc::new(RefCell::new(Vec::new()));
+    let d2 = done.clone();
+    fab.borrow_mut().set_handler(
+        2,
+        rx_handler(move |sim, d| d2.borrow_mut().push((d.src, sim.now()))),
+    );
+    let size = 4 * 1024 * 1024;
+    Fabric::send(&fab, &mut sim, 0, 2, size, Payload::Empty, None);
+    Fabric::send(&fab, &mut sim, 1, 2, size, Payload::Empty, None);
+    sim.run();
+    let log = done.borrow();
+    assert_eq!(log.len(), 2);
+    let single = FabricConfig::expanse(2).serialization_time(size);
+    let last = log[1].1;
+    // Both transfers must finish in about 2x the single-transfer service
+    // time (within overheads), not 1x.
+    assert!(last > single * 2, "rx sharing too fast: {last}");
+    assert!(last < single * 2 + SimTime::from_us(200), "rx sharing too slow: {last}");
+}

@@ -1,0 +1,254 @@
+//! The event loop: a virtual clock plus a deterministic priority queue of
+//! events.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event body: arbitrary code run at a virtual instant.
+pub type Event = Box<dyn FnOnce(&mut Sim)>;
+
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    body: Event,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulation engine.
+///
+/// `Sim` owns the virtual clock and the pending-event queue. All simulation
+/// activity happens inside events: an event may inspect/mutate components it
+/// has captured and schedule further events.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    executed: u64,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at virtual time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (engine-throughput metric).
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `body` to run at absolute virtual time `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// in release builds the event is clamped to `now` (runs "immediately",
+    /// preserving determinism).
+    pub fn schedule_at(&mut self, at: SimTime, body: impl FnOnce(&mut Sim) + 'static) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            time: at,
+            seq,
+            body: Box::new(body),
+        }));
+    }
+
+    /// Schedule `body` to run `delay` after the current virtual time.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimTime, body: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now + delay, body);
+    }
+
+    /// Schedule `body` to run at the current virtual instant, after all
+    /// events already scheduled for this instant.
+    #[inline]
+    pub fn schedule_now(&mut self, body: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now, body);
+    }
+
+    /// Execute a single event if one is pending. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.time >= self.now, "event queue went backwards");
+                self.now = ev.time;
+                self.executed += 1;
+                (ev.body)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until no events remain.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue drains or virtual time would exceed `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` still execute. Returns `true`
+    /// if the queue drained, `false` if the deadline stopped the run (the
+    /// first too-late event remains queued and the clock does not advance
+    /// past `deadline`).
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        loop {
+            match self.queue.peek() {
+                None => return true,
+                Some(Reverse(ev)) if ev.time > deadline => return false,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Run at most `max_events` events. Returns the number executed.
+    pub fn run_events(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared;
+
+    #[test]
+    fn empty_sim_is_idle() {
+        let mut sim = Sim::new();
+        assert!(!sim.step());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new();
+        let log = shared(Vec::new());
+        for &t in &[5u64, 1, 3, 2, 4] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_us(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), SimTime::from_us(5));
+        assert_eq!(sim.events_executed(), 5);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut sim = Sim::new();
+        let log = shared(Vec::new());
+        for i in 0..10 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_us(7), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new();
+        let log = shared(Vec::new());
+        let l2 = log.clone();
+        sim.schedule_in(SimTime::from_us(1), move |sim| {
+            l2.borrow_mut().push(sim.now());
+            let l3 = l2.clone();
+            sim.schedule_in(SimTime::from_us(2), move |sim| {
+                l3.borrow_mut().push(sim.now());
+            });
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![SimTime::from_us(1), SimTime::from_us(3)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new();
+        let hits = shared(0u32);
+        for t in 1..=10u64 {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::from_us(t), move |_| *hits.borrow_mut() += 1);
+        }
+        let drained = sim.run_until(SimTime::from_us(4));
+        assert!(!drained);
+        assert_eq!(*hits.borrow(), 4);
+        assert_eq!(sim.now(), SimTime::from_us(4));
+        assert!(sim.run_until(SimTime::from_us(100)));
+        assert_eq!(*hits.borrow(), 10);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_same_instant_events() {
+        let mut sim = Sim::new();
+        let log = shared(Vec::new());
+        let (a, b) = (log.clone(), log.clone());
+        sim.schedule_at(SimTime::ZERO, move |sim| {
+            let b = b.clone();
+            sim.schedule_now(move |_| b.borrow_mut().push("later"));
+        });
+        sim.schedule_at(SimTime::ZERO, move |_| a.borrow_mut().push("first"));
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["first", "later"]);
+    }
+
+    #[test]
+    fn run_events_bounds_execution() {
+        let mut sim = Sim::new();
+        for t in 0..5u64 {
+            sim.schedule_at(SimTime::from_ns(t), |_| {});
+        }
+        assert_eq!(sim.run_events(3), 3);
+        assert_eq!(sim.events_pending(), 2);
+        assert_eq!(sim.run_events(100), 2);
+    }
+}

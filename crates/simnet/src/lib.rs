@@ -1,0 +1,58 @@
+//! # amt-simnet
+//!
+//! A deterministic, single-threaded discrete-event simulation (DES) engine.
+//!
+//! This crate is the substrate on which the rest of the `amtlc` workspace
+//! simulates a multi-node HPC cluster: CPU cores, communication threads,
+//! NICs and links are all modelled as *resources* whose occupancy is charged
+//! in virtual time, while the actual Rust code for schedulers, matching
+//! engines and protocol state machines runs for real inside events.
+//!
+//! ## Model
+//!
+//! * [`Sim`] owns a virtual clock and a priority queue of events. An event is
+//!   a boxed `FnOnce(&mut Sim)` closure. Events scheduled for the same
+//!   virtual instant execute in scheduling order (a monotonic sequence number
+//!   breaks ties), which makes every simulation fully deterministic.
+//! * Components are ordinary Rust structs wrapped in `Rc<RefCell<_>>` and
+//!   captured by the closures they schedule. The engine is single-threaded,
+//!   so this is safe and cheap.
+//! * [`CoreResource`] models a serially-occupied execution resource (a CPU
+//!   core, a pinned communication thread, a NIC DMA engine): work items are
+//!   served FIFO, each occupying the resource for a caller-supplied duration.
+//! * [`TokenPool`] models bounded credit pools (request slots, packet pools)
+//!   with FIFO waiter queues, used for back-pressure.
+//!
+//! ## Example
+//!
+//! ```
+//! use amt_simnet::{Sim, SimTime};
+//!
+//! let mut sim = Sim::new();
+//! sim.schedule_in(SimTime::from_us(5), |sim| {
+//!     assert_eq!(sim.now(), SimTime::from_us(5));
+//! });
+//! sim.run();
+//! assert_eq!(sim.now(), SimTime::from_us(5));
+//! ```
+
+mod engine;
+mod resource;
+mod stats;
+mod time;
+mod trace;
+
+pub use engine::{Event, Sim};
+pub use resource::{CoreHandle, CoreResource, TokenPool, TokenPoolHandle};
+pub use stats::{Counter, Histogram, OnlineStats, TimeWeighted};
+pub use time::SimTime;
+pub use trace::{Span, Trace};
+
+/// Convenient alias used throughout the workspace for shared simulation
+/// components.
+pub type Shared<T> = std::rc::Rc<std::cell::RefCell<T>>;
+
+/// Wrap a component for shared ownership inside the simulation.
+pub fn shared<T>(value: T) -> Shared<T> {
+    std::rc::Rc::new(std::cell::RefCell::new(value))
+}

@@ -1,0 +1,235 @@
+//! Virtual time: a nanosecond-resolution instant/duration type.
+//!
+//! `SimTime` is used both as an instant (time since simulation start) and as
+//! a duration; the arithmetic is identical and keeping one type avoids a
+//! great deal of conversion noise in protocol code.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A virtual time instant or duration, in integer nanoseconds.
+///
+/// `u64` nanoseconds cover ~584 years of virtual time, far beyond any run in
+/// this workspace, while keeping comparisons and queue ordering exact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_s(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative duration: {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Construct from fractional microseconds.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        Self::from_secs_f64(us * 1e-6)
+    }
+
+    /// Construct from fractional nanoseconds.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns >= 0.0, "negative duration: {ns}");
+        SimTime(ns.round() as u64)
+    }
+
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating subtraction, useful for "time remaining" computations.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime underflow: {} - {}", self.0, rhs.0);
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_ns_f64(self.0 as f64 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_us(3), SimTime::from_ns(3_000));
+        assert_eq!(SimTime::from_ms(3), SimTime::from_us(3_000));
+        assert_eq!(SimTime::from_s(3), SimTime::from_ms(3_000));
+        assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_ms(1_500));
+        assert_eq!(SimTime::from_us_f64(0.5), SimTime::from_ns(500));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(10);
+        let b = SimTime::from_us(4);
+        assert_eq!(a + b, SimTime::from_us(14));
+        assert_eq!(a - b, SimTime::from_us(6));
+        assert_eq!(a * 3, SimTime::from_us(30));
+        assert_eq!(a / 2, SimTime::from_us(5));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let t = SimTime::from_ns(1_234_567_891);
+        assert!((t.as_secs_f64() - 1.234_567_891).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", SimTime::from_ns(12)), "12ns");
+        assert_eq!(format!("{}", SimTime::from_ns(1_500)), "1.500us");
+        assert_eq!(format!("{}", SimTime::from_us(2_500)), "2.500ms");
+        assert_eq!(format!("{}", SimTime::from_ms(2_500)), "2.500000s");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: SimTime = (1..=4).map(SimTime::from_us).sum();
+        assert_eq!(total, SimTime::from_us(10));
+    }
+}

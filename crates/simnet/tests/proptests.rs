@@ -1,0 +1,82 @@
+//! Property tests for the DES engine primitives.
+
+use amt_simnet::{shared, CoreResource, Sim, SimTime, TokenPool};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A core serves charges FIFO: completion times are the prefix sums of
+    /// the durations, regardless of the duration mix.
+    #[test]
+    fn core_charges_complete_at_prefix_sums(durs in prop::collection::vec(1u64..10_000, 1..50)) {
+        let mut sim = Sim::new();
+        let core = CoreResource::new_shared("c");
+        let log = shared(Vec::new());
+        for &d in &durs {
+            let log = log.clone();
+            core.borrow_mut().charge(&mut sim, SimTime::from_ns(d), move |sim| {
+                log.borrow_mut().push(sim.now().as_ns());
+            });
+        }
+        sim.run();
+        let mut acc = 0u64;
+        let want: Vec<u64> = durs.iter().map(|d| { acc += d; acc }).collect();
+        prop_assert_eq!(&*log.borrow(), &want);
+        prop_assert_eq!(core.borrow().busy_time().as_ns(), acc);
+    }
+
+    /// Token pools conserve tokens: grants ≤ capacity at any time, and
+    /// after all releases the pool is full again.
+    #[test]
+    fn token_pool_conservation(
+        capacity in 1usize..8,
+        requests in 1usize..40,
+    ) {
+        let mut sim = Sim::new();
+        let pool = TokenPool::new_shared("p", capacity);
+        let in_use = shared(0usize);
+        let peak = shared(0usize);
+        for i in 0..requests {
+            let pool2 = pool.clone();
+            let in_use = in_use.clone();
+            let peak = peak.clone();
+            let p2 = pool.clone();
+            p2.borrow_mut().acquire(&mut sim, move |sim| {
+                {
+                    let mut u = in_use.borrow_mut();
+                    *u += 1;
+                    let mut p = peak.borrow_mut();
+                    *p = (*p).max(*u);
+                }
+                let in_use2 = in_use.clone();
+                let pool3 = pool2.clone();
+                sim.schedule_in(SimTime::from_ns(10 + i as u64), move |sim| {
+                    *in_use2.borrow_mut() -= 1;
+                    pool3.borrow_mut().release(sim);
+                });
+            });
+        }
+        sim.run();
+        prop_assert!(*peak.borrow() <= capacity);
+        prop_assert_eq!(*in_use.borrow(), 0);
+        prop_assert_eq!(pool.borrow().available(), capacity);
+        prop_assert_eq!(pool.borrow().acquired_total(), requests as u64);
+    }
+
+    /// run_until never passes the deadline and eventually drains.
+    #[test]
+    fn run_until_respects_deadline(times in prop::collection::vec(0u64..1000, 1..50), deadline in 0u64..1000) {
+        let mut sim = Sim::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_ns(t), |_| {});
+        }
+        let drained = sim.run_until(SimTime::from_ns(deadline));
+        prop_assert!(sim.now().as_ns() <= deadline);
+        let remaining = times.iter().filter(|&&t| t > deadline).count();
+        prop_assert_eq!(drained, remaining == 0);
+        prop_assert_eq!(sim.events_pending(), remaining);
+        sim.run();
+        prop_assert_eq!(sim.events_pending(), 0);
+    }
+}

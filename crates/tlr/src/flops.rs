@@ -1,0 +1,97 @@
+//! Flop counts for the TLR Cholesky kernels, driving the virtual-time cost
+//! model. Formulas follow the HiCMA kernel papers; the paper's observation
+//! that low-rank GEMMs are "far less compute-intense than traditional GEMM
+//! kernels" (§6.4.1) shows up both in the counts and the efficiency factors.
+
+/// Flop counts parameterized by tile size `ts` and the ranks involved.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelFlops {
+    pub ts: f64,
+}
+
+impl KernelFlops {
+    pub fn new(tile_size: usize) -> Self {
+        KernelFlops {
+            ts: tile_size as f64,
+        }
+    }
+
+    /// Dense Cholesky of the diagonal tile: ts³/3.
+    pub fn potrf(&self) -> f64 {
+        self.ts.powi(3) / 3.0
+    }
+
+    /// Triangular solve applied to the `V` factor (ts × k RHS): ts²·k.
+    pub fn trsm(&self, k: usize) -> f64 {
+        self.ts * self.ts * k as f64
+    }
+
+    /// Low-rank SYRK onto the dense diagonal:
+    /// VᵀV (ts·k²) + U·(VᵀV) (ts·k²) + (U(VᵀV))·Uᵀ (ts²·k).
+    pub fn syrk(&self, k: usize) -> f64 {
+        let k = k as f64;
+        2.0 * self.ts * k * k + self.ts * self.ts * k
+    }
+
+    /// Low-rank GEMM update with rounded recompression:
+    /// the small product V_ikᵀV_jk and its application (2·ts·k_a·k_b), two
+    /// stacked QRs (≈ 4·ts·(k_c + k)²), the small core SVD, and rebuilding
+    /// the factors.
+    pub fn gemm(&self, k_a: usize, k_b: usize, k_c: usize) -> f64 {
+        let (ka, kb, kc) = (k_a as f64, k_b as f64, k_c as f64);
+        let kk = kc + ka.min(kb);
+        2.0 * self.ts * ka * kb + 4.0 * self.ts * kk * kk + 20.0 * kk.powi(3)
+            + 2.0 * self.ts * kk * kc.max(1.0)
+    }
+
+    /// Dense GEMM for comparison (what a non-TLR factorization would pay).
+    pub fn gemm_dense(&self) -> f64 {
+        2.0 * self.ts.powi(3)
+    }
+}
+
+/// Efficiency factors (fraction of peak FLOP rate) per kernel class.
+/// Dense BLAS-3 runs at a healthy fraction of peak; the skinny low-rank
+/// kernels (rank ~10 panels of thousands of rows, QR-based recompression)
+/// are severely memory-bound — single-digit percent of peak, consistent
+/// with HiCMA's measured per-task times (~3-4 ms low-rank GEMMs at
+/// ts = 1200-2400) and with the paper's remark that low-rank GEMMs are
+/// "far less compute-intense than traditional GEMM kernels" (§6.4.1).
+pub mod efficiency {
+    pub const POTRF: f64 = 0.55;
+    pub const TRSM: f64 = 0.20;
+    pub const SYRK: f64 = 0.10;
+    pub const GEMM_LR: f64 = 0.03;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_rank_gemm_is_much_cheaper_than_dense() {
+        let f = KernelFlops::new(2400);
+        let lr = f.gemm(15, 15, 15);
+        let dense = f.gemm_dense();
+        assert!(
+            lr < dense / 50.0,
+            "LR GEMM ({lr:.2e}) should be ≫ cheaper than dense ({dense:.2e})"
+        );
+    }
+
+    #[test]
+    fn potrf_dominates_at_small_rank() {
+        let f = KernelFlops::new(1200);
+        assert!(f.potrf() > f.trsm(10));
+        assert!(f.potrf() > f.syrk(10));
+        assert!(f.potrf() > f.gemm(10, 10, 10));
+    }
+
+    #[test]
+    fn flops_scale_with_rank() {
+        let f = KernelFlops::new(1200);
+        assert!(f.trsm(20) > f.trsm(10));
+        assert!(f.syrk(20) > f.syrk(10));
+        assert!(f.gemm(20, 20, 20) > f.gemm(10, 10, 10));
+    }
+}

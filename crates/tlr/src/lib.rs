@@ -1,0 +1,33 @@
+//! # amt-tlr
+//!
+//! The HiCMA substitute (paper §6.4): **tile low-rank (TLR) Cholesky
+//! factorization** of squared-exponential covariance matrices.
+//!
+//! * Off-band tiles are compressed to `U·Vᵀ` form at a fixed accuracy
+//!   threshold with a rank cap (`maxrank`), exactly as HiCMA does.
+//! * The factorization uses the **two-flow** variant ([7, 8] in the paper):
+//!   a low-rank tile's `U` and `V` factors are separate dataflows, so the
+//!   TRSM — which touches only `V` — re-communicates half a tile.
+//! * The **band size is 1**: only diagonal tiles are dense.
+//! * Kernels are real ([`amt_linalg`]) for Numeric-mode verification; the
+//!   calibrated [`RankModel`] supplies tile ranks/sizes and flop counts for
+//!   paper-scale CostOnly runs.
+//!
+//! [`TlrCholesky`] builds the task graph for [`amt_core::Cluster::execute`],
+//! with critical-path-first priorities (panel operations feeding the dense
+//! diagonal run first, §6.4.1).
+
+mod cholesky;
+mod dense;
+mod flops;
+mod rankmodel;
+mod tile;
+
+pub use cholesky::{CholeskyStats, TlrCholesky, TlrProblem};
+pub use dense::DenseCholesky;
+pub use flops::KernelFlops;
+pub use rankmodel::RankModel;
+pub use tile::LrTile;
+
+#[cfg(test)]
+mod tests;

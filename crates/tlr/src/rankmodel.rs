@@ -1,0 +1,115 @@
+//! Synthetic rank model for paper-scale CostOnly runs.
+//!
+//! Calibrated against the statistics the paper quotes for the
+//! `st-2d-sqexp` problem at N = 360 000 (§6.4.2): at tile size 1200 the
+//! average rank is ≈ 10.44, the largest low-rank tile has rank 29
+//! (≈ 544 KiB in packed U×V form), and `maxrank` = 150 is never the binding
+//! constraint. Ranks decay with distance from the diagonal (well-separated
+//! blocks of a smooth kernel compress harder) and grow slowly with tile
+//! size.
+
+/// Rank model: `rank(i, j) = clamp(round(c(ts) · d^(−1/4)), 1, maxrank)`
+/// with `d = |i − j|` and `c(ts) = 29 · (ts / 1200)^0.35`.
+#[derive(Debug, Clone)]
+pub struct RankModel {
+    pub tile_size: usize,
+    pub maxrank: usize,
+}
+
+impl RankModel {
+    pub fn new(tile_size: usize, maxrank: usize) -> Self {
+        RankModel { tile_size, maxrank }
+    }
+
+    fn scale(&self) -> f64 {
+        29.0 * (self.tile_size as f64 / 1200.0).powf(0.35)
+    }
+
+    /// Rank of off-diagonal tile `(i, j)`, `i ≠ j`.
+    pub fn rank(&self, i: u64, j: u64) -> usize {
+        let d = i.abs_diff(j).max(1) as f64;
+        let r = (self.scale() * d.powf(-0.25)).round() as usize;
+        r.clamp(1, self.maxrank)
+    }
+
+    /// Bytes of one packed factor (`U` or `V`) of tile `(i, j)`.
+    pub fn factor_bytes(&self, i: u64, j: u64) -> usize {
+        self.tile_size * self.rank(i, j) * 8
+    }
+
+    /// Bytes of a dense diagonal tile.
+    pub fn dense_bytes(&self) -> usize {
+        self.tile_size * self.tile_size * 8
+    }
+
+    /// Mean rank over the strictly-lower tiles of an `nt × nt` tile grid.
+    pub fn mean_rank(&self, nt: u64) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0.0;
+        for d in 1..nt {
+            let tiles = (nt - d) as f64;
+            sum += tiles * self.rank(d, 0) as f64;
+            count += tiles;
+        }
+        if count == 0.0 {
+            0.0
+        } else {
+            sum / count
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_statistics_at_ts_1200() {
+        // N = 360 000, ts = 1200 → nt = 300.
+        let m = RankModel::new(1200, 150);
+        let mean = m.mean_rank(300);
+        assert!(
+            (mean - 10.44).abs() < 1.5,
+            "mean rank {mean} should be near the paper's 10.44"
+        );
+        // Largest low-rank tile: rank 29 at distance 1.
+        assert_eq!(m.rank(1, 0), 29);
+        // Its packed size: 2 × 1200 × 29 × 8 ≈ 544 KiB.
+        let tile_bytes = 2 * m.factor_bytes(1, 0);
+        assert!((tile_bytes as f64 - 544.0 * 1024.0).abs() < 16.0 * 1024.0);
+    }
+
+    #[test]
+    fn mean_tile_size_near_196_kib() {
+        // Paper: "tiles in packed U × V format consume about 196 KiB of
+        // memory on average" (at ts = 1200).
+        let m = RankModel::new(1200, 150);
+        let mean_bytes = 2.0 * 1200.0 * 8.0 * m.mean_rank(300);
+        assert!(
+            (mean_bytes - 196.0 * 1024.0).abs() < 30.0 * 1024.0,
+            "mean tile {mean_bytes} bytes"
+        );
+    }
+
+    #[test]
+    fn rank_decays_with_distance() {
+        let m = RankModel::new(1200, 150);
+        assert!(m.rank(1, 0) > m.rank(10, 0));
+        assert!(m.rank(10, 0) > m.rank(200, 0));
+        assert!(m.rank(299, 0) >= 1);
+    }
+
+    #[test]
+    fn rank_grows_gently_with_tile_size() {
+        let small = RankModel::new(1200, 150);
+        let big = RankModel::new(4800, 150);
+        assert!(big.rank(1, 0) > small.rank(1, 0));
+        assert!(big.rank(1, 0) < 2 * small.rank(1, 0));
+    }
+
+    #[test]
+    fn maxrank_caps() {
+        let m = RankModel::new(9600, 20);
+        assert_eq!(m.rank(1, 0), 20);
+    }
+}

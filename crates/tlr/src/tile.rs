@@ -1,0 +1,206 @@
+//! Low-rank tiles: compression, rounded arithmetic, serialization.
+
+use amt_linalg::{gemm, qr_thin, rank_at_abs, svd_jacobi, Matrix, Trans};
+use bytes::Bytes;
+
+/// A tile in `U·Vᵀ` form: `u` is `m × k`, `v` is `n × k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrTile {
+    pub u: Matrix,
+    pub v: Matrix,
+}
+
+impl LrTile {
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    pub fn rows(&self) -> usize {
+        self.u.rows()
+    }
+
+    pub fn cols(&self) -> usize {
+        self.v.rows()
+    }
+
+    /// Memory footprint in bytes of the packed `U`/`V` pair.
+    pub fn bytes(&self) -> usize {
+        (self.u.rows() * self.u.cols() + self.v.rows() * self.v.cols()) * 8
+    }
+
+    /// Compress a dense block at absolute accuracy `tol`, rank capped at
+    /// `maxrank` (and never below 1 so the factor stays well-formed).
+    pub fn compress(a: &Matrix, tol: f64, maxrank: usize) -> LrTile {
+        let transposed = a.rows() < a.cols();
+        let work = if transposed { a.transpose() } else { a.clone() };
+        let (u, s, v) = svd_jacobi(&work);
+        let k = rank_at_abs(&s, tol).clamp(1, maxrank.min(s.len()));
+        let mut uk = Matrix::zeros(work.rows(), k);
+        let mut vk = Matrix::zeros(work.cols(), k);
+        for (j, &sv) in s.iter().enumerate().take(k) {
+            for i in 0..work.rows() {
+                uk.set(i, j, u.get(i, j) * sv);
+            }
+            for i in 0..work.cols() {
+                vk.set(i, j, v.get(i, j));
+            }
+        }
+        if transposed {
+            LrTile { u: vk, v: uk }
+        } else {
+            LrTile { u: uk, v: vk }
+        }
+    }
+
+    /// Reconstruct the dense block.
+    pub fn to_dense(&self) -> Matrix {
+        let mut d = Matrix::zeros(self.rows(), self.cols());
+        gemm(1.0, &self.u, Trans::No, &self.v, Trans::Yes, 0.0, &mut d);
+        d
+    }
+
+    /// Rounded addition `self + W·Zᵀ`, re-truncated at `tol`/`maxrank`:
+    /// QR of the stacked factors, small SVD of the product of the R's.
+    pub fn add_truncate(&self, w: &Matrix, z: &Matrix, tol: f64, maxrank: usize) -> LrTile {
+        assert_eq!(w.rows(), self.rows());
+        assert_eq!(z.rows(), self.cols());
+        assert_eq!(w.cols(), z.cols());
+        let k1 = self.rank();
+        let k2 = w.cols();
+        let m = self.rows();
+        let n = self.cols();
+
+        // Stack [U  W] and [V  Z].
+        let mut su = Matrix::zeros(m, k1 + k2);
+        su.set_submatrix(0, 0, &self.u);
+        su.set_submatrix(0, k1, w);
+        let mut sv = Matrix::zeros(n, k1 + k2);
+        sv.set_submatrix(0, 0, &self.v);
+        sv.set_submatrix(0, k1, z);
+
+        let (qu, ru) = qr_thin(&su);
+        let (qv, rv) = qr_thin(&sv);
+        // Core = Ru · Rvᵀ, small square.
+        let kk = ru.rows();
+        let mut core = Matrix::zeros(kk, kk);
+        gemm(1.0, &ru, Trans::No, &rv, Trans::Yes, 0.0, &mut core);
+        let (cu, s, cv) = svd_jacobi(&core);
+        let k = rank_at_abs(&s, tol).clamp(1, maxrank.min(s.len()));
+
+        // U' = Qu · Cu[:, :k] · diag(s), V' = Qv · Cv[:, :k].
+        let mut cus = Matrix::zeros(kk, k);
+        let mut cvk = Matrix::zeros(kk, k);
+        for (j, &sv) in s.iter().enumerate().take(k) {
+            for i in 0..kk {
+                cus.set(i, j, cu.get(i, j) * sv);
+                cvk.set(i, j, cv.get(i, j));
+            }
+        }
+        let mut u = Matrix::zeros(m, k);
+        gemm(1.0, &qu, Trans::No, &cus, Trans::No, 0.0, &mut u);
+        let mut v = Matrix::zeros(n, k);
+        gemm(1.0, &qv, Trans::No, &cvk, Trans::No, 0.0, &mut v);
+        LrTile { u, v }
+    }
+
+    pub fn u_bytes(&self) -> Bytes {
+        self.u.to_bytes()
+    }
+
+    pub fn v_bytes(&self) -> Bytes {
+        self.v.to_bytes()
+    }
+
+    /// Recover a factor matrix from bytes given the tile dimension (rank is
+    /// implied by the payload length).
+    pub fn factor_from_bytes(ts: usize, b: &[u8]) -> Matrix {
+        assert_eq!(b.len() % (8 * ts), 0, "torn factor payload");
+        let k = b.len() / (8 * ts);
+        Matrix::from_bytes(ts, k, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(i: usize, j: usize) -> f64 {
+        // Deterministic full-rank-ish entries (hash-based; trigonometric
+        // formulas like sin(i + c*j) collapse to rank 2!).
+        let h = (i as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add((j as u64).wrapping_mul(0xc2b2ae3d27d4eb4f));
+        ((h >> 11) % 100_000) as f64 / 100_000.0 - 0.5
+    }
+
+    fn low_rank_block(m: usize, n: usize, k: usize) -> Matrix {
+        let x = Matrix::from_fn(m, k, pseudo);
+        let y = Matrix::from_fn(n, k, |i, j| pseudo(i + 31, j + 7));
+        let mut a = Matrix::zeros(m, n);
+        gemm(1.0, &x, Trans::No, &y, Trans::Yes, 0.0, &mut a);
+        a
+    }
+
+    #[test]
+    fn compress_recovers_exact_low_rank() {
+        let a = low_rank_block(20, 16, 3);
+        let t = LrTile::compress(&a, 1e-10, 16);
+        assert_eq!(t.rank(), 3);
+        assert!(t.to_dense().max_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn compress_respects_maxrank() {
+        let a = Matrix::from_fn(12, 12, pseudo);
+        let t = LrTile::compress(&a, 1e-15, 4);
+        assert_eq!(t.rank(), 4);
+    }
+
+    #[test]
+    fn compress_wide_block() {
+        let a = low_rank_block(8, 20, 2);
+        let t = LrTile::compress(&a, 1e-10, 8);
+        assert_eq!(t.rank(), 2);
+        assert!(t.to_dense().max_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn add_truncate_matches_dense_sum() {
+        let a = low_rank_block(16, 16, 3);
+        let t = LrTile::compress(&a, 1e-12, 16);
+        let w = Matrix::from_fn(16, 2, |i, j| pseudo(i + 3, j + 9));
+        let z = Matrix::from_fn(16, 2, |i, j| pseudo(i + 17, j + 4));
+        let sum = t.add_truncate(&w, &z, 1e-12, 16);
+        let mut want = a.clone();
+        gemm(1.0, &w, Trans::No, &z, Trans::Yes, 1.0, &mut want);
+        assert!(
+            sum.to_dense().max_diff(&want) < 1e-9,
+            "diff {}",
+            sum.to_dense().max_diff(&want)
+        );
+        assert!(sum.rank() <= 5);
+    }
+
+    #[test]
+    fn add_truncate_caps_rank_growth() {
+        let a = low_rank_block(16, 16, 3);
+        let mut t = LrTile::compress(&a, 1e-12, 16);
+        for round in 0..6 {
+            let w = Matrix::from_fn(16, 2, |i, j| ((i + j + round) as f64).sin() * 1e-12);
+            let z = Matrix::from_fn(16, 2, |i, j| (i * j) as f64 + 1.0);
+            t = t.add_truncate(&w, &z, 1e-8, 16);
+        }
+        // Tiny updates below tolerance must not inflate the rank.
+        assert!(t.rank() <= 4, "rank grew to {}", t.rank());
+    }
+
+    #[test]
+    fn factor_bytes_roundtrip() {
+        let a = low_rank_block(10, 10, 2);
+        let t = LrTile::compress(&a, 1e-10, 8);
+        let u2 = LrTile::factor_from_bytes(10, &t.u_bytes());
+        let v2 = LrTile::factor_from_bytes(10, &t.v_bytes());
+        assert_eq!(u2, t.u);
+        assert_eq!(v2, t.v);
+    }
+}

@@ -1,0 +1,97 @@
+//! A 2-D five-point stencil with halo exchange — the classic
+//! communication-bound pattern the paper's introduction motivates — run as
+//! a task graph over the simulated cluster, strong-scaled over node counts.
+//!
+//! The domain is split into a grid of tiles (one task per tile per sweep);
+//! each sweep's task reads its own tile plus the four neighbour tiles from
+//! the previous sweep, so tile boundaries crossing node boundaries become
+//! runtime dataflows.
+//!
+//! ```sh
+//! cargo run --release --example stencil
+//! ```
+
+use amtlc::comm::BackendKind;
+use amtlc::core::{Cluster, ClusterConfig, DataDist, ExecMode, GraphBuilder, TaskDesc, TileDist2d};
+
+fn build_stencil(
+    tiles: u64,
+    tile_elems: usize,
+    sweeps: u64,
+    dist: &TileDist2d,
+) -> amtlc::core::TaskGraph {
+    let nodes = dist.nodes();
+    let mut g = GraphBuilder::new(nodes);
+    let bytes = tile_elems * tile_elems * 8;
+    // 5-point update: ~5 flops per element per sweep.
+    let flops = 5.0 * (tile_elems * tile_elems) as f64;
+
+    for r in 0..tiles {
+        for c in 0..tiles {
+            g.data(dist.key(r, c), bytes, dist.owner(dist.key(r, c)), None);
+        }
+    }
+    for _s in 0..sweeps {
+        for r in 0..tiles {
+            for c in 0..tiles {
+                let key = dist.key(r, c);
+                let mut desc = TaskDesc::new("stencil")
+                    .on_node(dist.owner(key))
+                    .flops(flops)
+                    .efficiency(0.15) // stencils are memory-bound
+                    .read_key(key)
+                    .write(key, bytes);
+                for (dr, dc) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                    let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+                    if nr >= 0 && nc >= 0 && (nr as u64) < tiles && (nc as u64) < tiles {
+                        desc = desc.read_key(dist.key(nr as u64, nc as u64));
+                    }
+                }
+                g.insert(desc);
+            }
+        }
+    }
+    g.build()
+}
+
+fn main() {
+    let tiles = 16u64; // 16×16 tile grid
+    let tile_elems = 512; // 512² doubles per tile (2 MiB)
+    let sweeps = 8;
+    println!("2-D 5-point stencil, {tiles}x{tiles} tiles of {tile_elems}^2 f64, {sweeps} sweeps\n");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>12}",
+        "nodes", "LCI makespan", "MPI makespan", "LCI e2e us", "MPI e2e us"
+    );
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let mut row = Vec::new();
+        for backend in [BackendKind::Lci, BackendKind::Mpi] {
+            let dist = TileDist2d::square_grid(tiles, tiles, nodes);
+            let graph = build_stencil(tiles, tile_elems, sweeps, &dist);
+            let mut cluster = Cluster::new(ClusterConfig {
+                mode: ExecMode::CostOnly,
+                ..ClusterConfig::expanse(backend, nodes)
+            });
+            let report = cluster.execute(graph);
+            assert!(report.complete());
+            row.push((
+                report.makespan,
+                if report.e2e_latency_us.count() > 0 {
+                    report.e2e_latency_us.mean()
+                } else {
+                    0.0
+                },
+            ));
+        }
+        println!(
+            "{:>6} {:>14} {:>14} {:>12.1} {:>12.1}",
+            nodes,
+            format!("{}", row[0].0),
+            format!("{}", row[1].0),
+            row[0].1,
+            row[1].1
+        );
+    }
+    println!("\nHalo dataflows become runtime ACTIVATE/GET DATA/put traffic; more nodes");
+    println!("mean more halo crossings, and the lighter LCI path keeps latency lower.");
+}

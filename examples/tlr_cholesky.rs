@@ -1,0 +1,58 @@
+//! Numeric-mode TLR Cholesky: compress a real st-2d-sqexp covariance
+//! matrix, factorize it on a simulated 4-node cluster with real kernels and
+//! real data movement, and verify the factorization error — on both
+//! communication backends.
+//!
+//! ```sh
+//! cargo run --release --example tlr_cholesky
+//! ```
+
+use amtlc::comm::BackendKind;
+use amtlc::core::{Cluster, ClusterConfig, ExecMode};
+use amtlc::tlr::{TlrCholesky, TlrProblem};
+
+fn main() {
+    let n = 512;
+    let ts = 64;
+    let nodes = 4;
+    println!("TLR Cholesky (st-2d-sqexp), N = {n}, tile {ts}, {nodes} simulated nodes");
+    println!("accuracy 1e-8, maxrank 150, band 1, two-flow algorithm\n");
+
+    for backend in [BackendKind::Mpi, BackendKind::Lci] {
+        let problem = TlrProblem::new(n, ts);
+        let (chol, graph) = TlrCholesky::build_numeric(problem, nodes);
+        println!("backend {backend}:");
+        println!(
+            "  tasks: {} (potrf {}, trsm {}, syrk {}, gemm {})",
+            chol.stats.tasks(),
+            chol.stats.potrf,
+            chol.stats.trsm,
+            chol.stats.syrk,
+            chol.stats.gemm
+        );
+        println!(
+            "  mean off-diagonal rank after compression: {:.2}",
+            chol.stats.mean_rank
+        );
+
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes,
+            workers_per_node: 8,
+            backend,
+            mode: ExecMode::Numeric,
+            ..Default::default()
+        });
+        let report = cluster.execute(graph);
+        assert!(report.complete());
+        let residual = chol.residual(&cluster);
+        println!("  virtual makespan : {}", report.makespan);
+        println!(
+            "  remote flows     : {} ({} KiB moved)",
+            report.e2e_latency_us.count(),
+            report.bytes_transferred() / 1024
+        );
+        println!("  ||A - LL'||/||A|| = {residual:.3e}");
+        assert!(residual < 1e-6, "factorization accuracy");
+        println!("  factorization verified.\n");
+    }
+}

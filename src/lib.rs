@@ -1,0 +1,15 @@
+//! # amtlc — Asynchronous Many-Task runtime with a Lightweight Communication engine
+//!
+//! Facade crate re-exporting the whole workspace. See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the reproduction results of
+//! Mor, Bosilca, Snir, *"Improving the Scaling of an Asynchronous Many-Task
+//! Runtime with a Lightweight Communication Engine"* (ICPP 2023).
+
+pub use amt_comm as comm;
+pub use amt_core as core;
+pub use amt_lci as lci;
+pub use amt_linalg as linalg;
+pub use amt_minimpi as minimpi;
+pub use amt_netmodel as netmodel;
+pub use amt_simnet as simnet;
+pub use amt_tlr as tlr;

@@ -1,0 +1,248 @@
+//! Cross-crate integration tests: distributed executions against sequential
+//! oracles, backend equivalence, determinism, and benchmark sanity.
+
+use amtlc::comm::BackendKind;
+use amtlc::core::{Cluster, ClusterConfig, ExecMode, GraphBuilder, TaskDesc};
+use amtlc::linalg::Matrix;
+use amtlc::tlr::{TlrCholesky, TlrProblem};
+use bytes::Bytes;
+
+fn backends() -> [BackendKind; 2] {
+    [BackendKind::Mpi, BackendKind::Lci]
+}
+
+/// A randomized DAG executed on 1, 2 and 4 nodes must agree with the
+/// sequential oracle byte-for-byte on every backend.
+#[test]
+fn random_dag_matches_oracle_across_node_counts() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    for backend in backends() {
+        for nodes in [1usize, 2, 4] {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut g = GraphBuilder::new(nodes);
+            let keys = 12u64;
+            for k in 0..keys {
+                let node = (k as usize) % nodes;
+                g.data(k, 16, node, Some(Bytes::from(vec![k as u8 + 1; 16])));
+            }
+            for step in 0..60u64 {
+                let out = rng.gen_range(0..keys);
+                let in1 = rng.gen_range(0..keys);
+                let in2 = rng.gen_range(0..keys);
+                let node = rng.gen_range(0..nodes);
+                let salt = (step % 251) as u8;
+                g.insert(
+                    TaskDesc::new("mix")
+                        .on_node(node)
+                        .flops(1e6)
+                        .read_key(in1)
+                        .read_key(in2)
+                        .write(out, 16)
+                        .kernel(move |ins| {
+                            let mixed: Vec<u8> = ins[0]
+                                .iter()
+                                .zip(ins[1].iter())
+                                .map(|(a, b)| a.wrapping_mul(3).wrapping_add(*b).wrapping_add(salt))
+                                .collect();
+                            vec![Bytes::from(mixed)]
+                        }),
+                );
+            }
+            let finals: Vec<_> = (0..keys).map(|k| g.current(k).expect("version")).collect();
+            let graph = g.build();
+            let oracle = graph.sequential_oracle();
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes,
+                workers_per_node: 3,
+                backend,
+                ..Default::default()
+            });
+            let report = cluster.execute(graph);
+            assert!(report.complete(), "{backend} nodes={nodes}");
+            for v in finals {
+                assert_eq!(
+                    cluster.data(v).as_ref(),
+                    oracle.get(&v),
+                    "{backend} nodes={nodes}: version {v:?} diverged from oracle"
+                );
+            }
+        }
+    }
+}
+
+/// Distributed TLR Cholesky achieves the requested accuracy on both
+/// backends, several node counts.
+#[test]
+fn tlr_cholesky_accuracy_across_configs() {
+    for backend in backends() {
+        for nodes in [1usize, 4] {
+            let problem = TlrProblem::new(256, 64);
+            let (chol, graph) = TlrCholesky::build_numeric(problem, nodes);
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes,
+                workers_per_node: 4,
+                backend,
+                mode: ExecMode::Numeric,
+                ..Default::default()
+            });
+            let report = cluster.execute(graph);
+            assert!(report.complete(), "{backend} nodes={nodes}");
+            let res = chol.residual(&cluster);
+            assert!(res < 1e-6, "{backend} nodes={nodes}: residual {res:.2e}");
+        }
+    }
+}
+
+/// The TLR factor must be numerically usable: solve A·x = b through the
+/// factor and check the solution.
+#[test]
+fn tlr_factor_solves_linear_system() {
+    let n = 192;
+    let ts = 48;
+    let problem = TlrProblem::new(n, ts);
+    let (chol, graph) = TlrCholesky::build_numeric(problem, 2);
+    let a = chol.dense_a.clone().expect("numeric build");
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        workers_per_node: 4,
+        backend: BackendKind::Lci,
+        mode: ExecMode::Numeric,
+        ..Default::default()
+    });
+    cluster.execute(graph);
+
+    // Assemble L and solve L Lᵀ x = b by forward/backward substitution.
+    let mut l = Matrix::zeros(n, n);
+    for k in 0..(n / ts) as u64 {
+        let b = cluster.data(chol.diag_out[k as usize]).expect("diag");
+        let lt = Matrix::from_bytes(ts, ts, &b);
+        let block = Matrix::from_fn(ts, ts, |i, j| if i >= j { lt.get(i, j) } else { 0.0 });
+        l.set_submatrix(k as usize * ts, k as usize * ts, &block);
+    }
+    for (&(i, j), &(uv, vv)) in &chol.lr_out {
+        let u = amtlc::tlr::LrTile::factor_from_bytes(ts, &cluster.data(uv).expect("u"));
+        let v = amtlc::tlr::LrTile::factor_from_bytes(ts, &cluster.data(vv).expect("v"));
+        let tile = amtlc::tlr::LrTile { u, v };
+        l.set_submatrix(i as usize * ts, j as usize * ts, &tile.to_dense());
+    }
+    let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+    // b = A x.
+    let mut b = vec![0.0; n];
+    for (j, &xj) in x_true.iter().enumerate() {
+        for (i, bi) in b.iter_mut().enumerate() {
+            *bi += a.get(i, j) * xj;
+        }
+    }
+    // Forward: L y = b.
+    let mut y = b.clone();
+    for i in 0..n {
+        for k in 0..i {
+            y[i] -= l.get(i, k) * y[k];
+        }
+        y[i] /= l.get(i, i);
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = y.clone();
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            x[i] -= l.get(k, i) * x[k];
+        }
+        x[i] /= l.get(i, i);
+    }
+    let err: f64 = x
+        .iter()
+        .zip(&x_true)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(err < 1e-4, "solution error {err:.2e}");
+}
+
+/// Same graph, same seed, same backend: byte-identical virtual timings.
+#[test]
+fn executions_are_deterministic() {
+    for backend in backends() {
+        let run = || {
+            let problem = TlrProblem::new(24_000, 3000);
+            let (_, graph) = TlrCholesky::build_cost_only(problem, 4);
+            let mut cluster = Cluster::new(ClusterConfig {
+                mode: ExecMode::CostOnly,
+                ..ClusterConfig::expanse(backend, 4)
+            });
+            let r = cluster.execute(graph);
+            (r.makespan, r.tasks_executed, r.e2e_latency_us.count())
+        };
+        assert_eq!(run(), run(), "{backend}");
+    }
+}
+
+/// The headline orderings the paper reports must hold in the simulation.
+#[test]
+fn paper_headline_orderings_hold() {
+    use amt_bench::pingpong::{run_pingpong, PingPongCfg};
+
+    // Fig. 2a: at fine granularity LCI sustains higher bandwidth.
+    let fine = PingPongCfg::bandwidth(32 * 1024, 1, true, 4);
+    let lci = run_pingpong(BackendKind::Lci, &fine).gbit_per_s;
+    let mpi = run_pingpong(BackendKind::Mpi, &fine).gbit_per_s;
+    assert!(lci > mpi * 1.2, "fine-grained bandwidth: LCI {lci:.1} vs MPI {mpi:.1}");
+
+    // At coarse granularity both approach peak.
+    let coarse = PingPongCfg::bandwidth(4 * 1024 * 1024, 1, true, 4);
+    let lci_c = run_pingpong(BackendKind::Lci, &coarse).gbit_per_s;
+    let mpi_c = run_pingpong(BackendKind::Mpi, &coarse).gbit_per_s;
+    assert!(lci_c > 90.0 && mpi_c > 90.0, "coarse: {lci_c:.1} / {mpi_c:.1}");
+
+    // Fig. 4b: LCI's communication latency is lower in TLR Cholesky.
+    use amt_bench::tlrrun::{run_tlr, TlrRunCfg};
+    let lci_r = run_tlr(&TlrRunCfg {
+        backend: BackendKind::Lci,
+        nodes: 4,
+        n: 36_000,
+        tile_size: 1500,
+        multithread_am: false,
+    });
+    let mpi_r = run_tlr(&TlrRunCfg {
+        backend: BackendKind::Mpi,
+        nodes: 4,
+        n: 36_000,
+        tile_size: 1500,
+        multithread_am: false,
+    });
+    assert!(
+        lci_r.req_us < mpi_r.req_us,
+        "control-path latency: LCI {:.1} vs MPI {:.1}",
+        lci_r.req_us,
+        mpi_r.req_us
+    );
+}
+
+/// CostOnly and Numeric modes run the same protocol: flow counts match.
+#[test]
+fn cost_only_and_numeric_have_identical_traffic_shape() {
+    for backend in backends() {
+        let flows = |mode: ExecMode| {
+            let problem = TlrProblem::new(192, 48);
+            let (_, graph) = match mode {
+                ExecMode::Numeric => TlrCholesky::build_numeric(problem, 2),
+                ExecMode::CostOnly => TlrCholesky::build_cost_only(problem, 2),
+            };
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes: 2,
+                workers_per_node: 4,
+                backend,
+                mode,
+                ..Default::default()
+            });
+            let r = cluster.execute(graph);
+            assert!(r.complete());
+            r.e2e_latency_us.count()
+        };
+        assert_eq!(
+            flows(ExecMode::Numeric),
+            flows(ExecMode::CostOnly),
+            "{backend}: protocol traffic must not depend on execution mode"
+        );
+    }
+}

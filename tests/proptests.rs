@@ -1,0 +1,147 @@
+//! Property-based tests over the whole stack.
+
+use amtlc::comm::BackendKind;
+use amtlc::core::{Cluster, ClusterConfig, GraphBuilder, TaskDesc};
+use amtlc::linalg::{gemm, Matrix, Trans};
+use amtlc::simnet::{Sim, SimTime};
+use amtlc::tlr::LrTile;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DES: events execute in non-decreasing time order regardless of the
+    /// scheduling order.
+    #[test]
+    fn des_event_order_is_monotone(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Sim::new();
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for &t in &times {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_ns(t), move |sim| {
+                log.borrow_mut().push(sim.now().as_ns());
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&*log, &sorted);
+    }
+
+    /// Fabric: every sent message is delivered exactly once with its
+    /// declared size, whatever the size/order mix.
+    #[test]
+    fn fabric_delivers_every_message(sizes in prop::collection::vec(0usize..2_000_000, 1..40)) {
+        use amtlc::netmodel::{rx_handler, Fabric, FabricConfig, Payload};
+        let mut sim = Sim::new();
+        let fab = Fabric::new(FabricConfig::expanse(2));
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let g = got.clone();
+        fab.borrow_mut().set_handler(1, rx_handler(move |_s, d| g.borrow_mut().push(d.size)));
+        for &s in &sizes {
+            Fabric::send(&fab, &mut sim, 0, 1, s, Payload::Empty, None);
+        }
+        sim.run();
+        let mut got = got.borrow().clone();
+        let mut want = sizes.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Runtime: arbitrary read/write chains over a handful of keys match
+    /// the sequential oracle on both backends.
+    #[test]
+    fn runtime_matches_oracle(
+        ops in prop::collection::vec((0u64..6, 0u64..6, 0usize..3), 1..40),
+        seed in 0u8..255,
+    ) {
+        for backend in [BackendKind::Mpi, BackendKind::Lci] {
+            let nodes = 3;
+            let mut g = GraphBuilder::new(nodes);
+            for k in 0..6u64 {
+                g.data(k, 4, (k as usize) % nodes, Some(Bytes::from(vec![seed ^ k as u8; 4])));
+            }
+            for &(src, dst, node) in &ops {
+                g.insert(
+                    TaskDesc::new("op")
+                        .on_node(node)
+                        .flops(1e5)
+                        .read_key(src)
+                        .write(dst, 4)
+                        .kernel(move |ins| {
+                            vec![Bytes::from(
+                                ins[0].iter().map(|b| b.wrapping_add(7)).collect::<Vec<u8>>(),
+                            )]
+                        }),
+                );
+            }
+            let finals: Vec<_> = (0..6u64).map(|k| g.current(k).expect("version")).collect();
+            let graph = g.build();
+            let oracle = graph.sequential_oracle();
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes,
+                workers_per_node: 2,
+                backend,
+                ..Default::default()
+            });
+            let report = cluster.execute(graph);
+            prop_assert!(report.complete());
+            for v in finals {
+                let got = cluster.data(v);
+                prop_assert_eq!(got.as_ref(), oracle.get(&v));
+            }
+        }
+    }
+
+    /// TLR compression respects the error bound: the truncated tile
+    /// reconstructs the original within tol × √(matrix area) (absolute
+    /// threshold on singular values bounds the Frobenius error).
+    #[test]
+    fn tlr_compression_error_bounded(
+        m in 4usize..20,
+        n in 4usize..20,
+        tol_exp in 2u32..10,
+    ) {
+        let tol = 10f64.powi(-(tol_exp as i32));
+        let a = Matrix::from_fn(m, n, |i, j| {
+            (-((i as f64 / m as f64 - j as f64 / n as f64).powi(2)) * 8.0).exp()
+        });
+        let t = LrTile::compress(&a, tol, m.min(n));
+        let err = t.to_dense().max_diff(&a);
+        // Dropped singular values are each < tol; crude but sound bound.
+        let bound = tol * (m.min(n) as f64) + 1e-12;
+        prop_assert!(err <= bound, "err {} > bound {}", err, bound);
+        prop_assert!(t.rank() >= 1 && t.rank() <= m.min(n));
+    }
+
+    /// Rounded low-rank addition equals the dense sum within tolerance.
+    #[test]
+    fn tlr_addition_matches_dense(
+        k1 in 1usize..4,
+        k2 in 1usize..4,
+        scale in 0.1f64..10.0,
+    ) {
+        let n = 16;
+        let mk = |k: usize, off: usize| {
+            Matrix::from_fn(n, k, |i, j| {
+                let h = ((i * 37 + j * 11 + off) as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                (((h >> 16) % 1000) as f64 / 1000.0 - 0.5) * scale
+            })
+        };
+        let (u, v, w, z) = (mk(k1, 0), mk(k1, 5), mk(k2, 11), mk(k2, 17));
+        let t = LrTile { u: u.clone(), v: v.clone() };
+        let sum = t.add_truncate(&w, &z, 1e-12, n);
+        let mut dense = Matrix::zeros(n, n);
+        gemm(1.0, &u, Trans::No, &v, Trans::Yes, 0.0, &mut dense);
+        gemm(1.0, &w, Trans::No, &z, Trans::Yes, 1.0, &mut dense);
+        let err = sum.to_dense().max_diff(&dense);
+        prop_assert!(err < 1e-8 * scale.max(1.0), "err {}", err);
+    }
+}
