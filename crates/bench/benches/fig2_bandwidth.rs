@@ -5,16 +5,27 @@
 //!
 //! Also prints the §6.2 headline numbers: the granularity at which each
 //! backend falls below ~64 and ~45 Gbit/s and the resulting
-//! "LCI supports ~2.8× smaller tasks at similar efficiency" ratio.
+//! "LCI supports ~2.8× smaller tasks at similar efficiency" ratio, plus the
+//! §7 direct-put knee comparison when both LCI variants are measured.
 //!
 //! Scaled by default (fewer iterations and a pruned small-size tail); pass
-//! `-- --full` for the paper's full ladder.
+//! `-- --full` for the paper's full ladder. Pass `-- --backend <mpi|lci|
+//! lci-direct>` to restrict the run to one backend (`lci-direct` keeps the
+//! plain LCI series as the handshake baseline for the knee comparison).
 
 use amt_bench::pingpong::{run_pingpong, PingPongCfg};
 use amt_bench::table::{banner, cell, header, row};
-use amt_bench::{fmt_size, full_scale, granularities, harness_args};
+use amt_bench::{backend_arg, fmt_size, full_scale, granularities, harness_args};
 use amt_comm::BackendKind;
 use amt_netmodel::{raw_pingpong_gbps, FabricConfig};
+
+fn label(b: BackendKind) -> &'static str {
+    match b {
+        BackendKind::Mpi => "Open MPI",
+        BackendKind::Lci => "LCI",
+        BackendKind::LciDirect => "LCI direct",
+    }
+}
 
 fn crossing(series: &[(usize, f64)], level: f64) -> Option<usize> {
     // Largest granularity at which the series is at or below `level`
@@ -33,72 +44,135 @@ fn main() {
     let min = if full { 8 * 1024 } else { 16 * 1024 };
     let sizes = granularities(min);
 
+    let backends: Vec<BackendKind> = match backend_arg(&args) {
+        // The direct-put curve is only meaningful against the handshake
+        // baseline, so keep plain LCI alongside for the knee comparison.
+        Some(BackendKind::LciDirect) => vec![BackendKind::LciDirect, BackendKind::Lci],
+        Some(b) => vec![b],
+        None => vec![BackendKind::Lci, BackendKind::LciDirect, BackendKind::Mpi],
+    };
+
     banner("Figure 2a: ping-pong bandwidth, one stream (Gbit/s)");
-    header(&[
-        ("granularity", 12),
-        ("window", 8),
-        ("LCI", 8),
-        ("Open MPI", 9),
-        ("NetPIPE", 8),
-    ]);
-    let mut lci_series = Vec::new();
-    let mut mpi_series = Vec::new();
+    let mut cols = vec![("granularity", 12), ("window", 8)];
+    for &b in &backends {
+        cols.push((label(b), 10));
+    }
+    cols.push(("NetPIPE", 8));
+    header(&cols);
+
+    let mut series: Vec<(BackendKind, Vec<(usize, f64)>)> =
+        backends.iter().map(|&b| (b, Vec::new())).collect();
     for &n in &sizes {
         let cfg = PingPongCfg::bandwidth(n, 1, true, iters);
-        let lci = run_pingpong(BackendKind::Lci, &cfg).gbit_per_s;
-        let mpi = run_pingpong(BackendKind::Mpi, &cfg).gbit_per_s;
+        let mut cells = vec![cell(fmt_size(n), 12), cell(format!("{}", cfg.window), 8)];
+        for (b, s) in series.iter_mut() {
+            let bw = run_pingpong(*b, &cfg).gbit_per_s;
+            s.push((n, bw));
+            cells.push(cell(format!("{bw:.1}"), 10));
+        }
         let netpipe = raw_pingpong_gbps(&FabricConfig::expanse(2), n, 8);
-        lci_series.push((n, lci));
-        mpi_series.push((n, mpi));
-        row(&[
-            cell(fmt_size(n), 12),
-            cell(format!("{}", cfg.window), 8),
-            cell(format!("{lci:.1}"), 8),
-            cell(format!("{mpi:.1}"), 9),
-            cell(format!("{netpipe:.1}"), 8),
-        ]);
+        cells.push(cell(format!("{netpipe:.1}"), 8));
+        row(&cells);
     }
+
+    let find = |kind: BackendKind| {
+        series
+            .iter()
+            .find(|(b, _)| *b == kind)
+            .map(|(_, s)| s.as_slice())
+    };
 
     banner("§6.2 headline: granularity sustaining similar efficiency");
     for (name, level) in [("~64 Gbit/s", 64.0), ("~45 Gbit/s", 45.0)] {
-        let l = crossing(&lci_series, level);
-        let m = crossing(&mpi_series, level);
-        match (l, m) {
-            (Some(l), Some(m)) => {
-                println!(
-                    "{name}: MPI falls below at {}, LCI at {} -> LCI tasks {:.2}x smaller \
-                     (paper: 2.83x at similar efficiency)",
-                    fmt_size(m),
-                    fmt_size(l),
-                    m as f64 / l as f64
-                );
+        for (b, s) in &series {
+            match crossing(s, level) {
+                Some(g) => println!("{name}: {} falls below at {}", label(*b), fmt_size(g)),
+                None => println!("{name}: {} stays above in the measured range", label(*b)),
             }
-            _ => println!("{name}: no crossing within the measured range"),
+        }
+        if let (Some(l), Some(m)) = (
+            find(BackendKind::Lci).and_then(|s| crossing(s, level)),
+            find(BackendKind::Mpi).and_then(|s| crossing(s, level)),
+        ) {
+            println!(
+                "{name}: LCI tasks {:.2}x smaller than MPI (paper: 2.83x at similar efficiency)",
+                m as f64 / l as f64
+            );
         }
     }
 
+    if let (Some(hs), Some(direct)) = (find(BackendKind::Lci), find(BackendKind::LciDirect)) {
+        banner("§7 knee: direct put vs handshake emulation");
+        for (name, level) in [("~64 Gbit/s", 64.0), ("~45 Gbit/s", 45.0)] {
+            let h = crossing(hs, level);
+            let d = crossing(direct, level);
+            println!(
+                "{name}: handshake knee {}, direct-put knee {}",
+                h.map_or("none".into(), fmt_size),
+                d.map_or("none".into(), fmt_size),
+            );
+            assert!(
+                d.unwrap_or(0) <= h.unwrap_or(0),
+                "direct-put knee must sit at or below the handshake knee"
+            );
+        }
+        let worst = hs
+            .iter()
+            .zip(direct)
+            .map(|((n, h), (_, d))| (*n, d / h))
+            .fold(
+                (0usize, f64::INFINITY),
+                |acc, x| {
+                    if x.1 < acc.1 {
+                        x
+                    } else {
+                        acc
+                    }
+                },
+            );
+        println!(
+            "direct put is never slower than the handshake at any size \
+             (worst ratio {:.3}x at {})",
+            worst.1,
+            fmt_size(worst.0)
+        );
+        assert!(
+            worst.1 >= 1.0 - 1e-9,
+            "direct put regressed below handshake bandwidth at {}",
+            fmt_size(worst.0)
+        );
+    }
+
     banner("Figure 2b: ping-pong bandwidth, two streams (Gbit/s)");
-    header(&[
-        ("granularity", 12),
-        ("LCI", 8),
-        ("Open MPI", 9),
-        ("LCI nosync", 11),
-        ("MPI nosync", 11),
-    ]);
+    let mut cols = vec![("granularity", 12)];
+    let mut nosync_names = Vec::new();
+    for &b in &backends {
+        cols.push((label(b), 10));
+    }
+    for &b in &backends {
+        nosync_names.push(format!("{} nosync", label(b)));
+    }
+    for name in &nosync_names {
+        cols.push((name.as_str(), 13));
+    }
+    header(&cols);
     for &n in &sizes {
         let sync_cfg = PingPongCfg::bandwidth(n, 2, true, iters);
         let nosync_cfg = PingPongCfg::bandwidth(n, 2, false, iters);
-        let lci = run_pingpong(BackendKind::Lci, &sync_cfg).gbit_per_s;
-        let mpi = run_pingpong(BackendKind::Mpi, &sync_cfg).gbit_per_s;
-        let lci_ns = run_pingpong(BackendKind::Lci, &nosync_cfg).gbit_per_s;
-        let mpi_ns = run_pingpong(BackendKind::Mpi, &nosync_cfg).gbit_per_s;
-        row(&[
-            cell(fmt_size(n), 12),
-            cell(format!("{lci:.1}"), 8),
-            cell(format!("{mpi:.1}"), 9),
-            cell(format!("{lci_ns:.1}"), 11),
-            cell(format!("{mpi_ns:.1}"), 11),
-        ]);
+        let mut cells = vec![cell(fmt_size(n), 12)];
+        for &b in &backends {
+            cells.push(cell(
+                format!("{:.1}", run_pingpong(b, &sync_cfg).gbit_per_s),
+                10,
+            ));
+        }
+        for &b in &backends {
+            cells.push(cell(
+                format!("{:.1}", run_pingpong(b, &nosync_cfg).gbit_per_s),
+                13,
+            ));
+        }
+        row(&cells);
     }
     println!();
     println!(

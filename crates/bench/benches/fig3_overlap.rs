@@ -30,8 +30,8 @@ fn main() {
     let workers = 2.0 * 126.0;
     let peak_tflops = workers * 36.0e9 / 1e12; // 36 GFLOP/s per worker → TFLOP/s
     let wire_bytes_per_s = 12.5e9; // one direction
-    // Without synchronization consecutive iterations move opposite
-    // directions concurrently, so the fabric sustains up to full duplex.
+                                   // Without synchronization consecutive iterations move opposite
+                                   // directions concurrently, so the fabric sustains up to full duplex.
     let duplex = 2.0;
 
     banner("Figure 3: overlap with GEMM-like intensity (TFLOP/s)");

@@ -11,7 +11,7 @@
 
 use amt_bench::table::{banner, cell, header, row};
 use amt_bench::tlrrun::{run_tlr, TlrRunCfg, N_FULL, N_SCALED, TILE_SIZES};
-use amt_bench::{full_scale, harness_args};
+use amt_bench::{backend_arg, full_scale, harness_args};
 use amt_comm::BackendKind;
 
 fn main() {
@@ -19,13 +19,24 @@ fn main() {
     let full = full_scale(&args);
     let n = if full { N_FULL } else { N_SCALED };
     let nodes = 16;
+    // The figure compares an LCI variant against the Open MPI baseline;
+    // `--backend lci-direct` swaps the §7 direct-put backend into the LCI
+    // series.
+    let lci_kind = match backend_arg(&args) {
+        None => BackendKind::Lci,
+        Some(BackendKind::Mpi) => {
+            panic!("fig4 always includes the MPI baseline; pass --backend lci|lci-direct")
+        }
+        Some(b) => b,
+    };
 
     println!("TLR Cholesky st-2d-sqexp, N = {n}, {nodes} nodes, maxrank 150, acc 1e-8, band 1");
+    println!("LCI series backend: {lci_kind}");
 
     let mut results = Vec::new();
     for &ts in &TILE_SIZES {
         let mut per_ts = Vec::new();
-        for backend in [BackendKind::Lci, BackendKind::Mpi] {
+        for backend in [lci_kind, BackendKind::Mpi] {
             for mt in [false, true] {
                 let r = run_tlr(&TlrRunCfg {
                     backend,
@@ -41,7 +52,13 @@ fn main() {
     }
 
     banner("Figure 4a: time-to-solution (s)");
-    header(&[("tile", 6), ("LCI", 9), ("Open MPI", 9), ("LCI MT", 9), ("MPI MT", 9)]);
+    header(&[
+        ("tile", 6),
+        ("LCI", 9),
+        ("Open MPI", 9),
+        ("LCI MT", 9),
+        ("MPI MT", 9),
+    ]);
     for (ts, per_ts) in &results {
         let find = |b: BackendKind, mt: bool| {
             per_ts
@@ -52,9 +69,9 @@ fn main() {
         };
         row(&[
             cell(format!("{ts}"), 6),
-            cell(format!("{:.3}", find(BackendKind::Lci, false).tts_s), 9),
+            cell(format!("{:.3}", find(lci_kind, false).tts_s), 9),
             cell(format!("{:.3}", find(BackendKind::Mpi, false).tts_s), 9),
-            cell(format!("{:.3}", find(BackendKind::Lci, true).tts_s), 9),
+            cell(format!("{:.3}", find(lci_kind, true).tts_s), 9),
             cell(format!("{:.3}", find(BackendKind::Mpi, true).tts_s), 9),
         ]);
     }
@@ -82,11 +99,11 @@ fn main() {
         };
         row(&[
             cell(format!("{ts}"), 6),
-            cell(format!("{:.1}", find(BackendKind::Lci, false).req_us), 9),
+            cell(format!("{:.1}", find(lci_kind, false).req_us), 9),
             cell(format!("{:.1}", find(BackendKind::Mpi, false).req_us), 9),
-            cell(format!("{:.1}", find(BackendKind::Lci, true).req_us), 9),
+            cell(format!("{:.1}", find(lci_kind, true).req_us), 9),
             cell(format!("{:.1}", find(BackendKind::Mpi, true).req_us), 9),
-            cell(format!("{:.1}", find(BackendKind::Lci, false).e2e_us), 9),
+            cell(format!("{:.1}", find(lci_kind, false).e2e_us), 9),
             cell(format!("{:.1}", find(BackendKind::Mpi, false).e2e_us), 9),
         ]);
     }
@@ -107,7 +124,7 @@ fn main() {
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .expect("non-empty")
     };
-    let (lci_ts, lci_tts) = best(BackendKind::Lci);
+    let (lci_ts, lci_tts) = best(lci_kind);
     let (mpi_ts, mpi_tts) = best(BackendKind::Mpi);
     println!("best LCI: ts={lci_ts} tts={lci_tts:.3}s | best MPI: ts={mpi_ts} tts={mpi_tts:.3}s");
     println!(
@@ -117,8 +134,18 @@ fn main() {
     // Latency reduction at every tile size.
     let mut max_red = 0.0f64;
     for (_, per) in &results {
-        let lci = per.iter().find(|(b, m, _)| *b == BackendKind::Lci && !m).expect("lci").2.req_us;
-        let mpi = per.iter().find(|(b, m, _)| *b == BackendKind::Mpi && !m).expect("mpi").2.req_us;
+        let lci = per
+            .iter()
+            .find(|(b, m, _)| *b == lci_kind && !m)
+            .expect("lci")
+            .2
+            .req_us;
+        let mpi = per
+            .iter()
+            .find(|(b, m, _)| *b == BackendKind::Mpi && !m)
+            .expect("mpi")
+            .2
+            .req_us;
         if mpi > 0.0 {
             max_red = max_red.max(1.0 - lci / mpi);
         }
@@ -138,8 +165,8 @@ fn main() {
     };
     println!(
         "ts={ts0} LCI multithreaded ACTIVATE: ctl-latency {:+.0}%, tts {:+.1}% (paper: -46% e2e, -10% tts)",
-        (g(BackendKind::Lci, true).req_us / g(BackendKind::Lci, false).req_us - 1.0) * 100.0,
-        (g(BackendKind::Lci, true).tts_s / g(BackendKind::Lci, false).tts_s - 1.0) * 100.0,
+        (g(lci_kind, true).req_us / g(lci_kind, false).req_us - 1.0) * 100.0,
+        (g(lci_kind, true).tts_s / g(lci_kind, false).tts_s - 1.0) * 100.0,
     );
     println!(
         "ts={ts0} MPI multithreaded ACTIVATE: ctl-latency {:+.0}%, tts {:+.1}% (paper: ~neutral/negative)",

@@ -12,7 +12,7 @@
 
 use amt_bench::table::{banner, cell, header, row};
 use amt_bench::tlrrun::{run_tlr, TlrRunCfg, N_FULL, N_SCALED, TILE_SIZES};
-use amt_bench::{full_scale, harness_args};
+use amt_bench::{backend_arg, full_scale, harness_args};
 use amt_comm::BackendKind;
 
 const NODE_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -25,8 +25,18 @@ fn main() {
     let full = full_scale(&args);
     let sweep = args.iter().any(|a| a == "--sweep");
     let n = if full { N_FULL } else { N_SCALED };
+    // `--backend lci-direct` swaps the §7 direct-put backend into the LCI
+    // series; Open MPI stays the baseline either way.
+    let lci_kind = match backend_arg(&args) {
+        None => BackendKind::Lci,
+        Some(BackendKind::Mpi) => {
+            panic!("fig5 always includes the MPI baseline; pass --backend lci|lci-direct")
+        }
+        Some(b) => b,
+    };
 
     println!("TLR Cholesky strong scaling, N = {n}, maxrank 150, acc 1e-8, band 1");
+    println!("LCI series backend: {lci_kind}");
 
     let best_for = |backend: BackendKind, nodes: usize, fallback: usize| -> (usize, f64) {
         if sweep {
@@ -59,7 +69,7 @@ fn main() {
     let mut table2: Vec<(usize, usize, usize)> = Vec::new();
     let mut rows = Vec::new();
     for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
-        let (lci_ts, lci_tts) = best_for(BackendKind::Lci, nodes, PAPER_BEST_LCI[i]);
+        let (lci_ts, lci_tts) = best_for(lci_kind, nodes, PAPER_BEST_LCI[i]);
         let (mpi_best_ts, mpi_best_tts) = best_for(BackendKind::Mpi, nodes, PAPER_BEST_MPI[i]);
         // MPI at LCI's tile size.
         let mpi_at_lci = if mpi_best_ts == lci_ts {
@@ -76,7 +86,7 @@ fn main() {
         };
         // Latency series at LCI's tile size.
         let lci_lat = run_tlr(&TlrRunCfg {
-            backend: BackendKind::Lci,
+            backend: lci_kind,
             nodes,
             n,
             tile_size: lci_ts,
@@ -92,7 +102,16 @@ fn main() {
         })
         .req_us;
         table2.push((nodes, mpi_best_ts, lci_ts));
-        rows.push((nodes, lci_ts, lci_tts, mpi_at_lci, mpi_best_ts, mpi_best_tts, lci_lat, mpi_lat));
+        rows.push((
+            nodes,
+            lci_ts,
+            lci_tts,
+            mpi_at_lci,
+            mpi_best_ts,
+            mpi_best_tts,
+            lci_lat,
+            mpi_lat,
+        ));
     }
 
     banner("Figure 5a: time-to-solution (s)");

@@ -1,8 +1,9 @@
-//! Criterion microbenchmarks: engine throughput and kernel speed of the
-//! substrates themselves (wall-clock performance of the simulator and
-//! libraries, not virtual-time results).
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+//! Wall-clock microbenchmarks: engine throughput and kernel speed of the
+//! substrates themselves (performance of the simulator and libraries, not
+//! virtual-time results).
+//!
+//! Self-timed (median of repeated runs) rather than criterion-based so the
+//! workspace builds offline with no external dev-dependencies.
 
 use amt_comm::{CommWorld, EngineConfig};
 use amt_lci::{LciCosts, LciWorld};
@@ -12,112 +13,105 @@ use amt_netmodel::{Fabric, FabricConfig};
 use amt_simnet::{Sim, SimTime};
 use amt_tlr::LrTile;
 use std::rc::Rc;
+use std::time::Instant;
 
-fn des_event_throughput(c: &mut Criterion) {
-    c.bench_function("simnet/100k_chained_events", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new();
-            fn chain(sim: &mut Sim, left: u32) {
-                if left > 0 {
-                    sim.schedule_in(SimTime::from_ns(10), move |sim| chain(sim, left - 1));
-                }
+const SAMPLES: usize = 10;
+
+/// Runs `f` SAMPLES times and reports the median wall-clock time.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // One warm-up run so allocator and caches settle.
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!("{name:<40} {median:>10.3} ms   [{lo:.3} .. {hi:.3}]");
+}
+
+fn des_event_throughput() {
+    bench("simnet/100k_chained_events", || {
+        let mut sim = Sim::new();
+        fn chain(sim: &mut Sim, left: u32) {
+            if left > 0 {
+                sim.schedule_in(SimTime::from_ns(10), move |sim| chain(sim, left - 1));
             }
-            chain(&mut sim, 100_000);
-            sim.run();
-            sim.events_executed()
-        })
+        }
+        chain(&mut sim, 100_000);
+        sim.run();
+        sim.events_executed()
     });
 }
 
-fn fabric_message_rate(c: &mut Criterion) {
-    c.bench_function("netmodel/10k_small_messages", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new();
-            let fab = Fabric::new(FabricConfig::expanse(2));
-            fab.borrow_mut()
-                .set_handler(1, amt_netmodel::rx_handler(|_, _| {}));
-            for _ in 0..10_000 {
-                Fabric::send(&fab, &mut sim, 0, 1, 64, amt_netmodel::Payload::Empty, None);
-            }
-            sim.run();
-        })
+fn fabric_message_rate() {
+    bench("netmodel/10k_small_messages", || {
+        let mut sim = Sim::new();
+        let fab = Fabric::new(FabricConfig::expanse(2));
+        fab.borrow_mut()
+            .set_handler(1, amt_netmodel::rx_handler(|_, _| {}));
+        for _ in 0..10_000 {
+            Fabric::send(&fab, &mut sim, 0, 1, 64, amt_netmodel::Payload::Empty, None);
+        }
+        sim.run();
     });
 }
 
-fn minimpi_matching(c: &mut Criterion) {
-    let mut g = c.benchmark_group("minimpi/unexpected_queue_scan");
+fn minimpi_matching() {
     for depth in [10usize, 100, 1000] {
-        g.bench_function(format!("depth_{depth}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut sim = Sim::new();
-                    let fabric = Fabric::new(FabricConfig::expanse(2));
-                    let ranks = MpiWorld::create(&fabric, MpiCosts::default());
-                    for i in 0..depth as u64 {
-                        ranks[0].send(&mut sim, 1, 1000 + i, 32, None);
-                    }
-                    sim.run();
-                    // Drain the incoming queue into the unexpected queue.
-                    let (r, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 1);
-                    let _ = ranks[1].test(&mut sim, r);
-                    (sim, ranks)
-                },
-                |(mut sim, ranks)| {
-                    // The measured operation: post a non-matching receive
-                    // (full unexpected-queue scan).
-                    let (r, cost) = ranks[1].irecv(&mut sim, SrcSel::Any, 2);
-                    ranks[1].release(r);
-                    cost
-                },
-                BatchSize::SmallInput,
-            )
+        bench(&format!("minimpi/unexpected_scan/depth_{depth}"), || {
+            let mut sim = Sim::new();
+            let fabric = Fabric::new(FabricConfig::expanse(2));
+            let ranks = MpiWorld::create(&fabric, MpiCosts::default());
+            for i in 0..depth as u64 {
+                ranks[0].send(&mut sim, 1, 1000 + i, 32, None);
+            }
+            sim.run();
+            // Drain the incoming queue into the unexpected queue.
+            let (r, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 1);
+            let _ = ranks[1].test(&mut sim, r);
+            // The measured operation: post a non-matching receive (full
+            // unexpected-queue scan). Setup dominates; the relative cost
+            // across depths is what matters.
+            let (r, cost) = ranks[1].irecv(&mut sim, SrcSel::Any, 2);
+            ranks[1].release(r);
+            cost
         });
     }
-    g.finish();
 }
 
-fn lci_op_issue(c: &mut Criterion) {
-    c.bench_function("lci/sendb_issue", |b| {
-        b.iter_batched(
-            || {
-                let sim = Sim::new();
-                let fabric = Fabric::new(FabricConfig::expanse(2));
-                let eps = LciWorld::create(&fabric, LciCosts::default());
-                eps[1].set_am_handler(|_, _| SimTime::ZERO);
-                (sim, eps)
-            },
-            |(mut sim, eps)| {
-                for _ in 0..100 {
-                    eps[0].sendb(&mut sim, 1, 0, 1024, None).expect("sendb");
-                }
-                sim.run();
-            },
-            BatchSize::SmallInput,
-        )
+fn lci_op_issue() {
+    bench("lci/sendb_issue_100", || {
+        let mut sim = Sim::new();
+        let fabric = Fabric::new(FabricConfig::expanse(2));
+        let eps = LciWorld::create(&fabric, LciCosts::default());
+        eps[1].set_am_handler(|_, _| SimTime::ZERO);
+        for _ in 0..100 {
+            eps[0].sendb(&mut sim, 1, 0, 1024, None).expect("sendb");
+        }
+        sim.run();
     });
 }
 
-fn comm_engine_am_roundtrip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("comm/1k_am_roundtrips");
-    for cfg in [EngineConfig::mpi(), EngineConfig::lci()] {
-        g.bench_function(format!("{}", cfg.backend), |b| {
-            let cfg = cfg.clone();
-            b.iter(|| {
-                let mut sim = Sim::new();
-                let fabric = Fabric::new(FabricConfig::expanse(2));
-                let engines = CommWorld::create(&mut sim, &fabric, cfg.clone());
-                engines[1].register_am(&mut sim, 1, Rc::new(|_s, _e, _ev| SimTime::ZERO));
-                for _ in 0..1000 {
-                    engines[0].send_am_opts(&mut sim, 1, 1, 64, None, false);
-                }
-                sim.run();
-            })
+fn comm_engine_am_roundtrip() {
+    for cfg in EngineConfig::all_backends() {
+        bench(&format!("comm/1k_am_roundtrips/{}", cfg.backend), || {
+            let mut sim = Sim::new();
+            let fabric = Fabric::new(FabricConfig::expanse(2));
+            let engines = CommWorld::create(&mut sim, &fabric, cfg.clone());
+            engines[1].register_am(&mut sim, 1, Rc::new(|_s, _e, _ev| SimTime::ZERO));
+            for _ in 0..1000 {
+                engines[0].send_am_opts(&mut sim, 1, 1, 64, None, false);
+            }
+            sim.run();
         });
     }
-    g.finish();
 }
 
-fn linalg_kernels(c: &mut Criterion) {
+fn linalg_kernels() {
     let a = Matrix::from_fn(64, 64, |i, j| ((i * 31 + j * 17) as f64).sin());
     let spd = {
         let mut s = Matrix::zeros(64, 64);
@@ -127,42 +121,38 @@ fn linalg_kernels(c: &mut Criterion) {
         }
         s
     };
-    c.bench_function("linalg/gemm_64", |b| {
-        b.iter(|| {
-            let mut out = Matrix::zeros(64, 64);
-            gemm(1.0, &a, Trans::No, &a, Trans::Yes, 0.0, &mut out);
-            out
-        })
+    bench("linalg/gemm_64", || {
+        let mut out = Matrix::zeros(64, 64);
+        gemm(1.0, &a, Trans::No, &a, Trans::Yes, 0.0, &mut out);
+        out
     });
-    c.bench_function("linalg/potrf_64", |b| b.iter(|| potrf(&spd).expect("spd")));
-    c.bench_function("linalg/qr_64x16", |b| {
-        let m = Matrix::from_fn(64, 16, |i, j| ((i + 3 * j) as f64).cos());
-        b.iter(|| qr_thin(&m))
-    });
-    c.bench_function("linalg/svd_32x16", |b| {
-        let m = Matrix::from_fn(32, 16, |i, j| 1.0 / (1.0 + (i + j) as f64));
-        b.iter(|| svd_jacobi(&m))
-    });
+    bench("linalg/potrf_64", || potrf(&spd).expect("spd"));
+    let m = Matrix::from_fn(64, 16, |i, j| ((i + 3 * j) as f64).cos());
+    bench("linalg/qr_64x16", || qr_thin(&m));
+    let m2 = Matrix::from_fn(32, 16, |i, j| 1.0 / (1.0 + (i + j) as f64));
+    bench("linalg/svd_32x16", || svd_jacobi(&m2));
 }
 
-fn tlr_compression(c: &mut Criterion) {
-    let block = Matrix::from_fn(64, 64, |i, j| (-((i as f64 - j as f64) / 16.0).powi(2)).exp());
-    c.bench_function("tlr/compress_64", |b| {
-        b.iter(|| LrTile::compress(&block, 1e-8, 32))
+fn tlr_compression() {
+    let block = Matrix::from_fn(64, 64, |i, j| {
+        (-((i as f64 - j as f64) / 16.0).powi(2)).exp()
     });
+    bench("tlr/compress_64", || LrTile::compress(&block, 1e-8, 32));
     let t = LrTile::compress(&block, 1e-8, 32);
     let w = Matrix::from_fn(64, 4, |i, j| ((i * 7 + j) as f64).sin());
     let z = Matrix::from_fn(64, 4, |i, j| ((i + j * 5) as f64).cos());
-    c.bench_function("tlr/add_truncate_64_r4", |b| {
-        b.iter(|| t.add_truncate(&w, &z, 1e-8, 32))
+    bench("tlr/add_truncate_64_r4", || {
+        t.add_truncate(&w, &z, 1e-8, 32)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = des_event_throughput, fabric_message_rate, minimpi_matching,
-              lci_op_issue, comm_engine_am_roundtrip, linalg_kernels,
-              tlr_compression
+fn main() {
+    println!("{:<40} {:>13}   [min .. max]", "benchmark", "median");
+    des_event_throughput();
+    fabric_message_rate();
+    minimpi_matching();
+    lci_op_issue();
+    comm_engine_am_roundtrip();
+    linalg_kernels();
+    tlr_compression();
 }
-criterion_main!(benches);

@@ -21,7 +21,34 @@ pub fn full_scale(args: &[String]) -> bool {
 /// Skip flag criterion-style harness args we don't use (`--bench`, test
 /// filters), returning the interesting ones.
 pub fn harness_args() -> Vec<String> {
-    std::env::args().skip(1).filter(|a| a != "--bench").collect()
+    std::env::args()
+        .skip(1)
+        .filter(|a| a != "--bench")
+        .collect()
+}
+
+/// Parse an optional `--backend <name>` / `--backend=<name>` harness flag
+/// (names as in [`amt_comm::BackendKind::parse`]: `mpi`, `lci`,
+/// `lci-direct`). `None` means the harness should cover its default set of
+/// backends. Panics on an unknown backend name so typos fail loudly.
+pub fn backend_arg(args: &[String]) -> Option<amt_comm::BackendKind> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let name = if a == "--backend" {
+            it.next()
+                .unwrap_or_else(|| panic!("--backend requires a value"))
+                .as_str()
+        } else if let Some(v) = a.strip_prefix("--backend=") {
+            v
+        } else {
+            continue;
+        };
+        return Some(
+            amt_comm::BackendKind::parse(name)
+                .unwrap_or_else(|| panic!("unknown backend {name:?} (mpi|lci|lci-direct)")),
+        );
+    }
+    None
 }
 
 /// Granularities of Fig. 2/3: 8 KiB → 8 MiB in √2 steps (the paper's
@@ -62,6 +89,21 @@ mod tests {
         assert!(g.iter().any(|&x| (x as f64 - 90.5 * 1024.0).abs() < 512.0));
         assert!(g.iter().any(|&x| (x as f64 - 45.25 * 1024.0).abs() < 512.0));
         assert_eq!(g.len(), 21);
+    }
+
+    #[test]
+    fn backend_arg_parses_both_flag_forms() {
+        use amt_comm::BackendKind;
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(backend_arg(&args(&["--full"])), None);
+        assert_eq!(
+            backend_arg(&args(&["--backend", "lci-direct"])),
+            Some(BackendKind::LciDirect)
+        );
+        assert_eq!(
+            backend_arg(&args(&["--full", "--backend=mpi"])),
+            Some(BackendKind::Mpi)
+        );
     }
 
     #[test]

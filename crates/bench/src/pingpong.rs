@@ -262,7 +262,11 @@ mod diag {
     #[test]
     #[ignore = "diagnostic"]
     fn diag_one_point() {
-        for (label, n) in [("16KiB", 16 * 1024), ("64KiB", 64 * 1024), ("256KiB", 256 * 1024)] {
+        for (label, n) in [
+            ("16KiB", 16 * 1024),
+            ("64KiB", 64 * 1024),
+            ("256KiB", 256 * 1024),
+        ] {
             for backend in [BackendKind::Lci, BackendKind::Mpi] {
                 let cfg = PingPongCfg::bandwidth(n, 1, true, 5);
                 let r = run_pingpong(backend, &cfg);
@@ -316,9 +320,9 @@ mod diag2 {
 
 #[cfg(test)]
 mod diag3 {
+    use crate as amt_bench_self;
     use amt_bench_self::tlrrun::{run_tlr, TlrRunCfg};
     use amt_comm::BackendKind;
-    use crate as amt_bench_self;
 
     #[test]
     #[ignore = "diagnostic"]

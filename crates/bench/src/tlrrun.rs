@@ -113,7 +113,8 @@ mod diag {
     #[test]
     #[ignore = "diagnostic"]
     fn diag_window_sweep() {
-        for window in [1usize, 2, 8, 1024] { // MiB of in-flight fetch budget
+        for window in [1usize, 2, 8, 1024] {
+            // MiB of in-flight fetch budget
             for backend in [BackendKind::Lci, BackendKind::Mpi] {
                 let problem = TlrProblem::new(144_000, 1200);
                 let (_, graph) = TlrCholesky::build_cost_only(problem, 16);

@@ -1,0 +1,401 @@
+//! Minimal, dependency-free reimplementation of the subset of the `bytes`
+//! crate API that this workspace uses.
+//!
+//! The container building this repository has no network access to a crates
+//! registry, so external crates cannot be resolved. This shim keeps the
+//! workspace self-contained while preserving the familiar `bytes` idioms
+//! (`Bytes` as a cheaply-clonable immutable buffer, `BytesMut` + `freeze`,
+//! and the little-endian cursor methods from `Buf`/`BufMut`).
+//!
+//! Semantics match the real crate for the operations implemented here:
+//! `Bytes` is an `Arc<[u8]>` window (clone is O(1), `split_to` advances the
+//! window without copying), and the `Buf` getters consume from the front.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer: a view into shared storage.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from([] as [u8; 0]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Creates `Bytes` from a static slice (copied once into shared storage;
+    /// the real crate borrows, but callers only rely on value semantics).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    /// No copy: both halves share the backing storage.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Returns a sub-view of `self` (like `Bytes::slice` in the real crate).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the view into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Growable byte buffer; `freeze` converts it into an immutable `Bytes`.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Converts into an immutable `Bytes` without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Bytes::from(self.buf.clone()).fmt(f)
+    }
+}
+
+/// Read cursor over a byte source. Getters consume from the front and panic
+/// if the source is exhausted (matching the real crate's behaviour).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Discards the first `n` unread bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any bytes are left to read.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Write cursor appending to a byte sink in little-endian order.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_to_shares_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        assert_eq!(head.len() + b.len(), 5);
+    }
+
+    #[test]
+    fn le_roundtrip_through_buf_traits() {
+        let mut m = BytesMut::with_capacity(32);
+        m.put_u8(7);
+        m.put_u16_le(0xbeef);
+        m.put_u32_le(0xdead_beef);
+        m.put_u64_le(0x0123_4567_89ab_cdef);
+        m.put_i64_le(-42);
+        m.put_slice(b"xyz");
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 0xbeef);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert_eq!(b.get_i64_le(), -42);
+        assert_eq!(&b[..], b"xyz");
+        assert_eq!(b.remaining(), 3);
+    }
+
+    #[test]
+    fn equality_and_clone_are_by_value() {
+        let a = Bytes::from(vec![9u8; 16]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![9u8; 16]);
+        assert!(Bytes::new().is_empty());
+    }
+}

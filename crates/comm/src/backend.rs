@@ -1,0 +1,139 @@
+//! The backend seam: every communication library the engine can sit on
+//! implements [`CommBackend`], and [`CommEngine`] dispatches exclusively
+//! through a `Box<dyn CommBackend>` — it contains no per-backend branching.
+//!
+//! The only place allowed to inspect [`BackendKind`] is [`make_backends`],
+//! the construction factory. Adding a backend means writing one implementor
+//! and one factory arm; the engine, the micro-task actor, and every consumer
+//! above stay untouched.
+
+use std::any::Any;
+use std::rc::Rc;
+
+use amt_lci::{LciCosts, LciWorld};
+use amt_minimpi::{MpiCosts, MpiWorld};
+use amt_netmodel::{FabricHandle, NodeId};
+use amt_simnet::{CoreHandle, Sim, SimTime};
+use bytes::Bytes;
+
+use crate::config::{BackendKind, EngineConfig};
+use crate::engine::{CommEngine, PutRequest};
+use crate::lci_backend::LciBackend;
+use crate::lci_direct::LciDirect;
+use crate::mpi_backend::MpiBackend;
+use crate::stats::EngineStats;
+
+/// A backend-private unit of work carried through the engine's generic
+/// command and micro-task queues. The owning backend downcasts it back in
+/// [`CommBackend::exec_micro`] / [`CommBackend::exec_command`].
+pub(crate) type BackendTask = Box<dyn Any>;
+
+/// One communication library under the engine. All methods take the engine
+/// by `&Rc` so implementors can reach the shared actor state (`eng.inner`),
+/// the configuration, and the simulated cores, and can hand weak engine
+/// references to completion handlers.
+pub(crate) trait CommBackend {
+    /// The kind this implementor realizes (diagnostics only — the engine
+    /// never branches on it).
+    fn kind(&self) -> BackendKind;
+
+    /// Number of dedicated progress-thread cores this backend wants.
+    fn progress_threads(&self) -> usize {
+        0
+    }
+
+    /// One-time wiring once the engine `Rc` exists: wakers, wire handlers,
+    /// internal protocol tags.
+    fn init(&self, eng: &Rc<CommEngine>, sim: &mut Sim);
+
+    /// A user AM tag was registered (MPI posts its persistent receives
+    /// here; backends with dynamic buffers need nothing).
+    fn register_am_tag(&self, eng: &Rc<CommEngine>, sim: &mut Sim, tag: u64) {
+        let _ = (eng, sim, tag);
+    }
+
+    /// Put an AM on the wire from the communication thread (or a callback
+    /// running in its context). Returns the CPU cost to charge.
+    fn issue_am(
+        &self,
+        eng: &Rc<CommEngine>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> SimTime;
+
+    /// Multithreaded-mode AM send from a worker thread (§6.4.3), bypassing
+    /// the communication thread. Returns the cost the caller charges to its
+    /// own core — including library serialization where the backend has it.
+    fn issue_am_direct(
+        &self,
+        eng: &Rc<CommEngine>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> SimTime;
+
+    /// Start a one-sided put from the communication thread.
+    fn issue_put(&self, eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime;
+
+    /// Pull the backend's next micro-task, if it has one ready. Called by
+    /// the actor after the generic queues (pending micro-tasks, submitted
+    /// commands) are empty.
+    fn next_micro(&self, eng: &CommEngine) -> Option<BackendTask>;
+
+    /// Execute one backend micro-task previously returned by
+    /// [`Self::next_micro`] or queued by the backend itself.
+    fn exec_micro(&self, eng: &Rc<CommEngine>, sim: &mut Sim, task: BackendTask) -> SimTime;
+
+    /// Execute one backend command the backend queued for retry (e.g. a
+    /// send that hit back-pressure). Backends that never queue commands
+    /// keep the default.
+    fn exec_command(&self, eng: &Rc<CommEngine>, sim: &mut Sim, cmd: BackendTask) -> SimTime {
+        let _ = (eng, sim, cmd);
+        panic!("backend queued no commands but one arrived");
+    }
+
+    /// The library's serializing lock, if the backend has one: every
+    /// communication-thread charge occupies it, so multithreaded direct
+    /// senders contend with the engine (the MPI pathology of §4.3).
+    fn serializing_lock(&self) -> Option<CoreHandle> {
+        None
+    }
+
+    /// Drive the backend's dedicated progress machinery (the LCI progress
+    /// thread of §5.3.1). Called from the backend's own waker; backends
+    /// without progress threads keep the default.
+    fn drain_progress(&self, eng: &Rc<CommEngine>, sim: &mut Sim) {
+        let _ = (eng, sim);
+    }
+
+    /// Fold the backend's private counters into an engine-stats snapshot.
+    fn stats(&self, base: EngineStats) -> EngineStats;
+}
+
+/// Construct one backend per fabric node. This factory is the single place
+/// in the crate that matches on [`BackendKind`].
+pub(crate) fn make_backends(
+    fabric: &FabricHandle,
+    cfg: &EngineConfig,
+) -> Vec<Box<dyn CommBackend>> {
+    match cfg.backend {
+        BackendKind::Mpi => MpiWorld::create(fabric, MpiCosts::default())
+            .into_iter()
+            .enumerate()
+            .map(|(node, mpi)| Box::new(MpiBackend::new(node, mpi)) as Box<dyn CommBackend>)
+            .collect(),
+        BackendKind::Lci => LciWorld::create(fabric, LciCosts::default())
+            .into_iter()
+            .map(|ep| Box::new(LciBackend::new(ep, cfg)) as Box<dyn CommBackend>)
+            .collect(),
+        BackendKind::LciDirect => LciWorld::create(fabric, LciCosts::default())
+            .into_iter()
+            .map(|ep| Box::new(LciDirect::new(ep, cfg)) as Box<dyn CommBackend>)
+            .collect(),
+    }
+}

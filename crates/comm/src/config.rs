@@ -3,12 +3,41 @@
 use amt_simnet::SimTime;
 
 /// Which communication library backs the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
     /// MiniMPI two-sided backend (§4.2).
     Mpi,
     /// LCI backend with a dedicated progress thread (§5.3).
     Lci,
+    /// LCI backend using the §7 direct put: a single one-sided RDMA write
+    /// with an immediate-data completion descriptor replaces the
+    /// handshake + rendezvous emulation for large puts.
+    LciDirect,
+}
+
+impl BackendKind {
+    /// All backends, in presentation order (MPI, LCI, LCI direct-put).
+    pub const ALL: [BackendKind; 3] = [BackendKind::Mpi, BackendKind::Lci, BackendKind::LciDirect];
+
+    /// Command-line spelling (`--backend` flags in the bench harnesses).
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            BackendKind::Mpi => "mpi",
+            BackendKind::Lci => "lci",
+            BackendKind::LciDirect => "lci-direct",
+        }
+    }
+
+    /// Parse a command-line spelling. Accepts the `cli_name` forms plus a
+    /// couple of common aliases.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "mpi" => Some(BackendKind::Mpi),
+            "lci" => Some(BackendKind::Lci),
+            "lci-direct" | "lci_direct" | "lcidirect" | "direct" => Some(BackendKind::LciDirect),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for BackendKind {
@@ -16,6 +45,7 @@ impl std::fmt::Display for BackendKind {
         match self {
             BackendKind::Mpi => write!(f, "Open MPI (modelled)"),
             BackendKind::Lci => write!(f, "LCI"),
+            BackendKind::LciDirect => write!(f, "LCI direct-put"),
         }
     }
 }
@@ -34,7 +64,8 @@ pub struct EngineConfig {
     /// bulk-data queue is drained (LCI backend; the paper uses five).
     pub am_batch: usize,
     /// Puts at or below this size ride eagerly inside the LCI handshake
-    /// message (§5.3.3 optimization).
+    /// message (§5.3.3 optimization). The direct-put backend uses the same
+    /// threshold: payloads under it stay inline in the buffered message.
     pub eager_put_max: usize,
     /// Aggregate funneled AMs to the same (destination, tag) up to this many
     /// payload bytes (§4.3 duty #1). Set to 0 to disable aggregation.
@@ -46,10 +77,6 @@ pub struct EngineConfig {
     /// instead of a dedicated progress thread — undoing the §5.3.1 design
     /// so its benefit can be isolated.
     pub lci_shared_progress: bool,
-    /// §7 future work: use LCI's one-sided `putd` (RDMA write with
-    /// immediate data) to implement the put interface directly, instead of
-    /// the handshake + two-sided emulation of §5.3.3.
-    pub lci_direct_put: bool,
     /// §7 future work: number of LCI progress threads (cores). More threads
     /// drain completions concurrently under heavy load.
     pub lci_progress_threads: usize,
@@ -74,7 +101,6 @@ impl Default for EngineConfig {
             agg_max_bytes: 8192,
             multithread_am: false,
             lci_shared_progress: false,
-            lci_direct_put: false,
             lci_progress_threads: 1,
             cmd_overhead: SimTime::from_ns(100),
             fifo_pop: SimTime::from_ns(40),
@@ -94,6 +120,31 @@ impl EngineConfig {
     pub fn lci() -> Self {
         EngineConfig {
             backend: BackendKind::Lci,
+            ..Default::default()
+        }
+    }
+
+    /// §7 direct-put configuration: LCI with `putd` replacing the
+    /// handshake emulation.
+    pub fn lci_direct() -> Self {
+        EngineConfig {
+            backend: BackendKind::LciDirect,
+            ..Default::default()
+        }
+    }
+
+    /// One default configuration per backend, in `BackendKind::ALL` order.
+    pub fn all_backends() -> [EngineConfig; 3] {
+        BackendKind::ALL.map(|backend| EngineConfig {
+            backend,
+            ..Default::default()
+        })
+    }
+
+    /// Build a configuration for an arbitrary backend kind.
+    pub fn for_backend(backend: BackendKind) -> Self {
+        EngineConfig {
+            backend,
             ..Default::default()
         }
     }
@@ -121,7 +172,21 @@ mod tests {
     #[test]
     fn builders() {
         assert_eq!(EngineConfig::lci().backend, BackendKind::Lci);
+        assert_eq!(EngineConfig::lci_direct().backend, BackendKind::LciDirect);
         assert!(EngineConfig::mpi().with_multithread_am(true).multithread_am);
         assert_eq!(format!("{}", BackendKind::Lci), "LCI");
+        assert_eq!(format!("{}", BackendKind::LciDirect), "LCI direct-put");
+    }
+
+    #[test]
+    fn cli_names_roundtrip() {
+        for b in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(b.cli_name()), Some(b));
+        }
+        assert_eq!(
+            BackendKind::parse("LCI-Direct"),
+            Some(BackendKind::LciDirect)
+        );
+        assert_eq!(BackendKind::parse("nonsense"), None);
     }
 }

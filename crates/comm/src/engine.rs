@@ -1,19 +1,21 @@
 //! The communication engine: public API (paper Listing 1) and the
-//! communication-thread micro-task actor shared by both backends.
+//! communication-thread micro-task actor shared by all backends.
+//!
+//! The engine is backend-agnostic: everything library-specific lives behind
+//! the [`CommBackend`] trait (`backend.rs`), and the engine talks to it only
+//! through its `Box<dyn CommBackend>` — there is no `match` on
+//! [`crate::BackendKind`] anywhere in this file.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::{Rc, Weak};
+use std::rc::Rc;
 
-use amt_lci::{Lci, LciCosts, LciWorld};
-use amt_minimpi::{Mpi, MpiCosts, MpiWorld};
 use amt_netmodel::{FabricHandle, NodeId};
 use amt_simnet::{CoreHandle, CoreResource, Sim, SimTime};
 use bytes::Bytes;
 
+use crate::backend::{make_backends, BackendTask, CommBackend};
 use crate::config::{BackendKind, EngineConfig};
-use crate::lci_backend::{DataDone, LciState, QueuedAm};
-use crate::mpi_backend::MpiState;
 use crate::stats::EngineStats;
 
 /// Active-message tags ≥ this value are reserved for the engine's internal
@@ -73,13 +75,9 @@ pub(crate) enum Command {
         submissions: u64,
     },
     Put(PutRequest),
-    /// LCI backend: a handshake whose `sendb` hit `Retry`.
-    RawSendb {
-        dst: NodeId,
-        tag: u64,
-        size: usize,
-        data: Option<Bytes>,
-    },
+    /// A backend-private command (typically a send that hit back-pressure
+    /// and awaits retry). Executed via [`CommBackend::exec_command`].
+    Backend(BackendTask),
 }
 
 /// Micro-tasks of the communication thread. Each executes as one charge on
@@ -87,18 +85,10 @@ pub(crate) enum Command {
 pub(crate) enum Micro {
     /// Drain the submitted-command queue.
     Commands,
-    /// One `Testsome` sweep over the global request array (MPI).
-    MpiProgress,
-    /// One completed request's callback work (MPI).
-    MpiCompletion(amt_minimpi::Completion),
-    /// One §5.3.4 fairness round over the completion FIFOs (LCI).
-    FifoRound,
-    /// One queued AM callback (LCI).
-    LciAm(QueuedAm),
-    /// One bulk-data completion callback (LCI).
-    LciData(DataDone),
-    /// Retry receives delegated by the progress thread (LCI).
-    LciDelegated,
+    /// A backend-private micro-task (a progress sweep, a completion
+    /// callback, a FIFO round, ...). Executed via
+    /// [`CommBackend::exec_micro`].
+    Backend(BackendTask),
 }
 
 pub(crate) struct Inner {
@@ -115,8 +105,6 @@ pub(crate) struct Inner {
     pub in_ctx: bool,
     pub ctx_cost: SimTime,
     pub stats: EngineStats,
-    pub mpi: MpiState,
-    pub lci: LciState,
 }
 
 /// One node's communication engine. Create with [`CommWorld::create`].
@@ -125,15 +113,14 @@ pub struct CommEngine {
     pub(crate) cfg: EngineConfig,
     /// The communication thread's dedicated core (§4.3).
     pub(crate) comm_core: CoreHandle,
-    /// The LCI progress threads' dedicated cores (§5.3.1; more than one is
-    /// the §7 multi-progress-thread extension).
+    /// The progress threads' dedicated cores, as many as the backend asked
+    /// for (§5.3.1; more than one is the §7 multi-progress-thread
+    /// extension).
     pub(crate) progress_cores: Vec<CoreHandle>,
-    /// MPI library serialization (multithreaded senders contend here).
-    pub(crate) mpi_lock: Option<CoreHandle>,
-    pub(crate) mpi: Option<Mpi>,
-    pub(crate) lci: Option<Lci>,
+    /// The communication library under the engine. All backend-specific
+    /// behaviour is dispatched through this object.
+    pub(crate) backend: Box<dyn CommBackend>,
     pub(crate) inner: RefCell<Inner>,
-    me: RefCell<Weak<CommEngine>>,
 }
 
 /// Factory for per-node engines over a shared fabric.
@@ -141,84 +128,25 @@ pub struct CommWorld;
 
 impl CommWorld {
     /// Build one engine per fabric node, with the chosen backend, and wire
-    /// up wakers/handlers. For the MPI backend this also registers the
-    /// internal handshake tag (posting its persistent receives), which is
-    /// why `sim` is needed.
+    /// up wakers/handlers. Backend-side initialization may post receives
+    /// (MPI's persistent handshake receives), which is why `sim` is needed.
     pub fn create(sim: &mut Sim, fabric: &FabricHandle, cfg: EngineConfig) -> Vec<Rc<CommEngine>> {
-        let nodes = fabric.borrow().nodes();
-        let mut engines = Vec::with_capacity(nodes);
-        match cfg.backend {
-            BackendKind::Mpi => {
-                let ranks = MpiWorld::create(fabric, MpiCosts::default());
-                for (node, mpi) in ranks.into_iter().enumerate() {
-                    let eng = Rc::new(CommEngine {
-                        node,
-                        cfg: cfg.clone(),
-                        comm_core: CoreResource::new_shared(format!("n{node}.comm")),
-                        progress_cores: Vec::new(),
-                        mpi_lock: Some(CoreResource::new_shared(format!("n{node}.mpilock"))),
-                        mpi: Some(mpi),
-                        lci: None,
-                        inner: RefCell::new(Inner::new()),
-                        me: RefCell::new(Weak::new()),
-                    });
-                    *eng.me.borrow_mut() = Rc::downgrade(&eng);
-                    let weak = Rc::downgrade(&eng);
-                    eng.mpi.as_ref().expect("mpi backend").set_waker(move |sim| {
-                        if let Some(eng) = weak.upgrade() {
-                            eng.inner.borrow_mut().mpi.progress_queued = true;
-                            CommEngine::wake_comm(&eng, sim);
-                        }
-                    });
-                    crate::mpi_backend::register_internal(&eng, sim);
-                    engines.push(eng);
-                }
-            }
-            BackendKind::Lci => {
-                let eps = LciWorld::create(fabric, LciCosts::default());
-                for (node, lci) in eps.into_iter().enumerate() {
-                    let eng = Rc::new(CommEngine {
-                        node,
-                        cfg: cfg.clone(),
-                        comm_core: CoreResource::new_shared(format!("n{node}.comm")),
-                        progress_cores: (0..cfg.lci_progress_threads.max(1))
-                            .map(|i| CoreResource::new_shared(format!("n{node}.prog{i}")))
-                            .collect(),
-                        mpi_lock: None,
-                        mpi: None,
-                        lci: Some(lci),
-                        inner: RefCell::new(Inner::new()),
-                        me: RefCell::new(Weak::new()),
-                    });
-                    *eng.me.borrow_mut() = Rc::downgrade(&eng);
-                    let weak = Rc::downgrade(&eng);
-                    eng.lci.as_ref().expect("lci backend").set_waker(move |sim| {
-                        if let Some(eng) = weak.upgrade() {
-                            CommEngine::pump_progress(&eng, sim);
-                            // Freed resources may also unblock queued
-                            // commands or delegated receives on the
-                            // communication thread.
-                            eng.inner.borrow_mut().lci.retry_wanted = true;
-                            CommEngine::wake_comm(&eng, sim);
-                        }
-                    });
-                    let weak = Rc::downgrade(&eng);
-                    eng.lci.as_ref().expect("lci backend").set_am_handler(move |sim, msg| {
-                        match weak.upgrade() {
-                            Some(eng) => crate::lci_backend::on_am(&eng, sim, msg),
-                            None => SimTime::ZERO,
-                        }
-                    });
-                    let weak = Rc::downgrade(&eng);
-                    eng.lci.as_ref().expect("lci backend").set_put_handler(move |sim, msg| {
-                        match weak.upgrade() {
-                            Some(eng) => crate::lci_backend::on_put(&eng, sim, msg),
-                            None => SimTime::ZERO,
-                        }
-                    });
-                    engines.push(eng);
-                }
-            }
+        let backends = make_backends(fabric, &cfg);
+        let mut engines = Vec::with_capacity(backends.len());
+        for (node, backend) in backends.into_iter().enumerate() {
+            let progress_cores = (0..backend.progress_threads())
+                .map(|i| CoreResource::new_shared(format!("n{node}.prog{i}")))
+                .collect();
+            let eng = Rc::new(CommEngine {
+                node,
+                cfg: cfg.clone(),
+                comm_core: CoreResource::new_shared(format!("n{node}.comm")),
+                progress_cores,
+                backend,
+                inner: RefCell::new(Inner::new()),
+            });
+            eng.backend.init(&eng, sim);
+            engines.push(eng);
         }
         engines
     }
@@ -236,8 +164,6 @@ impl Inner {
             in_ctx: false,
             ctx_cost: SimTime::ZERO,
             stats: EngineStats::default(),
-            mpi: MpiState::default(),
-            lci: LciState::default(),
         }
     }
 }
@@ -252,7 +178,7 @@ impl CommEngine {
     }
 
     pub fn backend(&self) -> BackendKind {
-        self.cfg.backend
+        self.backend.kind()
     }
 
     /// The communication thread's core (utilization diagnostics).
@@ -271,23 +197,17 @@ impl CommEngine {
     }
 
     pub fn stats(&self) -> EngineStats {
-        self.inner.borrow().stats.clone()
-    }
-
-    pub(crate) fn me(&self) -> Rc<CommEngine> {
-        self.me.borrow().upgrade().expect("engine dropped")
+        let base = self.inner.borrow().stats.clone();
+        self.backend.stats(base)
     }
 
     /// Register an active-message callback under `tag` (Listing 1
-    /// `tag_reg`). For the MPI backend this posts the tag's persistent
-    /// receives, hence `sim`.
+    /// `tag_reg`). Backends may post receives for the tag, hence `sim`.
     pub fn register_am(self: &Rc<Self>, sim: &mut Sim, tag: u64, cb: AmCallback) {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
         let prev = self.inner.borrow_mut().am_cbs.insert(tag, cb);
         assert!(prev.is_none(), "tag {tag} registered twice");
-        if self.backend() == BackendKind::Mpi {
-            crate::mpi_backend::register_am_tag(self, sim, tag);
-        }
+        self.backend.register_am_tag(self, sim, tag);
     }
 
     /// Register a one-sided completion callback under `r_tag` (the callback
@@ -373,8 +293,7 @@ impl CommEngine {
     /// Multithreaded AM send (§6.4.3): the calling worker thread sends
     /// directly, bypassing the communication thread and aggregation.
     /// Returns the CPU cost the caller must charge to its own core — for
-    /// the MPI backend this includes waiting for the library's serializing
-    /// lock.
+    /// backends with a serializing library lock this includes the wait.
     pub fn send_am_direct(
         self: &Rc<Self>,
         sim: &mut Sim,
@@ -384,46 +303,8 @@ impl CommEngine {
         data: Option<Bytes>,
     ) -> SimTime {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
-        {
-            let mut inner = self.inner.borrow_mut();
-            inner.stats.am_submitted += 1;
-            inner.stats.am_sent += 1;
-        }
-        match self.backend() {
-            BackendKind::Mpi => {
-                let mpi = self.mpi.as_ref().expect("mpi backend").clone();
-                let costs = mpi.costs();
-                let op_cost = costs.call_base + costs.send_eager_base + costs.copy_cost(size);
-                let lock = self.mpi_lock.as_ref().expect("mpi lock").clone();
-                let now = sim.now();
-                let end = lock.borrow_mut().occupy(now, op_cost);
-                // The message leaves once the lock slot is served.
-                sim.schedule_at(end, move |sim| {
-                    let _ = mpi.send(sim, dst, tag, size, data);
-                });
-                end - now
-            }
-            BackendKind::Lci => {
-                let lci = self.lci.as_ref().expect("lci backend").clone();
-                let costs = lci.costs();
-                let res = if size <= costs.imm_max {
-                    lci.sendi(sim, dst, tag, size, data.clone())
-                } else {
-                    lci.sendb(sim, dst, tag, size, data.clone())
-                };
-                match res {
-                    Ok(c) => c,
-                    Err(_) => {
-                        // Back-pressure: fall back to funneling.
-                        self.inner.borrow_mut().stats.backend_retries += 1;
-                        self.inner.borrow_mut().stats.am_sent -= 1;
-                        let me = self.me();
-                        me.send_am_opts(sim, dst, tag, size, data, false);
-                        costs.call_base
-                    }
-                }
-            }
-        }
+        self.backend
+            .issue_am_direct(self, sim, dst, tag, size, data)
     }
 
     /// Start a one-sided put (Listing 1 `put`). Funnelled to the
@@ -467,30 +348,16 @@ impl CommEngine {
 
     /// Pick the next micro-task, or park.
     fn next_micro(&self) -> Option<Micro> {
-        let mut inner = self.inner.borrow_mut();
-        if let Some(m) = inner.micro.pop_front() {
-            return Some(m);
-        }
-        if !inner.pending.is_empty() {
-            return Some(Micro::Commands);
-        }
-        match self.cfg.backend {
-            BackendKind::Mpi => {
-                if inner.mpi.progress_queued {
-                    inner.mpi.progress_queued = false;
-                    return Some(Micro::MpiProgress);
-                }
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(m) = inner.micro.pop_front() {
+                return Some(m);
             }
-            BackendKind::Lci => {
-                if !inner.lci.am_fifo.is_empty()
-                    || !inner.lci.data_fifo.is_empty()
-                    || (inner.lci.retry_wanted && !inner.lci.delegated.is_empty())
-                {
-                    return Some(Micro::FifoRound);
-                }
+            if !inner.pending.is_empty() {
+                return Some(Micro::Commands);
             }
         }
-        None
+        self.backend.next_micro(self).map(Micro::Backend)
     }
 
     /// Run the communication thread until it has no work: each micro-task's
@@ -514,9 +381,10 @@ impl CommEngine {
         if cost.is_zero() {
             cost = SimTime::from_ns(1);
         }
-        // MPI library calls from the communication thread hold the
-        // serializing lock; multithreaded senders add waiting time here.
-        let total = match &eng.mpi_lock {
+        // Library calls from the communication thread hold the backend's
+        // serializing lock (if it has one); multithreaded senders add
+        // waiting time here.
+        let total = match eng.backend.serializing_lock() {
             Some(lock) => {
                 let now = sim.now();
                 let end = lock.borrow_mut().occupy(now, cost);
@@ -535,12 +403,7 @@ impl CommEngine {
     fn execute_micro(self: &Rc<Self>, sim: &mut Sim, task: Micro) -> SimTime {
         match task {
             Micro::Commands => self.exec_commands(sim),
-            Micro::MpiProgress => crate::mpi_backend::exec_progress(self, sim),
-            Micro::MpiCompletion(c) => crate::mpi_backend::exec_completion(self, sim, c),
-            Micro::FifoRound => crate::lci_backend::exec_fifo_round(self, sim),
-            Micro::LciAm(a) => crate::lci_backend::exec_am(self, sim, a),
-            Micro::LciData(d) => crate::lci_backend::exec_data(self, sim, d),
-            Micro::LciDelegated => crate::lci_backend::exec_delegated(self, sim),
+            Micro::Backend(t) => self.backend.exec_micro(self, sim, t),
         }
     }
 
@@ -572,23 +435,8 @@ impl CommEngine {
                 Command::Put(req) => {
                     cost += self.issue_put(sim, req);
                 }
-                Command::RawSendb {
-                    dst,
-                    tag,
-                    size,
-                    data,
-                } => {
-                    let lci = self.lci.as_ref().expect("lci backend");
-                    match lci.sendb(sim, dst, tag, size, data.clone()) {
-                        Ok(c) => cost += c,
-                        Err(_) => {
-                            let mut inner = self.inner.borrow_mut();
-                            inner.stats.backend_retries += 1;
-                            inner
-                                .pending
-                                .push_front(Command::RawSendb { dst, tag, size, data });
-                        }
-                    }
+                Command::Backend(task) => {
+                    cost += self.backend.exec_command(self, sim, task);
                 }
             }
             // A command that hit back-pressure re-queues itself at the
@@ -619,43 +467,11 @@ impl CommEngine {
             inner.stats.am_sent += 1;
             let _ = submissions;
         }
-        match self.backend() {
-            BackendKind::Mpi => {
-                let mpi = self.mpi.as_ref().expect("mpi backend");
-                mpi.send(sim, dst, tag, size, data)
-            }
-            BackendKind::Lci => {
-                let lci = self.lci.as_ref().expect("lci backend");
-                let costs = lci.costs();
-                let res = if size <= costs.imm_max {
-                    lci.sendi(sim, dst, tag, size, data.clone())
-                } else {
-                    lci.sendb(sim, dst, tag, size, data.clone())
-                };
-                match res {
-                    Ok(c) => c,
-                    Err(_) => {
-                        let mut inner = self.inner.borrow_mut();
-                        inner.stats.backend_retries += 1;
-                        inner.stats.am_sent -= 1;
-                        inner.pending.push_front(Command::RawSendb {
-                            dst,
-                            tag,
-                            size,
-                            data,
-                        });
-                        costs.call_base
-                    }
-                }
-            }
-        }
+        self.backend.issue_am(self, sim, dst, tag, size, data)
     }
 
     pub(crate) fn issue_put(self: &Rc<Self>, sim: &mut Sim, req: PutRequest) -> SimTime {
-        match self.backend() {
-            BackendKind::Mpi => crate::mpi_backend::issue_put(self, sim, req),
-            BackendKind::Lci => crate::lci_backend::issue_put(self, sim, req),
-        }
+        self.backend.issue_put(self, sim, req)
     }
 
     /// Run a user callback in communication-thread context: nested engine
@@ -675,50 +491,6 @@ impl CommEngine {
         let mut inner = self.inner.borrow_mut();
         inner.in_ctx = false;
         c + std::mem::take(&mut inner.ctx_cost)
-    }
-
-    // ------------------------------------------------------------------
-    // LCI progress-thread actor (§5.3.1)
-    // ------------------------------------------------------------------
-
-    /// Pump the dedicated progress thread: if it is idle and LCI has work,
-    /// run one `LCI_progress` sweep and charge its cost to the progress
-    /// core.
-    pub(crate) fn pump_progress(eng: &Rc<Self>, sim: &mut Sim) {
-        let lci = match &eng.lci {
-            Some(l) => l.clone(),
-            None => return,
-        };
-        {
-            let mut inner = eng.inner.borrow_mut();
-            if inner.lci.progress_busy {
-                return;
-            }
-            if !lci.has_work() {
-                return;
-            }
-            inner.lci.progress_busy = true;
-        }
-        let cost = lci.progress(sim) + eng.cfg.wake_latency;
-        eng.inner.borrow_mut().stats.progress_busy += cost;
-        // Ablation: share the communication thread's core instead of using
-        // the dedicated progress core(s). With several progress threads
-        // (§7), the sweep lands on the earliest-available core — an
-        // idealized work split.
-        let core = if eng.cfg.lci_shared_progress {
-            eng.comm_core.clone()
-        } else {
-            eng.progress_cores
-                .iter()
-                .min_by_key(|c| c.borrow().available_at())
-                .expect("progress core")
-                .clone()
-        };
-        let eng2 = eng.clone();
-        core.borrow_mut().charge(sim, cost, move |sim| {
-            eng2.inner.borrow_mut().lci.progress_busy = false;
-            CommEngine::pump_progress(&eng2, sim);
-        });
     }
 }
 
@@ -750,7 +522,12 @@ pub(crate) fn dispatch_am(eng: &Rc<CommEngine>, sim: &mut Sim, ev: AmEvent) -> S
     eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng, ev))
 }
 
-pub(crate) fn dispatch_onesided(eng: &Rc<CommEngine>, sim: &mut Sim, r_tag: u64, ev: PutEvent) -> SimTime {
+pub(crate) fn dispatch_onesided(
+    eng: &Rc<CommEngine>,
+    sim: &mut Sim,
+    r_tag: u64,
+    ev: PutEvent,
+) -> SimTime {
     let cb = eng
         .inner
         .borrow()

@@ -1,18 +1,23 @@
 //! The LCI backend (§5.3): progress thread, completion FIFOs, specialized
-//! handshake path, eager small puts, delegated receives.
+//! handshake path, eager small puts, delegated receives. Also hosts the
+//! `putd` machinery the [`crate::lci_direct`] backend builds on.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
-use amt_lci::{AmMsg, LciError, OnComplete, PutMsg};
+use amt_lci::{AmMsg, Lci, LciError, OnComplete, PutMsg};
 use amt_netmodel::NodeId;
 use amt_simnet::{Sim, SimTime};
 use bytes::Bytes;
 
+use crate::backend::{BackendTask, CommBackend};
+use crate::config::{BackendKind, EngineConfig};
 use crate::engine::{
-    dispatch_am, dispatch_onesided, dispatch_put_local, AmEvent, Command, CommEngine, Micro,
+    dispatch_am, dispatch_onesided, dispatch_put_local, AmEvent, CommEngine, Command, Micro,
     PutEvent, PutLocalCb, PutRequest,
 };
+use crate::stats::EngineStats;
 use crate::wire::{EagerMode, PutHandshake};
 
 /// AM-tag bit marking a put handshake; the rendezvous tag rides in the low
@@ -28,13 +33,13 @@ const HS_HANDLER_COST: SimTime = SimTime(60);
 const COMP_HANDLER_COST: SimTime = SimTime(40);
 
 /// An AM queued for the communication thread.
-pub(crate) struct QueuedAm {
-    pub ev: AmEvent,
-    pub owns_packet: bool,
+struct QueuedAm {
+    ev: AmEvent,
+    owns_packet: bool,
 }
 
 /// A bulk-data completion queued for the communication thread.
-pub(crate) enum DataDone {
+enum DataDone {
     /// Small put sent eagerly inside the handshake: origin-side completion.
     LocalEager(Option<PutLocalCb>),
     /// Direct-send local completion at the origin.
@@ -51,24 +56,61 @@ pub(crate) enum DataDone {
 
 /// A receive the progress thread could not post (`Retry`), delegated to the
 /// communication thread (§5.3.3).
-pub(crate) struct DelegatedRecv {
-    pub src: NodeId,
-    pub rtag: u64,
-    pub r_tag: u64,
-    pub cb_data: Bytes,
+struct DelegatedRecv {
+    src: NodeId,
+    rtag: u64,
+    r_tag: u64,
+    cb_data: Bytes,
 }
 
+/// The LCI backend's private micro-tasks.
+enum LciMicro {
+    /// One §5.3.4 fairness round over the completion FIFOs.
+    FifoRound,
+    /// One queued AM callback.
+    Am(QueuedAm),
+    /// One bulk-data completion callback.
+    Data(DataDone),
+    /// Retry receives delegated by the progress thread.
+    Delegated,
+}
+
+/// The LCI backend's private retriable commands.
+enum LciCmd {
+    /// A handshake whose `sendb` hit `Retry`.
+    RawSendb {
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    },
+}
+
+/// Backend-private state, shared with the progress-thread handlers.
 #[derive(Default)]
-pub(crate) struct LciState {
-    pub am_fifo: VecDeque<QueuedAm>,
-    pub data_fifo: VecDeque<DataDone>,
-    pub delegated: VecDeque<DelegatedRecv>,
+struct LciState {
+    am_fifo: VecDeque<QueuedAm>,
+    data_fifo: VecDeque<DataDone>,
+    delegated: VecDeque<DelegatedRecv>,
     /// Retry delegated receives on the next communication-thread visit
     /// (set by the backend waker when resources may have freed).
-    pub retry_wanted: bool,
-    pub origin_puts: HashMap<u64, Option<PutLocalCb>>,
-    pub put_seq: u64,
-    pub progress_busy: bool,
+    retry_wanted: bool,
+    origin_puts: HashMap<u64, Option<PutLocalCb>>,
+    put_seq: u64,
+    progress_busy: bool,
+    /// Times the progress thread delegated a receive to the communication
+    /// thread after `Retry` (§5.3.3).
+    stat_delegated: u64,
+    /// `Retry` results absorbed by the engine.
+    stat_retries: u64,
+    /// Total CPU time charged to the progress thread(s).
+    stat_progress_busy: SimTime,
+}
+
+pub(crate) struct LciBackend {
+    ep: Lci,
+    st: Rc<RefCell<LciState>>,
+    progress_threads: usize,
 }
 
 /// The endpoint AM handler, executed on the **progress thread** inside
@@ -76,9 +118,15 @@ pub(crate) struct LciState {
 /// handshakes take the specialized path: decode, free the packet, and either
 /// deliver the eager payload or post the direct receive immediately —
 /// delegating to the communication thread on `Retry`.
-pub(crate) fn on_am(eng: &Rc<CommEngine>, sim: &mut Sim, msg: AmMsg) -> SimTime {
+fn on_am(
+    eng: &Rc<CommEngine>,
+    ep: &Lci,
+    st: &Rc<RefCell<LciState>>,
+    sim: &mut Sim,
+    msg: AmMsg,
+) -> SimTime {
     if msg.tag & HS_FLAG == 0 {
-        eng.inner.borrow_mut().lci.am_fifo.push_back(QueuedAm {
+        st.borrow_mut().am_fifo.push_back(QueuedAm {
             ev: AmEvent {
                 src: msg.src,
                 tag: msg.tag,
@@ -93,10 +141,9 @@ pub(crate) fn on_am(eng: &Rc<CommEngine>, sim: &mut Sim, msg: AmMsg) -> SimTime 
 
     // Specialized handshake path.
     let mut cost = HS_HANDLER_COST;
-    let lci = eng.lci.as_ref().expect("lci backend").clone();
     let hs = PutHandshake::decode(msg.data.expect("handshake payload"));
     if msg.owns_packet {
-        lci.buffer_free(sim);
+        ep.buffer_free(sim);
     }
     let src = msg.src;
     if hs.is_eager() {
@@ -104,7 +151,7 @@ pub(crate) fn on_am(eng: &Rc<CommEngine>, sim: &mut Sim, msg: AmMsg) -> SimTime 
             EagerMode::EagerBytes(b) => Some(b),
             _ => None,
         };
-        eng.inner.borrow_mut().lci.data_fifo.push_back(DataDone::Remote {
+        st.borrow_mut().data_fifo.push_back(DataDone::Remote {
             src,
             size: hs.size as usize,
             data,
@@ -117,16 +164,16 @@ pub(crate) fn on_am(eng: &Rc<CommEngine>, sim: &mut Sim, msg: AmMsg) -> SimTime 
 
     // Rendezvous: post the matching direct receive right here on the
     // progress thread so the RTS can be answered with minimum latency.
-    match try_post_recvd(eng, sim, src, hs.data_tag, hs.r_tag, hs.cb_data) {
+    match try_post_recvd(eng, ep, st, sim, src, hs.data_tag, hs.r_tag, hs.cb_data) {
         Ok(c) => cost += c,
         Err(d) => {
             // §5.3.3: we cannot spin or recurse into progress here —
             // delegate to the communication thread.
-            let mut inner = eng.inner.borrow_mut();
-            inner.stats.delegated_recvs += 1;
-            inner.lci.delegated.push_back(d);
-            inner.lci.retry_wanted = true;
-            drop(inner);
+            let mut s = st.borrow_mut();
+            s.stat_delegated += 1;
+            s.delegated.push_back(d);
+            s.retry_wanted = true;
+            drop(s);
             CommEngine::wake_comm(eng, sim);
         }
     }
@@ -134,25 +181,28 @@ pub(crate) fn on_am(eng: &Rc<CommEngine>, sim: &mut Sim, msg: AmMsg) -> SimTime 
 }
 
 /// Attempt to post the direct receive for an incoming put.
+#[allow(clippy::too_many_arguments)]
 fn try_post_recvd(
     eng: &Rc<CommEngine>,
+    ep: &Lci,
+    st: &Rc<RefCell<LciState>>,
     sim: &mut Sim,
     src: NodeId,
     rtag: u64,
     r_tag: u64,
     cb_data: Bytes,
 ) -> Result<SimTime, DelegatedRecv> {
-    let lci = eng.lci.as_ref().expect("lci backend").clone();
-    let weak = Rc::downgrade(&eng.me());
+    let weak_eng: Weak<CommEngine> = Rc::downgrade(eng);
+    let weak_st = Rc::downgrade(st);
     let cb_data2 = cb_data.clone();
-    let res = lci.recvd(
+    let res = ep.recvd(
         sim,
         src,
         rtag,
         r_tag,
         OnComplete::Handler(Box::new(move |sim, e| {
-            if let Some(eng) = weak.upgrade() {
-                eng.inner.borrow_mut().lci.data_fifo.push_back(DataDone::Remote {
+            if let (Some(eng), Some(st)) = (weak_eng.upgrade(), weak_st.upgrade()) {
+                st.borrow_mut().data_fifo.push_back(DataDone::Remote {
                     src: e.peer,
                     size: e.size,
                     data: e.data,
@@ -175,12 +225,12 @@ fn try_post_recvd(
     }
 }
 
-/// The endpoint put handler (§7 direct-put extension), executed on the
+/// The endpoint put handler (§7 direct-put backend), executed on the
 /// progress thread: queue the remote completion for the communication
 /// thread. No matching, no rendezvous, no hash lookup.
-pub(crate) fn on_put(eng: &Rc<CommEngine>, sim: &mut Sim, msg: PutMsg) -> SimTime {
+fn on_put(eng: &Rc<CommEngine>, st: &Rc<RefCell<LciState>>, sim: &mut Sim, msg: PutMsg) -> SimTime {
     let hs = PutHandshake::decode(msg.cb_data);
-    eng.inner.borrow_mut().lci.data_fifo.push_back(DataDone::Remote {
+    st.borrow_mut().data_fifo.push_back(DataDone::Remote {
         src: msg.src,
         size: msg.size,
         data: msg.data,
@@ -191,157 +241,60 @@ pub(crate) fn on_put(eng: &Rc<CommEngine>, sim: &mut Sim, msg: PutMsg) -> SimTim
     HS_HANDLER_COST
 }
 
-/// §7 direct-put path: one `putd` carries data and callback descriptor in a
-/// single one-sided write.
-fn issue_put_direct(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest, rtag: u64) -> SimTime {
-    let lci = eng.lci.as_ref().expect("lci backend").clone();
-    let PutRequest {
-        dst,
-        size,
-        data,
-        r_tag,
-        cb_data,
-        on_local,
-    } = req;
-    // The callback descriptor rides as immediate data.
-    let imm = PutHandshake {
-        data_tag: rtag,
-        size: size as u64,
-        r_tag,
-        cb_data,
-        eager: EagerMode::Rendezvous,
-    };
-    let weak = Rc::downgrade(&eng.me());
-    let res = lci.putd(
-        sim,
-        dst,
-        rtag,
-        size,
-        data.clone(),
-        imm.encode(),
-        rtag,
-        OnComplete::Handler(Box::new(move |sim, e| {
-            if let Some(eng) = weak.upgrade() {
-                eng.inner
-                    .borrow_mut()
-                    .lci
-                    .data_fifo
-                    .push_back(DataDone::Local { rtag: e.ctx });
-                CommEngine::wake_comm(&eng, sim);
-            }
-            COMP_HANDLER_COST
-        })),
-    );
-    match res {
-        Ok(c) => {
-            eng.inner
-                .borrow_mut()
-                .lci
-                .origin_puts
-                .insert(rtag, Some(on_local));
-            c
-        }
-        Err(LciError::Retry) => {
-            let mut inner = eng.inner.borrow_mut();
-            inner.stats.backend_retries += 1;
-            inner.stats.puts_started -= 1;
-            inner.lci.put_seq -= 1;
-            let data = data;
-            inner.pending.push_front(Command::Put(PutRequest {
-                dst,
-                size,
-                data,
-                r_tag: imm.r_tag,
-                cb_data: imm.cb_data,
-                on_local,
-            }));
-            eng.cfg.cmd_overhead
+impl LciBackend {
+    pub(crate) fn new(ep: Lci, cfg: &EngineConfig) -> Self {
+        LciBackend {
+            ep,
+            st: Rc::new(RefCell::new(LciState::default())),
+            progress_threads: cfg.lci_progress_threads.max(1),
         }
     }
-}
 
-/// Issue a put from the communication thread (§5.3.3): small payloads ride
-/// eagerly in the handshake; larger ones go `sendd` + handshake.
-pub(crate) fn issue_put(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
-    let lci = eng.lci.as_ref().expect("lci backend").clone();
-    let rtag = {
-        let mut inner = eng.inner.borrow_mut();
-        inner.stats.puts_started += 1;
-        let t = inner.lci.put_seq;
-        inner.lci.put_seq += 1;
-        t
-    };
-    if eng.cfg.lci_direct_put {
-        return issue_put_direct(eng, sim, req, rtag);
-    }
-    let PutRequest {
-        dst,
-        size,
-        data,
-        r_tag,
-        cb_data,
-        on_local,
-    } = req;
-
-    if size <= eng.cfg.eager_put_max {
-        let eager = match data {
-            Some(b) => EagerMode::EagerBytes(b),
-            None => EagerMode::EagerCostOnly,
+    /// §7 direct-put path (used by the [`crate::lci_direct`] backend): one
+    /// `putd` carries data and callback descriptor in a single one-sided
+    /// write — no handshake, no rendezvous round-trip.
+    pub(crate) fn issue_put_direct(
+        &self,
+        eng: &Rc<CommEngine>,
+        sim: &mut Sim,
+        req: PutRequest,
+    ) -> SimTime {
+        eng.inner.borrow_mut().stats.puts_started += 1;
+        let rtag = {
+            let mut st = self.st.borrow_mut();
+            let t = st.put_seq;
+            st.put_seq += 1;
+            t
         };
-        let hs = PutHandshake {
+        let PutRequest {
+            dst,
+            size,
+            data,
+            r_tag,
+            cb_data,
+            on_local,
+        } = req;
+        // The callback descriptor rides as immediate data.
+        let imm = PutHandshake {
             data_tag: rtag,
             size: size as u64,
             r_tag,
             cb_data,
-            eager,
+            eager: EagerMode::Rendezvous,
         };
-        let wire_len = hs.wire_len();
-        match lci.sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(hs.encode())) {
-            Ok(c) => {
-                // Data copied into the packet: local completion immediate.
-                eng.inner
-                    .borrow_mut()
-                    .micro
-                    .push_back(Micro::LciData(DataDone::LocalEager(Some(on_local))));
-                c
-            }
-            Err(LciError::Retry) => {
-                // Requeue the whole put; retried on the next wake.
-                let mut inner = eng.inner.borrow_mut();
-                inner.stats.backend_retries += 1;
-                inner.stats.puts_started -= 1;
-                inner.lci.put_seq -= 1;
-                let data = match hs.eager {
-                    EagerMode::EagerBytes(b) => Some(b),
-                    _ => None,
-                };
-                inner.pending.push_front(Command::Put(PutRequest {
-                    dst,
-                    size,
-                    data,
-                    r_tag: hs.r_tag,
-                    cb_data: hs.cb_data,
-                    on_local,
-                }));
-                eng.cfg.cmd_overhead
-            }
-        }
-    } else {
-        // Rendezvous: direct send first (its RTS waits at the target until
-        // the handshake posts the receive), then the handshake.
-        let weak = Rc::downgrade(&eng.me());
-        let send_res = lci.sendd(
+        let weak_eng: Weak<CommEngine> = Rc::downgrade(eng);
+        let weak_st = Rc::downgrade(&self.st);
+        let res = self.ep.putd(
             sim,
             dst,
             rtag,
             size,
             data.clone(),
+            imm.encode(),
             rtag,
             OnComplete::Handler(Box::new(move |sim, e| {
-                if let Some(eng) = weak.upgrade() {
-                    eng.inner
-                        .borrow_mut()
-                        .lci
+                if let (Some(eng), Some(st)) = (weak_eng.upgrade(), weak_st.upgrade()) {
+                    st.borrow_mut()
                         .data_fifo
                         .push_back(DataDone::Local { rtag: e.ctx });
                     CommEngine::wake_comm(&eng, sim);
@@ -349,155 +302,494 @@ pub(crate) fn issue_put(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) ->
                 COMP_HANDLER_COST
             })),
         );
-        let mut cost = match send_res {
-            Ok(c) => c,
+        match res {
+            Ok(c) => {
+                self.st
+                    .borrow_mut()
+                    .origin_puts
+                    .insert(rtag, Some(on_local));
+                c
+            }
             Err(LciError::Retry) => {
+                {
+                    let mut st = self.st.borrow_mut();
+                    st.stat_retries += 1;
+                    st.put_seq -= 1;
+                }
                 let mut inner = eng.inner.borrow_mut();
-                inner.stats.backend_retries += 1;
                 inner.stats.puts_started -= 1;
-                inner.lci.put_seq -= 1;
                 inner.pending.push_front(Command::Put(PutRequest {
                     dst,
                     size,
                     data,
-                    r_tag,
-                    cb_data,
+                    r_tag: imm.r_tag,
+                    cb_data: imm.cb_data,
                     on_local,
                 }));
-                return eng.cfg.cmd_overhead;
-            }
-        };
-        eng.inner
-            .borrow_mut()
-            .lci
-            .origin_puts
-            .insert(rtag, Some(on_local));
-        let hs = PutHandshake {
-            data_tag: rtag,
-            size: size as u64,
-            r_tag,
-            cb_data,
-            eager: EagerMode::Rendezvous,
-        };
-        let enc = hs.encode();
-        let wire_len = enc.len();
-        match lci.sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(enc.clone())) {
-            Ok(c) => cost += c,
-            Err(LciError::Retry) => {
-                // The data send is in flight; only the handshake needs
-                // retrying.
-                let mut inner = eng.inner.borrow_mut();
-                inner.stats.backend_retries += 1;
-                inner.pending.push_front(Command::RawSendb {
-                    dst,
-                    tag: HS_FLAG | rtag,
-                    size: wire_len,
-                    data: Some(enc),
-                });
+                eng.cfg.cmd_overhead
             }
         }
-        cost
     }
-}
 
-/// One §5.3.4 fairness round: up to `am_batch` AM completions, then all
-/// bulk-data completions; repeat while anything was processed.
-pub(crate) fn exec_fifo_round(eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
-    let mut cost = eng.cfg.fifo_pop;
-    let mut popped = false;
-    {
+    /// One §5.3.4 fairness round: up to `am_batch` AM completions, then all
+    /// bulk-data completions; repeat while anything was processed.
+    fn exec_fifo_round(&self, eng: &Rc<CommEngine>) -> SimTime {
+        let mut cost = eng.cfg.fifo_pop;
+        let mut popped = false;
+        let mut st = self.st.borrow_mut();
         let mut inner = eng.inner.borrow_mut();
         for _ in 0..eng.cfg.am_batch {
-            match inner.lci.am_fifo.pop_front() {
+            match st.am_fifo.pop_front() {
                 Some(a) => {
-                    inner.micro.push_back(Micro::LciAm(a));
+                    inner
+                        .micro
+                        .push_back(Micro::Backend(Box::new(LciMicro::Am(a))));
                     cost += eng.cfg.fifo_pop;
                     popped = true;
                 }
                 None => break,
             }
         }
-        while let Some(d) = inner.lci.data_fifo.pop_front() {
-            inner.micro.push_back(Micro::LciData(d));
+        while let Some(d) = st.data_fifo.pop_front() {
+            inner
+                .micro
+                .push_back(Micro::Backend(Box::new(LciMicro::Data(d))));
             cost += eng.cfg.fifo_pop;
             popped = true;
         }
-        if std::mem::take(&mut inner.lci.retry_wanted) && !inner.lci.delegated.is_empty() {
-            inner.micro.push_back(Micro::LciDelegated);
+        if std::mem::take(&mut st.retry_wanted) && !st.delegated.is_empty() {
+            inner
+                .micro
+                .push_back(Micro::Backend(Box::new(LciMicro::Delegated)));
         }
         if popped {
-            inner.micro.push_back(Micro::FifoRound);
+            inner
+                .micro
+                .push_back(Micro::Backend(Box::new(LciMicro::FifoRound)));
+        }
+        cost
+    }
+
+    /// Run one queued AM callback and release its receive packet.
+    fn exec_am(&self, eng: &Rc<CommEngine>, sim: &mut Sim, q: QueuedAm) -> SimTime {
+        let cost = dispatch_am(eng, sim, q.ev);
+        if q.owns_packet {
+            self.ep.buffer_free(sim);
+        }
+        cost
+    }
+
+    /// Run one bulk-data completion callback.
+    fn exec_data(&self, eng: &Rc<CommEngine>, sim: &mut Sim, d: DataDone) -> SimTime {
+        match d {
+            DataDone::LocalEager(cb) => {
+                let cb = cb.expect("local completion consumed twice");
+                dispatch_put_local(eng, sim, cb)
+            }
+            DataDone::Local { rtag } => {
+                let cb = self
+                    .st
+                    .borrow_mut()
+                    .origin_puts
+                    .remove(&rtag)
+                    .expect("unknown put rtag")
+                    .expect("local completion consumed twice");
+                dispatch_put_local(eng, sim, cb)
+            }
+            DataDone::Remote {
+                src,
+                size,
+                data,
+                r_tag,
+                cb_data,
+            } => dispatch_onesided(
+                eng,
+                sim,
+                r_tag,
+                PutEvent {
+                    src,
+                    size,
+                    data,
+                    cb_data,
+                },
+            ),
         }
     }
-    let _ = sim;
-    cost
-}
 
-/// Run one queued AM callback and release its receive packet.
-pub(crate) fn exec_am(eng: &Rc<CommEngine>, sim: &mut Sim, q: QueuedAm) -> SimTime {
-    let cost = dispatch_am(eng, sim, q.ev);
-    if q.owns_packet {
-        eng.lci.as_ref().expect("lci backend").buffer_free(sim);
+    /// Retry delegated receives from the communication thread.
+    fn exec_delegated(&self, eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
+        let mut cost = SimTime::ZERO;
+        let mut queue = std::mem::take(&mut self.st.borrow_mut().delegated);
+        while let Some(d) = queue.pop_front() {
+            cost += eng.cfg.cmd_overhead;
+            match try_post_recvd(
+                eng, &self.ep, &self.st, sim, d.src, d.rtag, d.r_tag, d.cb_data,
+            ) {
+                Ok(c) => cost += c,
+                Err(d) => {
+                    // Still exhausted: put everything back and stop.
+                    let mut st = self.st.borrow_mut();
+                    st.delegated.push_front(d);
+                    while let Some(rest) = queue.pop_front() {
+                        st.delegated.push_back(rest);
+                    }
+                    break;
+                }
+            }
+        }
+        cost
     }
-    cost
 }
 
-/// Run one bulk-data completion callback.
-pub(crate) fn exec_data(eng: &Rc<CommEngine>, sim: &mut Sim, d: DataDone) -> SimTime {
-    match d {
-        DataDone::LocalEager(cb) => {
-            let cb = cb.expect("local completion consumed twice");
-            dispatch_put_local(eng, sim, cb)
+impl CommBackend for LciBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Lci
+    }
+
+    fn progress_threads(&self) -> usize {
+        self.progress_threads
+    }
+
+    fn init(&self, eng: &Rc<CommEngine>, sim: &mut Sim) {
+        let _ = sim;
+        let weak_eng: Weak<CommEngine> = Rc::downgrade(eng);
+        let weak_st = Rc::downgrade(&self.st);
+        self.ep.set_waker(move |sim| {
+            if let (Some(eng), Some(st)) = (weak_eng.upgrade(), weak_st.upgrade()) {
+                eng.backend.drain_progress(&eng, sim);
+                // Freed resources may also unblock queued commands or
+                // delegated receives on the communication thread.
+                st.borrow_mut().retry_wanted = true;
+                CommEngine::wake_comm(&eng, sim);
+            }
+        });
+        let weak_eng: Weak<CommEngine> = Rc::downgrade(eng);
+        let weak_st = Rc::downgrade(&self.st);
+        let ep = self.ep.clone();
+        self.ep.set_am_handler(
+            move |sim, msg| match (weak_eng.upgrade(), weak_st.upgrade()) {
+                (Some(eng), Some(st)) => on_am(&eng, &ep, &st, sim, msg),
+                _ => SimTime::ZERO,
+            },
+        );
+        let weak_eng: Weak<CommEngine> = Rc::downgrade(eng);
+        let weak_st = Rc::downgrade(&self.st);
+        self.ep.set_put_handler(
+            move |sim, msg| match (weak_eng.upgrade(), weak_st.upgrade()) {
+                (Some(eng), Some(st)) => on_put(&eng, &st, sim, msg),
+                _ => SimTime::ZERO,
+            },
+        );
+    }
+
+    fn issue_am(
+        &self,
+        eng: &Rc<CommEngine>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> SimTime {
+        let costs = self.ep.costs();
+        let res = if size <= costs.imm_max {
+            self.ep.sendi(sim, dst, tag, size, data.clone())
+        } else {
+            self.ep.sendb(sim, dst, tag, size, data.clone())
+        };
+        match res {
+            Ok(c) => c,
+            Err(_) => {
+                self.st.borrow_mut().stat_retries += 1;
+                let mut inner = eng.inner.borrow_mut();
+                inner.stats.am_sent -= 1;
+                inner
+                    .pending
+                    .push_front(Command::Backend(Box::new(LciCmd::RawSendb {
+                        dst,
+                        tag,
+                        size,
+                        data,
+                    })));
+                costs.call_base
+            }
         }
-        DataDone::Local { rtag } => {
-            let cb = eng
-                .inner
-                .borrow_mut()
-                .lci
-                .origin_puts
-                .remove(&rtag)
-                .expect("unknown put rtag")
-                .expect("local completion consumed twice");
-            dispatch_put_local(eng, sim, cb)
+    }
+
+    fn issue_am_direct(
+        &self,
+        eng: &Rc<CommEngine>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> SimTime {
+        {
+            let mut inner = eng.inner.borrow_mut();
+            inner.stats.am_submitted += 1;
+            inner.stats.am_sent += 1;
         }
-        DataDone::Remote {
-            src,
+        let costs = self.ep.costs();
+        let res = if size <= costs.imm_max {
+            self.ep.sendi(sim, dst, tag, size, data.clone())
+        } else {
+            self.ep.sendb(sim, dst, tag, size, data.clone())
+        };
+        match res {
+            Ok(c) => c,
+            Err(_) => {
+                // Back-pressure: fall back to funneling.
+                self.st.borrow_mut().stat_retries += 1;
+                eng.inner.borrow_mut().stats.am_sent -= 1;
+                eng.send_am_opts(sim, dst, tag, size, data, false);
+                costs.call_base
+            }
+        }
+    }
+
+    /// Issue a put from the communication thread (§5.3.3): small payloads
+    /// ride eagerly in the handshake; larger ones go `sendd` + handshake.
+    fn issue_put(&self, eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
+        eng.inner.borrow_mut().stats.puts_started += 1;
+        let rtag = {
+            let mut st = self.st.borrow_mut();
+            let t = st.put_seq;
+            st.put_seq += 1;
+            t
+        };
+        let PutRequest {
+            dst,
             size,
             data,
             r_tag,
             cb_data,
-        } => dispatch_onesided(
-            eng,
-            sim,
-            r_tag,
-            PutEvent {
-                src,
-                size,
-                data,
-                cb_data,
-            },
-        ),
-    }
-}
+            on_local,
+        } = req;
 
-/// Retry delegated receives from the communication thread.
-pub(crate) fn exec_delegated(eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
-    let mut cost = SimTime::ZERO;
-    let mut queue = std::mem::take(&mut eng.inner.borrow_mut().lci.delegated);
-    while let Some(d) = queue.pop_front() {
-        cost += eng.cfg.cmd_overhead;
-        match try_post_recvd(eng, sim, d.src, d.rtag, d.r_tag, d.cb_data) {
-            Ok(c) => cost += c,
-            Err(d) => {
-                // Still exhausted: put everything back and stop.
-                let mut inner = eng.inner.borrow_mut();
-                inner.lci.delegated.push_front(d);
-                while let Some(rest) = queue.pop_front() {
-                    inner.lci.delegated.push_back(rest);
+        if size <= eng.cfg.eager_put_max {
+            let eager = match data {
+                Some(b) => EagerMode::EagerBytes(b),
+                None => EagerMode::EagerCostOnly,
+            };
+            let hs = PutHandshake {
+                data_tag: rtag,
+                size: size as u64,
+                r_tag,
+                cb_data,
+                eager,
+            };
+            let wire_len = hs.wire_len();
+            match self
+                .ep
+                .sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(hs.encode()))
+            {
+                Ok(c) => {
+                    // Data copied into the packet: local completion
+                    // immediate.
+                    eng.inner
+                        .borrow_mut()
+                        .micro
+                        .push_back(Micro::Backend(Box::new(LciMicro::Data(
+                            DataDone::LocalEager(Some(on_local)),
+                        ))));
+                    c
                 }
-                break;
+                Err(LciError::Retry) => {
+                    // Requeue the whole put; retried on the next wake.
+                    {
+                        let mut st = self.st.borrow_mut();
+                        st.stat_retries += 1;
+                        st.put_seq -= 1;
+                    }
+                    let mut inner = eng.inner.borrow_mut();
+                    inner.stats.puts_started -= 1;
+                    let data = match hs.eager {
+                        EagerMode::EagerBytes(b) => Some(b),
+                        _ => None,
+                    };
+                    inner.pending.push_front(Command::Put(PutRequest {
+                        dst,
+                        size,
+                        data,
+                        r_tag: hs.r_tag,
+                        cb_data: hs.cb_data,
+                        on_local,
+                    }));
+                    eng.cfg.cmd_overhead
+                }
             }
+        } else {
+            // Rendezvous: direct send first (its RTS waits at the target
+            // until the handshake posts the receive), then the handshake.
+            let weak_eng: Weak<CommEngine> = Rc::downgrade(eng);
+            let weak_st = Rc::downgrade(&self.st);
+            let send_res = self.ep.sendd(
+                sim,
+                dst,
+                rtag,
+                size,
+                data.clone(),
+                rtag,
+                OnComplete::Handler(Box::new(move |sim, e| {
+                    if let (Some(eng), Some(st)) = (weak_eng.upgrade(), weak_st.upgrade()) {
+                        st.borrow_mut()
+                            .data_fifo
+                            .push_back(DataDone::Local { rtag: e.ctx });
+                        CommEngine::wake_comm(&eng, sim);
+                    }
+                    COMP_HANDLER_COST
+                })),
+            );
+            let mut cost = match send_res {
+                Ok(c) => c,
+                Err(LciError::Retry) => {
+                    {
+                        let mut st = self.st.borrow_mut();
+                        st.stat_retries += 1;
+                        st.put_seq -= 1;
+                    }
+                    let mut inner = eng.inner.borrow_mut();
+                    inner.stats.puts_started -= 1;
+                    inner.pending.push_front(Command::Put(PutRequest {
+                        dst,
+                        size,
+                        data,
+                        r_tag,
+                        cb_data,
+                        on_local,
+                    }));
+                    return eng.cfg.cmd_overhead;
+                }
+            };
+            self.st
+                .borrow_mut()
+                .origin_puts
+                .insert(rtag, Some(on_local));
+            let hs = PutHandshake {
+                data_tag: rtag,
+                size: size as u64,
+                r_tag,
+                cb_data,
+                eager: EagerMode::Rendezvous,
+            };
+            let enc = hs.encode();
+            let wire_len = enc.len();
+            match self
+                .ep
+                .sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(enc.clone()))
+            {
+                Ok(c) => cost += c,
+                Err(LciError::Retry) => {
+                    // The data send is in flight; only the handshake needs
+                    // retrying.
+                    self.st.borrow_mut().stat_retries += 1;
+                    eng.inner
+                        .borrow_mut()
+                        .pending
+                        .push_front(Command::Backend(Box::new(LciCmd::RawSendb {
+                            dst,
+                            tag: HS_FLAG | rtag,
+                            size: wire_len,
+                            data: Some(enc),
+                        })));
+                }
+            }
+            cost
         }
     }
-    cost
+
+    fn next_micro(&self, eng: &CommEngine) -> Option<BackendTask> {
+        let _ = eng;
+        let st = self.st.borrow();
+        if !st.am_fifo.is_empty()
+            || !st.data_fifo.is_empty()
+            || (st.retry_wanted && !st.delegated.is_empty())
+        {
+            return Some(Box::new(LciMicro::FifoRound));
+        }
+        None
+    }
+
+    fn exec_micro(&self, eng: &Rc<CommEngine>, sim: &mut Sim, task: BackendTask) -> SimTime {
+        match *task.downcast::<LciMicro>().expect("foreign micro-task") {
+            LciMicro::FifoRound => self.exec_fifo_round(eng),
+            LciMicro::Am(a) => self.exec_am(eng, sim, a),
+            LciMicro::Data(d) => self.exec_data(eng, sim, d),
+            LciMicro::Delegated => self.exec_delegated(eng, sim),
+        }
+    }
+
+    fn exec_command(&self, eng: &Rc<CommEngine>, sim: &mut Sim, cmd: BackendTask) -> SimTime {
+        match *cmd.downcast::<LciCmd>().expect("foreign command") {
+            LciCmd::RawSendb {
+                dst,
+                tag,
+                size,
+                data,
+            } => match self.ep.sendb(sim, dst, tag, size, data.clone()) {
+                Ok(c) => c,
+                Err(_) => {
+                    self.st.borrow_mut().stat_retries += 1;
+                    eng.inner
+                        .borrow_mut()
+                        .pending
+                        .push_front(Command::Backend(Box::new(LciCmd::RawSendb {
+                            dst,
+                            tag,
+                            size,
+                            data,
+                        })));
+                    SimTime::ZERO
+                }
+            },
+        }
+    }
+
+    /// Pump the dedicated progress thread (§5.3.1): if it is idle and LCI
+    /// has work, run one `LCI_progress` sweep and charge its cost to the
+    /// progress core.
+    fn drain_progress(&self, eng: &Rc<CommEngine>, sim: &mut Sim) {
+        {
+            let mut st = self.st.borrow_mut();
+            if st.progress_busy {
+                return;
+            }
+            if !self.ep.has_work() {
+                return;
+            }
+            st.progress_busy = true;
+        }
+        let cost = self.ep.progress(sim) + eng.cfg.wake_latency;
+        self.st.borrow_mut().stat_progress_busy += cost;
+        // Ablation: share the communication thread's core instead of using
+        // the dedicated progress core(s). With several progress threads
+        // (§7), the sweep lands on the earliest-available core — an
+        // idealized work split.
+        let core = if eng.cfg.lci_shared_progress {
+            eng.comm_core.clone()
+        } else {
+            eng.progress_cores
+                .iter()
+                .min_by_key(|c| c.borrow().available_at())
+                .expect("progress core")
+                .clone()
+        };
+        let weak_eng: Weak<CommEngine> = Rc::downgrade(eng);
+        let weak_st = Rc::downgrade(&self.st);
+        core.borrow_mut().charge(sim, cost, move |sim| {
+            if let (Some(eng), Some(st)) = (weak_eng.upgrade(), weak_st.upgrade()) {
+                st.borrow_mut().progress_busy = false;
+                eng.backend.drain_progress(&eng, sim);
+            }
+        });
+    }
+
+    fn stats(&self, mut base: EngineStats) -> EngineStats {
+        let st = self.st.borrow();
+        base.delegated_recvs = st.stat_delegated;
+        base.backend_retries = st.stat_retries;
+        base.progress_busy = st.stat_progress_busy;
+        base
+    }
 }

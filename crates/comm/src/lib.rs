@@ -2,7 +2,10 @@
 //!
 //! The PaRSEC-style **communication engine** (paper §4–§5): the abstraction
 //! of Listing 1 — registered active messages, one-sided `put` with remote
-//! completion callbacks, explicit progress — implemented over two backends:
+//! completion callbacks, explicit progress — over pluggable backends behind
+//! an object-safe `CommBackend` trait (`backend.rs`). The engine itself
+//! never branches on the backend kind; the single construction factory
+//! does.
 //!
 //! * **MPI backend** (§4.2): five persistent wildcard receives per AM tag,
 //!   blocking eager sends for AMs, put emulated with a handshake AM plus
@@ -19,6 +22,11 @@
 //!   that bypasses the AM hash lookup; small puts carried eagerly inside the
 //!   handshake; `Retry` on receive posting delegated from the progress
 //!   thread to the communication thread.
+//! * **LCI direct-put backend** (§7): the LCI backend with large puts
+//!   issued as a single one-sided `putd` — the completion descriptor rides
+//!   as immediate data, eliminating the handshake message and the
+//!   rendezvous round-trip entirely. Small puts stay on the eager inline
+//!   path, so direct put is never slower than the handshake emulation.
 //!
 //! ## The communication thread (§4.3)
 //!
@@ -27,7 +35,7 @@
 //! work (a batch of submitted commands, one `Testsome` sweep, one completion
 //! callback) executes as a separate charge on that core, so a long active
 //! message callback really does delay everything queued behind it — in the
-//! MPI backend that includes all matching and progress, in the LCI backend
+//! MPI backend that includes all matching and progress, in the LCI backends
 //! only the callback FIFOs (the progress thread keeps running).
 //!
 //! Worker threads normally *funnel* ACTIVATE-class messages through the
@@ -36,17 +44,18 @@
 //! [`CommEngine::send_am_direct`] — which disables aggregation and, for the
 //! MPI backend, contends on the library's serializing lock.
 
+mod backend;
 mod config;
 mod engine;
 mod lci_backend;
+mod lci_direct;
 mod mpi_backend;
 mod stats;
 mod wire;
 
 pub use config::{BackendKind, EngineConfig};
 pub use engine::{
-    AmCallback, AmEvent, CommEngine, CommWorld, OnesidedCallback, PutEvent, PutLocalCb,
-    PutRequest,
+    AmCallback, AmEvent, CommEngine, CommWorld, OnesidedCallback, PutEvent, PutLocalCb, PutRequest,
 };
 pub use stats::EngineStats;
 

@@ -2,18 +2,22 @@
 //! two-sided transfers for puts, a bounded global request array polled with
 //! `Testsome`, inline callbacks, deferred sends and dynamic receives.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
-use amt_minimpi::{Completion, ReqId, SrcSel};
+use amt_minimpi::{Completion, Mpi, ReqId, SrcSel};
 use amt_netmodel::NodeId;
-use amt_simnet::{Sim, SimTime};
+use amt_simnet::{CoreHandle, CoreResource, Sim, SimTime};
 use bytes::Bytes;
 
+use crate::backend::{BackendTask, CommBackend};
+use crate::config::BackendKind;
 use crate::engine::{
     dispatch_am, dispatch_onesided, dispatch_put_local, AmEvent, CommEngine, Micro, PutEvent,
     PutLocalCb, PutRequest, RESERVED_TAG_BASE,
 };
+use crate::stats::EngineStats;
 use crate::wire::{EagerMode, PutHandshake};
 
 /// Internal AM tag carrying put handshakes.
@@ -21,7 +25,16 @@ pub(crate) const HS_TAG: u64 = RESERVED_TAG_BASE;
 /// Data-transfer tags: `DATA_TAG_BASE + put_id`, unique per origin.
 pub(crate) const DATA_TAG_BASE: u64 = RESERVED_TAG_BASE + 1;
 
-pub(crate) enum TrackKind {
+/// The MPI backend's private micro-tasks, carried through the engine's
+/// generic queue as [`BackendTask`]s.
+enum MpiMicro {
+    /// One `Testsome` sweep over the global request array.
+    Progress,
+    /// One completed request's callback work.
+    Completion(Completion),
+}
+
+enum TrackKind {
     /// A persistent AM receive for `tag`.
     AmRecv { tag: u64 },
     /// The origin-side data send of a put.
@@ -30,39 +43,43 @@ pub(crate) enum TrackKind {
     DataRecv { src: NodeId, data_tag: u64 },
 }
 
-pub(crate) struct TrackedReq {
-    pub req: ReqId,
-    pub kind: TrackKind,
+struct TrackedReq {
+    req: ReqId,
+    kind: TrackKind,
     /// FIFO promotion order for dynamic receives.
-    pub seq: u64,
+    seq: u64,
 }
 
-pub(crate) struct TargetPut {
-    pub r_tag: u64,
-    pub cb_data: Bytes,
+struct TargetPut {
+    r_tag: u64,
+    cb_data: Bytes,
 }
 
-/// Backend state living inside the engine.
+/// Backend-private state, shared with the library waker.
 #[derive(Default)]
-pub(crate) struct MpiState {
+struct MpiState {
     /// The global request array (`5 × N_am + 30` entries in the paper).
-    pub tracked: Vec<TrackedReq>,
+    tracked: Vec<TrackedReq>,
     /// Dynamically-allocated receives, posted but *not polled* until
     /// promoted into the global array (§4.2.2).
-    pub dynamic: VecDeque<TrackedReq>,
+    dynamic: VecDeque<TrackedReq>,
     /// Data transfers (sends + receives) currently in the global array.
-    pub slots_in_use: usize,
+    slots_in_use: usize,
     /// Puts waiting for a free transfer slot, FIFO.
-    pub deferred_puts: VecDeque<(u64, PutRequest)>,
+    deferred_puts: VecDeque<(u64, PutRequest)>,
     /// Sequence source for FIFO promotion ordering.
-    pub next_seq: u64,
+    next_seq: u64,
     /// Origin-side put completions by put id.
-    pub origin_puts: HashMap<u64, Option<PutLocalCb>>,
+    origin_puts: HashMap<u64, Option<PutLocalCb>>,
     /// Target-side put metadata by (origin, data tag).
-    pub target_puts: HashMap<(NodeId, u64), TargetPut>,
-    pub put_seq: u64,
+    target_puts: HashMap<(NodeId, u64), TargetPut>,
+    put_seq: u64,
     /// A `Testsome` sweep is wanted (set by the backend waker).
-    pub progress_queued: bool,
+    progress_queued: bool,
+    /// Times a put had to be deferred for lack of transfer slots.
+    stat_deferred: u64,
+    /// Times a receive was posted as "dynamic" outside the polled array.
+    stat_dynamic: u64,
 }
 
 impl MpiState {
@@ -73,285 +90,384 @@ impl MpiState {
     }
 }
 
-/// Post the persistent receives for the internal handshake tag.
-pub(crate) fn register_internal(eng: &Rc<CommEngine>, sim: &mut Sim) {
-    post_persistent(eng, sim, HS_TAG);
+pub(crate) struct MpiBackend {
+    mpi: Mpi,
+    /// MPI library serialization (multithreaded senders contend here).
+    lock: CoreHandle,
+    st: Rc<RefCell<MpiState>>,
 }
 
-/// Post the persistent receives for a user AM tag.
-pub(crate) fn register_am_tag(eng: &Rc<CommEngine>, sim: &mut Sim, tag: u64) {
-    post_persistent(eng, sim, tag);
-}
-
-fn post_persistent(eng: &Rc<CommEngine>, sim: &mut Sim, tag: u64) {
-    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
-    for _ in 0..eng.cfg.am_recv_depth {
-        let (req, _c) = mpi.recv_init(SrcSel::Any, tag);
-        mpi.start(sim, req);
-        let mut inner = eng.inner.borrow_mut();
-        let seq = inner.mpi.bump_seq();
-        inner.mpi.tracked.push(TrackedReq {
-            req,
-            kind: TrackKind::AmRecv { tag },
-            seq,
-        });
-    }
-}
-
-/// One `Testsome` sweep over the global array. Completions become their own
-/// micro-tasks; if any completed, another sweep follows them (§4.2.3: "if no
-/// communications were completed ... the progress function returns;
-/// otherwise, it repeats").
-pub(crate) fn exec_progress(eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
-    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
-    let reqs: Vec<ReqId> = eng
-        .inner
-        .borrow()
-        .mpi
-        .tracked
-        .iter()
-        .map(|t| t.req)
-        .collect();
-    let (completions, cost) = mpi.testsome(sim, &reqs);
-    if !completions.is_empty() {
-        let mut inner = eng.inner.borrow_mut();
-        for c in completions {
-            inner.micro.push_back(Micro::MpiCompletion(c));
+impl MpiBackend {
+    pub(crate) fn new(node: NodeId, mpi: Mpi) -> Self {
+        MpiBackend {
+            mpi,
+            lock: CoreResource::new_shared(format!("n{node}.mpilock")),
+            st: Rc::new(RefCell::new(MpiState::default())),
         }
-        inner.micro.push_back(Micro::MpiProgress);
     }
-    cost
-}
 
-/// Process one completed request: run its callback inline (this is the
-/// §4.3/§5.2 pathology — while this executes, nothing else progresses), then
-/// re-enable persistent receives / release transfer slots / promote deferred
-/// work.
-pub(crate) fn exec_completion(eng: &Rc<CommEngine>, sim: &mut Sim, c: Completion) -> SimTime {
-    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
-    let pos = {
-        let inner = eng.inner.borrow();
-        inner.mpi.tracked.iter().position(|t| t.req == c.req)
-    };
-    let Some(pos) = pos else {
-        panic!("completion for untracked request");
-    };
-    let mut cost = SimTime::ZERO;
-    let kind = {
-        let inner = eng.inner.borrow();
-        match &inner.mpi.tracked[pos].kind {
-            TrackKind::AmRecv { tag } => TrackKind::AmRecv { tag: *tag },
-            TrackKind::DataSend { put_id } => TrackKind::DataSend { put_id: *put_id },
-            TrackKind::DataRecv { src, data_tag } => TrackKind::DataRecv {
-                src: *src,
-                data_tag: *data_tag,
-            },
+    fn post_persistent(&self, eng: &Rc<CommEngine>, sim: &mut Sim, tag: u64) {
+        for _ in 0..eng.cfg.am_recv_depth {
+            let (req, _c) = self.mpi.recv_init(SrcSel::Any, tag);
+            self.mpi.start(sim, req);
+            let mut st = self.st.borrow_mut();
+            let seq = st.bump_seq();
+            st.tracked.push(TrackedReq {
+                req,
+                kind: TrackKind::AmRecv { tag },
+                seq,
+            });
         }
-    };
-    match kind {
-        TrackKind::AmRecv { tag } => {
-            // Execute the callback, then re-enable the persistent receive.
-            if tag == HS_TAG {
-                cost += handle_handshake(eng, sim, c.status.src, c.status.data.expect("handshake payload"));
-            } else {
-                cost += dispatch_am(
+    }
+
+    /// One `Testsome` sweep over the global array. Completions become their
+    /// own micro-tasks; if any completed, another sweep follows them
+    /// (§4.2.3: "if no communications were completed ... the progress
+    /// function returns; otherwise, it repeats").
+    fn exec_progress(&self, eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
+        let reqs: Vec<ReqId> = self.st.borrow().tracked.iter().map(|t| t.req).collect();
+        let (completions, cost) = self.mpi.testsome(sim, &reqs);
+        if !completions.is_empty() {
+            let mut inner = eng.inner.borrow_mut();
+            for c in completions {
+                inner
+                    .micro
+                    .push_back(Micro::Backend(Box::new(MpiMicro::Completion(c))));
+            }
+            inner
+                .micro
+                .push_back(Micro::Backend(Box::new(MpiMicro::Progress)));
+        }
+        cost
+    }
+
+    /// Process one completed request: run its callback inline (this is the
+    /// §4.3/§5.2 pathology — while this executes, nothing else progresses),
+    /// then re-enable persistent receives / release transfer slots / promote
+    /// deferred work.
+    fn exec_completion(&self, eng: &Rc<CommEngine>, sim: &mut Sim, c: Completion) -> SimTime {
+        let pos = self.st.borrow().tracked.iter().position(|t| t.req == c.req);
+        let Some(pos) = pos else {
+            panic!("completion for untracked request");
+        };
+        let mut cost = SimTime::ZERO;
+        let kind = {
+            let st = self.st.borrow();
+            match &st.tracked[pos].kind {
+                TrackKind::AmRecv { tag } => TrackKind::AmRecv { tag: *tag },
+                TrackKind::DataSend { put_id } => TrackKind::DataSend { put_id: *put_id },
+                TrackKind::DataRecv { src, data_tag } => TrackKind::DataRecv {
+                    src: *src,
+                    data_tag: *data_tag,
+                },
+            }
+        };
+        match kind {
+            TrackKind::AmRecv { tag } => {
+                // Execute the callback, then re-enable the persistent
+                // receive.
+                if tag == HS_TAG {
+                    cost += self.handle_handshake(
+                        eng,
+                        sim,
+                        c.status.src,
+                        c.status.data.expect("handshake payload"),
+                    );
+                } else {
+                    cost += dispatch_am(
+                        eng,
+                        sim,
+                        AmEvent {
+                            src: c.status.src,
+                            tag,
+                            size: c.status.size,
+                            data: c.status.data,
+                        },
+                    );
+                }
+                cost += self.mpi.start(sim, c.req);
+            }
+            TrackKind::DataSend { put_id } => {
+                self.st.borrow_mut().tracked.remove(pos);
+                self.release_slot();
+                let cb = self
+                    .st
+                    .borrow_mut()
+                    .origin_puts
+                    .remove(&put_id)
+                    .expect("unknown put id")
+                    .expect("local completion consumed twice");
+                cost += dispatch_put_local(eng, sim, cb);
+                cost += self.promote(eng, sim);
+            }
+            TrackKind::DataRecv { src, data_tag } => {
+                self.st.borrow_mut().tracked.remove(pos);
+                self.release_slot();
+                let meta = self
+                    .st
+                    .borrow_mut()
+                    .target_puts
+                    .remove(&(src, data_tag))
+                    .expect("data arrived without handshake");
+                cost += dispatch_onesided(
                     eng,
                     sim,
-                    AmEvent {
-                        src: c.status.src,
-                        tag,
+                    meta.r_tag,
+                    PutEvent {
+                        src,
                         size: c.status.size,
                         data: c.status.data,
+                        cb_data: meta.cb_data,
                     },
                 );
+                cost += self.promote(eng, sim);
             }
-            cost += mpi.start(sim, c.req);
         }
-        TrackKind::DataSend { put_id } => {
-            eng.inner.borrow_mut().mpi.tracked.remove(pos);
-            release_slot(eng);
-            let cb = eng
-                .inner
-                .borrow_mut()
-                .mpi
-                .origin_puts
-                .remove(&put_id)
-                .expect("unknown put id")
-                .expect("local completion consumed twice");
-            cost += dispatch_put_local(eng, sim, cb);
-            cost += promote(eng, sim);
-        }
-        TrackKind::DataRecv { src, data_tag } => {
-            eng.inner.borrow_mut().mpi.tracked.remove(pos);
-            release_slot(eng);
-            let meta = eng
-                .inner
-                .borrow_mut()
-                .mpi
-                .target_puts
-                .remove(&(src, data_tag))
-                .expect("data arrived without handshake");
-            cost += dispatch_onesided(
-                eng,
-                sim,
-                meta.r_tag,
-                PutEvent {
-                    src,
-                    size: c.status.size,
-                    data: c.status.data,
-                    cb_data: meta.cb_data,
-                },
-            );
-            cost += promote(eng, sim);
-        }
+        cost
     }
-    cost
-}
 
-fn release_slot(eng: &Rc<CommEngine>) {
-    let mut inner = eng.inner.borrow_mut();
-    debug_assert!(inner.mpi.slots_in_use > 0);
-    inner.mpi.slots_in_use -= 1;
-}
-
-/// Start a put: handshake AM + data `isend` when a transfer slot is free,
-/// deferred otherwise (§4.2.2).
-pub(crate) fn issue_put(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
-    {
-        let mut inner = eng.inner.borrow_mut();
-        inner.stats.puts_started += 1;
-        if inner.mpi.slots_in_use >= eng.cfg.max_concurrent_transfers {
-            inner.stats.deferred_puts += 1;
-            let seq = inner.mpi.bump_seq();
-            inner.mpi.deferred_puts.push_back((seq, req));
-            return eng.cfg.cmd_overhead;
-        }
-        inner.mpi.slots_in_use += 1;
+    fn release_slot(&self) {
+        let mut st = self.st.borrow_mut();
+        debug_assert!(st.slots_in_use > 0);
+        st.slots_in_use -= 1;
     }
-    start_put(eng, sim, req)
-}
 
-fn start_put(eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
-    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
-    let put_id = {
-        let mut inner = eng.inner.borrow_mut();
-        let id = inner.mpi.put_seq;
-        inner.mpi.put_seq += 1;
-        id
-    };
-    let data_tag = DATA_TAG_BASE + put_id;
-    let hs = PutHandshake {
-        data_tag,
-        size: req.size as u64,
-        r_tag: req.r_tag,
-        cb_data: req.cb_data,
-        eager: EagerMode::Rendezvous,
-    };
-    let enc = hs.encode();
-    let mut cost = mpi.send(sim, req.dst, HS_TAG, enc.len(), Some(enc));
-    let (sreq, c2) = mpi.isend(sim, req.dst, data_tag, req.size, req.data);
-    cost += c2;
-    let mut inner = eng.inner.borrow_mut();
-    let seq = inner.mpi.bump_seq();
-    inner.mpi.tracked.push(TrackedReq {
-        req: sreq,
-        kind: TrackKind::DataSend { put_id },
-        seq,
-    });
-    inner.mpi.origin_puts.insert(put_id, Some(req.on_local));
-    inner.mpi.progress_queued = true;
-    cost
-}
-
-/// Target side of the handshake: post the matching receive — into the
-/// global array when a slot is free, as an unpolled *dynamic* receive
-/// otherwise (§4.2.2).
-fn handle_handshake(eng: &Rc<CommEngine>, sim: &mut Sim, src: NodeId, payload: Bytes) -> SimTime {
-    let mpi = eng.mpi.as_ref().expect("mpi backend").clone();
-    let hs = PutHandshake::decode(payload);
-    debug_assert!(matches!(hs.eager, EagerMode::Rendezvous), "MPI puts never ride eagerly");
-    let (rreq, mut cost) = mpi.irecv(sim, SrcSel::Rank(src), hs.data_tag);
-    let mut inner = eng.inner.borrow_mut();
-    inner.mpi.target_puts.insert(
-        (src, hs.data_tag),
-        TargetPut {
-            r_tag: hs.r_tag,
-            cb_data: hs.cb_data,
-        },
-    );
-    let seq = inner.mpi.bump_seq();
-    let tracked = TrackedReq {
-        req: rreq,
-        kind: TrackKind::DataRecv {
-            src,
-            data_tag: hs.data_tag,
-        },
-        seq,
-    };
-    if inner.mpi.slots_in_use < eng.cfg.max_concurrent_transfers {
-        inner.mpi.slots_in_use += 1;
-        inner.mpi.tracked.push(tracked);
-        inner.mpi.progress_queued = true;
-    } else {
-        inner.stats.dynamic_recvs += 1;
-        inner.mpi.dynamic.push_back(tracked);
+    fn start_put(&self, eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
+        let put_id = {
+            let mut st = self.st.borrow_mut();
+            let id = st.put_seq;
+            st.put_seq += 1;
+            id
+        };
+        let data_tag = DATA_TAG_BASE + put_id;
+        let hs = PutHandshake {
+            data_tag,
+            size: req.size as u64,
+            r_tag: req.r_tag,
+            cb_data: req.cb_data,
+            eager: EagerMode::Rendezvous,
+        };
+        let enc = hs.encode();
+        let mut cost = self.mpi.send(sim, req.dst, HS_TAG, enc.len(), Some(enc));
+        let (sreq, c2) = self.mpi.isend(sim, req.dst, data_tag, req.size, req.data);
+        cost += c2;
+        let mut st = self.st.borrow_mut();
+        let seq = st.bump_seq();
+        st.tracked.push(TrackedReq {
+            req: sreq,
+            kind: TrackKind::DataSend { put_id },
+            seq,
+        });
+        st.origin_puts.insert(put_id, Some(req.on_local));
+        st.progress_queued = true;
+        let _ = eng;
+        cost
     }
-    cost += eng.cfg.cmd_overhead;
-    cost
-}
 
-/// While slots are free, start deferred puts and promote dynamic receives
-/// in FIFO order (§4.2.3).
-fn promote(eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
-    let mut cost = SimTime::ZERO;
-    loop {
-        enum Next {
-            Put(PutRequest),
-            Dyn,
-            None,
+    /// Target side of the handshake: post the matching receive — into the
+    /// global array when a slot is free, as an unpolled *dynamic* receive
+    /// otherwise (§4.2.2).
+    fn handle_handshake(
+        &self,
+        eng: &Rc<CommEngine>,
+        sim: &mut Sim,
+        src: NodeId,
+        payload: Bytes,
+    ) -> SimTime {
+        let hs = PutHandshake::decode(payload);
+        debug_assert!(
+            matches!(hs.eager, EagerMode::Rendezvous),
+            "MPI puts never ride eagerly"
+        );
+        let (rreq, mut cost) = self.mpi.irecv(sim, SrcSel::Rank(src), hs.data_tag);
+        let mut st = self.st.borrow_mut();
+        st.target_puts.insert(
+            (src, hs.data_tag),
+            TargetPut {
+                r_tag: hs.r_tag,
+                cb_data: hs.cb_data,
+            },
+        );
+        let seq = st.bump_seq();
+        let tracked = TrackedReq {
+            req: rreq,
+            kind: TrackKind::DataRecv {
+                src,
+                data_tag: hs.data_tag,
+            },
+            seq,
+        };
+        if st.slots_in_use < eng.cfg.max_concurrent_transfers {
+            st.slots_in_use += 1;
+            st.tracked.push(tracked);
+            st.progress_queued = true;
+        } else {
+            st.stat_dynamic += 1;
+            st.dynamic.push_back(tracked);
         }
-        let next = {
-            let mut inner = eng.inner.borrow_mut();
-            if inner.mpi.slots_in_use >= eng.cfg.max_concurrent_transfers {
-                Next::None
-            } else {
-                let pseq = inner.mpi.deferred_puts.front().map(|(s, _)| *s);
-                let dseq = inner.mpi.dynamic.front().map(|t| t.seq);
-                match (pseq, dseq) {
-                    (None, None) => Next::None,
-                    (Some(_), None) => {
-                        let (_, p) = inner.mpi.deferred_puts.pop_front().expect("front checked");
-                        inner.mpi.slots_in_use += 1;
-                        Next::Put(p)
-                    }
-                    (None, Some(_)) => Next::Dyn,
-                    (Some(p), Some(d)) => {
-                        if p < d {
-                            let (_, p) =
-                                inner.mpi.deferred_puts.pop_front().expect("front checked");
-                            inner.mpi.slots_in_use += 1;
+        cost += eng.cfg.cmd_overhead;
+        cost
+    }
+
+    /// While slots are free, start deferred puts and promote dynamic
+    /// receives in FIFO order (§4.2.3).
+    fn promote(&self, eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
+        let mut cost = SimTime::ZERO;
+        loop {
+            enum Next {
+                Put(PutRequest),
+                Dyn,
+                None,
+            }
+            let next = {
+                let mut st = self.st.borrow_mut();
+                if st.slots_in_use >= eng.cfg.max_concurrent_transfers {
+                    Next::None
+                } else {
+                    let pseq = st.deferred_puts.front().map(|(s, _)| *s);
+                    let dseq = st.dynamic.front().map(|t| t.seq);
+                    match (pseq, dseq) {
+                        (None, None) => Next::None,
+                        (Some(_), None) => {
+                            let (_, p) = st.deferred_puts.pop_front().expect("front checked");
+                            st.slots_in_use += 1;
                             Next::Put(p)
-                        } else {
-                            Next::Dyn
+                        }
+                        (None, Some(_)) => Next::Dyn,
+                        (Some(p), Some(d)) => {
+                            if p < d {
+                                let (_, p) = st.deferred_puts.pop_front().expect("front checked");
+                                st.slots_in_use += 1;
+                                Next::Put(p)
+                            } else {
+                                Next::Dyn
+                            }
                         }
                     }
                 }
-            }
-        };
-        match next {
-            Next::None => break,
-            Next::Put(p) => {
-                cost += start_put(eng, sim, p);
-            }
-            Next::Dyn => {
-                let mut inner = eng.inner.borrow_mut();
-                let t = inner.mpi.dynamic.pop_front().expect("checked non-empty");
-                inner.mpi.slots_in_use += 1;
-                inner.mpi.tracked.push(t);
-                inner.mpi.progress_queued = true;
-                cost += eng.cfg.cmd_overhead;
+            };
+            match next {
+                Next::None => break,
+                Next::Put(p) => {
+                    cost += self.start_put(eng, sim, p);
+                }
+                Next::Dyn => {
+                    let mut st = self.st.borrow_mut();
+                    let t = st.dynamic.pop_front().expect("checked non-empty");
+                    st.slots_in_use += 1;
+                    st.tracked.push(t);
+                    st.progress_queued = true;
+                    cost += eng.cfg.cmd_overhead;
+                }
             }
         }
+        cost
     }
-    cost
+}
+
+impl CommBackend for MpiBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Mpi
+    }
+
+    fn init(&self, eng: &Rc<CommEngine>, sim: &mut Sim) {
+        let weak_eng: Weak<CommEngine> = Rc::downgrade(eng);
+        let weak_st = Rc::downgrade(&self.st);
+        self.mpi.set_waker(move |sim| {
+            if let (Some(eng), Some(st)) = (weak_eng.upgrade(), weak_st.upgrade()) {
+                st.borrow_mut().progress_queued = true;
+                CommEngine::wake_comm(&eng, sim);
+            }
+        });
+        // Post the persistent receives for the internal handshake tag.
+        self.post_persistent(eng, sim, HS_TAG);
+    }
+
+    fn register_am_tag(&self, eng: &Rc<CommEngine>, sim: &mut Sim, tag: u64) {
+        self.post_persistent(eng, sim, tag);
+    }
+
+    fn issue_am(
+        &self,
+        eng: &Rc<CommEngine>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> SimTime {
+        let _ = eng;
+        self.mpi.send(sim, dst, tag, size, data)
+    }
+
+    fn issue_am_direct(
+        &self,
+        eng: &Rc<CommEngine>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> SimTime {
+        {
+            let mut inner = eng.inner.borrow_mut();
+            inner.stats.am_submitted += 1;
+            inner.stats.am_sent += 1;
+        }
+        let costs = self.mpi.costs();
+        let op_cost = costs.call_base + costs.send_eager_base + costs.copy_cost(size);
+        let now = sim.now();
+        let end = self.lock.borrow_mut().occupy(now, op_cost);
+        // The message leaves once the lock slot is served.
+        let mpi = self.mpi.clone();
+        sim.schedule_at(end, move |sim| {
+            let _ = mpi.send(sim, dst, tag, size, data);
+        });
+        end - now
+    }
+
+    /// Start a put: handshake AM + data `isend` when a transfer slot is
+    /// free, deferred otherwise (§4.2.2).
+    fn issue_put(&self, eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
+        eng.inner.borrow_mut().stats.puts_started += 1;
+        {
+            let mut st = self.st.borrow_mut();
+            if st.slots_in_use >= eng.cfg.max_concurrent_transfers {
+                st.stat_deferred += 1;
+                let seq = st.bump_seq();
+                st.deferred_puts.push_back((seq, req));
+                return eng.cfg.cmd_overhead;
+            }
+            st.slots_in_use += 1;
+        }
+        self.start_put(eng, sim, req)
+    }
+
+    fn next_micro(&self, eng: &CommEngine) -> Option<BackendTask> {
+        let _ = eng;
+        let mut st = self.st.borrow_mut();
+        if st.progress_queued {
+            st.progress_queued = false;
+            return Some(Box::new(MpiMicro::Progress));
+        }
+        None
+    }
+
+    fn exec_micro(&self, eng: &Rc<CommEngine>, sim: &mut Sim, task: BackendTask) -> SimTime {
+        match *task.downcast::<MpiMicro>().expect("foreign micro-task") {
+            MpiMicro::Progress => self.exec_progress(eng, sim),
+            MpiMicro::Completion(c) => self.exec_completion(eng, sim, c),
+        }
+    }
+
+    fn serializing_lock(&self) -> Option<CoreHandle> {
+        Some(self.lock.clone())
+    }
+
+    fn stats(&self, mut base: EngineStats) -> EngineStats {
+        let st = self.st.borrow();
+        base.deferred_puts = st.stat_deferred;
+        base.dynamic_recvs = st.stat_dynamic;
+        base
+    }
 }

@@ -1,6 +1,8 @@
-//! Communication-engine tests: AM and put round trips on both backends,
-//! aggregation, deferral, eager puts, callback-context issuing, and the
-//! headline latency ordering (LCI < MPI).
+//! Communication-engine tests: a backend-conformance suite run against all
+//! three backends (AM delivery + ordering, put completion callbacks,
+//! deferral/promotion, retry delegation, determinism), plus backend-specific
+//! behaviour (eager puts, direct put, progress threads) and the headline
+//! latency ordering (LCI < MPI).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -9,7 +11,7 @@ use amt_netmodel::{Fabric, FabricConfig};
 use amt_simnet::{Sim, SimTime};
 use bytes::Bytes;
 
-use crate::{CommEngine, CommWorld, EngineConfig, PutRequest};
+use crate::{BackendKind, CommEngine, CommWorld, EngineConfig, PutRequest};
 
 fn setup(nodes: usize, cfg: EngineConfig) -> (Sim, Vec<Rc<CommEngine>>) {
     let mut sim = Sim::new();
@@ -18,13 +20,13 @@ fn setup(nodes: usize, cfg: EngineConfig) -> (Sim, Vec<Rc<CommEngine>>) {
     (sim, engines)
 }
 
-fn both_backends() -> Vec<EngineConfig> {
-    vec![EngineConfig::mpi(), EngineConfig::lci()]
+fn all_backends() -> [EngineConfig; 3] {
+    EngineConfig::all_backends()
 }
 
 #[test]
-fn am_roundtrip_both_backends() {
-    for cfg in both_backends() {
+fn am_roundtrip_all_backends() {
+    for cfg in all_backends() {
         let backend = cfg.backend;
         let (mut sim, engines) = setup(2, cfg);
         let got = Rc::new(RefCell::new(Vec::new()));
@@ -46,12 +48,42 @@ fn am_roundtrip_both_backends() {
         assert_eq!(log[0].3.as_ref(), Some(&payload));
         assert_eq!(engines[0].stats().am_sent, 1);
         assert_eq!(engines[1].stats().am_received, 1);
+        assert_eq!(engines[0].backend(), backend);
+    }
+}
+
+/// Conformance: AMs from one source to one destination are delivered in
+/// submission order on every backend.
+#[test]
+fn am_delivery_preserves_submission_order() {
+    for cfg in all_backends() {
+        let backend = cfg.backend;
+        let (mut sim, engines) = setup(2, cfg);
+        let got: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        engines[1].register_am(
+            &mut sim,
+            2,
+            Rc::new(move |_sim, _eng, ev| {
+                // Payloads may arrive concatenated (aggregation); every
+                // byte records its submission index.
+                g.borrow_mut().extend_from_slice(&ev.data.expect("payload"));
+                SimTime::from_ns(50)
+            }),
+        );
+        for i in 0..32u8 {
+            engines[0].send_am(&mut sim, 1, 2, 1, Some(Bytes::from(vec![i])));
+        }
+        sim.run();
+        let order = got.borrow();
+        let expect: Vec<u8> = (0..32).collect();
+        assert_eq!(*order, expect, "{backend}: AM delivery reordered");
     }
 }
 
 #[test]
-fn put_roundtrip_both_backends() {
-    for cfg in both_backends() {
+fn put_roundtrip_all_backends() {
+    for cfg in all_backends() {
         let backend = cfg.backend;
         let (mut sim, engines) = setup(2, cfg);
         let remote = Rc::new(RefCell::new(None));
@@ -95,40 +127,43 @@ fn put_roundtrip_both_backends() {
 }
 
 #[test]
-fn small_put_rides_eagerly_on_lci() {
-    let (mut sim, engines) = setup(2, EngineConfig::lci());
-    let remote = Rc::new(RefCell::new(None));
-    let r = remote.clone();
-    engines[1].register_onesided(
-        9,
-        Rc::new(move |_sim, _eng, ev| {
-            *r.borrow_mut() = Some((ev.size, ev.data));
-            SimTime::ZERO
-        }),
-    );
-    let data = Bytes::from_static(b"small payload");
-    engines[0].put(
-        &mut sim,
-        PutRequest {
-            dst: 1,
-            size: data.len(),
-            data: Some(data.clone()),
-            r_tag: 9,
-            cb_data: Bytes::new(),
-            on_local: Box::new(|_s, _e| SimTime::ZERO),
-        },
-    );
-    sim.run();
-    let r = remote.borrow();
-    let (sz, d) = r.as_ref().expect("remote completion");
-    assert_eq!(*sz, data.len());
-    assert_eq!(d.as_deref(), Some(&data[..]));
-    assert_eq!(engines[1].stats().delegated_recvs, 0);
+fn small_put_rides_eagerly_on_lci_backends() {
+    for cfg in [EngineConfig::lci(), EngineConfig::lci_direct()] {
+        let backend = cfg.backend;
+        let (mut sim, engines) = setup(2, cfg);
+        let remote = Rc::new(RefCell::new(None));
+        let r = remote.clone();
+        engines[1].register_onesided(
+            9,
+            Rc::new(move |_sim, _eng, ev| {
+                *r.borrow_mut() = Some((ev.size, ev.data));
+                SimTime::ZERO
+            }),
+        );
+        let data = Bytes::from_static(b"small payload");
+        engines[0].put(
+            &mut sim,
+            PutRequest {
+                dst: 1,
+                size: data.len(),
+                data: Some(data.clone()),
+                r_tag: 9,
+                cb_data: Bytes::new(),
+                on_local: Box::new(|_s, _e| SimTime::ZERO),
+            },
+        );
+        sim.run();
+        let r = remote.borrow();
+        let (sz, d) = r.as_ref().expect("remote completion");
+        assert_eq!(*sz, data.len(), "{backend}");
+        assert_eq!(d.as_deref(), Some(&data[..]), "{backend}");
+        assert_eq!(engines[1].stats().delegated_recvs, 0, "{backend}");
+    }
 }
 
 #[test]
 fn activates_aggregate_per_destination() {
-    for cfg in both_backends() {
+    for cfg in all_backends() {
         let backend = cfg.backend;
         let (mut sim, engines) = setup(2, cfg);
         let got = Rc::new(RefCell::new(Vec::new()));
@@ -157,6 +192,47 @@ fn activates_aggregate_per_destination() {
         // All payload bytes arrive, concatenated.
         let total: usize = got.borrow().iter().map(|(s, _)| *s).sum();
         assert_eq!(total, 32, "{backend}");
+    }
+}
+
+/// Conformance: saturating the backend's transfer resources must never lose
+/// a put — MPI defers beyond its 30-transfer cap, LCI delegates receives on
+/// `Retry`, direct put retries the `putd` itself.
+#[test]
+fn saturating_puts_all_complete_on_every_backend() {
+    for cfg in all_backends() {
+        let backend = cfg.backend;
+        let (mut sim, engines) = setup(2, cfg);
+        let done = Rc::new(RefCell::new(0));
+        let d = done.clone();
+        engines[1].register_onesided(
+            1,
+            Rc::new(move |_sim, _eng, _ev| {
+                *d.borrow_mut() += 1;
+                SimTime::ZERO
+            }),
+        );
+        let n = 600; // beyond max_posted_recvd=512 and the MPI transfer cap
+        for _ in 0..n {
+            engines[0].put(
+                &mut sim,
+                PutRequest {
+                    dst: 1,
+                    size: 64 << 10,
+                    data: None,
+                    r_tag: 1,
+                    cb_data: Bytes::new(),
+                    on_local: Box::new(|_s, _e| SimTime::ZERO),
+                },
+            );
+        }
+        sim.run();
+        assert_eq!(
+            *done.borrow(),
+            n,
+            "{backend}: all puts must complete despite back-pressure"
+        );
+        assert_eq!(engines[0].stats().puts_local_done, n as u64, "{backend}");
     }
 }
 
@@ -197,11 +273,49 @@ fn mpi_puts_defer_beyond_transfer_cap() {
     );
 }
 
+/// The LCI handshake path delegates receive posting to the communication
+/// thread under saturation (§5.3.3); direct put has no receive to post, so
+/// the same workload delegates nothing.
+#[test]
+fn direct_put_eliminates_retry_delegation() {
+    // Two origins flood one target so the incoming handshakes outnumber the
+    // target's 512-receive posting cap (one origin alone is bounded by its
+    // own 512-sendd cap and can never overflow the target).
+    let saturate = |cfg: EngineConfig| {
+        let (mut sim, engines) = setup(3, cfg);
+        engines[1].register_onesided(1, Rc::new(|_s, _e, _ev| SimTime::ZERO));
+        for _ in 0..400 {
+            for origin in [0usize, 2] {
+                engines[origin].put(
+                    &mut sim,
+                    PutRequest {
+                        dst: 1,
+                        size: 64 << 10,
+                        data: None,
+                        r_tag: 1,
+                        cb_data: Bytes::new(),
+                        on_local: Box::new(|_s, _e| SimTime::ZERO),
+                    },
+                );
+            }
+        }
+        sim.run();
+        engines[1].stats().delegated_recvs
+    };
+    let lci = saturate(EngineConfig::lci());
+    let direct = saturate(EngineConfig::lci_direct());
+    assert!(
+        lci > 0,
+        "expected handshake path to delegate under saturation"
+    );
+    assert_eq!(direct, 0, "direct put posts no receives, so none delegate");
+}
+
 #[test]
 fn put_inside_am_callback_get_data_pattern() {
     // The GET DATA pattern: an AM callback at the data owner issues the put
     // directly from communication-thread context.
-    for cfg in both_backends() {
+    for cfg in all_backends() {
         let backend = cfg.backend;
         let (mut sim, engines) = setup(2, cfg);
         let delivered = Rc::new(RefCell::new(None));
@@ -274,9 +388,61 @@ fn lci_am_latency_beats_mpi() {
     assert!(lci < mpi, "LCI AM latency ({lci}) should beat MPI ({mpi})");
 }
 
+/// Measure virtual put latency: submission to remote completion.
+fn measure_put_latency(cfg: EngineConfig, size: usize) -> SimTime {
+    let (mut sim, engines) = setup(2, cfg);
+    let arrival: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    let a = arrival.clone();
+    engines[1].register_onesided(
+        1,
+        Rc::new(move |sim, _eng, _ev| {
+            a.borrow_mut().get_or_insert(sim.now());
+            SimTime::ZERO
+        }),
+    );
+    engines[0].put(
+        &mut sim,
+        PutRequest {
+            dst: 1,
+            size,
+            data: None,
+            r_tag: 1,
+            cb_data: Bytes::new(),
+            on_local: Box::new(|_s, _e| SimTime::ZERO),
+        },
+    );
+    let t0 = sim.now();
+    sim.run();
+    let t1 = arrival.borrow().expect("put never completed");
+    t1 - t0
+}
+
+/// §7 acceptance: the direct put is never slower than the handshake
+/// emulation at any size — inline below the eager threshold (identical
+/// path), and strictly faster above it (no rendezvous round-trip).
+#[test]
+fn direct_put_never_slower_than_handshake_at_any_size() {
+    for size in [64, 1 << 10, 4096, 4097, 16 << 10, 256 << 10, 4 << 20] {
+        let hs = measure_put_latency(EngineConfig::lci(), size);
+        let direct = measure_put_latency(EngineConfig::lci_direct(), size);
+        assert!(
+            direct <= hs,
+            "size {size}: direct put ({direct}) slower than handshake ({hs})"
+        );
+    }
+    // Just above the eager threshold the win must be strict: the handshake
+    // path pays the full rendezvous round-trip there.
+    let hs = measure_put_latency(EngineConfig::lci(), 8 << 10);
+    let direct = measure_put_latency(EngineConfig::lci_direct(), 8 << 10);
+    assert!(
+        direct < hs,
+        "8 KiB: direct put ({direct}) must strictly beat handshake ({hs})"
+    );
+}
+
 #[test]
 fn direct_send_bypasses_comm_thread() {
-    for cfg in both_backends() {
+    for cfg in all_backends() {
         let backend = cfg.backend;
         let (mut sim, engines) = setup(2, cfg.with_multithread_am(true));
         let got = Rc::new(RefCell::new(0));
@@ -298,38 +464,8 @@ fn direct_send_bypasses_comm_thread() {
 }
 
 #[test]
-fn many_concurrent_puts_complete_on_lci() {
-    let (mut sim, engines) = setup(2, EngineConfig::lci());
-    let done = Rc::new(RefCell::new(0));
-    let d = done.clone();
-    engines[1].register_onesided(
-        1,
-        Rc::new(move |_sim, _eng, _ev| {
-            *d.borrow_mut() += 1;
-            SimTime::ZERO
-        }),
-    );
-    let n = 600; // beyond max_posted_recvd=512, exercising Retry/delegation
-    for _ in 0..n {
-        engines[0].put(
-            &mut sim,
-            PutRequest {
-                dst: 1,
-                size: 64 << 10,
-                data: None,
-                r_tag: 1,
-                cb_data: Bytes::new(),
-                on_local: Box::new(|_s, _e| SimTime::ZERO),
-            },
-        );
-    }
-    sim.run();
-    assert_eq!(*done.borrow(), n, "all puts must complete despite back-pressure");
-}
-
-#[test]
 fn deterministic_replay_same_schedule() {
-    for cfg in both_backends() {
+    for cfg in all_backends() {
         let run = || {
             let (mut sim, engines) = setup(3, cfg.clone());
             let log = Rc::new(RefCell::new(Vec::new()));
@@ -364,7 +500,10 @@ fn stats_track_comm_thread_occupancy() {
     }
     sim.run();
     let s = engines[1].stats();
-    assert!(s.comm_busy >= SimTime::from_us(10), "callback time accounted");
+    assert!(
+        s.comm_busy >= SimTime::from_us(10),
+        "callback time accounted"
+    );
     assert!(s.progress_busy > SimTime::ZERO, "progress thread worked");
     assert!(s.comm_rounds > 0);
 }
@@ -372,9 +511,7 @@ fn stats_track_comm_thread_occupancy() {
 #[test]
 fn direct_put_mode_round_trips() {
     // §7 future work: the put interface implemented directly by LCI.
-    let mut cfg = EngineConfig::lci();
-    cfg.lci_direct_put = true;
-    let (mut sim, engines) = setup(2, cfg);
+    let (mut sim, engines) = setup(2, EngineConfig::lci_direct());
     let remote = Rc::new(RefCell::new(None));
     let local = Rc::new(RefCell::new(false));
     let r = remote.clone();
@@ -411,36 +548,48 @@ fn direct_put_mode_round_trips() {
 }
 
 #[test]
-fn multiple_progress_threads_complete_and_split_load() {
-    let mut cfg = EngineConfig::lci();
-    cfg.lci_progress_threads = 2;
-    let (mut sim, engines) = setup(2, cfg);
-    let n = Rc::new(RefCell::new(0));
-    let n2 = n.clone();
-    engines[1].register_onesided(
-        1,
-        Rc::new(move |_s, _e, _ev| {
-            *n2.borrow_mut() += 1;
-            SimTime::ZERO
-        }),
-    );
-    for _ in 0..100 {
-        engines[0].put(
-            &mut sim,
-            PutRequest {
-                dst: 1,
-                size: 64 << 10,
-                data: None,
-                r_tag: 1,
-                cb_data: Bytes::new(),
-                on_local: Box::new(|_s, _e| SimTime::ZERO),
-            },
-        );
+fn backend_kind_roundtrips_through_engine() {
+    for cfg in all_backends() {
+        let kind = cfg.backend;
+        let (_sim, engines) = setup(2, cfg);
+        assert_eq!(engines[0].backend(), kind);
+        assert_eq!(BackendKind::parse(kind.cli_name()), Some(kind));
     }
-    sim.run();
-    assert_eq!(*n.borrow(), 100);
-    // Both progress cores saw work.
-    let cores = engines[1].progress_cores();
-    assert_eq!(cores.len(), 2);
-    assert!(cores.iter().all(|c| c.borrow().jobs() > 0));
+}
+
+#[test]
+fn multiple_progress_threads_complete_and_split_load() {
+    for mut cfg in [EngineConfig::lci(), EngineConfig::lci_direct()] {
+        let backend = cfg.backend;
+        cfg.lci_progress_threads = 2;
+        let (mut sim, engines) = setup(2, cfg);
+        let n = Rc::new(RefCell::new(0));
+        let n2 = n.clone();
+        engines[1].register_onesided(
+            1,
+            Rc::new(move |_s, _e, _ev| {
+                *n2.borrow_mut() += 1;
+                SimTime::ZERO
+            }),
+        );
+        for _ in 0..100 {
+            engines[0].put(
+                &mut sim,
+                PutRequest {
+                    dst: 1,
+                    size: 64 << 10,
+                    data: None,
+                    r_tag: 1,
+                    cb_data: Bytes::new(),
+                    on_local: Box::new(|_s, _e| SimTime::ZERO),
+                },
+            );
+        }
+        sim.run();
+        assert_eq!(*n.borrow(), 100, "{backend}");
+        // Both progress cores saw work.
+        let cores = engines[1].progress_cores();
+        assert_eq!(cores.len(), 2, "{backend}");
+        assert!(cores.iter().all(|c| c.borrow().jobs() > 0), "{backend}");
+    }
 }

@@ -126,7 +126,10 @@ mod tests {
         let enc = hs.encode();
         assert_eq!(enc.len(), hs.wire_len());
         let dec = PutHandshake::decode(enc);
-        assert_eq!(dec.eager, EagerMode::EagerBytes(Bytes::from_static(b"tiny!")));
+        assert_eq!(
+            dec.eager,
+            EagerMode::EagerBytes(Bytes::from_static(b"tiny!"))
+        );
         assert!(dec.is_eager());
     }
 

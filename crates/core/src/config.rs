@@ -61,8 +61,7 @@ impl CostModel {
     /// operations at `efficiency` (0, 1] of peak.
     pub fn task_duration(&self, flops: f64, efficiency: f64) -> SimTime {
         debug_assert!(efficiency > 0.0 && efficiency <= 1.0);
-        self.task_overhead
-            + SimTime::from_ns_f64(flops / (self.gflops_per_worker * efficiency))
+        self.task_overhead + SimTime::from_ns_f64(flops / (self.gflops_per_worker * efficiency))
     }
 }
 
@@ -138,7 +137,7 @@ impl ClusterConfig {
         } else {
             match backend {
                 BackendKind::Mpi => 127,
-                BackendKind::Lci => 126,
+                BackendKind::Lci | BackendKind::LciDirect => 126,
             }
         }
     }
@@ -172,8 +171,21 @@ mod tests {
 
     #[test]
     fn expanse_worker_counts_match_paper() {
-        assert_eq!(ClusterConfig::expanse_node_workers(BackendKind::Mpi, 16), 127);
-        assert_eq!(ClusterConfig::expanse_node_workers(BackendKind::Lci, 16), 126);
-        assert_eq!(ClusterConfig::expanse_node_workers(BackendKind::Lci, 1), 128);
+        assert_eq!(
+            ClusterConfig::expanse_node_workers(BackendKind::Mpi, 16),
+            127
+        );
+        assert_eq!(
+            ClusterConfig::expanse_node_workers(BackendKind::Lci, 16),
+            126
+        );
+        assert_eq!(
+            ClusterConfig::expanse_node_workers(BackendKind::LciDirect, 16),
+            126
+        );
+        assert_eq!(
+            ClusterConfig::expanse_node_workers(BackendKind::Lci, 1),
+            128
+        );
     }
 }

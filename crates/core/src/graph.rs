@@ -319,7 +319,10 @@ mod tests {
         let t2 = g.insert(TaskDesc::new("w2").read_key(0).write(0, 8));
         let graph = g.build();
         // t2 reads the version produced by t1, not the initial one.
-        assert_eq!(graph.versions[graph.tasks[t2].inputs[0].0].producer, Some(t1));
+        assert_eq!(
+            graph.versions[graph.tasks[t2].inputs[0].0].producer,
+            Some(t1)
+        );
         // The initial version's only consumer is t1.
         assert_eq!(graph.versions[0].consumers, vec![t1]);
     }

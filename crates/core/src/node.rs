@@ -37,7 +37,8 @@ struct Ready {
 impl Ord for Ready {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap: higher priority first, then insertion order.
-        (self.priority, std::cmp::Reverse(self.seq)).cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+        (self.priority, std::cmp::Reverse(self.seq))
+            .cmp(&(other.priority, std::cmp::Reverse(other.seq)))
     }
 }
 impl PartialOrd for Ready {
@@ -58,7 +59,8 @@ struct PendingGet {
 
 impl Ord for PendingGet {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.priority, std::cmp::Reverse(self.seq)).cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+        (self.priority, std::cmp::Reverse(self.seq))
+            .cmp(&(other.priority, std::cmp::Reverse(other.seq)))
     }
 }
 impl PartialOrd for PendingGet {
@@ -287,7 +289,13 @@ impl NodeRt {
                 forward: sub,
             };
             let wire = ACTIVATE_WIRE_BYTES + 4 * rec.forward.len();
-            engine.send_am(sim, child as NodeId, AM_ACTIVATE, wire, Some(rec.encode_one()));
+            engine.send_am(
+                sim,
+                child as NodeId,
+                AM_ACTIVATE,
+                wire,
+                Some(rec.encode_one()),
+            );
         }
     }
 
@@ -348,10 +356,9 @@ impl NodeRt {
                         .filter(|v| graph.versions[v.0].size > 0)
                         .map(|v| match r.store.get(v) {
                             Some(DataState::Present(Some(b))) => b.clone(),
-                            _ => panic!(
-                                "task {} ran without input version {:?} present",
-                                t.name, v
-                            ),
+                            _ => {
+                                panic!("task {} ran without input version {:?} present", t.name, v)
+                            }
                         })
                         .collect();
                     drop(r);
@@ -434,8 +441,9 @@ impl NodeRt {
             let mut ctl_released = Vec::new();
             for rec in &recs {
                 cost += r.cfg.cost.activate_record_cost;
-                r.msg_lat
-                    .record((SimTime::from_ns(now_ns) - SimTime::from_ns(rec.sent_at_ns)).as_us_f64());
+                r.msg_lat.record(
+                    (SimTime::from_ns(now_ns) - SimTime::from_ns(rec.sent_at_ns)).as_us_f64(),
+                );
                 let vid = VersionId(rec.version as usize);
                 if rec.size == 0 {
                     // Control dependency (PaRSEC CTL flow): the ACTIVATE
@@ -448,10 +456,8 @@ impl NodeRt {
                 let prev = r.store.insert(vid, DataState::Requested);
                 assert!(prev.is_none(), "version announced twice to one node");
                 if !rec.forward.is_empty() {
-                    r.pending_forwards.insert(
-                        vid,
-                        (rec.forward.clone(), rec.priority, rec.sent_at_ns),
-                    );
+                    r.pending_forwards
+                        .insert(vid, (rec.forward.clone(), rec.priority, rec.sent_at_ns));
                 }
                 let seq = r.next_seq();
                 r.pending_gets.push(PendingGet {
@@ -469,7 +475,13 @@ impl NodeRt {
                     NodeRt::release_local(rt, vid);
                     if !rec.forward.is_empty() {
                         NodeRt::forward_subtree(
-                            rt, sim, vid, &rec.forward, rec.priority, rec.sent_at_ns, 0,
+                            rt,
+                            sim,
+                            vid,
+                            &rec.forward,
+                            rec.priority,
+                            rec.sent_at_ns,
+                            0,
                         );
                     }
                 }
@@ -511,7 +523,14 @@ impl NodeRt {
                 version: get.version as u64,
                 activate_sent_at_ns: get.activate_sent_at_ns,
             };
-            engine.send_am_opts(sim, get.src, AM_GETDATA, GET_WIRE_BYTES, Some(rec.encode()), false);
+            engine.send_am_opts(
+                sim,
+                get.src,
+                AM_GETDATA,
+                GET_WIRE_BYTES,
+                Some(rec.encode()),
+                false,
+            );
             cost += rt.borrow().cfg.cost.get_send_cost;
         }
     }
@@ -564,8 +583,7 @@ impl NodeRt {
         let cost;
         {
             let mut r = rt.borrow_mut();
-            let e2e_us =
-                (sim.now() - SimTime::from_ns(cb.activate_sent_at_ns)).as_us_f64();
+            let e2e_us = (sim.now() - SimTime::from_ns(cb.activate_sent_at_ns)).as_us_f64();
             r.e2e.record(e2e_us);
             let prev = r.store.insert(vid, DataState::Present(ev.data));
             assert!(

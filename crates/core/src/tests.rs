@@ -15,8 +15,8 @@ fn small_cfg(backend: BackendKind, nodes: usize) -> ClusterConfig {
     }
 }
 
-fn backends() -> [BackendKind; 2] {
-    [BackendKind::Mpi, BackendKind::Lci]
+fn backends() -> [BackendKind; 3] {
+    BackendKind::ALL
 }
 
 #[test]
@@ -112,7 +112,11 @@ fn diamond_dependencies_fan_out_and_join() {
                 .flops(1e5)
                 .read(src)
                 .write(1, 4)
-                .kernel(|ins| vec![Bytes::from(ins[0].iter().map(|b| b + 1).collect::<Vec<u8>>())]),
+                .kernel(|ins| {
+                    vec![Bytes::from(
+                        ins[0].iter().map(|b| b + 1).collect::<Vec<u8>>(),
+                    )]
+                }),
         );
         g.insert(
             TaskDesc::new("right")
@@ -120,7 +124,11 @@ fn diamond_dependencies_fan_out_and_join() {
                 .flops(1e5)
                 .read(src)
                 .write(2, 4)
-                .kernel(|ins| vec![Bytes::from(ins[0].iter().map(|b| b * 2).collect::<Vec<u8>>())]),
+                .kernel(|ins| {
+                    vec![Bytes::from(
+                        ins[0].iter().map(|b| b * 2).collect::<Vec<u8>>(),
+                    )]
+                }),
         );
         g.insert(
             TaskDesc::new("join")
@@ -343,7 +351,9 @@ fn multicast_tree_delivers_to_every_consumer() {
                         .kernel(|ins| vec![ins[0].clone()]),
                 );
             }
-            let outs: Vec<_> = (1..nodes as u64).map(|n| g.current(n).expect("out")).collect();
+            let outs: Vec<_> = (1..nodes as u64)
+                .map(|n| g.current(n).expect("out"))
+                .collect();
             let report = cluster.execute(g.build());
             assert!(report.complete(), "{backend} tree={tree:?}");
             for out in outs {
@@ -368,11 +378,11 @@ fn multicast_tree_delivers_to_every_consumer() {
             "{backend}: tree root must send fewer ACTIVATEs ({tree_root_ams} vs {star_root_ams})"
         );
         // Relay nodes served data (puts originate from non-root nodes too).
-        let relay_puts: u64 = tree.engine_stats[1..]
-            .iter()
-            .map(|s| s.puts_started)
-            .sum();
-        assert!(relay_puts > 0, "{backend}: relays must serve their subtrees");
+        let relay_puts: u64 = tree.engine_stats[1..].iter().map(|s| s.puts_started).sum();
+        assert!(
+            relay_puts > 0,
+            "{backend}: relays must serve their subtrees"
+        );
     }
 }
 
@@ -394,7 +404,10 @@ fn multicast_tree_handles_ctl_flows() {
             );
         }
         let report = cluster.execute(g.build());
-        assert!(report.complete(), "{backend}: CTL multicast must release all");
+        assert!(
+            report.complete(),
+            "{backend}: CTL multicast must release all"
+        );
         assert_eq!(report.bytes_transferred(), 0, "{backend}");
     }
 }

@@ -190,7 +190,10 @@ fn sendb_retries_when_tx_pool_exhausted() {
     assert!(eps[0].sendb(&mut sim, 1, 0, 1024, None).is_ok());
     assert!(eps[0].sendb(&mut sim, 1, 0, 1024, None).is_ok());
     // Pool exhausted until the NIC finishes with a packet.
-    assert_eq!(eps[0].sendb(&mut sim, 1, 0, 1024, None), Err(LciError::Retry));
+    assert_eq!(
+        eps[0].sendb(&mut sim, 1, 0, 1024, None),
+        Err(LciError::Retry)
+    );
     assert_eq!(eps[0].retries(), 1);
     sim.run(); // transmit completes, packets return
     assert!(eps[0].sendb(&mut sim, 1, 0, 1024, None).is_ok());
@@ -345,11 +348,29 @@ fn direct_put_respects_outstanding_cap() {
     eps[1].set_put_handler(|_, _| SimTime::ZERO);
     for _ in 0..2 {
         assert!(eps[0]
-            .putd(&mut sim, 1, 0, 1024, None, Bytes::new(), 0, crate::OnComplete::None)
+            .putd(
+                &mut sim,
+                1,
+                0,
+                1024,
+                None,
+                Bytes::new(),
+                0,
+                crate::OnComplete::None
+            )
             .is_ok());
     }
     assert_eq!(
-        eps[0].putd(&mut sim, 1, 0, 1024, None, Bytes::new(), 0, crate::OnComplete::None),
+        eps[0].putd(
+            &mut sim,
+            1,
+            0,
+            1024,
+            None,
+            Bytes::new(),
+            0,
+            crate::OnComplete::None
+        ),
         Err(LciError::Retry)
     );
 }

@@ -681,7 +681,9 @@ impl Lci {
         let mut cost = self.world.borrow().costs.call_base;
         loop {
             // 1. Surface hardware send completions.
-            let local = self.world.borrow_mut().eps[self.rank].local_done.pop_front();
+            let local = self.world.borrow_mut().eps[self.rank]
+                .local_done
+                .pop_front();
             if let Some(sendd_idx) = local {
                 let (entry, on_local, costs) = {
                     let mut w = self.world.borrow_mut();
@@ -905,7 +907,9 @@ impl Lci {
                 let (entry, on_complete) = {
                     let mut w = self.world.borrow_mut();
                     let ep = &mut w.eps[self.rank];
-                    let mut r = ep.recvd[*recvd_idx].take().expect("DATA for free recvd slot");
+                    let mut r = ep.recvd[*recvd_idx]
+                        .take()
+                        .expect("DATA for free recvd slot");
                     debug_assert_eq!(r.src, *src);
                     debug_assert_eq!(r.rtag, *rtag);
                     ep.recvd_free.push(*recvd_idx);
@@ -918,7 +922,9 @@ impl Lci {
                             ctx: r.ctx,
                             data: data.borrow_mut().take(),
                         },
-                        r.on_complete.take().expect("recvd completion consumed twice"),
+                        r.on_complete
+                            .take()
+                            .expect("recvd completion consumed twice"),
                     )
                 };
                 cost += self.deliver(sim, on_complete, entry);

@@ -1,12 +1,15 @@
-//! Property tests for LCI resource conservation and protocol integrity.
+//! Randomized property tests for LCI resource conservation and protocol
+//! integrity, driven by the in-tree deterministic generator (the workspace
+//! builds offline, so no external `proptest`).
 
 use amt_lci::{Lci, LciCosts, LciWorld, OnComplete};
 use amt_netmodel::{Fabric, FabricConfig};
-use amt_simnet::{Sim, SimTime};
+use amt_simnet::{DetRng, Sim, SimTime};
 use bytes::Bytes;
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
+
+const CASES: u64 = 32;
 
 fn setup(costs: LciCosts) -> (Sim, Vec<Lci>) {
     let sim = Sim::new();
@@ -30,24 +33,25 @@ fn drive(sim: &mut Sim, eps: &[Lci]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Every direct send pairs with its matching receive and delivers its
+/// payload intact, under arbitrary (src-tag, size) mixes and arbitrary
+/// post order.
+#[test]
+fn direct_rendezvous_pairs_and_delivers() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x1c1_0000 + case);
+        let n = rng.gen_usize(1..20);
+        let ops: Vec<(u64, usize)> = (0..n)
+            .map(|_| (rng.gen_range(0..5), rng.gen_usize(1..100_000)))
+            .collect();
+        let recv_first = rng.gen_bool(0.5);
 
-    /// Every direct send pairs with its matching receive and delivers its
-    /// payload intact, under arbitrary (src-tag, size) mixes and arbitrary
-    /// post order.
-    #[test]
-    fn direct_rendezvous_pairs_and_delivers(
-        ops in prop::collection::vec((0u64..5, 1usize..100_000), 1..20),
-        recv_first in any::<bool>(),
-    ) {
         let (mut sim, eps) = setup(LciCosts::default());
         eps[0].set_am_handler(|_, _| SimTime::ZERO);
         eps[1].set_am_handler(|_, _| SimTime::ZERO);
         let got: Rc<RefCell<Vec<(u64, usize, Bytes)>>> = Rc::new(RefCell::new(Vec::new()));
 
-        let mut posted = 0u64;
-        let mut post_recvs = |sim: &mut Sim| {
+        let post_recvs = |sim: &mut Sim| {
             for (i, &(rtag, _size)) in ops.iter().enumerate() {
                 let g = got.clone();
                 eps[1]
@@ -57,12 +61,12 @@ proptest! {
                         rtag,
                         i as u64,
                         OnComplete::Handler(Box::new(move |_s, e| {
-                            g.borrow_mut().push((e.rtag, e.size, e.data.expect("payload")));
+                            g.borrow_mut()
+                                .push((e.rtag, e.size, e.data.expect("payload")));
                             SimTime::ZERO
                         })),
                     )
                     .expect("recvd");
-                posted += 1;
             }
         };
         if recv_first {
@@ -81,29 +85,44 @@ proptest! {
         drive(&mut sim, &eps);
 
         let got = got.borrow();
-        prop_assert_eq!(got.len(), ops.len());
+        assert_eq!(got.len(), ops.len(), "case {case}");
         // Every send pairs with a receive of the same rtag and size.
         // (Completion *order* may differ: small DATA messages ride the
         // control lane and can overtake multi-chunk bulk transfers.)
         for rtag in 0..5u64 {
-            let mut sent: Vec<usize> =
-                ops.iter().filter(|(t, _)| *t == rtag).map(|(_, s)| *s).collect();
-            let mut recvd: Vec<usize> =
-                got.iter().filter(|(t, _, _)| *t == rtag).map(|(_, s, _)| *s).collect();
+            let mut sent: Vec<usize> = ops
+                .iter()
+                .filter(|(t, _)| *t == rtag)
+                .map(|(_, s)| *s)
+                .collect();
+            let mut recvd: Vec<usize> = got
+                .iter()
+                .filter(|(t, _, _)| *t == rtag)
+                .map(|(_, s, _)| *s)
+                .collect();
             sent.sort_unstable();
             recvd.sort_unstable();
-            prop_assert_eq!(sent, recvd, "rtag {} pairing", rtag);
+            assert_eq!(sent, recvd, "rtag {rtag} pairing (case {case})");
         }
         for (_, size, data) in got.iter() {
-            prop_assert_eq!(data.len(), *size);
+            assert_eq!(data.len(), *size, "case {case}");
         }
     }
+}
 
-    /// Packet pools conserve: after quiescence the endpoint accepts as
-    /// many buffered sends as its pool capacity again.
-    #[test]
-    fn tx_packet_pool_conserves(pool in 1usize..6, batches in 1usize..5) {
-        let costs = LciCosts { tx_packets: pool, ..Default::default() };
+/// Packet pools conserve: after quiescence the endpoint accepts as
+/// many buffered sends as its pool capacity again.
+#[test]
+fn tx_packet_pool_conserves() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x2e2e_0000 + case);
+        let pool = rng.gen_usize(1..6);
+        let batches = rng.gen_usize(1..5);
+
+        let costs = LciCosts {
+            tx_packets: pool,
+            ..Default::default()
+        };
         let (mut sim, eps) = setup(costs);
         let ep1 = eps[1].clone();
         eps[1].set_am_handler(move |sim, m| {
@@ -118,9 +137,9 @@ proptest! {
             // Fill the pool.
             while eps[0].sendb(&mut sim, 1, 0, 512, None).is_ok() {
                 sent += 1;
-                prop_assert!(sent <= pool, "pool over-granted");
+                assert!(sent <= pool, "pool over-granted (case {case})");
             }
-            prop_assert_eq!(sent, pool);
+            assert_eq!(sent, pool, "case {case}");
             drive(&mut sim, &eps);
         }
         // After draining, the full pool is available again.
@@ -128,6 +147,6 @@ proptest! {
         while eps[0].sendb(&mut sim, 1, 0, 512, None).is_ok() {
             sent += 1;
         }
-        prop_assert_eq!(sent, pool);
+        assert_eq!(sent, pool, "case {case}");
     }
 }

@@ -10,15 +10,7 @@ pub enum Trans {
 }
 
 /// `C ← α · op(A) · op(B) + β · C`.
-pub fn gemm(
-    alpha: f64,
-    a: &Matrix,
-    ta: Trans,
-    b: &Matrix,
-    tb: Trans,
-    beta: f64,
-    c: &mut Matrix,
-) {
+pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64, c: &mut Matrix) {
     let (am, ak) = match ta {
         Trans::No => (a.rows(), a.cols()),
         Trans::Yes => (a.cols(), a.rows()),

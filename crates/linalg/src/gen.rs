@@ -21,7 +21,8 @@ impl Grid2d {
             let i = idx / side;
             let j = idx % side;
             // Deterministic jitter from a simple hash.
-            let h = ((idx as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64 / (1u64 << 24) as f64;
+            let h =
+                ((idx as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64 / (1u64 << 24) as f64;
             let jit = (h - 0.5) * 0.2 / side as f64;
             points.push((
                 (i as f64 + 0.5) / side as f64 + jit,

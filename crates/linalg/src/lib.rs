@@ -29,15 +29,7 @@ pub use svd::{rank_at, rank_at_abs, svd_jacobi};
 /// ‖A − L·Lᵀ‖_F / ‖A‖_F.
 pub fn cholesky_residual(a: &Matrix, l: &Matrix) -> f64 {
     let mut llt = Matrix::zeros(l.rows(), l.rows());
-    gemm(
-        1.0,
-        l,
-        Trans::No,
-        l,
-        Trans::Yes,
-        0.0,
-        &mut llt,
-    );
+    gemm(1.0, l, Trans::No, l, Trans::Yes, 0.0, &mut llt);
     let mut diff = 0.0;
     let mut norm = 0.0;
     for j in 0..a.cols() {

@@ -103,7 +103,10 @@ mod tests {
         // QᵀQ == I
         let mut qtq = Matrix::zeros(k, k);
         gemm(1.0, &q, Trans::Yes, &q, Trans::No, 0.0, &mut qtq);
-        assert!(qtq.max_diff(&Matrix::identity(k)) < 1e-12, "Q not orthonormal");
+        assert!(
+            qtq.max_diff(&Matrix::identity(k)) < 1e-12,
+            "Q not orthonormal"
+        );
         // R upper-triangular
         for j in 0..r.cols() {
             for i in (j + 1)..r.rows() {
@@ -114,7 +117,9 @@ mod tests {
 
     #[test]
     fn tall_matrix() {
-        check_qr(&Matrix::from_fn(8, 3, |i, j| ((i * 7 + j * 3) as f64).cos()));
+        check_qr(&Matrix::from_fn(8, 3, |i, j| {
+            ((i * 7 + j * 3) as f64).cos()
+        }));
     }
 
     #[test]
@@ -124,7 +129,9 @@ mod tests {
 
     #[test]
     fn square_matrix() {
-        check_qr(&Matrix::from_fn(6, 6, |i, j| 1.0 / (1.0 + i as f64 + j as f64)));
+        check_qr(&Matrix::from_fn(6, 6, |i, j| {
+            1.0 / (1.0 + i as f64 + j as f64)
+        }));
     }
 
     #[test]

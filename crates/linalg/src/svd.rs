@@ -59,9 +59,16 @@ pub fn svd_jacobi(a: &Matrix) -> (Matrix, Vec<f64>, Matrix) {
     let mut order: Vec<usize> = (0..n).collect();
     let mut sigma = vec![0.0; n];
     for (j, s) in sigma.iter_mut().enumerate() {
-        *s = (0..m).map(|i| u.get(i, j) * u.get(i, j)).sum::<f64>().sqrt();
+        *s = (0..m)
+            .map(|i| u.get(i, j) * u.get(i, j))
+            .sum::<f64>()
+            .sqrt();
     }
-    order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).expect("finite singular values"));
+    order.sort_by(|&a, &b| {
+        sigma[b]
+            .partial_cmp(&sigma[a])
+            .expect("finite singular values")
+    });
 
     let mut us = Matrix::zeros(m, n);
     let mut vs = Matrix::zeros(n, n);

@@ -69,7 +69,11 @@ enum RState {
     /// Persistent request between `start` calls.
     Inactive,
     /// Eager send completed at issue; rendezvous send waiting for CTS/DATA.
-    SendInFlight { tag: Tag, size: usize, data: Option<Bytes> },
+    SendInFlight {
+        tag: Tag,
+        size: usize,
+        data: Option<Bytes>,
+    },
     /// Rendezvous DATA transmitted; completion latched for the next poll.
     Complete(Status),
     /// Receive sitting in the posted queue.
@@ -307,10 +311,8 @@ impl Mpi {
             )
         } else {
             cost += costs.send_rndv_base;
-            let (idx, gen) = w.ranks[self.rank].alloc(
-                RState::SendInFlight { tag, size, data },
-                None,
-            );
+            let (idx, gen) =
+                w.ranks[self.rank].alloc(RState::SendInFlight { tag, size, data }, None);
             let wire = Rc::new(Wire::Rts {
                 src: self.rank,
                 tag,
@@ -409,10 +411,7 @@ impl Mpi {
                     sender_req,
                 } => {
                     let _ = size;
-                    let (idx, gen) = rs.alloc(
-                        RState::RecvAwaitData { src: usrc, tag },
-                        None,
-                    );
+                    let (idx, gen) = rs.alloc(RState::RecvAwaitData { src: usrc, tag }, None);
                     let fabric = w.fabric.clone();
                     let wire = Rc::new(Wire::Cts {
                         sender_req,

@@ -1,10 +1,13 @@
-//! Property tests for MiniMPI matching semantics.
+//! Randomized property tests for MiniMPI matching semantics, driven by the
+//! in-tree deterministic generator (the workspace builds offline, so no
+//! external `proptest`).
 
 use amt_minimpi::{Mpi, MpiCosts, MpiWorld, SrcSel};
 use amt_netmodel::{Fabric, FabricConfig};
-use amt_simnet::Sim;
+use amt_simnet::{DetRng, Sim};
 use bytes::Bytes;
-use proptest::prelude::*;
+
+const CASES: u64 = 32;
 
 fn setup(nodes: usize) -> (Sim, Vec<Mpi>) {
     let sim = Sim::new();
@@ -13,17 +16,19 @@ fn setup(nodes: usize) -> (Sim, Vec<Mpi>) {
     (sim, ranks)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Posting receives before or after the sends arrive must pair the
+/// same (src, tag) multisets — matching is order-insensitive at the
+/// level of what gets received.
+#[test]
+fn posted_and_unexpected_matching_agree() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x3a3a_0000 + case);
+        let n = rng.gen_usize(1..20);
+        let msgs: Vec<(u64, usize)> = (0..n)
+            .map(|_| (rng.gen_range(0..4), rng.gen_usize(0..3)))
+            .collect();
+        let post_first = rng.gen_bool(0.5);
 
-    /// Posting receives before or after the sends arrive must pair the
-    /// same (src, tag) multisets — matching is order-insensitive at the
-    /// level of what gets received.
-    #[test]
-    fn posted_and_unexpected_matching_agree(
-        msgs in prop::collection::vec((0u64..4, 0usize..3), 1..20),
-        post_first in any::<bool>(),
-    ) {
         let (mut sim, ranks) = setup(4);
         let mut reqs = Vec::new();
         let post = |sim: &mut Sim, reqs: &mut Vec<_>| {
@@ -57,18 +62,27 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(done.len(), msgs.len(), "every message must match");
+        assert_eq!(
+            done.len(),
+            msgs.len(),
+            "every message must match (case {case})"
+        );
         let mut got: Vec<(u64, usize)> = done;
         let mut want: Vec<(u64, usize)> = msgs.iter().map(|&(t, s)| (t, s)).collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Payload integrity for arbitrary sizes across the eager/rendezvous
-    /// boundary.
-    #[test]
-    fn payloads_survive_any_size(size in 1usize..200_000) {
+/// Payload integrity for arbitrary sizes across the eager/rendezvous
+/// boundary.
+#[test]
+fn payloads_survive_any_size() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x9b9b_0000 + case);
+        let size = rng.gen_usize(1..200_000);
+
         let (mut sim, ranks) = setup(2);
         let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Rank(0), 1);
@@ -80,10 +94,10 @@ proptest! {
             }
             let _ = ranks[0].testsome(&mut sim, &[]);
             if !sim.step() {
-                panic!("deadlock");
+                panic!("deadlock (case {case})");
             }
         };
-        prop_assert_eq!(status.size, size);
-        prop_assert_eq!(status.data.as_deref(), Some(&data[..]));
+        assert_eq!(status.size, size, "case {case}");
+        assert_eq!(status.data.as_deref(), Some(&data[..]), "case {case}");
     }
 }

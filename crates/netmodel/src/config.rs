@@ -109,8 +109,14 @@ mod tests {
         let cfg = FabricConfig::default();
         let small = cfg.ideal_one_way(64);
         let big = cfg.ideal_one_way(8 * 1024 * 1024);
-        assert!(small < SimTime::from_us(2), "small message too slow: {small}");
+        assert!(
+            small < SimTime::from_us(2),
+            "small message too slow: {small}"
+        );
         // 8 MiB at 12.5 B/ns is ~671 us one way.
-        assert!(big > SimTime::from_us(650) && big < SimTime::from_us(700), "{big}");
+        assert!(
+            big > SimTime::from_us(650) && big < SimTime::from_us(700),
+            "{big}"
+        );
     }
 }

@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use amt_simnet::{Counter, CoreResource, Sim, SimTime};
+use amt_simnet::{CoreResource, Counter, Sim, SimTime};
 use bytes::Bytes;
 
 use crate::config::FabricConfig;

@@ -24,10 +24,19 @@ fn payload_bytes_arrive_intact() {
             *got2.borrow_mut() = Some(d.payload.expect_bytes());
         }),
     );
-    fab.borrow_mut().set_handler(0, rx_handler(|_, _| panic!("unexpected")));
+    fab.borrow_mut()
+        .set_handler(0, rx_handler(|_, _| panic!("unexpected")));
 
     let data = Bytes::from((0..=255u8).collect::<Vec<u8>>());
-    Fabric::send(&fab, &mut sim, 0, 1, data.len(), Payload::Bytes(data.clone()), None);
+    Fabric::send(
+        &fab,
+        &mut sim,
+        0,
+        1,
+        data.len(),
+        Payload::Bytes(data.clone()),
+        None,
+    );
     sim.run();
     assert_eq!(got.borrow().as_deref(), Some(&data[..]));
 }
@@ -145,7 +154,15 @@ fn deterministic_replay() {
             );
         }
         for i in 0..10usize {
-            Fabric::send(&fab, &mut sim, i % 2, (i + 1) % 2, 100_000 >> (i % 4), Payload::Empty, None);
+            Fabric::send(
+                &fab,
+                &mut sim,
+                i % 2,
+                (i + 1) % 2,
+                100_000 >> (i % 4),
+                Payload::Empty,
+                None,
+            );
         }
         sim.run();
         let result = log.borrow().clone();
@@ -177,5 +194,8 @@ fn concurrent_senders_share_receiver_bandwidth() {
     // Both transfers must finish in about 2x the single-transfer service
     // time (within overheads), not 1x.
     assert!(last > single * 2, "rx sharing too fast: {last}");
-    assert!(last < single * 2 + SimTime::from_us(200), "rx sharing too slow: {last}");
+    assert!(
+        last < single * 2 + SimTime::from_us(200),
+        "rx sharing too slow: {last}"
+    );
 }

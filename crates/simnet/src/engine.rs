@@ -85,7 +85,11 @@ impl Sim {
     /// in release builds the event is clamped to `now` (runs "immediately",
     /// preserving determinism).
     pub fn schedule_at(&mut self, at: SimTime, body: impl FnOnce(&mut Sim) + 'static) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -208,7 +212,10 @@ mod tests {
             });
         });
         sim.run();
-        assert_eq!(*log.borrow(), vec![SimTime::from_us(1), SimTime::from_us(3)]);
+        assert_eq!(
+            *log.borrow(),
+            vec![SimTime::from_us(1), SimTime::from_us(3)]
+        );
     }
 
     #[test]

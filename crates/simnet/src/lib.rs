@@ -38,12 +38,14 @@
 
 mod engine;
 mod resource;
+pub mod rng;
 mod stats;
 mod time;
 mod trace;
 
 pub use engine::{Event, Sim};
 pub use resource::{CoreHandle, CoreResource, TokenPool, TokenPoolHandle};
+pub use rng::DetRng;
 pub use stats::{Counter, Histogram, OnlineStats, TimeWeighted};
 pub use time::SimTime;
 pub use trace::{Span, Trace};

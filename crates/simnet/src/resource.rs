@@ -286,13 +286,17 @@ mod tests {
 
         // Release at t=50: waiter 2 runs.
         let p2 = pool.clone();
-        sim.schedule_at(SimTime::from_us(50), move |sim| p2.borrow_mut().release(sim));
+        sim.schedule_at(SimTime::from_us(50), move |sim| {
+            p2.borrow_mut().release(sim)
+        });
         sim.run();
         assert_eq!(log.borrow().len(), 3);
         assert_eq!(log.borrow()[2], (2, SimTime::from_us(50)));
 
         let p3 = pool.clone();
-        sim.schedule_at(SimTime::from_us(60), move |sim| p3.borrow_mut().release(sim));
+        sim.schedule_at(SimTime::from_us(60), move |sim| {
+            p3.borrow_mut().release(sim)
+        });
         sim.run();
         assert_eq!(log.borrow()[3], (3, SimTime::from_us(60)));
         assert_eq!(pool.borrow().in_use(), 2);

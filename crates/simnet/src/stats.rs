@@ -317,7 +317,7 @@ mod tests {
         let mut g = TimeWeighted::new(SimTime::ZERO, 0.0);
         g.set(SimTime::from_s(1), 10.0); // 0 for 1s
         g.set(SimTime::from_s(3), 0.0); // 10 for 2s
-        // mean over [0, 4s] = (0*1 + 10*2 + 0*1) / 4 = 5
+                                        // mean over [0, 4s] = (0*1 + 10*2 + 0*1) / 4 = 5
         assert!((g.mean(SimTime::from_s(4)) - 5.0).abs() < 1e-12);
         assert_eq!(g.peak(), 10.0);
     }

@@ -128,7 +128,12 @@ mod tests {
     fn chrome_json_shape() {
         let mut t = Trace::new(true);
         t.record("n0.w0", "gemm", SimTime::from_us(1), SimTime::from_us(3));
-        t.record("n0.comm", "activate", SimTime::from_us(2), SimTime::from_us(4));
+        t.record(
+            "n0.comm",
+            "activate",
+            SimTime::from_us(2),
+            SimTime::from_us(4),
+        );
         t.record("n0.w0", "trsm", SimTime::from_us(5), SimTime::from_us(6));
         let json = t.to_chrome_json();
         assert!(json.starts_with(r#"{"traceEvents":["#));

@@ -1,38 +1,55 @@
-//! Property tests for the DES engine primitives.
+//! Randomized property tests for the DES engine primitives.
+//!
+//! These were originally `proptest` properties; the workspace now builds
+//! offline, so each property is exercised over many seeded cases drawn from
+//! the in-tree deterministic generator instead.
 
-use amt_simnet::{shared, CoreResource, Sim, SimTime, TokenPool};
-use proptest::prelude::*;
+use amt_simnet::{shared, CoreResource, DetRng, Sim, SimTime, TokenPool};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// A core serves charges FIFO: completion times are the prefix sums of
-    /// the durations, regardless of the duration mix.
-    #[test]
-    fn core_charges_complete_at_prefix_sums(durs in prop::collection::vec(1u64..10_000, 1..50)) {
+/// A core serves charges FIFO: completion times are the prefix sums of
+/// the durations, regardless of the duration mix.
+#[test]
+fn core_charges_complete_at_prefix_sums() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x5151_0000 + case);
+        let n = rng.gen_usize(1..50);
+        let durs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10_000)).collect();
+
         let mut sim = Sim::new();
         let core = CoreResource::new_shared("c");
         let log = shared(Vec::new());
         for &d in &durs {
             let log = log.clone();
-            core.borrow_mut().charge(&mut sim, SimTime::from_ns(d), move |sim| {
-                log.borrow_mut().push(sim.now().as_ns());
-            });
+            core.borrow_mut()
+                .charge(&mut sim, SimTime::from_ns(d), move |sim| {
+                    log.borrow_mut().push(sim.now().as_ns());
+                });
         }
         sim.run();
         let mut acc = 0u64;
-        let want: Vec<u64> = durs.iter().map(|d| { acc += d; acc }).collect();
-        prop_assert_eq!(&*log.borrow(), &want);
-        prop_assert_eq!(core.borrow().busy_time().as_ns(), acc);
+        let want: Vec<u64> = durs
+            .iter()
+            .map(|d| {
+                acc += d;
+                acc
+            })
+            .collect();
+        assert_eq!(&*log.borrow(), &want, "case {case}");
+        assert_eq!(core.borrow().busy_time().as_ns(), acc, "case {case}");
     }
+}
 
-    /// Token pools conserve tokens: grants ≤ capacity at any time, and
-    /// after all releases the pool is full again.
-    #[test]
-    fn token_pool_conservation(
-        capacity in 1usize..8,
-        requests in 1usize..40,
-    ) {
+/// Token pools conserve tokens: grants ≤ capacity at any time, and
+/// after all releases the pool is full again.
+#[test]
+fn token_pool_conservation() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x7070_0000 + case);
+        let capacity = rng.gen_usize(1..8);
+        let requests = rng.gen_usize(1..40);
+
         let mut sim = Sim::new();
         let pool = TokenPool::new_shared("p", capacity);
         let in_use = shared(0usize);
@@ -58,25 +75,36 @@ proptest! {
             });
         }
         sim.run();
-        prop_assert!(*peak.borrow() <= capacity);
-        prop_assert_eq!(*in_use.borrow(), 0);
-        prop_assert_eq!(pool.borrow().available(), capacity);
-        prop_assert_eq!(pool.borrow().acquired_total(), requests as u64);
+        assert!(*peak.borrow() <= capacity, "case {case}");
+        assert_eq!(*in_use.borrow(), 0, "case {case}");
+        assert_eq!(pool.borrow().available(), capacity, "case {case}");
+        assert_eq!(
+            pool.borrow().acquired_total(),
+            requests as u64,
+            "case {case}"
+        );
     }
+}
 
-    /// run_until never passes the deadline and eventually drains.
-    #[test]
-    fn run_until_respects_deadline(times in prop::collection::vec(0u64..1000, 1..50), deadline in 0u64..1000) {
+/// run_until never passes the deadline and eventually drains.
+#[test]
+fn run_until_respects_deadline() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x1213_0000 + case);
+        let n = rng.gen_usize(1..50);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+        let deadline = rng.gen_range(0..1000);
+
         let mut sim = Sim::new();
         for &t in &times {
             sim.schedule_at(SimTime::from_ns(t), |_| {});
         }
         let drained = sim.run_until(SimTime::from_ns(deadline));
-        prop_assert!(sim.now().as_ns() <= deadline);
+        assert!(sim.now().as_ns() <= deadline, "case {case}");
         let remaining = times.iter().filter(|&&t| t > deadline).count();
-        prop_assert_eq!(drained, remaining == 0);
-        prop_assert_eq!(sim.events_pending(), remaining);
+        assert_eq!(drained, remaining == 0, "case {case}");
+        assert_eq!(sim.events_pending(), remaining, "case {case}");
         sim.run();
-        prop_assert_eq!(sim.events_pending(), 0);
+        assert_eq!(sim.events_pending(), 0, "case {case}");
     }
 }

@@ -15,7 +15,9 @@
 
 use std::collections::HashMap;
 
-use amt_core::{Cluster, DataDist, DataKey, GraphBuilder, TaskDesc, TaskGraph, TileDist2d, VersionId};
+use amt_core::{
+    Cluster, DataDist, DataKey, GraphBuilder, TaskDesc, TaskGraph, TileDist2d, VersionId,
+};
 use amt_linalg::{
     cholesky_residual, gemm, potrf, sqexp_covariance, trsm_left_lower, Grid2d, Matrix, Trans,
 };
@@ -171,8 +173,16 @@ impl TlrCholesky {
             lr_out: HashMap::new(),
             dense_a: Some(dense_a),
             stats: CholeskyStats {
-                mean_rank: if lr_count > 0.0 { rank_sum / lr_count } else { 0.0 },
-                lr_tile_bytes_mean: if lr_count > 0.0 { bytes_sum / lr_count } else { 0.0 },
+                mean_rank: if lr_count > 0.0 {
+                    rank_sum / lr_count
+                } else {
+                    0.0
+                },
+                lr_tile_bytes_mean: if lr_count > 0.0 {
+                    bytes_sum / lr_count
+                } else {
+                    0.0
+                },
                 ..Default::default()
             },
         };
@@ -215,8 +225,16 @@ impl TlrCholesky {
             lr_out: HashMap::new(),
             dense_a: None,
             stats: CholeskyStats {
-                mean_rank: if lr_count > 0.0 { rank_sum / lr_count } else { 0.0 },
-                lr_tile_bytes_mean: if lr_count > 0.0 { bytes_sum / lr_count } else { 0.0 },
+                mean_rank: if lr_count > 0.0 {
+                    rank_sum / lr_count
+                } else {
+                    0.0
+                },
+                lr_tile_bytes_mean: if lr_count > 0.0 {
+                    bytes_sum / lr_count
+                } else {
+                    0.0
+                },
                 ..Default::default()
             },
         };
@@ -379,7 +397,10 @@ impl TlrCholesky {
     /// Assemble the dense lower factor from a completed Numeric run and
     /// return the relative residual ‖A − L·Lᵀ‖_F / ‖A‖_F.
     pub fn residual(&self, cluster: &Cluster) -> f64 {
-        let a = self.dense_a.as_ref().expect("residual needs a Numeric build");
+        let a = self
+            .dense_a
+            .as_ref()
+            .expect("residual needs a Numeric build");
         let nt = self.problem.nt();
         let ts = self.problem.tile_size;
         let n = self.problem.n;

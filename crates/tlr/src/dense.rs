@@ -13,7 +13,9 @@
 
 use std::collections::HashMap;
 
-use amt_core::{Cluster, DataDist, DataKey, GraphBuilder, TaskDesc, TaskGraph, TileDist2d, VersionId};
+use amt_core::{
+    Cluster, DataDist, DataKey, GraphBuilder, TaskDesc, TaskGraph, TileDist2d, VersionId,
+};
 use amt_linalg::{
     cholesky_residual, gemm, potrf, sqexp_covariance, syrk_lower, trsm_right_lower_t, Grid2d,
     Matrix, Trans,
@@ -70,7 +72,8 @@ impl DenseCholesky {
             for j in 0..=i {
                 let owner = dist.owner(i * nt + j);
                 let bytes = dense_a.as_ref().map(|a| {
-                    a.submatrix(i as usize * ts, j as usize * ts, ts, ts).to_bytes()
+                    a.submatrix(i as usize * ts, j as usize * ts, ts, ts)
+                        .to_bytes()
                 });
                 g.data(key(nt, i, j), tile_bytes, owner, bytes);
             }
@@ -120,7 +123,11 @@ impl DenseCholesky {
                     desc = desc.kernel(move |ins| {
                         let l = Matrix::from_bytes(ts2, ts2, &ins[0]);
                         // Use only the lower triangle of the factor tile.
-                        let l = Matrix::from_fn(ts2, ts2, |r, c| if r >= c { l.get(r, c) } else { 0.0 });
+                        let l = Matrix::from_fn(
+                            ts2,
+                            ts2,
+                            |r, c| if r >= c { l.get(r, c) } else { 0.0 },
+                        );
                         let mut b = Matrix::from_bytes(ts2, ts2, &ins[1]);
                         trsm_right_lower_t(&l, &mut b);
                         vec![b.to_bytes()]
@@ -272,9 +279,8 @@ mod tests {
             dense.total_flops
         );
         // Remote dataflow volume: compare declared version sizes.
-        let vol = |g: &amt_core::TaskGraph| -> f64 {
-            g.versions.iter().map(|v| v.size as f64).sum()
-        };
+        let vol =
+            |g: &amt_core::TaskGraph| -> f64 { g.versions.iter().map(|v| v.size as f64).sum() };
         assert!(vol(&tgraph) < vol(&dgraph) / 5.0);
     }
 }

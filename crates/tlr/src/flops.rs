@@ -40,7 +40,9 @@ impl KernelFlops {
     pub fn gemm(&self, k_a: usize, k_b: usize, k_c: usize) -> f64 {
         let (ka, kb, kc) = (k_a as f64, k_b as f64, k_c as f64);
         let kk = kc + ka.min(kb);
-        2.0 * self.ts * ka * kb + 4.0 * self.ts * kk * kk + 20.0 * kk.powi(3)
+        2.0 * self.ts * ka * kb
+            + 4.0 * self.ts * kk * kk
+            + 20.0 * kk.powi(3)
             + 2.0 * self.ts * kk * kc.max(1.0)
     }
 

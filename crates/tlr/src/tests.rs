@@ -79,7 +79,10 @@ fn backends_agree_numerically() {
     // Same task graph, same kernels, deterministic execution order per
     // backend: residuals must both be tiny (bitwise equality is not
     // required — completion order can differ — but accuracy must hold).
-    assert!(res_mpi < 1e-6 && res_lci < 1e-6, "{res_mpi:.3e} vs {res_lci:.3e}");
+    assert!(
+        res_mpi < 1e-6 && res_lci < 1e-6,
+        "{res_mpi:.3e} vs {res_lci:.3e}"
+    );
 }
 
 #[test]

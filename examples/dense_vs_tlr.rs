@@ -3,7 +3,7 @@
 //! volume, accuracy, and simulated time-to-solution.
 //!
 //! ```sh
-//! cargo run --release --example dense_vs_tlr
+//! cargo run --release --example dense_vs_tlr [mpi|lci|lci-direct]
 //! ```
 
 use amtlc::comm::BackendKind;
@@ -11,16 +11,20 @@ use amtlc::core::{Cluster, ClusterConfig, ExecMode};
 use amtlc::tlr::{DenseCholesky, TlrCholesky, TlrProblem};
 
 fn main() {
+    let backend = std::env::args()
+        .nth(1)
+        .map(|s| BackendKind::parse(&s).unwrap_or_else(|| panic!("unknown backend {s:?}")))
+        .unwrap_or(BackendKind::Lci);
     // Numeric comparison at a laptop-friendly size: both must factorize
     // correctly; TLR trades a bounded error for a lot less work.
     let (n, ts, nodes) = (256, 64, 2);
-    println!("numeric check, N = {n}, tile {ts}, {nodes} nodes (LCI backend)\n");
+    println!("numeric check, N = {n}, tile {ts}, {nodes} nodes ({backend} backend)\n");
 
     let (dense, dgraph) = DenseCholesky::build_numeric(n, ts, nodes);
     let mut cluster = Cluster::new(ClusterConfig {
         nodes,
         workers_per_node: 4,
-        backend: BackendKind::Lci,
+        backend,
         mode: ExecMode::Numeric,
         ..Default::default()
     });
@@ -36,7 +40,7 @@ fn main() {
     let mut cluster = Cluster::new(ClusterConfig {
         nodes,
         workers_per_node: 4,
-        backend: BackendKind::Lci,
+        backend,
         mode: ExecMode::Numeric,
         ..Default::default()
     });
@@ -62,7 +66,7 @@ fn main() {
         };
         let mut cluster = Cluster::new(ClusterConfig {
             mode: ExecMode::CostOnly,
-            ..ClusterConfig::expanse(BackendKind::Lci, nodes)
+            ..ClusterConfig::expanse(backend, nodes)
         });
         let r = cluster.execute(graph);
         assert!(r.complete());
@@ -80,5 +84,8 @@ fn main() {
     };
     let d = run("dense", true);
     let t = run("TLR", false);
-    println!("\nTLR speedup over dense: {:.1}x — the compression HiCMA banks on.", d / t);
+    println!(
+        "\nTLR speedup over dense: {:.1}x — the compression HiCMA banks on.",
+        d / t
+    );
 }

@@ -1,5 +1,5 @@
 //! Quickstart: build a small distributed task DAG on a simulated 4-node
-//! cluster and run it with both communication backends.
+//! cluster and run it with every communication backend.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -79,7 +79,7 @@ fn main() {
     let nodes = 4;
     println!("amtlc quickstart: map-shuffle-reduce on {nodes} simulated nodes\n");
 
-    for backend in [BackendKind::Mpi, BackendKind::Lci] {
+    for backend in BackendKind::ALL {
         let (graph, out) = build_graph(nodes);
         let oracle = graph.sequential_oracle()[&out].clone();
 
@@ -105,6 +105,9 @@ fn main() {
             "  mean flow latency: {:.1} us",
             report.e2e_latency_us.mean()
         );
-        println!("  result           : {:?}  (matches sequential oracle)\n", &result[..]);
+        println!(
+            "  result           : {:?}  (matches sequential oracle)\n",
+            &result[..]
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Numeric-mode TLR Cholesky: compress a real st-2d-sqexp covariance
 //! matrix, factorize it on a simulated 4-node cluster with real kernels and
-//! real data movement, and verify the factorization error — on both
-//! communication backends.
+//! real data movement, and verify the factorization error — on every
+//! communication backend.
 //!
 //! ```sh
 //! cargo run --release --example tlr_cholesky
@@ -18,7 +18,7 @@ fn main() {
     println!("TLR Cholesky (st-2d-sqexp), N = {n}, tile {ts}, {nodes} simulated nodes");
     println!("accuracy 1e-8, maxrank 150, band 1, two-flow algorithm\n");
 
-    for backend in [BackendKind::Mpi, BackendKind::Lci] {
+    for backend in BackendKind::ALL {
         let problem = TlrProblem::new(n, ts);
         let (chol, graph) = TlrCholesky::build_numeric(problem, nodes);
         println!("backend {backend}:");

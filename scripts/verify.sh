@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 (build + tests, see ROADMAP.md) plus lints and
+# formatting. Run from the workspace root:  ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q (workspace) =="
+cargo test -q --workspace
+
+echo "== clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --check
+
+echo "verify: all checks passed"

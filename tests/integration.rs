@@ -7,20 +7,19 @@ use amtlc::linalg::Matrix;
 use amtlc::tlr::{TlrCholesky, TlrProblem};
 use bytes::Bytes;
 
-fn backends() -> [BackendKind; 2] {
-    [BackendKind::Mpi, BackendKind::Lci]
+fn backends() -> [BackendKind; 3] {
+    BackendKind::ALL
 }
 
 /// A randomized DAG executed on 1, 2 and 4 nodes must agree with the
 /// sequential oracle byte-for-byte on every backend.
 #[test]
 fn random_dag_matches_oracle_across_node_counts() {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use amtlc::simnet::DetRng;
 
     for backend in backends() {
         for nodes in [1usize, 2, 4] {
-            let mut rng = SmallRng::seed_from_u64(42);
+            let mut rng = DetRng::seed_from_u64(42);
             let mut g = GraphBuilder::new(nodes);
             let keys = 12u64;
             for k in 0..keys {
@@ -31,7 +30,7 @@ fn random_dag_matches_oracle_across_node_counts() {
                 let out = rng.gen_range(0..keys);
                 let in1 = rng.gen_range(0..keys);
                 let in2 = rng.gen_range(0..keys);
-                let node = rng.gen_range(0..nodes);
+                let node = rng.gen_usize(0..nodes);
                 let salt = (step % 251) as u8;
                 g.insert(
                     TaskDesc::new("mix")
@@ -159,6 +158,61 @@ fn tlr_factor_solves_linear_system() {
     assert!(err < 1e-4, "solution error {err:.2e}");
 }
 
+/// The communication backend must not change numerics: a Numeric-mode TLR
+/// Cholesky produces byte-identical factor tiles on all three backends, and
+/// each backend's virtual makespan is itself reproducible run-to-run.
+#[test]
+fn backends_agree_byte_for_byte_on_numeric_cholesky() {
+    use amtlc::simnet::SimTime;
+
+    let run = |backend: BackendKind| -> (Vec<(String, Vec<u8>)>, SimTime) {
+        let problem = TlrProblem::new(256, 64);
+        let (chol, graph) = TlrCholesky::build_numeric(problem, 4);
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 4,
+            workers_per_node: 4,
+            backend,
+            mode: ExecMode::Numeric,
+            ..Default::default()
+        });
+        let report = cluster.execute(graph);
+        assert!(report.complete(), "{backend}");
+        let mut out = Vec::new();
+        for (k, v) in chol.diag_out.iter().enumerate() {
+            out.push((
+                format!("diag[{k}]"),
+                cluster.data(*v).expect("diag").to_vec(),
+            ));
+        }
+        let mut lr: Vec<_> = chol.lr_out.iter().collect();
+        lr.sort_by_key(|(ij, _)| **ij);
+        for (&(i, j), &(uv, vv)) in lr {
+            out.push((format!("u[{i},{j}]"), cluster.data(uv).expect("u").to_vec()));
+            out.push((format!("v[{i},{j}]"), cluster.data(vv).expect("v").to_vec()));
+        }
+        (out, report.makespan)
+    };
+
+    let (reference, _) = run(BackendKind::Mpi);
+    assert!(!reference.is_empty());
+    for backend in [BackendKind::Lci, BackendKind::LciDirect] {
+        let (tiles, makespan) = run(backend);
+        assert_eq!(tiles.len(), reference.len(), "{backend}: tile set differs");
+        for ((name, bytes), (ref_name, ref_bytes)) in tiles.iter().zip(&reference) {
+            assert_eq!(name, ref_name, "{backend}: tile ordering differs");
+            assert_eq!(
+                bytes, ref_bytes,
+                "{backend}: tile {name} diverged from the MPI reference"
+            );
+        }
+        let (_, makespan2) = run(backend);
+        assert_eq!(
+            makespan, makespan2,
+            "{backend}: virtual time not reproducible"
+        );
+    }
+}
+
 /// Same graph, same seed, same backend: byte-identical virtual timings.
 #[test]
 fn executions_are_deterministic() {
@@ -186,13 +240,19 @@ fn paper_headline_orderings_hold() {
     let fine = PingPongCfg::bandwidth(32 * 1024, 1, true, 4);
     let lci = run_pingpong(BackendKind::Lci, &fine).gbit_per_s;
     let mpi = run_pingpong(BackendKind::Mpi, &fine).gbit_per_s;
-    assert!(lci > mpi * 1.2, "fine-grained bandwidth: LCI {lci:.1} vs MPI {mpi:.1}");
+    assert!(
+        lci > mpi * 1.2,
+        "fine-grained bandwidth: LCI {lci:.1} vs MPI {mpi:.1}"
+    );
 
     // At coarse granularity both approach peak.
     let coarse = PingPongCfg::bandwidth(4 * 1024 * 1024, 1, true, 4);
     let lci_c = run_pingpong(BackendKind::Lci, &coarse).gbit_per_s;
     let mpi_c = run_pingpong(BackendKind::Mpi, &coarse).gbit_per_s;
-    assert!(lci_c > 90.0 && mpi_c > 90.0, "coarse: {lci_c:.1} / {mpi_c:.1}");
+    assert!(
+        lci_c > 90.0 && mpi_c > 90.0,
+        "coarse: {lci_c:.1} / {mpi_c:.1}"
+    );
 
     // Fig. 4b: LCI's communication latency is lower in TLR Cholesky.
     use amt_bench::tlrrun::{run_tlr, TlrRunCfg};

@@ -1,20 +1,25 @@
-//! Property-based tests over the whole stack.
+//! Randomized property tests over the whole stack, driven by the in-tree
+//! deterministic generator (the workspace builds offline, so no external
+//! `proptest`).
 
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, GraphBuilder, TaskDesc};
 use amtlc::linalg::{gemm, Matrix, Trans};
-use amtlc::simnet::{Sim, SimTime};
+use amtlc::simnet::{DetRng, Sim, SimTime};
 use amtlc::tlr::LrTile;
 use bytes::Bytes;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// DES: events execute in non-decreasing time order regardless of the
-    /// scheduling order.
-    #[test]
-    fn des_event_order_is_monotone(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// DES: events execute in non-decreasing time order regardless of the
+/// scheduling order.
+#[test]
+fn des_event_order_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0xde5_0000 + case);
+        let n = rng.gen_usize(1..200);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+
         let mut sim = Sim::new();
         let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         for &t in &times {
@@ -25,25 +30,32 @@ proptest! {
         }
         sim.run();
         let log = log.borrow();
-        prop_assert_eq!(log.len(), times.len());
+        assert_eq!(log.len(), times.len(), "case {case}");
         for w in log.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1], "case {case}");
         }
         let mut sorted = times.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&*log, &sorted);
+        assert_eq!(&*log, &sorted, "case {case}");
     }
+}
 
-    /// Fabric: every sent message is delivered exactly once with its
-    /// declared size, whatever the size/order mix.
-    #[test]
-    fn fabric_delivers_every_message(sizes in prop::collection::vec(0usize..2_000_000, 1..40)) {
-        use amtlc::netmodel::{rx_handler, Fabric, FabricConfig, Payload};
+/// Fabric: every sent message is delivered exactly once with its
+/// declared size, whatever the size/order mix.
+#[test]
+fn fabric_delivers_every_message() {
+    use amtlc::netmodel::{rx_handler, Fabric, FabricConfig, Payload};
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0xfab_0000 + case);
+        let n = rng.gen_usize(1..40);
+        let sizes: Vec<usize> = (0..n).map(|_| rng.gen_usize(0..2_000_000)).collect();
+
         let mut sim = Sim::new();
         let fab = Fabric::new(FabricConfig::expanse(2));
         let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let g = got.clone();
-        fab.borrow_mut().set_handler(1, rx_handler(move |_s, d| g.borrow_mut().push(d.size)));
+        fab.borrow_mut()
+            .set_handler(1, rx_handler(move |_s, d| g.borrow_mut().push(d.size)));
         for &s in &sizes {
             Fabric::send(&fab, &mut sim, 0, 1, s, Payload::Empty, None);
         }
@@ -52,21 +64,38 @@ proptest! {
         let mut want = sizes.clone();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Runtime: arbitrary read/write chains over a handful of keys match
-    /// the sequential oracle on both backends.
-    #[test]
-    fn runtime_matches_oracle(
-        ops in prop::collection::vec((0u64..6, 0u64..6, 0usize..3), 1..40),
-        seed in 0u8..255,
-    ) {
-        for backend in [BackendKind::Mpi, BackendKind::Lci] {
+/// Runtime: arbitrary read/write chains over a handful of keys match
+/// the sequential oracle on every backend.
+#[test]
+fn runtime_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x0c1e_0000 + case);
+        let n = rng.gen_usize(1..40);
+        let ops: Vec<(u64, u64, usize)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..6),
+                    rng.gen_range(0..6),
+                    rng.gen_usize(0..3),
+                )
+            })
+            .collect();
+        let seed = rng.gen_range(0..255) as u8;
+
+        for backend in BackendKind::ALL {
             let nodes = 3;
             let mut g = GraphBuilder::new(nodes);
             for k in 0..6u64 {
-                g.data(k, 4, (k as usize) % nodes, Some(Bytes::from(vec![seed ^ k as u8; 4])));
+                g.data(
+                    k,
+                    4,
+                    (k as usize) % nodes,
+                    Some(Bytes::from(vec![seed ^ k as u8; 4])),
+                );
             }
             for &(src, dst, node) in &ops {
                 g.insert(
@@ -77,7 +106,10 @@ proptest! {
                         .write(dst, 4)
                         .kernel(move |ins| {
                             vec![Bytes::from(
-                                ins[0].iter().map(|b| b.wrapping_add(7)).collect::<Vec<u8>>(),
+                                ins[0]
+                                    .iter()
+                                    .map(|b| b.wrapping_add(7))
+                                    .collect::<Vec<u8>>(),
                             )]
                         }),
                 );
@@ -92,23 +124,30 @@ proptest! {
                 ..Default::default()
             });
             let report = cluster.execute(graph);
-            prop_assert!(report.complete());
+            assert!(report.complete(), "case {case} backend {backend}");
             for v in finals {
                 let got = cluster.data(v);
-                prop_assert_eq!(got.as_ref(), oracle.get(&v));
+                assert_eq!(
+                    got.as_ref(),
+                    oracle.get(&v),
+                    "case {case} backend {backend}"
+                );
             }
         }
     }
+}
 
-    /// TLR compression respects the error bound: the truncated tile
-    /// reconstructs the original within tol × √(matrix area) (absolute
-    /// threshold on singular values bounds the Frobenius error).
-    #[test]
-    fn tlr_compression_error_bounded(
-        m in 4usize..20,
-        n in 4usize..20,
-        tol_exp in 2u32..10,
-    ) {
+/// TLR compression respects the error bound: the truncated tile
+/// reconstructs the original within tol × √(matrix area) (absolute
+/// threshold on singular values bounds the Frobenius error).
+#[test]
+fn tlr_compression_error_bounded() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x71c_0000 + case);
+        let m = rng.gen_usize(4..20);
+        let n = rng.gen_usize(4..20);
+        let tol_exp = rng.gen_range(2..10) as u32;
+
         let tol = 10f64.powi(-(tol_exp as i32));
         let a = Matrix::from_fn(m, n, |i, j| {
             (-((i as f64 / m as f64 - j as f64 / n as f64).powi(2)) * 8.0).exp()
@@ -117,17 +156,20 @@ proptest! {
         let err = t.to_dense().max_diff(&a);
         // Dropped singular values are each < tol; crude but sound bound.
         let bound = tol * (m.min(n) as f64) + 1e-12;
-        prop_assert!(err <= bound, "err {} > bound {}", err, bound);
-        prop_assert!(t.rank() >= 1 && t.rank() <= m.min(n));
+        assert!(err <= bound, "case {case}: err {err} > bound {bound}");
+        assert!(t.rank() >= 1 && t.rank() <= m.min(n), "case {case}");
     }
+}
 
-    /// Rounded low-rank addition equals the dense sum within tolerance.
-    #[test]
-    fn tlr_addition_matches_dense(
-        k1 in 1usize..4,
-        k2 in 1usize..4,
-        scale in 0.1f64..10.0,
-    ) {
+/// Rounded low-rank addition equals the dense sum within tolerance.
+#[test]
+fn tlr_addition_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0xadd_0000 + case);
+        let k1 = rng.gen_usize(1..4);
+        let k2 = rng.gen_usize(1..4);
+        let scale = 0.1 + rng.gen_f64() * 9.9;
+
         let n = 16;
         let mk = |k: usize, off: usize| {
             Matrix::from_fn(n, k, |i, j| {
@@ -136,12 +178,15 @@ proptest! {
             })
         };
         let (u, v, w, z) = (mk(k1, 0), mk(k1, 5), mk(k2, 11), mk(k2, 17));
-        let t = LrTile { u: u.clone(), v: v.clone() };
+        let t = LrTile {
+            u: u.clone(),
+            v: v.clone(),
+        };
         let sum = t.add_truncate(&w, &z, 1e-12, n);
         let mut dense = Matrix::zeros(n, n);
         gemm(1.0, &u, Trans::No, &v, Trans::Yes, 0.0, &mut dense);
         gemm(1.0, &w, Trans::No, &z, Trans::Yes, 1.0, &mut dense);
         let err = sum.to_dense().max_diff(&dense);
-        prop_assert!(err < 1e-8 * scale.max(1.0), "err {}", err);
+        assert!(err < 1e-8 * scale.max(1.0), "case {case}: err {err}");
     }
 }
