@@ -12,6 +12,7 @@
 use amt_bench::pingpong::{run_pingpong, run_pingpong_cluster, PingPongCfg};
 use amt_bench::table::{banner, cell, header, row};
 use amt_bench::tlrrun::{run_tlr, TlrRunCfg};
+use amt_bench::{harness_args, ObsSink};
 use amt_comm::{BackendKind, EngineConfig};
 use amt_core::{ClusterConfig, ExecMode};
 use amt_netmodel::FabricConfig;
@@ -25,6 +26,7 @@ fn cluster_cfg(backend: BackendKind) -> ClusterConfig {
 }
 
 fn main() {
+    ObsSink::install(&harness_args());
     banner("Ablation 1: ACTIVATE aggregation (ping-pong, 16 KiB fragments, Gbit/s)");
     header(&[("backend", 9), ("aggregated", 11), ("disabled", 9)]);
     for backend in [BackendKind::Lci, BackendKind::Mpi] {

@@ -15,7 +15,7 @@
 
 use amt_bench::pingpong::{run_pingpong, PingPongCfg};
 use amt_bench::table::{banner, cell, header, row};
-use amt_bench::{backend_arg, fmt_size, full_scale, granularities, harness_args};
+use amt_bench::{backend_arg, fmt_size, full_scale, granularities, harness_args, ObsSink};
 use amt_comm::BackendKind;
 use amt_netmodel::{raw_pingpong_gbps, FabricConfig};
 
@@ -39,6 +39,7 @@ fn crossing(series: &[(usize, f64)], level: f64) -> Option<usize> {
 
 fn main() {
     let args = harness_args();
+    ObsSink::install(&args);
     let full = full_scale(&args);
     let iters = if full { 8 } else { 5 };
     let min = if full { 8 * 1024 } else { 16 * 1024 };

@@ -13,11 +13,12 @@
 
 use amt_bench::pingpong::{run_pingpong, PingPongCfg};
 use amt_bench::table::{banner, cell, header, row};
-use amt_bench::{fmt_size, full_scale, granularities, harness_args};
+use amt_bench::{fmt_size, full_scale, granularities, harness_args, ObsSink};
 use amt_comm::BackendKind;
 
 fn main() {
     let args = harness_args();
+    ObsSink::install(&args);
     let full = full_scale(&args);
     // Total FLOPs per measurement point. The full setting approaches the
     // paper's multi-second runs; the scaled one keeps task counts tractable

@@ -11,11 +11,12 @@
 
 use amt_bench::table::{banner, cell, header, row};
 use amt_bench::tlrrun::{run_tlr, TlrRunCfg, N_FULL, N_SCALED, TILE_SIZES};
-use amt_bench::{backend_arg, full_scale, harness_args};
+use amt_bench::{backend_arg, full_scale, harness_args, ObsSink};
 use amt_comm::BackendKind;
 
 fn main() {
     let args = harness_args();
+    ObsSink::install(&args);
     let full = full_scale(&args);
     let n = if full { N_FULL } else { N_SCALED };
     let nodes = 16;

@@ -12,7 +12,7 @@
 
 use amt_bench::table::{banner, cell, header, row};
 use amt_bench::tlrrun::{run_tlr, TlrRunCfg, N_FULL, N_SCALED, TILE_SIZES};
-use amt_bench::{backend_arg, full_scale, harness_args};
+use amt_bench::{backend_arg, full_scale, harness_args, ObsSink};
 use amt_comm::BackendKind;
 
 const NODE_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -22,6 +22,7 @@ const PAPER_BEST_LCI: [usize; 6] = [4500, 4500, 3600, 3000, 2400, 1800];
 
 fn main() {
     let args = harness_args();
+    ObsSink::install(&args);
     let full = full_scale(&args);
     let sweep = args.iter().any(|a| a == "--sweep");
     let n = if full { N_FULL } else { N_SCALED };

@@ -13,6 +13,94 @@ pub mod pingpong;
 pub mod table;
 pub mod tlrrun;
 
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use amt_core::{Cluster, ClusterConfig, RunReport};
+
+/// Process-wide observability sink behind the `--trace-out <path>` /
+/// `--metrics-out <path>` flags. A harness (or example) installs it once
+/// from its arguments; the shared runners ([`pingpong::run_pingpong`],
+/// [`tlrrun::run_tlr`]) — or the caller, via [`ObsSink::arm`] /
+/// [`ObsSink::capture`] — then record the **first** executed
+/// configuration: its Chrome trace goes to `--trace-out` and its metrics
+/// report to `--metrics-out`. The rest of the sweep runs unobserved, so
+/// the flags never perturb more than one measurement.
+pub struct ObsSink {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    captured: bool,
+}
+
+static OBS: Mutex<Option<ObsSink>> = Mutex::new(None);
+
+/// Parse a `--name <path>` / `--name=<path>` flag.
+fn path_flag(args: &[String], name: &str) -> Option<PathBuf> {
+    let eq = format!("{name}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return Some(PathBuf::from(
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a path value")),
+            ));
+        }
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(PathBuf::from(v));
+        }
+    }
+    None
+}
+
+impl ObsSink {
+    /// Install the sink when either output flag is present in `args`.
+    pub fn install(args: &[String]) {
+        let trace_out = path_flag(args, "--trace-out");
+        let metrics_out = path_flag(args, "--metrics-out");
+        if trace_out.is_none() && metrics_out.is_none() {
+            return;
+        }
+        *OBS.lock().expect("obs sink lock") = Some(ObsSink {
+            trace_out,
+            metrics_out,
+            captured: false,
+        });
+    }
+
+    /// Enable the requested recordings on `cfg`. No-op when no sink is
+    /// installed or a run was already captured.
+    pub fn arm(cfg: &mut ClusterConfig) {
+        if let Some(s) = OBS.lock().expect("obs sink lock").as_ref() {
+            if !s.captured {
+                cfg.trace |= s.trace_out.is_some();
+                cfg.metrics |= s.metrics_out.is_some();
+            }
+        }
+    }
+
+    /// Write the artifacts of an armed cluster's last execution to the
+    /// requested paths. Only the first capture writes.
+    pub fn capture(cluster: &Cluster, report: &RunReport) {
+        let mut guard = OBS.lock().expect("obs sink lock");
+        let Some(s) = guard.as_mut() else { return };
+        if s.captured {
+            return;
+        }
+        s.captured = true;
+        if let Some(path) = &s.trace_out {
+            let json = cluster.trace_json().expect("trace of an executed cluster");
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!("Chrome trace written to {}", path.display());
+        }
+        if let Some(path) = &s.metrics_out {
+            std::fs::write(path, cluster.metrics_report(report).to_json())
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!("metrics report written to {}", path.display());
+        }
+    }
+}
+
 /// True when the harness should run paper-scale parameters.
 pub fn full_scale(args: &[String]) -> bool {
     args.iter().any(|a| a == "--full") || std::env::var("AMT_FULL").is_ok_and(|v| v == "1")

@@ -172,11 +172,13 @@ pub fn run_pingpong(backend: BackendKind, cfg: &PingPongCfg) -> PingPongResult {
 /// Execute the workload on a caller-configured cluster (ablations).
 pub fn run_pingpong_cluster(cfg: &PingPongCfg, mut ccfg: ClusterConfig) -> PingPongResult {
     ccfg.nodes = 2;
+    crate::ObsSink::arm(&mut ccfg);
     let graph = cfg.build();
     let total_flops = graph.total_flops();
     let mut cluster = Cluster::new(ccfg);
     let report = cluster.execute(graph);
     assert!(report.complete(), "ping-pong did not complete: {report:?}");
+    crate::ObsSink::capture(&cluster, &report);
     let secs = report.makespan.as_secs_f64();
     PingPongResult {
         gbit_per_s: cfg.bytes_moved() * 8.0 / secs / 1e9,
@@ -297,10 +299,10 @@ mod diag2 {
                 let cfg = PingPongCfg::overlap(n, 6e10);
                 let r = run_pingpong(backend, &cfg);
                 let s = &r.report.engine_stats;
-                let retries: u64 = s.iter().map(|e| e.backend_retries).sum();
-                let delegated: u64 = s.iter().map(|e| e.delegated_recvs).sum();
-                let deferred: u64 = s.iter().map(|e| e.deferred_puts).sum();
-                let dynrecv: u64 = s.iter().map(|e| e.dynamic_recvs).sum();
+                let retries: u64 = s.iter().map(|e| e.backend_retries.get()).sum();
+                let delegated: u64 = s.iter().map(|e| e.delegated_recvs.get()).sum();
+                let deferred: u64 = s.iter().map(|e| e.deferred_puts.get()).sum();
+                let dynrecv: u64 = s.iter().map(|e| e.dynamic_recvs.get()).sum();
                 println!(
                     "{} {backend:?}: tf={:.2} makespan={:.1}ms wutil={:.2} commutil={:.2} progutil={:.2} e2e={:.0}us retries={retries} delegated={delegated} deferred={deferred} dyn={dynrecv} window={} iters={}",
                     crate::fmt_size(n),

@@ -34,16 +34,19 @@ pub struct TlrRunResult {
 pub fn run_tlr(cfg: &TlrRunCfg) -> TlrRunResult {
     let problem = TlrProblem::new(cfg.n, cfg.tile_size);
     let (chol, graph) = TlrCholesky::build_cost_only(problem, cfg.nodes);
-    let mut cluster = Cluster::new(ClusterConfig {
+    let mut ccfg = ClusterConfig {
         mode: ExecMode::CostOnly,
         multithread_am: cfg.multithread_am,
         // HiCMA relies on PaRSEC's priority-relative deferral to pace data
         // fetches (§4.1/§6.4.1); the byte budget models it.
         get_window_bytes: 2 << 20,
         ..ClusterConfig::expanse(cfg.backend, cfg.nodes)
-    });
+    };
+    crate::ObsSink::arm(&mut ccfg);
+    let mut cluster = Cluster::new(ccfg);
     let report = cluster.execute(graph);
     assert!(report.complete(), "TLR run incomplete: {report:?}");
+    crate::ObsSink::capture(&cluster, &report);
     TlrRunResult {
         tts_s: report.makespan.as_secs_f64(),
         e2e_us: if report.e2e_latency_us.count() > 0 {

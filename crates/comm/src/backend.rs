@@ -89,6 +89,13 @@ pub(crate) trait CommBackend {
     /// [`Self::next_micro`] or queued by the backend itself.
     fn exec_micro(&self, eng: &Rc<CommEngine>, sim: &mut Sim, task: BackendTask) -> SimTime;
 
+    /// A short static label for a backend micro-task, used to name its span
+    /// on the communication-thread trace track.
+    fn micro_label(&self, task: &BackendTask) -> &'static str {
+        let _ = task;
+        "backend"
+    }
+
     /// Execute one backend command the backend queued for retry (e.g. a
     /// send that hit back-pressure). Backends that never queue commands
     /// keep the default.

@@ -88,6 +88,14 @@ pub struct EngineConfig {
     /// Latency for an idle polling thread to notice new work (poll-loop
     /// granularity).
     pub wake_latency: SimTime,
+    /// Record a Chrome-trace timeline of the communication/progress threads
+    /// (spans, flow arrows, queue-depth counters). Off by default: when
+    /// disabled every trace call is a no-op.
+    pub trace: bool,
+    /// Record per-stage message-lifecycle latency histograms
+    /// (`submit → aggregate → inject → wire → deliver → callback`) into the
+    /// engine's [`amt_simnet::MetricsRegistry`]. Off by default.
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +113,8 @@ impl Default for EngineConfig {
             cmd_overhead: SimTime::from_ns(100),
             fifo_pop: SimTime::from_ns(40),
             wake_latency: SimTime::from_ns(100),
+            trace: false,
+            metrics: false,
         }
     }
 }
@@ -152,6 +162,13 @@ impl EngineConfig {
     /// Enable the §6.4.3 multithreaded-ACTIVATE mode.
     pub fn with_multithread_am(mut self, on: bool) -> Self {
         self.multithread_am = on;
+        self
+    }
+
+    /// Enable trace recording and/or metrics collection.
+    pub fn with_observability(mut self, trace: bool, metrics: bool) -> Self {
+        self.trace = trace;
+        self.metrics = metrics;
         self
     }
 }

@@ -11,7 +11,9 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use amt_netmodel::{FabricHandle, NodeId};
-use amt_simnet::{CoreHandle, CoreResource, Sim, SimTime};
+use amt_simnet::{
+    shared, CoreHandle, CoreResource, MetricsRegistry, OverlapTracker, Shared, Sim, SimTime, Trace,
+};
 use bytes::Bytes;
 
 use crate::backend::{make_backends, BackendTask, CommBackend};
@@ -73,8 +75,16 @@ pub(crate) enum Command {
         frames: Vec<Bytes>,
         aggregate: bool,
         submissions: u64,
+        /// When the first submission entered the queue (the `submit →
+        /// aggregate` lifecycle stage is measured from here at pop time).
+        submitted_at: SimTime,
     },
-    Put(PutRequest),
+    Put {
+        req: PutRequest,
+        /// When the put was funneled; `None` for backend retries (the queue
+        /// wait was already accounted on the first attempt).
+        submitted_at: Option<SimTime>,
+    },
     /// A backend-private command (typically a send that hit back-pressure
     /// and awaits retry). Executed via [`CommBackend::exec_command`].
     Backend(BackendTask),
@@ -121,6 +131,21 @@ pub struct CommEngine {
     /// behaviour is dispatched through this object.
     pub(crate) backend: Box<dyn CommBackend>,
     pub(crate) inner: RefCell<Inner>,
+    /// Communication/progress-thread timeline (enabled by `cfg.trace`).
+    pub(crate) trace: Shared<Trace>,
+    /// Per-stage lifecycle histograms (enabled by `cfg.metrics`).
+    pub(crate) metrics: Shared<MetricsRegistry>,
+    /// Cluster-wide wire/compute overlap integrator, installed by the
+    /// runtime above (see [`CommEngine::set_overlap`]).
+    pub(crate) overlap: RefCell<Option<Shared<OverlapTracker>>>,
+    /// Trace track of the communication thread (`n{node}.comm`).
+    pub(crate) comm_track: String,
+    /// Trace track of the progress thread(s) (`n{node}.prog`).
+    pub(crate) prog_track: String,
+    /// Counter-track name for the submitted-command queue depth.
+    cmdq_name: String,
+    /// Counter-track name for origin-side in-flight puts.
+    puts_name: String,
 }
 
 /// Factory for per-node engines over a shared fabric.
@@ -144,6 +169,13 @@ impl CommWorld {
                 progress_cores,
                 backend,
                 inner: RefCell::new(Inner::new()),
+                trace: shared(Trace::new(cfg.trace)),
+                metrics: shared(MetricsRegistry::new(cfg.metrics)),
+                overlap: RefCell::new(None),
+                comm_track: format!("n{node}.comm"),
+                prog_track: format!("n{node}.prog"),
+                cmdq_name: format!("n{node}.cmdq"),
+                puts_name: format!("n{node}.puts"),
             });
             eng.backend.init(&eng, sim);
             engines.push(eng);
@@ -201,6 +233,68 @@ impl CommEngine {
         self.backend.stats(base)
     }
 
+    /// The engine's trace collector (communication + progress tracks). Empty
+    /// unless the configuration enabled tracing.
+    pub fn trace_handle(&self) -> Shared<Trace> {
+        self.trace.clone()
+    }
+
+    /// The engine's lifecycle-metrics registry. Empty unless the
+    /// configuration enabled metrics.
+    pub fn metrics_handle(&self) -> Shared<MetricsRegistry> {
+        self.metrics.clone()
+    }
+
+    /// Install the cluster-wide overlap integrator; the backend reports wire
+    /// transfers towards their target node into it.
+    pub fn set_overlap(&self, tracker: Shared<OverlapTracker>) {
+        *self.overlap.borrow_mut() = Some(tracker);
+    }
+
+    /// Report a wire transfer towards `node` starting (`+1`) or finishing
+    /// (`-1`), feeding the Fig. 3 overlap metric. No-op without a tracker.
+    pub(crate) fn wire_add(&self, node: NodeId, now: SimTime, delta: i32) {
+        if let Some(t) = self.overlap.borrow().as_ref() {
+            t.borrow_mut().wire_add(node, now, delta);
+        }
+    }
+
+    /// Record a lifecycle-stage duration (no-op when metrics are disabled).
+    pub(crate) fn record_stage(&self, name: &str, dt: SimTime) {
+        if self.cfg.metrics {
+            self.metrics.borrow_mut().record_time(name, dt);
+        }
+    }
+
+    /// Mark a rare condition (retry, deferral) on the communication track.
+    pub(crate) fn trace_instant(&self, name: &'static str, now: SimTime) {
+        if self.cfg.trace {
+            self.trace.borrow_mut().instant(&self.comm_track, name, now);
+        }
+    }
+
+    /// Sample the submitted-command queue depth onto its counter track.
+    fn sample_cmdq(&self, now: SimTime, depth: usize) {
+        if self.cfg.trace {
+            self.trace
+                .borrow_mut()
+                .counter(&self.cmdq_name, now, depth as f64);
+        }
+    }
+
+    /// Sample origin-side in-flight puts (started, not yet locally done).
+    pub(crate) fn sample_inflight_puts(&self, now: SimTime) {
+        if self.cfg.trace {
+            let v = {
+                let s = &self.inner.borrow().stats;
+                s.puts_started.get().saturating_sub(s.puts_local_done.get())
+            };
+            self.trace
+                .borrow_mut()
+                .counter(&self.puts_name, now, v as f64);
+        }
+    }
+
     /// Register an active-message callback under `tag` (Listing 1
     /// `tag_reg`). Backends may post receives for the tag, hence `sim`.
     pub fn register_am(self: &Rc<Self>, sim: &mut Sim, tag: u64, cb: AmCallback) {
@@ -246,11 +340,15 @@ impl CommEngine {
         aggregate: bool,
     ) {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        let depth;
         {
             let mut inner = self.inner.borrow_mut();
-            inner.stats.am_submitted += 1;
+            inner.stats.am_submitted.inc();
             if inner.in_ctx {
                 drop(inner);
+                // Issued immediately from communication-thread context: the
+                // queue-wait stage of the lifecycle is zero.
+                self.record_stage("am.queue_ns", SimTime::ZERO);
                 let c = self.issue_am(sim, dst, tag, size, data.into_iter().collect(), 1);
                 self.inner.borrow_mut().ctx_cost += c;
                 return;
@@ -265,6 +363,7 @@ impl CommEngine {
                         frames,
                         aggregate: true,
                         submissions,
+                        ..
                     } = cmd
                     {
                         if *d == dst && *t == tag && *s + size <= self.cfg.agg_max_bytes {
@@ -285,8 +384,11 @@ impl CommEngine {
                 frames: data.into_iter().collect(),
                 aggregate,
                 submissions: 1,
+                submitted_at: sim.now(),
             });
+            depth = inner.pending.len();
         }
+        self.sample_cmdq(sim.now(), depth);
         CommEngine::wake_comm(self, sim);
     }
 
@@ -311,16 +413,23 @@ impl CommEngine {
     /// communication thread unless called from a communication-thread
     /// callback (the GET DATA pattern), in which case it issues immediately.
     pub fn put(self: &Rc<Self>, sim: &mut Sim, req: PutRequest) {
+        let depth;
         {
             let mut inner = self.inner.borrow_mut();
             if inner.in_ctx {
                 drop(inner);
+                self.record_stage("put.queue_ns", SimTime::ZERO);
                 let c = self.issue_put(sim, req);
                 self.inner.borrow_mut().ctx_cost += c;
                 return;
             }
-            inner.pending.push_back(Command::Put(req));
+            inner.pending.push_back(Command::Put {
+                req,
+                submitted_at: Some(sim.now()),
+            });
+            depth = inner.pending.len();
         }
+        self.sample_cmdq(sim.now(), depth);
         CommEngine::wake_comm(self, sim);
     }
 
@@ -375,8 +484,13 @@ impl CommEngine {
             let mut inner = eng.inner.borrow_mut();
             inner.busy = true;
             inner.idle = false;
-            inner.stats.comm_rounds += 1;
+            inner.stats.comm_rounds.inc();
         }
+        let label = match &task {
+            Micro::Commands => "commands",
+            Micro::Backend(t) => eng.backend.micro_label(t),
+        };
+        let round_start = sim.now();
         let mut cost = eng.execute_micro(sim, task);
         if cost.is_zero() {
             cost = SimTime::from_ns(1);
@@ -393,6 +507,11 @@ impl CommEngine {
             None => cost,
         };
         eng.inner.borrow_mut().stats.comm_busy += total;
+        if eng.cfg.trace {
+            eng.trace
+                .borrow_mut()
+                .record(&eng.comm_track, label, round_start, round_start + total);
+        }
         let eng2 = eng.clone();
         eng.comm_core.borrow_mut().charge(sim, total, move |sim| {
             eng2.inner.borrow_mut().busy = false;
@@ -428,11 +547,16 @@ impl CommEngine {
                     size,
                     frames,
                     submissions,
+                    submitted_at,
                     ..
                 } => {
+                    self.record_stage("am.queue_ns", sim.now().saturating_sub(submitted_at));
                     cost += self.issue_am(sim, dst, tag, size, frames, submissions);
                 }
-                Command::Put(req) => {
+                Command::Put { req, submitted_at } => {
+                    if let Some(t0) = submitted_at {
+                        self.record_stage("put.queue_ns", sim.now().saturating_sub(t0));
+                    }
                     cost += self.issue_put(sim, req);
                 }
                 Command::Backend(task) => {
@@ -446,6 +570,8 @@ impl CommEngine {
                 break;
             }
         }
+        let depth = self.inner.borrow().pending.len();
+        self.sample_cmdq(sim.now(), depth);
         cost
     }
 
@@ -464,14 +590,19 @@ impl CommEngine {
         let data = concat_frames(frames);
         {
             let mut inner = self.inner.borrow_mut();
-            inner.stats.am_sent += 1;
+            inner.stats.am_sent.inc();
             let _ = submissions;
         }
-        self.backend.issue_am(self, sim, dst, tag, size, data)
+        let c = self.backend.issue_am(self, sim, dst, tag, size, data);
+        self.record_stage("am.inject_ns", c);
+        c
     }
 
     pub(crate) fn issue_put(self: &Rc<Self>, sim: &mut Sim, req: PutRequest) -> SimTime {
-        self.backend.issue_put(self, sim, req)
+        let c = self.backend.issue_put(self, sim, req);
+        self.record_stage("put.inject_ns", c);
+        self.sample_inflight_puts(sim.now());
+        c
     }
 
     /// Run a user callback in communication-thread context: nested engine
@@ -518,8 +649,10 @@ pub(crate) fn dispatch_am(eng: &Rc<CommEngine>, sim: &mut Sim, ev: AmEvent) -> S
         .get(&ev.tag)
         .unwrap_or_else(|| panic!("no AM callback registered for tag {}", ev.tag))
         .clone();
-    eng.inner.borrow_mut().stats.am_received += 1;
-    eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng, ev))
+    eng.inner.borrow_mut().stats.am_received.inc();
+    let c = eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng, ev));
+    eng.record_stage("am.callback_ns", c);
+    c
 }
 
 pub(crate) fn dispatch_onesided(
@@ -537,13 +670,17 @@ pub(crate) fn dispatch_onesided(
         .clone();
     {
         let mut inner = eng.inner.borrow_mut();
-        inner.stats.puts_remote_done += 1;
-        inner.stats.put_bytes_in += ev.size as u64;
+        inner.stats.puts_remote_done.inc();
+        inner.stats.put_bytes_in.add(ev.size as u64);
     }
-    eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng, ev))
+    let c = eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng, ev));
+    eng.record_stage("put.callback_ns", c);
+    c
 }
 
 pub(crate) fn dispatch_put_local(eng: &Rc<CommEngine>, sim: &mut Sim, cb: PutLocalCb) -> SimTime {
-    eng.inner.borrow_mut().stats.puts_local_done += 1;
-    eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng))
+    eng.inner.borrow_mut().stats.puts_local_done.inc();
+    let c = eng.run_in_ctx(sim, move |sim, eng| cb(sim, eng));
+    eng.sample_inflight_puts(sim.now());
+    c
 }

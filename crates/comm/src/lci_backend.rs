@@ -8,7 +8,7 @@ use std::rc::{Rc, Weak};
 
 use amt_lci::{AmMsg, Lci, LciError, OnComplete, PutMsg};
 use amt_netmodel::NodeId;
-use amt_simnet::{Sim, SimTime};
+use amt_simnet::{Counter, Sim, SimTime};
 use bytes::Bytes;
 
 use crate::backend::{BackendTask, CommBackend};
@@ -36,6 +36,8 @@ const COMP_HANDLER_COST: SimTime = SimTime(40);
 struct QueuedAm {
     ev: AmEvent,
     owns_packet: bool,
+    /// When the progress thread queued it (`wire → deliver` boundary).
+    arrived: SimTime,
 }
 
 /// A bulk-data completion queued for the communication thread.
@@ -51,6 +53,8 @@ enum DataDone {
         data: Option<Bytes>,
         r_tag: u64,
         cb_data: Bytes,
+        /// When the progress thread queued it (`wire → deliver` boundary).
+        arrived: SimTime,
     },
 }
 
@@ -100,9 +104,9 @@ struct LciState {
     progress_busy: bool,
     /// Times the progress thread delegated a receive to the communication
     /// thread after `Retry` (§5.3.3).
-    stat_delegated: u64,
+    stat_delegated: Counter,
     /// `Retry` results absorbed by the engine.
-    stat_retries: u64,
+    stat_retries: Counter,
     /// Total CPU time charged to the progress thread(s).
     stat_progress_busy: SimTime,
 }
@@ -125,7 +129,9 @@ fn on_am(
     sim: &mut Sim,
     msg: AmMsg,
 ) -> SimTime {
+    let now = sim.now();
     if msg.tag & HS_FLAG == 0 {
+        eng.record_stage("am.wire_ns", now.saturating_sub(msg.sent_at));
         st.borrow_mut().am_fifo.push_back(QueuedAm {
             ev: AmEvent {
                 src: msg.src,
@@ -134,6 +140,7 @@ fn on_am(
                 data: msg.data,
             },
             owns_packet: msg.owns_packet,
+            arrived: now,
         });
         CommEngine::wake_comm(eng, sim);
         return AM_HANDLER_COST;
@@ -147,6 +154,10 @@ fn on_am(
     }
     let src = msg.src;
     if hs.is_eager() {
+        // The eager payload rode inside this handshake: its wire stage ends
+        // here, at the target's progress thread.
+        eng.record_stage("put.wire_ns", now.saturating_sub(msg.sent_at));
+        eng.wire_add(eng.node, now, -1);
         let data = match hs.eager {
             EagerMode::EagerBytes(b) => Some(b),
             _ => None,
@@ -157,6 +168,7 @@ fn on_am(
             data,
             r_tag: hs.r_tag,
             cb_data: hs.cb_data,
+            arrived: now,
         });
         CommEngine::wake_comm(eng, sim);
         return cost;
@@ -170,10 +182,15 @@ fn on_am(
             // §5.3.3: we cannot spin or recurse into progress here —
             // delegate to the communication thread.
             let mut s = st.borrow_mut();
-            s.stat_delegated += 1;
+            s.stat_delegated.inc();
             s.delegated.push_back(d);
             s.retry_wanted = true;
             drop(s);
+            if eng.cfg.trace {
+                eng.trace
+                    .borrow_mut()
+                    .instant(&eng.prog_track, "delegated", now);
+            }
             CommEngine::wake_comm(eng, sim);
         }
     }
@@ -202,12 +219,16 @@ fn try_post_recvd(
         r_tag,
         OnComplete::Handler(Box::new(move |sim, e| {
             if let (Some(eng), Some(st)) = (weak_eng.upgrade(), weak_st.upgrade()) {
+                let now = sim.now();
+                eng.record_stage("put.wire_ns", now.saturating_sub(e.sent_at));
+                eng.wire_add(eng.node, now, -1);
                 st.borrow_mut().data_fifo.push_back(DataDone::Remote {
                     src: e.peer,
                     size: e.size,
                     data: e.data,
                     r_tag,
                     cb_data: cb_data2,
+                    arrived: now,
                 });
                 CommEngine::wake_comm(&eng, sim);
             }
@@ -229,6 +250,9 @@ fn try_post_recvd(
 /// progress thread: queue the remote completion for the communication
 /// thread. No matching, no rendezvous, no hash lookup.
 fn on_put(eng: &Rc<CommEngine>, st: &Rc<RefCell<LciState>>, sim: &mut Sim, msg: PutMsg) -> SimTime {
+    let now = sim.now();
+    eng.record_stage("put.wire_ns", now.saturating_sub(msg.sent_at));
+    eng.wire_add(eng.node, now, -1);
     let hs = PutHandshake::decode(msg.cb_data);
     st.borrow_mut().data_fifo.push_back(DataDone::Remote {
         src: msg.src,
@@ -236,6 +260,7 @@ fn on_put(eng: &Rc<CommEngine>, st: &Rc<RefCell<LciState>>, sim: &mut Sim, msg: 
         data: msg.data,
         r_tag: hs.r_tag,
         cb_data: hs.cb_data,
+        arrived: now,
     });
     CommEngine::wake_comm(eng, sim);
     HS_HANDLER_COST
@@ -259,7 +284,7 @@ impl LciBackend {
         sim: &mut Sim,
         req: PutRequest,
     ) -> SimTime {
-        eng.inner.borrow_mut().stats.puts_started += 1;
+        eng.inner.borrow_mut().stats.puts_started.inc();
         let rtag = {
             let mut st = self.st.borrow_mut();
             let t = st.put_seq;
@@ -304,6 +329,7 @@ impl LciBackend {
         );
         match res {
             Ok(c) => {
+                eng.wire_add(dst, sim.now(), 1);
                 self.st
                     .borrow_mut()
                     .origin_puts
@@ -313,19 +339,23 @@ impl LciBackend {
             Err(LciError::Retry) => {
                 {
                     let mut st = self.st.borrow_mut();
-                    st.stat_retries += 1;
+                    st.stat_retries.inc();
                     st.put_seq -= 1;
                 }
+                eng.trace_instant("retry", sim.now());
                 let mut inner = eng.inner.borrow_mut();
-                inner.stats.puts_started -= 1;
-                inner.pending.push_front(Command::Put(PutRequest {
-                    dst,
-                    size,
-                    data,
-                    r_tag: imm.r_tag,
-                    cb_data: imm.cb_data,
-                    on_local,
-                }));
+                inner.stats.puts_started.dec();
+                inner.pending.push_front(Command::Put {
+                    req: PutRequest {
+                        dst,
+                        size,
+                        data,
+                        r_tag: imm.r_tag,
+                        cb_data: imm.cb_data,
+                        on_local,
+                    },
+                    submitted_at: None,
+                });
                 eng.cfg.cmd_overhead
             }
         }
@@ -372,6 +402,7 @@ impl LciBackend {
 
     /// Run one queued AM callback and release its receive packet.
     fn exec_am(&self, eng: &Rc<CommEngine>, sim: &mut Sim, q: QueuedAm) -> SimTime {
+        eng.record_stage("am.deliver_ns", sim.now().saturating_sub(q.arrived));
         let cost = dispatch_am(eng, sim, q.ev);
         if q.owns_packet {
             self.ep.buffer_free(sim);
@@ -402,17 +433,21 @@ impl LciBackend {
                 data,
                 r_tag,
                 cb_data,
-            } => dispatch_onesided(
-                eng,
-                sim,
-                r_tag,
-                PutEvent {
-                    src,
-                    size,
-                    data,
-                    cb_data,
-                },
-            ),
+                arrived,
+            } => {
+                eng.record_stage("put.deliver_ns", sim.now().saturating_sub(arrived));
+                dispatch_onesided(
+                    eng,
+                    sim,
+                    r_tag,
+                    PutEvent {
+                        src,
+                        size,
+                        data,
+                        cb_data,
+                    },
+                )
+            }
         }
     }
 
@@ -500,9 +535,10 @@ impl CommBackend for LciBackend {
         match res {
             Ok(c) => c,
             Err(_) => {
-                self.st.borrow_mut().stat_retries += 1;
+                self.st.borrow_mut().stat_retries.inc();
+                eng.trace_instant("retry", sim.now());
                 let mut inner = eng.inner.borrow_mut();
-                inner.stats.am_sent -= 1;
+                inner.stats.am_sent.dec();
                 inner
                     .pending
                     .push_front(Command::Backend(Box::new(LciCmd::RawSendb {
@@ -527,8 +563,8 @@ impl CommBackend for LciBackend {
     ) -> SimTime {
         {
             let mut inner = eng.inner.borrow_mut();
-            inner.stats.am_submitted += 1;
-            inner.stats.am_sent += 1;
+            inner.stats.am_submitted.inc();
+            inner.stats.am_sent.inc();
         }
         let costs = self.ep.costs();
         let res = if size <= costs.imm_max {
@@ -539,9 +575,15 @@ impl CommBackend for LciBackend {
         match res {
             Ok(c) => c,
             Err(_) => {
-                // Back-pressure: fall back to funneling.
-                self.st.borrow_mut().stat_retries += 1;
-                eng.inner.borrow_mut().stats.am_sent -= 1;
+                // Back-pressure: fall back to funneling. The funneled path
+                // re-counts the submission, so undo this one.
+                self.st.borrow_mut().stat_retries.inc();
+                eng.trace_instant("retry", sim.now());
+                {
+                    let mut inner = eng.inner.borrow_mut();
+                    inner.stats.am_sent.dec();
+                    inner.stats.am_submitted.dec();
+                }
                 eng.send_am_opts(sim, dst, tag, size, data, false);
                 costs.call_base
             }
@@ -551,7 +593,7 @@ impl CommBackend for LciBackend {
     /// Issue a put from the communication thread (§5.3.3): small payloads
     /// ride eagerly in the handshake; larger ones go `sendd` + handshake.
     fn issue_put(&self, eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
-        eng.inner.borrow_mut().stats.puts_started += 1;
+        eng.inner.borrow_mut().stats.puts_started.inc();
         let rtag = {
             let mut st = self.st.borrow_mut();
             let t = st.put_seq;
@@ -585,6 +627,7 @@ impl CommBackend for LciBackend {
                 .sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(hs.encode()))
             {
                 Ok(c) => {
+                    eng.wire_add(dst, sim.now(), 1);
                     // Data copied into the packet: local completion
                     // immediate.
                     eng.inner
@@ -599,23 +642,27 @@ impl CommBackend for LciBackend {
                     // Requeue the whole put; retried on the next wake.
                     {
                         let mut st = self.st.borrow_mut();
-                        st.stat_retries += 1;
+                        st.stat_retries.inc();
                         st.put_seq -= 1;
                     }
+                    eng.trace_instant("retry", sim.now());
                     let mut inner = eng.inner.borrow_mut();
-                    inner.stats.puts_started -= 1;
+                    inner.stats.puts_started.dec();
                     let data = match hs.eager {
                         EagerMode::EagerBytes(b) => Some(b),
                         _ => None,
                     };
-                    inner.pending.push_front(Command::Put(PutRequest {
-                        dst,
-                        size,
-                        data,
-                        r_tag: hs.r_tag,
-                        cb_data: hs.cb_data,
-                        on_local,
-                    }));
+                    inner.pending.push_front(Command::Put {
+                        req: PutRequest {
+                            dst,
+                            size,
+                            data,
+                            r_tag: hs.r_tag,
+                            cb_data: hs.cb_data,
+                            on_local,
+                        },
+                        submitted_at: None,
+                    });
                     eng.cfg.cmd_overhead
                 }
             }
@@ -642,23 +689,30 @@ impl CommBackend for LciBackend {
                 })),
             );
             let mut cost = match send_res {
-                Ok(c) => c,
+                Ok(c) => {
+                    eng.wire_add(dst, sim.now(), 1);
+                    c
+                }
                 Err(LciError::Retry) => {
                     {
                         let mut st = self.st.borrow_mut();
-                        st.stat_retries += 1;
+                        st.stat_retries.inc();
                         st.put_seq -= 1;
                     }
+                    eng.trace_instant("retry", sim.now());
                     let mut inner = eng.inner.borrow_mut();
-                    inner.stats.puts_started -= 1;
-                    inner.pending.push_front(Command::Put(PutRequest {
-                        dst,
-                        size,
-                        data,
-                        r_tag,
-                        cb_data,
-                        on_local,
-                    }));
+                    inner.stats.puts_started.dec();
+                    inner.pending.push_front(Command::Put {
+                        req: PutRequest {
+                            dst,
+                            size,
+                            data,
+                            r_tag,
+                            cb_data,
+                            on_local,
+                        },
+                        submitted_at: None,
+                    });
                     return eng.cfg.cmd_overhead;
                 }
             };
@@ -683,7 +737,8 @@ impl CommBackend for LciBackend {
                 Err(LciError::Retry) => {
                     // The data send is in flight; only the handshake needs
                     // retrying.
-                    self.st.borrow_mut().stat_retries += 1;
+                    self.st.borrow_mut().stat_retries.inc();
+                    eng.trace_instant("retry", sim.now());
                     eng.inner
                         .borrow_mut()
                         .pending
@@ -720,6 +775,16 @@ impl CommBackend for LciBackend {
         }
     }
 
+    fn micro_label(&self, task: &BackendTask) -> &'static str {
+        match task.downcast_ref::<LciMicro>() {
+            Some(LciMicro::FifoRound) => "fifo_round",
+            Some(LciMicro::Am(_)) => "am",
+            Some(LciMicro::Data(_)) => "data",
+            Some(LciMicro::Delegated) => "delegated",
+            None => "backend",
+        }
+    }
+
     fn exec_command(&self, eng: &Rc<CommEngine>, sim: &mut Sim, cmd: BackendTask) -> SimTime {
         match *cmd.downcast::<LciCmd>().expect("foreign command") {
             LciCmd::RawSendb {
@@ -730,7 +795,8 @@ impl CommBackend for LciBackend {
             } => match self.ep.sendb(sim, dst, tag, size, data.clone()) {
                 Ok(c) => c,
                 Err(_) => {
-                    self.st.borrow_mut().stat_retries += 1;
+                    self.st.borrow_mut().stat_retries.inc();
+                    eng.trace_instant("retry", sim.now());
                     eng.inner
                         .borrow_mut()
                         .pending
@@ -762,6 +828,12 @@ impl CommBackend for LciBackend {
         }
         let cost = self.ep.progress(sim) + eng.cfg.wake_latency;
         self.st.borrow_mut().stat_progress_busy += cost;
+        if eng.cfg.trace {
+            let now = sim.now();
+            eng.trace
+                .borrow_mut()
+                .record(&eng.prog_track, "progress", now, now + cost);
+        }
         // Ablation: share the communication thread's core instead of using
         // the dedicated progress core(s). With several progress threads
         // (§7), the sweep lands on the earliest-available core — an
@@ -787,8 +859,8 @@ impl CommBackend for LciBackend {
 
     fn stats(&self, mut base: EngineStats) -> EngineStats {
         let st = self.st.borrow();
-        base.delegated_recvs = st.stat_delegated;
-        base.backend_retries = st.stat_retries;
+        base.delegated_recvs.add(st.stat_delegated.get());
+        base.backend_retries.add(st.stat_retries.get());
         base.progress_busy = st.stat_progress_busy;
         base
     }

@@ -104,6 +104,10 @@ impl CommBackend for LciDirect {
         self.base.exec_micro(eng, sim, task)
     }
 
+    fn micro_label(&self, task: &BackendTask) -> &'static str {
+        self.base.micro_label(task)
+    }
+
     fn exec_command(&self, eng: &Rc<CommEngine>, sim: &mut Sim, cmd: BackendTask) -> SimTime {
         self.base.exec_command(eng, sim, cmd)
     }

@@ -8,7 +8,7 @@ use std::rc::{Rc, Weak};
 
 use amt_minimpi::{Completion, Mpi, ReqId, SrcSel};
 use amt_netmodel::NodeId;
-use amt_simnet::{CoreHandle, CoreResource, Sim, SimTime};
+use amt_simnet::{CoreHandle, CoreResource, Counter, Sim, SimTime};
 use bytes::Bytes;
 
 use crate::backend::{BackendTask, CommBackend};
@@ -77,9 +77,9 @@ struct MpiState {
     /// A `Testsome` sweep is wanted (set by the backend waker).
     progress_queued: bool,
     /// Times a put had to be deferred for lack of transfer slots.
-    stat_deferred: u64,
+    stat_deferred: Counter,
     /// Times a receive was posted as "dynamic" outside the polled array.
-    stat_dynamic: u64,
+    stat_dynamic: Counter,
 }
 
 impl MpiState {
@@ -174,6 +174,11 @@ impl MpiBackend {
                         c.status.data.expect("handshake payload"),
                     );
                 } else {
+                    // Wire stage ends when `Testsome` discovers the receive;
+                    // the callback then runs inline (§4.2.3), so the deliver
+                    // stage is structurally zero on this backend.
+                    eng.record_stage("am.wire_ns", sim.now().saturating_sub(c.status.sent_at));
+                    eng.record_stage("am.deliver_ns", SimTime::ZERO);
                     cost += dispatch_am(
                         eng,
                         sim,
@@ -203,6 +208,10 @@ impl MpiBackend {
             TrackKind::DataRecv { src, data_tag } => {
                 self.st.borrow_mut().tracked.remove(pos);
                 self.release_slot();
+                let now = sim.now();
+                eng.record_stage("put.wire_ns", now.saturating_sub(c.status.sent_at));
+                eng.record_stage("put.deliver_ns", SimTime::ZERO);
+                eng.wire_add(eng.node, now, -1);
                 let meta = self
                     .st
                     .borrow_mut()
@@ -251,6 +260,7 @@ impl MpiBackend {
         let mut cost = self.mpi.send(sim, req.dst, HS_TAG, enc.len(), Some(enc));
         let (sreq, c2) = self.mpi.isend(sim, req.dst, data_tag, req.size, req.data);
         cost += c2;
+        eng.wire_add(req.dst, sim.now(), 1);
         let mut st = self.st.borrow_mut();
         let seq = st.bump_seq();
         st.tracked.push(TrackedReq {
@@ -260,7 +270,6 @@ impl MpiBackend {
         });
         st.origin_puts.insert(put_id, Some(req.on_local));
         st.progress_queued = true;
-        let _ = eng;
         cost
     }
 
@@ -302,8 +311,9 @@ impl MpiBackend {
             st.tracked.push(tracked);
             st.progress_queued = true;
         } else {
-            st.stat_dynamic += 1;
+            st.stat_dynamic.inc();
             st.dynamic.push_back(tracked);
+            eng.trace_instant("dynamic_recv", sim.now());
         }
         cost += eng.cfg.cmd_overhead;
         cost
@@ -411,8 +421,8 @@ impl CommBackend for MpiBackend {
     ) -> SimTime {
         {
             let mut inner = eng.inner.borrow_mut();
-            inner.stats.am_submitted += 1;
-            inner.stats.am_sent += 1;
+            inner.stats.am_submitted.inc();
+            inner.stats.am_sent.inc();
         }
         let costs = self.mpi.costs();
         let op_cost = costs.call_base + costs.send_eager_base + costs.copy_cost(size);
@@ -429,13 +439,14 @@ impl CommBackend for MpiBackend {
     /// Start a put: handshake AM + data `isend` when a transfer slot is
     /// free, deferred otherwise (§4.2.2).
     fn issue_put(&self, eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
-        eng.inner.borrow_mut().stats.puts_started += 1;
+        eng.inner.borrow_mut().stats.puts_started.inc();
         {
             let mut st = self.st.borrow_mut();
             if st.slots_in_use >= eng.cfg.max_concurrent_transfers {
-                st.stat_deferred += 1;
+                st.stat_deferred.inc();
                 let seq = st.bump_seq();
                 st.deferred_puts.push_back((seq, req));
+                eng.trace_instant("deferred_put", sim.now());
                 return eng.cfg.cmd_overhead;
             }
             st.slots_in_use += 1;
@@ -460,14 +471,22 @@ impl CommBackend for MpiBackend {
         }
     }
 
+    fn micro_label(&self, task: &BackendTask) -> &'static str {
+        match task.downcast_ref::<MpiMicro>() {
+            Some(MpiMicro::Progress) => "testsome",
+            Some(MpiMicro::Completion(_)) => "completion",
+            None => "backend",
+        }
+    }
+
     fn serializing_lock(&self) -> Option<CoreHandle> {
         Some(self.lock.clone())
     }
 
     fn stats(&self, mut base: EngineStats) -> EngineStats {
         let st = self.st.borrow();
-        base.deferred_puts = st.stat_deferred;
-        base.dynamic_recvs = st.stat_dynamic;
+        base.deferred_puts.add(st.stat_deferred.get());
+        base.dynamic_recvs.add(st.stat_dynamic.get());
         base
     }
 }

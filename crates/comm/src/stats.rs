@@ -1,37 +1,76 @@
 //! Engine statistics, used by benches and diagnostics.
 
-use amt_simnet::SimTime;
+use amt_simnet::{Counter, SimTime};
 
-/// Per-engine counters. All monotonically increasing.
+/// Per-engine counters. All monotonically increasing (retry paths may roll
+/// back a speculative increment with [`Counter::dec`]).
 #[derive(Debug, Default, Clone)]
 pub struct EngineStats {
     /// AMs sent (wire messages, after aggregation).
-    pub am_sent: u64,
+    pub am_sent: Counter,
     /// AM payloads submitted (before aggregation).
-    pub am_submitted: u64,
+    pub am_submitted: Counter,
     /// AMs received and dispatched to callbacks.
-    pub am_received: u64,
+    pub am_received: Counter,
     /// Puts started at this origin.
-    pub puts_started: u64,
+    pub puts_started: Counter,
     /// Puts completed locally at this origin.
-    pub puts_local_done: u64,
+    pub puts_local_done: Counter,
     /// Put payload bytes received at this target.
-    pub put_bytes_in: u64,
+    pub put_bytes_in: Counter,
     /// Puts completed remotely at this target.
-    pub puts_remote_done: u64,
+    pub puts_remote_done: Counter,
     /// Times a put had to be deferred for lack of transfer slots (MPI).
-    pub deferred_puts: u64,
+    pub deferred_puts: Counter,
     /// Times a receive was posted as "dynamic" outside the polled array (MPI).
-    pub dynamic_recvs: u64,
+    pub dynamic_recvs: Counter,
     /// Times the LCI progress thread delegated a receive to the
     /// communication thread after `Retry` (§5.3.3).
-    pub delegated_recvs: u64,
+    pub delegated_recvs: Counter,
     /// Backend `Retry` results absorbed by the engine (LCI).
-    pub backend_retries: u64,
+    pub backend_retries: Counter,
     /// Communication-thread rounds executed.
-    pub comm_rounds: u64,
+    pub comm_rounds: Counter,
     /// Total CPU time charged to the communication thread.
     pub comm_busy: SimTime,
     /// Total CPU time charged to the progress thread (LCI).
     pub progress_busy: SimTime,
+}
+
+impl EngineStats {
+    /// The named monotone counters, in a stable order (for reports).
+    pub fn named_counters(&self) -> [(&'static str, u64); 12] {
+        [
+            ("am_sent", self.am_sent.get()),
+            ("am_submitted", self.am_submitted.get()),
+            ("am_received", self.am_received.get()),
+            ("puts_started", self.puts_started.get()),
+            ("puts_local_done", self.puts_local_done.get()),
+            ("put_bytes_in", self.put_bytes_in.get()),
+            ("puts_remote_done", self.puts_remote_done.get()),
+            ("deferred_puts", self.deferred_puts.get()),
+            ("dynamic_recvs", self.dynamic_recvs.get()),
+            ("delegated_recvs", self.delegated_recvs.get()),
+            ("backend_retries", self.backend_retries.get()),
+            ("comm_rounds", self.comm_rounds.get()),
+        ]
+    }
+
+    /// Fold another engine's counters into this one (cross-node merge).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.am_sent.add(other.am_sent.get());
+        self.am_submitted.add(other.am_submitted.get());
+        self.am_received.add(other.am_received.get());
+        self.puts_started.add(other.puts_started.get());
+        self.puts_local_done.add(other.puts_local_done.get());
+        self.put_bytes_in.add(other.put_bytes_in.get());
+        self.puts_remote_done.add(other.puts_remote_done.get());
+        self.deferred_puts.add(other.deferred_puts.get());
+        self.dynamic_recvs.add(other.dynamic_recvs.get());
+        self.delegated_recvs.add(other.delegated_recvs.get());
+        self.backend_retries.add(other.backend_retries.get());
+        self.comm_rounds.add(other.comm_rounds.get());
+        self.comm_busy += other.comm_busy;
+        self.progress_busy += other.progress_busy;
+    }
 }

@@ -46,8 +46,8 @@ fn am_roundtrip_all_backends() {
         assert_eq!(log.len(), 1, "{backend}: AM not delivered");
         assert_eq!(log[0].0, 0);
         assert_eq!(log[0].3.as_ref(), Some(&payload));
-        assert_eq!(engines[0].stats().am_sent, 1);
-        assert_eq!(engines[1].stats().am_received, 1);
+        assert_eq!(engines[0].stats().am_sent.get(), 1);
+        assert_eq!(engines[1].stats().am_received.get(), 1);
         assert_eq!(engines[0].backend(), backend);
     }
 }
@@ -121,8 +121,8 @@ fn put_roundtrip_all_backends() {
         assert_eq!(*sz, size, "{backend}");
         assert_eq!(d.as_deref(), Some(&data[..]), "{backend}");
         assert_eq!(&cb[..], b"meta", "{backend}");
-        assert_eq!(engines[0].stats().puts_local_done, 1);
-        assert_eq!(engines[1].stats().puts_remote_done, 1);
+        assert_eq!(engines[0].stats().puts_local_done.get(), 1);
+        assert_eq!(engines[1].stats().puts_remote_done.get(), 1);
     }
 }
 
@@ -157,7 +157,7 @@ fn small_put_rides_eagerly_on_lci_backends() {
         let (sz, d) = r.as_ref().expect("remote completion");
         assert_eq!(*sz, data.len(), "{backend}");
         assert_eq!(d.as_deref(), Some(&data[..]), "{backend}");
-        assert_eq!(engines[1].stats().delegated_recvs, 0, "{backend}");
+        assert_eq!(engines[1].stats().delegated_recvs.get(), 0, "{backend}");
     }
 }
 
@@ -183,11 +183,11 @@ fn activates_aggregate_per_destination() {
         }
         sim.run();
         let stats = engines[0].stats();
-        assert_eq!(stats.am_submitted, 4, "{backend}");
+        assert_eq!(stats.am_submitted.get(), 4, "{backend}");
         assert!(
-            stats.am_sent < 4,
+            stats.am_sent.get() < 4,
             "{backend}: no aggregation happened ({} wire msgs)",
-            stats.am_sent
+            stats.am_sent.get()
         );
         // All payload bytes arrive, concatenated.
         let total: usize = got.borrow().iter().map(|(s, _)| *s).sum();
@@ -232,7 +232,11 @@ fn saturating_puts_all_complete_on_every_backend() {
             n,
             "{backend}: all puts must complete despite back-pressure"
         );
-        assert_eq!(engines[0].stats().puts_local_done, n as u64, "{backend}");
+        assert_eq!(
+            engines[0].stats().puts_local_done.get(),
+            n as u64,
+            "{backend}"
+        );
     }
 }
 
@@ -267,9 +271,9 @@ fn mpi_puts_defer_beyond_transfer_cap() {
     assert_eq!(*done.borrow(), 10, "all puts must eventually complete");
     let stats = engines[0].stats();
     assert!(
-        stats.deferred_puts > 0,
+        stats.deferred_puts.get() > 0,
         "cap of 4 with 10 puts must defer some (deferred={})",
-        stats.deferred_puts
+        stats.deferred_puts.get()
     );
 }
 
@@ -300,7 +304,7 @@ fn direct_put_eliminates_retry_delegation() {
             }
         }
         sim.run();
-        engines[1].stats().delegated_recvs
+        engines[1].stats().delegated_recvs.get()
     };
     let lci = saturate(EngineConfig::lci());
     let direct = saturate(EngineConfig::lci_direct());
@@ -459,7 +463,7 @@ fn direct_send_bypasses_comm_thread() {
         assert!(cost > SimTime::ZERO, "{backend}");
         sim.run();
         assert_eq!(*got.borrow(), 1, "{backend}");
-        assert_eq!(engines[0].stats().am_sent, 1, "{backend}");
+        assert_eq!(engines[0].stats().am_sent.get(), 1, "{backend}");
     }
 }
 
@@ -505,7 +509,7 @@ fn stats_track_comm_thread_occupancy() {
         "callback time accounted"
     );
     assert!(s.progress_busy > SimTime::ZERO, "progress thread worked");
-    assert!(s.comm_rounds > 0);
+    assert!(s.comm_rounds.get() > 0);
 }
 
 #[test]

@@ -6,11 +6,14 @@ use std::rc::Rc;
 
 use amt_comm::{CommEngine, CommWorld, EngineStats};
 use amt_netmodel::{Fabric, FabricHandle};
-use amt_simnet::{shared, CoreHandle, CoreResource, OnlineStats, Sim, SimTime};
+use amt_simnet::{
+    shared, CoreHandle, CoreResource, OnlineStats, OverlapTracker, Shared, Sim, SimTime, Trace,
+};
 use bytes::Bytes;
 
 use crate::config::ClusterConfig;
 use crate::graph::{TaskGraph, VersionId};
+use crate::metrics::{LatencySummary, MetricsReport};
 use crate::node::{NodeRt, RtHandle, AM_ACTIVATE, AM_GETDATA, RTAG_DATA};
 
 /// Outcome of one [`Cluster::execute`] run.
@@ -51,7 +54,7 @@ impl RunReport {
 
     /// Total put payload bytes received across the cluster.
     pub fn bytes_transferred(&self) -> u64 {
-        self.engine_stats.iter().map(|s| s.put_bytes_in).sum()
+        self.engine_stats.iter().map(|s| s.put_bytes_in.get()).sum()
     }
 }
 
@@ -65,6 +68,10 @@ pub struct Cluster {
     cfg: ClusterConfig,
     /// Active per-node runtimes (set during/after `execute`).
     rts: Rc<RefCell<Option<Vec<RtHandle>>>>,
+    /// Cluster-wide wire/compute concurrency integrator (Fig. 3).
+    overlap: Shared<OverlapTracker>,
+    /// NIC queue-depth counter samples from the fabric.
+    net_trace: Shared<Trace>,
 }
 
 impl Cluster {
@@ -74,10 +81,22 @@ impl Cluster {
         let mut engine_cfg = cfg.engine.clone();
         engine_cfg.backend = cfg.backend;
         engine_cfg.multithread_am = cfg.multithread_am;
+        engine_cfg.trace = cfg.trace;
+        engine_cfg.metrics = cfg.metrics;
 
         let mut sim = Sim::new();
         let fabric = Fabric::new(fabric_cfg);
+        let net_trace = shared(Trace::new(cfg.trace));
+        if cfg.trace {
+            fabric.borrow_mut().set_trace(net_trace.clone());
+        }
         let engines = CommWorld::create(&mut sim, &fabric, engine_cfg);
+        let overlap = shared(OverlapTracker::new(cfg.nodes));
+        if cfg.metrics {
+            for engine in &engines {
+                engine.set_overlap(overlap.clone());
+            }
+        }
         let workers: Vec<Vec<CoreHandle>> = (0..cfg.nodes)
             .map(|n| {
                 (0..cfg.workers_per_node)
@@ -123,6 +142,8 @@ impl Cluster {
             workers,
             cfg,
             rts,
+            overlap,
+            net_trace,
         }
     }
 
@@ -147,6 +168,7 @@ impl Cluster {
                     self.engines[n].clone(),
                     self.cfg.clone(),
                     self.workers[n].clone(),
+                    self.cfg.metrics.then(|| self.overlap.clone()),
                 ))
             })
             .collect();
@@ -217,20 +239,57 @@ impl Cluster {
         }
     }
 
-    /// Chrome-trace JSON of the last execution's task timeline (enable with
+    /// Chrome-trace JSON of the last execution (enable with
     /// [`crate::ClusterConfig::trace`]); load in chrome://tracing or
     /// Perfetto. `None` before the first execution.
+    ///
+    /// Tracks follow a uniform naming scheme — `n{ix}.w{j}` for worker
+    /// cores, `n{ix}.comm` / `n{ix}.prog` for the communication and
+    /// progress threads — and merge order is irrelevant: thread ids are
+    /// assigned in sorted track-name order at export time.
     pub fn trace_json(&self) -> Option<String> {
         let rts = self.rts.borrow();
         let rts = rts.as_ref()?;
-        let mut merged = amt_simnet::Trace::new(true);
+        let mut merged = Trace::new(true);
         for rt in rts {
-            let r = rt.borrow();
-            for s in r.trace.spans() {
-                merged.record(s.track.clone(), s.name.clone(), s.start, s.end);
-            }
+            merged.merge_from(&rt.borrow().trace);
         }
+        for engine in &self.engines {
+            merged.merge_from(&engine.trace_handle().borrow());
+        }
+        merged.merge_from(&self.net_trace.borrow());
         Some(merged.to_chrome_json())
+    }
+
+    /// Derived metrics of `report`'s execution (enable with
+    /// [`crate::ClusterConfig::metrics`]): merged message-lifecycle stage
+    /// histograms, engine counters, the Fig. 3 overlap fraction, and the
+    /// Fig. 6 activation-latency breakdown. Deterministic: identical runs
+    /// serialize to byte-identical JSON.
+    pub fn metrics_report(&self, report: &RunReport) -> MetricsReport {
+        let mut stages = amt_simnet::MetricsRegistry::new(true);
+        for engine in &self.engines {
+            stages.merge(&engine.metrics_handle().borrow());
+        }
+        let mut engine_totals = EngineStats::default();
+        for s in &report.engine_stats {
+            engine_totals.merge(s);
+        }
+        let now = self.sim.now();
+        let (wire, overlap) = self.overlap.borrow().totals(now);
+        MetricsReport {
+            backend: self.cfg.backend,
+            nodes: self.cfg.nodes,
+            makespan_ns: report.makespan.as_ns(),
+            stages,
+            engine: engine_totals.named_counters().to_vec(),
+            wire_ns: wire.as_ns(),
+            overlap_ns: overlap.as_ns(),
+            overlap_fraction: self.overlap.borrow().fraction(now),
+            activation_msg: LatencySummary::from_stats(&report.msg_latency_us),
+            activation_request: LatencySummary::from_stats(&report.request_latency_us),
+            activation_e2e: LatencySummary::from_stats(&report.e2e_latency_us),
+        }
     }
 
     /// Payload of `version` from whichever node holds it (after a Numeric

@@ -94,10 +94,15 @@ pub struct ClusterConfig {
     /// forward the announcement down their subtree. `None` = always direct
     /// fan-out from the producer.
     pub bcast_tree_min: Option<usize>,
-    /// Record a Chrome-trace timeline of task executions (see
-    /// [`crate::Cluster::trace_json`]). Adds memory proportional to task
-    /// count; off by default.
+    /// Record a Chrome-trace timeline of task executions, communication /
+    /// progress-thread activity, message flows, and queue-depth counters
+    /// (see [`crate::Cluster::trace_json`]). Adds memory proportional to
+    /// event count; off by default.
     pub trace: bool,
+    /// Record per-stage message-lifecycle histograms and the
+    /// computation/communication overlap integrator (see
+    /// [`crate::Cluster::metrics_report`]). Off by default.
+    pub metrics: bool,
     /// Execution mode.
     pub mode: ExecMode,
     /// Task cost model.
@@ -120,6 +125,7 @@ impl Default for ClusterConfig {
             get_window_min_flows: 4,
             bcast_tree_min: None,
             trace: false,
+            metrics: false,
             mode: ExecMode::Numeric,
             cost: CostModel::default(),
             fabric: FabricConfig::default(),

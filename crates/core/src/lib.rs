@@ -61,6 +61,7 @@ mod cluster;
 mod config;
 mod dist;
 mod graph;
+mod metrics;
 mod node;
 mod records;
 
@@ -68,6 +69,7 @@ pub use cluster::{Cluster, RunReport};
 pub use config::{ClusterConfig, CostModel, ExecMode};
 pub use dist::{Cyclic1d, DataDist, TileDist2d};
 pub use graph::{DataKey, GraphBuilder, Kernel, TaskDesc, TaskGraph, TaskId, VersionId};
+pub use metrics::{LatencySummary, MetricsReport};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,119 @@
+//! Derived run metrics: the paper's Fig. 3 computation/communication
+//! overlap fraction and the Fig. 6 activation-latency breakdown, plus the
+//! merged per-stage message-lifecycle histograms, serialized as one
+//! *stable* JSON report.
+//!
+//! Stability contract: the report is assembled from BTreeMap-ordered
+//! registries, fixed-order engine counters, and integer-nanosecond
+//! integrators, so two identical simulated runs (same graph, same seed,
+//! same backend) produce **byte-identical** JSON.
+
+use std::fmt::Write as _;
+
+use amt_comm::BackendKind;
+use amt_simnet::{json_escape, MetricsRegistry, OnlineStats};
+
+/// Summary of one latency distribution in the activation breakdown (µs).
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_us: f64,
+    pub min_us: f64,
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    pub(crate) fn from_stats(s: &OnlineStats) -> Self {
+        if s.count() == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: s.count(),
+            mean_us: s.mean(),
+            min_us: s.min(),
+            max_us: s.max(),
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            r#"{{"count":{},"mean_us":{:.3},"min_us":{:.3},"max_us":{:.3}}}"#,
+            self.count, self.mean_us, self.min_us, self.max_us
+        );
+    }
+}
+
+/// Cluster-wide derived metrics of one [`crate::Cluster::execute`] run
+/// (enable with [`crate::ClusterConfig::metrics`]).
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Backend that produced the run.
+    pub backend: BackendKind,
+    pub nodes: usize,
+    pub makespan_ns: u64,
+    /// Per-stage lifecycle histograms + engine-internal counters, merged
+    /// across all nodes.
+    pub stages: MetricsRegistry,
+    /// Engine counters merged across nodes, in a fixed order.
+    pub engine: Vec<(&'static str, u64)>,
+    /// Total time nodes spent receiving bulk data over the wire (ns).
+    pub wire_ns: u64,
+    /// Portion of `wire_ns` concurrent with local worker compute (ns).
+    pub overlap_ns: u64,
+    /// `overlap_ns / wire_ns` — the Fig. 3 overlap fraction. 0 when the
+    /// run moved no bulk data.
+    pub overlap_fraction: f64,
+    /// Individual ACTIVATE message latency (§6.4.3).
+    pub activation_msg: LatencySummary,
+    /// Control path: ACTIVATE send → GET DATA arrival at the owner.
+    pub activation_request: LatencySummary,
+    /// End to end: ACTIVATE send → data arrival (§6.4.2, Fig. 6).
+    pub activation_e2e: LatencySummary,
+}
+
+fn backend_name(kind: BackendKind) -> &'static str {
+    match kind {
+        BackendKind::Mpi => "mpi",
+        BackendKind::Lci => "lci",
+        BackendKind::LciDirect => "lci-direct",
+    }
+}
+
+impl MetricsReport {
+    /// Stable JSON serialization (byte-identical across identical runs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r#"{{"backend":"{}","nodes":{},"makespan_ns":{},"#,
+            json_escape(backend_name(self.backend)),
+            self.nodes,
+            self.makespan_ns
+        );
+        let _ = write!(
+            out,
+            r#""overlap":{{"wire_ns":{},"overlap_ns":{},"fraction":{:.6}}},"#,
+            self.wire_ns, self.overlap_ns, self.overlap_fraction
+        );
+        out.push_str(r#""activation_latency_us":{"msg":"#);
+        self.activation_msg.write_json(&mut out);
+        out.push_str(r#","request":"#);
+        self.activation_request.write_json(&mut out);
+        out.push_str(r#","e2e":"#);
+        self.activation_e2e.write_json(&mut out);
+        out.push_str(r#"},"engine":{"#);
+        let mut first = true;
+        for (name, v) in &self.engine {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, r#""{}":{}"#, json_escape(name), v);
+        }
+        out.push_str(r#"},"stages":"#);
+        self.stages.write_json(&mut out);
+        out.push('}');
+        out
+    }
+}

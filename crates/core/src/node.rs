@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use amt_comm::{AmEvent, CommEngine, PutEvent, PutRequest};
 use amt_netmodel::NodeId;
-use amt_simnet::{CoreHandle, OnlineStats, Shared, Sim, SimTime, Trace};
+use amt_simnet::{CoreHandle, OnlineStats, OverlapTracker, Shared, Sim, SimTime, Trace};
 use bytes::{Bytes, BytesMut};
 
 use crate::config::{ClusterConfig, ExecMode};
@@ -19,6 +19,17 @@ pub(crate) const AM_ACTIVATE: u64 = 1;
 pub(crate) const AM_GETDATA: u64 = 2;
 /// One-sided callback tag for data arrival.
 pub(crate) const RTAG_DATA: u64 = 1;
+
+/// Flow-arrow kind: ACTIVATE announcement (producer → consumer).
+const FLOW_ACTIVATE: u64 = 0;
+/// Flow-arrow kind: bulk data put (owner → consumer).
+const FLOW_DATA: u64 = 1;
+
+/// Deterministic Chrome-trace flow id, unique per (kind, version, src,
+/// dst) — 12 bits per node id, 38 for the version.
+fn flow_id(kind: u64, version: u64, src: NodeId, dst: NodeId) -> u64 {
+    (kind << 62) | (version << 24) | ((src as u64) << 12) | dst as u64
+}
 
 enum DataState {
     /// Payload available locally (bytes absent in CostOnly mode).
@@ -100,6 +111,8 @@ pub(crate) struct NodeRt {
     pub req_lat: OnlineStats,
     /// Optional execution timeline (Chrome-trace export).
     pub trace: Trace,
+    /// Cluster-wide compute/wire concurrency integrator (metrics mode).
+    overlap: Option<Shared<OverlapTracker>>,
 }
 
 pub(crate) type RtHandle = Shared<NodeRt>;
@@ -111,6 +124,7 @@ impl NodeRt {
         engine: Rc<CommEngine>,
         cfg: ClusterConfig,
         workers: Vec<CoreHandle>,
+        overlap: Option<Shared<OverlapTracker>>,
     ) -> NodeRt {
         let nworkers = workers.len();
         let trace = Trace::new(cfg.trace);
@@ -136,6 +150,7 @@ impl NodeRt {
             msg_lat: OnlineStats::new(),
             req_lat: OnlineStats::new(),
             trace,
+            overlap,
         }
     }
 
@@ -252,10 +267,20 @@ impl NodeRt {
                 .collect()
         };
 
+        let trace_on = rt.borrow().trace.enabled();
         let mut extra = SimTime::ZERO;
         for s in sends {
             let wire = ACTIVATE_WIRE_BYTES + 4 * s.rec.forward.len();
             let payload = s.rec.encode_one();
+            if trace_on {
+                let id = flow_id(FLOW_ACTIVATE, s.rec.version, node, s.dst);
+                rt.borrow_mut().trace.flow_start(
+                    format!("n{node}.comm"),
+                    "activate",
+                    id,
+                    sim.now(),
+                );
+            }
             if mt {
                 extra += engine.send_am_direct(sim, s.dst, AM_ACTIVATE, wire, Some(payload));
             } else {
@@ -279,7 +304,10 @@ impl NodeRt {
         sent_at_ns: u64,
         size: usize,
     ) {
-        let engine = rt.borrow().engine.clone();
+        let (engine, node, trace_on) = {
+            let r = rt.borrow();
+            (r.engine.clone(), r.node, r.trace.enabled())
+        };
         for (child, sub) in crate::records::tree_children(subtree) {
             let rec = ActivateRec {
                 version: version.0 as u64,
@@ -289,6 +317,15 @@ impl NodeRt {
                 forward: sub,
             };
             let wire = ACTIVATE_WIRE_BYTES + 4 * rec.forward.len();
+            if trace_on {
+                let id = flow_id(FLOW_ACTIVATE, rec.version, node, child as NodeId);
+                rt.borrow_mut().trace.flow_start(
+                    format!("n{node}.comm"),
+                    "activate",
+                    id,
+                    sim.now(),
+                );
+            }
             engine.send_am(
                 sim,
                 child as NodeId,
@@ -316,6 +353,9 @@ impl NodeRt {
                 let entry = r.class_stats.entry(name).or_insert((0, SimTime::ZERO));
                 entry.0 += 1;
                 entry.1 += dur;
+                if let Some(o) = &r.overlap {
+                    o.borrow_mut().busy_add(r.node, sim.now(), 1);
+                }
                 (ready.task, widx, dur)
             };
             let rt2 = rt.clone();
@@ -401,7 +441,13 @@ impl NodeRt {
         }
         rt.borrow_mut().worker_busy += extra;
         core.borrow_mut().charge(sim, extra, move |sim| {
-            rt2.borrow_mut().idle_workers.push(widx);
+            {
+                let mut r = rt2.borrow_mut();
+                r.idle_workers.push(widx);
+                if let Some(o) = &r.overlap {
+                    o.borrow_mut().busy_add(r.node, sim.now(), -1);
+                }
+            }
             NodeRt::dispatch(&rt2, sim);
         });
         NodeRt::dispatch(rt, sim);
@@ -444,6 +490,12 @@ impl NodeRt {
                 r.msg_lat.record(
                     (SimTime::from_ns(now_ns) - SimTime::from_ns(rec.sent_at_ns)).as_us_f64(),
                 );
+                if r.trace.enabled() {
+                    let node = r.node;
+                    let id = flow_id(FLOW_ACTIVATE, rec.version, ev.src, node);
+                    r.trace
+                        .flow_end(format!("n{node}.comm"), "activate", id, sim.now());
+                }
                 let vid = VersionId(rec.version as usize);
                 if rec.size == 0 {
                     // Control dependency (PaRSEC CTL flow): the ACTIVATE
@@ -544,6 +596,12 @@ impl NodeRt {
                 let mut r = rt.borrow_mut();
                 let lat = sim.now() - SimTime::from_ns(rec.activate_sent_at_ns);
                 r.req_lat.record(lat.as_us_f64());
+                if r.trace.enabled() {
+                    let node = r.node;
+                    let id = flow_id(FLOW_DATA, rec.version, node, ev.src);
+                    r.trace
+                        .flow_start(format!("n{node}.comm"), "data", id, sim.now());
+                }
             }
             let (engine, size, data) = {
                 let r = rt.borrow();
@@ -585,6 +643,12 @@ impl NodeRt {
             let mut r = rt.borrow_mut();
             let e2e_us = (sim.now() - SimTime::from_ns(cb.activate_sent_at_ns)).as_us_f64();
             r.e2e.record(e2e_us);
+            if r.trace.enabled() {
+                let node = r.node;
+                let id = flow_id(FLOW_DATA, cb.version, ev.src, node);
+                r.trace
+                    .flow_end(format!("n{node}.comm"), "data", id, sim.now());
+            }
             let prev = r.store.insert(vid, DataState::Present(ev.data));
             assert!(
                 matches!(prev, Some(DataState::Requested)),

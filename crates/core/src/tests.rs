@@ -371,14 +371,17 @@ fn multicast_tree_delivers_to_every_consumer() {
         // the root (log fan-out) but the same number of total flows.
         assert_eq!(star.e2e_latency_us.count(), 7, "{backend}");
         assert_eq!(tree.e2e_latency_us.count(), 7, "{backend}");
-        let star_root_ams = star.engine_stats[0].am_sent;
-        let tree_root_ams = tree.engine_stats[0].am_sent;
+        let star_root_ams = star.engine_stats[0].am_sent.get();
+        let tree_root_ams = tree.engine_stats[0].am_sent.get();
         assert!(
             tree_root_ams < star_root_ams,
             "{backend}: tree root must send fewer ACTIVATEs ({tree_root_ams} vs {star_root_ams})"
         );
         // Relay nodes served data (puts originate from non-root nodes too).
-        let relay_puts: u64 = tree.engine_stats[1..].iter().map(|s| s.puts_started).sum();
+        let relay_puts: u64 = tree.engine_stats[1..]
+            .iter()
+            .map(|s| s.puts_started.get())
+            .sum();
         assert!(
             relay_puts > 0,
             "{backend}: relays must serve their subtrees"

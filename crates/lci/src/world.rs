@@ -30,6 +30,9 @@ pub struct AmMsg {
     pub data: Option<Bytes>,
     /// True if this message consumed a receive packet that must be freed.
     pub owns_packet: bool,
+    /// Virtual time at which the sender injected the message (wire-latency
+    /// accounting).
+    pub sent_at: SimTime,
 }
 
 /// A one-sided put delivered to the endpoint's put handler (the §7
@@ -42,6 +45,8 @@ pub struct PutMsg {
     pub data: Option<Bytes>,
     /// Immediate data carried with the write (callback descriptor).
     pub cb_data: Bytes,
+    /// Virtual time at which the writer injected the data.
+    pub sent_at: SimTime,
 }
 
 /// A completion record delivered through a handler, completion queue, or
@@ -57,6 +62,9 @@ pub struct CompEntry {
     pub ctx: u64,
     /// Received payload, for direct-receive completions carrying real data.
     pub data: Option<Bytes>,
+    /// For receive completions: when the peer injected the data
+    /// ([`SimTime::ZERO`] for local send completions).
+    pub sent_at: SimTime,
 }
 
 /// Completion-queue handle.
@@ -159,7 +167,7 @@ type Waker = Rc<dyn Fn(&mut Sim)>;
 struct EpState {
     am_handler: Option<AmHandler>,
     put_handler: Option<PutHandler>,
-    incoming: VecDeque<Rc<LWire>>,
+    incoming: VecDeque<(Rc<LWire>, SimTime)>,
     /// Hardware send completions awaiting surfacing by `progress`.
     local_done: VecDeque<usize>,
     tx_packets_avail: usize,
@@ -258,10 +266,11 @@ impl LciWorld {
                 node,
                 rx_handler(move |sim, d| {
                     let Some(w) = w.upgrade() else { return };
+                    let sent_at = d.sent_at;
                     let wire = d.payload.downcast::<LWire>();
                     let waker = {
                         let mut wb = w.borrow_mut();
-                        wb.eps[node].incoming.push_back(wire);
+                        wb.eps[node].incoming.push_back((wire, sent_at));
                         wb.eps[node].waker.clone()
                     };
                     if let Some(waker) = waker {
@@ -698,6 +707,7 @@ impl Lci {
                             size: s.size,
                             ctx: s.ctx,
                             data: None,
+                            sent_at: SimTime::ZERO,
                         },
                         s.on_local.take().expect("sendd completion consumed twice"),
                         costs,
@@ -708,12 +718,12 @@ impl Lci {
             }
 
             // 2. Process one incoming wire message.
-            let wire = {
+            let (wire, sent_at) = {
                 let mut w = self.world.borrow_mut();
                 let ep = &mut w.eps[self.rank];
                 match ep.incoming.front() {
                     None => break,
-                    Some(front) => {
+                    Some((front, _)) => {
                         // Buffered messages need a receive packet; stall the
                         // (FIFO) hardware queue when the pool is dry.
                         if matches!(**front, LWire::Buf { .. }) && ep.rx_packets_avail == 0 {
@@ -726,12 +736,12 @@ impl Lci {
                     }
                 }
             };
-            cost += self.process_wire(sim, &wire);
+            cost += self.process_wire(sim, &wire, sent_at);
         }
         cost
     }
 
-    fn process_wire(&self, sim: &mut Sim, wire: &LWire) -> SimTime {
+    fn process_wire(&self, sim: &mut Sim, wire: &LWire, sent_at: SimTime) -> SimTime {
         let costs = self.world.borrow().costs.clone();
         let mut cost = costs.progress_per_msg;
         match wire {
@@ -754,6 +764,7 @@ impl Lci {
                             size: *size,
                             data: data.borrow_mut().take(),
                             owns_packet: false,
+                            sent_at,
                         },
                     );
             }
@@ -777,6 +788,7 @@ impl Lci {
                             size: *size,
                             data: data.borrow_mut().take(),
                             owns_packet: true,
+                            sent_at,
                         },
                     );
             }
@@ -894,6 +906,7 @@ impl Lci {
                             size: *size,
                             data: data.borrow_mut().take(),
                             cb_data: cb_data.clone(),
+                            sent_at,
                         },
                     );
             }
@@ -921,6 +934,7 @@ impl Lci {
                             size: *size,
                             ctx: r.ctx,
                             data: data.borrow_mut().take(),
+                            sent_at,
                         },
                         r.on_complete
                             .take()

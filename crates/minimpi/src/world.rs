@@ -56,6 +56,9 @@ pub struct Status {
     pub size: usize,
     /// Received payload (None for sends and cost-only transfers).
     pub data: Option<Bytes>,
+    /// For receive completions: when the peer injected the message
+    /// ([`SimTime::ZERO`] for send completions and probes).
+    pub sent_at: SimTime,
 }
 
 /// One entry of a `testsome` result.
@@ -95,6 +98,7 @@ enum Unexpected {
         tag: Tag,
         size: usize,
         data: Option<Bytes>,
+        sent_at: SimTime,
     },
     Rts {
         src: NodeId,
@@ -145,8 +149,9 @@ struct RankState {
     posted: VecDeque<(usize, SrcSel, Tag)>,
     /// Unexpected-message queue, in arrival order.
     unexpected: VecDeque<Unexpected>,
-    /// Hardware queue of delivered-but-unprogressed wire messages.
-    incoming: VecDeque<Rc<Wire>>,
+    /// Hardware queue of delivered-but-unprogressed wire messages, with
+    /// their injection timestamps.
+    incoming: VecDeque<(Rc<Wire>, SimTime)>,
     /// Invoked when something poll-worthy happens (message arrival, local
     /// send completion) so a simulated polling thread can schedule a round
     /// without busy-waiting in virtual time.
@@ -209,10 +214,11 @@ impl MpiWorld {
                 rx_handler(move |sim, d| {
                     let Some(w) = w.upgrade() else { return };
                     // Hardware enqueue only; progress happens inside calls.
+                    let sent_at = d.sent_at;
                     let wire = d.payload.downcast::<Wire>();
                     let waker = {
                         let mut wb = w.borrow_mut();
-                        wb.ranks[node].incoming.push_back(wire);
+                        wb.ranks[node].incoming.push_back((wire, sent_at));
                         wb.ranks[node].waker.clone()
                     };
                     if let Some(waker) = waker {
@@ -288,6 +294,7 @@ impl Mpi {
                     tag,
                     size,
                     data: None,
+                    sent_at: SimTime::ZERO,
                 }),
                 None,
             );
@@ -384,6 +391,7 @@ impl Mpi {
                     tag,
                     size,
                     data,
+                    sent_at,
                 } => {
                     cost += costs.copy_cost(size);
                     let (idx, gen) = rs.alloc(
@@ -392,6 +400,7 @@ impl Mpi {
                             tag,
                             size,
                             data,
+                            sent_at,
                         }),
                         None,
                     );
@@ -495,6 +504,7 @@ impl Mpi {
                         tag,
                         size,
                         data,
+                        sent_at,
                     } => {
                         cost += costs.copy_cost(size);
                         rs.requests[req.idx].state = RState::Complete(Status {
@@ -502,6 +512,7 @@ impl Mpi {
                             tag,
                             size,
                             data,
+                            sent_at,
                         });
                     }
                     Unexpected::Rts {
@@ -538,19 +549,19 @@ impl Mpi {
     fn drain_incoming(&self, sim: &mut Sim) -> SimTime {
         let mut cost = SimTime::ZERO;
         loop {
-            let wire = {
+            let (wire, sent_at) = {
                 let mut w = self.world.borrow_mut();
                 match w.ranks[self.rank].incoming.pop_front() {
                     Some(m) => m,
                     None => break,
                 }
             };
-            cost += self.process_wire(sim, &wire);
+            cost += self.process_wire(sim, &wire, sent_at);
         }
         cost
     }
 
-    fn process_wire(&self, sim: &mut Sim, wire: &Wire) -> SimTime {
+    fn process_wire(&self, sim: &mut Sim, wire: &Wire, sent_at: SimTime) -> SimTime {
         let mut w = self.world.borrow_mut();
         let costs = w.costs.clone();
         let mut cost = costs.progress_per_msg;
@@ -580,6 +591,7 @@ impl Mpi {
                             tag: *tag,
                             size: *size,
                             data,
+                            sent_at,
                         });
                     }
                     None => {
@@ -588,6 +600,7 @@ impl Mpi {
                             tag: *tag,
                             size: *size,
                             data,
+                            sent_at,
                         });
                     }
                 }
@@ -676,6 +689,7 @@ impl Mpi {
                                     tag,
                                     size,
                                     data: None,
+                                    sent_at: SimTime::ZERO,
                                 });
                             } else {
                                 panic!("DATA tx-done for request in unexpected state");
@@ -701,6 +715,7 @@ impl Mpi {
                             tag,
                             size: *size,
                             data: data.borrow_mut().take(),
+                            sent_at,
                         });
                     }
                     ref other => panic!("DATA for request in state {other:?}"),
@@ -784,6 +799,7 @@ impl Mpi {
                         tag: utag,
                         size,
                         data: None,
+                        sent_at: SimTime::ZERO,
                     }),
                     cost,
                 );

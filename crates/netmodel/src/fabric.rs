@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use amt_simnet::{CoreResource, Counter, Sim, SimTime};
+use amt_simnet::{CoreResource, Counter, Shared, Sim, SimTime, Trace};
 use bytes::Bytes;
 
 use crate::config::FabricConfig;
@@ -140,6 +140,8 @@ pub struct Fabric {
     nics: Vec<NodeNic>,
     handlers: Vec<Option<RxHandler>>,
     next_msg: MsgId,
+    /// Optional trace sink for per-node NIC injection-occupancy counters.
+    trace: Option<Shared<Trace>>,
 }
 
 /// Shared handle to a [`Fabric`]; all operations are associated functions
@@ -156,7 +158,23 @@ impl Fabric {
             nics,
             handlers,
             next_msg: 0,
+            trace: None,
         }))
+    }
+
+    /// Attach a trace sink; the fabric then samples an `n{ix}.nic` counter
+    /// track (queued + in-flight transmit transfers) on every change.
+    pub fn set_trace(&mut self, trace: Shared<Trace>) {
+        self.trace = Some(trace);
+    }
+
+    /// Sample the transmit-occupancy counter of `node` at `now`.
+    fn sample_nic(&self, node: NodeId, now: SimTime) {
+        if let Some(tr) = &self.trace {
+            let v = self.nics[node].tx_queue.len() + usize::from(self.nics[node].tx_busy);
+            tr.borrow_mut()
+                .counter(format!("n{node}.nic"), now, v as f64);
+        }
     }
 
     pub fn config(&self) -> &FabricConfig {
@@ -253,6 +271,7 @@ impl Fabric {
                 payload: Some(payload),
                 on_tx_done,
             });
+            f.sample_nic(src, sim.now());
         }
         Fabric::tx_pump(fab, sim, src);
         msg_id
@@ -326,7 +345,11 @@ impl Fabric {
         let fab2 = fab.clone();
         sim.schedule_in(dur, move |sim| {
             // Chunk left the sender NIC.
-            fab2.borrow_mut().nics[node].tx_busy = false;
+            {
+                let mut f = fab2.borrow_mut();
+                f.nics[node].tx_busy = false;
+                f.sample_nic(node, sim.now());
+            }
             let mut arrival = arrival;
             let on_tx_done = arrival.finale.as_mut().and_then(|(_, cb)| cb.take());
             if let Some(cb) = on_tx_done {

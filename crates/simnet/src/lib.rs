@@ -37,6 +37,7 @@
 //! ```
 
 mod engine;
+mod metrics;
 mod resource;
 pub mod rng;
 mod stats;
@@ -44,11 +45,12 @@ mod time;
 mod trace;
 
 pub use engine::{Event, Sim};
+pub use metrics::{MetricsRegistry, OverlapTracker};
 pub use resource::{CoreHandle, CoreResource, TokenPool, TokenPoolHandle};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, OnlineStats, TimeWeighted};
 pub use time::SimTime;
-pub use trace::{Span, Trace};
+pub use trace::{json_escape, CounterSample, FlowEvent, FlowPhase, InstantEvent, Span, Trace};
 
 /// Convenient alias used throughout the workspace for shared simulation
 /// components.

@@ -18,6 +18,13 @@ impl Counter {
         self.0 += n;
     }
 
+    /// Roll back one increment (used by speculative-issue retry paths).
+    #[inline]
+    pub fn dec(&mut self) {
+        debug_assert!(self.0 > 0, "counter underflow");
+        self.0 -= 1;
+    }
+
     #[inline]
     pub fn get(&self) -> u64 {
         self.0
@@ -222,12 +229,25 @@ impl Histogram {
         self.count
     }
 
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             f64::NAN
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Fold another histogram into this one (bucket-wise add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// Upper bound of the bucket containing the q-quantile (0 ≤ q ≤ 1).

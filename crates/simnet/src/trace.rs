@@ -4,10 +4,48 @@
 //! thread); [`Trace::to_chrome_json`] emits the standard `traceEvents`
 //! array with microsecond timestamps, loadable in `chrome://tracing` or
 //! [ui.perfetto.dev](https://ui.perfetto.dev).
+//!
+//! Beyond complete `"X"` spans the trace supports:
+//!
+//! * **flow events** (`ph:"s"` / `ph:"f"`): arrows linking a send span on
+//!   one track to the matching delivery span on another, paired by `id`;
+//! * **counter tracks** (`ph:"C"`): sampled piecewise-constant signals
+//!   (queue depths, in-flight transfers, NIC occupancy);
+//! * **instant events** (`ph:"i"`): point markers for rare conditions
+//!   (retries, delegations).
 
 use std::fmt::Write as _;
 
 use crate::time::SimTime;
+
+/// Escape a string for embedding inside a JSON string literal.
+///
+/// Handles `\`, `"` and control characters; returns the input unchanged
+/// (no allocation) when no escaping is needed. Shared by the trace and
+/// metrics serializers.
+pub fn json_escape(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s
+        .chars()
+        .any(|c| c == '"' || c == '\\' || (c as u32) < 0x20)
+    {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
 
 /// One completed span on a track.
 #[derive(Debug, Clone)]
@@ -18,10 +56,49 @@ pub struct Span {
     pub end: SimTime,
 }
 
-/// A collector of spans, shared by reference among components.
+/// Which side of a flow arrow an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The producing side (`ph:"s"`).
+    Start,
+    /// The consuming side (`ph:"f"`).
+    Finish,
+}
+
+/// One endpoint of a flow arrow, bound to the span enclosing `ts` on
+/// `track`. Start/finish endpoints pair up by `id`.
+#[derive(Debug, Clone)]
+pub struct FlowEvent {
+    pub track: String,
+    pub name: String,
+    pub id: u64,
+    pub ts: SimTime,
+    pub phase: FlowPhase,
+}
+
+/// One sample of a counter track (piecewise-constant signal).
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    pub name: String,
+    pub ts: SimTime,
+    pub value: f64,
+}
+
+/// A point marker on a track.
+#[derive(Debug, Clone)]
+pub struct InstantEvent {
+    pub track: String,
+    pub name: String,
+    pub ts: SimTime,
+}
+
+/// A collector of trace events, shared by reference among components.
 #[derive(Debug, Default)]
 pub struct Trace {
     spans: Vec<Span>,
+    flows: Vec<FlowEvent>,
+    counters: Vec<CounterSample>,
+    instants: Vec<InstantEvent>,
     enabled: bool,
 }
 
@@ -29,6 +106,9 @@ impl Trace {
     pub fn new(enabled: bool) -> Self {
         Trace {
             spans: Vec::new(),
+            flows: Vec::new(),
+            counters: Vec::new(),
+            instants: Vec::new(),
             enabled,
         }
     }
@@ -57,55 +137,191 @@ impl Trace {
         });
     }
 
+    /// Record the producing endpoint of a flow arrow (no-op when disabled).
+    pub fn flow_start(
+        &mut self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        id: u64,
+        ts: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.flows.push(FlowEvent {
+            track: track.into(),
+            name: name.into(),
+            id,
+            ts,
+            phase: FlowPhase::Start,
+        });
+    }
+
+    /// Record the consuming endpoint of a flow arrow (no-op when disabled).
+    pub fn flow_end(
+        &mut self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        id: u64,
+        ts: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.flows.push(FlowEvent {
+            track: track.into(),
+            name: name.into(),
+            id,
+            ts,
+            phase: FlowPhase::Finish,
+        });
+    }
+
+    /// Record a counter sample (no-op when disabled).
+    pub fn counter(&mut self, name: impl Into<String>, ts: SimTime, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters.push(CounterSample {
+            name: name.into(),
+            ts,
+            value,
+        });
+    }
+
+    /// Record an instant marker (no-op when disabled).
+    pub fn instant(&mut self, track: impl Into<String>, name: impl Into<String>, ts: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        self.instants.push(InstantEvent {
+            track: track.into(),
+            name: name.into(),
+            ts,
+        });
+    }
+
     pub fn len(&self) -> usize {
         self.spans.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
+            && self.flows.is_empty()
+            && self.counters.is_empty()
+            && self.instants.is_empty()
     }
 
     pub fn spans(&self) -> &[Span] {
         &self.spans
     }
 
-    /// Serialize as Chrome trace-event JSON (complete "X" events; one
-    /// thread id per distinct track, in first-appearance order).
+    pub fn flows(&self) -> &[FlowEvent] {
+        &self.flows
+    }
+
+    pub fn counter_samples(&self) -> &[CounterSample] {
+        &self.counters
+    }
+
+    pub fn instants(&self) -> &[InstantEvent] {
+        &self.instants
+    }
+
+    /// Append every event of `other` into this trace (used to merge the
+    /// per-component traces of a simulated cluster). Ignores `enabled` on
+    /// either side: merging is an export-time operation.
+    pub fn merge_from(&mut self, other: &Trace) {
+        self.spans.extend(other.spans.iter().cloned());
+        self.flows.extend(other.flows.iter().cloned());
+        self.counters.extend(other.counters.iter().cloned());
+        self.instants.extend(other.instants.iter().cloned());
+    }
+
+    /// Serialize as Chrome trace-event JSON. Spans become complete "X"
+    /// events; flow endpoints `"s"`/`"f"` pairs; counter samples `"C"`
+    /// events; instants `"i"` events. One thread id per distinct track,
+    /// assigned in *sorted track-name order* so the output is independent
+    /// of recording order.
     pub fn to_chrome_json(&self) -> String {
-        let mut tracks: Vec<String> = Vec::new();
+        // Deterministic tid assignment: sorted distinct track names.
+        let mut tracks: Vec<&str> = self
+            .spans
+            .iter()
+            .map(|s| s.track.as_str())
+            .chain(self.flows.iter().map(|f| f.track.as_str()))
+            .chain(self.instants.iter().map(|i| i.track.as_str()))
+            .collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        let tid_of = |track: &str| tracks.binary_search(&track).expect("track registered");
+
         let mut out = String::from(r#"{"traceEvents":["#);
         let mut first = true;
-        for s in &self.spans {
-            let tid = match tracks.iter().position(|x| *x == s.track) {
-                Some(i) => i,
-                None => {
-                    tracks.push(s.track.clone());
-                    tracks.len() - 1
-                }
-            };
+        let mut sep = |out: &mut String| {
             if !first {
                 out.push(',');
             }
             first = false;
+        };
+        for s in &self.spans {
+            sep(&mut out);
             let _ = write!(
                 out,
                 r#"{{"name":"{}","ph":"X","pid":1,"tid":{},"ts":{:.3},"dur":{:.3}}}"#,
-                s.name.replace('"', ""),
-                tid,
+                json_escape(&s.name),
+                tid_of(&s.track),
                 s.start.as_us_f64(),
                 (s.end - s.start).as_us_f64()
             );
         }
+        for f in &self.flows {
+            sep(&mut out);
+            let (ph, bp) = match f.phase {
+                FlowPhase::Start => ("s", ""),
+                // bp:"e" binds the finish to the enclosing slice rather
+                // than requiring an exact "t" step match.
+                FlowPhase::Finish => ("f", r#","bp":"e""#),
+            };
+            let _ = write!(
+                out,
+                r#"{{"name":"{}","cat":"flow","ph":"{}"{},"id":{},"pid":1,"tid":{},"ts":{:.3}}}"#,
+                json_escape(&f.name),
+                ph,
+                bp,
+                f.id,
+                tid_of(&f.track),
+                f.ts.as_us_f64()
+            );
+        }
+        for c in &self.counters {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                r#"{{"name":"{}","ph":"C","pid":1,"ts":{:.3},"args":{{"value":{}}}}}"#,
+                json_escape(&c.name),
+                c.ts.as_us_f64(),
+                c.value
+            );
+        }
+        for i in &self.instants {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                r#"{{"name":"{}","ph":"i","s":"t","pid":1,"tid":{},"ts":{:.3}}}"#,
+                json_escape(&i.name),
+                tid_of(&i.track),
+                i.ts.as_us_f64()
+            );
+        }
         // Thread-name metadata so viewers label the tracks.
         for (tid, track) in tracks.iter().enumerate() {
-            if !first {
-                out.push(',');
-            }
-            first = false;
+            sep(&mut out);
             let _ = write!(
                 out,
                 r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"{}"}}}}"#,
-                tid, track
+                tid,
+                json_escape(track)
             );
         }
         out.push_str("]}");
@@ -121,6 +337,10 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new(false);
         t.record("w0", "task", SimTime::ZERO, SimTime::from_us(1));
+        t.flow_start("w0", "f", 1, SimTime::ZERO);
+        t.flow_end("w0", "f", 1, SimTime::ZERO);
+        t.counter("q", SimTime::ZERO, 1.0);
+        t.instant("w0", "i", SimTime::ZERO);
         assert!(t.is_empty());
     }
 
@@ -149,5 +369,78 @@ mod tests {
     fn empty_trace_is_valid_json_shell() {
         let t = Trace::new(true);
         assert_eq!(t.to_chrome_json(), r#"{"traceEvents":[]}"#);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("a\nb\tc"), r"a\nb\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn span_names_are_escaped_not_stripped() {
+        let mut t = Trace::new(true);
+        t.record(
+            r"n0.w0",
+            r#"put "x" \ y"#,
+            SimTime::ZERO,
+            SimTime::from_us(1),
+        );
+        let json = t.to_chrome_json();
+        assert!(json.contains(r#""name":"put \"x\" \\ y""#), "{json}");
+    }
+
+    #[test]
+    fn tids_are_sorted_by_track_name() {
+        // Record in reverse-alphabetical order; tids still follow sorted
+        // track names, independent of recording order.
+        let mut t = Trace::new(true);
+        t.record("n1.w0", "b", SimTime::ZERO, SimTime::from_us(1));
+        t.record("n0.w0", "a", SimTime::ZERO, SimTime::from_us(1));
+        let json = t.to_chrome_json();
+        assert!(
+            json.contains(r#""name":"a","ph":"X","pid":1,"tid":0"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""name":"b","ph":"X","pid":1,"tid":1"#),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn flow_counter_instant_events_emitted() {
+        let mut t = Trace::new(true);
+        t.record("n0.comm", "send", SimTime::from_us(1), SimTime::from_us(2));
+        t.record("n1.comm", "recv", SimTime::from_us(4), SimTime::from_us(5));
+        t.flow_start("n0.comm", "am", 42, SimTime::from_us(1));
+        t.flow_end("n1.comm", "am", 42, SimTime::from_us(4));
+        t.counter("n0.cmdq", SimTime::from_us(1), 3.0);
+        t.instant("n0.comm", "retry", SimTime::from_us(2));
+        let json = t.to_chrome_json();
+        assert!(json.contains(r#""ph":"s""#));
+        assert!(json.contains(r#""ph":"f","bp":"e""#));
+        assert!(json.contains(r#""id":42"#));
+        assert!(json.contains(r#""ph":"C""#));
+        assert!(json.contains(r#""args":{"value":3}"#));
+        assert!(json.contains(r#""ph":"i""#));
+    }
+
+    #[test]
+    fn merge_from_combines_all_event_kinds() {
+        let mut a = Trace::new(true);
+        a.record("n0.w0", "x", SimTime::ZERO, SimTime::from_us(1));
+        let mut b = Trace::new(true);
+        b.flow_start("n1.comm", "f", 7, SimTime::ZERO);
+        b.counter("n1.q", SimTime::ZERO, 1.0);
+        b.instant("n1.comm", "i", SimTime::ZERO);
+        a.merge_from(&b);
+        assert_eq!(a.spans().len(), 1);
+        assert_eq!(a.flows().len(), 1);
+        assert_eq!(a.counter_samples().len(), 1);
+        assert_eq!(a.instants().len(), 1);
     }
 }

@@ -6,11 +6,13 @@
 //! cargo run --release --example dense_vs_tlr [mpi|lci|lci-direct]
 //! ```
 
+use amtlc::bench::ObsSink;
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, ExecMode};
 use amtlc::tlr::{DenseCholesky, TlrCholesky, TlrProblem};
 
 fn main() {
+    ObsSink::install(&std::env::args().skip(1).collect::<Vec<_>>());
     let backend = std::env::args()
         .nth(1)
         .map(|s| BackendKind::parse(&s).unwrap_or_else(|| panic!("unknown backend {s:?}")))
@@ -64,12 +66,15 @@ fn main() {
             let (t, g) = TlrCholesky::build_cost_only(TlrProblem::new(n, ts), nodes);
             (t.stats.total_flops, g)
         };
-        let mut cluster = Cluster::new(ClusterConfig {
+        let mut cfg = ClusterConfig {
             mode: ExecMode::CostOnly,
             ..ClusterConfig::expanse(backend, nodes)
-        });
+        };
+        ObsSink::arm(&mut cfg);
+        let mut cluster = Cluster::new(cfg);
         let r = cluster.execute(graph);
         assert!(r.complete());
+        ObsSink::capture(&cluster, &r);
         println!(
             "{label:6}: {:>10.3e} flops, {:>8.1} MiB moved, tts {:>8.3}s",
             flops,

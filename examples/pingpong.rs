@@ -7,10 +7,12 @@
 //! ```
 
 use amt_bench::pingpong::{run_pingpong, PingPongCfg};
+use amt_bench::ObsSink;
 use amtlc::comm::BackendKind;
 use amtlc::netmodel::{raw_pingpong_gbps, FabricConfig};
 
 fn main() {
+    ObsSink::install(&std::env::args().skip(1).collect::<Vec<_>>());
     println!("task-based windowed ping-pong, 2 simulated nodes, 256 MiB per iteration\n");
     println!(
         "{:>12} {:>10} {:>10} {:>10} {:>10}",

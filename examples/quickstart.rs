@@ -10,6 +10,7 @@
 //! GET DATA / put protocol, and a "reduce" on node 0 folds everything.
 //! The distributed result is checked against the sequential oracle.
 
+use amtlc::bench::ObsSink;
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, GraphBuilder, TaskDesc};
 use bytes::Bytes;
@@ -76,6 +77,7 @@ fn build_graph(nodes: usize) -> (amtlc::core::TaskGraph, amtlc::core::VersionId)
 }
 
 fn main() {
+    ObsSink::install(&std::env::args().skip(1).collect::<Vec<_>>());
     let nodes = 4;
     println!("amtlc quickstart: map-shuffle-reduce on {nodes} simulated nodes\n");
 
@@ -83,13 +85,16 @@ fn main() {
         let (graph, out) = build_graph(nodes);
         let oracle = graph.sequential_oracle()[&out].clone();
 
-        let mut cluster = Cluster::new(ClusterConfig {
+        let mut cfg = ClusterConfig {
             nodes,
             workers_per_node: 4,
             backend,
             ..Default::default()
-        });
+        };
+        ObsSink::arm(&mut cfg);
+        let mut cluster = Cluster::new(cfg);
         let report = cluster.execute(graph);
+        ObsSink::capture(&cluster, &report);
         let result = cluster.data(out).expect("reduce output data");
 
         assert_eq!(result, oracle, "distributed result must match the oracle");

@@ -11,6 +11,7 @@
 //! cargo run --release --example stencil
 //! ```
 
+use amtlc::bench::ObsSink;
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, DataDist, ExecMode, GraphBuilder, TaskDesc, TileDist2d};
 
@@ -55,6 +56,7 @@ fn build_stencil(
 }
 
 fn main() {
+    ObsSink::install(&std::env::args().skip(1).collect::<Vec<_>>());
     let tiles = 16u64; // 16×16 tile grid
     let tile_elems = 512; // 512² doubles per tile (2 MiB)
     let sweeps = 8;
@@ -68,12 +70,15 @@ fn main() {
         for backend in [BackendKind::Lci, BackendKind::LciDirect, BackendKind::Mpi] {
             let dist = TileDist2d::square_grid(tiles, tiles, nodes);
             let graph = build_stencil(tiles, tile_elems, sweeps, &dist);
-            let mut cluster = Cluster::new(ClusterConfig {
+            let mut cfg = ClusterConfig {
                 mode: ExecMode::CostOnly,
                 ..ClusterConfig::expanse(backend, nodes)
-            });
+            };
+            ObsSink::arm(&mut cfg);
+            let mut cluster = Cluster::new(cfg);
             let report = cluster.execute(graph);
             assert!(report.complete());
+            ObsSink::capture(&cluster, &report);
             row.push((
                 report.makespan,
                 if report.e2e_latency_us.count() > 0 {

@@ -7,11 +7,13 @@
 //! cargo run --release --example tlr_cholesky
 //! ```
 
+use amtlc::bench::ObsSink;
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, ExecMode};
 use amtlc::tlr::{TlrCholesky, TlrProblem};
 
 fn main() {
+    ObsSink::install(&std::env::args().skip(1).collect::<Vec<_>>());
     let n = 512;
     let ts = 64;
     let nodes = 4;
@@ -35,15 +37,18 @@ fn main() {
             chol.stats.mean_rank
         );
 
-        let mut cluster = Cluster::new(ClusterConfig {
+        let mut cfg = ClusterConfig {
             nodes,
             workers_per_node: 8,
             backend,
             mode: ExecMode::Numeric,
             ..Default::default()
-        });
+        };
+        ObsSink::arm(&mut cfg);
+        let mut cluster = Cluster::new(cfg);
         let report = cluster.execute(graph);
         assert!(report.complete());
+        ObsSink::capture(&cluster, &report);
         let residual = chol.residual(&cluster);
         println!("  virtual makespan : {}", report.makespan);
         println!(

@@ -16,4 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt check =="
 cargo fmt --check
 
+echo "== observability: example run with --trace-out/--metrics-out =="
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+cargo run --release --quiet --example quickstart -- \
+    --trace-out "$OBS_DIR/trace.json" --metrics-out "$OBS_DIR/metrics.json"
+python3 -m json.tool "$OBS_DIR/trace.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/metrics.json" > /dev/null
+echo "trace and metrics artifacts are valid JSON"
+
 echo "verify: all checks passed"

@@ -5,6 +5,7 @@
 //! Mor, Bosilca, Snir, *"Improving the Scaling of an Asynchronous Many-Task
 //! Runtime with a Lightweight Communication Engine"* (ICPP 2023).
 
+pub use amt_bench as bench;
 pub use amt_comm as comm;
 pub use amt_core as core;
 pub use amt_lci as lci;
