@@ -15,7 +15,9 @@
 
 use amt_bench::pingpong::{run_pingpong, PingPongCfg};
 use amt_bench::table::{banner, cell, header, row};
-use amt_bench::{backend_arg, fmt_size, full_scale, granularities, harness_args, ObsSink};
+use amt_bench::{
+    backend_arg, fmt_size, full_scale, granularities, harness_args, jobs_arg, run_sweep, ObsSink,
+};
 use amt_comm::BackendKind;
 use amt_netmodel::{raw_pingpong_gbps, FabricConfig};
 
@@ -61,14 +63,31 @@ fn main() {
     cols.push(("NetPIPE", 8));
     header(&cols);
 
+    // Sweep all (size, backend) points across `--jobs` workers, then print
+    // in configuration order (output is identical for any job count).
+    let jobs = jobs_arg(&args);
+    let points: Vec<(usize, BackendKind)> = sizes
+        .iter()
+        .flat_map(|&n| backends.iter().map(move |&b| (n, b)))
+        .collect();
+    let bws = run_sweep(&points, jobs, |&(n, b)| {
+        run_pingpong(b, &PingPongCfg::bandwidth(n, 1, true, iters)).gbit_per_s
+    });
     let mut series: Vec<(BackendKind, Vec<(usize, f64)>)> =
         backends.iter().map(|&b| (b, Vec::new())).collect();
+    for (&(n, b), &bw) in points.iter().zip(&bws) {
+        series
+            .iter_mut()
+            .find(|(bb, _)| *bb == b)
+            .expect("known backend")
+            .1
+            .push((n, bw));
+    }
     for &n in &sizes {
         let cfg = PingPongCfg::bandwidth(n, 1, true, iters);
         let mut cells = vec![cell(fmt_size(n), 12), cell(format!("{}", cfg.window), 8)];
-        for (b, s) in series.iter_mut() {
-            let bw = run_pingpong(*b, &cfg).gbit_per_s;
-            s.push((n, bw));
+        for (_, s) in &series {
+            let (_, bw) = s.iter().find(|(sn, _)| *sn == n).expect("swept size");
             cells.push(cell(format!("{bw:.1}"), 10));
         }
         let netpipe = raw_pingpong_gbps(&FabricConfig::expanse(2), n, 8);
@@ -157,21 +176,25 @@ fn main() {
         cols.push((name.as_str(), 13));
     }
     header(&cols);
+    let mut points2: Vec<(usize, bool, BackendKind)> = Vec::new();
     for &n in &sizes {
-        let sync_cfg = PingPongCfg::bandwidth(n, 2, true, iters);
-        let nosync_cfg = PingPongCfg::bandwidth(n, 2, false, iters);
-        let mut cells = vec![cell(fmt_size(n), 12)];
-        for &b in &backends {
-            cells.push(cell(
-                format!("{:.1}", run_pingpong(b, &sync_cfg).gbit_per_s),
-                10,
-            ));
+        for sync in [true, false] {
+            for &b in &backends {
+                points2.push((n, sync, b));
+            }
         }
-        for &b in &backends {
-            cells.push(cell(
-                format!("{:.1}", run_pingpong(b, &nosync_cfg).gbit_per_s),
-                13,
-            ));
+    }
+    let bws2 = run_sweep(&points2, jobs, |&(n, sync, b)| {
+        run_pingpong(b, &PingPongCfg::bandwidth(n, 2, sync, iters)).gbit_per_s
+    });
+    let mut it = bws2.iter();
+    for &n in &sizes {
+        let mut cells = vec![cell(fmt_size(n), 12)];
+        for _ in &backends {
+            cells.push(cell(format!("{:.1}", it.next().expect("sync point")), 10));
+        }
+        for _ in &backends {
+            cells.push(cell(format!("{:.1}", it.next().expect("nosync point")), 13));
         }
         row(&cells);
     }

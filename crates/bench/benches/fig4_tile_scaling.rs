@@ -11,11 +11,36 @@
 
 use amt_bench::table::{banner, cell, header, row};
 use amt_bench::tlrrun::{run_tlr, TlrRunCfg, N_FULL, N_SCALED, TILE_SIZES};
-use amt_bench::{backend_arg, full_scale, harness_args, ObsSink};
+use amt_bench::{backend_arg, full_scale, harness_args, jobs_arg, run_sweep, ObsSink};
 use amt_comm::BackendKind;
+
+/// `-- --golden`: run one fixed, scaled fig4 point on every backend and
+/// print the exact virtual-time results (integer nanoseconds). verify.sh
+/// diffs this output against `results/golden_fig4.txt` to prove engine
+/// changes alter no virtual-time behaviour.
+fn golden_point() {
+    println!("golden fig4 point: N=24000 nodes=4 ts=3000 mt=false");
+    for backend in [BackendKind::Lci, BackendKind::LciDirect, BackendKind::Mpi] {
+        let r = run_tlr(&TlrRunCfg {
+            backend,
+            nodes: 4,
+            n: 24_000,
+            tile_size: 3000,
+            multithread_am: false,
+        });
+        println!(
+            "{backend} makespan_ns={} tasks={} e2e_us={:.6} msg_us={:.6} req_us={:.6}",
+            r.makespan_ns, r.tasks, r.e2e_us, r.msg_us, r.req_us
+        );
+    }
+}
 
 fn main() {
     let args = harness_args();
+    if args.iter().any(|a| a == "--golden") {
+        golden_point();
+        return;
+    }
     ObsSink::install(&args);
     let full = full_scale(&args);
     let n = if full { N_FULL } else { N_SCALED };
@@ -34,22 +59,33 @@ fn main() {
     println!("TLR Cholesky st-2d-sqexp, N = {n}, {nodes} nodes, maxrank 150, acc 1e-8, band 1");
     println!("LCI series backend: {lci_kind}");
 
-    let mut results = Vec::new();
+    // Every (tile, backend, mt) point is an independent simulation; sweep
+    // them across `--jobs` workers and regroup in configuration order.
+    let mut points = Vec::new();
     for &ts in &TILE_SIZES {
-        let mut per_ts = Vec::new();
         for backend in [lci_kind, BackendKind::Mpi] {
             for mt in [false, true] {
-                let r = run_tlr(&TlrRunCfg {
+                points.push(TlrRunCfg {
                     backend,
                     nodes,
                     n,
                     tile_size: ts,
                     multithread_am: mt,
                 });
-                per_ts.push((backend, mt, r));
             }
         }
-        results.push((ts, per_ts));
+    }
+    let runs = run_sweep(&points, jobs_arg(&args), run_tlr);
+    let mut results: Vec<(usize, Vec<(BackendKind, bool, _)>)> = Vec::new();
+    for (cfg, r) in points.into_iter().zip(runs) {
+        if results.last().map(|(ts, _)| *ts) != Some(cfg.tile_size) {
+            results.push((cfg.tile_size, Vec::new()));
+        }
+        results
+            .last_mut()
+            .expect("pushed above")
+            .1
+            .push((cfg.backend, cfg.multithread_am, r));
     }
 
     banner("Figure 4a: time-to-solution (s)");

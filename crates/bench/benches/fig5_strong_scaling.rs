@@ -11,8 +11,8 @@
 //! the default uses the paper's Table 2 entries directly.
 
 use amt_bench::table::{banner, cell, header, row};
-use amt_bench::tlrrun::{run_tlr, TlrRunCfg, N_FULL, N_SCALED, TILE_SIZES};
-use amt_bench::{backend_arg, full_scale, harness_args, ObsSink};
+use amt_bench::tlrrun::{run_tlr, TlrRunCfg, TlrRunResult, N_FULL, N_SCALED, TILE_SIZES};
+use amt_bench::{backend_arg, full_scale, harness_args, jobs_arg, run_sweep, ObsSink};
 use amt_comm::BackendKind;
 
 const NODE_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -39,75 +39,81 @@ fn main() {
     println!("TLR Cholesky strong scaling, N = {n}, maxrank 150, acc 1e-8, band 1");
     println!("LCI series backend: {lci_kind}");
 
-    let best_for = |backend: BackendKind, nodes: usize, fallback: usize| -> (usize, f64) {
-        if sweep {
-            TILE_SIZES
-                .iter()
-                .map(|&ts| {
-                    let r = run_tlr(&TlrRunCfg {
-                        backend,
-                        nodes,
-                        n,
-                        tile_size: ts,
-                        multithread_am: false,
-                    });
-                    (ts, r.tts_s)
-                })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                .expect("non-empty sweep")
-        } else {
-            let r = run_tlr(&TlrRunCfg {
-                backend,
-                nodes,
-                n,
-                tile_size: fallback,
-                multithread_am: false,
-            });
-            (fallback, r.tts_s)
-        }
+    let jobs = jobs_arg(&args);
+    let cfg_of = |backend: BackendKind, nodes: usize, ts: usize| TlrRunCfg {
+        backend,
+        nodes,
+        n,
+        tile_size: ts,
+        multithread_am: false,
     };
+
+    // Phase 1: the per-(backend, nodes) tile-size candidates — the full
+    // Fig. 4 axis under `--sweep`, otherwise the paper's Table 2 entry —
+    // swept in parallel across `--jobs` workers. Every run is a pure
+    // function of its configuration, so results can be reused wherever the
+    // same point is needed again and the output matches the sequential
+    // (re-running) harness byte for byte.
+    let mut phase1: Vec<TlrRunCfg> = Vec::new();
+    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+        for (backend, fallback) in [
+            (lci_kind, PAPER_BEST_LCI[i]),
+            (BackendKind::Mpi, PAPER_BEST_MPI[i]),
+        ] {
+            if sweep {
+                phase1.extend(TILE_SIZES.iter().map(|&ts| cfg_of(backend, nodes, ts)));
+            } else {
+                phase1.push(cfg_of(backend, nodes, fallback));
+            }
+        }
+    }
+    let results1 = run_sweep(&phase1, jobs, run_tlr);
+    let lookup = |pool: &[(TlrRunCfg, TlrRunResult)], backend, nodes, ts| -> Option<TlrRunResult> {
+        pool.iter()
+            .find(|(c, _)| c.backend == backend && c.nodes == nodes && c.tile_size == ts)
+            .map(|(_, r)| r.clone())
+    };
+    let pool1: Vec<(TlrRunCfg, TlrRunResult)> = phase1.into_iter().zip(results1).collect();
+    let best_for = |backend: BackendKind, nodes: usize| -> (usize, f64) {
+        pool1
+            .iter()
+            .filter(|(c, _)| c.backend == backend && c.nodes == nodes)
+            .map(|(c, r)| (c.tile_size, r.tts_s))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("phase 1 covered this (backend, nodes)")
+    };
+
+    // Phase 2: points that depend on LCI's chosen tile size (MPI at that
+    // size) and were not already covered by phase 1.
+    let mut phase2: Vec<TlrRunCfg> = Vec::new();
+    for &nodes in &NODE_COUNTS {
+        let (lci_ts, _) = best_for(lci_kind, nodes);
+        if lookup(&pool1, BackendKind::Mpi, nodes, lci_ts).is_none() {
+            phase2.push(cfg_of(BackendKind::Mpi, nodes, lci_ts));
+        }
+    }
+    let results2 = run_sweep(&phase2, jobs, run_tlr);
+    let pool2: Vec<(TlrRunCfg, TlrRunResult)> = phase2.into_iter().zip(results2).collect();
 
     let mut table2: Vec<(usize, usize, usize)> = Vec::new();
     let mut rows = Vec::new();
-    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
-        let (lci_ts, lci_tts) = best_for(lci_kind, nodes, PAPER_BEST_LCI[i]);
-        let (mpi_best_ts, mpi_best_tts) = best_for(BackendKind::Mpi, nodes, PAPER_BEST_MPI[i]);
-        // MPI at LCI's tile size.
-        let mpi_at_lci = if mpi_best_ts == lci_ts {
-            mpi_best_tts
-        } else {
-            run_tlr(&TlrRunCfg {
-                backend: BackendKind::Mpi,
-                nodes,
-                n,
-                tile_size: lci_ts,
-                multithread_am: false,
-            })
-            .tts_s
-        };
+    for &nodes in &NODE_COUNTS {
+        let (lci_ts, lci_tts) = best_for(lci_kind, nodes);
+        let (mpi_best_ts, mpi_best_tts) = best_for(BackendKind::Mpi, nodes);
+        let mpi_at_lci_run = lookup(&pool1, BackendKind::Mpi, nodes, lci_ts)
+            .or_else(|| lookup(&pool2, BackendKind::Mpi, nodes, lci_ts))
+            .expect("phase 2 covered MPI at LCI's tile size");
         // Latency series at LCI's tile size.
-        let lci_lat = run_tlr(&TlrRunCfg {
-            backend: lci_kind,
-            nodes,
-            n,
-            tile_size: lci_ts,
-            multithread_am: false,
-        })
-        .req_us;
-        let mpi_lat = run_tlr(&TlrRunCfg {
-            backend: BackendKind::Mpi,
-            nodes,
-            n,
-            tile_size: lci_ts,
-            multithread_am: false,
-        })
-        .req_us;
+        let lci_lat = lookup(&pool1, lci_kind, nodes, lci_ts)
+            .expect("phase 1 covered LCI at its best tile size")
+            .req_us;
+        let mpi_lat = mpi_at_lci_run.req_us;
         table2.push((nodes, mpi_best_ts, lci_ts));
         rows.push((
             nodes,
             lci_ts,
             lci_tts,
-            mpi_at_lci,
+            mpi_at_lci_run.tts_s,
             mpi_best_ts,
             mpi_best_tts,
             lci_lat,

@@ -4,25 +4,54 @@
 //!
 //! Self-timed (median of repeated runs) rather than criterion-based so the
 //! workspace builds offline with no external dev-dependencies.
+//!
+//! ## Engine suite → `BENCH_engine.json`
+//!
+//! The first section drives the ladder/slab engine ([`Sim`]) and, where the
+//! scenario permits, the in-tree seed engine ([`RefSim`]) through identical
+//! event patterns, and writes per-scenario `ns/event`, `events/sec` and the
+//! ladder-over-reference speedup to `BENCH_engine.json` at the workspace
+//! root. Every future change has a perf trajectory to regress against.
+//!
+//! Flags:
+//! * `--quick` — smoke mode: tiny event counts, 3 samples (used by
+//!   `scripts/verify.sh` to validate the JSON schema, not the numbers);
+//! * `--out <path>` — write the JSON elsewhere;
+//! * `--engine-only` — skip the kernel/library benchmarks.
 
-use amt_comm::{CommWorld, EngineConfig};
+use amt_bench::harness_args;
+use amt_bench::tlrrun::{run_tlr, TlrRunCfg};
+use amt_comm::{BackendKind, CommWorld, EngineConfig};
 use amt_lci::{LciCosts, LciWorld};
 use amt_linalg::{gemm, potrf, qr_thin, svd_jacobi, Matrix, Trans};
 use amt_minimpi::{MpiCosts, MpiWorld, SrcSel};
 use amt_netmodel::{Fabric, FabricConfig};
+use amt_simnet::reference::RefSim;
+use amt_simnet::rng::DetRng;
 use amt_simnet::{Sim, SimTime};
 use amt_tlr::LrTile;
 use std::rc::Rc;
 use std::time::Instant;
 
-const SAMPLES: usize = 10;
-
-/// Runs `f` SAMPLES times and reports the median wall-clock time.
-fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
-    // One warm-up run so allocator and caches settle.
+/// Runs `f` `samples` times (plus one warm-up) and returns the median
+/// wall-clock seconds.
+fn median_secs<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
     std::hint::black_box(f());
-    let mut times: Vec<f64> = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    times[times.len() / 2]
+}
+
+/// Median-of-samples wall-clock printer for the kernel benchmarks.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = Vec::with_capacity(10);
+    for _ in 0..10 {
         let t0 = Instant::now();
         std::hint::black_box(f());
         times.push(t0.elapsed().as_secs_f64() * 1e3);
@@ -33,18 +62,304 @@ fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
     println!("{name:<40} {median:>10.3} ms   [{lo:.3} .. {hi:.3}]");
 }
 
-fn des_event_throughput() {
-    bench("simnet/100k_chained_events", || {
-        let mut sim = Sim::new();
-        fn chain(sim: &mut Sim, left: u32) {
-            if left > 0 {
-                sim.schedule_in(SimTime::from_ns(10), move |sim| chain(sim, left - 1));
-            }
-        }
-        chain(&mut sim, 100_000);
-        sim.run();
-        sim.events_executed()
+/// One engine-suite measurement.
+struct Scenario {
+    name: &'static str,
+    events: u64,
+    ns_per_event: f64,
+    /// Seed-engine ns/event on the same pattern, when expressible there.
+    ref_ns_per_event: Option<f64>,
+}
+
+impl Scenario {
+    fn events_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_event
+    }
+    fn speedup(&self) -> Option<f64> {
+        self.ref_ns_per_event.map(|r| r / self.ns_per_event)
+    }
+}
+
+/// Measure `run(n)` (which must execute exactly its returned event count).
+fn measure(
+    name: &'static str,
+    samples: usize,
+    n: u64,
+    run: impl Fn(u64) -> u64,
+    reference: Option<&dyn Fn(u64) -> u64>,
+) -> Scenario {
+    let events = run(n);
+    let secs = median_secs(samples, || run(n));
+    let ns_per_event = secs * 1e9 / events as f64;
+    let ref_ns_per_event = reference.map(|r| {
+        let rev = r(n);
+        median_secs(samples, || r(n)) * 1e9 / rev as f64
     });
+    Scenario {
+        name,
+        events,
+        ns_per_event,
+        ref_ns_per_event,
+    }
+}
+
+/// Tight chain of near-future events: the simulator's hottest pattern
+/// (progress polls, NIC serialization). One pending event at a time.
+fn churn_chain(n: u64) -> u64 {
+    let mut sim = Sim::new();
+    fn chain(sim: &mut Sim, left: u64) {
+        if left > 0 {
+            sim.schedule_in(SimTime::from_ns(10), move |sim| chain(sim, left - 1));
+        }
+    }
+    chain(&mut sim, n);
+    sim.run();
+    sim.events_executed()
+}
+
+fn churn_chain_ref(n: u64) -> u64 {
+    let mut sim = RefSim::new();
+    fn chain(sim: &mut RefSim, left: u64) {
+        if left > 0 {
+            sim.schedule_in(SimTime::from_ns(10), move |sim| chain(sim, left - 1));
+        }
+    }
+    chain(&mut sim, n);
+    sim.run();
+    sim.events_executed()
+}
+
+/// Preload a big pseudorandom batch spanning near and far horizons, then
+/// drain it: the queue-discipline stress (large pending set, arbitrary
+/// insertion order).
+fn preload_drain(n: u64) -> u64 {
+    let mut sim = Sim::new();
+    let mut rng = DetRng::seed_from_u64(42);
+    for _ in 0..n {
+        // 0..16 ms: a mix of in-window and far-heap inserts.
+        let at = SimTime::from_ns(rng.gen_range(0..16_000_000));
+        sim.schedule_at(at, |_| {});
+    }
+    sim.run();
+    sim.events_executed()
+}
+
+fn preload_drain_ref(n: u64) -> u64 {
+    let mut sim = RefSim::new();
+    let mut rng = DetRng::seed_from_u64(42);
+    for _ in 0..n {
+        let at = SimTime::from_ns(rng.gen_range(0..16_000_000));
+        sim.schedule_at(at, |_| {});
+    }
+    sim.run();
+    sim.events_executed()
+}
+
+/// Same-instant bursts through the `schedule_now` fast path (callback
+/// cascades, waiter wakeups): each step event fans out 8 now-events.
+fn now_burst(n: u64) -> u64 {
+    let mut sim = Sim::new();
+    fn step(sim: &mut Sim, left: u64) {
+        if left == 0 {
+            return;
+        }
+        for _ in 0..8 {
+            sim.schedule_now(|_| {});
+        }
+        sim.schedule_in(SimTime::from_ns(50), move |sim| step(sim, left - 1));
+    }
+    step(&mut sim, n / 9);
+    sim.run();
+    sim.events_executed()
+}
+
+fn now_burst_ref(n: u64) -> u64 {
+    let mut sim = RefSim::new();
+    fn step(sim: &mut RefSim, left: u64) {
+        if left == 0 {
+            return;
+        }
+        for _ in 0..8 {
+            sim.schedule_now(|_| {});
+        }
+        sim.schedule_in(SimTime::from_ns(50), move |sim| step(sim, left - 1));
+    }
+    step(&mut sim, n / 9);
+    sim.run();
+    sim.events_executed()
+}
+
+/// Timer-wheel pattern: every step arms a timeout and cancels the previous
+/// one (the common schedule/cancel churn of retry timers). No reference
+/// series — the seed engine has no cancellation.
+fn schedule_cancel(n: u64) -> u64 {
+    use amt_simnet::EventToken;
+    let mut sim = Sim::new();
+    fn step(sim: &mut Sim, left: u64, timer: Option<EventToken>) {
+        if let Some(t) = timer {
+            sim.cancel(t);
+        }
+        if left == 0 {
+            return;
+        }
+        let t = sim.schedule_at_cancelable(sim.now() + SimTime::from_us(100), |_| {
+            panic!("timeout fired despite cancel")
+        });
+        sim.schedule_in(SimTime::from_ns(20), move |sim| {
+            step(sim, left - 1, Some(t))
+        });
+    }
+    step(&mut sim, n, None);
+    sim.run();
+    sim.events_executed()
+}
+
+/// Alternating near hops and multi-millisecond jumps: exercises far-heap
+/// migration and empty-bucket skipping, the ladder's worst case.
+fn mixed_horizon(n: u64) -> u64 {
+    let mut sim = Sim::new();
+    fn hop(sim: &mut Sim, left: u64) {
+        if left == 0 {
+            return;
+        }
+        let delay = if left.is_multiple_of(16) {
+            SimTime::from_ms(6) // beyond the ring window
+        } else {
+            SimTime::from_ns(200)
+        };
+        sim.schedule_in(delay, move |sim| hop(sim, left - 1));
+    }
+    hop(&mut sim, n);
+    sim.run();
+    sim.events_executed()
+}
+
+fn mixed_horizon_ref(n: u64) -> u64 {
+    let mut sim = RefSim::new();
+    fn hop(sim: &mut RefSim, left: u64) {
+        if left == 0 {
+            return;
+        }
+        let delay = if left.is_multiple_of(16) {
+            SimTime::from_ms(6)
+        } else {
+            SimTime::from_ns(200)
+        };
+        sim.schedule_in(delay, move |sim| hop(sim, left - 1));
+    }
+    hop(&mut sim, n);
+    sim.run();
+    sim.events_executed()
+}
+
+fn engine_suite(quick: bool, out: &std::path::Path) {
+    let samples = if quick { 3 } else { 10 };
+    let scale: u64 = if quick { 2_000 } else { 100_000 };
+
+    println!(
+        "{:<28} {:>8} {:>12} {:>14} {:>10} {:>9}",
+        "engine scenario", "events", "ns/event", "events/sec", "ref ns/ev", "speedup"
+    );
+    let mut scenarios = vec![measure(
+        "churn_chain_near",
+        samples,
+        scale,
+        churn_chain,
+        Some(&churn_chain_ref),
+    )];
+    scenarios.push(measure(
+        "churn_preload_drain",
+        samples,
+        scale / 2,
+        preload_drain,
+        Some(&preload_drain_ref),
+    ));
+    scenarios.push(measure(
+        "schedule_now_burst",
+        samples,
+        scale,
+        now_burst,
+        Some(&now_burst_ref),
+    ));
+    scenarios.push(measure(
+        "schedule_cancel",
+        samples,
+        scale / 2,
+        schedule_cancel,
+        None,
+    ));
+    scenarios.push(measure(
+        "mixed_horizon",
+        samples,
+        scale / 2,
+        mixed_horizon,
+        Some(&mixed_horizon_ref),
+    ));
+
+    // One real workload point (the golden fig4 configuration) so the suite
+    // tracks end-to-end simulator throughput, not just queue microcosms.
+    {
+        let cfg = TlrRunCfg {
+            backend: BackendKind::Lci,
+            nodes: 4,
+            n: if quick { 12_000 } else { 24_000 },
+            tile_size: 3000,
+            multithread_am: false,
+        };
+        let mut events = 0u64;
+        let secs = median_secs(if quick { 1 } else { 3 }, || {
+            let r = run_tlr(&cfg);
+            events = r.sim_events;
+            r
+        });
+        scenarios.push(Scenario {
+            name: "fig4_point",
+            events,
+            ns_per_event: secs * 1e9 / events as f64,
+            ref_ns_per_event: None,
+        });
+    }
+
+    for s in &scenarios {
+        println!(
+            "{:<28} {:>8} {:>12.2} {:>14.3e} {:>10} {:>9}",
+            s.name,
+            s.events,
+            s.ns_per_event,
+            s.events_per_sec(),
+            s.ref_ns_per_event.map_or("-".into(), |r| format!("{r:.2}")),
+            s.speedup().map_or("-".into(), |x| format!("{x:.2}x")),
+        );
+    }
+
+    // Hand-rolled JSON (offline build: no serde).
+    let mut json = String::from("{\n  \"schema\": \"amtlc-bench-engine-v1\",\n");
+    json.push_str(&format!(
+        "  \"quick\": {quick},\n  \"samples\": {samples},\n"
+    ));
+    json.push_str("  \"scenarios\": {\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"events\": {}, \"ns_per_event\": {:.3}, \"events_per_sec\": {:.1}",
+            s.name,
+            s.events,
+            s.ns_per_event,
+            s.events_per_sec()
+        ));
+        if let (Some(r), Some(x)) = (s.ref_ns_per_event, s.speedup()) {
+            json.push_str(&format!(
+                ", \"ref_ns_per_event\": {r:.3}, \"speedup\": {x:.3}"
+            ));
+        }
+        json.push_str(if i + 1 == scenarios.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+    println!("\nengine suite written to {}", out.display());
 }
 
 fn fabric_message_rate() {
@@ -147,8 +462,33 @@ fn tlr_compression() {
 }
 
 fn main() {
+    let args = harness_args();
+    let quick = args.iter().any(|a| a == "--quick");
+    let engine_only = args.iter().any(|a| a == "--engine-only");
+    let out = {
+        let mut it = args.iter();
+        let mut path = None;
+        while let Some(a) = it.next() {
+            if a == "--out" {
+                path = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| panic!("--out requires a path")),
+                ));
+            } else if let Some(v) = a.strip_prefix("--out=") {
+                path = Some(std::path::PathBuf::from(v));
+            }
+        }
+        path.unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+        })
+    };
+
+    engine_suite(quick, &out);
+
+    if quick || engine_only {
+        return;
+    }
+    println!();
     println!("{:<40} {:>13}   [min .. max]", "benchmark", "median");
-    des_event_throughput();
     fabric_message_rate();
     minimpi_matching();
     lci_op_issue();

@@ -14,6 +14,7 @@ pub mod table;
 pub mod tlrrun;
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use amt_core::{Cluster, ClusterConfig, RunReport};
@@ -99,6 +100,100 @@ impl ObsSink {
             eprintln!("metrics report written to {}", path.display());
         }
     }
+}
+
+impl ObsSink {
+    /// Whether a sink is installed (used to force sequential sweeps so the
+    /// "first executed configuration" stays well-defined).
+    pub fn active() -> bool {
+        OBS.lock().expect("obs sink lock").is_some()
+    }
+}
+
+/// Parse the `--jobs N` / `--jobs=N` harness flag: how many worker threads
+/// a sweep may use. `0` means one per available core. Defaults to 1
+/// (sequential). Every simulation point is a self-contained [`Sim`], so
+/// sweeps are embarrassingly parallel; results are always collected in
+/// configuration order, making harness output identical for any `N`.
+///
+/// [`Sim`]: amt_simnet::Sim
+pub fn jobs_arg(args: &[String]) -> usize {
+    let mut it = args.iter();
+    let jobs: usize = loop {
+        let Some(a) = it.next() else { return 1 };
+        let v = if a == "--jobs" {
+            it.next()
+                .unwrap_or_else(|| panic!("--jobs requires a value"))
+                .as_str()
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            v
+        } else {
+            continue;
+        };
+        break v
+            .parse()
+            .unwrap_or_else(|e| panic!("--jobs {v:?} is not a number: {e}"));
+    };
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Run `point(i)` for every `i` in `0..n` across up to `jobs` threads and
+/// return the results **in index order** regardless of completion order.
+///
+/// Each simulation point builds and owns its entire `Sim`/`Cluster`, so
+/// points share no mutable state and the per-point virtual-time results are
+/// identical for any `jobs`. Worker threads pull indices from a shared
+/// atomic counter (dynamic load balancing — sweep points differ wildly in
+/// cost). A panic in any point propagates after the scope joins.
+///
+/// When an [`ObsSink`] is installed the sweep runs sequentially so the
+/// "first executed configuration" that gets traced stays well-defined.
+pub fn run_indexed<R: Send>(n: usize, jobs: usize, point: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let jobs = if ObsSink::active() {
+        1
+    } else {
+        jobs.max(1).min(n.max(1))
+    };
+    if jobs == 1 {
+        return (0..n).map(point).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = point(i);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("every slot filled after join")
+        })
+        .collect()
+}
+
+/// [`run_indexed`] over a slice of configurations.
+pub fn run_sweep<T: Sync, R: Send>(
+    items: &[T],
+    jobs: usize,
+    point: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    run_indexed(items.len(), jobs, |i| point(&items[i]))
 }
 
 /// True when the harness should run paper-scale parameters.
@@ -198,5 +293,29 @@ mod tests {
     fn size_formatting() {
         assert_eq!(fmt_size(8192), "8.00 KiB");
         assert_eq!(fmt_size(8 * 1024 * 1024), "8.00 MiB");
+    }
+
+    #[test]
+    fn jobs_arg_parses_and_defaults() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_arg(&args(&["--full"])), 1);
+        assert_eq!(jobs_arg(&args(&["--jobs", "4"])), 4);
+        assert_eq!(jobs_arg(&args(&["--jobs=7", "--full"])), 7);
+        assert!(jobs_arg(&args(&["--jobs", "0"])) >= 1);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order_at_any_width() {
+        let sequential: Vec<usize> = run_indexed(20, 1, |i| i * i);
+        for jobs in [2, 5, 8, 32] {
+            assert_eq!(run_indexed(20, jobs, |i| i * i), sequential);
+        }
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn run_sweep_maps_items_in_order() {
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(run_sweep(&items, 8, |s| s.len()), vec![1, 2, 3]);
     }
 }

@@ -18,6 +18,9 @@ pub struct TlrRunCfg {
 #[derive(Debug, Clone)]
 pub struct TlrRunResult {
     pub tts_s: f64,
+    /// Exact virtual makespan in integer nanoseconds (for golden-report
+    /// byte-identity checks; `tts_s` is this value in seconds).
+    pub makespan_ns: u64,
     /// Mean end-to-end latency (ACTIVATE send → data arrival), µs.
     pub e2e_us: f64,
     /// Mean individual ACTIVATE message latency, µs.
@@ -25,6 +28,8 @@ pub struct TlrRunResult {
     /// Mean control-path latency (ACTIVATE send → GET arrival at owner), µs.
     pub req_us: f64,
     pub tasks: u64,
+    /// Engine events executed by the simulation (wall-clock cost driver).
+    pub sim_events: u64,
     pub mean_rank: f64,
     pub worker_util: f64,
     pub comm_util: f64,
@@ -49,6 +54,7 @@ pub fn run_tlr(cfg: &TlrRunCfg) -> TlrRunResult {
     crate::ObsSink::capture(&cluster, &report);
     TlrRunResult {
         tts_s: report.makespan.as_secs_f64(),
+        makespan_ns: report.makespan.as_ns(),
         e2e_us: if report.e2e_latency_us.count() > 0 {
             report.e2e_latency_us.mean()
         } else {
@@ -65,6 +71,7 @@ pub fn run_tlr(cfg: &TlrRunCfg) -> TlrRunResult {
             0.0
         },
         tasks: report.tasks_executed,
+        sim_events: report.sim_events,
         mean_rank: chol.stats.mean_rank,
         worker_util: report.worker_util,
         comm_util: report.comm_util,

@@ -44,6 +44,12 @@ pub struct RunReport {
     /// Per task-class (name, executions, total busy time), sorted by busy
     /// time descending.
     pub class_stats: Vec<(String, u64, SimTime)>,
+    /// Engine events executed by this run (simulator-throughput metric).
+    pub sim_events: u64,
+    /// Release-mode past-scheduling clamps during this run. Non-zero means
+    /// a component scheduled into the past — a model bug that debug builds
+    /// turn into a panic.
+    pub schedule_past_clamped: u64,
 }
 
 impl RunReport {
@@ -175,11 +181,15 @@ impl Cluster {
         *self.rts.borrow_mut() = Some(node_rts.clone());
 
         let t0 = self.sim.now();
+        let ev0 = self.sim.events_executed();
+        let clamp0 = self.sim.schedule_past_clamped();
         for rt in &node_rts {
             NodeRt::init(rt, &mut self.sim);
         }
         self.sim.run();
         let makespan = self.sim.now() - t0;
+        let sim_events = self.sim.events_executed() - ev0;
+        let schedule_past_clamped = self.sim.schedule_past_clamped() - clamp0;
 
         let mut e2e = OnlineStats::new();
         let mut msg = OnlineStats::new();
@@ -236,7 +246,20 @@ impl Cluster {
             progress_util,
             engine_stats: self.engines.iter().map(|e| e.stats()).collect(),
             class_stats,
+            sim_events,
+            schedule_past_clamped,
         }
+    }
+
+    /// Engine events executed over this cluster's lifetime.
+    pub fn events_executed(&self) -> u64 {
+        self.sim.events_executed()
+    }
+
+    /// Release-mode past-scheduling clamps over this cluster's lifetime
+    /// (see [`RunReport::schedule_past_clamped`]).
+    pub fn schedule_past_clamped(&self) -> u64 {
+        self.sim.schedule_past_clamped()
     }
 
     /// Chrome-trace JSON of the last execution (enable with
@@ -281,6 +304,8 @@ impl Cluster {
             backend: self.cfg.backend,
             nodes: self.cfg.nodes,
             makespan_ns: report.makespan.as_ns(),
+            sim_events: report.sim_events,
+            schedule_past_clamped: report.schedule_past_clamped,
             stages,
             engine: engine_totals.named_counters().to_vec(),
             wire_ns: wire.as_ns(),

@@ -52,6 +52,11 @@ pub struct MetricsReport {
     pub backend: BackendKind,
     pub nodes: usize,
     pub makespan_ns: u64,
+    /// Simulator events executed by the run (engine-throughput metric).
+    pub sim_events: u64,
+    /// Release-mode past-scheduling clamps — non-zero flags a model bug
+    /// that debug builds turn into a panic.
+    pub schedule_past_clamped: u64,
     /// Per-stage lifecycle histograms + engine-internal counters, merged
     /// across all nodes.
     pub stages: MetricsRegistry,
@@ -90,6 +95,11 @@ impl MetricsReport {
             json_escape(backend_name(self.backend)),
             self.nodes,
             self.makespan_ns
+        );
+        let _ = write!(
+            out,
+            r#""sim":{{"events":{},"schedule_past_clamped":{}}},"#,
+            self.sim_events, self.schedule_past_clamped
         );
         let _ = write!(
             out,

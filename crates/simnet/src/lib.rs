@@ -10,10 +10,12 @@
 //!
 //! ## Model
 //!
-//! * [`Sim`] owns a virtual clock and a priority queue of events. An event is
-//!   a boxed `FnOnce(&mut Sim)` closure. Events scheduled for the same
-//!   virtual instant execute in scheduling order (a monotonic sequence number
-//!   breaks ties), which makes every simulation fully deterministic.
+//! * [`Sim`] owns a virtual clock and a two-level ladder/calendar queue of
+//!   events (see `engine` module docs). An event is an `FnOnce(&mut Sim)`
+//!   closure stored in an [`EventFn`] — inline when its captures fit three
+//!   words, boxed otherwise. Events scheduled for the same virtual instant
+//!   execute in scheduling order (a monotonic sequence number breaks ties),
+//!   which makes every simulation fully deterministic.
 //! * Components are ordinary Rust structs wrapped in `Rc<RefCell<_>>` and
 //!   captured by the closures they schedule. The engine is single-threaded,
 //!   so this is safe and cheap.
@@ -37,14 +39,17 @@
 //! ```
 
 mod engine;
+mod event;
 mod metrics;
+pub mod reference;
 mod resource;
 pub mod rng;
 mod stats;
 mod time;
 mod trace;
 
-pub use engine::{Event, Sim};
+pub use engine::{EventToken, Sim};
+pub use event::EventFn;
 pub use metrics::{MetricsRegistry, OverlapTracker};
 pub use resource::{CoreHandle, CoreResource, TokenPool, TokenPoolHandle};
 pub use rng::DetRng;
@@ -59,4 +64,32 @@ pub type Shared<T> = std::rc::Rc<std::cell::RefCell<T>>;
 /// Wrap a component for shared ownership inside the simulation.
 pub fn shared<T>(value: T) -> Shared<T> {
     std::rc::Rc::new(std::cell::RefCell::new(value))
+}
+
+/// Clone shared handles into a closure without the `let x2 = x.clone()`
+/// boilerplate:
+///
+/// ```
+/// use amt_simnet::{cloned, shared, Sim, SimTime};
+///
+/// let mut sim = Sim::new();
+/// let log = shared(Vec::new());
+/// sim.schedule_in(
+///     SimTime::from_us(1),
+///     cloned!([log] move |sim| log.borrow_mut().push(sim.now())),
+/// );
+/// sim.run();
+/// assert_eq!(log.borrow().len(), 1);
+/// ```
+///
+/// Each listed name is shadowed by its clone in a block around the closure,
+/// so the original handles stay usable afterwards. Keeping the capture list
+/// to the handles the closure actually needs also keeps captures small,
+/// which feeds the [`EventFn`] inline (allocation-free) representation.
+#[macro_export]
+macro_rules! cloned {
+    ([$($name:ident),+ $(,)?] $closure:expr) => {{
+        $(let $name = $name.clone();)+
+        $closure
+    }};
 }

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use crate::engine::Sim;
+use crate::event::EventFn;
 use crate::time::SimTime;
 use crate::Shared;
 
@@ -112,8 +113,8 @@ impl CoreResource {
 ///
 /// Used to model the MPI backend's 30-entry concurrent-transfer cap and the
 /// LCI packet pools whose exhaustion produces `Retry` back-pressure.
-/// A queued waiter continuation.
-type Waiter = Box<dyn FnOnce(&mut Sim)>;
+/// A queued waiter continuation (inline when its captures are small).
+type Waiter = EventFn;
 
 pub struct TokenPool {
     name: String,
@@ -190,7 +191,7 @@ impl TokenPool {
             sim.schedule_now(then);
         } else {
             self.wait_events += 1;
-            self.waiters.push_back(Box::new(then));
+            self.waiters.push_back(EventFn::new(then));
         }
     }
 
@@ -199,7 +200,7 @@ impl TokenPool {
         if let Some(waiter) = self.waiters.pop_front() {
             // Token passes directly to the waiter.
             self.acquired_total += 1;
-            sim.schedule_now(waiter);
+            sim.schedule_now_fn(waiter);
         } else {
             assert!(
                 self.available < self.capacity,
@@ -214,7 +215,7 @@ impl TokenPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::shared;
+    use crate::{cloned, shared};
 
     #[test]
     fn core_serializes_fifo() {
@@ -222,11 +223,13 @@ mod tests {
         let core = CoreResource::new_shared("c0");
         let log = shared(Vec::new());
         for i in 0..3u32 {
-            let log = log.clone();
-            core.borrow_mut()
-                .charge(&mut sim, SimTime::from_us(10), move |sim| {
+            core.borrow_mut().charge(
+                &mut sim,
+                SimTime::from_us(10),
+                cloned!([log] move |sim| {
                     log.borrow_mut().push((i, sim.now()));
-                });
+                }),
+            );
         }
         sim.run();
         assert_eq!(
@@ -247,21 +250,21 @@ mod tests {
         let mut sim = Sim::new();
         let core = CoreResource::new_shared("c0");
         let done = shared(Vec::new());
-        {
-            let core2 = core.clone();
-            let done2 = done.clone();
-            core.borrow_mut()
-                .charge(&mut sim, SimTime::from_us(5), move |_| {});
-            // Second burst arrives at t=100, after the core went idle at t=5.
-            sim.schedule_at(SimTime::from_us(100), move |sim| {
-                let done3 = done2.clone();
-                core2
-                    .borrow_mut()
-                    .charge(sim, SimTime::from_us(5), move |sim| {
-                        done3.borrow_mut().push(sim.now());
-                    });
-            });
-        }
+        core.borrow_mut()
+            .charge(&mut sim, SimTime::from_us(5), move |_| {});
+        // Second burst arrives at t=100, after the core went idle at t=5.
+        sim.schedule_at(
+            SimTime::from_us(100),
+            cloned!([core, done] move |sim| {
+                core.borrow_mut().charge(
+                    sim,
+                    SimTime::from_us(5),
+                    cloned!([done] move |sim| {
+                        done.borrow_mut().push(sim.now());
+                    }),
+                );
+            }),
+        );
         sim.run();
         assert_eq!(*done.borrow(), vec![SimTime::from_us(105)]);
         // Utilization: 10us of work over 105us.
@@ -274,9 +277,10 @@ mod tests {
         let pool = TokenPool::new_shared("p", 2);
         let log = shared(Vec::new());
         for i in 0..4u32 {
-            let log = log.clone();
-            pool.borrow_mut()
-                .acquire(&mut sim, move |sim| log.borrow_mut().push((i, sim.now())));
+            pool.borrow_mut().acquire(
+                &mut sim,
+                cloned!([log] move |sim| log.borrow_mut().push((i, sim.now()))),
+            );
         }
         // Two grants immediately, two waiting.
         sim.run();
@@ -285,18 +289,18 @@ mod tests {
         assert_eq!(pool.borrow().wait_events(), 2);
 
         // Release at t=50: waiter 2 runs.
-        let p2 = pool.clone();
-        sim.schedule_at(SimTime::from_us(50), move |sim| {
-            p2.borrow_mut().release(sim)
-        });
+        sim.schedule_at(
+            SimTime::from_us(50),
+            cloned!([pool] move |sim| pool.borrow_mut().release(sim)),
+        );
         sim.run();
         assert_eq!(log.borrow().len(), 3);
         assert_eq!(log.borrow()[2], (2, SimTime::from_us(50)));
 
-        let p3 = pool.clone();
-        sim.schedule_at(SimTime::from_us(60), move |sim| {
-            p3.borrow_mut().release(sim)
-        });
+        sim.schedule_at(
+            SimTime::from_us(60),
+            cloned!([pool] move |sim| pool.borrow_mut().release(sim)),
+        );
         sim.run();
         assert_eq!(log.borrow()[3], (3, SimTime::from_us(60)));
         assert_eq!(pool.borrow().in_use(), 2);

@@ -16,13 +16,35 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt check =="
 cargo fmt --check
 
+echo "== engine benchmark: micro --quick smoke + BENCH_engine.json schema =="
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+cargo bench --quiet -p amt-bench --bench micro -- \
+    --quick --engine-only --out "$TMP_DIR/BENCH_engine.json"
+python3 - "$TMP_DIR/BENCH_engine.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "amtlc-bench-engine-v1", d.get("schema")
+want = {"churn_chain_near", "churn_preload_drain", "schedule_now_burst",
+        "schedule_cancel", "mixed_horizon", "fig4_point"}
+got = set(d["scenarios"])
+assert want <= got, f"missing scenarios: {want - got}"
+for name, s in d["scenarios"].items():
+    assert s["events"] > 0 and s["ns_per_event"] > 0, name
+print(f"BENCH_engine.json valid ({len(got)} scenarios)")
+PY
+
+echo "== golden fig4 point: virtual-time byte-identity across backends =="
+cargo bench --quiet -p amt-bench --bench fig4_tile_scaling -- --golden \
+    > "$TMP_DIR/golden_fig4.txt"
+diff -u results/golden_fig4.txt "$TMP_DIR/golden_fig4.txt"
+echo "golden fig4 report is byte-identical"
+
 echo "== observability: example run with --trace-out/--metrics-out =="
-OBS_DIR="$(mktemp -d)"
-trap 'rm -rf "$OBS_DIR"' EXIT
 cargo run --release --quiet --example quickstart -- \
-    --trace-out "$OBS_DIR/trace.json" --metrics-out "$OBS_DIR/metrics.json"
-python3 -m json.tool "$OBS_DIR/trace.json" > /dev/null
-python3 -m json.tool "$OBS_DIR/metrics.json" > /dev/null
+    --trace-out "$TMP_DIR/trace.json" --metrics-out "$TMP_DIR/metrics.json"
+python3 -m json.tool "$TMP_DIR/trace.json" > /dev/null
+python3 -m json.tool "$TMP_DIR/metrics.json" > /dev/null
 echo "trace and metrics artifacts are valid JSON"
 
 echo "verify: all checks passed"
