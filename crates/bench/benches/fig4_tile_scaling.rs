@@ -14,20 +14,27 @@ use amt_bench::tlrrun::{run_tlr, TlrRunCfg, N_FULL, N_SCALED, TILE_SIZES};
 use amt_bench::{backend_arg, full_scale, harness_args, jobs_arg, run_sweep, ObsSink};
 use amt_comm::BackendKind;
 
-/// `-- --golden`: run one fixed, scaled fig4 point on every backend and
-/// print the exact virtual-time results (integer nanoseconds). verify.sh
-/// diffs this output against `results/golden_fig4.txt` to prove engine
-/// changes alter no virtual-time behaviour.
-fn golden_point() {
+/// `-- --golden [--jobs N]`: run one fixed, scaled fig4 point on every
+/// backend and print the exact virtual-time results (integer nanoseconds).
+/// verify.sh diffs this output against `results/golden_fig4.txt` — at
+/// several `--jobs` settings — to prove engine changes alter no
+/// virtual-time behaviour and that the sweep runner's parallelism cannot
+/// leak into results.
+fn golden_point(jobs: usize) {
     println!("golden fig4 point: N=24000 nodes=4 ts=3000 mt=false");
-    for backend in [BackendKind::Lci, BackendKind::LciDirect, BackendKind::Mpi] {
-        let r = run_tlr(&TlrRunCfg {
+    let backends = [BackendKind::Lci, BackendKind::LciDirect, BackendKind::Mpi];
+    let cfgs: Vec<TlrRunCfg> = backends
+        .iter()
+        .map(|&backend| TlrRunCfg {
             backend,
             nodes: 4,
             n: 24_000,
             tile_size: 3000,
             multithread_am: false,
-        });
+        })
+        .collect();
+    let runs = run_sweep(&cfgs, jobs, run_tlr);
+    for (backend, r) in backends.iter().zip(runs) {
         println!(
             "{backend} makespan_ns={} tasks={} e2e_us={:.6} msg_us={:.6} req_us={:.6}",
             r.makespan_ns, r.tasks, r.e2e_us, r.msg_us, r.req_us
@@ -38,7 +45,7 @@ fn golden_point() {
 fn main() {
     let args = harness_args();
     if args.iter().any(|a| a == "--golden") {
-        golden_point();
+        golden_point(jobs_arg(&args));
         return;
     }
     ObsSink::install(&args);

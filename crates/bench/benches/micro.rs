@@ -382,7 +382,7 @@ fn minimpi_matching() {
             let fabric = Fabric::new(FabricConfig::expanse(2));
             let ranks = MpiWorld::create(&fabric, MpiCosts::default());
             for i in 0..depth as u64 {
-                ranks[0].send(&mut sim, 1, 1000 + i, 32, None);
+                ranks[0].send(&mut sim, 1, 1000 + i, 32, bytes::Frames::Empty);
             }
             sim.run();
             // Drain the incoming queue into the unexpected queue.
@@ -405,7 +405,9 @@ fn lci_op_issue() {
         let eps = LciWorld::create(&fabric, LciCosts::default());
         eps[1].set_am_handler(|_, _| SimTime::ZERO);
         for _ in 0..100 {
-            eps[0].sendb(&mut sim, 1, 0, 1024, None).expect("sendb");
+            eps[0]
+                .sendb(&mut sim, 1, 0, 1024, bytes::Frames::Empty)
+                .expect("sendb");
         }
         sim.run();
     });

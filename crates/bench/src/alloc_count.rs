@@ -1,0 +1,68 @@
+//! A counting [`GlobalAlloc`] for deterministic allocation-budget metrics.
+//!
+//! The simulator is single-threaded and deterministic, so the number of
+//! heap allocations a scenario performs is a *repeatable* number, not a
+//! noisy wall-clock measurement. The comm-datapath benchmark registers
+//! [`CountingAlloc`] as its `#[global_allocator]` and reports
+//! allocations-per-delivered-message; verify.sh then diffs those columns
+//! against the committed `BENCH_comm.json` bounds.
+//!
+//! Only the benchmark binary that wants the metric registers the allocator
+//! — the library crates stay on the system allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through system allocator that counts every allocation.
+/// Register with `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+pub struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the counters are side-effect-only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is morally a fresh allocation: count it so `Vec` doubling
+        // isn't free.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Counter snapshot; subtract two to get a scenario's allocation cost.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocSnapshot {
+    pub allocs: u64,
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Current global counters.
+    pub fn now() -> Self {
+        AllocSnapshot {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Allocations and bytes since `self` was taken.
+    pub fn since(&self) -> AllocSnapshot {
+        let n = Self::now();
+        AllocSnapshot {
+            allocs: n.allocs - self.allocs,
+            bytes: n.bytes - self.bytes,
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! finishes in minutes on a laptop; pass `-- --full` (or set `AMT_FULL=1`)
 //! for the paper-scale parameters.
 
+pub mod alloc_count;
 pub mod pingpong;
 pub mod table;
 pub mod tlrrun;

@@ -8,34 +8,65 @@
 //! and the little-endian cursor methods from `Buf`/`BufMut`).
 //!
 //! Semantics match the real crate for the operations implemented here:
-//! `Bytes` is an `Arc<[u8]>` window (clone is O(1), `split_to` advances the
-//! window without copying), and the `Buf` getters consume from the front.
+//! `Bytes` is a window into shared storage (clone is O(1), `split_to` /
+//! `split_off` move the window without copying), `from_static` borrows the
+//! static slice without allocating, and the `Buf` getters consume from the
+//! front.
+//!
+//! Two additions go beyond the real crate, in service of the zero-copy comm
+//! datapath (DESIGN.md §11):
+//!
+//! * [`BufPool`] — a per-node free list of backing `Vec<u8>` buffers.
+//!   Encoders take a [`BytesMut`] from the pool; consumers that fully own a
+//!   `Bytes` at the end of its life hand it back with [`BufPool::recycle`],
+//!   which reclaims the storage only when the refcount proves exclusivity.
+//! * [`Frames`] — an ordered list of `Bytes` representing one wire message
+//!   assembled from several submissions (AM aggregation). Delivering the
+//!   frame list instead of a concatenated copy removes the per-message
+//!   copy + allocation that `concat` paid.
 
+use std::cell::RefCell;
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// Backing storage of a [`Bytes`] window.
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed static data: no allocation, no refcount.
+    Static(&'static [u8]),
+    /// Shared heap storage. `Arc<Vec<u8>>` (not `Arc<[u8]>`) so `freeze`
+    /// never shrink-copies and [`Bytes::try_reclaim`] can recover the `Vec`
+    /// for pooling.
+    Shared(Arc<Vec<u8>>),
+}
+
 /// Cheaply clonable immutable byte buffer: a view into shared storage.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
     start: usize,
     end: usize,
 }
 
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
 impl Bytes {
-    /// Creates an empty `Bytes`.
+    /// Creates an empty `Bytes` (no allocation).
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from([] as [u8; 0]),
-            start: 0,
-            end: 0,
-        }
+        Bytes::from_static(&[])
     }
 
-    /// Creates `Bytes` from a static slice (copied once into shared storage;
-    /// the real crate borrows, but callers only rely on value semantics).
+    /// Creates `Bytes` borrowing a static slice. No allocation.
     pub fn from_static(s: &'static [u8]) -> Self {
-        Bytes::from(s.to_vec())
+        Bytes {
+            repr: Repr::Static(s),
+            start: 0,
+            end: s.len(),
+        }
     }
 
     /// Number of bytes in the view.
@@ -53,7 +84,7 @@ impl Bytes {
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of bounds");
         let head = Bytes {
-            data: Arc::clone(&self.data),
+            repr: self.repr.clone(),
             start: self.start,
             end: self.start + at,
         };
@@ -61,11 +92,24 @@ impl Bytes {
         head
     }
 
+    /// Splits off and returns the bytes from `at` onwards; `self` keeps the
+    /// first `at` bytes. No copy: both halves share the backing storage.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            repr: self.repr.clone(),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+
     /// Returns a sub-view of `self` (like `Bytes::slice` in the real crate).
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
         assert!(range.start <= range.end && range.end <= self.len());
         Bytes {
-            data: Arc::clone(&self.data),
+            repr: self.repr.clone(),
             start: self.start + range.start,
             end: self.start + range.end,
         }
@@ -76,8 +120,36 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Recovers the backing `Vec<u8>` (cleared) when this view is the sole
+    /// owner of heap storage; otherwise returns the `Bytes` unchanged.
+    /// Static-backed views are never reclaimable.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        let (start, end) = (self.start, self.end);
+        match self.repr {
+            Repr::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(mut v) => {
+                    v.clear();
+                    Ok(v)
+                }
+                Err(arc) => Err(Bytes {
+                    repr: Repr::Shared(arc),
+                    start,
+                    end,
+                }),
+            },
+            r @ Repr::Static(_) => Err(Bytes {
+                repr: r,
+                start,
+                end,
+            }),
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.repr {
+            Repr::Static(s) => &s[self.start..self.end],
+            Repr::Shared(v) => &v[self.start..self.end],
+        }
     }
 }
 
@@ -85,7 +157,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            repr: Repr::Shared(Arc::new(v)),
             start: 0,
             end: len,
         }
@@ -218,14 +290,31 @@ impl BytesMut {
         self.buf.is_empty()
     }
 
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, s: &[u8]) {
         self.buf.extend_from_slice(s);
     }
 
-    /// Converts into an immutable `Bytes` without copying.
+    /// Converts into an immutable `Bytes` without copying (spare capacity
+    /// is kept with the storage so pooled buffers survive round trips).
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
     }
 }
 
@@ -239,6 +328,240 @@ impl Deref for BytesMut {
 impl std::fmt::Debug for BytesMut {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         Bytes::from(self.buf.clone()).fmt(f)
+    }
+}
+
+/// A free list of backing buffers for encode/decode round trips.
+///
+/// Not a slab and not reference-counted itself: producers call [`take`]
+/// (which pops a recycled buffer or allocates a fresh one) and consumers
+/// call [`recycle`] when a `Bytes` reaches the end of its life. `recycle`
+/// only reclaims storage it can prove exclusive via the refcount; shared
+/// buffers are silently dropped, so recycling is always safe and never
+/// affects observable values.
+///
+/// [`take`]: BufPool::take
+/// [`recycle`]: BufPool::recycle
+pub struct BufPool {
+    bufs: RefCell<Vec<Vec<u8>>>,
+    max_bufs: usize,
+}
+
+impl BufPool {
+    /// A pool keeping at most `max_bufs` free buffers.
+    pub fn new(max_bufs: usize) -> Self {
+        BufPool {
+            bufs: RefCell::new(Vec::new()),
+            max_bufs,
+        }
+    }
+
+    /// Pops a recycled buffer (growing it to `min_capacity` if needed) or
+    /// allocates a fresh one.
+    pub fn take(&self, min_capacity: usize) -> BytesMut {
+        match self.bufs.borrow_mut().pop() {
+            Some(mut v) => {
+                v.reserve(min_capacity);
+                BytesMut::from(v)
+            }
+            None => BytesMut::with_capacity(min_capacity),
+        }
+    }
+
+    /// Returns a buffer's storage to the pool if `b` is its sole owner.
+    /// Reports whether the storage was reclaimed.
+    pub fn recycle(&self, b: Bytes) -> bool {
+        if let Ok(v) = b.try_reclaim() {
+            let mut bufs = self.bufs.borrow_mut();
+            if bufs.len() < self.max_bufs {
+                bufs.push(v);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Recycles every frame of `frames`; returns how many were reclaimed.
+    pub fn recycle_frames(&self, frames: Frames) -> usize {
+        let mut n = 0;
+        match frames {
+            Frames::Empty => {}
+            Frames::One(b) => n += usize::from(self.recycle(b)),
+            Frames::Many(v) => {
+                for b in v {
+                    n += usize::from(self.recycle(b));
+                }
+            }
+        }
+        n
+    }
+
+    /// Returns an unfrozen buffer directly (e.g. an encode that was
+    /// abandoned before `freeze`).
+    pub fn put_back(&self, mut b: BytesMut) {
+        let mut bufs = self.bufs.borrow_mut();
+        if bufs.len() < self.max_bufs {
+            b.buf.clear();
+            bufs.push(b.buf);
+        }
+    }
+
+    /// Number of free buffers currently pooled.
+    pub fn free_len(&self) -> usize {
+        self.bufs.borrow().len()
+    }
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BufPool {{ free: {}, max: {} }}",
+            self.free_len(),
+            self.max_bufs
+        )
+    }
+}
+
+/// An ordered list of payload frames making up one wire message.
+///
+/// Aggregated active messages are submitted as several independent payloads
+/// that travel as one fabric message. `Frames` preserves the submission
+/// boundaries so the receiver can decode frame-by-frame with **zero**
+/// copies; the common one-payload case stays a single `Bytes` with no list
+/// allocation, and cost-only messages are `Empty`.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub enum Frames {
+    /// No payload (cost-only message).
+    #[default]
+    Empty,
+    /// Exactly one payload frame — the common, allocation-free case.
+    One(Bytes),
+    /// Two or more frames, in submission order.
+    Many(Vec<Bytes>),
+}
+
+impl Frames {
+    /// Creates an empty frame list.
+    pub fn new() -> Self {
+        Frames::Empty
+    }
+
+    /// Appends a frame.
+    pub fn push(&mut self, b: Bytes) {
+        match std::mem::take(self) {
+            Frames::Empty => *self = Frames::One(b),
+            Frames::One(first) => *self = Frames::Many(vec![first, b]),
+            Frames::Many(mut v) => {
+                v.push(b);
+                *self = Frames::Many(v);
+            }
+        }
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        match self {
+            Frames::Empty => 0,
+            Frames::One(_) => 1,
+            Frames::Many(v) => v.len(),
+        }
+    }
+
+    /// Whether there are no frames at all.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Frames::Empty)
+    }
+
+    /// Total payload length across all frames.
+    pub fn total_len(&self) -> usize {
+        self.as_slice().iter().map(Bytes::len).sum()
+    }
+
+    /// The frames as a slice, in submission order.
+    pub fn as_slice(&self) -> &[Bytes] {
+        match self {
+            Frames::Empty => &[],
+            Frames::One(b) => std::slice::from_ref(b),
+            Frames::Many(v) => v.as_slice(),
+        }
+    }
+
+    /// Iterates over the frames in submission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Bytes> {
+        self.as_slice().iter()
+    }
+
+    /// Takes the frames out, leaving `Empty` behind.
+    pub fn take(&mut self) -> Frames {
+        std::mem::take(self)
+    }
+
+    /// Collapses into a single contiguous `Bytes`: `None` when empty, the
+    /// frame itself (no copy) for one frame, and a single-allocation
+    /// concatenation otherwise. Use only where a contiguous view is truly
+    /// required; frame-aware decoding avoids the copy.
+    pub fn into_bytes(self) -> Option<Bytes> {
+        match self {
+            Frames::Empty => None,
+            Frames::One(b) => Some(b),
+            Frames::Many(v) => {
+                let total: usize = v.iter().map(Bytes::len).sum();
+                let mut out = BytesMut::with_capacity(total);
+                for f in &v {
+                    out.extend_from_slice(f);
+                }
+                Some(out.freeze())
+            }
+        }
+    }
+
+    /// Copies all frames into one contiguous `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len());
+        for f in self.iter() {
+            out.extend_from_slice(f);
+        }
+        out
+    }
+}
+
+impl From<Bytes> for Frames {
+    fn from(b: Bytes) -> Self {
+        Frames::One(b)
+    }
+}
+
+impl From<Option<Bytes>> for Frames {
+    fn from(o: Option<Bytes>) -> Self {
+        match o {
+            Some(b) => Frames::One(b),
+            None => Frames::Empty,
+        }
+    }
+}
+
+impl From<Vec<Bytes>> for Frames {
+    fn from(mut v: Vec<Bytes>) -> Self {
+        match v.len() {
+            0 => Frames::Empty,
+            1 => Frames::One(v.pop().expect("len checked")),
+            _ => Frames::Many(v),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Frames {
+    type Item = &'a Bytes;
+    type IntoIter = std::slice::Iter<'a, Bytes>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl std::fmt::Debug for Frames {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
     }
 }
 
@@ -372,6 +695,18 @@ mod tests {
     }
 
     #[test]
+    fn split_off_shares_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let tail = b.split_off(3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(&tail[..], &[4, 5]);
+        let mut s = Bytes::from_static(b"hello world");
+        let world = s.split_off(6);
+        assert_eq!(&s[..], b"hello ");
+        assert_eq!(&world[..], b"world");
+    }
+
+    #[test]
     fn le_roundtrip_through_buf_traits() {
         let mut m = BytesMut::with_capacity(32);
         m.put_u8(7);
@@ -397,5 +732,64 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, vec![9u8; 16]);
         assert!(Bytes::new().is_empty());
+        let s = Bytes::from_static(b"tag");
+        assert_eq!(s, Bytes::from(b"tag".to_vec()));
+    }
+
+    #[test]
+    fn reclaim_requires_exclusivity() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        let a = a.try_reclaim().expect_err("shared: not reclaimable");
+        assert_eq!(&a[..], &[1, 2, 3]);
+        drop(a);
+        let v = b.try_reclaim().expect("sole owner reclaims");
+        assert!(v.is_empty() && v.capacity() >= 3);
+        assert!(Bytes::from_static(b"abc").try_reclaim().is_err());
+    }
+
+    #[test]
+    fn pool_round_trips_storage() {
+        let pool = BufPool::new(4);
+        let mut m = pool.take(64);
+        m.put_slice(b"hello");
+        let cap = m.capacity();
+        let b = m.freeze();
+        assert!(pool.recycle(b));
+        assert_eq!(pool.free_len(), 1);
+        let m2 = pool.take(16);
+        assert_eq!(m2.capacity(), cap, "same storage came back");
+        assert!(m2.is_empty());
+
+        // A shared buffer is dropped, not reclaimed.
+        let pool2 = BufPool::new(4);
+        let b = Bytes::from(vec![0u8; 8]);
+        let keep = b.clone();
+        assert!(!pool2.recycle(b));
+        assert_eq!(pool2.free_len(), 0);
+        assert_eq!(keep.len(), 8);
+    }
+
+    #[test]
+    fn frames_preserve_submission_order() {
+        let mut f = Frames::new();
+        assert!(f.is_empty());
+        assert_eq!(f.clone().into_bytes(), None);
+        f.push(Bytes::from_static(b"ab"));
+        assert_eq!(f.frame_count(), 1);
+        assert_eq!(&f.clone().into_bytes().expect("one frame")[..], b"ab");
+        f.push(Bytes::from(b"cde".to_vec()));
+        f.push(Bytes::from_static(b"f"));
+        assert_eq!(f.frame_count(), 3);
+        assert_eq!(f.total_len(), 6);
+        assert_eq!(f.to_vec(), b"abcdef");
+        assert_eq!(&f.clone().into_bytes().expect("concat")[..], b"abcdef");
+        let frames: Vec<&[u8]> = f.iter().map(|b| &b[..]).collect();
+        assert_eq!(frames, vec![&b"ab"[..], b"cde", b"f"]);
+        assert_eq!(Frames::from(None), Frames::Empty);
+        assert_eq!(
+            Frames::from(Some(Bytes::from_static(b"x"))).frame_count(),
+            1
+        );
     }
 }

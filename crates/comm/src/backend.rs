@@ -14,7 +14,7 @@ use amt_lci::{LciCosts, LciWorld};
 use amt_minimpi::{MpiCosts, MpiWorld};
 use amt_netmodel::{FabricHandle, NodeId};
 use amt_simnet::{CoreHandle, Sim, SimTime};
-use bytes::Bytes;
+use bytes::{Bytes, Frames};
 
 use crate::config::{BackendKind, EngineConfig};
 use crate::engine::{CommEngine, PutRequest};
@@ -27,6 +27,22 @@ use crate::stats::EngineStats;
 /// command and micro-task queues. The owning backend downcasts it back in
 /// [`CommBackend::exec_micro`] / [`CommBackend::exec_command`].
 pub(crate) type BackendTask = Box<dyn Any>;
+
+/// A backend micro-task as returned by [`CommBackend::next_micro`]. The
+/// common recurring tasks (a progress sweep, a FIFO round) carry no data, so
+/// they travel as a plain code instead of a boxed `Any` — one less heap
+/// allocation per communication-thread round.
+pub(crate) enum BackendMicro {
+    /// Data-less micro-task, identified by a backend-private code; executed
+    /// via [`CommBackend::exec_micro_unit`].
+    Unit(u32),
+    /// Micro-task carrying data; executed via [`CommBackend::exec_micro`].
+    /// The in-tree backends queue their data-carrying micro-tasks directly
+    /// on the engine, so none constructs this today — it stays as the seam
+    /// for backends whose recurring work must carry state.
+    #[allow(dead_code)]
+    Task(BackendTask),
+}
 
 /// One communication library under the engine. All methods take the engine
 /// by `&Rc` so implementors can reach the shared actor state (`eng.inner`),
@@ -53,7 +69,9 @@ pub(crate) trait CommBackend {
     }
 
     /// Put an AM on the wire from the communication thread (or a callback
-    /// running in its context). Returns the CPU cost to charge.
+    /// running in its context). `data` may carry several frames when
+    /// aggregation merged submissions; the backend forwards them zero-copy.
+    /// Returns the CPU cost to charge.
     fn issue_am(
         &self,
         eng: &Rc<CommEngine>,
@@ -61,7 +79,7 @@ pub(crate) trait CommBackend {
         dst: NodeId,
         tag: u64,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
     ) -> SimTime;
 
     /// Multithreaded-mode AM send from a worker thread (§6.4.3), bypassing
@@ -83,16 +101,29 @@ pub(crate) trait CommBackend {
     /// Pull the backend's next micro-task, if it has one ready. Called by
     /// the actor after the generic queues (pending micro-tasks, submitted
     /// commands) are empty.
-    fn next_micro(&self, eng: &CommEngine) -> Option<BackendTask>;
+    fn next_micro(&self, eng: &CommEngine) -> Option<BackendMicro>;
 
     /// Execute one backend micro-task previously returned by
     /// [`Self::next_micro`] or queued by the backend itself.
     fn exec_micro(&self, eng: &Rc<CommEngine>, sim: &mut Sim, task: BackendTask) -> SimTime;
 
+    /// Execute one data-less backend micro-task previously returned by
+    /// [`Self::next_micro`] as [`BackendMicro::Unit`].
+    fn exec_micro_unit(&self, eng: &Rc<CommEngine>, sim: &mut Sim, code: u32) -> SimTime {
+        let _ = (eng, sim, code);
+        panic!("backend issued no unit micro-tasks but one arrived");
+    }
+
     /// A short static label for a backend micro-task, used to name its span
     /// on the communication-thread trace track.
     fn micro_label(&self, task: &BackendTask) -> &'static str {
         let _ = task;
+        "backend"
+    }
+
+    /// A short static label for a data-less backend micro-task.
+    fn micro_unit_label(&self, code: u32) -> &'static str {
+        let _ = code;
         "backend"
     }
 

@@ -14,9 +14,9 @@ use amt_netmodel::{FabricHandle, NodeId};
 use amt_simnet::{
     shared, CoreHandle, CoreResource, MetricsRegistry, OverlapTracker, Shared, Sim, SimTime, Trace,
 };
-use bytes::Bytes;
+use bytes::{BufPool, Bytes, Frames};
 
-use crate::backend::{make_backends, BackendTask, CommBackend};
+use crate::backend::{make_backends, BackendMicro, BackendTask, CommBackend};
 use crate::config::{BackendKind, EngineConfig};
 use crate::stats::EngineStats;
 
@@ -30,9 +30,12 @@ pub struct AmEvent {
     pub src: NodeId,
     pub tag: u64,
     pub size: usize,
-    /// Payload. With aggregation, multiple submitted payloads arrive
-    /// concatenated; the consumer's records must be self-delimiting.
-    pub data: Option<Bytes>,
+    /// Payload frames, zero-copy. With aggregation, each submission's
+    /// payload arrives as its own frame, in submission order; the
+    /// consumer's records must be self-delimiting within a frame. Consumers
+    /// that finish with the payload should return it via
+    /// [`CommEngine::buf_pool`] so the buffers get reused.
+    pub data: Frames,
 }
 
 /// A completed put delivered to the target's registered one-sided callback.
@@ -72,7 +75,7 @@ pub(crate) enum Command {
         dst: NodeId,
         tag: u64,
         size: usize,
-        frames: Vec<Bytes>,
+        frames: Frames,
         aggregate: bool,
         submissions: u64,
         /// When the first submission entered the queue (the `submit →
@@ -99,6 +102,10 @@ pub(crate) enum Micro {
     /// callback, a FIFO round, ...). Executed via
     /// [`CommBackend::exec_micro`].
     Backend(BackendTask),
+    /// A data-less backend micro-task identified by a backend-private
+    /// code — avoids a `Box<dyn Any>` allocation per round. Executed via
+    /// [`CommBackend::exec_micro_unit`].
+    BackendUnit(u32),
 }
 
 pub(crate) struct Inner {
@@ -146,6 +153,11 @@ pub struct CommEngine {
     cmdq_name: String,
     /// Counter-track name for origin-side in-flight puts.
     puts_name: String,
+    /// Recycled payload buffers: consumers return delivered frames here,
+    /// producers (handshake/record encoders) draw from it, so steady-state
+    /// traffic reuses a bounded working set instead of allocating per
+    /// message.
+    pool: BufPool,
 }
 
 /// Factory for per-node engines over a shared fabric.
@@ -176,6 +188,7 @@ impl CommWorld {
                 prog_track: format!("n{node}.prog"),
                 cmdq_name: format!("n{node}.cmdq"),
                 puts_name: format!("n{node}.puts"),
+                pool: BufPool::new(64),
             });
             eng.backend.init(&eng, sim);
             engines.push(eng);
@@ -231,6 +244,13 @@ impl CommEngine {
     pub fn stats(&self) -> EngineStats {
         let base = self.inner.borrow().stats.clone();
         self.backend.stats(base)
+    }
+
+    /// The engine's payload-buffer pool. Consumers of delivered
+    /// [`AmEvent`]s recycle spent frames here; internal encoders draw from
+    /// it.
+    pub fn buf_pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// The engine's trace collector (communication + progress tracks). Empty
@@ -349,7 +369,7 @@ impl CommEngine {
                 // Issued immediately from communication-thread context: the
                 // queue-wait stage of the lifecycle is zero.
                 self.record_stage("am.queue_ns", SimTime::ZERO);
-                let c = self.issue_am(sim, dst, tag, size, data.into_iter().collect(), 1);
+                let c = self.issue_am(sim, dst, tag, size, Frames::from(data), 1);
                 self.inner.borrow_mut().ctx_cost += c;
                 return;
             }
@@ -381,7 +401,7 @@ impl CommEngine {
                 dst,
                 tag,
                 size,
-                frames: data.into_iter().collect(),
+                frames: Frames::from(data),
                 aggregate,
                 submissions: 1,
                 submitted_at: sim.now(),
@@ -466,7 +486,10 @@ impl CommEngine {
                 return Some(Micro::Commands);
             }
         }
-        self.backend.next_micro(self).map(Micro::Backend)
+        self.backend.next_micro(self).map(|m| match m {
+            BackendMicro::Unit(c) => Micro::BackendUnit(c),
+            BackendMicro::Task(t) => Micro::Backend(t),
+        })
     }
 
     /// Run the communication thread until it has no work: each micro-task's
@@ -489,6 +512,7 @@ impl CommEngine {
         let label = match &task {
             Micro::Commands => "commands",
             Micro::Backend(t) => eng.backend.micro_label(t),
+            Micro::BackendUnit(c) => eng.backend.micro_unit_label(*c),
         };
         let round_start = sim.now();
         let mut cost = eng.execute_micro(sim, task);
@@ -523,6 +547,7 @@ impl CommEngine {
         match task {
             Micro::Commands => self.exec_commands(sim),
             Micro::Backend(t) => self.backend.exec_micro(self, sim, t),
+            Micro::BackendUnit(c) => self.backend.exec_micro_unit(self, sim, c),
         }
     }
 
@@ -576,24 +601,24 @@ impl CommEngine {
     }
 
     /// Issue an AM on the wire (from the communication thread or a
-    /// callback). `frames` are concatenated when aggregation merged several
-    /// submissions.
+    /// callback). When aggregation merged several submissions, `frames`
+    /// carries one frame per submission, in order — delivered zero-copy,
+    /// never concatenated.
     pub(crate) fn issue_am(
         self: &Rc<Self>,
         sim: &mut Sim,
         dst: NodeId,
         tag: u64,
         size: usize,
-        frames: Vec<Bytes>,
+        frames: Frames,
         submissions: u64,
     ) -> SimTime {
-        let data = concat_frames(frames);
         {
             let mut inner = self.inner.borrow_mut();
             inner.stats.am_sent.inc();
             let _ = submissions;
         }
-        let c = self.backend.issue_am(self, sim, dst, tag, size, data);
+        let c = self.backend.issue_am(self, sim, dst, tag, size, frames);
         self.record_stage("am.inject_ns", c);
         c
     }
@@ -622,21 +647,6 @@ impl CommEngine {
         let mut inner = self.inner.borrow_mut();
         inner.in_ctx = false;
         c + std::mem::take(&mut inner.ctx_cost)
-    }
-}
-
-fn concat_frames(mut frames: Vec<Bytes>) -> Option<Bytes> {
-    match frames.len() {
-        0 => None,
-        1 => frames.pop(),
-        _ => {
-            let total: usize = frames.iter().map(|f| f.len()).sum();
-            let mut out = bytes::BytesMut::with_capacity(total);
-            for f in frames {
-                out.extend_from_slice(&f);
-            }
-            Some(out.freeze())
-        }
     }
 }
 

@@ -9,9 +9,9 @@ use std::rc::{Rc, Weak};
 use amt_lci::{AmMsg, Lci, LciError, OnComplete, PutMsg};
 use amt_netmodel::NodeId;
 use amt_simnet::{Counter, Sim, SimTime};
-use bytes::Bytes;
+use bytes::{Bytes, Frames};
 
-use crate::backend::{BackendTask, CommBackend};
+use crate::backend::{BackendMicro, BackendTask, CommBackend};
 use crate::config::{BackendKind, EngineConfig};
 use crate::engine::{
     dispatch_am, dispatch_onesided, dispatch_put_local, AmEvent, CommEngine, Command, Micro,
@@ -67,16 +67,17 @@ struct DelegatedRecv {
     cb_data: Bytes,
 }
 
-/// The LCI backend's private micro-tasks.
+/// Unit micro-task codes ([`BackendMicro::Unit`] — no boxed allocation for
+/// the recurring data-less rounds).
+const MICRO_FIFO_ROUND: u32 = 0;
+const MICRO_DELEGATED: u32 = 1;
+
+/// The LCI backend's private data-carrying micro-tasks.
 enum LciMicro {
-    /// One §5.3.4 fairness round over the completion FIFOs.
-    FifoRound,
     /// One queued AM callback.
     Am(QueuedAm),
     /// One bulk-data completion callback.
     Data(DataDone),
-    /// Retry receives delegated by the progress thread.
-    Delegated,
 }
 
 /// The LCI backend's private retriable commands.
@@ -86,7 +87,7 @@ enum LciCmd {
         dst: NodeId,
         tag: u64,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
     },
 }
 
@@ -148,7 +149,7 @@ fn on_am(
 
     // Specialized handshake path.
     let mut cost = HS_HANDLER_COST;
-    let hs = PutHandshake::decode(msg.data.expect("handshake payload"));
+    let hs = PutHandshake::decode(msg.data.into_bytes().expect("handshake payload"));
     if msg.owns_packet {
         ep.buffer_free(sim);
     }
@@ -315,7 +316,7 @@ impl LciBackend {
             rtag,
             size,
             data.clone(),
-            imm.encode(),
+            imm.encode_with(eng.buf_pool()),
             rtag,
             OnComplete::Handler(Box::new(move |sim, e| {
                 if let (Some(eng), Some(st)) = (weak_eng.upgrade(), weak_st.upgrade()) {
@@ -388,14 +389,10 @@ impl LciBackend {
             popped = true;
         }
         if std::mem::take(&mut st.retry_wanted) && !st.delegated.is_empty() {
-            inner
-                .micro
-                .push_back(Micro::Backend(Box::new(LciMicro::Delegated)));
+            inner.micro.push_back(Micro::BackendUnit(MICRO_DELEGATED));
         }
         if popped {
-            inner
-                .micro
-                .push_back(Micro::Backend(Box::new(LciMicro::FifoRound)));
+            inner.micro.push_back(Micro::BackendUnit(MICRO_FIFO_ROUND));
         }
         cost
     }
@@ -524,7 +521,7 @@ impl CommBackend for LciBackend {
         dst: NodeId,
         tag: u64,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
     ) -> SimTime {
         let costs = self.ep.costs();
         let res = if size <= costs.imm_max {
@@ -568,9 +565,11 @@ impl CommBackend for LciBackend {
         }
         let costs = self.ep.costs();
         let res = if size <= costs.imm_max {
-            self.ep.sendi(sim, dst, tag, size, data.clone())
+            self.ep
+                .sendi(sim, dst, tag, size, Frames::from(data.clone()))
         } else {
-            self.ep.sendb(sim, dst, tag, size, data.clone())
+            self.ep
+                .sendb(sim, dst, tag, size, Frames::from(data.clone()))
         };
         match res {
             Ok(c) => c,
@@ -622,10 +621,13 @@ impl CommBackend for LciBackend {
                 eager,
             };
             let wire_len = hs.wire_len();
-            match self
-                .ep
-                .sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(hs.encode()))
-            {
+            match self.ep.sendb(
+                sim,
+                dst,
+                HS_FLAG | rtag,
+                wire_len,
+                Frames::from(hs.encode_with(eng.buf_pool())),
+            ) {
                 Ok(c) => {
                     eng.wire_add(dst, sim.now(), 1);
                     // Data copied into the packet: local completion
@@ -727,12 +729,15 @@ impl CommBackend for LciBackend {
                 cb_data,
                 eager: EagerMode::Rendezvous,
             };
-            let enc = hs.encode();
+            let enc = hs.encode_with(eng.buf_pool());
             let wire_len = enc.len();
-            match self
-                .ep
-                .sendb(sim, dst, HS_FLAG | rtag, wire_len, Some(enc.clone()))
-            {
+            match self.ep.sendb(
+                sim,
+                dst,
+                HS_FLAG | rtag,
+                wire_len,
+                Frames::from(enc.clone()),
+            ) {
                 Ok(c) => cost += c,
                 Err(LciError::Retry) => {
                     // The data send is in flight; only the handshake needs
@@ -746,7 +751,7 @@ impl CommBackend for LciBackend {
                             dst,
                             tag: HS_FLAG | rtag,
                             size: wire_len,
-                            data: Some(enc),
+                            data: Frames::from(enc),
                         })));
                 }
             }
@@ -754,34 +759,46 @@ impl CommBackend for LciBackend {
         }
     }
 
-    fn next_micro(&self, eng: &CommEngine) -> Option<BackendTask> {
+    fn next_micro(&self, eng: &CommEngine) -> Option<BackendMicro> {
         let _ = eng;
         let st = self.st.borrow();
         if !st.am_fifo.is_empty()
             || !st.data_fifo.is_empty()
             || (st.retry_wanted && !st.delegated.is_empty())
         {
-            return Some(Box::new(LciMicro::FifoRound));
+            return Some(BackendMicro::Unit(MICRO_FIFO_ROUND));
         }
         None
     }
 
     fn exec_micro(&self, eng: &Rc<CommEngine>, sim: &mut Sim, task: BackendTask) -> SimTime {
         match *task.downcast::<LciMicro>().expect("foreign micro-task") {
-            LciMicro::FifoRound => self.exec_fifo_round(eng),
             LciMicro::Am(a) => self.exec_am(eng, sim, a),
             LciMicro::Data(d) => self.exec_data(eng, sim, d),
-            LciMicro::Delegated => self.exec_delegated(eng, sim),
+        }
+    }
+
+    fn exec_micro_unit(&self, eng: &Rc<CommEngine>, sim: &mut Sim, code: u32) -> SimTime {
+        match code {
+            MICRO_FIFO_ROUND => self.exec_fifo_round(eng),
+            MICRO_DELEGATED => self.exec_delegated(eng, sim),
+            c => panic!("unknown unit micro-task code {c}"),
         }
     }
 
     fn micro_label(&self, task: &BackendTask) -> &'static str {
         match task.downcast_ref::<LciMicro>() {
-            Some(LciMicro::FifoRound) => "fifo_round",
             Some(LciMicro::Am(_)) => "am",
             Some(LciMicro::Data(_)) => "data",
-            Some(LciMicro::Delegated) => "delegated",
             None => "backend",
+        }
+    }
+
+    fn micro_unit_label(&self, code: u32) -> &'static str {
+        match code {
+            MICRO_FIFO_ROUND => "fifo_round",
+            MICRO_DELEGATED => "delegated",
+            _ => "backend",
         }
     }
 

@@ -26,9 +26,9 @@ use std::rc::Rc;
 use amt_lci::Lci;
 use amt_netmodel::NodeId;
 use amt_simnet::{CoreHandle, Sim, SimTime};
-use bytes::Bytes;
+use bytes::{Bytes, Frames};
 
-use crate::backend::{BackendTask, CommBackend};
+use crate::backend::{BackendMicro, BackendTask, CommBackend};
 use crate::config::{BackendKind, EngineConfig};
 use crate::engine::{CommEngine, PutRequest};
 use crate::lci_backend::LciBackend;
@@ -68,7 +68,7 @@ impl CommBackend for LciDirect {
         dst: NodeId,
         tag: u64,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
     ) -> SimTime {
         self.base.issue_am(eng, sim, dst, tag, size, data)
     }
@@ -96,7 +96,7 @@ impl CommBackend for LciDirect {
         }
     }
 
-    fn next_micro(&self, eng: &CommEngine) -> Option<BackendTask> {
+    fn next_micro(&self, eng: &CommEngine) -> Option<BackendMicro> {
         self.base.next_micro(eng)
     }
 
@@ -104,8 +104,16 @@ impl CommBackend for LciDirect {
         self.base.exec_micro(eng, sim, task)
     }
 
+    fn exec_micro_unit(&self, eng: &Rc<CommEngine>, sim: &mut Sim, code: u32) -> SimTime {
+        self.base.exec_micro_unit(eng, sim, code)
+    }
+
     fn micro_label(&self, task: &BackendTask) -> &'static str {
         self.base.micro_label(task)
+    }
+
+    fn micro_unit_label(&self, code: u32) -> &'static str {
+        self.base.micro_unit_label(code)
     }
 
     fn exec_command(&self, eng: &Rc<CommEngine>, sim: &mut Sim, cmd: BackendTask) -> SimTime {

@@ -9,9 +9,9 @@ use std::rc::{Rc, Weak};
 use amt_minimpi::{Completion, Mpi, ReqId, SrcSel};
 use amt_netmodel::NodeId;
 use amt_simnet::{CoreHandle, CoreResource, Counter, Sim, SimTime};
-use bytes::Bytes;
+use bytes::{Bytes, Frames};
 
-use crate::backend::{BackendTask, CommBackend};
+use crate::backend::{BackendMicro, BackendTask, CommBackend};
 use crate::config::BackendKind;
 use crate::engine::{
     dispatch_am, dispatch_onesided, dispatch_put_local, AmEvent, CommEngine, Micro, PutEvent,
@@ -25,11 +25,14 @@ pub(crate) const HS_TAG: u64 = RESERVED_TAG_BASE;
 /// Data-transfer tags: `DATA_TAG_BASE + put_id`, unique per origin.
 pub(crate) const DATA_TAG_BASE: u64 = RESERVED_TAG_BASE + 1;
 
-/// The MPI backend's private micro-tasks, carried through the engine's
-/// generic queue as [`BackendTask`]s.
+/// Unit micro-task code: one `Testsome` sweep over the global request
+/// array. Data-less, so it travels as [`BackendMicro::Unit`] — no boxed
+/// allocation per progress round.
+const MICRO_PROGRESS: u32 = 0;
+
+/// The MPI backend's private data-carrying micro-tasks, carried through the
+/// engine's generic queue as [`BackendTask`]s.
 enum MpiMicro {
-    /// One `Testsome` sweep over the global request array.
-    Progress,
     /// One completed request's callback work.
     Completion(Completion),
 }
@@ -76,6 +79,9 @@ struct MpiState {
     put_seq: u64,
     /// A `Testsome` sweep is wanted (set by the backend waker).
     progress_queued: bool,
+    /// Reusable request-id scratch for `Testsome` sweeps (no per-sweep
+    /// allocation once it has grown to the array size).
+    req_scratch: Vec<ReqId>,
     /// Times a put had to be deferred for lack of transfer slots.
     stat_deferred: Counter,
     /// Times a receive was posted as "dynamic" outside the polled array.
@@ -125,8 +131,15 @@ impl MpiBackend {
     /// (§4.2.3: "if no communications were completed ... the progress
     /// function returns; otherwise, it repeats").
     fn exec_progress(&self, eng: &Rc<CommEngine>, sim: &mut Sim) -> SimTime {
-        let reqs: Vec<ReqId> = self.st.borrow().tracked.iter().map(|t| t.req).collect();
+        let reqs = {
+            let mut st = self.st.borrow_mut();
+            let mut reqs = std::mem::take(&mut st.req_scratch);
+            reqs.clear();
+            reqs.extend(st.tracked.iter().map(|t| t.req));
+            reqs
+        };
         let (completions, cost) = self.mpi.testsome(sim, &reqs);
+        self.st.borrow_mut().req_scratch = reqs;
         if !completions.is_empty() {
             let mut inner = eng.inner.borrow_mut();
             for c in completions {
@@ -134,9 +147,7 @@ impl MpiBackend {
                     .micro
                     .push_back(Micro::Backend(Box::new(MpiMicro::Completion(c))));
             }
-            inner
-                .micro
-                .push_back(Micro::Backend(Box::new(MpiMicro::Progress)));
+            inner.micro.push_back(Micro::BackendUnit(MICRO_PROGRESS));
         }
         cost
     }
@@ -167,12 +178,8 @@ impl MpiBackend {
                 // Execute the callback, then re-enable the persistent
                 // receive.
                 if tag == HS_TAG {
-                    cost += self.handle_handshake(
-                        eng,
-                        sim,
-                        c.status.src,
-                        c.status.data.expect("handshake payload"),
-                    );
+                    let payload = c.status.data.into_bytes().expect("handshake payload");
+                    cost += self.handle_handshake(eng, sim, c.status.src, payload);
                 } else {
                     // Wire stage ends when `Testsome` discovers the receive;
                     // the callback then runs inline (§4.2.3), so the deliver
@@ -225,7 +232,7 @@ impl MpiBackend {
                     PutEvent {
                         src,
                         size: c.status.size,
-                        data: c.status.data,
+                        data: c.status.data.into_bytes(),
                         cb_data: meta.cb_data,
                     },
                 );
@@ -256,9 +263,13 @@ impl MpiBackend {
             cb_data: req.cb_data,
             eager: EagerMode::Rendezvous,
         };
-        let enc = hs.encode();
-        let mut cost = self.mpi.send(sim, req.dst, HS_TAG, enc.len(), Some(enc));
-        let (sreq, c2) = self.mpi.isend(sim, req.dst, data_tag, req.size, req.data);
+        let enc = hs.encode_with(eng.buf_pool());
+        let mut cost = self
+            .mpi
+            .send(sim, req.dst, HS_TAG, enc.len(), Frames::from(enc));
+        let (sreq, c2) = self
+            .mpi
+            .isend(sim, req.dst, data_tag, req.size, Frames::from(req.data));
         cost += c2;
         eng.wire_add(req.dst, sim.now(), 1);
         let mut st = self.st.borrow_mut();
@@ -404,7 +415,7 @@ impl CommBackend for MpiBackend {
         dst: NodeId,
         tag: u64,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
     ) -> SimTime {
         let _ = eng;
         self.mpi.send(sim, dst, tag, size, data)
@@ -431,7 +442,7 @@ impl CommBackend for MpiBackend {
         // The message leaves once the lock slot is served.
         let mpi = self.mpi.clone();
         sim.schedule_at(end, move |sim| {
-            let _ = mpi.send(sim, dst, tag, size, data);
+            let _ = mpi.send(sim, dst, tag, size, Frames::from(data));
         });
         end - now
     }
@@ -454,29 +465,37 @@ impl CommBackend for MpiBackend {
         self.start_put(eng, sim, req)
     }
 
-    fn next_micro(&self, eng: &CommEngine) -> Option<BackendTask> {
+    fn next_micro(&self, eng: &CommEngine) -> Option<BackendMicro> {
         let _ = eng;
         let mut st = self.st.borrow_mut();
         if st.progress_queued {
             st.progress_queued = false;
-            return Some(Box::new(MpiMicro::Progress));
+            return Some(BackendMicro::Unit(MICRO_PROGRESS));
         }
         None
     }
 
     fn exec_micro(&self, eng: &Rc<CommEngine>, sim: &mut Sim, task: BackendTask) -> SimTime {
         match *task.downcast::<MpiMicro>().expect("foreign micro-task") {
-            MpiMicro::Progress => self.exec_progress(eng, sim),
             MpiMicro::Completion(c) => self.exec_completion(eng, sim, c),
         }
     }
 
+    fn exec_micro_unit(&self, eng: &Rc<CommEngine>, sim: &mut Sim, code: u32) -> SimTime {
+        debug_assert_eq!(code, MICRO_PROGRESS);
+        self.exec_progress(eng, sim)
+    }
+
     fn micro_label(&self, task: &BackendTask) -> &'static str {
         match task.downcast_ref::<MpiMicro>() {
-            Some(MpiMicro::Progress) => "testsome",
             Some(MpiMicro::Completion(_)) => "completion",
             None => "backend",
         }
+    }
+
+    fn micro_unit_label(&self, code: u32) -> &'static str {
+        debug_assert_eq!(code, MICRO_PROGRESS);
+        "testsome"
     }
 
     fn serializing_lock(&self) -> Option<CoreHandle> {

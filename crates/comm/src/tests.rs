@@ -45,7 +45,7 @@ fn am_roundtrip_all_backends() {
         let log = got.borrow();
         assert_eq!(log.len(), 1, "{backend}: AM not delivered");
         assert_eq!(log[0].0, 0);
-        assert_eq!(log[0].3.as_ref(), Some(&payload));
+        assert_eq!(log[0].3.to_vec(), &payload[..]);
         assert_eq!(engines[0].stats().am_sent.get(), 1);
         assert_eq!(engines[1].stats().am_received.get(), 1);
         assert_eq!(engines[0].backend(), backend);
@@ -65,9 +65,9 @@ fn am_delivery_preserves_submission_order() {
             &mut sim,
             2,
             Rc::new(move |_sim, _eng, ev| {
-                // Payloads may arrive concatenated (aggregation); every
-                // byte records its submission index.
-                g.borrow_mut().extend_from_slice(&ev.data.expect("payload"));
+                // Payloads may arrive as multi-frame batches (aggregation);
+                // every byte records its submission index.
+                g.borrow_mut().extend_from_slice(&ev.data.to_vec());
                 SimTime::from_ns(50)
             }),
         );
@@ -189,9 +189,13 @@ fn activates_aggregate_per_destination() {
             "{backend}: no aggregation happened ({} wire msgs)",
             stats.am_sent.get()
         );
-        // All payload bytes arrive, concatenated.
+        // All payload bytes arrive, in submission order, carried as frames
+        // (no concatenation copy on the send side).
         let total: usize = got.borrow().iter().map(|(s, _)| *s).sum();
         assert_eq!(total, 32, "{backend}");
+        let bytes: Vec<u8> = got.borrow().iter().flat_map(|(_, d)| d.to_vec()).collect();
+        let expect: Vec<u8> = (0..4u8).flat_map(|i| vec![i; 8]).collect();
+        assert_eq!(bytes, expect, "{backend}");
     }
 }
 

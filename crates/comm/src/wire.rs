@@ -6,7 +6,7 @@
 //! the put payload *eagerly* inside the handshake (§5.3.3); in cost-only
 //! simulations the payload bytes are absent but still counted on the wire.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BufPool, Bytes, BytesMut};
 
 /// How the put payload travels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,8 +54,15 @@ impl PutHandshake {
         8 + 8 + 8 + 4 + self.cb_data.len() + 1 + self.eager_len()
     }
 
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(self.wire_len().min(64 * 1024));
+    /// Encode into a buffer drawn from `pool` — steady-state handshake
+    /// traffic then reuses recycled payload storage instead of allocating.
+    pub fn encode_with(&self, pool: &BufPool) -> Bytes {
+        let mut b = pool.take(self.wire_len().min(64 * 1024));
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    fn encode_into(&self, b: &mut BytesMut) {
         b.put_u64_le(self.data_tag);
         b.put_u64_le(self.size);
         b.put_u64_le(self.r_tag);
@@ -70,7 +77,6 @@ impl PutHandshake {
                 b.put_slice(e);
             }
         }
-        b.freeze()
     }
 
     pub fn decode(mut b: Bytes) -> Self {
@@ -99,6 +105,10 @@ impl PutHandshake {
 mod tests {
     use super::*;
 
+    fn encode(hs: &PutHandshake) -> Bytes {
+        hs.encode_with(&BufPool::new(4))
+    }
+
     #[test]
     fn roundtrip_rendezvous() {
         let hs = PutHandshake {
@@ -108,7 +118,7 @@ mod tests {
             cb_data: Bytes::from_static(b"callback-data"),
             eager: EagerMode::Rendezvous,
         };
-        let enc = hs.encode();
+        let enc = encode(&hs);
         assert_eq!(enc.len(), hs.wire_len());
         assert_eq!(PutHandshake::decode(enc), hs);
         assert!(!hs.is_eager());
@@ -123,7 +133,7 @@ mod tests {
             cb_data: Bytes::new(),
             eager: EagerMode::EagerBytes(Bytes::from_static(b"tiny!")),
         };
-        let enc = hs.encode();
+        let enc = encode(&hs);
         assert_eq!(enc.len(), hs.wire_len());
         let dec = PutHandshake::decode(enc);
         assert_eq!(
@@ -145,8 +155,8 @@ mod tests {
         assert!(hs.wire_len() > 4096);
         // The encoded header is small; the wire size is declared, not
         // materialized.
-        assert!(hs.encode().len() < 100);
-        let dec = PutHandshake::decode(hs.encode());
+        assert!(encode(&hs).len() < 100);
+        let dec = PutHandshake::decode(encode(&hs));
         assert_eq!(dec.eager, EagerMode::EagerCostOnly);
         assert_eq!(dec.eager_len(), 4096);
     }

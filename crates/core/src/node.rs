@@ -271,7 +271,7 @@ impl NodeRt {
         let mut extra = SimTime::ZERO;
         for s in sends {
             let wire = ACTIVATE_WIRE_BYTES + 4 * s.rec.forward.len();
-            let payload = s.rec.encode_one();
+            let payload = s.rec.encode_one_with(engine.buf_pool());
             if trace_on {
                 let id = flow_id(FLOW_ACTIVATE, s.rec.version, node, s.dst);
                 rt.borrow_mut().trace.flow_start(
@@ -331,7 +331,7 @@ impl NodeRt {
                 child as NodeId,
                 AM_ACTIVATE,
                 wire,
-                Some(rec.encode_one()),
+                Some(rec.encode_one_with(engine.buf_pool())),
             );
         }
     }
@@ -479,7 +479,13 @@ impl NodeRt {
     /// announced flow and request it now or defer it behind the in-flight
     /// window (§4.1).
     pub fn on_activate(rt: &RtHandle, sim: &mut Sim, ev: AmEvent) -> SimTime {
-        let recs = ActivateRec::decode_all(ev.data.expect("ACTIVATE payload"));
+        let recs = ActivateRec::decode_frames(&ev.data);
+        // The arrival buffers are dead after decoding: feed them back to the
+        // engine's pool so outgoing encodes reuse them instead of allocating.
+        {
+            let engine = rt.borrow().engine.clone();
+            engine.buf_pool().recycle_frames(ev.data);
+        }
         let mut cost = SimTime::ZERO;
         {
             let mut r = rt.borrow_mut();
@@ -580,7 +586,7 @@ impl NodeRt {
                 get.src,
                 AM_GETDATA,
                 GET_WIRE_BYTES,
-                Some(rec.encode()),
+                Some(rec.encode_with(engine.buf_pool())),
                 false,
             );
             cost += rt.borrow().cfg.cost.get_send_cost;
@@ -589,7 +595,11 @@ impl NodeRt {
 
     /// GET DATA callback at the data owner: start the put (Figure 1).
     pub fn on_getdata(rt: &RtHandle, sim: &mut Sim, ev: AmEvent) -> SimTime {
-        let recs = GetRec::decode_all(ev.data.expect("GET DATA payload"));
+        let recs = GetRec::decode_frames(&ev.data);
+        {
+            let engine = rt.borrow().engine.clone();
+            engine.buf_pool().recycle_frames(ev.data);
+        }
         let mut cost = SimTime::ZERO;
         for rec in recs {
             {
@@ -625,7 +635,7 @@ impl NodeRt {
                     size,
                     data,
                     r_tag: RTAG_DATA,
-                    cb_data: cb.encode(),
+                    cb_data: cb.encode_with(engine.buf_pool()),
                     on_local: Box::new(|_sim, _eng| SimTime::ZERO),
                 },
             );

@@ -7,7 +7,7 @@
 //! per-message and end-to-end latency exactly as the paper does (§6.1.3 —
 //! our virtual clock is global, so no clock synchronization is required).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BufPool, Bytes, BytesMut, Frames};
 
 /// Wire size charged per ACTIVATE record (the real runtime sends remote-deps
 /// descriptors of roughly this size).
@@ -56,8 +56,26 @@ impl ActivateRec {
         }
     }
 
-    pub fn decode_all(mut b: Bytes) -> Vec<ActivateRec> {
+    #[cfg(test)]
+    pub fn decode_all(b: Bytes) -> Vec<ActivateRec> {
         let mut out = Vec::new();
+        Self::decode_into(b, &mut out);
+        out
+    }
+
+    /// Decode an aggregated delivery frame by frame. Frames align to
+    /// submission boundaries, so per-frame decoding yields exactly the
+    /// records a decode of the concatenation would — without materializing
+    /// the concatenation.
+    pub fn decode_frames(f: &Frames) -> Vec<ActivateRec> {
+        let mut out = Vec::new();
+        for b in f.iter() {
+            Self::decode_into(b.clone(), &mut out);
+        }
+        out
+    }
+
+    fn decode_into(mut b: Bytes, out: &mut Vec<ActivateRec>) {
         while b.has_remaining() {
             assert!(b.remaining() >= Self::HDR_BYTES, "torn ACTIVATE payload");
             let version = b.get_u64_le();
@@ -75,11 +93,19 @@ impl ActivateRec {
                 forward,
             });
         }
-        out
     }
 
+    #[cfg(test)]
     pub fn encode_one(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(self.enc_len());
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Encode into a buffer drawn from `pool`; steady-state ACTIVATE traffic
+    /// reuses recycled arrival buffers instead of allocating.
+    pub fn encode_one_with(&self, pool: &BufPool) -> Bytes {
+        let mut b = pool.take(self.enc_len());
         self.encode_into(&mut b);
         b.freeze()
     }
@@ -110,23 +136,50 @@ pub struct GetRec {
 impl GetRec {
     pub const ENC_BYTES: usize = 16;
 
+    #[cfg(test)]
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(Self::ENC_BYTES);
-        b.put_u64_le(self.version);
-        b.put_u64_le(self.activate_sent_at_ns);
+        self.encode_into(&mut b);
         b.freeze()
     }
 
-    pub fn decode_all(mut b: Bytes) -> Vec<GetRec> {
-        assert_eq!(b.len() % Self::ENC_BYTES, 0, "torn GET DATA payload");
+    /// Encode into a buffer drawn from `pool`.
+    pub fn encode_with(&self, pool: &BufPool) -> Bytes {
+        let mut b = pool.take(Self::ENC_BYTES);
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    fn encode_into(&self, b: &mut BytesMut) {
+        b.put_u64_le(self.version);
+        b.put_u64_le(self.activate_sent_at_ns);
+    }
+
+    #[cfg(test)]
+    pub fn decode_all(b: Bytes) -> Vec<GetRec> {
         let mut out = Vec::with_capacity(b.len() / Self::ENC_BYTES);
+        Self::decode_into(b, &mut out);
+        out
+    }
+
+    /// Decode an aggregated delivery frame by frame (see
+    /// [`ActivateRec::decode_frames`]).
+    pub fn decode_frames(f: &Frames) -> Vec<GetRec> {
+        let mut out = Vec::with_capacity(f.total_len() / Self::ENC_BYTES);
+        for b in f.iter() {
+            Self::decode_into(b.clone(), &mut out);
+        }
+        out
+    }
+
+    fn decode_into(mut b: Bytes, out: &mut Vec<GetRec>) {
+        assert_eq!(b.len() % Self::ENC_BYTES, 0, "torn GET DATA payload");
         while b.has_remaining() {
             out.push(GetRec {
                 version: b.get_u64_le(),
                 activate_sent_at_ns: b.get_u64_le(),
             });
         }
-        out
     }
 }
 
@@ -139,8 +192,17 @@ pub struct PutCb {
 }
 
 impl PutCb {
+    #[cfg(test)]
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(16);
+        b.put_u64_le(self.version);
+        b.put_u64_le(self.activate_sent_at_ns);
+        b.freeze()
+    }
+
+    /// Encode into a buffer drawn from `pool`.
+    pub fn encode_with(&self, pool: &BufPool) -> Bytes {
+        let mut b = pool.take(16);
         b.put_u64_le(self.version);
         b.put_u64_le(self.activate_sent_at_ns);
         b.freeze()
@@ -177,6 +239,53 @@ mod tests {
         }
         let dec = ActivateRec::decode_all(b.freeze());
         assert_eq!(dec, recs.to_vec());
+    }
+
+    #[test]
+    fn frame_decode_matches_concatenated_decode() {
+        let recs = [
+            ActivateRec::direct(1, 100, -5, 42),
+            ActivateRec {
+                version: 2,
+                size: 200,
+                priority: 7,
+                sent_at_ns: 43,
+                forward: vec![3, 9, 11],
+            },
+            ActivateRec::direct(3, 300, 0, 44),
+        ];
+        // Zero-copy aggregation: one frame per submission.
+        let mut frames = Frames::new();
+        let mut concat = BytesMut::new();
+        for r in &recs {
+            frames.push(r.encode_one());
+            r.encode_into(&mut concat);
+        }
+        assert_eq!(
+            ActivateRec::decode_frames(&frames),
+            ActivateRec::decode_all(concat.freeze())
+        );
+
+        let gets = [
+            GetRec {
+                version: 1,
+                activate_sent_at_ns: 10,
+            },
+            GetRec {
+                version: 2,
+                activate_sent_at_ns: 20,
+            },
+        ];
+        let mut frames = Frames::new();
+        let mut concat = BytesMut::new();
+        for g in &gets {
+            frames.push(g.encode());
+            concat.put_slice(&g.encode());
+        }
+        assert_eq!(
+            GetRec::decode_frames(&frames),
+            GetRec::decode_all(concat.freeze())
+        );
     }
 
     #[test]

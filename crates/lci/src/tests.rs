@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use amt_netmodel::{Fabric, FabricConfig};
 use amt_simnet::{Sim, SimTime};
-use bytes::Bytes;
+use bytes::{Bytes, Frames};
 
 use crate::{Lci, LciCosts, LciError, LciWorld, OnComplete};
 
@@ -50,11 +50,11 @@ fn immediate_message_reaches_handler() {
     });
     let data = Bytes::from_static(b"hello");
     eps[0]
-        .sendi(&mut sim, 1, 7, data.len(), Some(data.clone()))
+        .sendi(&mut sim, 1, 7, data.len(), Frames::from(data.clone()))
         .expect("sendi");
     run_progressed(&mut sim, &eps);
     assert_eq!(got.borrow().len(), 1);
-    assert_eq!(got.borrow()[0], (0, 7, 5, Some(data)));
+    assert_eq!(got.borrow()[0], (0, 7, 5, Frames::from(data)));
 }
 
 #[test]
@@ -69,7 +69,9 @@ fn buffered_message_owns_packet() {
         ep1.buffer_free(sim);
         SimTime::from_ns(10)
     });
-    eps[0].sendb(&mut sim, 1, 3, 4096, None).expect("sendb");
+    eps[0]
+        .sendb(&mut sim, 1, 3, 4096, Frames::Empty)
+        .expect("sendb");
     run_progressed(&mut sim, &eps);
     assert_eq!(*got.borrow(), 4096);
 }
@@ -187,16 +189,16 @@ fn sendb_retries_when_tx_pool_exhausted() {
     };
     let (mut sim, eps) = setup_with(2, costs);
     eps[1].set_am_handler(|_, _| SimTime::ZERO);
-    assert!(eps[0].sendb(&mut sim, 1, 0, 1024, None).is_ok());
-    assert!(eps[0].sendb(&mut sim, 1, 0, 1024, None).is_ok());
+    assert!(eps[0].sendb(&mut sim, 1, 0, 1024, Frames::Empty).is_ok());
+    assert!(eps[0].sendb(&mut sim, 1, 0, 1024, Frames::Empty).is_ok());
     // Pool exhausted until the NIC finishes with a packet.
     assert_eq!(
-        eps[0].sendb(&mut sim, 1, 0, 1024, None),
+        eps[0].sendb(&mut sim, 1, 0, 1024, Frames::Empty),
         Err(LciError::Retry)
     );
     assert_eq!(eps[0].retries(), 1);
     sim.run(); // transmit completes, packets return
-    assert!(eps[0].sendb(&mut sim, 1, 0, 1024, None).is_ok());
+    assert!(eps[0].sendb(&mut sim, 1, 0, 1024, Frames::Empty).is_ok());
 }
 
 #[test]
@@ -229,8 +231,12 @@ fn rx_packet_exhaustion_stalls_buffered_delivery() {
         s.borrow_mut().push(m.tag);
         SimTime::ZERO
     });
-    eps[0].sendb(&mut sim, 1, 1, 512, None).expect("sendb");
-    eps[0].sendb(&mut sim, 1, 2, 512, None).expect("sendb");
+    eps[0]
+        .sendb(&mut sim, 1, 1, 512, Frames::Empty)
+        .expect("sendb");
+    eps[0]
+        .sendb(&mut sim, 1, 2, 512, Frames::Empty)
+        .expect("sendb");
     sim.run();
     eps[1].progress(&mut sim);
     // Only the first message could be delivered: no packets left.
@@ -246,7 +252,9 @@ fn rx_packet_exhaustion_stalls_buffered_delivery() {
 fn progress_cost_includes_handler_cost() {
     let (mut sim, eps) = setup(2);
     eps[1].set_am_handler(|_sim, _m| SimTime::from_us(5));
-    eps[0].sendi(&mut sim, 1, 0, 8, None).expect("sendi");
+    eps[0]
+        .sendi(&mut sim, 1, 0, 8, Frames::Empty)
+        .expect("sendi");
     sim.run();
     let cost = eps[1].progress(&mut sim);
     assert!(
@@ -294,7 +302,9 @@ fn waker_fires_on_arrival() {
     let woke = Rc::new(RefCell::new(0));
     let w = woke.clone();
     eps[1].set_waker(move |_sim| *w.borrow_mut() += 1);
-    eps[0].sendi(&mut sim, 1, 0, 8, None).expect("sendi");
+    eps[0]
+        .sendi(&mut sim, 1, 0, 8, Frames::Empty)
+        .expect("sendi");
     sim.run();
     assert!(*woke.borrow() >= 1, "waker should fire on arrival");
 }

@@ -6,8 +6,8 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use amt_netmodel::{rx_handler, Fabric, FabricHandle, NodeId, Payload};
-use amt_simnet::{Sim, SimTime};
-use bytes::Bytes;
+use amt_simnet::{EventFn, Sim, SimTime};
+use bytes::{Bytes, Frames};
 
 use crate::costs::LciCosts;
 
@@ -27,7 +27,9 @@ pub struct AmMsg {
     pub src: NodeId,
     pub tag: u64,
     pub size: usize,
-    pub data: Option<Bytes>,
+    /// Payload frames, delivered zero-copy in submission order (an
+    /// aggregated send arrives as one frame per aggregated record batch).
+    pub data: Frames,
     /// True if this message consumed a receive packet that must be freed.
     pub owns_packet: bool,
     /// Virtual time at which the sender injected the message (wire-latency
@@ -123,13 +125,13 @@ enum LWire {
         src: NodeId,
         tag: u64,
         size: usize,
-        data: RefCell<Option<Bytes>>,
+        data: RefCell<Frames>,
     },
     Buf {
         src: NodeId,
         tag: u64,
         size: usize,
-        data: RefCell<Option<Bytes>>,
+        data: RefCell<Frames>,
     },
     Rts {
         src: NodeId,
@@ -345,7 +347,7 @@ impl Lci {
         dst: NodeId,
         tag: u64,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
     ) -> Result<SimTime, LciError> {
         let (costs, fabric) = {
             let w = self.world.borrow();
@@ -379,7 +381,7 @@ impl Lci {
         dst: NodeId,
         tag: u64,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
     ) -> Result<SimTime, LciError> {
         let (costs, fabric) = {
             let mut w = self.world.borrow_mut();
@@ -409,7 +411,8 @@ impl Lci {
             size + costs.header_bytes,
             Payload::Any(wire),
             // Packet returns to the pool once the NIC is done with it.
-            Some(Box::new(move |sim| {
+            // (world, rank) is two words: the callback stores inline, no alloc.
+            Some(EventFn::new(move |sim| {
                 let waker = {
                     let mut w = world.borrow_mut();
                     w.eps[rank].tx_packets_avail += 1;
@@ -528,7 +531,8 @@ impl Lci {
             dst,
             size + costs.header_bytes + 32,
             Payload::Any(wire),
-            Some(Box::new(move |sim| {
+            // (world, rank, idx) is three words: stored inline, no alloc.
+            Some(EventFn::new(move |sim| {
                 let waker = {
                     let mut w = world.borrow_mut();
                     w.eps[rank].local_done.push_back(idx);
@@ -874,7 +878,8 @@ impl Lci {
                     *recver,
                     size + costs.header_bytes,
                     Payload::Any(wire),
-                    Some(Box::new(move |sim| {
+                    // (world, rank, sidx) is three words: stored inline.
+                    Some(EventFn::new(move |sim| {
                         let waker = {
                             let mut w = world.borrow_mut();
                             w.eps[rank].local_done.push_back(sidx);

@@ -5,7 +5,7 @@
 use amt_lci::{Lci, LciCosts, LciWorld, OnComplete};
 use amt_netmodel::{Fabric, FabricConfig};
 use amt_simnet::{DetRng, Sim, SimTime};
-use bytes::Bytes;
+use bytes::{Bytes, Frames};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -135,7 +135,7 @@ fn tx_packet_pool_conserves() {
         for _ in 0..batches {
             let mut sent = 0;
             // Fill the pool.
-            while eps[0].sendb(&mut sim, 1, 0, 512, None).is_ok() {
+            while eps[0].sendb(&mut sim, 1, 0, 512, Frames::Empty).is_ok() {
                 sent += 1;
                 assert!(sent <= pool, "pool over-granted (case {case})");
             }
@@ -144,7 +144,7 @@ fn tx_packet_pool_conserves() {
         }
         // After draining, the full pool is available again.
         let mut sent = 0;
-        while eps[0].sendb(&mut sim, 1, 0, 512, None).is_ok() {
+        while eps[0].sendb(&mut sim, 1, 0, 512, Frames::Empty).is_ok() {
             sent += 1;
         }
         assert_eq!(sent, pool, "case {case}");

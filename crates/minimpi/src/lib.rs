@@ -37,10 +37,11 @@
 //! configures it (§4.2.2).
 
 mod costs;
+pub mod matcher;
 mod world;
 
 pub use costs::MpiCosts;
-pub use world::{Completion, Mpi, MpiWorld, ReqId, SrcSel, Status, ANY_TAG_UNSUPPORTED};
+pub use world::{Completion, Mpi, MpiWorld, ReqId, SrcSel, Status, Tag, ANY_TAG_UNSUPPORTED};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,898 @@
+//! O(1)-average tag matching with exact cost parity to the linear scan.
+//!
+//! The seed implementation kept posted receives and unexpected messages in
+//! plain `VecDeque`s and charged [`MpiCosts::match_per_item`] for every
+//! entry a linear scan examined before the first match (or for the whole
+//! queue on a miss). That linear *host* work became the simulator's
+//! bottleneck at deep queues, but the per-item *virtual* cost is a modelled
+//! property we must preserve bit-for-bit.
+//!
+//! This module replaces the scans with hash-bucketed match tables:
+//!
+//! * Entries live in a slab; each bucket is a `VecDeque` of slab slots in
+//!   arrival order, keyed by `(src, tag)` with a wildcard side-list per
+//!   `tag` ([`PostTable`]), or doubly indexed by `(src, tag)` *and* `tag`
+//!   ([`UnexpTable`], so both specific and `ANY_SOURCE` receives match in
+//!   O(1)).
+//! * Every entry carries a global **arrival sequence number**. The linear
+//!   scan's "first match in queue order" is exactly "minimum sequence
+//!   number among the candidate bucket fronts" — one or two deque-front
+//!   peeks, never a scan.
+//! * The number of entries the reference scan *would* have examined is the
+//!   matched entry's rank among all live entries, answered in O(log n) by
+//!   [`SeqRank`], a deterministic treap over live sequence numbers keyed by
+//!   `splitmix64(seq)` priorities. Callers multiply that by
+//!   `match_per_item`, reproducing the seed's virtual time exactly.
+//! * Removal never shifts buckets: cancelled entries are tombstoned and
+//!   collected lazily when they surface at a bucket front, which is what
+//!   makes request cancellation O(1) (see [`PostTable::cancel`]).
+//!
+//! The seed matcher is retained verbatim as [`RefPostTable`] /
+//! [`RefUnexpTable`] (the same pattern as `amt_simnet::reference::RefSim`)
+//! and proven order- and cost-equivalent by a randomized proptest in
+//! `tests/proptests.rs`.
+//!
+//! [`MpiCosts::match_per_item`]: crate::MpiCosts
+
+use std::collections::{HashMap, VecDeque};
+
+use amt_netmodel::NodeId;
+
+use crate::world::{SrcSel, Tag};
+
+/// Result of a match attempt: the payload of the matched entry (if any) and
+/// the number of queue entries the reference linear scan would have
+/// examined — the quantity the caller charges virtual time for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchOutcome<T> {
+    /// Matched payload, `None` on a miss.
+    pub found: Option<T>,
+    /// Entries the seed's linear scan would have examined: arrival-order
+    /// rank of the match (1-based), or the whole live queue on a miss.
+    pub scanned: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Clone, Copy)]
+struct TreapNode {
+    left: u32,
+    right: u32,
+    size: u32,
+    prio: u64,
+    seq: u64,
+}
+
+/// Order statistics over the set of *live* arrival sequence numbers: a
+/// deterministic treap (priorities are `splitmix64` of the key, so the
+/// shape — and therefore host behaviour — is identical on every run and
+/// independent of hasher state). Memory is proportional to live entries,
+/// not to the sequence-number horizon.
+pub struct SeqRank {
+    nodes: Vec<TreapNode>,
+    free: Vec<u32>,
+    root: u32,
+}
+
+impl Default for SeqRank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeqRank {
+    /// An empty set.
+    pub fn new() -> Self {
+        SeqRank {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    fn size_of(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    fn pull(&mut self, n: u32) {
+        let (l, r) = {
+            let nd = &self.nodes[n as usize];
+            (nd.left, nd.right)
+        };
+        self.nodes[n as usize].size = 1 + self.size_of(l) + self.size_of(r);
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let m = self.merge(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = m;
+            self.pull(a);
+            a
+        } else {
+            let m = self.merge(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Splits into (`seq < key`, `seq >= key`).
+    fn split(&mut self, n: u32, key: u64) -> (u32, u32) {
+        if n == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[n as usize].seq < key {
+            let (l, r) = self.split(self.nodes[n as usize].right, key);
+            self.nodes[n as usize].right = l;
+            self.pull(n);
+            (n, r)
+        } else {
+            let (l, r) = self.split(self.nodes[n as usize].left, key);
+            self.nodes[n as usize].left = r;
+            self.pull(n);
+            (l, n)
+        }
+    }
+
+    /// Inserts a (unique) sequence number.
+    pub fn insert(&mut self, seq: u64) {
+        let node = TreapNode {
+            left: NIL,
+            right: NIL,
+            size: 1,
+            prio: splitmix64(seq),
+            seq,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        let (l, r) = self.split(self.root, seq);
+        let lm = self.merge(l, idx);
+        self.root = self.merge(lm, r);
+    }
+
+    /// Removes a present sequence number.
+    pub fn remove(&mut self, seq: u64) {
+        let (l, rest) = self.split(self.root, seq);
+        let (mid, r) = self.split(rest, seq + 1);
+        debug_assert!(mid != NIL && self.size_of(mid) == 1, "seq not present");
+        self.free.push(mid);
+        self.root = self.merge(l, r);
+    }
+
+    /// Number of live entries with sequence number strictly below `seq`.
+    pub fn rank(&self, seq: u64) -> usize {
+        let mut n = self.root;
+        let mut acc = 0usize;
+        while n != NIL {
+            let nd = &self.nodes[n as usize];
+            if seq <= nd.seq {
+                n = nd.left;
+            } else {
+                acc += self.size_of(nd.left) as usize + 1;
+                n = nd.right;
+            }
+        }
+        acc
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.size_of(self.root) as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+}
+
+/// Generation-tagged handle to a posted receive, for O(1) cancellation.
+/// Stale tokens (already matched or cancelled) are detected and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostToken {
+    slot: u32,
+    gen: u32,
+}
+
+impl PostToken {
+    /// Placeholder token that never matches a live entry.
+    pub const DANGLING: PostToken = PostToken {
+        slot: u32::MAX,
+        gen: u32::MAX,
+    };
+}
+
+struct PostEntry {
+    gen: u32,
+    live: bool,
+    seq: u64,
+    req: usize,
+    /// Which index holds this entry: `wildcard[tag]` or `specific[(src, tag)]`.
+    wild: bool,
+}
+
+/// Hash-bucketed posted-receive table.
+///
+/// Arrivals carry a concrete `(src, tag)`, while posted receives may use
+/// `ANY_SOURCE`; each entry therefore lives in exactly one bucket —
+/// `specific[(src, tag)]` or the `wildcard[tag]` side-list — and a match
+/// considers both bucket fronts, taking the lower sequence number.
+#[derive(Default)]
+pub struct PostTable {
+    entries: Vec<PostEntry>,
+    free: Vec<u32>,
+    specific: HashMap<(NodeId, Tag), VecDeque<u32>>,
+    wildcard: HashMap<Tag, VecDeque<u32>>,
+    order: SeqRank,
+    next_seq: u64,
+    comparisons: u64,
+    matches: u64,
+}
+
+/// Pops tombstoned slots off a bucket front, freeing them, and returns the
+/// first live slot (left in place).
+fn post_front_live(
+    entries: &[PostEntry],
+    free: &mut Vec<u32>,
+    q: &mut VecDeque<u32>,
+    comparisons: &mut u64,
+) -> Option<u32> {
+    while let Some(&slot) = q.front() {
+        *comparisons += 1;
+        if entries[slot as usize].live {
+            return Some(slot);
+        }
+        q.pop_front();
+        free.push(slot);
+    }
+    None
+}
+
+impl PostTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn alloc(&mut self, seq: u64, req: usize, wild: bool) -> (u32, u32) {
+        if let Some(slot) = self.free.pop() {
+            let e = &mut self.entries[slot as usize];
+            e.gen = e.gen.wrapping_add(1);
+            e.live = true;
+            e.seq = seq;
+            e.req = req;
+            e.wild = wild;
+            (slot, e.gen)
+        } else {
+            self.entries.push(PostEntry {
+                gen: 0,
+                live: true,
+                seq,
+                req,
+                wild,
+            });
+            ((self.entries.len() - 1) as u32, 0)
+        }
+    }
+
+    /// Posts a receive for request `req`; the token cancels it in O(1).
+    pub fn post(&mut self, req: usize, src: SrcSel, tag: Tag) -> PostToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let wild = matches!(src, SrcSel::Any);
+        let (slot, gen) = self.alloc(seq, req, wild);
+        match src {
+            SrcSel::Any => self.wildcard.entry(tag).or_default().push_back(slot),
+            SrcSel::Rank(r) => self.specific.entry((r, tag)).or_default().push_back(slot),
+        }
+        self.order.insert(seq);
+        PostToken { slot, gen }
+    }
+
+    /// Matches an arrival against the oldest compatible posted receive,
+    /// consuming it. `scanned` reports the reference scan's examined count.
+    pub fn match_arrival(&mut self, src: NodeId, tag: Tag) -> MatchOutcome<usize> {
+        self.matches += 1;
+        self.comparisons += 2; // two bucket lookups
+        let spec = match self.specific.get_mut(&(src, tag)) {
+            Some(q) => post_front_live(&self.entries, &mut self.free, q, &mut self.comparisons)
+                .map(|slot| (self.entries[slot as usize].seq, slot)),
+            None => None,
+        };
+        let wild = match self.wildcard.get_mut(&tag) {
+            Some(q) => post_front_live(&self.entries, &mut self.free, q, &mut self.comparisons)
+                .map(|slot| (self.entries[slot as usize].seq, slot)),
+            None => None,
+        };
+        let best = match (spec, wild) {
+            (Some(s), Some(w)) => Some(if s.0 < w.0 { s } else { w }),
+            (s, w) => s.or(w),
+        };
+        match best {
+            Some((seq, slot)) => {
+                let wild = self.entries[slot as usize].wild;
+                let q = if wild {
+                    self.wildcard.get_mut(&tag).expect("bucket exists")
+                } else {
+                    self.specific.get_mut(&(src, tag)).expect("bucket exists")
+                };
+                q.pop_front();
+                self.free.push(slot);
+                let e = &mut self.entries[slot as usize];
+                e.live = false;
+                let req = e.req;
+                let scanned = self.order.rank(seq) + 1;
+                self.order.remove(seq);
+                MatchOutcome {
+                    found: Some(req),
+                    scanned,
+                }
+            }
+            None => MatchOutcome {
+                found: None,
+                scanned: self.order.len(),
+            },
+        }
+    }
+
+    /// Cancels a posted receive in O(1) (amortized: the slot is tombstoned
+    /// and collected when it reaches its bucket front). Returns whether the
+    /// token was live.
+    pub fn cancel(&mut self, tok: PostToken) -> bool {
+        let Some(e) = self.entries.get_mut(tok.slot as usize) else {
+            return false;
+        };
+        if e.gen != tok.gen || !e.live {
+            return false;
+        }
+        e.live = false;
+        let seq = e.seq;
+        self.order.remove(seq);
+        true
+    }
+
+    /// Number of live posted receives.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no receives are posted.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Total bucket-front examinations performed (the hash matcher's unit
+    /// of matching work — compare with [`RefPostTable::comparisons`]).
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of match attempts performed.
+    pub fn match_calls(&self) -> u64 {
+        self.matches
+    }
+}
+
+struct UnexpEntry<T> {
+    seq: u64,
+    live: bool,
+    /// Index references still outstanding (the entry sits in two buckets).
+    refs: u8,
+    item: Option<T>,
+}
+
+/// Hash-bucketed unexpected-message table.
+///
+/// Arrivals carry a concrete `(src, tag)` but receives may probe with
+/// `ANY_SOURCE`, so every entry is indexed twice: under `(src, tag)` and
+/// under `tag` alone. A slot is reclaimed once both bucket references have
+/// been popped.
+#[derive(Default)]
+pub struct UnexpTable<T> {
+    entries: Vec<UnexpEntry<T>>,
+    free: Vec<u32>,
+    by_src_tag: HashMap<(NodeId, Tag), VecDeque<u32>>,
+    by_tag: HashMap<Tag, VecDeque<u32>>,
+    order: SeqRank,
+    next_seq: u64,
+    comparisons: u64,
+    matches: u64,
+}
+
+/// Pops dead slots off a bucket front (dropping one reference each, freeing
+/// at zero) and returns the first live slot, left in place.
+fn unexp_front_live<T>(
+    entries: &mut [UnexpEntry<T>],
+    free: &mut Vec<u32>,
+    q: &mut VecDeque<u32>,
+    comparisons: &mut u64,
+) -> Option<u32> {
+    while let Some(&slot) = q.front() {
+        *comparisons += 1;
+        let e = &mut entries[slot as usize];
+        if e.live {
+            return Some(slot);
+        }
+        q.pop_front();
+        e.refs -= 1;
+        if e.refs == 0 {
+            free.push(slot);
+        }
+    }
+    None
+}
+
+impl<T> UnexpTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        UnexpTable {
+            entries: Vec::new(),
+            free: Vec::new(),
+            by_src_tag: HashMap::new(),
+            by_tag: HashMap::new(),
+            order: SeqRank::new(),
+            next_seq: 0,
+            comparisons: 0,
+            matches: 0,
+        }
+    }
+
+    /// Appends an arrival (arrival order = insertion order).
+    pub fn push(&mut self, src: NodeId, tag: Tag, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = if let Some(slot) = self.free.pop() {
+            let e = &mut self.entries[slot as usize];
+            e.seq = seq;
+            e.live = true;
+            e.refs = 2;
+            e.item = Some(item);
+            slot
+        } else {
+            self.entries.push(UnexpEntry {
+                seq,
+                live: true,
+                refs: 2,
+                item: Some(item),
+            });
+            (self.entries.len() - 1) as u32
+        };
+        self.by_src_tag
+            .entry((src, tag))
+            .or_default()
+            .push_back(slot);
+        self.by_tag.entry(tag).or_default().push_back(slot);
+        self.order.insert(seq);
+    }
+
+    fn front_for(&mut self, src: SrcSel, tag: Tag) -> Option<u32> {
+        self.comparisons += 1; // one bucket lookup
+        let q = match src {
+            SrcSel::Rank(r) => self.by_src_tag.get_mut(&(r, tag)),
+            SrcSel::Any => self.by_tag.get_mut(&tag),
+        }?;
+        unexp_front_live(&mut self.entries, &mut self.free, q, &mut self.comparisons)
+    }
+
+    /// Takes the oldest entry matching the selector, reporting the
+    /// reference scan's examined count.
+    pub fn match_take(&mut self, src: SrcSel, tag: Tag) -> MatchOutcome<T> {
+        self.matches += 1;
+        match self.front_for(src, tag) {
+            Some(slot) => {
+                let q = match src {
+                    SrcSel::Rank(r) => self.by_src_tag.get_mut(&(r, tag)).expect("bucket exists"),
+                    SrcSel::Any => self.by_tag.get_mut(&tag).expect("bucket exists"),
+                };
+                q.pop_front();
+                let e = &mut self.entries[slot as usize];
+                e.live = false;
+                e.refs -= 1;
+                if e.refs == 0 {
+                    self.free.push(slot);
+                }
+                let seq = e.seq;
+                let item = e.item.take().expect("live entry has item");
+                let scanned = self.order.rank(seq) + 1;
+                self.order.remove(seq);
+                MatchOutcome {
+                    found: Some(item),
+                    scanned,
+                }
+            }
+            None => MatchOutcome {
+                found: None,
+                scanned: self.order.len(),
+            },
+        }
+    }
+
+    /// Peeks at the oldest entry matching the selector without consuming
+    /// it. Returns the entry and the reference scan's examined count.
+    pub fn probe(&mut self, src: SrcSel, tag: Tag) -> (Option<&T>, usize) {
+        self.matches += 1;
+        match self.front_for(src, tag) {
+            Some(slot) => {
+                let scanned = self.order.rank(self.entries[slot as usize].seq) + 1;
+                (
+                    Some(
+                        self.entries[slot as usize]
+                            .item
+                            .as_ref()
+                            .expect("live entry has item"),
+                    ),
+                    scanned,
+                )
+            }
+            None => (None, self.order.len()),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Total bucket-front examinations performed.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of match/probe attempts performed.
+    pub fn match_calls(&self) -> u64 {
+        self.matches
+    }
+}
+
+/// The seed's posted-receive matcher, verbatim: a `VecDeque` scanned
+/// linearly in post order. Kept as the reference for equivalence tests and
+/// the `BENCH_comm.json` matcher-scaling columns.
+#[derive(Default)]
+pub struct RefPostTable {
+    q: VecDeque<(u64, usize, SrcSel, Tag)>,
+    next_uid: u64,
+    comparisons: u64,
+    matches: u64,
+}
+
+/// Token for [`RefPostTable::cancel`] (cancellation is O(n) here — that is
+/// the point of the comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefPostToken {
+    uid: u64,
+}
+
+impl RefPostTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts a receive (appends, like the seed's `posted.push_back`).
+    pub fn post(&mut self, req: usize, src: SrcSel, tag: Tag) -> RefPostToken {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        self.q.push_back((uid, req, src, tag));
+        RefPostToken { uid }
+    }
+
+    /// The seed's linear scan over posted receives.
+    pub fn match_arrival(&mut self, src: NodeId, tag: Tag) -> MatchOutcome<usize> {
+        self.matches += 1;
+        let mut found = None;
+        let mut scanned = 0usize;
+        for (pos, &(_, req, psrc, ptag)) in self.q.iter().enumerate() {
+            scanned += 1;
+            self.comparisons += 1;
+            if ptag == tag && psrc.matches(src) {
+                found = Some((pos, req));
+                break;
+            }
+        }
+        match found {
+            Some((pos, req)) => {
+                self.q.remove(pos);
+                MatchOutcome {
+                    found: Some(req),
+                    scanned,
+                }
+            }
+            None => MatchOutcome {
+                found: None,
+                scanned,
+            },
+        }
+    }
+
+    /// The seed's cancellation: `retain` over the whole queue.
+    pub fn cancel(&mut self, tok: RefPostToken) -> bool {
+        let before = self.q.len();
+        self.comparisons += before as u64;
+        self.q.retain(|&(uid, _, _, _)| uid != tok.uid);
+        self.q.len() != before
+    }
+
+    /// Number of posted receives.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether no receives are posted.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Entries examined by linear scans so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of match attempts performed.
+    pub fn match_calls(&self) -> u64 {
+        self.matches
+    }
+}
+
+/// The seed's unexpected-message queue, verbatim.
+#[derive(Default)]
+pub struct RefUnexpTable<T> {
+    q: VecDeque<(NodeId, Tag, T)>,
+    comparisons: u64,
+    matches: u64,
+}
+
+impl<T> RefUnexpTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        RefUnexpTable {
+            q: VecDeque::new(),
+            comparisons: 0,
+            matches: 0,
+        }
+    }
+
+    /// Appends an arrival.
+    pub fn push(&mut self, src: NodeId, tag: Tag, item: T) {
+        self.q.push_back((src, tag, item));
+    }
+
+    /// The seed's linear scan-and-remove.
+    pub fn match_take(&mut self, src: SrcSel, tag: Tag) -> MatchOutcome<T> {
+        self.matches += 1;
+        let mut found = None;
+        let mut scanned = 0usize;
+        for (pos, (usrc, utag, _)) in self.q.iter().enumerate() {
+            scanned += 1;
+            self.comparisons += 1;
+            if *utag == tag && src.matches(*usrc) {
+                found = Some(pos);
+                break;
+            }
+        }
+        match found {
+            Some(pos) => {
+                let (_, _, item) = self.q.remove(pos).expect("scanned position");
+                MatchOutcome {
+                    found: Some(item),
+                    scanned,
+                }
+            }
+            None => MatchOutcome {
+                found: None,
+                scanned,
+            },
+        }
+    }
+
+    /// The seed's linear probe (no removal).
+    pub fn probe(&mut self, src: SrcSel, tag: Tag) -> (Option<&T>, usize) {
+        self.matches += 1;
+        let mut scanned = 0usize;
+        for (usrc, utag, item) in self.q.iter() {
+            scanned += 1;
+            self.comparisons += 1;
+            if *utag == tag && src.matches(*usrc) {
+                return (Some(item), scanned);
+            }
+        }
+        (None, scanned)
+    }
+
+    /// Number of queued arrivals.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Entries examined by linear scans so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of match/probe attempts performed.
+    pub fn match_calls(&self) -> u64 {
+        self.matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqrank_tracks_order_statistics() {
+        let mut s = SeqRank::new();
+        for seq in [5u64, 1, 9, 3, 7] {
+            s.insert(seq);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.rank(1), 0);
+        assert_eq!(s.rank(5), 2);
+        assert_eq!(s.rank(10), 5);
+        s.remove(3);
+        assert_eq!(s.rank(5), 1);
+        assert_eq!(s.len(), 4);
+        s.remove(1);
+        s.remove(9);
+        s.remove(5);
+        s.remove(7);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn posted_wildcard_orders_by_arrival_seq() {
+        let mut t = PostTable::new();
+        let mut r = RefPostTable::new();
+        // Interleave wildcard and specific posts on one tag.
+        t.post(0, SrcSel::Any, 7);
+        r.post(0, SrcSel::Any, 7);
+        t.post(1, SrcSel::Rank(2), 7);
+        r.post(1, SrcSel::Rank(2), 7);
+        t.post(2, SrcSel::Rank(3), 7);
+        r.post(2, SrcSel::Rank(3), 7);
+        t.post(3, SrcSel::Any, 7);
+        r.post(3, SrcSel::Any, 7);
+        // Arrival from rank 3: the wildcard posted *earlier* must win.
+        let (a, b) = (t.match_arrival(3, 7), r.match_arrival(3, 7));
+        assert_eq!(a, b);
+        assert_eq!(a.found, Some(0));
+        assert_eq!(a.scanned, 1);
+        // Next arrival from rank 3: now the specific receive is oldest.
+        let (a, b) = (t.match_arrival(3, 7), r.match_arrival(3, 7));
+        assert_eq!(a, b);
+        assert_eq!(a.found, Some(2));
+        assert_eq!(a.scanned, 2, "skipped the rank-2 receive");
+        // Arrival nothing matches: full live queue scanned.
+        let (a, b) = (t.match_arrival(9, 8), r.match_arrival(9, 8));
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            MatchOutcome {
+                found: None,
+                scanned: 2
+            }
+        );
+    }
+
+    #[test]
+    fn cancel_is_exact_and_token_checked() {
+        let mut t = PostTable::new();
+        let tok0 = t.post(0, SrcSel::Rank(1), 4);
+        let tok1 = t.post(1, SrcSel::Any, 4);
+        assert!(t.cancel(tok0));
+        assert!(!t.cancel(tok0), "double cancel detected");
+        assert_eq!(t.len(), 1);
+        // The arrival skips the tombstone and matches the wildcard.
+        let m = t.match_arrival(1, 4);
+        assert_eq!(m.found, Some(1));
+        assert_eq!(m.scanned, 1, "cancelled entry not counted");
+        assert!(!t.cancel(tok1), "already matched");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unexpected_dual_index_agrees_with_reference() {
+        let mut t = UnexpTable::new();
+        let mut r = RefUnexpTable::new();
+        for (src, tag, item) in [(1, 10, 100), (2, 10, 200), (1, 11, 300), (3, 10, 400)] {
+            t.push(src, tag, item);
+            r.push(src, tag, item);
+        }
+        let (pa, sa) = t.probe(SrcSel::Any, 10);
+        let (pb, sb) = r.probe(SrcSel::Any, 10);
+        assert_eq!((pa.copied(), sa), (pb.copied(), sb));
+        assert_eq!((pa.copied(), sa), (Some(100), 1));
+
+        let (a, b) = (
+            t.match_take(SrcSel::Rank(2), 10),
+            r.match_take(SrcSel::Rank(2), 10),
+        );
+        assert_eq!(a, b);
+        assert_eq!((a.found, a.scanned), (Some(200), 2));
+
+        let (a, b) = (t.match_take(SrcSel::Any, 10), r.match_take(SrcSel::Any, 10));
+        assert_eq!(a, b);
+        assert_eq!((a.found, a.scanned), (Some(100), 1));
+
+        // Taking via the tag index leaves a tombstone in the (src, tag)
+        // index; a later specific take must skip it silently.
+        let (a, b) = (
+            t.match_take(SrcSel::Rank(1), 11),
+            r.match_take(SrcSel::Rank(1), 11),
+        );
+        assert_eq!(a, b);
+        assert_eq!((a.found, a.scanned), (Some(300), 1));
+
+        let (a, b) = (t.match_take(SrcSel::Any, 10), r.match_take(SrcSel::Any, 10));
+        assert_eq!(a, b);
+        assert_eq!((a.found, a.scanned), (Some(400), 1));
+        assert!(t.is_empty() && r.is_empty());
+    }
+
+    #[test]
+    fn hash_comparisons_stay_flat_as_queue_grows() {
+        // The acceptance criterion in miniature: load N receives on
+        // distinct (src, tag) pairs, then match each; hash comparisons per
+        // match stay O(1) while the reference scan's grow with N.
+        let run = |n: u64| -> (f64, f64) {
+            let mut t = PostTable::new();
+            let mut r = RefPostTable::new();
+            for i in 0..n {
+                t.post(i as usize, SrcSel::Rank(i as usize), i);
+                r.post(i as usize, SrcSel::Rank(i as usize), i);
+            }
+            for i in 0..n {
+                // Match in reverse post order: worst case for the scan.
+                let src = (n - 1 - i) as usize;
+                let a = t.match_arrival(src, n - 1 - i);
+                let b = r.match_arrival(src, n - 1 - i);
+                assert_eq!(a, b);
+            }
+            (
+                t.comparisons() as f64 / n as f64,
+                r.comparisons() as f64 / n as f64,
+            )
+        };
+        let (h64, r64) = run(64);
+        let (h1024, r1024) = run(1024);
+        assert!(
+            h1024 <= h64 * 1.5,
+            "hash matcher not flat: {h64} -> {h1024}"
+        );
+        assert!(r1024 > r64 * 8.0, "reference should grow linearly");
+    }
+}

@@ -3,7 +3,7 @@
 
 use amt_netmodel::{Fabric, FabricConfig};
 use amt_simnet::{Sim, SimTime};
-use bytes::Bytes;
+use bytes::{Bytes, Frames};
 
 use crate::{Mpi, MpiCosts, MpiWorld, SrcSel};
 
@@ -42,13 +42,13 @@ fn eager_send_recv_roundtrip() {
     let (mut sim, ranks) = setup(2);
     let data = Bytes::from(vec![7u8; 1024]);
     let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Rank(0), 42);
-    let (_sreq, cost) = ranks[0].isend(&mut sim, 1, 42, data.len(), Some(data.clone()));
+    let (_sreq, cost) = ranks[0].isend(&mut sim, 1, 42, data.len(), Frames::from(data.clone()));
     assert!(cost > SimTime::ZERO);
     let st = wait(&mut sim, &ranks[1], rreq);
     assert_eq!(st.src, 0);
     assert_eq!(st.tag, 42);
     assert_eq!(st.size, 1024);
-    assert_eq!(st.data.as_deref(), Some(&data[..]));
+    assert_eq!(st.data.to_vec(), data.to_vec());
 }
 
 #[test]
@@ -57,10 +57,10 @@ fn rendezvous_send_recv_roundtrip() {
     let size = 1 << 20; // 1 MiB, above the eager threshold
     let data = Bytes::from(vec![3u8; size]);
     let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Rank(0), 9);
-    let (sreq, _) = ranks[0].isend(&mut sim, 1, 9, size, Some(data.clone()));
+    let (sreq, _) = ranks[0].isend(&mut sim, 1, 9, size, Frames::from(data.clone()));
     let st = wait_peers(&mut sim, &ranks[1], rreq, &[&ranks[0]]);
     assert_eq!(st.size, size);
-    assert_eq!(st.data.as_deref(), Some(&data[..]));
+    assert_eq!(st.data.to_vec(), data.to_vec());
     // Sender side also completes.
     let st = wait(&mut sim, &ranks[0], sreq);
     assert_eq!(st.size, size);
@@ -69,7 +69,13 @@ fn rendezvous_send_recv_roundtrip() {
 #[test]
 fn unexpected_messages_match_later_receive() {
     let (mut sim, ranks) = setup(2);
-    ranks[0].send(&mut sim, 1, 5, 256, Some(Bytes::from(vec![1u8; 256])));
+    ranks[0].send(
+        &mut sim,
+        1,
+        5,
+        256,
+        Frames::from(Bytes::from(vec![1u8; 256])),
+    );
     sim.run(); // message delivered, sits in hardware queue
     assert_eq!(ranks[1].incoming_depth(), 1);
     // Any MPI call drains it into the unexpected queue; a matching irecv
@@ -88,7 +94,7 @@ fn unexpected_messages_match_later_receive() {
 fn any_source_matches_multiple_senders() {
     let (mut sim, ranks) = setup(4);
     for rank in ranks.iter().take(4).skip(1) {
-        rank.send(&mut sim, 0, 7, 64, None);
+        rank.send(&mut sim, 0, 7, 64, Frames::Empty);
     }
     let mut seen = Vec::new();
     for _ in 0..3 {
@@ -103,7 +109,7 @@ fn any_source_matches_multiple_senders() {
 #[test]
 fn specific_source_does_not_steal() {
     let (mut sim, ranks) = setup(3);
-    ranks[2].send(&mut sim, 0, 7, 64, None);
+    ranks[2].send(&mut sim, 0, 7, 64, Frames::Empty);
     sim.run();
     // Posted receive for rank 1 must not match rank 2's message.
     let (r1, _) = ranks[0].irecv(&mut sim, SrcSel::Rank(1), 7);
@@ -122,7 +128,13 @@ fn persistent_receive_restarts() {
     let (preq, _) = ranks[1].recv_init(SrcSel::Any, 3);
     ranks[1].start(&mut sim, preq);
     for round in 0..5u8 {
-        ranks[0].send(&mut sim, 1, 3, 128, Some(Bytes::from(vec![round; 128])));
+        ranks[0].send(
+            &mut sim,
+            1,
+            3,
+            128,
+            Frames::from(Bytes::from(vec![round; 128])),
+        );
         let st = loop {
             let (done, _) = ranks[1].testsome(&mut sim, &[preq]);
             if !done.is_empty() {
@@ -130,7 +142,7 @@ fn persistent_receive_restarts() {
             }
             assert!(sim.step(), "deadlock");
         };
-        assert_eq!(st.data.as_deref(), Some(&vec![round; 128][..]));
+        assert_eq!(st.data.to_vec(), vec![round; 128]);
         // Persistent: the request survives and re-arms.
         ranks[1].start(&mut sim, preq);
     }
@@ -146,7 +158,7 @@ fn testsome_reports_multiple_completions() {
         rreqs.push(r);
     }
     for tag in 0..8u64 {
-        ranks[0].send(&mut sim, 1, tag, 512, None);
+        ranks[0].send(&mut sim, 1, tag, 512, Frames::Empty);
     }
     sim.run();
     let (done, cost) = ranks[1].testsome(&mut sim, &rreqs);
@@ -161,7 +173,7 @@ fn testsome_reports_multiple_completions() {
 fn no_progress_without_calls() {
     let (mut sim, ranks) = setup(2);
     let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 1);
-    ranks[0].send(&mut sim, 1, 1, 64, None);
+    ranks[0].send(&mut sim, 1, 1, 64, Frames::Empty);
     sim.run();
     // Delivered to hardware, but the library hasn't looked yet.
     assert_eq!(ranks[1].incoming_depth(), 1);
@@ -175,7 +187,7 @@ fn matching_cost_grows_with_queue_depth() {
     let (mut sim, ranks) = setup(2);
     // Fill the unexpected queue with 100 non-matching messages.
     for i in 0..100u64 {
-        ranks[0].send(&mut sim, 1, 1000 + i, 32, None);
+        ranks[0].send(&mut sim, 1, 1000 + i, 32, Frames::Empty);
     }
     sim.run();
     let (r, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 1); // drains into unexpected
@@ -192,7 +204,7 @@ fn matching_cost_grows_with_queue_depth() {
 fn rendezvous_sender_completes_after_data_tx() {
     let (mut sim, ranks) = setup(2);
     let size = 4 << 20;
-    let (sreq, _) = ranks[0].isend(&mut sim, 1, 77, size, None);
+    let (sreq, _) = ranks[0].isend(&mut sim, 1, 77, size, Frames::Empty);
     // No receive posted yet: sender cannot complete.
     sim.run();
     let (st, _) = ranks[0].test(&mut sim, sreq);
@@ -217,22 +229,28 @@ fn stale_handle_detected() {
 fn cost_only_transfers_carry_no_bytes() {
     let (mut sim, ranks) = setup(2);
     let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Any, 8);
-    ranks[0].isend(&mut sim, 1, 8, 2 << 20, None);
+    ranks[0].isend(&mut sim, 1, 8, 2 << 20, Frames::Empty);
     let st = wait_peers(&mut sim, &ranks[1], rreq, &[&ranks[0]]);
     assert_eq!(st.size, 2 << 20);
-    assert!(st.data.is_none());
+    assert!(st.data.is_empty());
 }
 
 #[test]
 fn iprobe_reports_without_consuming() {
     let (mut sim, ranks) = setup(2);
-    ranks[0].send(&mut sim, 1, 9, 300, Some(Bytes::from(vec![5u8; 300])));
+    ranks[0].send(
+        &mut sim,
+        1,
+        9,
+        300,
+        Frames::from(Bytes::from(vec![5u8; 300])),
+    );
     sim.run();
     // Probe sees the unexpected message but leaves it queued.
     let (st, cost) = ranks[1].iprobe(&mut sim, SrcSel::Any, 9);
     let st = st.expect("probe hit");
     assert_eq!((st.src, st.tag, st.size), (0, 9, 300));
-    assert!(st.data.is_none(), "probe must not consume the payload");
+    assert!(st.data.is_empty(), "probe must not consume the payload");
     assert!(cost > SimTime::ZERO);
     assert_eq!(ranks[1].unexpected_depth(), 1);
     // Probe for a different tag misses.
@@ -242,6 +260,6 @@ fn iprobe_reports_without_consuming() {
     // dynamic buffers (§5.2): a subsequent receive gets the data.
     let (rreq, _) = ranks[1].irecv(&mut sim, SrcSel::Rank(st.src), st.tag);
     let got = wait(&mut sim, &ranks[1], rreq);
-    assert_eq!(got.data.as_deref(), Some(&vec![5u8; 300][..]));
+    assert_eq!(got.data.to_vec(), vec![5u8; 300]);
     assert_eq!(ranks[1].unexpected_depth(), 0);
 }

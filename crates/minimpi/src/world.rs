@@ -1,15 +1,23 @@
-//! MiniMPI state machines: requests, matching queues, eager and rendezvous
+//! MiniMPI state machines: requests, matching tables, eager and rendezvous
 //! wire protocols.
+//!
+//! Matching is O(1)-average via the hash-bucketed tables in
+//! [`crate::matcher`]; the *virtual* cost charged per match is still the
+//! seed's linear-scan count (`match_per_item × entries the scan would have
+//! examined`), so results are byte-identical to the original `VecDeque`
+//! implementation (proven by `tests/proptests.rs` and the golden fig4
+//! report).
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
 use amt_netmodel::{rx_handler, Fabric, FabricHandle, NodeId, Payload};
-use amt_simnet::{Sim, SimTime};
-use bytes::Bytes;
+use amt_simnet::{EventFn, Sim, SimTime};
+use bytes::Frames;
 
 use crate::costs::MpiCosts;
+use crate::matcher::{PostTable, PostToken, UnexpTable};
 
 /// MiniMPI does not support wildcard tags: as the paper notes (§4.2.1), all
 /// active-message tags are explicitly registered, so `ANY_TAG` is never
@@ -31,8 +39,9 @@ pub enum SrcSel {
 }
 
 impl SrcSel {
+    /// Whether a message from `src` satisfies this selector.
     #[inline]
-    fn matches(self, src: NodeId) -> bool {
+    pub fn matches(self, src: NodeId) -> bool {
         match self {
             SrcSel::Any => true,
             SrcSel::Rank(r) => r == src,
@@ -54,8 +63,9 @@ pub struct Status {
     pub src: NodeId,
     pub tag: Tag,
     pub size: usize,
-    /// Received payload (None for sends and cost-only transfers).
-    pub data: Option<Bytes>,
+    /// Received payload frames ([`Frames::Empty`] for sends and cost-only
+    /// transfers). Frame boundaries are the sender's submission boundaries.
+    pub data: Frames,
     /// For receive completions: when the peer injected the message
     /// ([`SimTime::ZERO`] for send completions and probes).
     pub sent_at: SimTime,
@@ -72,15 +82,11 @@ enum RState {
     /// Persistent request between `start` calls.
     Inactive,
     /// Eager send completed at issue; rendezvous send waiting for CTS/DATA.
-    SendInFlight {
-        tag: Tag,
-        size: usize,
-        data: Option<Bytes>,
-    },
+    SendInFlight { tag: Tag, size: usize, data: Frames },
     /// Rendezvous DATA transmitted; completion latched for the next poll.
     Complete(Status),
-    /// Receive sitting in the posted queue.
-    RecvPosted,
+    /// Receive sitting in the posted table; the token cancels it in O(1).
+    RecvPosted { tok: PostToken },
     /// Receive matched to an RTS; CTS sent, awaiting DATA.
     RecvAwaitData { src: NodeId, tag: Tag },
 }
@@ -97,7 +103,7 @@ enum Unexpected {
         src: NodeId,
         tag: Tag,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
         sent_at: SimTime,
     },
     Rts {
@@ -108,21 +114,13 @@ enum Unexpected {
     },
 }
 
-impl Unexpected {
-    fn src_tag(&self) -> (NodeId, Tag) {
-        match self {
-            Unexpected::Eager { src, tag, .. } | Unexpected::Rts { src, tag, .. } => (*src, *tag),
-        }
-    }
-}
-
 /// Wire protocol messages.
 enum Wire {
     Eager {
         src: NodeId,
         tag: Tag,
         size: usize,
-        data: RefCell<Option<Bytes>>,
+        data: RefCell<Frames>,
     },
     Rts {
         src: NodeId,
@@ -138,17 +136,18 @@ enum Wire {
     Data {
         recver_req: usize,
         size: usize,
-        data: RefCell<Option<Bytes>>,
+        data: RefCell<Frames>,
     },
 }
 
 struct RankState {
     requests: Vec<Request>,
     free: Vec<usize>,
-    /// Posted receives, in post order: (req idx, src selector, tag).
-    posted: VecDeque<(usize, SrcSel, Tag)>,
-    /// Unexpected-message queue, in arrival order.
-    unexpected: VecDeque<Unexpected>,
+    /// Posted receives, hash-bucketed by `(src, tag)` with a wildcard
+    /// side-list, ordered by arrival sequence number.
+    posted: PostTable,
+    /// Unexpected-message table, dual-indexed by `(src, tag)` and `tag`.
+    unexpected: UnexpTable<Unexpected>,
     /// Hardware queue of delivered-but-unprogressed wire messages, with
     /// their injection timestamps.
     incoming: VecDeque<(Rc<Wire>, SimTime)>,
@@ -163,8 +162,8 @@ impl RankState {
         RankState {
             requests: Vec::new(),
             free: Vec::new(),
-            posted: VecDeque::new(),
-            unexpected: VecDeque::new(),
+            posted: PostTable::new(),
+            unexpected: UnexpTable::new(),
             incoming: VecDeque::new(),
             waker: None,
         }
@@ -274,7 +273,7 @@ impl Mpi {
         dst: NodeId,
         tag: Tag,
         size: usize,
-        data: Option<Bytes>,
+        data: Frames,
     ) -> (ReqId, SimTime) {
         let mut w = self.world.borrow_mut();
         let costs = w.costs.clone();
@@ -293,7 +292,7 @@ impl Mpi {
                     src: self.rank,
                     tag,
                     size,
-                    data: None,
+                    data: Frames::Empty,
                     sent_at: SimTime::ZERO,
                 }),
                 None,
@@ -349,14 +348,7 @@ impl Mpi {
 
     /// Blocking eager send, as PaRSEC uses for active messages (§4.2.1).
     /// Panics if the payload exceeds the eager threshold.
-    pub fn send(
-        &self,
-        sim: &mut Sim,
-        dst: NodeId,
-        tag: Tag,
-        size: usize,
-        data: Option<Bytes>,
-    ) -> SimTime {
+    pub fn send(&self, sim: &mut Sim, dst: NodeId, tag: Tag, size: usize, data: Frames) -> SimTime {
         assert!(
             self.world.borrow().costs.is_eager(size),
             "blocking send restricted to eager payloads ({size} bytes)"
@@ -367,24 +359,15 @@ impl Mpi {
         cost
     }
 
-    /// Non-blocking receive. Matches the unexpected queue first.
+    /// Non-blocking receive. Matches the unexpected table first.
     pub fn irecv(&self, sim: &mut Sim, src: SrcSel, tag: Tag) -> (ReqId, SimTime) {
         let mut w = self.world.borrow_mut();
         let costs = w.costs.clone();
         let mut cost = costs.call_base + costs.recv_post_base;
-        // Scan the unexpected queue.
         let rs = &mut w.ranks[self.rank];
-        let mut found = None;
-        for (pos, u) in rs.unexpected.iter().enumerate() {
-            cost += costs.match_per_item;
-            let (usrc, utag) = u.src_tag();
-            if utag == tag && src.matches(usrc) {
-                found = Some(pos);
-                break;
-            }
-        }
-        if let Some(pos) = found {
-            let u = rs.unexpected.remove(pos).expect("scanned position");
+        let out = rs.unexpected.match_take(src, tag);
+        cost += costs.match_per_item * out.scanned as u64;
+        if let Some(u) = out.found {
             match u {
                 Unexpected::Eager {
                     src: usrc,
@@ -441,8 +424,14 @@ impl Mpi {
                 }
             }
         } else {
-            let (idx, gen) = rs.alloc(RState::RecvPosted, None);
-            rs.posted.push_back((idx, src, tag));
+            let (idx, gen) = rs.alloc(
+                RState::RecvPosted {
+                    tok: PostToken::DANGLING,
+                },
+                None,
+            );
+            let tok = rs.posted.post(idx, src, tag);
+            rs.requests[idx].state = RState::RecvPosted { tok };
             (
                 ReqId {
                     rank: self.rank,
@@ -470,7 +459,7 @@ impl Mpi {
     }
 
     /// Activate a persistent request (`MPI_Start`). Matching against the
-    /// unexpected queue happens exactly as for `irecv`.
+    /// unexpected table happens exactly as for `irecv`.
     pub fn start(&self, sim: &mut Sim, req: ReqId) -> SimTime {
         self.check(req);
         let (src, tag) = {
@@ -486,58 +475,48 @@ impl Mpi {
         let costs = w.costs.clone();
         let mut cost = costs.call_base + costs.recv_post_base;
         let rs = &mut w.ranks[self.rank];
-        let mut found = None;
-        for (pos, u) in rs.unexpected.iter().enumerate() {
-            cost += costs.match_per_item;
-            let (usrc, utag) = u.src_tag();
-            if utag == tag && src.matches(usrc) {
-                found = Some(pos);
-                break;
-            }
-        }
-        match found {
-            Some(pos) => {
-                let u = rs.unexpected.remove(pos).expect("scanned position");
-                match u {
-                    Unexpected::Eager {
+        let out = rs.unexpected.match_take(src, tag);
+        cost += costs.match_per_item * out.scanned as u64;
+        match out.found {
+            Some(u) => match u {
+                Unexpected::Eager {
+                    src: usrc,
+                    tag,
+                    size,
+                    data,
+                    sent_at,
+                } => {
+                    cost += costs.copy_cost(size);
+                    rs.requests[req.idx].state = RState::Complete(Status {
                         src: usrc,
                         tag,
                         size,
                         data,
                         sent_at,
-                    } => {
-                        cost += costs.copy_cost(size);
-                        rs.requests[req.idx].state = RState::Complete(Status {
-                            src: usrc,
-                            tag,
-                            size,
-                            data,
-                            sent_at,
-                        });
-                    }
-                    Unexpected::Rts {
-                        src: usrc,
-                        tag,
-                        size,
-                        sender_req,
-                    } => {
-                        let _ = size;
-                        rs.requests[req.idx].state = RState::RecvAwaitData { src: usrc, tag };
-                        let fabric = w.fabric.clone();
-                        let wire = Rc::new(Wire::Cts {
-                            sender_req,
-                            recver: self.rank,
-                            recver_req: req.idx,
-                        });
-                        let hdr = costs.header_bytes;
-                        drop(w);
-                        Fabric::send(&fabric, sim, self.rank, usrc, hdr, Payload::Any(wire), None);
-                    }
+                    });
                 }
-            }
+                Unexpected::Rts {
+                    src: usrc,
+                    tag,
+                    size,
+                    sender_req,
+                } => {
+                    let _ = size;
+                    rs.requests[req.idx].state = RState::RecvAwaitData { src: usrc, tag };
+                    let fabric = w.fabric.clone();
+                    let wire = Rc::new(Wire::Cts {
+                        sender_req,
+                        recver: self.rank,
+                        recver_req: req.idx,
+                    });
+                    let hdr = costs.header_bytes;
+                    drop(w);
+                    Fabric::send(&fabric, sim, self.rank, usrc, hdr, Payload::Any(wire), None);
+                }
+            },
             None => {
-                rs.requests[req.idx].state = RState::RecvPosted;
-                rs.posted.push_back((req.idx, src, tag));
+                let tok = rs.posted.post(req.idx, src, tag);
+                rs.requests[req.idx].state = RState::RecvPosted { tok };
             }
         }
         cost
@@ -573,18 +552,11 @@ impl Mpi {
                 data,
             } => {
                 let rs = &mut w.ranks[self.rank];
-                let mut matched = None;
-                for (pos, &(ridx, psrc, ptag)) in rs.posted.iter().enumerate() {
-                    cost += costs.match_per_item;
-                    if ptag == *tag && psrc.matches(*src) {
-                        matched = Some((pos, ridx));
-                        break;
-                    }
-                }
+                let out = rs.posted.match_arrival(*src, *tag);
+                cost += costs.match_per_item * out.scanned as u64;
                 let data = data.borrow_mut().take();
-                match matched {
-                    Some((pos, ridx)) => {
-                        rs.posted.remove(pos);
+                match out.found {
+                    Some(ridx) => {
                         cost += costs.copy_cost(*size);
                         rs.requests[ridx].state = RState::Complete(Status {
                             src: *src,
@@ -595,13 +567,17 @@ impl Mpi {
                         });
                     }
                     None => {
-                        rs.unexpected.push_back(Unexpected::Eager {
-                            src: *src,
-                            tag: *tag,
-                            size: *size,
-                            data,
-                            sent_at,
-                        });
+                        rs.unexpected.push(
+                            *src,
+                            *tag,
+                            Unexpected::Eager {
+                                src: *src,
+                                tag: *tag,
+                                size: *size,
+                                data,
+                                sent_at,
+                            },
+                        );
                     }
                 }
             }
@@ -612,17 +588,10 @@ impl Mpi {
                 sender_req,
             } => {
                 let rs = &mut w.ranks[self.rank];
-                let mut matched = None;
-                for (pos, &(ridx, psrc, ptag)) in rs.posted.iter().enumerate() {
-                    cost += costs.match_per_item;
-                    if ptag == *tag && psrc.matches(*src) {
-                        matched = Some((pos, ridx));
-                        break;
-                    }
-                }
-                match matched {
-                    Some((pos, ridx)) => {
-                        rs.posted.remove(pos);
+                let out = rs.posted.match_arrival(*src, *tag);
+                cost += costs.match_per_item * out.scanned as u64;
+                match out.found {
+                    Some(ridx) => {
                         rs.requests[ridx].state = RState::RecvAwaitData {
                             src: *src,
                             tag: *tag,
@@ -638,12 +607,16 @@ impl Mpi {
                         Fabric::send(&fabric, sim, self.rank, *src, hdr, Payload::Any(wire), None);
                     }
                     None => {
-                        rs.unexpected.push_back(Unexpected::Rts {
-                            src: *src,
-                            tag: *tag,
-                            size: *size,
-                            sender_req: *sender_req,
-                        });
+                        rs.unexpected.push(
+                            *src,
+                            *tag,
+                            Unexpected::Rts {
+                                src: *src,
+                                tag: *tag,
+                                size: *size,
+                                sender_req: *sender_req,
+                            },
+                        );
                     }
                 }
             }
@@ -672,6 +645,8 @@ impl Mpi {
                 let sreq = *sender_req;
                 drop(w);
                 // Local completion when the last chunk leaves our NIC.
+                // (One Rc + two word-sized captures: stays inline in the
+                // fabric's `EventFn` tx-done slot, no allocation.)
                 Fabric::send(
                     &fabric,
                     sim,
@@ -679,7 +654,7 @@ impl Mpi {
                     *recver,
                     size + hdr,
                     Payload::Any(wire),
-                    Some(Box::new(move |sim| {
+                    Some(EventFn::new(move |sim| {
                         let waker = {
                             let mut w = world.borrow_mut();
                             let r = &mut w.ranks[rank].requests[sreq];
@@ -688,7 +663,7 @@ impl Mpi {
                                     src: rank,
                                     tag,
                                     size,
-                                    data: None,
+                                    data: Frames::Empty,
                                     sent_at: SimTime::ZERO,
                                 });
                             } else {
@@ -784,37 +759,39 @@ impl Mpi {
     pub fn iprobe(&self, sim: &mut Sim, src: SrcSel, tag: Tag) -> (Option<Status>, SimTime) {
         let mut cost = self.world.borrow().costs.call_base;
         cost += self.drain_incoming(sim);
-        let w = self.world.borrow();
-        let rs = &w.ranks[self.rank];
-        for u in rs.unexpected.iter() {
-            cost += w.costs.match_per_item;
-            let (usrc, utag) = u.src_tag();
-            if utag == tag && src.matches(usrc) {
-                let size = match u {
-                    Unexpected::Eager { size, .. } | Unexpected::Rts { size, .. } => *size,
-                };
-                return (
-                    Some(Status {
-                        src: usrc,
-                        tag: utag,
-                        size,
-                        data: None,
-                        sent_at: SimTime::ZERO,
-                    }),
-                    cost,
-                );
-            }
+        let mut w = self.world.borrow_mut();
+        let costs = w.costs.clone();
+        let rs = &mut w.ranks[self.rank];
+        let (found, scanned) = rs.unexpected.probe(src, tag);
+        cost += costs.match_per_item * scanned as u64;
+        if let Some(u) = found {
+            let (usrc, utag, size) = match u {
+                Unexpected::Eager { src, tag, size, .. }
+                | Unexpected::Rts { src, tag, size, .. } => (*src, *tag, *size),
+            };
+            return (
+                Some(Status {
+                    src: usrc,
+                    tag: utag,
+                    size,
+                    data: Frames::Empty,
+                    sent_at: SimTime::ZERO,
+                }),
+                cost,
+            );
         }
         (None, cost)
     }
 
     /// Cancel-and-free a posted receive or inactive persistent request.
+    /// Cancellation is O(1): the posted entry is tombstoned through its
+    /// generation-tagged table token instead of filtering the whole queue.
     pub fn release(&self, req: ReqId) {
         self.check(req);
         let mut w = self.world.borrow_mut();
         let rs = &mut w.ranks[self.rank];
-        if let RState::RecvPosted = rs.requests[req.idx].state {
-            rs.posted.retain(|&(ridx, _, _)| ridx != req.idx);
+        if let RState::RecvPosted { tok } = rs.requests[req.idx].state {
+            rs.posted.cancel(tok);
         }
         rs.requests[req.idx].state = RState::Inactive;
         rs.requests[req.idx].persistent = None;
@@ -829,7 +806,7 @@ impl Mpi {
         self.world.borrow_mut().ranks[self.rank].waker = Some(Rc::new(waker));
     }
 
-    /// Depth of the unexpected-message queue (diagnostics).
+    /// Depth of the unexpected-message table (diagnostics).
     pub fn unexpected_depth(&self) -> usize {
         self.world.borrow().ranks[self.rank].unexpected.len()
     }
@@ -846,7 +823,7 @@ impl std::fmt::Debug for RState {
             RState::Inactive => write!(f, "Inactive"),
             RState::SendInFlight { .. } => write!(f, "SendInFlight"),
             RState::Complete(_) => write!(f, "Complete"),
-            RState::RecvPosted => write!(f, "RecvPosted"),
+            RState::RecvPosted { .. } => write!(f, "RecvPosted"),
             RState::RecvAwaitData { .. } => write!(f, "RecvAwaitData"),
         }
     }

@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use amt_simnet::{CoreResource, Counter, Shared, Sim, SimTime, Trace};
+use amt_simnet::{CoreResource, Counter, EventFn, Shared, Sim, SimTime, Trace};
 use bytes::Bytes;
 
 use crate::config::FabricConfig;
@@ -81,8 +81,10 @@ pub struct Delivery {
 /// event (never re-entrantly).
 pub type RxHandler = Rc<RefCell<dyn FnMut(&mut Sim, Delivery)>>;
 
-/// Local-completion callback for a transfer.
-pub type TxDone = Box<dyn FnOnce(&mut Sim)>;
+/// Local-completion callback for a transfer. An [`EventFn`], so callbacks
+/// capturing at most three machine words (the common "one `Rc` plus two
+/// indices" shape) cost no allocation.
+pub type TxDone = EventFn;
 
 struct Transfer {
     msg_id: MsgId,
@@ -96,6 +98,9 @@ struct Transfer {
     on_tx_done: Option<TxDone>,
 }
 
+/// Boxed when created (one allocation per chunk) so the three per-chunk
+/// events — tx done, wire flight, rx completion — each capture only the
+/// fabric handle plus the box and stay inline in their `EventFn` slots.
 struct ChunkArrival {
     msg_id: MsgId,
     src: NodeId,
@@ -104,13 +109,17 @@ struct ChunkArrival {
     sent_at: SimTime,
     chunk_bytes: usize,
     first_chunk: bool,
+    wire_latency: SimTime,
     /// Present only on the final chunk; its receive completion delivers.
     finale: Option<(Payload, Option<TxDone>)>,
 }
 
 struct NodeNic {
     tx_busy: bool,
-    tx_queue: VecDeque<Transfer>,
+    /// Single-chunk (control) transfers: their own virtual lane.
+    tx_ctl: VecDeque<Transfer>,
+    /// Multi-chunk (bulk) transfers, FIFO.
+    tx_bulk: VecDeque<Transfer>,
     rx: CoreResource,
     tx_bytes: Counter,
     rx_bytes: Counter,
@@ -123,7 +132,8 @@ impl NodeNic {
     fn new(node: NodeId) -> Self {
         NodeNic {
             tx_busy: false,
-            tx_queue: VecDeque::new(),
+            tx_ctl: VecDeque::new(),
+            tx_bulk: VecDeque::new(),
             rx: CoreResource::new(format!("nic{node}.rx")),
             tx_bytes: Counter::default(),
             rx_bytes: Counter::default(),
@@ -171,7 +181,8 @@ impl Fabric {
     /// Sample the transmit-occupancy counter of `node` at `now`.
     fn sample_nic(&self, node: NodeId, now: SimTime) {
         if let Some(tr) = &self.trace {
-            let v = self.nics[node].tx_queue.len() + usize::from(self.nics[node].tx_busy);
+            let nic = &self.nics[node];
+            let v = nic.tx_ctl.len() + nic.tx_bulk.len() + usize::from(nic.tx_busy);
             tr.borrow_mut()
                 .counter(format!("n{node}.nic"), now, v as f64);
         }
@@ -240,7 +251,7 @@ impl Fabric {
                 let sent_at = sim.now();
                 sim.schedule_in(SimTime::from_ns(100), move |sim| {
                     if let Some(cb) = on_tx_done {
-                        cb(sim);
+                        cb.invoke(sim);
                     }
                     Fabric::deliver(
                         &fab2,
@@ -260,7 +271,7 @@ impl Fabric {
 
             f.nics[src].tx_msgs.inc();
             f.nics[src].tx_bytes.add(size as u64);
-            f.nics[src].tx_queue.push_back(Transfer {
+            let t = Transfer {
                 msg_id,
                 src,
                 dst,
@@ -270,7 +281,12 @@ impl Fabric {
                 first_chunk: true,
                 payload: Some(payload),
                 on_tx_done,
-            });
+            };
+            if size <= f.cfg.chunk_bytes {
+                f.nics[src].tx_ctl.push_back(t);
+            } else {
+                f.nics[src].tx_bulk.push_back(t);
+            }
             f.sample_nic(src, sim.now());
         }
         Fabric::tx_pump(fab, sim, src);
@@ -287,21 +303,26 @@ impl Fabric {
     /// bounded without splitting bandwidth across every outstanding bulk
     /// transfer (completion times matter: a fair round-robin would make
     /// every transfer of a burst complete at the very end).
+    ///
+    /// The two lanes are separate queues, so picking the next chunk is
+    /// O(1): control front if any, else bulk front — exactly the transfer
+    /// the seed's linear `position(size <= chunk)` scan selected, since
+    /// relative order within each class is preserved by both schemes.
     fn tx_pump(fab: &FabricHandle, sim: &mut Sim, node: NodeId) {
-        let (dur, arrival, wire_latency);
+        let (dur, arrival);
         {
             let mut f = fab.borrow_mut();
-            if f.nics[node].tx_busy || f.nics[node].tx_queue.is_empty() {
+            if f.nics[node].tx_busy {
                 return;
             }
-            let cfg_chunk = f.cfg.chunk_bytes;
-            let pos = f.nics[node]
-                .tx_queue
-                .iter()
-                .position(|t| t.size <= cfg_chunk)
-                .unwrap_or(0);
-            let mut t = f.nics[node].tx_queue.remove(pos).expect("position valid");
-            let chunk = t.remaining.min(cfg_chunk);
+            let mut t = match f.nics[node].tx_ctl.pop_front() {
+                Some(t) => t,
+                None => match f.nics[node].tx_bulk.pop_front() {
+                    Some(t) => t,
+                    None => return,
+                },
+            };
+            let chunk = t.remaining.min(f.cfg.chunk_bytes);
             let first = t.first_chunk;
             t.first_chunk = false;
             t.remaining -= chunk;
@@ -314,9 +335,8 @@ impl Fabric {
                 } else {
                     SimTime::ZERO
                 };
-            wire_latency = f.cfg.wire_latency;
 
-            arrival = ChunkArrival {
+            arrival = Box::new(ChunkArrival {
                 msg_id: t.msg_id,
                 src: t.src,
                 dst: t.dst,
@@ -324,6 +344,7 @@ impl Fabric {
                 sent_at: t.sent_at,
                 chunk_bytes: chunk,
                 first_chunk: first,
+                wire_latency: f.cfg.wire_latency,
                 finale: if finished {
                     Some((
                         t.payload.take().expect("payload consumed twice"),
@@ -332,19 +353,22 @@ impl Fabric {
                 } else {
                     None
                 },
-            };
+            });
 
             if !finished {
                 // Unfinished bulk transfer stays at the head (FIFO).
-                f.nics[node].tx_queue.push_front(t);
+                f.nics[node].tx_bulk.push_front(t);
             }
             f.nics[node].tx_busy = true;
             f.nics[node].tx_busy_time += dur;
         }
 
+        // Captures: one Rc + one Box — inline in the event slot.
         let fab2 = fab.clone();
         sim.schedule_in(dur, move |sim| {
-            // Chunk left the sender NIC.
+            // Chunk left the sender NIC (transfers queue at their source,
+            // so the transmitting node is `arrival.src`).
+            let node = arrival.src;
             {
                 let mut f = fab2.borrow_mut();
                 f.nics[node].tx_busy = false;
@@ -353,9 +377,10 @@ impl Fabric {
             let mut arrival = arrival;
             let on_tx_done = arrival.finale.as_mut().and_then(|(_, cb)| cb.take());
             if let Some(cb) = on_tx_done {
-                cb(sim);
+                cb.invoke(sim);
             }
             let fab3 = fab2.clone();
+            let wire_latency = arrival.wire_latency;
             sim.schedule_in(wire_latency, move |sim| {
                 Fabric::rx_chunk(&fab3, sim, arrival);
             });
@@ -365,7 +390,7 @@ impl Fabric {
 
     /// A chunk reached the destination NIC: serialize through the receive
     /// engine; the final chunk's completion delivers the message.
-    fn rx_chunk(fab: &FabricHandle, sim: &mut Sim, arrival: ChunkArrival) {
+    fn rx_chunk(fab: &FabricHandle, sim: &mut Sim, arrival: Box<ChunkArrival>) {
         let dst = arrival.dst;
         let dur = {
             let f = fab.borrow();
@@ -379,8 +404,11 @@ impl Fabric {
         };
         let fab2 = fab.clone();
         // Charge the rx engine; deliver on completion of the final chunk.
+        // (Again one Rc + one Box: inline in the waiter's EventFn.)
         let mut f = fab.borrow_mut();
         f.nics[dst].rx.charge(sim, dur, move |sim| {
+            let arrival = *arrival;
+            let dst = arrival.dst;
             if let Some((payload, _)) = arrival.finale {
                 {
                     let mut f = fab2.borrow_mut();

@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use amt_simnet::{Sim, SimTime};
+use amt_simnet::{EventFn, Sim, SimTime};
 use bytes::Bytes;
 
 use crate::{rx_handler, Fabric, FabricConfig, Payload};
@@ -90,7 +90,7 @@ fn tx_done_fires_before_delivery() {
         1,
         1024,
         Payload::Empty,
-        Some(Box::new(move |_sim| o2.borrow_mut().push("tx_done"))),
+        Some(EventFn::new(move |_sim| o2.borrow_mut().push("tx_done"))),
     );
     sim.run();
     assert_eq!(*order.borrow(), vec!["tx_done", "delivered"]);

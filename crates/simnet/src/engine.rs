@@ -754,9 +754,8 @@ mod tests {
         let l2 = log.clone();
         sim.schedule_in(SimTime::from_us(1), move |sim| {
             l2.borrow_mut().push(sim.now());
-            let l3 = l2.clone();
             sim.schedule_in(SimTime::from_us(2), move |sim| {
-                l3.borrow_mut().push(sim.now());
+                l2.borrow_mut().push(sim.now());
             });
         });
         sim.run();
@@ -834,7 +833,6 @@ mod tests {
             let log = log.clone();
             sim.schedule_at(SimTime::from_ms(ms), move |sim| {
                 log.borrow_mut().push(sim.now());
-                let log = log.clone();
                 sim.schedule_in(SimTime::from_ns(100), move |sim| {
                     log.borrow_mut().push(sim.now());
                 });

@@ -171,7 +171,7 @@ mod tests {
         let w = Matrix::from_fn(16, 2, |i, j| pseudo(i + 3, j + 9));
         let z = Matrix::from_fn(16, 2, |i, j| pseudo(i + 17, j + 4));
         let sum = t.add_truncate(&w, &z, 1e-12, 16);
-        let mut want = a.clone();
+        let mut want = a;
         gemm(1.0, &w, Trans::No, &z, Trans::Yes, 1.0, &mut want);
         assert!(
             sum.to_dense().max_diff(&want) < 1e-9,

@@ -10,8 +10,8 @@ cargo build --release
 echo "== tier-1: cargo test -q (workspace) =="
 cargo test -q --workspace
 
-echo "== clippy (workspace, warnings are errors) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== clippy (workspace, warnings are errors, redundant clones rejected) =="
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone
 
 echo "== rustfmt check =="
 cargo fmt --check
@@ -34,11 +34,41 @@ for name, s in d["scenarios"].items():
 print(f"BENCH_engine.json valid ({len(got)} scenarios)")
 PY
 
-echo "== golden fig4 point: virtual-time byte-identity across backends =="
-cargo bench --quiet -p amt-bench --bench fig4_tile_scaling -- --golden \
-    > "$TMP_DIR/golden_fig4.txt"
-diff -u results/golden_fig4.txt "$TMP_DIR/golden_fig4.txt"
-echo "golden fig4 report is byte-identical"
+echo "== comm datapath: micro scenarios + BENCH_comm.json schema/bounds =="
+cargo bench --quiet -p amt-bench --bench comm_datapath -- \
+    --quick --out "$TMP_DIR/BENCH_comm.json"
+python3 - "$TMP_DIR/BENCH_comm.json" BENCH_comm.json <<'PY'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+assert fresh["schema"] == "amtlc-bench-comm-v1", fresh.get("schema")
+sizes = ["64", "256", "1024", "4096"]
+assert set(fresh["match_churn"]) == set(sizes)
+# O(1) matching: hash comparisons/match stay flat 64 -> 4096 outstanding
+# receives while the reference linear scan grows roughly linearly.
+h64 = fresh["match_churn"]["64"]["hash_cmp_per_match"]
+h4k = fresh["match_churn"]["4096"]["hash_cmp_per_match"]
+r64 = fresh["match_churn"]["64"]["ref_cmp_per_match"]
+r4k = fresh["match_churn"]["4096"]["ref_cmp_per_match"]
+assert h4k <= 1.5 * h64, f"hash matcher not flat: {h64} -> {h4k}"
+assert r4k >= 8.0 * r64, f"reference unexpectedly sublinear: {r64} -> {r4k}"
+# Allocation budget: fresh (quick) allocs/msg may not regress past the
+# committed full-run columns beyond warm-up tolerance.
+for scen in ("am_flood", "put_rendezvous"):
+    for backend, bound in committed["alloc_per_msg"][scen].items():
+        got = fresh["alloc_per_msg"][scen][backend]
+        limit = bound * 1.3 + 3.0
+        assert got <= limit, f"{scen}/{backend}: {got} allocs/msg > bound {limit:.2f}"
+print("BENCH_comm.json valid; matcher flat, allocation budget held")
+PY
+
+echo "== golden fig4 point: virtual-time byte-identity across backends and --jobs =="
+for jobs in 1 3; do
+    cargo bench --quiet -p amt-bench --bench fig4_tile_scaling -- --golden --jobs "$jobs" \
+        > "$TMP_DIR/golden_fig4.txt"
+    diff -u results/golden_fig4.txt "$TMP_DIR/golden_fig4.txt"
+done
+echo "golden fig4 report is byte-identical (jobs 1 and 3)"
 
 echo "== observability: example run with --trace-out/--metrics-out =="
 cargo run --release --quiet --example quickstart -- \
