@@ -15,6 +15,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn live_add(n: u64) {
+    let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn live_sub(n: u64) {
+    LIVE.fetch_sub(n, Ordering::Relaxed);
+}
 
 /// Pass-through system allocator that counts every allocation.
 /// Register with `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
@@ -25,10 +36,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        live_add(layout.size() as u64);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        live_sub(layout.size() as u64);
         unsafe { System.dealloc(ptr, layout) }
     }
 
@@ -37,8 +50,27 @@ unsafe impl GlobalAlloc for CountingAlloc {
         // isn't free.
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        live_sub(layout.size() as u64);
+        live_add(new_size as u64);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
+}
+
+/// Currently live heap bytes (alloc − dealloc) under [`CountingAlloc`].
+pub fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes since the last
+/// [`reset_peak_live_bytes`] — a deterministic peak-RSS proxy.
+pub fn peak_live_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restart peak tracking from the current live level, so the next
+/// [`peak_live_bytes`] reading measures one region's high-water mark.
+pub fn reset_peak_live_bytes() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
 /// Counter snapshot; subtract two to get a scenario's allocation cost.

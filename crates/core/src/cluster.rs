@@ -12,9 +12,10 @@ use amt_simnet::{
 use bytes::Bytes;
 
 use crate::config::ClusterConfig;
-use crate::graph::{TaskGraph, VersionId};
+use crate::graph::{GraphHandle, GraphSource, TaskGraph, VersionId};
 use crate::metrics::{LatencySummary, MetricsReport};
 use crate::node::{NodeRt, RtHandle, AM_ACTIVATE, AM_GETDATA, RTAG_DATA};
+use crate::window::WindowCtl;
 
 /// Outcome of one [`Cluster::execute`] run.
 #[derive(Debug, Clone)]
@@ -61,6 +62,69 @@ impl RunReport {
     /// Total put payload bytes received across the cluster.
     pub fn bytes_transferred(&self) -> u64 {
         self.engine_stats.iter().map(|s| s.put_bytes_in.get()).sum()
+    }
+
+    /// Deterministic JSON of everything scheduling-dependent in this
+    /// report. Two runs that made identical scheduling decisions serialize
+    /// byte-identically, so differential tests (dense vs reference
+    /// scheduler, windowed vs full unroll) compare one string.
+    pub fn to_json(&self) -> String {
+        fn stats(out: &mut String, name: &str, s: &OnlineStats) {
+            use std::fmt::Write;
+            // Zeros for empty stats: min()/max() are +/-inf with no samples.
+            let (mean, min, max, sd) = if s.count() == 0 {
+                (0.0, 0.0, 0.0, 0.0)
+            } else {
+                (s.mean(), s.min(), s.max(), s.std_dev())
+            };
+            write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"mean\":{mean:.6},\"min\":{min:.6},\"max\":{max:.6},\"std_dev\":{sd:.6}}}",
+                s.count()
+            )
+            .unwrap();
+        }
+        use std::fmt::Write;
+        let mut out = String::new();
+        write!(
+            out,
+            "{{\"makespan_ns\":{},\"tasks_executed\":{},\"tasks_total\":{},\"worker_busy_ns\":{},\"sim_events\":{},\"schedule_past_clamped\":{},\"bytes_transferred\":{},",
+            self.makespan.as_ns(),
+            self.tasks_executed,
+            self.tasks_total,
+            self.worker_busy.as_ns(),
+            self.sim_events,
+            self.schedule_past_clamped,
+            self.bytes_transferred(),
+        )
+        .unwrap();
+        stats(&mut out, "e2e_latency_us", &self.e2e_latency_us);
+        out.push(',');
+        stats(&mut out, "msg_latency_us", &self.msg_latency_us);
+        out.push(',');
+        stats(&mut out, "request_latency_us", &self.request_latency_us);
+        out.push_str(",\"class_stats\":[");
+        let mut classes = self.class_stats.clone();
+        classes.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, (name, n, busy)) in classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "[\"{name}\",{n},{}]", busy.as_ns()).unwrap();
+        }
+        out.push_str("],\"engine_counters\":[");
+        let mut totals = EngineStats::default();
+        for s in &self.engine_stats {
+            totals.merge(s);
+        }
+        for (i, (name, v)) in totals.named_counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "[\"{name}\",{v}]").unwrap();
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -164,11 +228,25 @@ impl Cluster {
     /// Execute a task graph to completion (drains the virtual event queue)
     /// and report.
     pub fn execute(&mut self, graph: TaskGraph) -> RunReport {
-        let tasks_total = graph.task_count() as u64;
-        let graph = Rc::new(graph);
+        self.execute_handle(GraphHandle::new(graph), None)
+    }
+
+    /// Execute with PaRSEC-style bounded task discovery: unroll at most
+    /// `window` tasks from `source` ahead of the completion frontier,
+    /// retiring completed tasks and dead versions as the frontier passes,
+    /// so peak memory is O(window) instead of O(total tasks). With a window
+    /// at least the total task count, scheduling and the report are
+    /// byte-identical to [`Cluster::execute`] on the same graph.
+    pub fn execute_windowed(&mut self, source: Box<dyn GraphSource>, window: usize) -> RunReport {
+        let handle = GraphHandle::new(TaskGraph::empty());
+        let ctl = WindowCtl::new(self.cfg.nodes, handle.clone(), source, window);
+        self.execute_handle(handle, Some(ctl))
+    }
+
+    fn execute_handle(&mut self, graph: GraphHandle, window: Option<Rc<WindowCtl>>) -> RunReport {
         let node_rts: Vec<RtHandle> = (0..self.cfg.nodes)
             .map(|n| {
-                shared(NodeRt::new(
+                Rc::new(NodeRt::new(
                     n,
                     graph.clone(),
                     self.engines[n].clone(),
@@ -179,6 +257,13 @@ impl Cluster {
             })
             .collect();
         *self.rts.borrow_mut() = Some(node_rts.clone());
+        if let Some(ctl) = &window {
+            ctl.attach(&node_rts);
+            for rt in &node_rts {
+                rt.set_window(Some(ctl.clone()));
+            }
+            ctl.prefill(&mut self.sim);
+        }
 
         let t0 = self.sim.now();
         let ev0 = self.sim.events_executed();
@@ -190,6 +275,13 @@ impl Cluster {
         let makespan = self.sim.now() - t0;
         let sim_events = self.sim.events_executed() - ev0;
         let schedule_past_clamped = self.sim.schedule_past_clamped() - clamp0;
+        // Break the NodeRt → WindowCtl → NodeRt reference cycle.
+        for rt in &node_rts {
+            rt.set_window(None);
+        }
+        // After the run: in windowed mode the graph now holds every task
+        // the source produced.
+        let tasks_total = graph.get().task_count() as u64;
 
         let mut e2e = OnlineStats::new();
         let mut msg = OnlineStats::new();
@@ -199,17 +291,9 @@ impl Cluster {
         let mut classes: std::collections::HashMap<&'static str, (u64, SimTime)> =
             std::collections::HashMap::new();
         for rt in &node_rts {
-            let r = rt.borrow();
-            e2e.merge(&r.e2e);
-            msg.merge(&r.msg_lat);
-            req.merge(&r.req_lat);
-            executed += r.executed;
-            worker_busy += r.worker_busy;
-            for (name, (n, busy)) in &r.class_stats {
-                let e = classes.entry(name).or_insert((0, SimTime::ZERO));
-                e.0 += n;
-                e.1 += *busy;
-            }
+            rt.merge_stats(&mut e2e, &mut msg, &mut req, &mut classes);
+            executed += rt.executed();
+            worker_busy += rt.worker_busy();
         }
         let mut class_stats: Vec<(String, u64, SimTime)> = classes
             .into_iter()
@@ -275,7 +359,7 @@ impl Cluster {
         let rts = rts.as_ref()?;
         let mut merged = Trace::new(true);
         for rt in rts {
-            merged.merge_from(&rt.borrow().trace);
+            rt.merge_trace_into(&mut merged);
         }
         for engine in &self.engines {
             merged.merge_from(&engine.trace_handle().borrow());
@@ -322,7 +406,7 @@ impl Cluster {
     pub fn data(&self, version: VersionId) -> Option<Bytes> {
         let rts = self.rts.borrow();
         let rts = rts.as_ref()?;
-        rts.iter().find_map(|rt| rt.borrow().data(version))
+        rts.iter().find_map(|rt| rt.data(version))
     }
 }
 

@@ -111,6 +111,12 @@ pub struct ClusterConfig {
     pub fabric: FabricConfig,
     /// Engine parameters (backend/multithread fields are overridden).
     pub engine: EngineConfig,
+    /// Run the scheduler on the seed's reference structures
+    /// (`HashMap` data store, `BinaryHeap` ready/GET queues, per-event
+    /// allocations) instead of the dense datapath. Virtual-time results are
+    /// identical either way; this exists for differential tests and the
+    /// `sched_overhead` benchmark baseline.
+    pub reference_sched: bool,
 }
 
 impl Default for ClusterConfig {
@@ -130,6 +136,7 @@ impl Default for ClusterConfig {
             cost: CostModel::default(),
             fabric: FabricConfig::default(),
             engine: EngineConfig::default(),
+            reference_sched: false,
         }
     }
 }

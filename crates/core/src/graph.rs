@@ -5,7 +5,15 @@
 //! read-after-write: a task depends on the producer of every version it
 //! reads. Insertion order defines which version a `read_key` refers to,
 //! exactly like PaRSEC's dynamic task discovery interface.
+//!
+//! Tasks and versions live in chunked storage ([`ChunkVec`]): contiguous
+//! indices, O(1) access, and — in windowed execution — whole 256-entry
+//! chunks of *retired* tasks/versions are freed once the completion
+//! frontier passes them, so peak memory tracks the discovery window
+//! instead of the full unrolled graph (PaRSEC-style bounded task
+//! discovery).
 
+use std::cell::{Ref, RefCell, RefMut};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -26,6 +34,113 @@ pub struct VersionId(pub usize);
 /// declared output. Shared so the same graph can be executed repeatedly
 /// (e.g. once per backend) and verified against a sequential oracle.
 pub type Kernel = Rc<dyn Fn(&[Bytes]) -> Vec<Bytes>>;
+
+/// Items per [`ChunkVec`] chunk (must be a power of two).
+const CHUNK: usize = 256;
+const CHUNK_SHIFT: usize = CHUNK.trailing_zeros() as usize;
+
+/// Chunked growable storage with freeable chunks.
+///
+/// Semantically a `Vec<T>` whose backing memory is split into
+/// [`CHUNK`]-item chunks; [`ChunkVec::free_chunk`] returns one chunk's
+/// memory to the allocator once every item in it has been retired.
+/// Accessing an index inside a freed chunk panics.
+pub(crate) struct ChunkVec<T> {
+    chunks: Vec<Option<Vec<T>>>,
+    /// Long-lived survivors relocated out of freed chunks by
+    /// [`ChunkVec::free_chunk_keeping`]; resolved transparently by
+    /// [`ChunkVec::get`] / [`ChunkVec::get_mut`].
+    evacuated: HashMap<usize, T>,
+    len: usize,
+}
+
+impl<T> ChunkVec<T> {
+    pub fn new() -> Self {
+        ChunkVec {
+            chunks: Vec::new(),
+            evacuated: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn push(&mut self, item: T) {
+        if self.len >> CHUNK_SHIFT == self.chunks.len() {
+            self.chunks.push(Some(Vec::with_capacity(CHUNK)));
+        }
+        self.chunks[self.len >> CHUNK_SHIFT]
+            .as_mut()
+            .expect("push past a freed chunk")
+            .push(item);
+        self.len += 1;
+    }
+
+    pub fn get(&self, i: usize) -> &T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        match &self.chunks[i >> CHUNK_SHIFT] {
+            Some(c) => &c[i & (CHUNK - 1)],
+            None => self
+                .evacuated
+                .get(&i)
+                .expect("access to a retired (freed) graph chunk"),
+        }
+    }
+
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        match &mut self.chunks[i >> CHUNK_SHIFT] {
+            Some(c) => &mut c[i & (CHUNK - 1)],
+            None => self
+                .evacuated
+                .get_mut(&i)
+                .expect("access to a retired (freed) graph chunk"),
+        }
+    }
+
+    /// Free chunk `c` (indices `c*CHUNK .. (c+1)*CHUNK`). The caller
+    /// guarantees no item in it is accessed again.
+    pub fn free_chunk(&mut self, c: usize) {
+        self.chunks[c] = None;
+    }
+
+    /// Free chunk `c`, relocating the listed still-live indices (sorted
+    /// ascending) into the evacuation table; everything else in the chunk
+    /// is dropped. The listed indices stay accessible through
+    /// [`ChunkVec::get`] until [`ChunkVec::drop_evacuated`].
+    pub fn free_chunk_keeping(&mut self, c: usize, keep: &[usize]) {
+        let Some(chunk) = self.chunks[c].take() else {
+            return;
+        };
+        let base = c << CHUNK_SHIFT;
+        for (off, item) in chunk.into_iter().enumerate() {
+            if keep.binary_search(&(base + off)).is_ok() {
+                self.evacuated.insert(base + off, item);
+            }
+        }
+    }
+
+    /// Drop an entry previously preserved by
+    /// [`ChunkVec::free_chunk_keeping`].
+    pub fn drop_evacuated(&mut self, i: usize) {
+        self.evacuated.remove(&i);
+    }
+
+    /// Iterate all live items in index order. Panics on freed chunks — use
+    /// only on graphs that retired nothing (analysis, oracle, init).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| {
+            c.as_ref()
+                .expect("iteration over a partially retired graph")
+                .iter()
+        })
+    }
+}
+
+/// Items per freeable graph-storage chunk (see [`ChunkVec`]).
+pub(crate) const GRAPH_CHUNK: usize = CHUNK;
 
 /// Builder-style description of one task.
 pub struct TaskDesc {
@@ -137,15 +252,47 @@ pub struct Version {
     pub initial: Option<Bytes>,
 }
 
-/// The immutable task graph handed to [`crate::Cluster::execute`].
+/// The task graph executed by [`crate::Cluster::execute`]. Fully built up
+/// front by [`GraphBuilder::build`], or grown incrementally during a
+/// windowed execution (see [`GraphSource`]).
 pub struct TaskGraph {
-    pub tasks: Vec<Task>,
-    pub versions: Vec<Version>,
+    tasks: ChunkVec<Task>,
+    versions: ChunkVec<Version>,
 }
 
 impl TaskGraph {
+    pub(crate) fn empty() -> TaskGraph {
+        TaskGraph {
+            tasks: ChunkVec::new(),
+            versions: ChunkVec::new(),
+        }
+    }
+
     pub fn task_count(&self) -> usize {
         self.tasks.len()
+    }
+
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn task(&self, id: TaskId) -> &Task {
+        self.tasks.get(id)
+    }
+
+    pub fn version(&self, id: usize) -> &Version {
+        self.versions.get(id)
+    }
+
+    /// All tasks in insertion order (panics on graphs with retired chunks).
+    pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// All versions in creation order (panics on graphs with retired
+    /// chunks).
+    pub fn versions(&self) -> impl Iterator<Item = &Version> {
+        self.versions.iter()
     }
 
     pub fn total_flops(&self) -> f64 {
@@ -154,20 +301,23 @@ impl TaskGraph {
 
     /// Versions that cross nodes (each remote consumer node counts once).
     pub fn remote_flows(&self) -> usize {
-        self.versions
-            .iter()
-            .map(|v| {
-                let mut nodes: Vec<NodeId> = v
-                    .consumers
+        // One scratch buffer across the whole sweep instead of a fresh
+        // `Vec<NodeId>` per version.
+        let mut scratch: Vec<NodeId> = Vec::new();
+        let mut total = 0;
+        for v in self.versions.iter() {
+            scratch.clear();
+            scratch.extend(
+                v.consumers
                     .iter()
-                    .map(|&t| self.tasks[t].node)
-                    .filter(|&n| n != v.home)
-                    .collect();
-                nodes.sort_unstable();
-                nodes.dedup();
-                nodes.len()
-            })
-            .sum()
+                    .map(|&t| self.tasks.get(t).node)
+                    .filter(|&n| n != v.home),
+            );
+            scratch.sort_unstable();
+            scratch.dedup();
+            total += scratch.len();
+        }
+        total
     }
 
     /// Execute every kernel sequentially in insertion order — the
@@ -179,12 +329,12 @@ impl TaskGraph {
                 store.insert(VersionId(i), b.clone());
             }
         }
-        for t in &self.tasks {
+        for t in self.tasks.iter() {
             let Some(kernel) = &t.kernel else { continue };
             let inputs: Vec<Bytes> = t
                 .inputs
                 .iter()
-                .filter(|v| self.versions[v.0].size > 0) // CTL flows carry no payload
+                .filter(|v| self.versions.get(v.0).size > 0) // CTL flows carry no payload
                 .map(|v| store.get(v).expect("oracle: input missing").clone())
                 .collect();
             let outs = kernel(&inputs);
@@ -195,25 +345,141 @@ impl TaskGraph {
         }
         store
     }
+
+    /// Drop a completed task's heap payload (dependence lists and kernel).
+    /// Windowed-mode retirement; the inline struct stays until its whole
+    /// chunk retires.
+    pub(crate) fn retire_task(&mut self, id: TaskId) {
+        let t = self.tasks.get_mut(id);
+        t.inputs = Vec::new();
+        t.outputs = Vec::new();
+        t.kernel = None;
+    }
+
+    /// Drop a dead version's heap payload (consumer list and initial
+    /// bytes).
+    pub(crate) fn retire_version(&mut self, id: usize) {
+        let v = self.versions.get_mut(id);
+        v.consumers = Vec::new();
+        v.initial = None;
+    }
+
+    /// Drop a version's consumer list without retiring it. Windowed-mode
+    /// only, once the producer's completion announce has been sent and its
+    /// coverage recorded: every later-discovered consumer is handled
+    /// through the store-presence check and the coverage set, never this
+    /// list. For tile Cholesky the never-superseded final tiles otherwise
+    /// keep O(nt³) consumer entries live to the end of the run.
+    pub(crate) fn prune_consumers(&mut self, id: usize) {
+        self.versions.get_mut(id).consumers = Vec::new();
+    }
+
+    pub(crate) fn free_task_chunk(&mut self, c: usize) {
+        self.tasks.free_chunk(c);
+    }
+
+    pub(crate) fn free_version_chunk(&mut self, c: usize) {
+        self.versions.free_chunk(c);
+    }
+
+    /// Free a version chunk whose only unretired entries are *final*
+    /// versions (never superseded): the finals move to a side table and
+    /// the chunk's memory — dominated by dead intermediates — is
+    /// returned.
+    pub(crate) fn evacuate_version_chunk(&mut self, c: usize, keep: &[usize]) {
+        self.versions.free_chunk_keeping(c, keep);
+    }
+
+    /// A previously evacuated version got superseded after all and
+    /// retired: drop its side-table entry.
+    pub(crate) fn drop_evacuated_version(&mut self, id: usize) {
+        self.versions.drop_evacuated(id);
+    }
+}
+
+/// Shared, interiorly-mutable handle to a [`TaskGraph`]. The per-node
+/// runtimes hold one; in windowed execution the discovery driver appends
+/// tasks and retires completed ones through the same handle.
+#[derive(Clone)]
+pub struct GraphHandle {
+    inner: Rc<RefCell<TaskGraph>>,
+}
+
+impl GraphHandle {
+    pub fn new(graph: TaskGraph) -> GraphHandle {
+        GraphHandle {
+            inner: Rc::new(RefCell::new(graph)),
+        }
+    }
+
+    pub fn get(&self) -> Ref<'_, TaskGraph> {
+        self.inner.borrow()
+    }
+
+    pub(crate) fn get_mut(&self) -> RefMut<'_, TaskGraph> {
+        self.inner.borrow_mut()
+    }
+
+    fn try_unwrap(self) -> Option<TaskGraph> {
+        Rc::try_unwrap(self.inner).ok().map(RefCell::into_inner)
+    }
+}
+
+/// Produces a task graph incrementally, for windowed execution
+/// ([`crate::Cluster::execute_windowed`]): the runtime pulls one task at a
+/// time so at most `window` tasks are unrolled ahead of the completion
+/// frontier.
+pub trait GraphSource {
+    /// Insert the next task into `g` (declaring any initial data it needs
+    /// first) and return `true`; return `false` — without inserting —
+    /// when the graph is complete. Must insert at least one task per
+    /// `true` return.
+    fn next_task(&mut self, g: &mut GraphBuilder) -> bool;
 }
 
 /// Incremental graph builder.
 pub struct GraphBuilder {
     nodes: usize,
-    tasks: Vec<Task>,
-    versions: Vec<Version>,
+    graph: GraphHandle,
     current: HashMap<DataKey, VersionId>,
+    /// When enabled, versions whose `current` slot was overwritten by a
+    /// later write are logged here (windowed-mode retirement feed).
+    track_superseded: bool,
+    superseded: Vec<VersionId>,
 }
 
 impl GraphBuilder {
     pub fn new(nodes: usize) -> Self {
+        Self::over(nodes, GraphHandle::new(TaskGraph::empty()))
+    }
+
+    /// Build into an existing (shared) graph handle — the windowed driver
+    /// appends to the graph the runtimes are already executing.
+    pub(crate) fn over(nodes: usize, graph: GraphHandle) -> Self {
         assert!(nodes > 0);
         GraphBuilder {
             nodes,
-            tasks: Vec::new(),
-            versions: Vec::new(),
+            graph,
             current: HashMap::new(),
+            track_superseded: false,
+            superseded: Vec::new(),
         }
+    }
+
+    pub(crate) fn set_track_superseded(&mut self) {
+        self.track_superseded = true;
+    }
+
+    pub(crate) fn take_superseded(&mut self) -> Vec<VersionId> {
+        std::mem::take(&mut self.superseded)
+    }
+
+    pub(crate) fn handle(&self) -> &GraphHandle {
+        &self.graph
+    }
+
+    pub fn task_count(&self) -> usize {
+        self.graph.get().task_count()
     }
 
     /// Declare an initial datum residing on `node`. Returns its version.
@@ -228,8 +494,9 @@ impl GraphBuilder {
         if let Some(b) = &bytes {
             assert_eq!(b.len(), size, "declared size must match payload");
         }
-        let vid = VersionId(self.versions.len());
-        self.versions.push(Version {
+        let mut g = self.graph.get_mut();
+        let vid = VersionId(g.versions.len());
+        g.versions.push(Version {
             key,
             size,
             home: node,
@@ -249,7 +516,8 @@ impl GraphBuilder {
 
     /// Insert a task; returns its id.
     pub fn insert(&mut self, desc: TaskDesc) -> TaskId {
-        let id = self.tasks.len();
+        let mut g = self.graph.get_mut();
+        let id = g.tasks.len();
         let inputs: Vec<VersionId> = desc
             .reads
             .iter()
@@ -261,19 +529,22 @@ impl GraphBuilder {
                     .unwrap_or_else(|| panic!("read of key {k} with no version")),
             })
             .collect();
-        let node = desc
-            .node
-            .unwrap_or_else(|| inputs.first().map(|v| self.versions[v.0].home).unwrap_or(0));
+        let node = desc.node.unwrap_or_else(|| {
+            inputs
+                .first()
+                .map(|v| g.versions.get(v.0).home)
+                .unwrap_or(0)
+        });
         assert!(node < self.nodes, "node {node} out of range");
         for &v in &inputs {
-            self.versions[v.0].consumers.push(id);
+            g.versions.get_mut(v.0).consumers.push(id);
         }
         let outputs: Vec<VersionId> = desc
             .writes
             .iter()
             .map(|&(key, size)| {
-                let vid = VersionId(self.versions.len());
-                self.versions.push(Version {
+                let vid = VersionId(g.versions.len());
+                g.versions.push(Version {
                     key,
                     size,
                     home: node,
@@ -281,11 +552,15 @@ impl GraphBuilder {
                     consumers: Vec::new(),
                     initial: None,
                 });
-                self.current.insert(key, vid);
+                if let Some(old) = self.current.insert(key, vid) {
+                    if self.track_superseded {
+                        self.superseded.push(old);
+                    }
+                }
                 vid
             })
             .collect();
-        self.tasks.push(Task {
+        g.tasks.push(Task {
             id,
             name: desc.name,
             node,
@@ -300,10 +575,9 @@ impl GraphBuilder {
     }
 
     pub fn build(self) -> TaskGraph {
-        TaskGraph {
-            tasks: self.tasks,
-            versions: self.versions,
-        }
+        self.graph
+            .try_unwrap()
+            .expect("build() on a builder whose graph handle is shared")
     }
 }
 
@@ -319,12 +593,9 @@ mod tests {
         let t2 = g.insert(TaskDesc::new("w2").read_key(0).write(0, 8));
         let graph = g.build();
         // t2 reads the version produced by t1, not the initial one.
-        assert_eq!(
-            graph.versions[graph.tasks[t2].inputs[0].0].producer,
-            Some(t1)
-        );
+        assert_eq!(graph.version(graph.task(t2).inputs[0].0).producer, Some(t1));
         // The initial version's only consumer is t1.
-        assert_eq!(graph.versions[0].consumers, vec![t1]);
+        assert_eq!(graph.version(0).consumers, vec![t1]);
     }
 
     #[test]
@@ -336,8 +607,8 @@ mod tests {
         let w = g.insert(TaskDesc::new("writer").write(0, 8));
         let graph = g.build();
         // The writer has no inputs at all: no write-after-read edges.
-        assert!(graph.tasks[w].inputs.is_empty());
-        assert_eq!(graph.versions[v0.0].consumers, vec![r1, r2]);
+        assert!(graph.task(w).inputs.is_empty());
+        assert_eq!(graph.version(v0.0).consumers, vec![r1, r2]);
     }
 
     #[test]
@@ -345,7 +616,8 @@ mod tests {
         let mut g = GraphBuilder::new(4);
         let v = g.data(0, 8, 3, None);
         let t = g.insert(TaskDesc::new("t").read(v));
-        assert_eq!(g.tasks[t].node, 3);
+        let graph = g.build();
+        assert_eq!(graph.task(t).node, 3);
     }
 
     #[test]
@@ -388,5 +660,45 @@ mod tests {
     fn reading_unknown_key_panics() {
         let mut g = GraphBuilder::new(1);
         g.insert(TaskDesc::new("bad").read_key(5));
+    }
+
+    #[test]
+    fn chunk_vec_push_get_free() {
+        let mut c: ChunkVec<usize> = ChunkVec::new();
+        for i in 0..600 {
+            c.push(i);
+        }
+        assert_eq!(c.len(), 600);
+        assert_eq!(*c.get(0), 0);
+        assert_eq!(*c.get(255), 255);
+        assert_eq!(*c.get(256), 256);
+        assert_eq!(*c.get(599), 599);
+        assert_eq!(c.iter().sum::<usize>(), 600 * 599 / 2);
+        c.free_chunk(0);
+        assert_eq!(*c.get(300), 300); // later chunks unaffected
+        assert_eq!(c.len(), 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn chunk_vec_freed_access_panics() {
+        let mut c: ChunkVec<usize> = ChunkVec::new();
+        for i in 0..600 {
+            c.push(i);
+        }
+        c.free_chunk(1);
+        let _ = c.get(256);
+    }
+
+    #[test]
+    fn builder_logs_superseded_versions() {
+        let mut g = GraphBuilder::new(1);
+        let v0 = g.data(0, 8, 0, None);
+        g.set_track_superseded();
+        g.insert(TaskDesc::new("w1").read_key(0).write(0, 8));
+        let v1 = g.current(0).expect("current");
+        g.insert(TaskDesc::new("w2").read_key(0).write(0, 8));
+        assert_eq!(g.take_superseded(), vec![v0, v1]);
+        assert!(g.take_superseded().is_empty());
     }
 }

@@ -63,12 +63,16 @@ mod dist;
 mod graph;
 mod metrics;
 mod node;
+mod queue;
 mod records;
+mod window;
 
 pub use cluster::{Cluster, RunReport};
 pub use config::{ClusterConfig, CostModel, ExecMode};
 pub use dist::{Cyclic1d, DataDist, TileDist2d};
-pub use graph::{DataKey, GraphBuilder, Kernel, TaskDesc, TaskGraph, TaskId, VersionId};
+pub use graph::{
+    DataKey, GraphBuilder, GraphHandle, GraphSource, Kernel, TaskDesc, TaskGraph, TaskId, VersionId,
+};
 pub use metrics::{LatencySummary, MetricsReport};
 
 #[cfg(test)]

@@ -1,7 +1,31 @@
 //! Per-node runtime: ready queue, worker cores, data store, and the
 //! ACTIVATE / GET DATA / put protocol handlers (paper Figure 1).
+//!
+//! The scheduler hot path is built on dense, allocation-lean structures
+//! (PaRSEC keeps its task/dependence bookkeeping dense for exactly this
+//! reason — §4 of the paper attributes small-granularity scaling to
+//! per-task runtime overhead):
+//!
+//! * the data store is a per-version **byte table** (`VersionStore::Dense`)
+//!   indexed by the contiguous `VersionId`, with real payloads held in a
+//!   side map only for versions that carry bytes;
+//! * the ready and pending-GET queues are bucketed per-priority FIFO rings
+//!   ([`crate::queue::BucketQueue`]) reproducing the seed heap's exact
+//!   `(priority, Reverse(seq))` pop order;
+//! * per-completion allocations are swept: trace track names are interned
+//!   at construction, ACTIVATE destination grouping reuses a scratch vector
+//!   driven by an epoch-stamped per-node best-priority table (O(consumers)
+//!   instead of the seed's O(consumers²) scan), and kernel input marshaling
+//!   reuses one scratch buffer.
+//!
+//! `ClusterConfig::reference_sched` switches the store and queues back to
+//! the seed structures (`HashMap` store, `BinaryHeap` queues, per-task
+//! temporaries) so benches and differential tests can compare both
+//! datapaths in one binary; virtual-time results are byte-identical either
+//! way.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use amt_comm::{AmEvent, CommEngine, PutEvent, PutRequest};
@@ -10,8 +34,10 @@ use amt_simnet::{CoreHandle, OnlineStats, OverlapTracker, Shared, Sim, SimTime, 
 use bytes::{Bytes, BytesMut};
 
 use crate::config::{ClusterConfig, ExecMode};
-use crate::graph::{TaskGraph, TaskId, VersionId};
+use crate::graph::{GraphHandle, TaskId, VersionId};
+use crate::queue::ReadyQueue;
 use crate::records::{ActivateRec, GetRec, PutCb, ACTIVATE_WIRE_BYTES, GET_WIRE_BYTES};
+use crate::window::WindowCtl;
 
 /// AM tag for task-activation messages.
 pub(crate) const AM_ACTIVATE: u64 = 1;
@@ -31,176 +57,351 @@ fn flow_id(kind: u64, version: u64, src: NodeId, dst: NodeId) -> u64 {
     (kind << 62) | (version << 24) | ((src as u64) << 12) | dst as u64
 }
 
-enum DataState {
+/// Seed-faithful store entry (`reference_sched` mode).
+enum RefDataState {
     /// Payload available locally (bytes absent in CostOnly mode).
     Present(Option<Bytes>),
     /// Announced by an ACTIVATE; GET DATA queued or in flight.
     Requested,
 }
 
-#[derive(PartialEq, Eq)]
-struct Ready {
-    priority: i64,
-    seq: u64,
-    task: TaskId,
+const V_VACANT: u8 = 0;
+const V_REQUESTED: u8 = 1;
+const V_PRESENT: u8 = 2;
+const V_PRESENT_DATA: u8 = 3;
+
+/// Per-version data-presence table. Dense mode is a byte per version
+/// (VersionIds are contiguous indices) with payload bytes in a side map;
+/// reference mode is the seed's `HashMap<VersionId, DataState>`.
+enum VersionStore {
+    Dense {
+        state: Vec<u8>,
+        payloads: HashMap<usize, Bytes>,
+    },
+    Reference(HashMap<usize, RefDataState>),
 }
 
-impl Ord for Ready {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: higher priority first, then insertion order.
-        (self.priority, std::cmp::Reverse(self.seq))
-            .cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+impl VersionStore {
+    fn new(reference: bool) -> VersionStore {
+        if reference {
+            VersionStore::Reference(HashMap::new())
+        } else {
+            VersionStore::Dense {
+                state: Vec::new(),
+                payloads: HashMap::new(),
+            }
+        }
     }
-}
-impl PartialOrd for Ready {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    fn ensure_len(&mut self, n: usize) {
+        if let VersionStore::Dense { state, .. } = self {
+            if state.len() < n {
+                state.resize(n, V_VACANT);
+            }
+        }
+    }
+
+    /// Any entry at all (Present *or* Requested)?
+    fn exists(&self, v: usize) -> bool {
+        match self {
+            VersionStore::Dense { state, .. } => {
+                state.get(v).copied().unwrap_or(V_VACANT) != V_VACANT
+            }
+            VersionStore::Reference(m) => m.contains_key(&v),
+        }
+    }
+
+    fn is_present(&self, v: usize) -> bool {
+        match self {
+            VersionStore::Dense { state, .. } => {
+                state.get(v).copied().unwrap_or(V_VACANT) >= V_PRESENT
+            }
+            VersionStore::Reference(m) => matches!(m.get(&v), Some(RefDataState::Present(_))),
+        }
+    }
+
+    /// Mark `v` present; returns whether the slot was previously vacant.
+    fn insert_present(&mut self, v: usize, bytes: Option<Bytes>) -> bool {
+        match self {
+            VersionStore::Dense { state, payloads } => {
+                let s = &mut state[v];
+                let fresh = *s == V_VACANT;
+                match bytes {
+                    Some(b) => {
+                        payloads.insert(v, b);
+                        *s = V_PRESENT_DATA;
+                    }
+                    None => *s = V_PRESENT,
+                }
+                fresh
+            }
+            VersionStore::Reference(m) => m.insert(v, RefDataState::Present(bytes)).is_none(),
+        }
+    }
+
+    /// Mark `v` requested; returns whether the slot was previously vacant.
+    fn insert_requested(&mut self, v: usize) -> bool {
+        match self {
+            VersionStore::Dense { state, .. } => {
+                let s = &mut state[v];
+                let fresh = *s == V_VACANT;
+                *s = V_REQUESTED;
+                fresh
+            }
+            VersionStore::Reference(m) => m.insert(v, RefDataState::Requested).is_none(),
+        }
+    }
+
+    /// Requested → Present transition on data arrival; returns whether the
+    /// previous state was Requested.
+    fn fulfill(&mut self, v: usize, bytes: Option<Bytes>) -> bool {
+        match self {
+            VersionStore::Dense { state, payloads } => {
+                let s = &mut state[v];
+                let was_requested = *s == V_REQUESTED;
+                match bytes {
+                    Some(b) => {
+                        payloads.insert(v, b);
+                        *s = V_PRESENT_DATA;
+                    }
+                    None => *s = V_PRESENT,
+                }
+                was_requested
+            }
+            VersionStore::Reference(m) => matches!(
+                m.insert(v, RefDataState::Present(bytes)),
+                Some(RefDataState::Requested)
+            ),
+        }
+    }
+
+    /// Payload bytes of a present version (None for cost-only entries).
+    fn payload(&self, v: usize) -> Option<Bytes> {
+        match self {
+            VersionStore::Dense { state, payloads } => {
+                if state.get(v).copied().unwrap_or(V_VACANT) == V_PRESENT_DATA {
+                    payloads.get(&v).cloned()
+                } else {
+                    None
+                }
+            }
+            VersionStore::Reference(m) => match m.get(&v) {
+                Some(RefDataState::Present(b)) => b.clone(),
+                _ => None,
+            },
+        }
+    }
+
+    fn payload_len(&self, v: usize) -> Option<usize> {
+        match self {
+            VersionStore::Dense { state, payloads } => {
+                if state.get(v).copied().unwrap_or(V_VACANT) == V_PRESENT_DATA {
+                    payloads.get(&v).map(|b| b.len())
+                } else {
+                    None
+                }
+            }
+            VersionStore::Reference(m) => match m.get(&v) {
+                Some(RefDataState::Present(Some(b))) => Some(b.len()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Release a retired version's payload bytes, keeping it Present
+    /// (windowed-mode memory reclamation).
+    fn drop_payload(&mut self, v: usize) {
+        match self {
+            VersionStore::Dense { state, payloads } => {
+                if state.get(v).copied().unwrap_or(V_VACANT) == V_PRESENT_DATA {
+                    payloads.remove(&v);
+                    state[v] = V_PRESENT;
+                }
+            }
+            VersionStore::Reference(m) => {
+                if let Some(e @ RefDataState::Present(Some(_))) = m.get_mut(&v) {
+                    *e = RefDataState::Present(None);
+                }
+            }
+        }
     }
 }
 
-#[derive(PartialEq, Eq)]
-struct PendingGet {
-    priority: i64,
-    seq: u64,
+/// A pending GET DATA request (queued behind the in-flight window).
+struct GetInfo {
     version: usize,
     src: NodeId,
     size: usize,
     activate_sent_at_ns: u64,
 }
 
-impl Ord for PendingGet {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.priority, std::cmp::Reverse(self.seq))
-            .cmp(&(other.priority, std::cmp::Reverse(other.seq)))
-    }
+/// Mutable scheduler state, behind one `RefCell` (the immutable identity —
+/// node id, graph handle, engine, config, interned trace names — lives
+/// directly on [`NodeRt`], so hot paths borrow only what mutates).
+struct NodeState {
+    reference: bool,
+    idle_workers: Vec<usize>,
+    ready: ReadyQueue<TaskId>,
+    /// Unsatisfied input count per task (only local tasks maintained).
+    remaining: Vec<u32>,
+    store: VersionStore,
+    pending_gets: ReadyQueue<GetInfo>,
+    inflight_gets: usize,
+    inflight_get_bytes: usize,
+    /// Multicast subtrees to forward once the version's data arrives.
+    pending_forwards: HashMap<usize, (Vec<u32>, i64, u64)>,
+    /// Entry count of `pending_forwards`; gates the per-arrival map lookup
+    /// (zero for every workload that doesn't use multicast trees).
+    forwards_pending: usize,
+    seq: u64,
+    executed: u64,
+    worker_busy: SimTime,
+    /// Per task-class execution counts and busy time.
+    class_stats: HashMap<&'static str, (u64, SimTime)>,
+    /// End-to-end latency per flow: ACTIVATE send → data arrival (§6.4.2).
+    e2e: OnlineStats,
+    /// Individual ACTIVATE message latency (§6.4.3).
+    msg_lat: OnlineStats,
+    /// Control-path latency: ACTIVATE send → GET DATA arrival at the data
+    /// owner (the software component of the end-to-end path, excluding the
+    /// bulk transfer itself).
+    req_lat: OnlineStats,
+    /// Optional execution timeline (Chrome-trace export).
+    trace: Trace,
+    /// Cluster-wide compute/wire concurrency integrator (metrics mode).
+    overlap: Option<Shared<OverlapTracker>>,
+    /// Kernel-input marshaling scratch (reused across completions).
+    inputs_scratch: Vec<Bytes>,
+    /// ACTIVATE destination-grouping scratch (dense mode).
+    dests_scratch: Vec<(NodeId, i64)>,
+    /// Epoch-stamped best-priority-per-node table for `announce` grouping.
+    node_best: Vec<(u64, i64)>,
+    node_epoch: u64,
 }
-impl PartialOrd for PendingGet {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl NodeState {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
     }
 }
 
 pub(crate) struct NodeRt {
     pub node: NodeId,
-    pub graph: Rc<TaskGraph>,
+    pub graph: GraphHandle,
     pub engine: Rc<CommEngine>,
     pub cfg: ClusterConfig,
     pub workers: Vec<CoreHandle>,
-    idle_workers: Vec<usize>,
-    ready: BinaryHeap<Ready>,
-    /// Unsatisfied input count per task (only local tasks maintained).
-    remaining: Vec<usize>,
-    store: HashMap<VersionId, DataState>,
-    pending_gets: BinaryHeap<PendingGet>,
-    inflight_gets: usize,
-    inflight_get_bytes: usize,
-    /// Multicast subtrees to forward once the version's data arrives.
-    pending_forwards: HashMap<VersionId, (Vec<u32>, i64, u64)>,
-    seq: u64,
-    pub executed: u64,
-    pub worker_busy: SimTime,
-    /// Per task-class execution counts and busy time.
-    pub class_stats: HashMap<&'static str, (u64, SimTime)>,
-    /// End-to-end latency per flow: ACTIVATE send → data arrival (§6.4.2).
-    pub e2e: OnlineStats,
-    /// Individual ACTIVATE message latency (§6.4.3).
-    pub msg_lat: OnlineStats,
-    /// Control-path latency: ACTIVATE send → GET DATA arrival at the data
-    /// owner (the software component of the end-to-end path, excluding the
-    /// bulk transfer itself).
-    pub req_lat: OnlineStats,
-    /// Optional execution timeline (Chrome-trace export).
-    pub trace: Trace,
-    /// Cluster-wide compute/wire concurrency integrator (metrics mode).
-    overlap: Option<Shared<OverlapTracker>>,
+    trace_on: bool,
+    /// Interned `n{i}.comm` trace track name (no `format!` per send).
+    comm_track: String,
+    /// Interned `n{i}.w{j}` trace track names (no `format!` per task).
+    worker_tracks: Vec<String>,
+    state: RefCell<NodeState>,
+    /// Windowed-discovery driver, when executing via
+    /// [`crate::Cluster::execute_windowed`].
+    window: RefCell<Option<Rc<WindowCtl>>>,
 }
 
-pub(crate) type RtHandle = Shared<NodeRt>;
+pub(crate) type RtHandle = Rc<NodeRt>;
 
 impl NodeRt {
     pub fn new(
         node: NodeId,
-        graph: Rc<TaskGraph>,
+        graph: GraphHandle,
         engine: Rc<CommEngine>,
         cfg: ClusterConfig,
         workers: Vec<CoreHandle>,
         overlap: Option<Shared<OverlapTracker>>,
     ) -> NodeRt {
         let nworkers = workers.len();
+        // Task/worker indices are packed into one closure word in
+        // `dispatch`.
+        assert!(nworkers <= 1 << 16, "worker index must fit 16 bits");
         let trace = Trace::new(cfg.trace);
+        let reference = cfg.reference_sched;
         NodeRt {
             node,
             graph,
             engine,
+            trace_on: cfg.trace,
+            comm_track: format!("n{node}.comm"),
+            worker_tracks: (0..nworkers).map(|w| format!("n{node}.w{w}")).collect(),
+            state: RefCell::new(NodeState {
+                reference,
+                idle_workers: (0..nworkers).rev().collect(),
+                ready: ReadyQueue::new(reference),
+                remaining: Vec::new(),
+                store: VersionStore::new(reference),
+                pending_gets: ReadyQueue::new(reference),
+                inflight_gets: 0,
+                inflight_get_bytes: 0,
+                pending_forwards: HashMap::new(),
+                forwards_pending: 0,
+                seq: 0,
+                executed: 0,
+                worker_busy: SimTime::ZERO,
+                class_stats: HashMap::new(),
+                e2e: OnlineStats::new(),
+                msg_lat: OnlineStats::new(),
+                req_lat: OnlineStats::new(),
+                trace,
+                overlap,
+                inputs_scratch: Vec::new(),
+                dests_scratch: Vec::new(),
+                node_best: vec![(0, 0); cfg.nodes],
+                node_epoch: 0,
+            }),
+            window: RefCell::new(None),
             cfg,
             workers,
-            idle_workers: (0..nworkers).rev().collect(),
-            ready: BinaryHeap::new(),
-            remaining: Vec::new(),
-            store: HashMap::new(),
-            pending_gets: BinaryHeap::new(),
-            inflight_gets: 0,
-            inflight_get_bytes: 0,
-            pending_forwards: HashMap::new(),
-            seq: 0,
-            executed: 0,
-            worker_busy: SimTime::ZERO,
-            class_stats: HashMap::new(),
-            e2e: OnlineStats::new(),
-            msg_lat: OnlineStats::new(),
-            req_lat: OnlineStats::new(),
-            trace,
-            overlap,
         }
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
-        s
+    pub(crate) fn set_window(&self, w: Option<Rc<WindowCtl>>) {
+        *self.window.borrow_mut() = w;
     }
 
     /// Initialize local state: resident initial data, dependence counters,
     /// initially-ready tasks, and ACTIVATEs for initial data needed
     /// remotely.
     pub fn init(rt: &RtHandle, sim: &mut Sim) {
-        let (graph, node) = {
-            let r = rt.borrow();
-            (r.graph.clone(), r.node)
-        };
+        let node = rt.node;
         {
-            let mut r = rt.borrow_mut();
-            r.remaining = vec![0; graph.tasks.len()];
-            for (i, v) in graph.versions.iter().enumerate() {
+            let g = rt.graph.get();
+            let mut s = rt.state.borrow_mut();
+            s.remaining = vec![0; g.task_count()];
+            s.store.ensure_len(g.version_count());
+            for i in 0..g.version_count() {
+                let v = g.version(i);
                 if v.producer.is_none() && v.home == node {
-                    r.store
-                        .insert(VersionId(i), DataState::Present(v.initial.clone()));
+                    s.store.insert_present(i, v.initial.clone());
                 }
             }
-            for t in &graph.tasks {
+            for i in 0..g.task_count() {
+                let t = g.task(i);
                 if t.node != node {
                     continue;
                 }
-                let missing = t
-                    .inputs
-                    .iter()
-                    .filter(|v| !matches!(r.store.get(v), Some(DataState::Present(_))))
-                    .count();
-                r.remaining[t.id] = missing;
+                let missing = t.inputs.iter().filter(|v| !s.store.is_present(v.0)).count();
+                s.remaining[i] = missing as u32;
                 if missing == 0 {
-                    let seq = r.next_seq();
-                    r.ready.push(Ready {
-                        priority: t.priority,
-                        seq,
-                        task: t.id,
-                    });
+                    let seq = s.next_seq();
+                    s.ready.push(t.priority, seq, i);
                 }
             }
         }
         // Announce initial data to remote consumers (pseudo-completion of a
         // "source" task at t=0).
-        for (i, v) in graph.versions.iter().enumerate() {
-            if v.producer.is_none() && v.home == node {
+        let nversions = rt.graph.get().version_count();
+        for i in 0..nversions {
+            let local_source = {
+                let g = rt.graph.get();
+                let v = g.version(i);
+                v.producer.is_none() && v.home == node
+            };
+            if local_source {
                 NodeRt::announce(rt, sim, VersionId(i), None);
             }
         }
@@ -211,85 +412,112 @@ impl NodeRt {
     /// consumes it. In multithreaded mode the worker sends directly and the
     /// costs are returned for charging to the worker (`None` ⇒ funneled).
     fn announce(rt: &RtHandle, sim: &mut Sim, version: VersionId, mt_cost: Option<&mut SimTime>) {
-        let (graph, node, engine, size) = {
-            let r = rt.borrow();
-            let size = match r.store.get(&version) {
-                Some(DataState::Present(Some(b))) => b.len(),
-                _ => r.graph.versions[version.0].size,
+        let node = rt.node;
+        // Group remote consumers by node in first-appearance order,
+        // tracking the best priority per node through an epoch-stamped
+        // table — one pass, no quadratic rescans.
+        let (mut dests, size, from_scratch) = {
+            let g = rt.graph.get();
+            let v = g.version(version.0);
+            let mut s = rt.state.borrow_mut();
+            let size = s.store.payload_len(version.0).unwrap_or(v.size);
+            s.node_epoch += 1;
+            let epoch = s.node_epoch;
+            let from_scratch = !s.reference;
+            let mut dests: Vec<(NodeId, i64)> = if from_scratch {
+                std::mem::take(&mut s.dests_scratch)
+            } else {
+                // Seed allocation behavior: a fresh grouping vector per
+                // announce.
+                Vec::new()
             };
-            (r.graph.clone(), r.node, r.engine.clone(), size)
+            dests.clear();
+            for &t in &v.consumers {
+                let task = g.task(t);
+                if task.node == node {
+                    continue;
+                }
+                let e = &mut s.node_best[task.node];
+                if e.0 != epoch {
+                    *e = (epoch, task.priority);
+                    dests.push((task.node, task.priority));
+                } else if task.priority > e.1 {
+                    e.1 = task.priority;
+                }
+            }
+            for d in dests.iter_mut() {
+                d.1 = s.node_best[d.0].1;
+            }
+            (dests, size, from_scratch)
         };
-        let v = &graph.versions[version.0];
-        // Group remote consumers by node, remembering the best priority.
-        let mut dests: Vec<(NodeId, i64)> = Vec::new();
-        for &t in &v.consumers {
-            let tn = graph.tasks[t].node;
-            if tn == node {
-                continue;
-            }
-            match dests.iter_mut().find(|(n, _)| *n == tn) {
-                Some((_, p)) => *p = (*p).max(graph.tasks[t].priority),
-                None => dests.push((tn, graph.tasks[t].priority)),
-            }
-        }
         if dests.is_empty() {
+            if from_scratch {
+                rt.state.borrow_mut().dests_scratch = dests;
+            }
             return;
         }
-        let mt = mt_cost.is_some() && rt.borrow().cfg.multithread_am;
-        let tree_min = rt.borrow().cfg.bcast_tree_min;
+        let mt = mt_cost.is_some() && rt.cfg.multithread_am;
         let sent_at = sim.now().as_ns();
+        let mut extra = SimTime::ZERO;
 
         // Wide broadcasts go through a binomial multicast tree (Figure 1).
-        let sends: Vec<ActivateRec_Send> = if tree_min.is_some_and(|m| dests.len() >= m) {
+        if rt.cfg.bcast_tree_min.is_some_and(|m| dests.len() >= m) {
             let best_priority = dests.iter().map(|(_, p)| *p).max().expect("non-empty");
             let mut ids: Vec<u32> = dests.iter().map(|(n, _)| *n as u32).collect();
             ids.sort_unstable();
-            crate::records::tree_children(&ids)
-                .into_iter()
-                .map(|(child, subtree)| ActivateRec_Send {
-                    dst: child as NodeId,
-                    rec: ActivateRec {
-                        version: version.0 as u64,
-                        size: size as u64,
-                        priority: best_priority,
-                        sent_at_ns: sent_at,
-                        forward: subtree,
-                    },
-                })
-                .collect()
+            for (child, subtree) in crate::records::tree_children(&ids) {
+                let rec = ActivateRec {
+                    version: version.0 as u64,
+                    size: size as u64,
+                    priority: best_priority,
+                    sent_at_ns: sent_at,
+                    forward: subtree,
+                };
+                extra += NodeRt::send_activate(rt, sim, child as NodeId, &rec, mt);
+            }
         } else {
-            dests
-                .into_iter()
-                .map(|(dst, priority)| ActivateRec_Send {
-                    dst,
-                    rec: ActivateRec::direct(version.0 as u64, size as u64, priority, sent_at),
-                })
-                .collect()
-        };
-
-        let trace_on = rt.borrow().trace.enabled();
-        let mut extra = SimTime::ZERO;
-        for s in sends {
-            let wire = ACTIVATE_WIRE_BYTES + 4 * s.rec.forward.len();
-            let payload = s.rec.encode_one_with(engine.buf_pool());
-            if trace_on {
-                let id = flow_id(FLOW_ACTIVATE, s.rec.version, node, s.dst);
-                rt.borrow_mut().trace.flow_start(
-                    format!("n{node}.comm"),
-                    "activate",
-                    id,
-                    sim.now(),
-                );
+            for &(dst, priority) in &dests {
+                let rec = ActivateRec::direct(version.0 as u64, size as u64, priority, sent_at);
+                extra += NodeRt::send_activate(rt, sim, dst, &rec, mt);
             }
-            if mt {
-                extra += engine.send_am_direct(sim, s.dst, AM_ACTIVATE, wire, Some(payload));
-            } else {
-                engine.send_am(sim, s.dst, AM_ACTIVATE, wire, Some(payload));
-                extra += rt.borrow().cfg.cost.submit_cost;
-            }
+        }
+        if from_scratch {
+            let mut s = rt.state.borrow_mut();
+            dests.clear();
+            s.dests_scratch = dests;
         }
         if let Some(c) = mt_cost {
             *c += extra;
+        }
+    }
+
+    /// Emit one ACTIVATE record; returns the cost to charge the sending
+    /// worker (multithreaded mode only — funneled submits are free to the
+    /// caller, the communication thread pays).
+    fn send_activate(
+        rt: &RtHandle,
+        sim: &mut Sim,
+        dst: NodeId,
+        rec: &ActivateRec,
+        mt: bool,
+    ) -> SimTime {
+        let engine = &rt.engine;
+        let wire = ACTIVATE_WIRE_BYTES + 4 * rec.forward.len();
+        let payload = rec.encode_one_with(engine.buf_pool());
+        if rt.trace_on {
+            let id = flow_id(FLOW_ACTIVATE, rec.version, rt.node, dst);
+            rt.state.borrow_mut().trace.flow_start(
+                rt.comm_track.clone(),
+                "activate",
+                id,
+                sim.now(),
+            );
+        }
+        if mt {
+            engine.send_am_direct(sim, dst, AM_ACTIVATE, wire, Some(payload))
+        } else {
+            engine.send_am(sim, dst, AM_ACTIVATE, wire, Some(payload));
+            rt.cfg.cost.submit_cost
         }
     }
 
@@ -304,10 +532,6 @@ impl NodeRt {
         sent_at_ns: u64,
         size: usize,
     ) {
-        let (engine, node, trace_on) = {
-            let r = rt.borrow();
-            (r.engine.clone(), r.node, r.trace.enabled())
-        };
         for (child, sub) in crate::records::tree_children(subtree) {
             let rec = ActivateRec {
                 version: version.0 as u64,
@@ -317,15 +541,16 @@ impl NodeRt {
                 forward: sub,
             };
             let wire = ACTIVATE_WIRE_BYTES + 4 * rec.forward.len();
-            if trace_on {
-                let id = flow_id(FLOW_ACTIVATE, rec.version, node, child as NodeId);
-                rt.borrow_mut().trace.flow_start(
-                    format!("n{node}.comm"),
+            if rt.trace_on {
+                let id = flow_id(FLOW_ACTIVATE, rec.version, rt.node, child as NodeId);
+                rt.state.borrow_mut().trace.flow_start(
+                    rt.comm_track.clone(),
                     "activate",
                     id,
                     sim.now(),
                 );
             }
+            let engine = &rt.engine;
             engine.send_am(
                 sim,
                 child as NodeId,
@@ -340,38 +565,37 @@ impl NodeRt {
     pub fn dispatch(rt: &RtHandle, sim: &mut Sim) {
         loop {
             let (task, widx, dur) = {
-                let mut r = rt.borrow_mut();
-                if r.ready.is_empty() || r.idle_workers.is_empty() {
+                let mut s = rt.state.borrow_mut();
+                if s.ready.is_empty() || s.idle_workers.is_empty() {
                     return;
                 }
-                let ready = r.ready.pop().expect("checked non-empty");
-                let widx = r.idle_workers.pop().expect("checked non-empty");
-                let t = &r.graph.tasks[ready.task];
-                let dur = r.cfg.cost.task_duration(t.flops, t.efficiency);
-                let name = t.name;
-                r.worker_busy += dur;
-                let entry = r.class_stats.entry(name).or_insert((0, SimTime::ZERO));
+                let task = s.ready.pop().expect("checked non-empty").item;
+                let widx = s.idle_workers.pop().expect("checked non-empty");
+                let g = rt.graph.get();
+                let t = g.task(task);
+                let dur = rt.cfg.cost.task_duration(t.flops, t.efficiency);
+                s.worker_busy += dur;
+                let entry = s.class_stats.entry(t.name).or_insert((0, SimTime::ZERO));
                 entry.0 += 1;
                 entry.1 += dur;
-                if let Some(o) = &r.overlap {
-                    o.borrow_mut().busy_add(r.node, sim.now(), 1);
+                if let Some(o) = &s.overlap {
+                    o.borrow_mut().busy_add(rt.node, sim.now(), 1);
                 }
-                (ready.task, widx, dur)
+                (task, widx, dur)
             };
+            // Two captured words (handle + packed indices) keep the
+            // completion closure on the simulator's inline small-closure
+            // path — no per-task event box.
             let rt2 = rt.clone();
-            let core = rt.borrow().workers[widx].clone();
+            let packed = ((task as u64) << 16) | widx as u64;
+            let core = rt.workers[widx].clone();
             core.borrow_mut().charge(sim, dur, move |sim| {
-                {
-                    let mut r = rt2.borrow_mut();
-                    if r.trace.enabled() {
-                        let end = sim.now();
-                        let name = r.graph.tasks[task].name;
-                        let node = r.node;
-                        r.trace
-                            .record(format!("n{node}.w{widx}"), name, end - dur, end);
-                    }
-                }
-                NodeRt::task_done(&rt2, sim, task, widx);
+                NodeRt::task_done(
+                    &rt2,
+                    sim,
+                    (packed >> 16) as TaskId,
+                    (packed & 0xffff) as usize,
+                );
             });
         }
     }
@@ -380,72 +604,113 @@ impl NodeRt {
     /// outputs, release local consumers, announce to remote ones, then
     /// return the worker to the idle pool.
     fn task_done(rt: &RtHandle, sim: &mut Sim, task: TaskId, widx: usize) {
-        let graph = rt.borrow().graph.clone();
-        let t = &graph.tasks[task];
-
-        // Execute the kernel on real payloads.
-        let outputs: Vec<Option<Bytes>> = {
-            let r = rt.borrow();
-            if r.cfg.mode == ExecMode::Numeric {
-                if let Some(kernel) = &t.kernel {
-                    // Control (size-0) inputs carry no payload and are not
-                    // handed to kernels.
-                    let inputs: Vec<Bytes> = t
-                        .inputs
-                        .iter()
-                        .filter(|v| graph.versions[v.0].size > 0)
-                        .map(|v| match r.store.get(v) {
-                            Some(DataState::Present(Some(b))) => b.clone(),
-                            _ => {
-                                panic!("task {} ran without input version {:?} present", t.name, v)
-                            }
-                        })
-                        .collect();
-                    drop(r);
-                    let outs = kernel(&inputs);
-                    assert_eq!(outs.len(), t.outputs.len(), "kernel output arity");
-                    outs.into_iter().map(Some).collect()
-                } else {
-                    t.outputs.iter().map(|_| None).collect()
-                }
-            } else {
-                t.outputs.iter().map(|_| None).collect()
-            }
-        };
-
+        let noutputs;
         {
-            let mut r = rt.borrow_mut();
-            r.executed += 1;
-            for (vid, bytes) in t.outputs.iter().zip(outputs) {
-                let prev = r.store.insert(*vid, DataState::Present(bytes));
-                assert!(prev.is_none(), "output version produced twice");
+            let g = rt.graph.get();
+            let t = g.task(task);
+            noutputs = t.outputs.len();
+            if rt.trace_on {
+                // The duration is a pure function of the task, so the
+                // execution span is reconstructed here instead of carrying
+                // it through the completion closure.
+                let dur = rt.cfg.cost.task_duration(t.flops, t.efficiency);
+                let end = sim.now();
+                rt.state.borrow_mut().trace.record(
+                    rt.worker_tracks[widx].clone(),
+                    t.name,
+                    end - dur,
+                    end,
+                );
+            }
+
+            // Execute the kernel on real payloads.
+            let kernel = (rt.cfg.mode == ExecMode::Numeric)
+                .then_some(t.kernel.as_ref())
+                .flatten();
+            let outs: Option<Vec<Bytes>> = if let Some(kernel) = kernel {
+                let mut inputs = std::mem::take(&mut rt.state.borrow_mut().inputs_scratch);
+                inputs.clear();
+                {
+                    let s = rt.state.borrow();
+                    for v in &t.inputs {
+                        // Control (size-0) inputs carry no payload and
+                        // are not handed to kernels.
+                        if g.version(v.0).size > 0 {
+                            inputs.push(s.store.payload(v.0).unwrap_or_else(|| {
+                                panic!("task {} ran without input version {:?} present", t.name, v)
+                            }));
+                        }
+                    }
+                }
+                let outs = kernel(&inputs);
+                assert_eq!(outs.len(), t.outputs.len(), "kernel output arity");
+                inputs.clear();
+                rt.state.borrow_mut().inputs_scratch = inputs;
+                Some(outs)
+            } else {
+                None
+            };
+
+            let mut s = rt.state.borrow_mut();
+            s.executed += 1;
+            match outs {
+                Some(outs) => {
+                    for (vid, b) in t.outputs.iter().zip(outs) {
+                        let fresh = s.store.insert_present(vid.0, Some(b));
+                        assert!(fresh, "output version produced twice");
+                    }
+                }
+                None if s.reference => {
+                    // Seed allocation behavior: a per-completion
+                    // `Vec<Option<Bytes>>` even when every entry is None.
+                    let outputs: Vec<Option<Bytes>> = t.outputs.iter().map(|_| None).collect();
+                    for (vid, b) in t.outputs.iter().zip(outputs) {
+                        let fresh = s.store.insert_present(vid.0, b);
+                        assert!(fresh, "output version produced twice");
+                    }
+                }
+                None => {
+                    for vid in &t.outputs {
+                        let fresh = s.store.insert_present(vid.0, None);
+                        assert!(fresh, "output version produced twice");
+                    }
+                }
             }
         }
 
         // Release local consumers of each output.
-        for vid in &t.outputs {
-            NodeRt::release_local(rt, *vid);
+        for oi in 0..noutputs {
+            let vid = rt.graph.get().task(task).outputs[oi];
+            NodeRt::release_local(rt, vid);
         }
 
         // Announce to remote consumers; in multithreaded mode the send cost
         // extends the worker's occupancy.
         let mut extra = SimTime::ZERO;
-        for vid in &t.outputs {
-            NodeRt::announce(rt, sim, *vid, Some(&mut extra));
+        for oi in 0..noutputs {
+            let vid = rt.graph.get().task(task).outputs[oi];
+            NodeRt::announce(rt, sim, vid, Some(&mut extra));
+        }
+
+        // Windowed discovery: retire this task and pull the next window of
+        // tasks from the graph source.
+        let wctl = rt.window.borrow().clone();
+        if let Some(w) = wctl {
+            WindowCtl::on_complete(&w, sim, task);
         }
 
         let rt2 = rt.clone();
-        let core = rt.borrow().workers[widx].clone();
+        let core = rt.workers[widx].clone();
         if extra.is_zero() {
             extra = SimTime::from_ns(1);
         }
-        rt.borrow_mut().worker_busy += extra;
+        rt.state.borrow_mut().worker_busy += extra;
         core.borrow_mut().charge(sim, extra, move |sim| {
             {
-                let mut r = rt2.borrow_mut();
-                r.idle_workers.push(widx);
-                if let Some(o) = &r.overlap {
-                    o.borrow_mut().busy_add(r.node, sim.now(), -1);
+                let mut s = rt2.state.borrow_mut();
+                s.idle_workers.push(widx);
+                if let Some(o) = &s.overlap {
+                    o.borrow_mut().busy_add(rt2.node, sim.now(), -1);
                 }
             }
             NodeRt::dispatch(&rt2, sim);
@@ -454,23 +719,19 @@ impl NodeRt {
     }
 
     fn release_local(rt: &RtHandle, version: VersionId) {
-        let graph = rt.borrow().graph.clone();
-        let node = rt.borrow().node;
-        let mut r = rt.borrow_mut();
-        for &c in &graph.versions[version.0].consumers {
-            if graph.tasks[c].node != node {
+        let g = rt.graph.get();
+        let mut s = rt.state.borrow_mut();
+        for &c in &g.version(version.0).consumers {
+            let t = g.task(c);
+            if t.node != rt.node {
                 continue;
             }
-            let rem = &mut r.remaining[c];
+            let rem = &mut s.remaining[c];
             debug_assert!(*rem > 0, "double release of task {c}");
             *rem -= 1;
             if *rem == 0 {
-                let seq = r.next_seq();
-                r.ready.push(Ready {
-                    priority: graph.tasks[c].priority,
-                    seq,
-                    task: c,
-                });
+                let seq = s.next_seq();
+                s.ready.push(t.priority, seq, c);
             }
         }
     }
@@ -481,53 +742,53 @@ impl NodeRt {
     pub fn on_activate(rt: &RtHandle, sim: &mut Sim, ev: AmEvent) -> SimTime {
         let recs = ActivateRec::decode_frames(&ev.data);
         // The arrival buffers are dead after decoding: feed them back to the
-        // engine's pool so outgoing encodes reuse them instead of allocating.
-        {
-            let engine = rt.borrow().engine.clone();
-            engine.buf_pool().recycle_frames(ev.data);
-        }
+        // engine's pool so outgoing encodes reuse them instead of
+        // allocating.
+        rt.engine.buf_pool().recycle_frames(ev.data);
         let mut cost = SimTime::ZERO;
         {
-            let mut r = rt.borrow_mut();
+            let mut s = rt.state.borrow_mut();
             let now_ns = sim.now().as_ns();
             let mut ctl_released = Vec::new();
             for rec in &recs {
-                cost += r.cfg.cost.activate_record_cost;
-                r.msg_lat.record(
+                cost += rt.cfg.cost.activate_record_cost;
+                s.msg_lat.record(
                     (SimTime::from_ns(now_ns) - SimTime::from_ns(rec.sent_at_ns)).as_us_f64(),
                 );
-                if r.trace.enabled() {
-                    let node = r.node;
-                    let id = flow_id(FLOW_ACTIVATE, rec.version, ev.src, node);
-                    r.trace
-                        .flow_end(format!("n{node}.comm"), "activate", id, sim.now());
+                if rt.trace_on {
+                    let id = flow_id(FLOW_ACTIVATE, rec.version, ev.src, rt.node);
+                    s.trace
+                        .flow_end(rt.comm_track.clone(), "activate", id, sim.now());
                 }
-                let vid = VersionId(rec.version as usize);
+                let vid = rec.version as usize;
                 if rec.size == 0 {
                     // Control dependency (PaRSEC CTL flow): the ACTIVATE
                     // itself satisfies it — no GET DATA / put round trip.
-                    let prev = r.store.insert(vid, DataState::Present(None));
-                    assert!(prev.is_none(), "version announced twice to one node");
-                    ctl_released.push((vid, rec.clone()));
+                    let fresh = s.store.insert_present(vid, None);
+                    assert!(fresh, "version announced twice to one node");
+                    ctl_released.push((VersionId(vid), rec.clone()));
                     continue;
                 }
-                let prev = r.store.insert(vid, DataState::Requested);
-                assert!(prev.is_none(), "version announced twice to one node");
+                let fresh = s.store.insert_requested(vid);
+                assert!(fresh, "version announced twice to one node");
                 if !rec.forward.is_empty() {
-                    r.pending_forwards
+                    s.pending_forwards
                         .insert(vid, (rec.forward.clone(), rec.priority, rec.sent_at_ns));
+                    s.forwards_pending += 1;
                 }
-                let seq = r.next_seq();
-                r.pending_gets.push(PendingGet {
-                    priority: rec.priority,
+                let seq = s.next_seq();
+                s.pending_gets.push(
+                    rec.priority,
                     seq,
-                    version: rec.version as usize,
-                    src: ev.src,
-                    size: rec.size as usize,
-                    activate_sent_at_ns: rec.sent_at_ns,
-                });
+                    GetInfo {
+                        version: vid,
+                        src: ev.src,
+                        size: rec.size as usize,
+                        activate_sent_at_ns: rec.sent_at_ns,
+                    },
+                );
             }
-            drop(r);
+            drop(s);
             if !ctl_released.is_empty() {
                 for (vid, rec) in ctl_released {
                     NodeRt::release_local(rt, vid);
@@ -555,32 +816,33 @@ impl NodeRt {
     fn pump_gets(rt: &RtHandle, sim: &mut Sim) -> SimTime {
         let mut cost = SimTime::ZERO;
         loop {
-            let (engine, get) = {
-                let mut r = rt.borrow_mut();
-                if r.inflight_gets >= r.cfg.get_window {
+            let get = {
+                let mut s = rt.state.borrow_mut();
+                if s.inflight_gets >= rt.cfg.get_window {
                     return cost;
                 }
-                let next_size = match r.pending_gets.peek() {
+                let next_size = match s.pending_gets.peek() {
                     Some(g) => g.size,
                     None => return cost,
                 };
                 // Byte budget (priority-relative deferral): beyond the
                 // minimum concurrency, defer fetches that would exceed it.
-                if r.cfg.get_window_bytes > 0
-                    && r.inflight_gets >= r.cfg.get_window_min_flows
-                    && r.inflight_get_bytes + next_size > r.cfg.get_window_bytes
+                if rt.cfg.get_window_bytes > 0
+                    && s.inflight_gets >= rt.cfg.get_window_min_flows
+                    && s.inflight_get_bytes + next_size > rt.cfg.get_window_bytes
                 {
                     return cost;
                 }
-                let g = r.pending_gets.pop().expect("peeked non-empty");
-                r.inflight_gets += 1;
-                r.inflight_get_bytes += g.size;
-                (r.engine.clone(), g)
+                let g = s.pending_gets.pop().expect("peeked non-empty").item;
+                s.inflight_gets += 1;
+                s.inflight_get_bytes += g.size;
+                g
             };
             let rec = GetRec {
                 version: get.version as u64,
                 activate_sent_at_ns: get.activate_sent_at_ns,
             };
+            let engine = &rt.engine;
             engine.send_am_opts(
                 sim,
                 get.src,
@@ -589,45 +851,44 @@ impl NodeRt {
                 Some(rec.encode_with(engine.buf_pool())),
                 false,
             );
-            cost += rt.borrow().cfg.cost.get_send_cost;
+            cost += rt.cfg.cost.get_send_cost;
         }
     }
 
     /// GET DATA callback at the data owner: start the put (Figure 1).
     pub fn on_getdata(rt: &RtHandle, sim: &mut Sim, ev: AmEvent) -> SimTime {
         let recs = GetRec::decode_frames(&ev.data);
-        {
-            let engine = rt.borrow().engine.clone();
-            engine.buf_pool().recycle_frames(ev.data);
-        }
+        rt.engine.buf_pool().recycle_frames(ev.data);
         let mut cost = SimTime::ZERO;
         for rec in recs {
             {
-                let mut r = rt.borrow_mut();
+                let mut s = rt.state.borrow_mut();
                 let lat = sim.now() - SimTime::from_ns(rec.activate_sent_at_ns);
-                r.req_lat.record(lat.as_us_f64());
-                if r.trace.enabled() {
-                    let node = r.node;
-                    let id = flow_id(FLOW_DATA, rec.version, node, ev.src);
-                    r.trace
-                        .flow_start(format!("n{node}.comm"), "data", id, sim.now());
+                s.req_lat.record(lat.as_us_f64());
+                if rt.trace_on {
+                    let id = flow_id(FLOW_DATA, rec.version, rt.node, ev.src);
+                    s.trace
+                        .flow_start(rt.comm_track.clone(), "data", id, sim.now());
                 }
             }
-            let (engine, size, data) = {
-                let r = rt.borrow();
-                let vid = VersionId(rec.version as usize);
-                let (size, data) = match r.store.get(&vid) {
-                    Some(DataState::Present(Some(b))) => (b.len(), Some(b.clone())),
-                    Some(DataState::Present(None)) => (r.graph.versions[vid.0].size, None),
-                    _ => panic!("GET DATA for version not present at owner"),
-                };
-                (r.engine.clone(), size, data)
+            let (size, data) = {
+                let s = rt.state.borrow();
+                let vid = rec.version as usize;
+                assert!(
+                    s.store.is_present(vid),
+                    "GET DATA for version not present at owner"
+                );
+                match s.store.payload(vid) {
+                    Some(b) => (b.len(), Some(b)),
+                    None => (rt.graph.get().version(vid).size, None),
+                }
             };
-            cost += rt.borrow().cfg.cost.get_request_cost;
+            cost += rt.cfg.cost.get_request_cost;
             let cb = PutCb {
                 version: rec.version,
                 activate_sent_at_ns: rec.activate_sent_at_ns,
             };
+            let engine = &rt.engine;
             engine.put(
                 sim,
                 PutRequest {
@@ -648,31 +909,37 @@ impl NodeRt {
     pub fn on_data(rt: &RtHandle, sim: &mut Sim, ev: PutEvent) -> SimTime {
         let cb = PutCb::decode(ev.cb_data.clone());
         let vid = VersionId(cb.version as usize);
-        let cost;
         {
-            let mut r = rt.borrow_mut();
+            let mut s = rt.state.borrow_mut();
             let e2e_us = (sim.now() - SimTime::from_ns(cb.activate_sent_at_ns)).as_us_f64();
-            r.e2e.record(e2e_us);
-            if r.trace.enabled() {
-                let node = r.node;
-                let id = flow_id(FLOW_DATA, cb.version, ev.src, node);
-                r.trace
-                    .flow_end(format!("n{node}.comm"), "data", id, sim.now());
+            s.e2e.record(e2e_us);
+            if rt.trace_on {
+                let id = flow_id(FLOW_DATA, cb.version, ev.src, rt.node);
+                s.trace
+                    .flow_end(rt.comm_track.clone(), "data", id, sim.now());
             }
-            let prev = r.store.insert(vid, DataState::Present(ev.data));
-            assert!(
-                matches!(prev, Some(DataState::Requested)),
-                "data arrived for un-requested version"
-            );
-            debug_assert!(r.inflight_gets > 0);
-            r.inflight_gets -= 1;
-            r.inflight_get_bytes = r.inflight_get_bytes.saturating_sub(ev.size);
-            cost = r.cfg.cost.arrival_cost;
+            let was_requested = s.store.fulfill(vid.0, ev.data);
+            assert!(was_requested, "data arrived for un-requested version");
+            debug_assert!(s.inflight_gets > 0);
+            s.inflight_gets -= 1;
+            s.inflight_get_bytes = s.inflight_get_bytes.saturating_sub(ev.size);
         }
+        let cost = rt.cfg.cost.arrival_cost;
         NodeRt::release_local(rt, vid);
         // Multicast relay: now that the data is local, announce it down the
         // subtree; children will GET it from this node.
-        let fwd = rt.borrow_mut().pending_forwards.remove(&vid);
+        let fwd = {
+            let mut s = rt.state.borrow_mut();
+            if s.forwards_pending > 0 {
+                let f = s.pending_forwards.remove(&vid.0);
+                if f.is_some() {
+                    s.forwards_pending -= 1;
+                }
+                f
+            } else {
+                None
+            }
+        };
         if let Some((subtree, priority, sent_at_ns)) = fwd {
             NodeRt::forward_subtree(rt, sim, vid, &subtree, priority, sent_at_ns, ev.size);
         }
@@ -685,17 +952,112 @@ impl NodeRt {
 
     /// Payload of the current state of `version`, if locally present.
     pub fn data(&self, version: VersionId) -> Option<Bytes> {
-        match self.store.get(&version) {
-            Some(DataState::Present(b)) => b.clone(),
-            _ => None,
+        self.state.borrow().store.payload(version.0)
+    }
+
+    // ---- report accessors (cluster.rs) ------------------------------
+
+    pub(crate) fn executed(&self) -> u64 {
+        self.state.borrow().executed
+    }
+
+    pub(crate) fn worker_busy(&self) -> SimTime {
+        self.state.borrow().worker_busy
+    }
+
+    pub(crate) fn merge_stats(
+        &self,
+        e2e: &mut OnlineStats,
+        msg: &mut OnlineStats,
+        req: &mut OnlineStats,
+        classes: &mut HashMap<&'static str, (u64, SimTime)>,
+    ) {
+        let s = self.state.borrow();
+        e2e.merge(&s.e2e);
+        msg.merge(&s.msg_lat);
+        req.merge(&s.req_lat);
+        for (name, (n, busy)) in &s.class_stats {
+            let e = classes.entry(name).or_insert((0, SimTime::ZERO));
+            e.0 += n;
+            e.1 += *busy;
         }
     }
-}
 
-#[allow(non_camel_case_types)]
-struct ActivateRec_Send {
-    dst: NodeId,
-    rec: ActivateRec,
+    pub(crate) fn merge_trace_into(&self, t: &mut Trace) {
+        t.merge_from(&self.state.borrow().trace);
+    }
+
+    // ---- windowed-discovery hooks (window.rs) -----------------------
+
+    /// Grow the dense tables to cover newly discovered tasks/versions.
+    pub(crate) fn window_ensure(&self, ntasks: usize, nversions: usize) {
+        let mut s = self.state.borrow_mut();
+        if s.remaining.len() < ntasks {
+            s.remaining.resize(ntasks, 0);
+        }
+        s.store.ensure_len(nversions);
+    }
+
+    /// Seed a newly declared producer-less version at its home node.
+    pub(crate) fn window_seed_initial(&self, version: usize, bytes: Option<Bytes>) {
+        let fresh = self.state.borrow_mut().store.insert_present(version, bytes);
+        assert!(fresh, "initial version seeded twice");
+    }
+
+    /// Does this node's store have any entry (Present or Requested) for
+    /// `version`?
+    pub(crate) fn store_has(&self, version: usize) -> bool {
+        self.state.borrow().store.exists(version)
+    }
+
+    pub(crate) fn store_is_present(&self, version: usize) -> bool {
+        self.state.borrow().store.is_present(version)
+    }
+
+    /// Size an in-store version announces with (actual payload length when
+    /// bytes are held, declared size otherwise).
+    pub(crate) fn announce_size(&self, version: usize, declared: usize) -> usize {
+        self.state
+            .borrow()
+            .store
+            .payload_len(version)
+            .unwrap_or(declared)
+    }
+
+    /// Release a retired version's payload bytes (windowed reclamation).
+    pub(crate) fn window_drop_payload(&self, version: usize) {
+        self.state.borrow_mut().store.drop_payload(version);
+    }
+
+    /// Record the dependence count of a newly admitted local task; queues
+    /// it when already satisfied. Returns whether it became ready.
+    pub(crate) fn window_admit_local(&self, task: TaskId, priority: i64, missing: u32) -> bool {
+        let mut s = self.state.borrow_mut();
+        s.remaining[task] = missing;
+        if missing == 0 {
+            let seq = s.next_seq();
+            s.ready.push(priority, seq, task);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Late ACTIVATE for a version whose remote consumer was discovered
+    /// after the producer-side announce already happened (windowed mode).
+    /// Mirrors the funneled init-announce path: `send_am`, no worker
+    /// charge.
+    pub(crate) fn send_late_activate(
+        rt: &RtHandle,
+        sim: &mut Sim,
+        dst: NodeId,
+        version: usize,
+        size: usize,
+        priority: i64,
+    ) {
+        let rec = ActivateRec::direct(version as u64, size as u64, priority, sim.now().as_ns());
+        NodeRt::send_activate(rt, sim, dst, &rec, false);
+    }
 }
 
 /// Encode several ACTIVATE records into one payload (used by tests).

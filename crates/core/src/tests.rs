@@ -463,3 +463,182 @@ fn report_utilizations_are_sane() {
     assert!(report.comm_util > 0.0 && report.comm_util <= 1.0);
     assert!(report.progress_util > 0.0 && report.progress_util <= 1.0);
 }
+
+/// A fan-heavy stress graph: versions with many consumers spread over the
+/// nodes in interleaved insertion order (duplicate destination nodes,
+/// mixed — including negative — priorities), write-after-read renaming,
+/// and a final cross-node reduction. Exercises announce grouping, the
+/// bucketed ready queue, and CTL flows.
+fn stress_graph(nodes: usize) -> crate::TaskGraph {
+    let mut g = GraphBuilder::new(nodes);
+    for k in 0..4u64 {
+        g.data(k, 256 + 64 * k as usize, (k as usize) % nodes, None);
+    }
+    let mut next_key = 100u64;
+    for round in 0..6i64 {
+        for k in 0..4u64 {
+            // Interleaved consumers of version `k`-current across nodes,
+            // several per node, priority varying with parity.
+            for c in 0..7i64 {
+                let node = ((c as usize) * 3 + round as usize) % nodes;
+                g.insert(
+                    TaskDesc::new("fan")
+                        .on_node(node)
+                        .flops(5e5)
+                        .priority((c % 3) - 1 + round)
+                        .read_key(k)
+                        .write(next_key, 64),
+                );
+                next_key += 1;
+            }
+            // Rename the key: supersede the old version.
+            g.insert(
+                TaskDesc::new("bump")
+                    .on_node((k as usize + round as usize) % nodes)
+                    .flops(1e6)
+                    .priority(round)
+                    .read_key(k)
+                    .write(k, 256),
+            );
+        }
+    }
+    g.build()
+}
+
+#[test]
+fn reference_scheduler_is_byte_identical_to_dense() {
+    // The seed's HashMap/BinaryHeap structures and the dense datapath must
+    // make identical scheduling decisions: same virtual time, same event
+    // count, same latencies — on every backend, with multicast trees on.
+    for backend in backends() {
+        let run = |reference: bool| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes: 3,
+                workers_per_node: 2,
+                backend,
+                mode: ExecMode::CostOnly,
+                bcast_tree_min: Some(2),
+                reference_sched: reference,
+                ..Default::default()
+            });
+            let report = cluster.execute(stress_graph(3));
+            assert!(report.complete(), "{backend}");
+            report.to_json()
+        };
+        assert_eq!(run(false), run(true), "{backend}");
+    }
+}
+
+#[test]
+fn announce_groups_one_flow_per_remote_node() {
+    // A version with many consumer tasks on few nodes must be announced
+    // (and fetched) once per remote node, not once per consumer — and
+    // identically under both scheduler datapaths.
+    let run = |reference: bool| {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            workers_per_node: 2,
+            reference_sched: reference,
+            ..Default::default()
+        });
+        let mut g = GraphBuilder::new(3);
+        let v = g.data(0, 512, 0, None);
+        // 12 consumers interleaved over nodes 1 and 2 with mixed
+        // priorities — the announce must group them into two dests.
+        for c in 0..12i64 {
+            g.insert(
+                TaskDesc::new("c")
+                    .on_node(1 + (c as usize) % 2)
+                    .flops(1e5)
+                    .priority(-(c % 4))
+                    .read(v)
+                    .write(100 + c as u64, 32),
+            );
+        }
+        let report = cluster.execute(g.build());
+        assert!(report.complete());
+        // One remote flow per consumer node.
+        assert_eq!(report.e2e_latency_us.count(), 2);
+        report.to_json()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// Incremental chain source for windowed tests: `len` tasks rotating over
+/// 3 nodes, all reading/renaming key 0; every 5th task also reads a shared
+/// initial version (whose later consumers are discovered long after its
+/// init announce — the late-ACTIVATE path).
+struct ChainSource {
+    len: usize,
+    next: usize,
+}
+
+impl crate::GraphSource for ChainSource {
+    fn next_task(&mut self, g: &mut GraphBuilder) -> bool {
+        if self.next >= self.len {
+            return false;
+        }
+        if self.next == 0 {
+            g.data(0, 8, 0, Some(Bytes::from(vec![1u8; 8])));
+            g.data(99, 8, 0, Some(Bytes::from(vec![7u8; 8])));
+        }
+        let mut d = TaskDesc::new("inc")
+            .on_node(self.next % 3)
+            .flops(1e5)
+            .read_key(0);
+        if self.next.is_multiple_of(5) {
+            d = d.read_key(99);
+        }
+        d = d.write(0, 8).kernel(|ins| {
+            let extra = if ins.len() > 1 { ins[1][0] } else { 0 };
+            vec![Bytes::from(
+                ins[0]
+                    .iter()
+                    .map(|b| b.wrapping_add(1).wrapping_add(extra))
+                    .collect::<Vec<u8>>(),
+            )]
+        });
+        g.insert(d);
+        self.next += 1;
+        true
+    }
+}
+
+fn chain_graph(len: usize) -> crate::TaskGraph {
+    let mut g = GraphBuilder::new(3);
+    let mut src = ChainSource { len, next: 0 };
+    while crate::GraphSource::next_task(&mut src, &mut g) {}
+    g.build()
+}
+
+#[test]
+fn windowed_covering_window_is_byte_identical_to_full_unroll() {
+    let full_graph = chain_graph(30);
+    let last = crate::VersionId(full_graph.version_count() - 1);
+    let oracle = full_graph.sequential_oracle();
+    let mut full = Cluster::new(small_cfg(BackendKind::Lci, 3));
+    let full_json = full.execute(full_graph).to_json();
+
+    let mut win = Cluster::new(small_cfg(BackendKind::Lci, 3));
+    let report = win.execute_windowed(Box::new(ChainSource { len: 30, next: 0 }), 1000);
+    assert_eq!(report.to_json(), full_json);
+    assert_eq!(win.data(last).as_deref(), oracle.get(&last).map(|b| &b[..]));
+}
+
+#[test]
+fn windowed_small_window_completes_with_identical_payloads() {
+    let full_graph = chain_graph(30);
+    let last = crate::VersionId(full_graph.version_count() - 1);
+    let oracle = full_graph.sequential_oracle();
+    for window in [1, 3, 7] {
+        let mut win = Cluster::new(small_cfg(BackendKind::Lci, 3));
+        let report = win.execute_windowed(Box::new(ChainSource { len: 30, next: 0 }), window);
+        assert!(report.complete(), "window {window}: {report:?}");
+        assert_eq!(report.tasks_total, 30, "window {window}");
+        assert_eq!(
+            win.data(last).as_deref(),
+            oracle.get(&last).map(|b| &b[..]),
+            "window {window}: final payload diverged"
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! PaRSEC-style bounded task discovery (windowed execution).
+//!
+//! [`crate::Cluster::execute_windowed`] drives a [`GraphSource`] instead of
+//! a fully unrolled [`crate::TaskGraph`]: at most `window` tasks are
+//! unrolled ahead of the completion frontier, and completed tasks (plus
+//! versions that can never be read again) are *retired* — their dependence
+//! lists, kernels and payloads freed, and whole graph-storage chunks
+//! returned to the allocator once every entry in them has retired. Peak
+//! memory is O(window) instead of O(total tasks), which for tile Cholesky
+//! means O(window) instead of O(nt³/6).
+//!
+//! Discovery-order bookkeeping mirrors what full-unroll `init` computes up
+//! front:
+//!
+//! * a newly admitted local task gets its unsatisfied-input count from the
+//!   node's data store;
+//! * a remote input that is already present at its home node (the
+//!   producer-side announce predates this consumer's discovery) triggers a
+//!   *late* direct ACTIVATE from the home node, deduplicated per
+//!   (version, node) through the coverage set;
+//! * a remote input whose producer is still pending needs nothing — the
+//!   consumer is registered in the version's consumer list, so the
+//!   producer's completion announce covers it.
+//!
+//! A version retires when it is superseded (a later write to its key
+//! exists, so no future task can read it — reads bind at insertion), its
+//! producer and every discovered consumer have completed. Retirement only
+//! releases memory; it never touches the simulator, so a window at least
+//! as large as the full graph is byte-identical to full unrolling.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use amt_simnet::Sim;
+
+use crate::graph::{GraphBuilder, GraphHandle, GraphSource, TaskId, GRAPH_CHUNK};
+use crate::node::{NodeRt, RtHandle};
+
+/// The windowed-discovery driver, shared by every node runtime of one
+/// execution (each completion notifies it; it refills the window from the
+/// source and retires what the frontier has passed).
+pub(crate) struct WindowCtl {
+    inner: RefCell<WindowInner>,
+}
+
+struct WindowInner {
+    builder: GraphBuilder,
+    source: Box<dyn GraphSource>,
+    window: usize,
+    /// False during prefill (before `NodeRt::init` — init does the runtime
+    /// bookkeeping for everything prefilled); true once running.
+    live: bool,
+    exhausted: bool,
+    completed: usize,
+    rts: Vec<RtHandle>,
+    /// Per task: completed?
+    done: Vec<bool>,
+    /// Per version: discovered consumers not yet completed.
+    open_consumers: Vec<u32>,
+    /// Per version: a later write to the same key exists (consumer set is
+    /// final).
+    superseded: Vec<bool>,
+    retired_version: Vec<bool>,
+    /// Per graph-storage chunk: retired entries (chunk freed at
+    /// [`GRAPH_CHUNK`]).
+    task_chunk_retired: Vec<u32>,
+    version_chunk_retired: Vec<u32>,
+    /// Per version chunk: freed (all entries retired, or the stragglers
+    /// evacuated to the graph's side table).
+    version_chunk_freed: Vec<bool>,
+    /// (version, node) pairs an ACTIVATE has been sent for (or will be, by
+    /// the init announce) — dedups late activations.
+    covered: HashSet<(usize, usize)>,
+    admitted_tasks: usize,
+    seeded_versions: usize,
+    /// Scratch: versions touched by the current completion.
+    retire_scratch: Vec<usize>,
+    /// Scratch: late activations collected under the graph borrow.
+    late_scratch: Vec<(usize, usize, usize, usize, i64)>,
+}
+
+impl WindowCtl {
+    pub fn new(
+        nodes: usize,
+        handle: GraphHandle,
+        source: Box<dyn GraphSource>,
+        window: usize,
+    ) -> Rc<WindowCtl> {
+        assert!(window >= 1, "discovery window must be at least 1");
+        let mut builder = GraphBuilder::over(nodes, handle);
+        builder.set_track_superseded();
+        Rc::new(WindowCtl {
+            inner: RefCell::new(WindowInner {
+                builder,
+                source,
+                window,
+                live: false,
+                exhausted: false,
+                completed: 0,
+                rts: Vec::new(),
+                done: Vec::new(),
+                open_consumers: Vec::new(),
+                superseded: Vec::new(),
+                retired_version: Vec::new(),
+                task_chunk_retired: Vec::new(),
+                version_chunk_retired: Vec::new(),
+                version_chunk_freed: Vec::new(),
+                covered: HashSet::new(),
+                admitted_tasks: 0,
+                seeded_versions: 0,
+                retire_scratch: Vec::new(),
+                late_scratch: Vec::new(),
+            }),
+        })
+    }
+
+    pub fn attach(&self, rts: &[RtHandle]) {
+        self.inner.borrow_mut().rts = rts.to_vec();
+    }
+
+    /// Unroll the first `window` tasks before `NodeRt::init` runs. Init
+    /// then computes stores / dependence counts / announces for the whole
+    /// prefilled graph exactly as full unrolling would.
+    pub fn prefill(&self, sim: &mut Sim) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        assert!(!inner.rts.is_empty(), "attach() before prefill()");
+        let handle = inner.builder.handle().clone();
+        while !inner.exhausted && handle.get().task_count() < inner.window {
+            let before = handle.get().task_count();
+            if !inner.source.next_task(&mut inner.builder) {
+                inner.exhausted = true;
+                break;
+            }
+            assert!(
+                handle.get().task_count() > before,
+                "GraphSource returned true without inserting a task"
+            );
+        }
+        inner.absorb_new(sim);
+        inner.live = true;
+        // The init announce will cover every producer-less version's
+        // currently known remote consumer nodes.
+        let g = handle.get();
+        for i in 0..g.version_count() {
+            let v = g.version(i);
+            if v.producer.is_some() {
+                continue;
+            }
+            for &c in &v.consumers {
+                let n = g.task(c).node;
+                if n != v.home {
+                    inner.covered.insert((i, n));
+                }
+            }
+        }
+    }
+
+    /// A task completed (its outputs are stored and announced): retire what
+    /// the frontier passed and refill the discovery window.
+    pub fn on_complete(ctl: &Rc<WindowCtl>, sim: &mut Sim, task: TaskId) {
+        let mut inner = ctl.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.completed += 1;
+        inner.done[task] = true;
+        let handle = inner.builder.handle().clone();
+        let mut candidates = std::mem::take(&mut inner.retire_scratch);
+        candidates.clear();
+        {
+            let g = handle.get();
+            let t = g.task(task);
+            for &v in &t.inputs {
+                debug_assert!(inner.open_consumers[v.0] > 0);
+                inner.open_consumers[v.0] -= 1;
+                candidates.push(v.0);
+            }
+            for &v in &t.outputs {
+                // The completion announce (already sent by task_done)
+                // covered every currently known remote consumer node.
+                for &c in &g.version(v.0).consumers {
+                    let n = g.task(c).node;
+                    if n != t.node {
+                        inner.covered.insert((v.0, n));
+                    }
+                }
+                candidates.push(v.0);
+            }
+        }
+        for &v in &candidates {
+            inner.maybe_retire_version(&handle, v);
+        }
+        // This completion may have made *final* versions (its outputs, or
+        // inputs whose last discovered consumer this was) permanently
+        // unretirable: give their chunks an evacuation chance.
+        for v in candidates.drain(..) {
+            inner.maybe_evacuate_version_chunk(&handle, v / GRAPH_CHUNK);
+        }
+        inner.retire_scratch = candidates;
+        handle.get_mut().retire_task(task);
+        let chunk = task / GRAPH_CHUNK;
+        inner.task_chunk_retired[chunk] += 1;
+        if inner.task_chunk_retired[chunk] as usize == GRAPH_CHUNK {
+            handle.get_mut().free_task_chunk(chunk);
+        }
+        // Refill: keep `window` discovered-but-incomplete tasks unrolled.
+        while !inner.exhausted && handle.get().task_count() - inner.completed < inner.window {
+            let before = handle.get().task_count();
+            if !inner.source.next_task(&mut inner.builder) {
+                inner.exhausted = true;
+                break;
+            }
+            assert!(
+                handle.get().task_count() > before,
+                "GraphSource returned true without inserting a task"
+            );
+            inner.absorb_new(sim);
+        }
+    }
+}
+
+impl WindowInner {
+    /// Sync bookkeeping (and, once live, runtime state) with everything
+    /// the source inserted since the last call.
+    fn absorb_new(&mut self, sim: &mut Sim) {
+        let handle = self.builder.handle().clone();
+        let (ntasks, nversions) = {
+            let g = handle.get();
+            (g.task_count(), g.version_count())
+        };
+        self.done.resize(ntasks, false);
+        self.open_consumers.resize(nversions, 0);
+        self.superseded.resize(nversions, false);
+        self.retired_version.resize(nversions, false);
+        self.task_chunk_retired
+            .resize(ntasks.div_ceil(GRAPH_CHUNK), 0);
+        self.version_chunk_retired
+            .resize(nversions.div_ceil(GRAPH_CHUNK), 0);
+        self.version_chunk_freed
+            .resize(nversions.div_ceil(GRAPH_CHUNK), false);
+        if self.live {
+            for rt in &self.rts {
+                rt.window_ensure(ntasks, nversions);
+            }
+            // Seed newly declared producer-less versions at their home.
+            for i in self.seeded_versions..nversions {
+                let (producer_less, home, initial) = {
+                    let g = handle.get();
+                    let v = g.version(i);
+                    (v.producer.is_none(), v.home, v.initial.clone())
+                };
+                if producer_less {
+                    self.rts[home].window_seed_initial(i, initial);
+                }
+            }
+        }
+        self.seeded_versions = nversions;
+
+        let mut late = std::mem::take(&mut self.late_scratch);
+        for t in self.admitted_tasks..ntasks {
+            late.clear();
+            let (node, priority, missing) = {
+                let g = handle.get();
+                let task = g.task(t);
+                let node = task.node;
+                let mut missing = 0u32;
+                for &v in &task.inputs {
+                    self.open_consumers[v.0] += 1;
+                    if !self.live {
+                        continue;
+                    }
+                    let rt = &self.rts[node];
+                    if rt.store_is_present(v.0) {
+                        continue;
+                    }
+                    missing += 1;
+                    if rt.store_has(v.0) {
+                        continue; // requested: the arrival releases it
+                    }
+                    let ver = g.version(v.0);
+                    if ver.home == node {
+                        continue; // local producer pending
+                    }
+                    if self.rts[ver.home].store_is_present(v.0) && self.covered.insert((v.0, node))
+                    {
+                        // Producer-side announce predates this consumer's
+                        // discovery: late direct ACTIVATE from the home.
+                        let size = self.rts[ver.home].announce_size(v.0, ver.size);
+                        late.push((ver.home, node, v.0, size, task.priority));
+                    }
+                }
+                (node, task.priority, missing)
+            };
+            for &(home, dst, version, size, prio) in &late {
+                NodeRt::send_late_activate(&self.rts[home], sim, dst, version, size, prio);
+            }
+            if self.live && self.rts[node].window_admit_local(t, priority, missing) {
+                let rt = self.rts[node].clone();
+                sim.schedule_now(move |sim| NodeRt::dispatch(&rt, sim));
+            }
+        }
+        late.clear();
+        self.late_scratch = late;
+        self.admitted_tasks = ntasks;
+
+        // Versions whose `current` slot was overwritten: consumer sets are
+        // final, so they become retirement candidates.
+        for vid in self.builder.take_superseded() {
+            self.superseded[vid.0] = true;
+            if self.live {
+                self.maybe_retire_version(&handle, vid.0);
+            }
+        }
+    }
+
+    /// Retire `v` if nothing can ever read it again: superseded, producer
+    /// completed, every discovered consumer completed. Drops payload bytes
+    /// on every node and frees the version's graph chunk once its whole
+    /// chunk has retired.
+    fn maybe_retire_version(&mut self, handle: &GraphHandle, v: usize) {
+        if self.retired_version[v] || self.open_consumers[v] != 0 {
+            return;
+        }
+        {
+            let g = handle.get();
+            if let Some(p) = g.version(v).producer {
+                if !self.done[p] {
+                    return;
+                }
+            }
+        }
+        if !self.superseded[v] {
+            // Final and drained: producer done, every discovered consumer
+            // completed (so its data already arrived — no in-flight
+            // release will scan the list), and no later write exists.
+            // The consumer list has no remaining readers; free it. A
+            // consumer discovered later re-grows the list and is found by
+            // `release_local` as usual.
+            handle.get_mut().prune_consumers(v);
+            return;
+        }
+        for rt in &self.rts {
+            rt.window_drop_payload(v);
+        }
+        // The version can never be announced again: drop its coverage
+        // marks so the set tracks only the live window.
+        for n in 0..self.rts.len() {
+            self.covered.remove(&(v, n));
+        }
+        handle.get_mut().retire_version(v);
+        self.retired_version[v] = true;
+        let chunk = v / GRAPH_CHUNK;
+        if self.version_chunk_freed[chunk] {
+            // The chunk was already evacuated; this version lived on in
+            // the side table until a later write superseded it.
+            handle.get_mut().drop_evacuated_version(v);
+        } else {
+            self.version_chunk_retired[chunk] += 1;
+            self.maybe_evacuate_version_chunk(handle, chunk);
+        }
+    }
+
+    /// Free a version chunk once every entry is either retired or *final*
+    /// — producer completed, all discovered consumers completed, and not
+    /// superseded, so only a future write could ever retire it. Finals
+    /// relocate to the graph's side table; the chunk memory (dominated by
+    /// dead intermediates) is returned. Without this, tile Cholesky's
+    /// final factor tiles — interspersed through discovery order — pin
+    /// every chunk forever.
+    fn maybe_evacuate_version_chunk(&mut self, handle: &GraphHandle, chunk: usize) {
+        if self.version_chunk_freed[chunk] {
+            return;
+        }
+        let lo = chunk * GRAPH_CHUNK;
+        let hi = lo + GRAPH_CHUNK;
+        if hi > self.retired_version.len() {
+            return; // tail chunk, still filling
+        }
+        let mut keep: Vec<usize> = Vec::new();
+        {
+            let g = handle.get();
+            for v in lo..hi {
+                if self.retired_version[v] {
+                    continue;
+                }
+                // Superseded or consumers still open: it will retire (or
+                // come back here) through the normal path — wait.
+                if self.superseded[v] || self.open_consumers[v] != 0 {
+                    return;
+                }
+                match g.version(v).producer {
+                    Some(p) if !self.done[p] => return,
+                    _ => keep.push(v),
+                }
+            }
+        }
+        if keep.len() == GRAPH_CHUNK {
+            return; // nothing to reclaim; the side table would only add overhead
+        }
+        if keep.is_empty() {
+            handle.get_mut().free_version_chunk(chunk);
+        } else {
+            handle.get_mut().evacuate_version_chunk(chunk, &keep);
+        }
+        self.version_chunk_freed[chunk] = true;
+    }
+}

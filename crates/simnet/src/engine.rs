@@ -59,11 +59,18 @@ use crate::time::SimTime;
 /// log2 of the ladder bucket width in nanoseconds (4.096 µs buckets).
 const BUCKET_BITS: u32 = 12;
 /// Number of ladder buckets (a power of two). The near window covers
-/// `NUM_BUCKETS << BUCKET_BITS` ns ≈ 33.6 ms of virtual time; events beyond
-/// it wait in the far heap.
-const NUM_BUCKETS: usize = 8192;
+/// `NUM_BUCKETS << BUCKET_BITS` ns ≈ 4.2 ms of virtual time; events beyond
+/// it wait in the far heap. Sized so the ring's resident footprint stays
+/// small: the far heap holds only *live* far-future events (a handful —
+/// long task completions), while every ring bucket retains capacity and
+/// collects cancellation tombstones until the cursor passes it.
+const NUM_BUCKETS: usize = 1024;
 /// Words in the bucket-occupancy bitmap (one bit per ring slot).
 const OCC_WORDS: usize = NUM_BUCKETS / 64;
+/// Bucket length at which stale-entry compaction kicks in, and the
+/// capacity a drained bucket is allowed to keep. Bounds ladder memory at
+/// roughly `NUM_BUCKETS * COMPACT_MIN` entries plus the live population.
+const COMPACT_MIN: usize = 8;
 
 #[inline]
 fn bucket_of(t: SimTime) -> u64 {
@@ -172,6 +179,8 @@ pub struct Sim {
     free: Vec<u32>,
     /// Live (scheduled, not cancelled, not executed) events.
     pending: usize,
+    /// High-water mark of `pending` — the event-storage footprint driver.
+    peak_pending: usize,
     executed: u64,
     clamped: u64,
     inline_events: u64,
@@ -202,6 +211,7 @@ impl Sim {
             slab: Vec::new(),
             free: Vec::new(),
             pending: 0,
+            peak_pending: 0,
             executed: 0,
             clamped: 0,
             inline_events: 0,
@@ -225,6 +235,14 @@ impl Sim {
     #[inline]
     pub fn events_pending(&self) -> usize {
         self.pending
+    }
+
+    /// High-water mark of [`events_pending`](Self::events_pending) — the
+    /// peak simultaneously materialized event population, which bounds the
+    /// engine's retained queue/slab memory.
+    #[inline]
+    pub fn events_peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Times a release build clamped a past-time `schedule_at` to `now`.
@@ -280,6 +298,7 @@ impl Sim {
             // Not cancelable: the closure rides the FIFO directly.
             self.seq += 1;
             self.pending += 1;
+            self.peak_pending = self.peak_pending.max(self.pending);
             self.now_q.push_back(NowItem::Direct(EventFn::new(body)));
             return;
         }
@@ -292,6 +311,7 @@ impl Sim {
             let seq = self.seq;
             self.seq += 1;
             self.pending += 1;
+            self.peak_pending = self.peak_pending.max(self.pending);
             self.solo = Some(SoloEvent {
                 time: at,
                 seq,
@@ -348,6 +368,7 @@ impl Sim {
     pub fn schedule_now_fn(&mut self, f: EventFn) {
         self.seq += 1;
         self.pending += 1;
+        self.peak_pending = self.peak_pending.max(self.pending);
         self.now_q.push_back(NowItem::Direct(f));
     }
 
@@ -371,6 +392,7 @@ impl Sim {
         self.seq += 1;
         let slot = self.alloc(seq, f);
         self.pending += 1;
+        self.peak_pending = self.peak_pending.max(self.pending);
         let e = Entry {
             time: at,
             seq,
@@ -454,8 +476,45 @@ impl Sim {
         } else {
             v.push(e);
         }
+        let full = v.len() == v.capacity() && v.len() >= COMPACT_MIN;
         self.occ[idx >> 6] |= 1u64 << (idx & 63);
         self.ring_len += 1;
+        // Cancel-heavy components (deferred GETs, retry timers) leave
+        // stale tombstones behind; sweep a bucket when it fills so debris
+        // can't inflate its capacity. Never the current bucket: its
+        // consumed prefix must stay in place for `cur_pos`.
+        if full && b != self.cur_bucket {
+            self.compact_bucket(idx);
+        }
+    }
+
+    /// Drop stale (cancelled) entries from bucket `idx` and return the
+    /// capacity to a sane level if mostly debris. Order is irrelevant —
+    /// the bucket is sorted lazily at drain time.
+    fn compact_bucket(&mut self, idx: usize) {
+        let slab = &self.slab;
+        let v = &mut self.ring[idx];
+        let before = v.len();
+        v.retain(|e| {
+            let s = &slab[e.slot as usize];
+            s.seq == e.seq && s.f.is_some()
+        });
+        self.ring_len -= before - v.len();
+        if v.len() * 4 <= v.capacity() {
+            v.shrink_to(v.len().max(COMPACT_MIN));
+        }
+    }
+
+    /// Reset a drained bucket, clamping capacity a burst left behind.
+    /// Small capacities are kept so steadily cycling buckets don't pay a
+    /// realloc per ring pass.
+    fn clear_bucket(&mut self, idx: usize) {
+        let v = &mut self.ring[idx];
+        v.clear();
+        if v.capacity() > 4 * COMPACT_MIN {
+            v.shrink_to(COMPACT_MIN);
+        }
+        self.occ[idx >> 6] &= !(1u64 << (idx & 63));
     }
 
     /// Move the window start back to `new_bucket`, re-filing every
@@ -563,8 +622,7 @@ impl Sim {
                 return Some(e);
             }
             let idx = ring_idx(self.cur_bucket);
-            self.ring[idx].clear();
-            self.occ[idx >> 6] &= !(1u64 << (idx & 63));
+            self.clear_bucket(idx);
             self.cur_pos = 0;
             self.cur_sorted = false;
             if let Some(d) = self.occ_next_delta() {
@@ -598,8 +656,7 @@ impl Sim {
             // Only the current bucket can hold residue (its consumed
             // prefix): the ring is otherwise empty while `solo` is set.
             let idx = ring_idx(self.cur_bucket);
-            self.ring[idx].clear();
-            self.occ[idx >> 6] &= !(1u64 << (idx & 63));
+            self.clear_bucket(idx);
             self.cur_pos = 0;
             self.cur_sorted = false;
             self.cur_bucket = b;

@@ -16,7 +16,8 @@
 use std::collections::HashMap;
 
 use amt_core::{
-    Cluster, DataDist, DataKey, GraphBuilder, TaskDesc, TaskGraph, TileDist2d, VersionId,
+    Cluster, DataDist, DataKey, GraphBuilder, GraphSource, TaskDesc, TaskGraph, TileDist2d,
+    VersionId,
 };
 use amt_linalg::{
     cholesky_residual, gemm, potrf, sqexp_covariance, trsm_left_lower, Grid2d, Matrix, Trans,
@@ -120,73 +121,150 @@ fn kd(nt: u64, k: u64) -> DataKey {
     2 * (k * nt + k)
 }
 
-impl TlrCholesky {
-    /// Build the task graph with real kernels and real compressed tiles
-    /// (Numeric mode). Suitable for modest `n`; verification via
-    /// [`TlrCholesky::residual`].
-    pub fn build_numeric(problem: TlrProblem, nodes: usize) -> (TlrCholesky, TaskGraph) {
-        let nt = problem.nt();
-        let ts = problem.tile_size;
-        let dist = TileDist2d::square_grid(nt, nt, nodes);
-        let grid = Grid2d::new(problem.n);
-        let dense_a = sqexp_covariance(
-            &grid,
-            0,
-            0,
-            problem.n,
-            problem.n,
-            problem.length_scale,
-            problem.nugget,
-        );
+/// One task of the factorization, in exact insertion order. The cursor
+/// form lets the graph be produced incrementally (windowed execution)
+/// while staying task-for-task identical to the batch build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Potrf(u64),
+    /// `(i, k)`.
+    Trsm(u64, u64),
+    /// `(i, k)`.
+    Syrk(u64, u64),
+    /// `(i, j, k)`.
+    Gemm(u64, u64, u64),
+}
 
-        let mut g = GraphBuilder::new(nodes);
-        let mut rank_sum = 0.0;
-        let mut bytes_sum = 0.0;
-        let mut lr_count = 0.0;
+impl Step {
+    fn first(nt: u64) -> Option<Step> {
+        (nt > 0).then_some(Step::Potrf(0))
+    }
 
-        // Initial tiles.
-        for i in 0..nt {
-            for j in 0..=i {
-                let owner = dist.owner(i * nt + j);
-                let r0 = (i as usize) * ts;
-                let c0 = (j as usize) * ts;
-                let block = dense_a.submatrix(r0, c0, ts, ts);
-                if i == j {
-                    g.data(kd(nt, i), ts * ts * 8, owner, Some(block.to_bytes()));
+    /// Successor in insertion order: per `k`, POTRF; all TRSMs; then per
+    /// row `i`, SYRK followed by its GEMMs.
+    fn next(self, nt: u64) -> Option<Step> {
+        let after_row = |i: u64, k: u64| {
+            if i + 1 < nt {
+                Some(Step::Syrk(i + 1, k))
+            } else {
+                Some(Step::Potrf(k + 1))
+            }
+        };
+        match self {
+            Step::Potrf(k) => (k + 1 < nt).then_some(Step::Trsm(k + 1, k)),
+            Step::Trsm(i, k) => {
+                if i + 1 < nt {
+                    Some(Step::Trsm(i + 1, k))
                 } else {
-                    let t = LrTile::compress(&block, problem.tol, problem.maxrank);
-                    rank_sum += t.rank() as f64;
-                    bytes_sum += t.bytes() as f64;
-                    lr_count += 1.0;
-                    let ub = t.u_bytes();
-                    let vb = t.v_bytes();
-                    g.data(ku(nt, i, j), ub.len(), owner, Some(ub));
-                    g.data(kv(nt, i, j), vb.len(), owner, Some(vb));
+                    Some(Step::Syrk(k + 1, k))
+                }
+            }
+            Step::Syrk(i, k) => {
+                if k + 1 < i {
+                    Some(Step::Gemm(i, k + 1, k))
+                } else {
+                    after_row(i, k)
+                }
+            }
+            Step::Gemm(i, j, k) => {
+                if j + 1 < i {
+                    Some(Step::Gemm(i, j + 1, k))
+                } else {
+                    after_row(i, k)
                 }
             }
         }
+    }
+}
 
-        let mut me = TlrCholesky {
+impl TlrCholesky {
+    /// Problem/distribution shell with empty stats; `dense_a` is built for
+    /// Numeric mode and doubles as the mode flag.
+    fn shell(problem: TlrProblem, nodes: usize, numeric: bool) -> TlrCholesky {
+        let nt = problem.nt();
+        let dist = TileDist2d::square_grid(nt, nt, nodes);
+        let dense_a = numeric.then(|| {
+            let grid = Grid2d::new(problem.n);
+            sqexp_covariance(
+                &grid,
+                0,
+                0,
+                problem.n,
+                problem.n,
+                problem.length_scale,
+                problem.nugget,
+            )
+        });
+        TlrCholesky {
             problem,
             dist,
             diag_out: Vec::new(),
             lr_out: HashMap::new(),
-            dense_a: Some(dense_a),
-            stats: CholeskyStats {
-                mean_rank: if lr_count > 0.0 {
-                    rank_sum / lr_count
-                } else {
-                    0.0
-                },
-                lr_tile_bytes_mean: if lr_count > 0.0 {
-                    bytes_sum / lr_count
-                } else {
-                    0.0
-                },
-                ..Default::default()
-            },
-        };
-        me.insert_tasks(&mut g, true);
+            dense_a,
+            stats: CholeskyStats::default(),
+        }
+    }
+
+    /// Declare all initial tiles (compressing them in Numeric mode) and
+    /// fill the rank/bytes statistics.
+    fn declare_tiles(&mut self, g: &mut GraphBuilder) {
+        let nt = self.problem.nt();
+        let ts = self.problem.tile_size;
+        let model = RankModel::new(ts, self.problem.maxrank);
+        let mut rank_sum = 0.0;
+        let mut bytes_sum = 0.0;
+        let mut lr_count = 0.0;
+        for i in 0..nt {
+            for j in 0..=i {
+                let owner = self.dist.owner(i * nt + j);
+                match &self.dense_a {
+                    Some(dense_a) => {
+                        let r0 = (i as usize) * ts;
+                        let c0 = (j as usize) * ts;
+                        let block = dense_a.submatrix(r0, c0, ts, ts);
+                        if i == j {
+                            g.data(kd(nt, i), ts * ts * 8, owner, Some(block.to_bytes()));
+                        } else {
+                            let t =
+                                LrTile::compress(&block, self.problem.tol, self.problem.maxrank);
+                            rank_sum += t.rank() as f64;
+                            bytes_sum += t.bytes() as f64;
+                            lr_count += 1.0;
+                            let ub = t.u_bytes();
+                            let vb = t.v_bytes();
+                            g.data(ku(nt, i, j), ub.len(), owner, Some(ub));
+                            g.data(kv(nt, i, j), vb.len(), owner, Some(vb));
+                        }
+                    }
+                    None => {
+                        if i == j {
+                            g.data(kd(nt, i), model.dense_bytes(), owner, None);
+                        } else {
+                            let fb = model.factor_bytes(i, j);
+                            rank_sum += model.rank(i, j) as f64;
+                            bytes_sum += 2.0 * fb as f64;
+                            lr_count += 1.0;
+                            g.data(ku(nt, i, j), fb, owner, None);
+                            g.data(kv(nt, i, j), fb, owner, None);
+                        }
+                    }
+                }
+            }
+        }
+        if lr_count > 0.0 {
+            self.stats.mean_rank = rank_sum / lr_count;
+            self.stats.lr_tile_bytes_mean = bytes_sum / lr_count;
+        }
+    }
+
+    /// Build the task graph with real kernels and real compressed tiles
+    /// (Numeric mode). Suitable for modest `n`; verification via
+    /// [`TlrCholesky::residual`].
+    pub fn build_numeric(problem: TlrProblem, nodes: usize) -> (TlrCholesky, TaskGraph) {
+        let mut me = Self::shell(problem, nodes, true);
+        let mut g = GraphBuilder::new(nodes);
+        me.declare_tiles(&mut g);
+        me.insert_tasks(&mut g);
         me.collect_outputs(&g);
         (me, g.build())
     }
@@ -194,88 +272,58 @@ impl TlrCholesky {
     /// Build the task graph from the calibrated [`RankModel`] with no
     /// payloads (CostOnly mode) — the paper-scale path.
     pub fn build_cost_only(problem: TlrProblem, nodes: usize) -> (TlrCholesky, TaskGraph) {
-        let nt = problem.nt();
-        let ts = problem.tile_size;
-        let dist = TileDist2d::square_grid(nt, nt, nodes);
-        let model = RankModel::new(ts, problem.maxrank);
-
+        let mut me = Self::shell(problem, nodes, false);
         let mut g = GraphBuilder::new(nodes);
-        let mut rank_sum = 0.0;
-        let mut bytes_sum = 0.0;
-        let mut lr_count = 0.0;
-        for i in 0..nt {
-            for j in 0..=i {
-                let owner = dist.owner(i * nt + j);
-                if i == j {
-                    g.data(kd(nt, i), model.dense_bytes(), owner, None);
-                } else {
-                    let fb = model.factor_bytes(i, j);
-                    rank_sum += model.rank(i, j) as f64;
-                    bytes_sum += 2.0 * fb as f64;
-                    lr_count += 1.0;
-                    g.data(ku(nt, i, j), fb, owner, None);
-                    g.data(kv(nt, i, j), fb, owner, None);
-                }
-            }
-        }
-        let mut me = TlrCholesky {
-            problem,
-            dist,
-            diag_out: Vec::new(),
-            lr_out: HashMap::new(),
-            dense_a: None,
-            stats: CholeskyStats {
-                mean_rank: if lr_count > 0.0 {
-                    rank_sum / lr_count
-                } else {
-                    0.0
-                },
-                lr_tile_bytes_mean: if lr_count > 0.0 {
-                    bytes_sum / lr_count
-                } else {
-                    0.0
-                },
-                ..Default::default()
-            },
-        };
-        me.insert_tasks(&mut g, false);
+        me.declare_tiles(&mut g);
+        me.insert_tasks(&mut g);
         me.collect_outputs(&g);
         (me, g.build())
     }
 
-    fn insert_tasks(&mut self, g: &mut GraphBuilder, numeric: bool) {
+    fn insert_tasks(&mut self, g: &mut GraphBuilder) {
+        let nt = self.problem.nt();
+        let mut cursor = Step::first(nt);
+        while let Some(step) = cursor {
+            self.insert_step(g, step);
+            cursor = step.next(nt);
+        }
+    }
+
+    /// Insert one task of the factorization.
+    fn insert_step(&mut self, g: &mut GraphBuilder, step: Step) {
         let nt = self.problem.nt();
         let ts = self.problem.tile_size;
         let tol = self.problem.tol;
         let maxrank = self.problem.maxrank;
+        let numeric = self.dense_a.is_some();
         let flops = KernelFlops::new(ts);
         let model = RankModel::new(ts, maxrank);
         let rank_of = |i: u64, j: u64| model.rank(i, j);
         let prio = |k: u64, bonus: i64| ((nt - k) as i64) * 4 + bonus;
 
-        for k in 0..nt {
-            // POTRF(k)
-            let owner = self.dist.owner(k * nt + k);
-            let mut desc = TaskDesc::new("potrf")
-                .on_node(owner)
-                .flops(flops.potrf() / self.problem.potrf_speedup())
-                .efficiency(efficiency::POTRF)
-                .priority(prio(k, 3))
-                .read_key(kd(nt, k))
-                .write(kd(nt, k), ts * ts * 8);
-            if numeric {
-                let ts2 = ts;
-                desc = desc.kernel(move |ins| {
-                    let a = Matrix::from_bytes(ts2, ts2, &ins[0]);
-                    let l = potrf(&a).expect("diagonal tile not SPD");
-                    vec![l.to_bytes()]
-                });
+        match step {
+            Step::Potrf(k) => {
+                let owner = self.dist.owner(k * nt + k);
+                let mut desc = TaskDesc::new("potrf")
+                    .on_node(owner)
+                    .flops(flops.potrf() / self.problem.potrf_speedup())
+                    .efficiency(efficiency::POTRF)
+                    .priority(prio(k, 3))
+                    .read_key(kd(nt, k))
+                    .write(kd(nt, k), ts * ts * 8);
+                if numeric {
+                    let ts2 = ts;
+                    desc = desc.kernel(move |ins| {
+                        let a = Matrix::from_bytes(ts2, ts2, &ins[0]);
+                        let l = potrf(&a).expect("diagonal tile not SPD");
+                        vec![l.to_bytes()]
+                    });
+                }
+                self.stats.potrf += 1;
+                self.stats.total_flops += flops.potrf();
+                g.insert(desc);
             }
-            self.stats.potrf += 1;
-            self.stats.total_flops += flops.potrf();
-            g.insert(desc);
-
-            for i in (k + 1)..nt {
+            Step::Trsm(i, k) => {
                 // TRSM(i,k): touches only V (two-flow).
                 let owner = self.dist.owner(i * nt + k);
                 let r = rank_of(i, k);
@@ -300,8 +348,7 @@ impl TlrCholesky {
                 self.stats.total_flops += flops.trsm(r);
                 g.insert(desc);
             }
-
-            for i in (k + 1)..nt {
+            Step::Syrk(i, k) => {
                 // SYRK(i,k): dense diagonal update from the low-rank panel.
                 let owner = self.dist.owner(i * nt + i);
                 let r = rank_of(i, k);
@@ -332,49 +379,47 @@ impl TlrCholesky {
                 self.stats.syrk += 1;
                 self.stats.total_flops += flops.syrk(r);
                 g.insert(desc);
-
-                // GEMM(i,j,k) for k < j < i.
-                for j in (k + 1)..i {
-                    let owner = self.dist.owner(i * nt + j);
-                    let (ra, rb, rc) = (rank_of(i, k), rank_of(j, k), rank_of(i, j));
-                    let fl = flops.gemm(ra, rb, rc);
-                    let mut desc = TaskDesc::new("gemm")
-                        .on_node(owner)
-                        .flops(fl)
-                        .efficiency(efficiency::GEMM_LR)
-                        .priority(prio(k, if j == k + 1 { 1 } else { 0 }))
-                        .read_key(ku(nt, i, k))
-                        .read_key(kv(nt, i, k))
-                        .read_key(ku(nt, j, k))
-                        .read_key(kv(nt, j, k))
-                        .read_key(ku(nt, i, j))
-                        .read_key(kv(nt, i, j))
-                        .write(ku(nt, i, j), ts * rc * 8)
-                        .write(kv(nt, i, j), ts * rc * 8);
-                    if numeric {
-                        let ts2 = ts;
-                        desc = desc.kernel(move |ins| {
-                            let u_ik = LrTile::factor_from_bytes(ts2, &ins[0]);
-                            let v_ik = LrTile::factor_from_bytes(ts2, &ins[1]);
-                            let u_jk = LrTile::factor_from_bytes(ts2, &ins[2]);
-                            let v_jk = LrTile::factor_from_bytes(ts2, &ins[3]);
-                            let c = LrTile {
-                                u: LrTile::factor_from_bytes(ts2, &ins[4]),
-                                v: LrTile::factor_from_bytes(ts2, &ins[5]),
-                            };
-                            // −L_ik·L_jkᵀ = −U_ik (V_ikᵀ V_jk) U_jkᵀ.
-                            let mut small = Matrix::zeros(v_ik.cols(), v_jk.cols());
-                            gemm(1.0, &v_ik, Trans::Yes, &v_jk, Trans::No, 0.0, &mut small);
-                            let mut w = Matrix::zeros(ts2, v_jk.cols());
-                            gemm(-1.0, &u_ik, Trans::No, &small, Trans::No, 0.0, &mut w);
-                            let out = c.add_truncate(&w, &u_jk, tol, maxrank);
-                            vec![out.u.to_bytes(), out.v.to_bytes()]
-                        });
-                    }
-                    self.stats.gemm += 1;
-                    self.stats.total_flops += fl;
-                    g.insert(desc);
+            }
+            Step::Gemm(i, j, k) => {
+                let owner = self.dist.owner(i * nt + j);
+                let (ra, rb, rc) = (rank_of(i, k), rank_of(j, k), rank_of(i, j));
+                let fl = flops.gemm(ra, rb, rc);
+                let mut desc = TaskDesc::new("gemm")
+                    .on_node(owner)
+                    .flops(fl)
+                    .efficiency(efficiency::GEMM_LR)
+                    .priority(prio(k, if j == k + 1 { 1 } else { 0 }))
+                    .read_key(ku(nt, i, k))
+                    .read_key(kv(nt, i, k))
+                    .read_key(ku(nt, j, k))
+                    .read_key(kv(nt, j, k))
+                    .read_key(ku(nt, i, j))
+                    .read_key(kv(nt, i, j))
+                    .write(ku(nt, i, j), ts * rc * 8)
+                    .write(kv(nt, i, j), ts * rc * 8);
+                if numeric {
+                    let ts2 = ts;
+                    desc = desc.kernel(move |ins| {
+                        let u_ik = LrTile::factor_from_bytes(ts2, &ins[0]);
+                        let v_ik = LrTile::factor_from_bytes(ts2, &ins[1]);
+                        let u_jk = LrTile::factor_from_bytes(ts2, &ins[2]);
+                        let v_jk = LrTile::factor_from_bytes(ts2, &ins[3]);
+                        let c = LrTile {
+                            u: LrTile::factor_from_bytes(ts2, &ins[4]),
+                            v: LrTile::factor_from_bytes(ts2, &ins[5]),
+                        };
+                        // −L_ik·L_jkᵀ = −U_ik (V_ikᵀ V_jk) U_jkᵀ.
+                        let mut small = Matrix::zeros(v_ik.cols(), v_jk.cols());
+                        gemm(1.0, &v_ik, Trans::Yes, &v_jk, Trans::No, 0.0, &mut small);
+                        let mut w = Matrix::zeros(ts2, v_jk.cols());
+                        gemm(-1.0, &u_ik, Trans::No, &small, Trans::No, 0.0, &mut w);
+                        let out = c.add_truncate(&w, &u_jk, tol, maxrank);
+                        vec![out.u.to_bytes(), out.v.to_bytes()]
+                    });
                 }
+                self.stats.gemm += 1;
+                self.stats.total_flops += fl;
+                g.insert(desc);
             }
         }
     }
@@ -424,5 +469,58 @@ impl TlrCholesky {
             l.set_submatrix(i as usize * ts, j as usize * ts, &tile.to_dense());
         }
         cholesky_residual(a, &l)
+    }
+}
+
+/// Incremental producer of the TLR Cholesky graph for
+/// [`amt_core::Cluster::execute_windowed`]: yields tasks one at a time in
+/// exactly the insertion order of the batch builders, so task and version
+/// numbering match a full-unroll build of the same problem. The first pull
+/// also declares all initial tiles.
+pub struct TlrCholeskySource {
+    me: TlrCholesky,
+    declared: bool,
+    cursor: Option<Step>,
+}
+
+impl TlrCholeskySource {
+    /// CostOnly-mode source (no payloads) — the paper-scale path.
+    pub fn cost_only(problem: TlrProblem, nodes: usize) -> TlrCholeskySource {
+        let cursor = Step::first(problem.nt());
+        TlrCholeskySource {
+            me: TlrCholesky::shell(problem, nodes, false),
+            declared: false,
+            cursor,
+        }
+    }
+
+    /// Numeric-mode source (real kernels on real compressed tiles).
+    pub fn numeric(problem: TlrProblem, nodes: usize) -> TlrCholeskySource {
+        let cursor = Step::first(problem.nt());
+        TlrCholeskySource {
+            me: TlrCholesky::shell(problem, nodes, true),
+            declared: false,
+            cursor,
+        }
+    }
+
+    /// Construction statistics for the tasks produced so far.
+    pub fn stats(&self) -> &CholeskyStats {
+        &self.me.stats
+    }
+}
+
+impl GraphSource for TlrCholeskySource {
+    fn next_task(&mut self, g: &mut GraphBuilder) -> bool {
+        let Some(step) = self.cursor else {
+            return false;
+        };
+        if !self.declared {
+            self.declared = true;
+            self.me.declare_tiles(g);
+        }
+        self.me.insert_step(g, step);
+        self.cursor = step.next(self.me.problem.nt());
+        true
     }
 }

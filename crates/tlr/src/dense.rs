@@ -279,8 +279,7 @@ mod tests {
             dense.total_flops
         );
         // Remote dataflow volume: compare declared version sizes.
-        let vol =
-            |g: &amt_core::TaskGraph| -> f64 { g.versions.iter().map(|v| v.size as f64).sum() };
+        let vol = |g: &amt_core::TaskGraph| -> f64 { g.versions().map(|v| v.size as f64).sum() };
         assert!(vol(&tgraph) < vol(&dgraph) / 5.0);
     }
 }

@@ -23,7 +23,7 @@ mod flops;
 mod rankmodel;
 mod tile;
 
-pub use cholesky::{CholeskyStats, TlrCholesky, TlrProblem};
+pub use cholesky::{CholeskyStats, TlrCholesky, TlrCholeskySource, TlrProblem};
 pub use dense::DenseCholesky;
 pub use flops::KernelFlops;
 pub use rankmodel::RankModel;

@@ -62,6 +62,35 @@ for scen in ("am_flood", "put_rendezvous"):
 print("BENCH_comm.json valid; matcher flat, allocation budget held")
 PY
 
+echo "== scheduler datapath: sched_overhead --quick + BENCH_sched.json schema/bounds =="
+cargo bench --quiet -p amt-bench --bench sched_overhead -- \
+    --quick --out "$TMP_DIR/BENCH_sched.json"
+python3 - "$TMP_DIR/BENCH_sched.json" BENCH_sched.json <<'PY'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+assert fresh["schema"] == "amtlc-bench-sched-v1", fresh.get("schema")
+assert set(fresh["throughput"]) == {"fine_grained_dag", "tlr_cholesky"}
+# Allocation budget: the dense datapath must stay well under the seed
+# structures on the scheduler-bound scenario (allocation counts are
+# deterministic, so the margin only absorbs size differences vs the
+# committed full run).
+fg = fresh["throughput"]["fine_grained_dag"]
+ref, dense = fg["reference"]["allocs_per_task"], fg["dense"]["allocs_per_task"]
+assert dense <= 0.7 * ref, f"dense allocs/task {dense} > 0.7x reference {ref}"
+bound = committed["throughput"]["fine_grained_dag"]["dense"]["allocs_per_task"]
+limit = bound * 1.3 + 1.0
+assert dense <= limit, f"dense allocs/task {dense} > committed bound {limit:.2f}"
+# Windowed discovery: peak live bytes must stay a small fraction of the
+# full unroll even at quick sizes (full run commits >= 4x).
+mem = fresh["windowed_memory"]
+ratio = mem["full_unroll_peak_bytes"] / mem["windowed_peak_bytes"]
+assert ratio >= 2.0, f"windowed peak-memory ratio {ratio:.2f} < 2"
+assert committed["windowed_memory"]["ratio"] >= 4.0, "committed ratio < 4"
+print(f"BENCH_sched.json valid; allocs/task {dense:.2f} vs ref {ref:.2f}, "
+      f"quick window ratio {ratio:.1f}x")
+PY
+
 echo "== golden fig4 point: virtual-time byte-identity across backends and --jobs =="
 for jobs in 1 3; do
     cargo bench --quiet -p amt-bench --bench fig4_tile_scaling -- --golden --jobs "$jobs" \
