@@ -1,0 +1,293 @@
+//! Real-substrate execution benchmark → `BENCH_exec.json`.
+//!
+//! The virtual benchmarks measure *simulated* clusters; this one measures
+//! the same scheduler/graph/comm stack running **for real** on the
+//! `amt-exec` work-stealing pool (`Cluster::execute_real`), in wall-clock
+//! time:
+//!
+//! * **fine_grained_dag** — a wide level-synchronous DAG of small compute
+//!   kernels on one node: pure task-throughput (tasks/sec) per thread
+//!   count, the scaling headroom of the spawn/steal/countdown machinery.
+//! * **tlr_cholesky** — a Numeric TLR Cholesky (nt ≥ 48 tiles full-scale,
+//!   nt = 16 with `--quick`) on 4 protocol nodes: end-to-end scaling of
+//!   real kernels plus the real ACTIVATE / GET DATA / put datapath over
+//!   the in-process shared-memory transport. The factorization residual
+//!   is verified every run.
+//! * **calibration** — per task class, mean *simulated* cost (virtual
+//!   execution, flops ÷ effective rate) next to the mean *measured*
+//!   wall-clock cost (real 1-thread execution): how honest the
+//!   simulator's cost model is about this machine.
+//!
+//! Wall-clock numbers are machine-dependent by nature: `scaling_1_to_2`
+//! near 1.0 on a single-core box is the honest result, not a bug (see
+//! EXPERIMENTS.md). Flags: `--quick`, `--threads N` (cap the sweep),
+//! `--out <path>`.
+
+use amt_bench::harness_args;
+use amt_core::{Cluster, ClusterConfig, ExecMode, GraphBuilder, TaskDesc};
+use amt_tlr::{TlrCholesky, TlrProblem};
+use bytes::Bytes;
+
+/// One measured execution point.
+struct Point {
+    threads: usize,
+    tasks: u64,
+    wall_ms: f64,
+    tasks_per_sec: f64,
+}
+
+/// A wide level-synchronous DAG: `levels × width` small kernels, each
+/// reading its own lane plus the neighbouring lane from the previous
+/// level (so lanes cannot be trivially pipelined apart), all on one node
+/// — no protocol traffic, pure scheduling + compute.
+fn fine_grained_graph(levels: u64, width: u64) -> amt_core::TaskGraph {
+    const ELEMS: usize = 512; // 4 KiB per lane payload
+    let mut g = GraphBuilder::new(1);
+    for lane in 0..width {
+        g.data(lane, ELEMS * 8, 0, Some(Bytes::from(vec![1u8; ELEMS * 8])));
+    }
+    for _level in 0..levels {
+        // Snapshot each lane's current version first so every task in the
+        // level reads the previous level (not a same-level neighbour).
+        let prev: Vec<_> = (0..width)
+            .map(|lane| g.current(lane).expect("lane version"))
+            .collect();
+        for lane in 0..width {
+            let right = prev[((lane + 1) % width) as usize];
+            g.insert(
+                TaskDesc::new("grind")
+                    .on_node(0)
+                    .flops(2.0 * ELEMS as f64)
+                    .read(prev[lane as usize])
+                    .read(right)
+                    .write(lane, ELEMS * 8)
+                    .kernel(|ins| {
+                        // A small but real amount of work: mix the two
+                        // input lanes through a few integer passes.
+                        let mut out = ins[0].to_vec();
+                        for pass in 0..4u8 {
+                            for (o, r) in out.iter_mut().zip(ins[1].iter()) {
+                                *o = o.wrapping_mul(31).wrapping_add(r ^ pass);
+                            }
+                        }
+                        vec![Bytes::from(out)]
+                    }),
+            );
+        }
+    }
+    g.build()
+}
+
+fn run_fine_grained(levels: u64, width: u64, threads: usize) -> Point {
+    let graph = fine_grained_graph(levels, width);
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 1,
+        workers_per_node: 1,
+        mode: ExecMode::Numeric,
+        ..Default::default()
+    });
+    let report = cluster.execute_real(graph, threads);
+    assert!(report.complete());
+    let wall_s = report.makespan.as_secs_f64();
+    Point {
+        threads,
+        tasks: report.tasks_executed,
+        wall_ms: wall_s * 1e3,
+        tasks_per_sec: report.tasks_executed as f64 / wall_s,
+    }
+}
+
+fn run_tlr(n: usize, ts: usize, nodes: usize, threads: usize) -> Point {
+    let (chol, graph) = TlrCholesky::build_numeric(TlrProblem::new(n, ts), nodes);
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes,
+        workers_per_node: 8,
+        mode: ExecMode::Numeric,
+        ..Default::default()
+    });
+    let report = cluster.execute_real(graph, threads);
+    assert!(report.complete());
+    let residual = chol.residual(&cluster);
+    assert!(
+        residual < 1e-6,
+        "threads={threads}: factorization residual {residual:.3e}"
+    );
+    let wall_s = report.makespan.as_secs_f64();
+    Point {
+        threads,
+        tasks: report.tasks_executed,
+        wall_ms: wall_s * 1e3,
+        tasks_per_sec: report.tasks_executed as f64 / wall_s,
+    }
+}
+
+/// Per-class `(count, mean µs per task)` from a report's class stats.
+fn class_means(report: &amt_core::RunReport) -> Vec<(String, u64, f64)> {
+    let mut rows: Vec<(String, u64, f64)> = report
+        .class_stats
+        .iter()
+        .map(|(name, n, busy)| {
+            (
+                name.clone(),
+                *n,
+                busy.as_secs_f64() * 1e6 / (*n).max(1) as f64,
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Simulated vs measured mean task cost per class on the same TLR graph.
+fn calibration(n: usize, ts: usize, nodes: usize) -> Vec<(String, u64, f64, f64)> {
+    let cfg = || ClusterConfig {
+        nodes,
+        workers_per_node: 8,
+        mode: ExecMode::Numeric,
+        ..Default::default()
+    };
+    let (_, graph) = TlrCholesky::build_numeric(TlrProblem::new(n, ts), nodes);
+    let mut virt = Cluster::new(cfg());
+    let vr = virt.execute(graph);
+    assert!(vr.complete());
+    let (_, graph) = TlrCholesky::build_numeric(TlrProblem::new(n, ts), nodes);
+    let mut real = Cluster::new(cfg());
+    let rr = real.execute_real(graph, 1); // 1 thread: no steal interference
+    assert!(rr.complete());
+
+    let sim = class_means(&vr);
+    let measured = class_means(&rr);
+    assert_eq!(sim.len(), measured.len(), "class sets differ across modes");
+    sim.into_iter()
+        .zip(measured)
+        .map(|((name, count, sim_us), (rname, rcount, real_us))| {
+            assert_eq!(name, rname);
+            assert_eq!(count, rcount, "{name}: execution counts differ");
+            (name, count, sim_us, real_us)
+        })
+        .collect()
+}
+
+fn json_points(points: &[Point]) -> String {
+    let mut s = String::from("{");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{}\": {{\"tasks_per_sec\": {:.1}, \"wall_ms\": {:.3}}}{}",
+            p.threads,
+            p.tasks_per_sec,
+            p.wall_ms,
+            if i + 1 == points.len() { "" } else { ", " }
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn scaling_1_to_2(points: &[Point]) -> f64 {
+    let t1 = points.iter().find(|p| p.threads == 1);
+    let t2 = points.iter().find(|p| p.threads == 2);
+    match (t1, t2) {
+        (Some(a), Some(b)) => b.tasks_per_sec / a.tasks_per_sec,
+        _ => 0.0,
+    }
+}
+
+fn main() {
+    let args = harness_args();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = {
+        let mut it = args.iter();
+        // Default to the workspace root (bench binaries run with the
+        // package directory as CWD).
+        let mut path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../BENCH_exec.json")
+            .to_string_lossy()
+            .into_owned();
+        while let Some(a) = it.next() {
+            if a == "--out" {
+                path = it.next().expect("--out requires a value").clone();
+            } else if let Some(v) = a.strip_prefix("--out=") {
+                path = v.to_string();
+            }
+        }
+        path
+    };
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Always measure 1, 2 and 4 threads — oversubscription on a smaller
+    // box is honest data, and the machinery must be correct regardless.
+    let sweep: Vec<usize> = vec![1, 2, 4];
+
+    let (levels, width) = if quick { (40, 64) } else { (120, 128) };
+    println!("== fine-grained DAG: {levels} levels x {width} lanes, 1 node ==");
+    // Untimed warm-up: page in the heap and warm the allocator so the
+    // first measured point isn't charged for process cold-start.
+    run_fine_grained(levels, width, 1);
+    let mut fine = Vec::new();
+    for &t in &sweep {
+        let p = run_fine_grained(levels, width, t);
+        println!(
+            "threads {t}: {:>9.0} tasks/s   ({} tasks in {:.2} ms)",
+            p.tasks_per_sec, p.tasks, p.wall_ms
+        );
+        fine.push(p);
+    }
+
+    let (n, ts, nodes) = if quick {
+        (512, 32, 4) // nt = 16
+    } else {
+        (1536, 32, 4) // nt = 48
+    };
+    let nt = n / ts;
+    println!("== TLR Cholesky: N={n}, tile {ts} (nt={nt}), {nodes} nodes, Numeric ==");
+    run_tlr(n, ts, nodes, 1); // untimed warm-up
+    let mut tlr = Vec::new();
+    for &t in &sweep {
+        let p = run_tlr(n, ts, nodes, t);
+        println!(
+            "threads {t}: {:>9.0} tasks/s   ({} tasks in {:.2} ms, residual verified)",
+            p.tasks_per_sec, p.tasks, p.wall_ms
+        );
+        tlr.push(p);
+    }
+
+    let (cn, cts) = if quick { (512, 32) } else { (1024, 32) };
+    println!("== cost-model calibration: simulated vs measured mean task cost ==");
+    let cal = calibration(cn, cts, 4);
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>8}",
+        "class", "count", "sim us", "real us", "ratio"
+    );
+    for (name, count, sim_us, real_us) in &cal {
+        println!(
+            "{name:<8} {count:>6} {sim_us:>12.1} {real_us:>12.1} {:>8.2}",
+            real_us / sim_us
+        );
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"amtlc-bench-exec-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"threads_available\": {available},\n"));
+    json.push_str(&format!(
+        "  \"fine_grained_dag\": {{\"levels\": {levels}, \"width\": {width}, \"per_thread\": {}, \"scaling_1_to_2\": {:.3}}},\n",
+        json_points(&fine),
+        scaling_1_to_2(&fine)
+    ));
+    json.push_str(&format!(
+        "  \"tlr_cholesky\": {{\"n\": {n}, \"tile\": {ts}, \"nt\": {nt}, \"nodes\": {nodes}, \"per_thread\": {}, \"scaling_1_to_2\": {:.3}}},\n",
+        json_points(&tlr),
+        scaling_1_to_2(&tlr)
+    ));
+    json.push_str("  \"calibration\": [\n");
+    for (i, (name, count, sim_us, real_us)) in cal.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"class\": \"{name}\", \"count\": {count}, \"sim_us\": {sim_us:.2}, \"real_us\": {real_us:.2}, \"real_over_sim\": {:.3}}}{}\n",
+            real_us / sim_us,
+            if i + 1 == cal.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_exec.json");
+    println!("wrote {out_path}");
+}

@@ -144,6 +144,38 @@ pub fn jobs_arg(args: &[String]) -> usize {
     }
 }
 
+/// Parse the `--threads N` / `--threads=N` harness flag: how many
+/// work-stealing worker threads a **real execution**
+/// (`Cluster::execute_real`) uses. `0` or absent means one per available
+/// core; `1` is fully deterministic. Distinct from [`jobs_arg`], which
+/// parallelizes independent *simulation points* — `--threads` parallelizes
+/// one real run.
+pub fn threads_arg(args: &[String]) -> usize {
+    let mut it = args.iter();
+    let threads: usize = loop {
+        let Some(a) = it.next() else { break 0 };
+        let v = if a == "--threads" {
+            it.next()
+                .unwrap_or_else(|| panic!("--threads requires a value"))
+                .as_str()
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            v
+        } else {
+            continue;
+        };
+        break v
+            .parse()
+            .unwrap_or_else(|e| panic!("--threads {v:?} is not a number: {e}"));
+    };
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 /// Run `point(i)` for every `i` in `0..n` across up to `jobs` threads and
 /// return the results **in index order** regardless of completion order.
 ///
@@ -303,6 +335,15 @@ mod tests {
         assert_eq!(jobs_arg(&args(&["--jobs", "4"])), 4);
         assert_eq!(jobs_arg(&args(&["--jobs=7", "--full"])), 7);
         assert!(jobs_arg(&args(&["--jobs", "0"])) >= 1);
+    }
+
+    #[test]
+    fn threads_arg_parses_and_defaults_to_all_cores() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(threads_arg(&args(&["--full"])) >= 1);
+        assert_eq!(threads_arg(&args(&["--threads", "4"])), 4);
+        assert_eq!(threads_arg(&args(&["--threads=2", "--full"])), 2);
+        assert!(threads_arg(&args(&["--threads", "0"])) >= 1);
     }
 
     #[test]

@@ -423,6 +423,96 @@ impl std::fmt::Debug for BufPool {
     }
 }
 
+/// Thread-safe [`BufPool`]: the same recycle-if-sole-owner protocol behind
+/// a `Mutex`, for the real-thread execution path where senders and
+/// receivers live on different OS threads. Tracks pool hits and misses so
+/// runs can report steady-state buffer reuse.
+pub struct SharedBufPool {
+    bufs: std::sync::Mutex<Vec<Vec<u8>>>,
+    max_bufs: usize,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl SharedBufPool {
+    /// A pool keeping at most `max_bufs` free buffers.
+    pub fn new(max_bufs: usize) -> Self {
+        SharedBufPool {
+            bufs: std::sync::Mutex::new(Vec::new()),
+            max_bufs,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Pops a recycled buffer (growing it to `min_capacity` if needed) or
+    /// allocates a fresh one.
+    pub fn take(&self, min_capacity: usize) -> BytesMut {
+        use std::sync::atomic::Ordering::Relaxed;
+        match self.bufs.lock().expect("shared buf pool").pop() {
+            Some(mut v) => {
+                self.hits.fetch_add(1, Relaxed);
+                v.reserve(min_capacity);
+                BytesMut::from(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Relaxed);
+                BytesMut::with_capacity(min_capacity)
+            }
+        }
+    }
+
+    /// Returns a buffer's storage to the pool if `b` is its sole owner.
+    /// Reports whether the storage was reclaimed.
+    pub fn recycle(&self, b: Bytes) -> bool {
+        if let Ok(v) = b.try_reclaim() {
+            let mut bufs = self.bufs.lock().expect("shared buf pool");
+            if bufs.len() < self.max_bufs {
+                bufs.push(v);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Recycles every frame of `frames`; returns how many were reclaimed.
+    pub fn recycle_frames(&self, frames: Frames) -> usize {
+        let mut n = 0;
+        match frames {
+            Frames::Empty => {}
+            Frames::One(b) => n += usize::from(self.recycle(b)),
+            Frames::Many(v) => {
+                for b in v {
+                    n += usize::from(self.recycle(b));
+                }
+            }
+        }
+        n
+    }
+
+    /// Number of free buffers currently pooled.
+    pub fn free_len(&self) -> usize {
+        self.bufs.lock().expect("shared buf pool").len()
+    }
+
+    /// `(takes served from the pool, takes that had to allocate)`.
+    pub fn reuse_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+}
+
+impl std::fmt::Debug for SharedBufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SharedBufPool {{ free: {}, max: {} }}",
+            self.free_len(),
+            self.max_bufs
+        )
+    }
+}
+
 /// An ordered list of payload frames making up one wire message.
 ///
 /// Aggregated active messages are submitted as several independent payloads

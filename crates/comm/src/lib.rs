@@ -50,6 +50,7 @@ mod engine;
 mod lci_backend;
 mod lci_direct;
 mod mpi_backend;
+pub mod shm;
 mod stats;
 mod wire;
 
@@ -57,6 +58,7 @@ pub use config::{BackendKind, EngineConfig};
 pub use engine::{
     AmCallback, AmEvent, CommEngine, CommWorld, OnesidedCallback, PutEvent, PutLocalCb, PutRequest,
 };
+pub use shm::{ShmMsg, ShmNode, ShmWorld};
 pub use stats::EngineStats;
 
 #[cfg(test)]

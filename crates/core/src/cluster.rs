@@ -142,6 +142,9 @@ pub struct Cluster {
     overlap: Shared<OverlapTracker>,
     /// NIC queue-depth counter samples from the fabric.
     net_trace: Shared<Trace>,
+    /// Payloads of the last [`Cluster::execute_real`] run (real-substrate
+    /// runs have no per-node `NodeRt` stores to query).
+    real_data: Option<std::collections::HashMap<VersionId, Bytes>>,
 }
 
 impl Cluster {
@@ -214,6 +217,7 @@ impl Cluster {
             rts,
             overlap,
             net_trace,
+            real_data: None,
         }
     }
 
@@ -243,7 +247,40 @@ impl Cluster {
         self.execute_handle(handle, Some(ctl))
     }
 
+    /// Execute a task graph **for real** on `threads` work-stealing worker
+    /// threads (`0` = one per core): wall-clock time, real OS threads, and
+    /// the same ACTIVATE / GET DATA / put protocol over an in-process
+    /// shared-memory transport. One thread is fully deterministic; at any
+    /// thread count, Numeric payloads are bitwise identical to the virtual
+    /// modes (kernels are pure functions of their fixed input versions).
+    ///
+    /// The report's times are wall-clock (`makespan`, `worker_busy`,
+    /// latency stats); `comm_util` / `progress_util` / `sim_events` are 0 —
+    /// there is no simulated communication core under a real run.
+    pub fn execute_real(&mut self, graph: TaskGraph, threads: usize) -> RunReport {
+        // A real run supersedes any virtual run's data stores, and vice
+        // versa (execute_handle clears `real_data`).
+        *self.rts.borrow_mut() = None;
+        let (report, data) = crate::real::run(graph, &self.cfg, threads);
+        self.real_data = Some(data);
+        report
+    }
+
+    /// [`Cluster::execute_real`] over a [`GraphSource`]: the source is
+    /// fully unrolled first (real execution needs no discovery window —
+    /// memory is bounded by the machine, not the simulator).
+    pub fn execute_real_source(
+        &mut self,
+        mut source: Box<dyn GraphSource>,
+        threads: usize,
+    ) -> RunReport {
+        let mut b = crate::graph::GraphBuilder::new(self.cfg.nodes);
+        while source.next_task(&mut b) {}
+        self.execute_real(b.build(), threads)
+    }
+
     fn execute_handle(&mut self, graph: GraphHandle, window: Option<Rc<WindowCtl>>) -> RunReport {
+        self.real_data = None;
         let node_rts: Vec<RtHandle> = (0..self.cfg.nodes)
             .map(|n| {
                 Rc::new(NodeRt::new(
@@ -404,6 +441,9 @@ impl Cluster {
     /// Payload of `version` from whichever node holds it (after a Numeric
     /// execution).
     pub fn data(&self, version: VersionId) -> Option<Bytes> {
+        if let Some(real) = &self.real_data {
+            return real.get(&version).cloned();
+        }
         let rts = self.rts.borrow();
         let rts = rts.as_ref()?;
         rts.iter().find_map(|rt| rt.data(version))

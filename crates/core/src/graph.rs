@@ -16,6 +16,7 @@
 use std::cell::{Ref, RefCell, RefMut};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use amt_netmodel::NodeId;
 use bytes::Bytes;
@@ -33,7 +34,10 @@ pub struct VersionId(pub usize);
 /// A real compute kernel: consumes input payloads, produces one payload per
 /// declared output. Shared so the same graph can be executed repeatedly
 /// (e.g. once per backend) and verified against a sequential oracle.
-pub type Kernel = Rc<dyn Fn(&[Bytes]) -> Vec<Bytes>>;
+/// `Send + Sync` so the same graph can also run on the real thread-pool
+/// substrate ([`crate::Cluster::execute_real`]), where workers on different
+/// OS threads invoke kernels concurrently.
+pub type Kernel = Arc<dyn Fn(&[Bytes]) -> Vec<Bytes> + Send + Sync>;
 
 /// Items per [`ChunkVec`] chunk (must be a power of two).
 const CHUNK: usize = 256;
@@ -221,8 +225,10 @@ impl TaskDesc {
 
     /// Attach a real kernel (Numeric mode). It receives the read payloads
     /// in declaration order and must return one payload per write.
-    pub fn kernel(mut self, k: impl Fn(&[Bytes]) -> Vec<Bytes> + 'static) -> Self {
-        self.kernel = Some(Rc::new(k));
+    /// `Send + Sync` so the graph stays executable on the real-thread
+    /// substrate; kernels normally capture only `Copy` parameters.
+    pub fn kernel(mut self, k: impl Fn(&[Bytes]) -> Vec<Bytes> + Send + Sync + 'static) -> Self {
+        self.kernel = Some(Arc::new(k));
         self
     }
 }

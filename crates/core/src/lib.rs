@@ -1,10 +1,18 @@
 //! # amt-core
 //!
-//! A PaRSEC-style **asynchronous many-task runtime** over the simulated
-//! cluster: dynamic task-DAG insertion with automatic dependence analysis,
-//! priority scheduling onto per-node worker cores, and distributed dataflow
-//! through the communication engine's ACTIVATE / GET DATA / put protocol
-//! (paper §4.1, Figure 1).
+//! A PaRSEC-style **asynchronous many-task runtime**: dynamic task-DAG
+//! insertion with automatic dependence analysis, priority scheduling onto
+//! per-node worker cores, and distributed dataflow through the
+//! communication engine's ACTIVATE / GET DATA / put protocol (paper §4.1,
+//! Figure 1) — over either **substrate**:
+//!
+//! * the deterministic single-threaded simulator ([`Cluster::execute`],
+//!   [`Cluster::execute_windowed`]): virtual time, simulated fabric and
+//!   engines, byte-reproducible runs;
+//! * the real work-stealing thread pool ([`Cluster::execute_real`]):
+//!   wall-clock time, real OS threads, the same protocol over an
+//!   in-process shared-memory transport. Numeric payloads are bitwise
+//!   identical across substrates and thread counts.
 //!
 //! ## Model
 //!
@@ -30,7 +38,8 @@
 //!
 //! [`ExecMode::Numeric`] runs real kernels on real bytes (results are
 //! verifiable); [`ExecMode::CostOnly`] skips kernels and moves declared
-//! sizes — identical protocol traffic, none of the memory.
+//! sizes — identical protocol traffic, none of the memory. Both modes run
+//! on both substrates.
 //!
 //! ## Example
 //!
@@ -64,6 +73,7 @@ mod graph;
 mod metrics;
 mod node;
 mod queue;
+mod real;
 mod records;
 mod window;
 

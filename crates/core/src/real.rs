@@ -1,0 +1,521 @@
+//! Real execution of a task graph on the `amt-exec` work-stealing pool —
+//! the **real substrate** behind [`crate::Cluster::execute_real`].
+//!
+//! The same graph, kernels, and ACTIVATE / GET DATA / put protocol as the
+//! virtual path, but with wall-clock time and real OS threads:
+//!
+//! * every worker thread can execute any node's tasks (one shared pool —
+//!   in a single shared-memory process, node affinity governs *data
+//!   placement and protocol*, not thread placement);
+//! * dependence tracking is a per-task atomic countdown over the graph's
+//!   consumer lists — the release that takes a count to zero spawns the
+//!   task as a pool job (LIFO local, stealable);
+//! * cross-node dataflows run the real protocol over the in-process
+//!   shared-memory transport ([`ShmWorld`]): ACTIVATE records announce a
+//!   produced version to remote consumer nodes, the consumer requests the
+//!   payload with a GET DATA record, and the owner answers with a
+//!   one-sided put carrying a callback descriptor — all encoded with the
+//!   exact wire records of the simulated engines
+//!   ([`crate::records`]), drawn from and recycled into thread-safe
+//!   buffer pools.
+//!
+//! ## Differences from the virtual path (by design)
+//!
+//! * No GET-window throttling and no binomial multicast: those are
+//!   engine behaviors under *study* in the simulator; here every
+//!   announce is a direct send and every GET issues immediately.
+//! * No aggregation: one record per wire message.
+//! * `e2e`/`msg`/`request` latencies are wall-clock (anchored at pool
+//!   start), measured through the same record timestamps as §6.1.3.
+//!
+//! ## Determinism
+//!
+//! With one worker thread, execution order is fully deterministic. At any
+//! thread count the *payloads* are bitwise identical run to run (and to
+//! the virtual modes and the sequential oracle): kernels are pure
+//! functions of their input versions and the graph fixes every data
+//! dependence, so no floating-point reduction order ever varies — only
+//! scheduling order does.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+use amt_comm::{EngineStats, ShmMsg, ShmWorld};
+use amt_exec::Pool;
+use amt_simnet::{OnlineStats, SimTime, Substrate};
+use bytes::{Bytes, Frames};
+
+use crate::cluster::RunReport;
+use crate::config::ClusterConfig;
+use crate::graph::{TaskGraph, TaskId, VersionId};
+use crate::node::{AM_ACTIVATE, AM_GETDATA, RTAG_DATA};
+use crate::records::{ActivateRec, GetRec, PutCb};
+
+/// Steal-victim seed for [`crate::Cluster::execute_real`] pools; fixed so
+/// probe sequences are reproducible run to run.
+const STEAL_SEED: u64 = 0x5eed_ca11_ab1e;
+
+/// Receive-buffer pool depth per node endpoint.
+const SHM_POOL_BUFS: usize = 64;
+
+/// Per-node version store: which versions have arrived here, their
+/// payloads, and which GETs are already in flight.
+struct NodeStore {
+    present: Vec<bool>,
+    requested: Vec<bool>,
+    payload: HashMap<usize, Bytes>,
+}
+
+/// Per-worker execution accounting (merged into the report at the end).
+#[derive(Default)]
+struct WorkerStat {
+    busy_ns: u64,
+    executed: u64,
+    classes: HashMap<&'static str, (u64, u64)>,
+}
+
+/// Per-node message-lifecycle latency collectors.
+#[derive(Default)]
+struct FlowStats {
+    e2e: OnlineStats,
+    msg: OnlineStats,
+    req: OnlineStats,
+}
+
+/// Shared state of one real execution. `Sync`: the graph is read-only
+/// during the run, stores are mutex-guarded, counts are atomics.
+struct RealRun {
+    graph: TaskGraph,
+    remaining: Vec<AtomicU32>,
+    stores: Vec<Mutex<NodeStore>>,
+    shm: ShmWorld,
+    worker_stats: Vec<Mutex<WorkerStat>>,
+    flows: Vec<Mutex<FlowStats>>,
+    executed: AtomicU64,
+}
+
+// Compile-time guarantee that the whole run state crosses threads.
+const _: fn() = || {
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<RealRun>();
+};
+
+impl RealRun {
+    fn new(graph: TaskGraph, nodes: usize, pool_threads: usize) -> RealRun {
+        let nv = graph.version_count();
+        let remaining = graph
+            .tasks()
+            .map(|t| {
+                let missing = t
+                    .inputs
+                    .iter()
+                    .filter(|v| {
+                        let ver = graph.version(v.0);
+                        !(ver.producer.is_none() && ver.home == t.node)
+                    })
+                    .count() as u32;
+                AtomicU32::new(missing)
+            })
+            .collect();
+        let stores = (0..nodes)
+            .map(|n| {
+                let mut s = NodeStore {
+                    present: vec![false; nv],
+                    requested: vec![false; nv],
+                    payload: HashMap::new(),
+                };
+                for (i, v) in graph.versions().enumerate() {
+                    if v.producer.is_none() && v.home == n {
+                        s.present[i] = true;
+                        if let Some(b) = &v.initial {
+                            s.payload.insert(i, b.clone());
+                        }
+                    }
+                }
+                Mutex::new(s)
+            })
+            .collect();
+        RealRun {
+            remaining,
+            stores,
+            shm: ShmWorld::new(nodes, SHM_POOL_BUFS),
+            worker_stats: (0..pool_threads)
+                .map(|_| Mutex::new(WorkerStat::default()))
+                .collect(),
+            flows: (0..nodes)
+                .map(|_| Mutex::new(FlowStats::default()))
+                .collect(),
+            executed: AtomicU64::new(0),
+            graph,
+        }
+    }
+
+    /// Remote consumer nodes of version `v`, deduplicated, ascending.
+    fn remote_consumer_nodes(&self, v: usize) -> Vec<usize> {
+        let ver = self.graph.version(v);
+        let mut dests: Vec<usize> = ver
+            .consumers
+            .iter()
+            .map(|&t| self.graph.task(t).node)
+            .filter(|&n| n != ver.home)
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests
+    }
+
+    /// Mark `v` present at `node` (payload optional) and return the local
+    /// consumer tasks this release made ready, in task order.
+    fn fulfill_local(&self, node: usize, v: usize, payload: Option<Bytes>) -> Vec<TaskId> {
+        let mut ready = Vec::new();
+        {
+            let mut store = self.stores[node].lock().expect("node store");
+            debug_assert!(
+                !store.present[v],
+                "version {v} delivered twice to node {node}"
+            );
+            store.present[v] = true;
+            if let Some(b) = payload {
+                store.payload.insert(v, b);
+            }
+        }
+        for &t in &self.graph.version(v).consumers {
+            if self.graph.task(t).node == node && self.remaining[t].fetch_sub(1, SeqCst) == 1 {
+                ready.push(t);
+            }
+        }
+        ready
+    }
+}
+
+/// Announce `v` to every remote consumer node and schedule their
+/// progress; called once, by the producer's node (or init for initial
+/// versions).
+fn announce(sub: &mut dyn Substrate, run: &Arc<RealRun>, v: usize) {
+    let ver = run.graph.version(v);
+    let home = ver.home;
+    let priority = ver
+        .producer
+        .map(|t| run.graph.task(t).priority)
+        .unwrap_or(0);
+    for dst in run.remote_consumer_nodes(v) {
+        let rec = ActivateRec::direct(v as u64, ver.size as u64, priority, sub.now().as_ns());
+        let frame = rec.encode_one_shared(run.shm.node(home).pool());
+        run.shm.send_am(home, dst, AM_ACTIVATE, Frames::One(frame));
+        spawn_progress(sub, run, dst);
+    }
+}
+
+/// Spawn a task-execution job.
+fn spawn_task(sub: &mut dyn Substrate, run: &Arc<RealRun>, t: TaskId) {
+    let run = run.clone();
+    sub.defer(Box::new(move |sub| exec_task(sub, &run, t)));
+}
+
+/// Spawn a progress job draining `node`'s shm mailbox.
+fn spawn_progress(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize) {
+    let run = run.clone();
+    sub.defer(Box::new(move |sub| progress(sub, &run, node)));
+}
+
+/// Execute task `t` on its home node's store, then run the completion
+/// protocol: mark outputs present, release local consumers, announce to
+/// remote ones.
+fn exec_task(sub: &mut dyn Substrate, run: &Arc<RealRun>, t: TaskId) {
+    let task = run.graph.task(t);
+    let node = task.node;
+
+    // Gather input payloads (only data-carrying versions feed kernels,
+    // exactly like the sequential oracle).
+    let inputs: Vec<Bytes> = if task.kernel.is_some() {
+        let store = run.stores[node].lock().expect("node store");
+        task.inputs
+            .iter()
+            .filter(|v| run.graph.version(v.0).size > 0)
+            .map(|v| {
+                store
+                    .payload
+                    .get(&v.0)
+                    .unwrap_or_else(|| panic!("task {t}: input {} missing at node {node}", v.0))
+                    .clone()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let started = std::time::Instant::now();
+    let outs: Vec<Bytes> = match &task.kernel {
+        Some(k) => k(&inputs),
+        None => Vec::new(),
+    };
+    let busy_ns = started.elapsed().as_nanos() as u64;
+    if task.kernel.is_some() {
+        assert_eq!(outs.len(), task.outputs.len(), "kernel output arity");
+    }
+
+    // Worker accounting.
+    if let Some(w) = sub.worker() {
+        let mut ws = run.worker_stats[w].lock().expect("worker stat");
+        ws.busy_ns += busy_ns;
+        ws.executed += 1;
+        let e = ws.classes.entry(task.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += busy_ns;
+    }
+    run.executed.fetch_add(1, SeqCst);
+
+    // Completion: outputs become present locally; collect newly-ready
+    // local tasks, then announce to remote consumers.
+    let mut ready: Vec<TaskId> = Vec::new();
+    let mut payloads = outs.into_iter();
+    for &out in &task.outputs {
+        let payload = task.kernel.is_some().then(|| {
+            payloads
+                .next()
+                .expect("one kernel payload per declared write")
+        });
+        ready.extend(run.fulfill_local(node, out.0, payload));
+    }
+    for t in ready {
+        spawn_task(sub, run, t);
+    }
+    for &out in &task.outputs {
+        announce(sub, run, out.0);
+    }
+}
+
+/// Drain and handle every message pending at `node`.
+fn progress(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize) {
+    while let Some(msg) = run.shm.node(node).pop() {
+        match msg {
+            ShmMsg::Am { src, tag, frames } if tag == AM_ACTIVATE => {
+                run.shm.delivered(node, false, 0);
+                let recs = ActivateRec::decode_frames(&frames);
+                run.shm.node(node).pool().recycle_frames(frames);
+                for rec in recs {
+                    on_activate(sub, run, node, src, rec);
+                }
+            }
+            ShmMsg::Am { src, tag, frames } if tag == AM_GETDATA => {
+                run.shm.delivered(node, false, 0);
+                let recs = GetRec::decode_frames(&frames);
+                run.shm.node(node).pool().recycle_frames(frames);
+                for rec in recs {
+                    on_getdata(sub, run, node, src, rec);
+                }
+            }
+            ShmMsg::Am { tag, .. } => panic!("unregistered AM tag {tag}"),
+            ShmMsg::Put {
+                r_tag,
+                data,
+                size,
+                cb,
+                ..
+            } => {
+                debug_assert_eq!(r_tag, RTAG_DATA, "unexpected one-sided tag");
+                run.shm.delivered(node, true, size);
+                on_data(sub, run, node, data, cb);
+            }
+        }
+    }
+}
+
+/// ACTIVATE at a consumer node: control flows complete immediately; data
+/// flows request the payload from the producing node.
+fn on_activate(
+    sub: &mut dyn Substrate,
+    run: &Arc<RealRun>,
+    node: usize,
+    src: usize,
+    rec: ActivateRec,
+) {
+    let now = sub.now().as_ns();
+    let lat = SimTime::from_ns(now.saturating_sub(rec.sent_at_ns));
+    {
+        let mut f = run.flows[node].lock().expect("flow stats");
+        f.msg.record_time_us(lat);
+    }
+    let v = rec.version as usize;
+    if rec.size == 0 {
+        // Pure control dependence: no payload will follow.
+        {
+            let mut f = run.flows[node].lock().expect("flow stats");
+            f.e2e.record_time_us(lat);
+        }
+        let ready = run.fulfill_local(node, v, None);
+        for t in ready {
+            spawn_task(sub, run, t);
+        }
+        return;
+    }
+    {
+        let mut store = run.stores[node].lock().expect("node store");
+        debug_assert!(
+            !store.requested[v],
+            "version {v} requested twice by node {node}"
+        );
+        store.requested[v] = true;
+    }
+    let get = GetRec {
+        version: rec.version,
+        activate_sent_at_ns: rec.sent_at_ns,
+    };
+    let frame = get.encode_shared(run.shm.node(node).pool());
+    run.shm.send_am(node, src, AM_GETDATA, Frames::One(frame));
+    spawn_progress(sub, run, src);
+}
+
+/// GET DATA at the owner: answer with a one-sided put of the payload.
+fn on_getdata(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize, src: usize, rec: GetRec) {
+    let now = sub.now().as_ns();
+    {
+        let mut f = run.flows[node].lock().expect("flow stats");
+        f.req.record_time_us(SimTime::from_ns(
+            now.saturating_sub(rec.activate_sent_at_ns),
+        ));
+    }
+    let v = rec.version as usize;
+    let size = run.graph.version(v).size;
+    let data = {
+        let store = run.stores[node].lock().expect("node store");
+        debug_assert!(
+            store.present[v],
+            "GET for version {v} the owner does not hold"
+        );
+        store.payload.get(&v).cloned()
+    };
+    let cb = PutCb {
+        version: rec.version,
+        activate_sent_at_ns: rec.activate_sent_at_ns,
+    }
+    .encode_shared(run.shm.node(node).pool());
+    run.shm.put(node, src, RTAG_DATA, data, size, cb);
+    spawn_progress(sub, run, src);
+}
+
+/// Put arrival at the consumer: the flow is complete; fulfill and release.
+fn on_data(
+    sub: &mut dyn Substrate,
+    run: &Arc<RealRun>,
+    node: usize,
+    data: Option<Bytes>,
+    cb: Bytes,
+) {
+    let cb = PutCb::decode(cb);
+    let now = sub.now().as_ns();
+    {
+        let mut f = run.flows[node].lock().expect("flow stats");
+        f.e2e
+            .record_time_us(SimTime::from_ns(now.saturating_sub(cb.activate_sent_at_ns)));
+    }
+    let ready = run.fulfill_local(node, cb.version as usize, data);
+    for t in ready {
+        spawn_task(sub, run, t);
+    }
+}
+
+/// Execute `graph` for real on `threads` pool workers (`0` = one per
+/// core). Returns the run report and every payload held anywhere at the
+/// end (for [`crate::Cluster::data`]).
+pub(crate) fn run(
+    graph: TaskGraph,
+    cfg: &ClusterConfig,
+    threads: usize,
+) -> (RunReport, HashMap<VersionId, Bytes>) {
+    let pool = Pool::new(threads, STEAL_SEED);
+    let threads = pool.threads();
+    let nodes = cfg.nodes;
+    let tasks_total = graph.task_count() as u64;
+    let run = Arc::new(RealRun::new(graph, nodes, threads));
+
+    let t0 = pool.now();
+    // Root spawns: announce initial versions to their remote consumers,
+    // then seed every dependence-free task, in task order.
+    {
+        let run2 = run.clone();
+        pool.spawn(Box::new(move |sub| {
+            for v in 0..run2.graph.version_count() {
+                if run2.graph.version(v).producer.is_none() {
+                    announce(sub, &run2, v);
+                }
+            }
+            let ready: Vec<TaskId> = (0..run2.graph.task_count())
+                .filter(|&t| run2.remaining[t].load(SeqCst) == 0)
+                .collect();
+            for t in ready {
+                spawn_task(sub, &run2, t);
+            }
+        }));
+    }
+    pool.run_until_idle();
+    let makespan = pool.now() - t0;
+    drop(pool);
+
+    let run = Arc::try_unwrap(run).unwrap_or_else(|_| panic!("run state still shared after idle"));
+    let executed = run.executed.load(SeqCst);
+    assert_eq!(
+        executed, tasks_total,
+        "real execution drained with unexecuted tasks (protocol stall)"
+    );
+
+    let mut e2e = OnlineStats::new();
+    let mut msg = OnlineStats::new();
+    let mut req = OnlineStats::new();
+    for f in &run.flows {
+        let f = f.lock().expect("flow stats");
+        e2e.merge(&f.e2e);
+        msg.merge(&f.msg);
+        req.merge(&f.req);
+    }
+    let mut worker_busy_ns = 0u64;
+    let mut classes: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    for w in &run.worker_stats {
+        let w = w.lock().expect("worker stat");
+        worker_busy_ns += w.busy_ns;
+        for (name, (n, busy)) in &w.classes {
+            let e = classes.entry(name).or_insert((0, 0));
+            e.0 += n;
+            e.1 += busy;
+        }
+    }
+    let mut class_stats: Vec<(String, u64, SimTime)> = classes
+        .into_iter()
+        .map(|(k, (n, b))| (k.to_string(), n, SimTime::from_ns(b)))
+        .collect();
+    class_stats.sort_by_key(|c| std::cmp::Reverse(c.2));
+    let worker_busy = SimTime::from_ns(worker_busy_ns);
+    let span = makespan.as_secs_f64().max(1e-12);
+
+    let engine_stats: Vec<EngineStats> =
+        (0..nodes).map(|n| run.shm.node(n).engine_stats()).collect();
+
+    // Merge every node's payloads for post-run data access; producers win
+    // over transferred copies (they are bitwise equal anyway).
+    let mut data: HashMap<VersionId, Bytes> = HashMap::new();
+    for n in 0..nodes {
+        let store = run.stores[n].lock().expect("node store");
+        for (&v, b) in &store.payload {
+            data.entry(VersionId(v)).or_insert_with(|| b.clone());
+        }
+    }
+
+    let report = RunReport {
+        makespan,
+        tasks_executed: executed,
+        tasks_total,
+        e2e_latency_us: e2e,
+        msg_latency_us: msg,
+        request_latency_us: req,
+        worker_busy,
+        worker_util: worker_busy.as_secs_f64() / (span * threads as f64),
+        comm_util: 0.0,
+        progress_util: 0.0,
+        engine_stats,
+        class_stats,
+        sim_events: 0,
+        schedule_past_clamped: 0,
+    };
+    (report, data)
+}

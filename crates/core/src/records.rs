@@ -109,6 +109,14 @@ impl ActivateRec {
         self.encode_into(&mut b);
         b.freeze()
     }
+
+    /// [`ActivateRec::encode_one_with`] over the thread-safe pool of the
+    /// real-substrate transport.
+    pub fn encode_one_shared(&self, pool: &bytes::SharedBufPool) -> Bytes {
+        let mut b = pool.take(self.enc_len());
+        self.encode_into(&mut b);
+        b.freeze()
+    }
 }
 
 /// Recursive-halving children assignment for a binomial multicast over the
@@ -145,6 +153,14 @@ impl GetRec {
 
     /// Encode into a buffer drawn from `pool`.
     pub fn encode_with(&self, pool: &BufPool) -> Bytes {
+        let mut b = pool.take(Self::ENC_BYTES);
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// [`GetRec::encode_with`] over the thread-safe pool of the real
+    /// substrate transport.
+    pub fn encode_shared(&self, pool: &bytes::SharedBufPool) -> Bytes {
         let mut b = pool.take(Self::ENC_BYTES);
         self.encode_into(&mut b);
         b.freeze()
@@ -202,6 +218,15 @@ impl PutCb {
 
     /// Encode into a buffer drawn from `pool`.
     pub fn encode_with(&self, pool: &BufPool) -> Bytes {
+        let mut b = pool.take(16);
+        b.put_u64_le(self.version);
+        b.put_u64_le(self.activate_sent_at_ns);
+        b.freeze()
+    }
+
+    /// [`PutCb::encode_with`] over the thread-safe pool of the real
+    /// substrate transport.
+    pub fn encode_shared(&self, pool: &bytes::SharedBufPool) -> Bytes {
         let mut b = pool.take(16);
         b.put_u64_le(self.version);
         b.put_u64_le(self.activate_sent_at_ns);

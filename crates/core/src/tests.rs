@@ -642,3 +642,192 @@ fn windowed_small_window_completes_with_identical_payloads() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Real substrate (execute_real): same graphs, real threads.
+
+#[test]
+fn real_exec_single_task() {
+    let mut cluster = Cluster::new(small_cfg(BackendKind::Lci, 1));
+    let mut g = GraphBuilder::new(1);
+    g.insert(TaskDesc::new("t").flops(1e6).write(0, 64));
+    let report = cluster.execute_real(g.build(), 1);
+    assert!(report.complete());
+    assert_eq!(report.tasks_executed, 1);
+    assert_eq!(report.sim_events, 0, "no simulator under a real run");
+}
+
+#[test]
+fn real_exec_chain_matches_oracle_at_multiple_thread_counts() {
+    for threads in [1usize, 2, 3] {
+        let mut cluster = Cluster::new(small_cfg(BackendKind::Lci, 3));
+        let mut g = GraphBuilder::new(3);
+        g.data(0, 8, 0, Some(Bytes::from(vec![1u8; 8])));
+        for step in 0..9u64 {
+            let node = (step % 3) as usize;
+            g.insert(
+                TaskDesc::new("inc")
+                    .on_node(node)
+                    .flops(1e5)
+                    .read_key(0)
+                    .write(0, 8)
+                    .kernel(|ins| {
+                        vec![Bytes::from(
+                            ins[0].iter().map(|b| b + 1).collect::<Vec<u8>>(),
+                        )]
+                    }),
+            );
+        }
+        let last = g.current(0).expect("final version");
+        let graph = g.build();
+        let oracle = graph.sequential_oracle();
+        let want = oracle[&last].clone();
+        let report = cluster.execute_real(graph, threads);
+        assert!(report.complete(), "threads={threads}");
+        assert_eq!(
+            cluster.data(last).as_deref(),
+            Some(&want[..]),
+            "threads={threads}: real result diverged from sequential oracle"
+        );
+        // Steps 1..9 hop nodes: 8 flows ran the real ACTIVATE/GET/put
+        // protocol (step 0 reads the initial version locally).
+        assert_eq!(report.e2e_latency_us.count(), 8, "threads={threads}");
+        assert!(report.bytes_transferred() >= 8 * 8, "threads={threads}");
+    }
+}
+
+#[test]
+fn real_exec_control_dependencies_cross_nodes_without_data() {
+    let mut cluster = Cluster::new(small_cfg(BackendKind::Lci, 2));
+    let mut g = GraphBuilder::new(2);
+    g.insert(TaskDesc::new("produce").on_node(0).flops(1e5).write(7, 0));
+    let ctl = g.current(7).expect("control version");
+    g.insert(
+        TaskDesc::new("gated")
+            .on_node(1)
+            .flops(1e5)
+            .read(ctl)
+            .write(8, 4)
+            .kernel(|ins| {
+                assert!(ins.is_empty(), "CTL inputs must not reach kernels");
+                vec![Bytes::from_static(b"done")]
+            }),
+    );
+    let out = g.current(8).expect("output");
+    let report = cluster.execute_real(g.build(), 2);
+    assert!(report.complete());
+    assert_eq!(cluster.data(out).as_deref(), Some(&b"done"[..]));
+    // The control flow completed end-to-end with zero put bytes.
+    assert_eq!(report.e2e_latency_us.count(), 1);
+    assert_eq!(report.bytes_transferred(), 0);
+}
+
+#[test]
+fn real_exec_payloads_match_virtual_execution_bitwise() {
+    let build = || {
+        let mut g = GraphBuilder::new(2);
+        let src = g.data(0, 4, 0, Some(Bytes::from(vec![3u8; 4])));
+        g.insert(
+            TaskDesc::new("left")
+                .on_node(0)
+                .flops(1e5)
+                .read(src)
+                .write(1, 4)
+                .kernel(|ins| {
+                    vec![Bytes::from(
+                        ins[0].iter().map(|b| b + 1).collect::<Vec<u8>>(),
+                    )]
+                }),
+        );
+        let l = g.current(1).unwrap();
+        g.insert(
+            TaskDesc::new("right")
+                .on_node(1)
+                .flops(1e5)
+                .read(src)
+                .write(2, 4)
+                .kernel(|ins| {
+                    vec![Bytes::from(
+                        ins[0].iter().map(|b| b * 2).collect::<Vec<u8>>(),
+                    )]
+                }),
+        );
+        let r = g.current(2).unwrap();
+        g.insert(
+            TaskDesc::new("join")
+                .on_node(0)
+                .flops(1e5)
+                .read(l)
+                .read(r)
+                .write(3, 4)
+                .kernel(|ins| {
+                    vec![Bytes::from(
+                        ins[0]
+                            .iter()
+                            .zip(ins[1].iter())
+                            .map(|(a, b)| a ^ b)
+                            .collect::<Vec<u8>>(),
+                    )]
+                }),
+        );
+        let out = g.current(3).unwrap();
+        (g.build(), out)
+    };
+    let (vg, out) = build();
+    let mut virt = Cluster::new(small_cfg(BackendKind::Lci, 2));
+    assert!(virt.execute(vg).complete());
+    let want = virt.data(out).expect("virtual payload");
+
+    for threads in [1usize, 2, 4] {
+        let (rg, out_r) = build();
+        assert_eq!(out_r, out, "same construction, same version ids");
+        let mut real = Cluster::new(small_cfg(BackendKind::Lci, 2));
+        assert!(real.execute_real(rg, threads).complete());
+        assert_eq!(
+            real.data(out_r).as_deref(),
+            Some(&want[..]),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn real_exec_source_unrolls_and_matches_windowed() {
+    let full_graph = chain_graph(30);
+    let last = crate::VersionId(full_graph.version_count() - 1);
+    let oracle = full_graph.sequential_oracle();
+    let mut real = Cluster::new(small_cfg(BackendKind::Lci, 3));
+    let report = real.execute_real_source(Box::new(ChainSource { len: 30, next: 0 }), 2);
+    assert!(report.complete());
+    assert_eq!(report.tasks_total, 30);
+    assert_eq!(
+        real.data(last).as_deref(),
+        oracle.get(&last).map(|b| &b[..])
+    );
+}
+
+#[test]
+fn real_then_virtual_data_stores_supersede_each_other() {
+    let mut cluster = Cluster::new(small_cfg(BackendKind::Lci, 1));
+    let build = |tag: u8| {
+        let mut g = GraphBuilder::new(1);
+        g.insert(
+            TaskDesc::new("w")
+                .flops(1e5)
+                .write(0, 1)
+                .kernel(move |_| vec![Bytes::from(vec![tag])]),
+        );
+        let out = g.current(0).unwrap();
+        (g.build(), out)
+    };
+    let (g1, v1) = build(1);
+    cluster.execute_real(g1, 1);
+    assert_eq!(cluster.data(v1).as_deref(), Some(&[1u8][..]));
+    let (g2, v2) = build(2);
+    cluster.execute(g2);
+    assert_eq!(
+        cluster.data(v2).as_deref(),
+        Some(&[2u8][..]),
+        "virtual run must clear stale real-run data"
+    );
+}

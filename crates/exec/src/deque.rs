@@ -1,0 +1,189 @@
+//! Bounded lock-free work-stealing deque (Chase–Lev style).
+//!
+//! One **owner** pushes and pops at the bottom (LIFO — freshly released
+//! work runs while its data is hot); any number of **stealers** take from
+//! the top (FIFO — thieves get the oldest, usually largest, work). The
+//! ring is bounded: a full `push` hands the item back so the caller can
+//! overflow into a shared injector instead of blocking.
+//!
+//! ## Memory-safety argument
+//!
+//! Items are heap-boxed; slots store raw pointers. A stealer *reads* the
+//! slot pointer before publishing its claim with a `top` compare-exchange,
+//! which is sound for the classic Chase–Lev reasons:
+//!
+//! * A pointer read is never dereferenced unless the CAS **wins**; the
+//!   winning CAS transfers unique ownership of exactly that pointer.
+//! * A slot at index `t` can only be *overwritten* by a push at some
+//!   bottom `b'` with `b' ≡ t (mod cap)`, which the bounded-capacity check
+//!   (`b - top < cap`) only admits after `top` has already advanced past
+//!   `t` — and any stale CAS on the old `t` then fails, discarding the
+//!   stale pointer unread.
+//! * The owner's `pop` of the last element races the stealers on the same
+//!   `top` CAS; whoever wins owns the item, the loser backs off.
+//!
+//! All atomics use `SeqCst`: this deque holds scheduler jobs whose cost
+//! dwarfs fence overhead, and the strongest ordering keeps the proof
+//! obligations (and the TSan run in `verify.sh`) simple.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicIsize, AtomicPtr, Ordering::SeqCst};
+use std::sync::Arc;
+
+struct Ring<T> {
+    slots: Box<[AtomicPtr<T>]>,
+    /// Next slot the owner pushes into. Only the owner stores to it.
+    bottom: AtomicIsize,
+    /// Next slot stealers (or the owner's last-element pop) claim from.
+    top: AtomicIsize,
+}
+
+impl<T> Ring<T> {
+    fn slot(&self, i: isize) -> &AtomicPtr<T> {
+        &self.slots[(i as usize) & (self.slots.len() - 1)]
+    }
+}
+
+/// The owner-side handle: `push` / `pop` at the bottom. `Send` (the owner
+/// may be handed to its worker thread at startup) but deliberately not
+/// `Sync`/`Clone` — there is exactly one owner.
+pub struct Worker<T> {
+    ring: Arc<Ring<T>>,
+    /// `Cell` marker: keep `Send`, drop `Sync`.
+    _single_owner: PhantomData<std::cell::Cell<()>>,
+}
+
+/// A thief-side handle: `steal` from the top. Clone freely across threads.
+pub struct Stealer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            ring: self.ring.clone(),
+        }
+    }
+}
+
+/// Create a deque with capacity `cap` (rounded up to a power of two).
+pub fn deque<T>(cap: usize) -> (Worker<T>, Stealer<T>) {
+    let cap = cap.next_power_of_two().max(2);
+    let slots = (0..cap)
+        .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        slots,
+        bottom: AtomicIsize::new(0),
+        top: AtomicIsize::new(0),
+    });
+    (
+        Worker {
+            ring: ring.clone(),
+            _single_owner: PhantomData,
+        },
+        Stealer { ring },
+    )
+}
+
+impl<T> Worker<T> {
+    /// Push at the bottom. Returns the item back when the ring is full
+    /// (the caller overflows into the shared injector).
+    pub fn push(&self, item: Box<T>) -> Result<(), Box<T>> {
+        let r = &*self.ring;
+        let b = r.bottom.load(SeqCst);
+        let t = r.top.load(SeqCst);
+        if b - t >= r.slots.len() as isize {
+            return Err(item);
+        }
+        r.slot(b).store(Box::into_raw(item), SeqCst);
+        r.bottom.store(b + 1, SeqCst);
+        Ok(())
+    }
+
+    /// Pop at the bottom (LIFO). `None` when empty (possibly because
+    /// stealers drained it).
+    pub fn pop(&self) -> Option<Box<T>> {
+        let r = &*self.ring;
+        let b = r.bottom.load(SeqCst) - 1;
+        r.bottom.store(b, SeqCst);
+        let t = r.top.load(SeqCst);
+        if t > b {
+            // Empty: undo the reservation.
+            r.bottom.store(b + 1, SeqCst);
+            return None;
+        }
+        let ptr = r.slot(b).load(SeqCst);
+        if t == b {
+            // Last element: race the stealers on `top`.
+            let won = r.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok();
+            r.bottom.store(b + 1, SeqCst);
+            return won.then(|| unsafe { Box::from_raw(ptr) });
+        }
+        Some(unsafe { Box::from_raw(ptr) })
+    }
+
+    /// Number of items currently in the deque (racy, advisory).
+    pub fn len(&self) -> usize {
+        let r = &*self.ring;
+        (r.bottom.load(SeqCst) - r.top.load(SeqCst)).max(0) as usize
+    }
+
+    /// Whether the deque is currently empty (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome of a [`Stealer::steal`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// Got the oldest item.
+    Taken(T),
+    /// Deque observed empty.
+    Empty,
+    /// Lost a race (another thief or the owner's last-element pop); worth
+    /// retrying on a different victim.
+    Retry,
+}
+
+impl<T> Stealer<T> {
+    /// Try to take the oldest item (FIFO end).
+    pub fn steal(&self) -> Steal<Box<T>> {
+        let r = &*self.ring;
+        let t = r.top.load(SeqCst);
+        let b = r.bottom.load(SeqCst);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read before claiming; never dereferenced unless the CAS wins
+        // (see module docs).
+        let ptr = r.slot(t).load(SeqCst);
+        if r.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+            Steal::Taken(unsafe { Box::from_raw(ptr) })
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Whether the deque is currently empty (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        let r = &*self.ring;
+        r.top.load(SeqCst) >= r.bottom.load(SeqCst)
+    }
+}
+
+impl<T> Drop for Worker<T> {
+    fn drop(&mut self) {
+        // The owner drains what is left; stealers only hold the ring
+        // alive, they never free slots on drop.
+        while self.pop().is_some() {}
+    }
+}
+
+// The ring shares raw pointers to `T` across threads; ownership transfer
+// is mediated by the top/bottom protocol above.
+unsafe impl<T: Send> Send for Worker<T> {}
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}

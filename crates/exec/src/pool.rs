@@ -1,0 +1,382 @@
+//! The work-stealing thread pool: the **real substrate**.
+//!
+//! `threads` OS workers each own one [`deque`](crate::deque) (LIFO local
+//! push/pop); spawns from outside the pool land in a shared FIFO injector.
+//! An idle worker tries, in order: its own deque, the injector, then
+//! stealing from victims chosen by a [`DetRng`] seeded from
+//! `seed ^ worker-index` — so the victim *sequence* each worker probes is
+//! reproducible per run seed even though which probe wins depends on
+//! wall-clock interleaving. With `threads == 1` there is no interleaving
+//! at all and execution order is fully deterministic.
+//!
+//! ## Parker / wake protocol
+//!
+//! Workers that find nothing park on a condvar. Lost wakeups are prevented
+//! with an epoch: a worker snapshots the epoch *before* scanning for work;
+//! every spawn bumps the epoch (under the same mutex) and wakes a sleeper;
+//! a worker only commits to sleeping if the epoch is still its snapshot —
+//! otherwise work may have arrived mid-scan and it rescans.
+//!
+//! ## Quiescence
+//!
+//! A `pending` counter is incremented at spawn and decremented after a job
+//! finishes, so `pending == 0` means "no job queued anywhere and none
+//! running" — jobs only enter through spawns, and a job's own spawns are
+//! counted before it decrements itself. [`Pool::run_until_idle`] blocks on
+//! exactly that condition.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use amt_simnet::{DetRng, SimTime, Substrate, SubstrateJob, SubstrateKind};
+
+use crate::deque::{self, Steal, Stealer, Worker};
+
+struct PoolSync {
+    /// Bumped on every spawn; parking workers re-check it (see module
+    /// docs).
+    epoch: u64,
+    /// Workers currently parked on `wake`.
+    idle: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    stealers: Vec<Stealer<SubstrateJob>>,
+    injector: Mutex<VecDeque<SubstrateJob>>,
+    sync: Mutex<PoolSync>,
+    wake: Condvar,
+    /// Signalled (under `sync`) when `pending` reaches zero.
+    quiet: Condvar,
+    pending: AtomicUsize,
+    start: Instant,
+    seed: u64,
+}
+
+impl PoolShared {
+    fn notify_spawn(&self) {
+        let mut s = self.sync.lock().expect("pool sync");
+        s.epoch += 1;
+        if s.idle > 0 {
+            self.wake.notify_one();
+        }
+    }
+
+    fn spawn_injected(&self, job: SubstrateJob) {
+        self.pending.fetch_add(1, SeqCst);
+        self.injector.lock().expect("pool injector").push_back(job);
+        self.notify_spawn();
+    }
+
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, SeqCst) == 1 {
+            let _s = self.sync.lock().expect("pool sync");
+            self.quiet.notify_all();
+        }
+    }
+}
+
+/// Capacity of each worker's bounded deque; overflow spills to the
+/// injector.
+const DEQUE_CAP: usize = 8192;
+
+/// A running work-stealing pool. Dropping it shuts the workers down
+/// (outstanding jobs are still completed first if you call
+/// [`Pool::run_until_idle`] before dropping).
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A cloneable spawn handle usable from outside the pool.
+#[derive(Clone)]
+pub struct PoolHandle {
+    shared: Arc<PoolShared>,
+}
+
+impl PoolHandle {
+    /// Enqueue `job` on the shared injector.
+    pub fn spawn(&self, job: SubstrateJob) {
+        self.shared.spawn_injected(job);
+    }
+}
+
+/// The per-worker execution context jobs run against: the real
+/// implementation of [`Substrate`].
+pub struct WorkerCtx<'a> {
+    shared: &'a Arc<PoolShared>,
+    local: &'a Worker<SubstrateJob>,
+    index: usize,
+}
+
+impl WorkerCtx<'_> {
+    /// How many workers the pool runs.
+    pub fn pool_threads(&self) -> usize {
+        self.shared.stealers.len()
+    }
+}
+
+impl Substrate for WorkerCtx<'_> {
+    fn kind(&self) -> SubstrateKind {
+        SubstrateKind::Real
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_ns(self.shared.start.elapsed().as_nanos() as u64)
+    }
+
+    fn worker(&self) -> Option<usize> {
+        Some(self.index)
+    }
+
+    fn defer(&mut self, job: SubstrateJob) {
+        self.shared.pending.fetch_add(1, SeqCst);
+        // LIFO local push; a full deque overflows to the injector.
+        if let Err(job) = self.local.push(Box::new(job)) {
+            self.shared
+                .injector
+                .lock()
+                .expect("pool injector")
+                .push_back(*job);
+        }
+        self.shared.notify_spawn();
+    }
+}
+
+impl Pool {
+    /// Start `threads` workers (`0` = one per available core). `seed`
+    /// derives each worker's steal-victim sequence.
+    pub fn new(threads: usize, seed: u64) -> Pool {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let mut workers = Vec::with_capacity(threads);
+        let mut stealers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (w, s) = deque::deque::<SubstrateJob>(DEQUE_CAP);
+            workers.push(w);
+            stealers.push(s);
+        }
+        let shared = Arc::new(PoolShared {
+            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            sync: Mutex::new(PoolSync {
+                epoch: 0,
+                idle: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            quiet: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            start: Instant::now(),
+            seed,
+        });
+        let threads = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("amt-exec-{index}"))
+                    .spawn(move || worker_loop(index, local, shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.stealers.len()
+    }
+
+    /// A cloneable external spawn handle.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Enqueue `job` from outside the pool.
+    pub fn spawn(&self, job: SubstrateJob) {
+        self.shared.spawn_injected(job);
+    }
+
+    /// Wall-clock time since the pool started (the real substrate's
+    /// [`Substrate::now`] anchor).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ns(self.shared.start.elapsed().as_nanos() as u64)
+    }
+
+    /// Block until every spawned job (including jobs they spawned) has
+    /// finished.
+    pub fn run_until_idle(&self) {
+        let mut s = self.shared.sync.lock().expect("pool sync");
+        while self.shared.pending.load(SeqCst) > 0 {
+            s = self.shared.quiet.wait(s).expect("pool quiet wait");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.shared.sync.lock().expect("pool sync");
+            s.shutdown = true;
+            self.shared.wake.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, local: Worker<SubstrateJob>, shared: Arc<PoolShared>) {
+    let mut rng = DetRng::seed_from_u64(shared.seed ^ (index as u64).wrapping_mul(0x9e3779b9));
+    let n = shared.stealers.len();
+    loop {
+        // Snapshot the epoch before scanning so a spawn racing the scan
+        // forces a rescan instead of a lost wakeup.
+        let epoch = shared.sync.lock().expect("pool sync").epoch;
+        if let Some(job) = find_job(index, &local, &shared, &mut rng, n) {
+            let mut ctx = WorkerCtx {
+                shared: &shared,
+                local: &local,
+                index,
+            };
+            job(&mut ctx);
+            shared.finish_one();
+            continue;
+        }
+        let mut s = shared.sync.lock().expect("pool sync");
+        if s.shutdown {
+            return;
+        }
+        if s.epoch != epoch {
+            continue; // work arrived mid-scan; rescan
+        }
+        s.idle += 1;
+        // Park until any spawn bumps the epoch (or shutdown).
+        while s.epoch == epoch && !s.shutdown {
+            s = shared.wake.wait(s).expect("pool wake wait");
+        }
+        s.idle -= 1;
+    }
+}
+
+fn find_job(
+    index: usize,
+    local: &Worker<SubstrateJob>,
+    shared: &PoolShared,
+    rng: &mut DetRng,
+    n: usize,
+) -> Option<SubstrateJob> {
+    if let Some(job) = local.pop() {
+        return Some(*job);
+    }
+    if let Some(job) = shared.injector.lock().expect("pool injector").pop_front() {
+        return Some(job);
+    }
+    if n > 1 {
+        // Randomized victim probing: up to 4 sweeps over the other
+        // workers, DetRng-ordered; `Retry` results keep a sweep alive.
+        for _ in 0..4 * (n - 1) {
+            let victim = {
+                let v = rng.gen_usize(0..n - 1);
+                if v >= index {
+                    v + 1
+                } else {
+                    v
+                }
+            };
+            match shared.stealers[victim].steal() {
+                Steal::Taken(job) => return Some(*job),
+                Steal::Empty | Steal::Retry => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_spawned_jobs_to_quiescence() {
+        let pool = Pool::new(2, 7);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let hits = hits.clone();
+            pool.spawn(Box::new(move |sub| {
+                assert_eq!(sub.kind(), SubstrateKind::Real);
+                assert!(sub.worker().is_some());
+                // Fan out one nested job from inside the pool.
+                let hits2 = hits.clone();
+                sub.defer(Box::new(move |_| {
+                    hits2.fetch_add(1, SeqCst);
+                }));
+                hits.fetch_add(1, SeqCst);
+            }));
+        }
+        pool.run_until_idle();
+        assert_eq!(hits.load(SeqCst), 200);
+    }
+
+    #[test]
+    fn single_thread_pool_is_deterministic() {
+        let order = |seed| {
+            let pool = Pool::new(1, seed);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..50u64 {
+                let log = log.clone();
+                pool.spawn(Box::new(move |sub| {
+                    log.lock().unwrap().push(i);
+                    if i % 10 == 0 {
+                        let log = log.clone();
+                        sub.defer(Box::new(move |_| {
+                            log.lock().unwrap().push(1000 + i);
+                        }));
+                    }
+                }));
+            }
+            pool.run_until_idle();
+            Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+        };
+        let a = order(1);
+        assert_eq!(a, order(2), "thread count 1 ignores the steal seed");
+        assert_eq!(a.len(), 55);
+    }
+
+    #[test]
+    fn run_until_idle_with_no_work_returns() {
+        let pool = Pool::new(3, 0);
+        pool.run_until_idle();
+        assert_eq!(pool.threads(), 3);
+        assert!(pool.now() >= SimTime::ZERO);
+    }
+
+    #[test]
+    fn external_handle_spawns_after_idle_phase() {
+        let pool = Pool::new(2, 3);
+        let handle = pool.handle();
+        pool.run_until_idle();
+        // Workers are parked now; the handle must wake them.
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..8 {
+            let hits = hits.clone();
+            handle.spawn(Box::new(move |_| {
+                hits.fetch_add(1, SeqCst);
+            }));
+        }
+        pool.run_until_idle();
+        assert_eq!(hits.load(SeqCst), 8);
+    }
+}

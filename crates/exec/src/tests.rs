@@ -1,0 +1,190 @@
+//! Deque stress suite: a multi-thread push/pop/steal hammer with an
+//! order-independent checksum oracle, and a single-thread lockstep
+//! property test (DetRng-driven) against a `VecDeque` reference model —
+//! the same style as the matcher/scheduler lockstep suites of earlier
+//! PRs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+use amt_simnet::DetRng;
+
+use crate::deque::{deque, Steal};
+
+/// Order-independent accumulator: sum, xor and count identify a multiset
+/// of u64s with overwhelming probability for test-sized inputs.
+#[derive(Default)]
+struct Checksum {
+    sum: u64,
+    xor: u64,
+    count: u64,
+}
+
+impl Checksum {
+    fn add(&mut self, v: u64) {
+        self.sum = self.sum.wrapping_add(v);
+        self.xor ^= v;
+        self.count += 1;
+    }
+}
+
+/// The hammer: one owner pushes `total` distinct values while popping
+/// intermittently; `thieves` stealer threads drain concurrently. Every
+/// value must come out exactly once, across owner pops, steals, and the
+/// overflow spill — verified by the order-independent checksum.
+#[test]
+fn hammer_push_pop_steal_conserves_items() {
+    let thieves = 4;
+    let total: u64 = 200_000;
+    let (worker, stealer) = deque::<u64>(256); // small cap: exercise overflow
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen_sum = Arc::new(AtomicU64::new(0));
+    let stolen_xor = Arc::new(AtomicU64::new(0));
+    let stolen_count = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for t in 0..thieves {
+            let stealer = stealer.clone();
+            let done = done.clone();
+            let (ssum, sxor, scount) =
+                (stolen_sum.clone(), stolen_xor.clone(), stolen_count.clone());
+            s.spawn(move || {
+                let mut local = Checksum::default();
+                let mut rng = DetRng::seed_from_u64(0xface ^ t as u64);
+                loop {
+                    match stealer.steal() {
+                        Steal::Taken(v) => local.add(*v),
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(SeqCst) && stealer.is_empty() {
+                                break;
+                            }
+                            if rng.gen_bool(0.01) {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                ssum.fetch_add(local.sum, SeqCst);
+                sxor.fetch_xor(local.xor, SeqCst);
+                scount.fetch_add(local.count, SeqCst);
+            });
+        }
+
+        // Owner: push all values; under overflow, drain a few locally.
+        let mut owner_cs = Checksum::default();
+        let mut overflow: Vec<u64> = Vec::new();
+        let mut rng = DetRng::seed_from_u64(0xbeef);
+        for v in 1..=total {
+            let mut item = Box::new(v);
+            loop {
+                match worker.push(item) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        // Full: model the injector spill, then relieve
+                        // pressure by popping a little.
+                        overflow.push(*back);
+                        for _ in 0..8 {
+                            if let Some(p) = worker.pop() {
+                                owner_cs.add(*p);
+                            }
+                        }
+                        item = Box::new(overflow.pop().unwrap());
+                    }
+                }
+            }
+            if rng.gen_bool(0.2) {
+                if let Some(p) = worker.pop() {
+                    owner_cs.add(*p);
+                }
+            }
+        }
+        while let Some(p) = worker.pop() {
+            owner_cs.add(*p);
+        }
+        done.store(true, SeqCst);
+        // Merge owner side into the shared accumulators.
+        stolen_sum.fetch_add(owner_cs.sum, SeqCst);
+        stolen_xor.fetch_xor(owner_cs.xor, SeqCst);
+        stolen_count.fetch_add(owner_cs.count, SeqCst);
+        for v in overflow {
+            stolen_sum.fetch_add(v, SeqCst);
+            stolen_xor.fetch_xor(v, SeqCst);
+            stolen_count.fetch_add(1, SeqCst);
+        }
+    });
+
+    // The owner drained everything it could after `done`; anything left
+    // was stolen. Totals must match the pushed multiset exactly.
+    let expect_sum: u64 = (1..=total).fold(0u64, |a, v| a.wrapping_add(v));
+    let expect_xor: u64 = (1..=total).fold(0u64, |a, v| a ^ v);
+    assert_eq!(stolen_count.load(SeqCst), total, "every item exactly once");
+    assert_eq!(stolen_sum.load(SeqCst), expect_sum, "sum checksum");
+    assert_eq!(stolen_xor.load(SeqCst), expect_xor, "xor checksum");
+}
+
+/// Single-thread lockstep property test: drive the deque and a `VecDeque`
+/// reference model with the same DetRng op stream; owner ops act on the
+/// back, steals on the front. Every observable result must match, step
+/// for step, across many seeds.
+#[test]
+fn lockstep_against_vecdeque_model() {
+    for seed in 0..32u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let (worker, stealer) = deque::<u64>(64);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for step in 0..4_000 {
+            match rng.gen_usize(0..3) {
+                0 => {
+                    next += 1;
+                    match worker.push(Box::new(next)) {
+                        Ok(()) => model.push_back(next),
+                        Err(back) => {
+                            assert_eq!(*back, next, "rejected item returned intact");
+                            assert_eq!(model.len(), 64, "full exactly at capacity");
+                        }
+                    }
+                }
+                1 => {
+                    let got = worker.pop().map(|b| *b);
+                    assert_eq!(got, model.pop_back(), "pop (seed {seed}, step {step})");
+                }
+                _ => {
+                    let got = match stealer.steal() {
+                        Steal::Taken(v) => Some(*v),
+                        Steal::Empty => None,
+                        Steal::Retry => panic!("single-thread steal cannot race"),
+                    };
+                    assert_eq!(got, model.pop_front(), "steal (seed {seed}, step {step})");
+                }
+            }
+            assert_eq!(worker.len(), model.len(), "len (seed {seed}, step {step})");
+            assert_eq!(worker.is_empty(), model.is_empty());
+            assert_eq!(stealer.is_empty(), model.is_empty());
+        }
+        // Drain and compare the final contents in steal (FIFO) order.
+        while let Steal::Taken(v) = stealer.steal() {
+            assert_eq!(Some(*v), model.pop_front());
+        }
+        assert!(
+            model.is_empty(),
+            "model drained with the deque (seed {seed})"
+        );
+    }
+}
+
+/// The deque must free un-drained items on drop (no leaks under
+/// Miri/ASan-style scrutiny, and no double-free when stealers outlive the
+/// owner).
+#[test]
+fn drop_frees_remaining_items() {
+    let (worker, stealer) = deque::<Vec<u8>>(32);
+    for i in 0..20u8 {
+        worker.push(Box::new(vec![i; 64])).unwrap();
+    }
+    drop(worker);
+    // The owner drained on drop; late stealers see empty, not garbage.
+    assert!(matches!(stealer.steal(), Steal::Empty));
+}

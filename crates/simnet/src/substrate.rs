@@ -1,0 +1,133 @@
+//! The execution **substrate seam**: the small set of services the runtime
+//! layers above need from "whatever is executing them" — a time source, a
+//! way to defer work, and a worker identity — abstracted so the *same*
+//! scheduler/graph/comm stack can run on two very different engines:
+//!
+//! * the **virtual substrate** — the discrete-event simulator [`Sim`]
+//!   itself (see [`VirtualSubstrate`]): time is the virtual clock,
+//!   deferral is `schedule_now`, and there is no OS-thread worker
+//!   identity. This path is single-threaded and byte-for-byte
+//!   deterministic; nothing about it changed when the seam was
+//!   introduced.
+//! * the **real substrate** — the `amt-exec` work-stealing thread pool:
+//!   time is a monotonic wall clock anchored at pool start, deferral
+//!   pushes a job onto the calling worker's lock-free deque (or the
+//!   global injector from outside the pool), and `worker()` names the OS
+//!   worker thread running the closure.
+//!
+//! Code written against `&mut dyn Substrate` runs unmodified on either.
+//! Deferred closures must be `Send` because the real substrate may steal
+//! them onto another thread; the virtual substrate accepts the same
+//! closures (a `Send` closure is trivially schedulable on the
+//! single-threaded simulator). Virtual-path internals that capture
+//! `Rc`-based state keep calling [`Sim::schedule_now`] directly — the seam
+//! adds a capability, it does not tax the existing hot path.
+
+use crate::engine::Sim;
+use crate::time::SimTime;
+
+/// Which engine is underneath a [`Substrate`] handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstrateKind {
+    /// The discrete-event simulator: virtual time, single-threaded.
+    Virtual,
+    /// The `amt-exec` thread pool: wall-clock time, real OS threads.
+    Real,
+}
+
+/// A unit of deferred work, executable on either substrate.
+///
+/// `Send` because the real substrate's work-stealing may move it across
+/// threads between the `defer` call and execution.
+pub type SubstrateJob = Box<dyn FnOnce(&mut dyn Substrate) + Send + 'static>;
+
+/// The services the runtime needs from its execution engine. See the
+/// module docs for the two implementations.
+pub trait Substrate {
+    /// Which engine this is (virtual clock vs wall clock).
+    fn kind(&self) -> SubstrateKind;
+
+    /// Current time: the virtual clock on the simulator, elapsed
+    /// wall-clock time since pool start on the real pool. Both are
+    /// monotonic within one run and start near zero, so latency
+    /// *differences* computed over them are directly comparable.
+    fn now(&self) -> SimTime;
+
+    /// Identity of the executing worker thread, if any. `None` on the
+    /// virtual substrate (all events run on the one simulator thread) and
+    /// for calls from outside the pool on the real substrate.
+    fn worker(&self) -> Option<usize>;
+
+    /// Defer `job` for later execution: "as soon as possible, after the
+    /// current event". On the simulator this is a zero-delay event; on the
+    /// thread pool it is a spawn onto the local worker deque (LIFO, so
+    /// freshly-released work runs hot) from which idle workers may steal.
+    fn defer(&mut self, job: SubstrateJob);
+}
+
+/// The DES implementation of the seam **is** [`Sim`]: scheduling a
+/// zero-delay event is the simulator's native "defer". This alias names
+/// that role at call sites that talk about substrates rather than
+/// simulators.
+pub type VirtualSubstrate = Sim;
+
+impl Substrate for Sim {
+    fn kind(&self) -> SubstrateKind {
+        SubstrateKind::Virtual
+    }
+
+    fn now(&self) -> SimTime {
+        Sim::now(self)
+    }
+
+    fn worker(&self) -> Option<usize> {
+        None
+    }
+
+    fn defer(&mut self, job: SubstrateJob) {
+        self.schedule_now(move |sim| job(sim));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn sim_implements_the_virtual_substrate() {
+        let mut sim = Sim::new();
+        assert_eq!(Substrate::kind(&sim), SubstrateKind::Virtual);
+        assert_eq!(Substrate::worker(&sim), None);
+        let ran = Rc::new(Cell::new(false));
+        {
+            // Deferred jobs nest: a job may defer another.
+            let ran = ran.clone();
+            sim.schedule_now(move |sim| {
+                sim.defer(Box::new(move |sub| {
+                    assert_eq!(sub.kind(), SubstrateKind::Virtual);
+                    assert_eq!(sub.now(), Substrate::now(sub));
+                }));
+                ran.set(true);
+            });
+        }
+        sim.run();
+        assert!(ran.get(), "scheduled closure ran");
+    }
+
+    #[test]
+    fn virtual_defer_preserves_time() {
+        let mut sim = Sim::new();
+        sim.schedule_now(|sim| {
+            let before = Substrate::now(sim);
+            sim.defer(Box::new(move |sub| {
+                // Zero-delay deferral: virtual time does not advance.
+                assert_eq!(sub.now(), before);
+                assert_eq!(sub.kind(), SubstrateKind::Virtual);
+                assert!(sub.worker().is_none());
+            }));
+        });
+        sim.run();
+    }
+}

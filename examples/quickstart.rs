@@ -9,8 +9,13 @@
 //! payloads, a "shuffle" moves them across nodes through the ACTIVATE /
 //! GET DATA / put protocol, and a "reduce" on node 0 folds everything.
 //! The distributed result is checked against the sequential oracle.
+//!
+//! After the simulated backends, the same graph runs **for real** on the
+//! work-stealing thread pool (`--threads N`; `0`/default = one per core,
+//! `1` = deterministic) — same protocol over the in-process shared-memory
+//! transport, wall-clock time, and the identical oracle-checked result.
 
-use amtlc::bench::ObsSink;
+use amtlc::bench::{threads_arg, ObsSink};
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, GraphBuilder, TaskDesc};
 use bytes::Bytes;
@@ -77,7 +82,8 @@ fn build_graph(nodes: usize) -> (amtlc::core::TaskGraph, amtlc::core::VersionId)
 }
 
 fn main() {
-    ObsSink::install(&std::env::args().skip(1).collect::<Vec<_>>());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ObsSink::install(&args);
     let nodes = 4;
     println!("amtlc quickstart: map-shuffle-reduce on {nodes} simulated nodes\n");
 
@@ -115,4 +121,29 @@ fn main() {
             &result[..]
         );
     }
+
+    // Real execution: same graph, real OS threads, wall-clock time.
+    let threads = threads_arg(&args);
+    let (graph, out) = build_graph(nodes);
+    let oracle = graph.sequential_oracle()[&out].clone();
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes,
+        workers_per_node: 4,
+        ..Default::default()
+    });
+    let report = cluster.execute_real(graph, threads);
+    let result = cluster.data(out).expect("reduce output data");
+    assert_eq!(result, oracle, "real result must match the oracle");
+    println!("real execution ({threads} thread(s)):");
+    println!("  tasks executed   : {}", report.tasks_executed);
+    println!("  wall-clock span  : {}", report.makespan);
+    println!(
+        "  remote flows     : {} ({} bytes moved)",
+        report.e2e_latency_us.count(),
+        report.bytes_transferred()
+    );
+    println!(
+        "  result           : {:?}  (matches sequential oracle)",
+        &result[..]
+    );
 }

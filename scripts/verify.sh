@@ -91,6 +91,61 @@ print(f"BENCH_sched.json valid; allocs/task {dense:.2f} vs ref {ref:.2f}, "
       f"quick window ratio {ratio:.1f}x")
 PY
 
+echo "== real substrate: quickstart + TLR smoke on 2 threads (wall-clock gated) =="
+# The quickstart's final section and the cross-mode oracle both run
+# Cluster::execute_real; a protocol stall would hang, so cap wall time.
+# Capture to a file, then grep: `grep -q` closing the pipe early would
+# SIGPIPE the example mid-print.
+timeout 120 cargo run --release --quiet --example quickstart -- --threads 2 \
+    > "$TMP_DIR/quickstart_real.txt"
+grep -q "real execution (2 thread(s))" "$TMP_DIR/quickstart_real.txt"
+timeout 120 cargo test --release --quiet --test integration \
+    execution_modes_agree_byte_for_byte_on_numeric_cholesky -- --exact > /dev/null
+echo "real-exec smoke passed (quickstart --threads 2; cross-mode TLR oracle)"
+
+echo "== real substrate: real_exec --quick + BENCH_exec.json schema =="
+cargo bench --quiet -p amt-bench --bench real_exec -- \
+    --quick --out "$TMP_DIR/BENCH_exec.json"
+python3 - "$TMP_DIR/BENCH_exec.json" BENCH_exec.json <<'PY'
+import json, sys
+for path, quick in ((sys.argv[1], True), (sys.argv[2], False)):
+    d = json.load(open(path))
+    assert d["schema"] == "amtlc-bench-exec-v1", (path, d.get("schema"))
+    assert d["quick"] is quick, (path, "quick flag")
+    assert d["threads_available"] >= 1
+    for scen in ("fine_grained_dag", "tlr_cholesky"):
+        s = d[scen]
+        assert set(s["per_thread"]) == {"1", "2", "4"}, (path, scen)
+        for p in s["per_thread"].values():
+            assert p["tasks_per_sec"] > 0 and p["wall_ms"] > 0, (path, scen)
+        assert s["scaling_1_to_2"] > 0, (path, scen)
+    assert d["tlr_cholesky"]["nt"] == (16 if quick else 48), path
+    classes = {c["class"] for c in d["calibration"]}
+    assert classes == {"gemm", "potrf", "syrk", "trsm"}, (path, classes)
+    for c in d["calibration"]:
+        assert c["sim_us"] > 0 and c["real_us"] > 0 and c["count"] > 0, c
+# Multicore boxes must show real 1 -> 2 scaling; single-core boxes
+# honestly can't (the committed run records whatever this box measured).
+fresh = json.load(open(sys.argv[1]))
+if fresh["threads_available"] >= 2:
+    s = fresh["fine_grained_dag"]["scaling_1_to_2"]
+    assert s >= 1.3, f"multicore box but 1->2 thread scaling only {s}"
+print("BENCH_exec.json valid (fresh quick + committed full)")
+PY
+
+echo "== real substrate: deque stress under TSan (best-effort, nightly only) =="
+if rustup run nightly rustc --version > /dev/null 2>&1 \
+   && rustup component list --toolchain nightly 2> /dev/null | grep -q "rust-src (installed)"; then
+    RUSTFLAGS="-Zsanitizer=thread" timeout 300 \
+        cargo +nightly test -p amt-exec --release -Zbuild-std \
+        --target "$(rustc -vV | sed -n 's/^host: //p')" -- hammer \
+        && echo "deque stress passed under ThreadSanitizer" \
+        || { echo "TSan run failed"; exit 1; }
+else
+    timeout 300 cargo test --release --quiet -p amt-exec -- hammer > /dev/null
+    echo "nightly+rust-src unavailable; deque stress ran in plain release mode"
+fi
+
 echo "== golden fig4 point: virtual-time byte-identity across backends and --jobs =="
 for jobs in 1 3; do
     cargo bench --quiet -p amt-bench --bench fig4_tile_scaling -- --golden --jobs "$jobs" \

@@ -8,6 +8,7 @@
 pub use amt_bench as bench;
 pub use amt_comm as comm;
 pub use amt_core as core;
+pub use amt_exec as exec;
 pub use amt_lci as lci;
 pub use amt_linalg as linalg;
 pub use amt_minimpi as minimpi;

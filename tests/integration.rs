@@ -306,3 +306,74 @@ fn cost_only_and_numeric_have_identical_traffic_shape() {
         );
     }
 }
+
+/// Execution mode must not change numerics either: the same TLR Cholesky
+/// produces bitwise-identical factor tiles (and equal task counts) under
+/// full unroll (`execute`), windowed discovery (`execute_windowed`), and
+/// **real** work-stealing execution (`execute_real`) at every thread count
+/// 1..=4 — kernels are pure functions of their fixed input versions, so not
+/// even floating-point summation order can vary.
+#[test]
+fn execution_modes_agree_byte_for_byte_on_numeric_cholesky() {
+    use amtlc::tlr::TlrCholeskySource;
+
+    let nodes = 2;
+    let collect = |chol: &TlrCholesky, cluster: &Cluster| -> Vec<(String, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (k, v) in chol.diag_out.iter().enumerate() {
+            out.push((
+                format!("diag[{k}]"),
+                cluster.data(*v).expect("diag").to_vec(),
+            ));
+        }
+        let mut lr: Vec<_> = chol.lr_out.iter().collect();
+        lr.sort_by_key(|(ij, _)| **ij);
+        for (&(i, j), &(uv, vv)) in lr {
+            out.push((format!("u[{i},{j}]"), cluster.data(uv).expect("u").to_vec()));
+            out.push((format!("v[{i},{j}]"), cluster.data(vv).expect("v").to_vec()));
+        }
+        out
+    };
+    let cfg = || ClusterConfig {
+        nodes,
+        workers_per_node: 4,
+        mode: ExecMode::Numeric,
+        ..Default::default()
+    };
+
+    // Reference: full unroll on the virtual substrate.
+    let problem = TlrProblem::new(256, 64);
+    let (chol, graph) = TlrCholesky::build_numeric(problem, nodes);
+    let mut full = Cluster::new(cfg());
+    let full_report = full.execute(graph);
+    assert!(full_report.complete());
+    let reference = collect(&chol, &full);
+    assert!(!reference.is_empty());
+
+    // Windowed discovery produces the same version numbering and bytes.
+    let mut win = Cluster::new(cfg());
+    let win_report = win.execute_windowed(
+        Box::new(TlrCholeskySource::numeric(TlrProblem::new(256, 64), nodes)),
+        64,
+    );
+    assert!(win_report.complete());
+    assert_eq!(win_report.tasks_total, full_report.tasks_total);
+    assert_eq!(collect(&chol, &win), reference, "windowed diverged");
+
+    // Real execution at 1..=4 worker threads.
+    for threads in 1..=4usize {
+        let (chol_r, graph_r) = TlrCholesky::build_numeric(TlrProblem::new(256, 64), nodes);
+        let mut real = Cluster::new(cfg());
+        let report = real.execute_real(graph_r, threads);
+        assert!(report.complete(), "threads={threads}");
+        assert_eq!(
+            report.tasks_total, full_report.tasks_total,
+            "threads={threads}"
+        );
+        assert_eq!(
+            collect(&chol_r, &real),
+            reference,
+            "real execution at {threads} thread(s) diverged bitwise"
+        );
+    }
+}
