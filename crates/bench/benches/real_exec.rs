@@ -23,10 +23,17 @@
 //! EXPERIMENTS.md). Flags: `--quick`, `--threads N` (cap the sweep),
 //! `--out <path>`.
 
+use amt_bench::alloc_count::{AllocSnapshot, CountingAlloc};
 use amt_bench::harness_args;
 use amt_core::{Cluster, ClusterConfig, ExecMode, GraphBuilder, TaskDesc};
 use amt_tlr::{TlrCholesky, TlrProblem};
 use bytes::Bytes;
+
+// Counting allocator: the obs_overhead section reports allocations per
+// task with observability off vs on, and verify.sh holds the "off" column
+// to the committed bounds (tracing must be pay-for-what-you-use).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// One measured execution point.
 struct Point {
@@ -94,6 +101,35 @@ fn run_fine_grained(levels: u64, width: u64, threads: usize) -> Point {
         tasks: report.tasks_executed,
         wall_ms: wall_s * 1e3,
         tasks_per_sec: report.tasks_executed as f64 / wall_s,
+    }
+}
+
+/// One obs_overhead measurement: the fine-grained DAG with observability
+/// (trace + metrics) off or on, reporting wall time and allocations/task.
+struct ObsPoint {
+    tasks: u64,
+    wall_ms: f64,
+    allocs_per_task: f64,
+}
+
+fn run_fine_grained_obs(levels: u64, width: u64, threads: usize, obs: bool) -> ObsPoint {
+    let graph = fine_grained_graph(levels, width);
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 1,
+        workers_per_node: 1,
+        mode: ExecMode::Numeric,
+        trace: obs,
+        metrics: obs,
+        ..Default::default()
+    });
+    let before = AllocSnapshot::now();
+    let report = cluster.execute_real(graph, threads);
+    let spent = before.since();
+    assert!(report.complete());
+    ObsPoint {
+        tasks: report.tasks_executed,
+        wall_ms: report.makespan.as_secs_f64() * 1e3,
+        allocs_per_task: spent.allocs as f64 / report.tasks_executed as f64,
     }
 }
 
@@ -252,6 +288,21 @@ fn main() {
         tlr.push(p);
     }
 
+    // Observability overhead: the same fine-grained DAG with tracing +
+    // metrics off vs on. The "off" row must match the plain sweep within
+    // noise — observability is strictly pay-for-what-you-use — and its
+    // allocations/task are deterministic enough to bound in verify.sh.
+    let (olevels, owidth) = if quick { (40, 64) } else { (80, 128) };
+    let obs_threads = 2usize;
+    println!("== observability overhead: {olevels}x{owidth} DAG, {obs_threads} threads ==");
+    run_fine_grained_obs(olevels, owidth, obs_threads, false); // warm-up
+    let obs_off = run_fine_grained_obs(olevels, owidth, obs_threads, false);
+    let obs_on = run_fine_grained_obs(olevels, owidth, obs_threads, true);
+    println!(
+        "obs off: {:.2} ms, {:.1} allocs/task   obs on: {:.2} ms, {:.1} allocs/task",
+        obs_off.wall_ms, obs_off.allocs_per_task, obs_on.wall_ms, obs_on.allocs_per_task
+    );
+
     let (cn, cts) = if quick { (512, 32) } else { (1024, 32) };
     println!("== cost-model calibration: simulated vs measured mean task cost ==");
     let cal = calibration(cn, cts, 4);
@@ -278,6 +329,10 @@ fn main() {
         "  \"tlr_cholesky\": {{\"n\": {n}, \"tile\": {ts}, \"nt\": {nt}, \"nodes\": {nodes}, \"per_thread\": {}, \"scaling_1_to_2\": {:.3}}},\n",
         json_points(&tlr),
         scaling_1_to_2(&tlr)
+    ));
+    json.push_str(&format!(
+        "  \"obs_overhead\": {{\"levels\": {olevels}, \"width\": {owidth}, \"threads\": {obs_threads}, \"tasks\": {}, \"off\": {{\"wall_ms\": {:.3}, \"allocs_per_task\": {:.1}}}, \"on\": {{\"wall_ms\": {:.3}, \"allocs_per_task\": {:.1}}}}},\n",
+        obs_off.tasks, obs_off.wall_ms, obs_off.allocs_per_task, obs_on.wall_ms, obs_on.allocs_per_task
     ));
     json.push_str("  \"calibration\": [\n");
     for (i, (name, count, sim_us, real_us)) in cal.iter().enumerate() {

@@ -11,6 +11,16 @@
 //! the end of a run so real-mode `RunReport`s carry the same engine
 //! counter vocabulary as virtual ones.
 //!
+//! With metrics enabled ([`ShmWorld::new_observed`]) each message also
+//! carries its wall-clock send instant, and the world records per-stage
+//! lifecycle histograms into a per-node [`MetricsRegistry`] under the
+//! *same names and buckets* as the simulated backends (`am.queue_ns`,
+//! `am.inject_ns`, `am.wire_ns`, `am.deliver_ns`, `am.callback_ns`, and
+//! the `put.*` equivalents). Senders push/pop in one step here, so the
+//! queue and inject stages are structurally zero and the deliver stage is
+//! folded into the wire stage (pop == delivery); recording the zeros
+//! keeps the histogram *counts* comparable across substrates.
+//!
 //! This transport deliberately has no flow control or aggregation: those
 //! are properties of the *simulated* engines under study. What it
 //! preserves is the protocol shape (ACTIVATE / GET DATA / put) and the
@@ -22,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
 use amt_netmodel::NodeId;
+use amt_simnet::MetricsRegistry;
 use bytes::{Bytes, Frames, SharedBufPool};
 
 use crate::stats::EngineStats;
@@ -37,6 +48,8 @@ pub enum ShmMsg {
         tag: u64,
         /// Payload frames, submission boundaries preserved.
         frames: Frames,
+        /// Wall-clock send instant (ns since pool start; 0 unobserved).
+        sent_at_ns: u64,
     },
     /// A one-sided put landing at this node.
     Put {
@@ -52,6 +65,8 @@ pub enum ShmMsg {
         size: usize,
         /// Callback descriptor echoed to the target's completion handler.
         cb: Bytes,
+        /// Wall-clock send instant (ns since pool start; 0 unobserved).
+        sent_at_ns: u64,
     },
 }
 
@@ -71,14 +86,17 @@ pub struct ShmNode {
     inbox: Mutex<VecDeque<ShmMsg>>,
     pool: SharedBufPool,
     counters: ShmCounters,
+    /// Per-stage lifecycle histograms (empty when metrics are off).
+    metrics: Mutex<MetricsRegistry>,
 }
 
 impl ShmNode {
-    fn new(pool_bufs: usize) -> ShmNode {
+    fn new(pool_bufs: usize, metrics: bool) -> ShmNode {
         ShmNode {
             inbox: Mutex::new(VecDeque::new()),
             pool: SharedBufPool::new(pool_bufs),
             counters: ShmCounters::default(),
+            metrics: Mutex::new(MetricsRegistry::new(metrics)),
         }
     }
 
@@ -112,6 +130,12 @@ impl ShmNode {
     pub fn pool_reuse(&self) -> (u64, u64) {
         self.pool.reuse_stats()
     }
+
+    /// Clone of this node's lifecycle-stage registry (empty when the
+    /// world was built without metrics).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.lock().expect("shm metrics").clone()
+    }
 }
 
 /// The world: one [`ShmNode`] per simulated node, shareable across the
@@ -123,11 +147,41 @@ pub struct ShmWorld {
 
 impl ShmWorld {
     /// Create `nodes` endpoints, each pooling at most `pool_bufs` free
-    /// receive buffers.
+    /// receive buffers. Metrics are off (zero recording cost).
     pub fn new(nodes: usize, pool_bufs: usize) -> ShmWorld {
+        ShmWorld::new_observed(nodes, pool_bufs, false)
+    }
+
+    /// [`ShmWorld::new`] with per-stage lifecycle metrics recording
+    /// toggled by `metrics`.
+    pub fn new_observed(nodes: usize, pool_bufs: usize, metrics: bool) -> ShmWorld {
         ShmWorld {
-            nodes: Arc::new((0..nodes).map(|_| ShmNode::new(pool_bufs)).collect()),
+            nodes: Arc::new(
+                (0..nodes)
+                    .map(|_| ShmNode::new(pool_bufs, metrics))
+                    .collect(),
+            ),
         }
+    }
+
+    /// Record a lifecycle-stage duration into `node`'s registry (no-op
+    /// when metrics are off). Handlers above the transport use this for
+    /// the `*.callback_ns` stages the transport cannot see.
+    pub fn record_stage(&self, node: NodeId, name: &str, ns: u64) {
+        self.nodes[node]
+            .metrics
+            .lock()
+            .expect("shm metrics")
+            .record(name, ns);
+    }
+
+    /// Every node's stage registry merged into one (cross-node report).
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        let mut all = MetricsRegistry::new(true);
+        for n in self.nodes.iter() {
+            all.merge(&n.metrics.lock().expect("shm metrics"));
+        }
+        all
     }
 
     /// Number of node endpoints.
@@ -145,19 +199,37 @@ impl ShmWorld {
         &self.nodes[n]
     }
 
-    /// Send an active message from `src` to `dst`. The caller is
-    /// responsible for scheduling a progress job at `dst` afterwards.
-    pub fn send_am(&self, src: NodeId, dst: NodeId, tag: u64, frames: Frames) {
+    /// Send an active message from `src` to `dst` at wall-clock instant
+    /// `now_ns` (ns since pool start). The caller is responsible for
+    /// scheduling a progress job at `dst` afterwards.
+    pub fn send_am(&self, src: NodeId, dst: NodeId, tag: u64, frames: Frames, now_ns: u64) {
         self.nodes[src].counters.am_sent.fetch_add(1, Relaxed);
+        {
+            let mut m = self.nodes[src].metrics.lock().expect("shm metrics");
+            if m.enabled() {
+                // Push == send on this transport: no command queue, no
+                // injection delay. Zero-valued samples keep stage counts
+                // aligned with the virtual backends.
+                m.record("am.queue_ns", 0);
+                m.record("am.inject_ns", 0);
+            }
+        }
         self.nodes[dst]
             .inbox
             .lock()
             .expect("shm inbox")
-            .push_back(ShmMsg::Am { src, tag, frames });
+            .push_back(ShmMsg::Am {
+                src,
+                tag,
+                frames,
+                sent_at_ns: now_ns,
+            });
     }
 
     /// Issue a one-sided put of `size` declared bytes (payload optional)
-    /// from `src` landing at `dst`, with callback descriptor `cb`.
+    /// from `src` landing at `dst` at wall-clock instant `now_ns`, with
+    /// callback descriptor `cb`.
+    #[allow(clippy::too_many_arguments)]
     pub fn put(
         &self,
         src: NodeId,
@@ -166,8 +238,16 @@ impl ShmWorld {
         data: Option<Bytes>,
         size: usize,
         cb: Bytes,
+        now_ns: u64,
     ) {
         self.nodes[src].counters.puts_started.fetch_add(1, Relaxed);
+        {
+            let mut m = self.nodes[src].metrics.lock().expect("shm metrics");
+            if m.enabled() {
+                m.record("put.queue_ns", 0);
+                m.record("put.inject_ns", 0);
+            }
+        }
         self.nodes[dst]
             .inbox
             .lock()
@@ -178,18 +258,36 @@ impl ShmWorld {
                 data,
                 size,
                 cb,
+                sent_at_ns: now_ns,
             });
     }
 
     /// Record delivery bookkeeping for a drained message (the caller
     /// invokes this once per popped [`ShmMsg`], after handling it).
-    pub fn delivered(&self, at: NodeId, msg_was_put: bool, size: usize) {
+    /// `now_ns` is the pop instant and `sent_at_ns` the message's send
+    /// stamp; their difference is the wire stage (mailbox dwell time).
+    pub fn delivered(
+        &self,
+        at: NodeId,
+        msg_was_put: bool,
+        size: usize,
+        now_ns: u64,
+        sent_at_ns: u64,
+    ) {
         let c = &self.nodes[at].counters;
         if msg_was_put {
             c.put_bytes_in.fetch_add(size as u64, Relaxed);
             c.puts_remote_done.fetch_add(1, Relaxed);
         } else {
             c.am_received.fetch_add(1, Relaxed);
+        }
+        let mut m = self.nodes[at].metrics.lock().expect("shm metrics");
+        if m.enabled() {
+            let prefix = if msg_was_put { "put" } else { "am" };
+            let wire = now_ns.saturating_sub(sent_at_ns);
+            m.record(&format!("{prefix}.wire_ns"), wire);
+            // Pop == delivery: handlers run straight off the mailbox.
+            m.record(&format!("{prefix}.deliver_ns"), 0);
         }
     }
 }
@@ -205,24 +303,38 @@ mod shm_tests {
         let mut f = Frames::new();
         f.push(Bytes::from_static(b"rec0"));
         f.push(Bytes::from_static(b"rec1"));
-        w.send_am(0, 2, 1, f);
-        w.put(1, 2, 1, Some(Bytes::from(vec![7u8; 64])), 64, {
-            let mut b = w.node(1).pool().take(16);
-            use bytes::BufMut;
-            b.put_u64_le(42);
-            b.put_u64_le(9);
-            b.freeze()
-        });
+        w.send_am(0, 2, 1, f, 10);
+        w.put(
+            1,
+            2,
+            1,
+            Some(Bytes::from(vec![7u8; 64])),
+            64,
+            {
+                let mut b = w.node(1).pool().take(16);
+                use bytes::BufMut;
+                b.put_u64_le(42);
+                b.put_u64_le(9);
+                b.freeze()
+            },
+            20,
+        );
 
         let m1 = w.node(2).pop().expect("am first (FIFO)");
         match &m1 {
-            ShmMsg::Am { src, tag, frames } => {
+            ShmMsg::Am {
+                src,
+                tag,
+                frames,
+                sent_at_ns,
+            } => {
                 assert_eq!((*src, *tag), (0, 1));
                 assert_eq!(frames.frame_count(), 2);
+                assert_eq!(*sent_at_ns, 10);
             }
             other => panic!("expected Am, got {other:?}"),
         }
-        w.delivered(2, false, 0);
+        w.delivered(2, false, 0, 15, 10);
         let m2 = w.node(2).pop().expect("put second");
         match m2 {
             ShmMsg::Put { size, data, cb, .. } => {
@@ -232,7 +344,7 @@ mod shm_tests {
             }
             other => panic!("expected Put, got {other:?}"),
         }
-        w.delivered(2, true, 64);
+        w.delivered(2, true, 64, 30, 20);
         assert!(w.node(2).pop().is_none());
 
         let s0 = w.node(0).engine_stats();
@@ -245,6 +357,36 @@ mod shm_tests {
     }
 
     #[test]
+    fn observed_world_records_lifecycle_stages() {
+        let w = ShmWorld::new_observed(2, 8, true);
+        let mut f = Frames::new();
+        f.push(Bytes::from_static(b"rec"));
+        w.send_am(0, 1, 1, f, 100);
+        let Some(ShmMsg::Am {
+            frames, sent_at_ns, ..
+        }) = w.node(1).pop()
+        else {
+            panic!("message lost")
+        };
+        w.node(1).pool().recycle_frames(frames);
+        w.delivered(1, false, 0, 350, sent_at_ns);
+        w.record_stage(1, "am.callback_ns", 40);
+        let m = w.merged_metrics();
+        assert_eq!(m.hist("am.queue_ns").unwrap().count(), 1);
+        assert_eq!(m.hist("am.inject_ns").unwrap().count(), 1);
+        assert_eq!(m.hist("am.wire_ns").unwrap().count(), 1);
+        assert_eq!(m.hist("am.wire_ns").unwrap().sum() as u64, 250);
+        assert_eq!(m.hist("am.deliver_ns").unwrap().count(), 1);
+        assert_eq!(m.hist("am.callback_ns").unwrap().count(), 1);
+
+        // A world built without metrics records nothing anywhere.
+        let w2 = ShmWorld::new(2, 8);
+        w2.send_am(0, 1, 1, Frames::new(), 5);
+        w2.record_stage(1, "am.callback_ns", 40);
+        assert!(w2.merged_metrics().is_empty());
+    }
+
+    #[test]
     fn pool_recycles_across_send_receive() {
         let w = ShmWorld::new(2, 8);
         // Simulate steady-state record traffic: encode from the pool,
@@ -253,11 +395,11 @@ mod shm_tests {
             let mut b = w.node(0).pool().take(32);
             use bytes::BufMut;
             b.put_u64_le(round);
-            w.send_am(0, 1, 1, Frames::One(b.freeze()));
+            w.send_am(0, 1, 1, Frames::One(b.freeze()), 0);
             let Some(ShmMsg::Am { frames, .. }) = w.node(1).pop() else {
                 panic!("message lost");
             };
-            w.delivered(1, false, 0);
+            w.delivered(1, false, 0, 0, 0);
             w.node(1).pool().recycle_frames(frames);
         }
         let (hits, misses) = w.node(1).pool_reuse();

@@ -51,6 +51,12 @@ pub struct RunReport {
     /// a component scheduled into the past — a model bug that debug builds
     /// turn into a panic.
     pub schedule_past_clamped: u64,
+    /// Work-stealing pool scheduling counters ([`Cluster::execute_real`]
+    /// runs only; `None` on the virtual substrate). Not part of
+    /// [`RunReport::to_json`]: that serialization is a scheduling-decision
+    /// digest compared byte-for-byte across substrates, and pool counters
+    /// are wall-clock-dependent.
+    pub pool: Option<amt_exec::PoolStats>,
 }
 
 impl RunReport {
@@ -145,6 +151,10 @@ pub struct Cluster {
     /// Payloads of the last [`Cluster::execute_real`] run (real-substrate
     /// runs have no per-node `NodeRt` stores to query).
     real_data: Option<std::collections::HashMap<VersionId, Bytes>>,
+    /// Observability artifacts of the last [`Cluster::execute_real`] run:
+    /// merged wall-clock trace, lifecycle-stage histograms, calibration
+    /// profile. Cleared by virtual executions.
+    real_obs: Option<crate::real::RealObs>,
 }
 
 impl Cluster {
@@ -218,6 +228,7 @@ impl Cluster {
             overlap,
             net_trace,
             real_data: None,
+            real_obs: None,
         }
     }
 
@@ -258,11 +269,12 @@ impl Cluster {
     /// latency stats); `comm_util` / `progress_util` / `sim_events` are 0 —
     /// there is no simulated communication core under a real run.
     pub fn execute_real(&mut self, graph: TaskGraph, threads: usize) -> RunReport {
-        // A real run supersedes any virtual run's data stores, and vice
-        // versa (execute_handle clears `real_data`).
+        // A real run supersedes any virtual run's data stores and
+        // observability, and vice versa (execute_handle clears both).
         *self.rts.borrow_mut() = None;
-        let (report, data) = crate::real::run(graph, &self.cfg, threads);
+        let (report, data, obs) = crate::real::run(graph, &self.cfg, threads);
         self.real_data = Some(data);
+        self.real_obs = Some(obs);
         report
     }
 
@@ -281,6 +293,7 @@ impl Cluster {
 
     fn execute_handle(&mut self, graph: GraphHandle, window: Option<Rc<WindowCtl>>) -> RunReport {
         self.real_data = None;
+        self.real_obs = None;
         let node_rts: Vec<RtHandle> = (0..self.cfg.nodes)
             .map(|n| {
                 Rc::new(NodeRt::new(
@@ -369,6 +382,7 @@ impl Cluster {
             class_stats,
             sim_events,
             schedule_past_clamped,
+            pool: None,
         }
     }
 
@@ -392,6 +406,13 @@ impl Cluster {
     /// progress threads — and merge order is irrelevant: thread ids are
     /// assigned in sorted track-name order at export time.
     pub fn trace_json(&self) -> Option<String> {
+        // Real runs carry their merged wall-clock trace (task spans on the
+        // same `n{ix}.w{j}` tracks, plus `pool.w{j}` steal/park activity);
+        // a disabled real run serializes the same empty shell as a
+        // disabled virtual run.
+        if let Some(obs) = &self.real_obs {
+            return Some(obs.trace.to_chrome_json());
+        }
         let rts = self.rts.borrow();
         let rts = rts.as_ref()?;
         let mut merged = Trace::new(true);
@@ -411,6 +432,32 @@ impl Cluster {
     /// Fig. 6 activation-latency breakdown. Deterministic: identical runs
     /// serialize to byte-identical JSON.
     pub fn metrics_report(&self, report: &RunReport) -> MetricsReport {
+        // Real runs: wall-clock stage histograms from the shm transport
+        // and per-worker pool counters. There is no overlap integrator on
+        // the real path (no simulated wire), so wire/overlap are 0.
+        if let Some(obs) = &self.real_obs {
+            let mut engine_totals = EngineStats::default();
+            for s in &report.engine_stats {
+                engine_totals.merge(s);
+            }
+            return MetricsReport {
+                backend: self.cfg.backend,
+                substrate: "real",
+                nodes: self.cfg.nodes,
+                makespan_ns: report.makespan.as_ns(),
+                sim_events: report.sim_events,
+                schedule_past_clamped: report.schedule_past_clamped,
+                stages: obs.metrics.clone(),
+                engine: engine_totals.named_counters().to_vec(),
+                wire_ns: 0,
+                overlap_ns: 0,
+                overlap_fraction: 0.0,
+                activation_msg: LatencySummary::from_stats(&report.msg_latency_us),
+                activation_request: LatencySummary::from_stats(&report.request_latency_us),
+                activation_e2e: LatencySummary::from_stats(&report.e2e_latency_us),
+                pool: report.pool.clone(),
+            };
+        }
         let mut stages = amt_simnet::MetricsRegistry::new(true);
         for engine in &self.engines {
             stages.merge(&engine.metrics_handle().borrow());
@@ -423,6 +470,7 @@ impl Cluster {
         let (wire, overlap) = self.overlap.borrow().totals(now);
         MetricsReport {
             backend: self.cfg.backend,
+            substrate: "virtual",
             nodes: self.cfg.nodes,
             makespan_ns: report.makespan.as_ns(),
             sim_events: report.sim_events,
@@ -435,7 +483,17 @@ impl Cluster {
             activation_msg: LatencySummary::from_stats(&report.msg_latency_us),
             activation_request: LatencySummary::from_stats(&report.request_latency_us),
             activation_e2e: LatencySummary::from_stats(&report.e2e_latency_us),
+            pool: None,
         }
+    }
+
+    /// Measured cost profile of the last [`Cluster::execute_real`] run
+    /// (schema `amtlc-calib-v1`). `Some` only after a real execution with
+    /// [`crate::ClusterConfig::metrics`] on. Feed it back to the simulator
+    /// with [`crate::CostModel::from_profile`] to re-run with measured
+    /// charges.
+    pub fn calibration_profile(&self) -> Option<crate::calib::CalibrationProfile> {
+        self.real_obs.as_ref().and_then(|o| o.calib.clone())
     }
 
     /// Payload of `version` from whichever node holds it (after a Numeric

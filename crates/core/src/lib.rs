@@ -66,6 +66,7 @@
 //! assert_eq!(report.tasks_executed, 1);
 //! ```
 
+mod calib;
 mod cluster;
 mod config;
 mod dist;
@@ -77,6 +78,10 @@ mod real;
 mod records;
 mod window;
 
+pub use calib::{
+    CalibrationProfile, CostSummary, CALIB_SCHEMA, REC_ACTIVATE, REC_ARRIVAL, REC_GET_REQUEST,
+    REC_TASK_OVERHEAD,
+};
 pub use cluster::{Cluster, RunReport};
 pub use config::{ClusterConfig, CostModel, ExecMode};
 pub use dist::{Cyclic1d, DataDist, TileDist2d};

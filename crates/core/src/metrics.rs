@@ -11,6 +11,7 @@
 use std::fmt::Write as _;
 
 use amt_comm::BackendKind;
+use amt_exec::PoolStats;
 use amt_simnet::{json_escape, MetricsRegistry, OnlineStats};
 
 /// Summary of one latency distribution in the activation breakdown (µs).
@@ -50,6 +51,9 @@ impl LatencySummary {
 pub struct MetricsReport {
     /// Backend that produced the run.
     pub backend: BackendKind,
+    /// Which substrate executed: `"virtual"` (simulated time) or `"real"`
+    /// (wall clock on the work-stealing pool).
+    pub substrate: &'static str,
     pub nodes: usize,
     pub makespan_ns: u64,
     /// Simulator events executed by the run (engine-throughput metric).
@@ -75,6 +79,8 @@ pub struct MetricsReport {
     pub activation_request: LatencySummary,
     /// End to end: ACTIVATE send → data arrival (§6.4.2, Fig. 6).
     pub activation_e2e: LatencySummary,
+    /// Work-stealing pool scheduling counters (real-substrate runs only).
+    pub pool: Option<PoolStats>,
 }
 
 fn backend_name(kind: BackendKind) -> &'static str {
@@ -91,8 +97,9 @@ impl MetricsReport {
         let mut out = String::new();
         let _ = write!(
             out,
-            r#"{{"backend":"{}","nodes":{},"makespan_ns":{},"#,
+            r#"{{"backend":"{}","substrate":"{}","nodes":{},"makespan_ns":{},"#,
             json_escape(backend_name(self.backend)),
+            json_escape(self.substrate),
             self.nodes,
             self.makespan_ns
         );
@@ -121,7 +128,41 @@ impl MetricsReport {
             first = false;
             let _ = write!(out, r#""{}":{}"#, json_escape(name), v);
         }
-        out.push_str(r#"},"stages":"#);
+        out.push_str(r#"},"pool":"#);
+        match &self.pool {
+            None => out.push_str("null"),
+            Some(p) => {
+                let _ = write!(
+                    out,
+                    r#"{{"workers":{},"injector_pushes":{},"spawns":{},"executions":{},"steals":{},"failed_probes":{},"parks":{},"trace_dropped":{},"per_worker":["#,
+                    p.per_worker.len(),
+                    p.injector_pushes,
+                    p.spawns(),
+                    p.executions(),
+                    p.steals(),
+                    p.failed_probes(),
+                    p.parks(),
+                    p.trace_dropped
+                );
+                for (i, w) in p.per_worker.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        r#"{{"executed":{},"deque_pushes":{},"overflow_pushes":{},"steals":{},"failed_probes":{},"parks":{}}}"#,
+                        w.executed,
+                        w.deque_pushes,
+                        w.overflow_pushes,
+                        w.steals,
+                        w.failed_probes,
+                        w.parks
+                    );
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str(r#","stages":"#);
         self.stages.write_json(&mut out);
         out.push('}');
         out

@@ -573,7 +573,7 @@ impl NodeRt {
                 let widx = s.idle_workers.pop().expect("checked non-empty");
                 let g = rt.graph.get();
                 let t = g.task(task);
-                let dur = rt.cfg.cost.task_duration(t.flops, t.efficiency);
+                let dur = rt.cfg.cost.task_charge(t.name, t.flops, t.efficiency);
                 s.worker_busy += dur;
                 let entry = s.class_stats.entry(t.name).or_insert((0, SimTime::ZERO));
                 entry.0 += 1;
@@ -613,7 +613,7 @@ impl NodeRt {
                 // The duration is a pure function of the task, so the
                 // execution span is reconstructed here instead of carrying
                 // it through the completion closure.
-                let dur = rt.cfg.cost.task_duration(t.flops, t.efficiency);
+                let dur = rt.cfg.cost.task_charge(t.name, t.flops, t.efficiency);
                 let end = sim.now();
                 rt.state.borrow_mut().trace.record(
                     rt.worker_tracks[widx].clone(),

@@ -37,15 +37,18 @@
 //! dependence, so no floating-point reduction order ever varies — only
 //! scheduling order does.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
 use amt_comm::{EngineStats, ShmMsg, ShmWorld};
-use amt_exec::Pool;
-use amt_simnet::{OnlineStats, SimTime, Substrate};
+use amt_exec::{Pool, TraceEvent};
+use amt_simnet::{MetricsRegistry, OnlineStats, SimTime, Substrate, Trace};
 use bytes::{Bytes, Frames};
 
+use crate::calib::{
+    CalibrationProfile, CostSummary, REC_ACTIVATE, REC_ARRIVAL, REC_GET_REQUEST, REC_TASK_OVERHEAD,
+};
 use crate::cluster::RunReport;
 use crate::config::ClusterConfig;
 use crate::graph::{TaskGraph, TaskId, VersionId};
@@ -83,6 +86,29 @@ struct FlowStats {
     req: OnlineStats,
 }
 
+/// Raw calibration samples (only collected when metrics are on): kernel
+/// wall times per task class, handler wall times per record kind.
+#[derive(Default)]
+struct CalibSamples {
+    classes: BTreeMap<&'static str, Vec<u64>>,
+    records: BTreeMap<&'static str, Vec<u64>>,
+}
+
+/// Observability artifacts of one real execution, carried back to the
+/// [`crate::Cluster`] so `trace_json` / `metrics_report` /
+/// `calibration_profile` answer for real runs exactly like virtual ones.
+pub(crate) struct RealObs {
+    /// Merged wall-clock trace (the empty shell when tracing was off, so
+    /// a disabled real run serializes the same `{"traceEvents":[]}` as a
+    /// disabled virtual run).
+    pub(crate) trace: Trace,
+    /// Message-lifecycle stage histograms merged across nodes (disabled
+    /// and empty when metrics were off).
+    pub(crate) metrics: MetricsRegistry,
+    /// Measured cost profile (`Some` only when metrics were on).
+    pub(crate) calib: Option<CalibrationProfile>,
+}
+
 /// Shared state of one real execution. `Sync`: the graph is read-only
 /// during the run, stores are mutex-guarded, counts are atomics.
 struct RealRun {
@@ -93,6 +119,10 @@ struct RealRun {
     worker_stats: Vec<Mutex<WorkerStat>>,
     flows: Vec<Mutex<FlowStats>>,
     executed: AtomicU64,
+    /// Gate for handler timing and calibration sampling; `false` keeps
+    /// the unobserved hot path free of extra clock reads and locks.
+    metrics_on: bool,
+    calib: Mutex<CalibSamples>,
 }
 
 // Compile-time guarantee that the whole run state crosses threads.
@@ -102,7 +132,7 @@ const _: fn() = || {
 };
 
 impl RealRun {
-    fn new(graph: TaskGraph, nodes: usize, pool_threads: usize) -> RealRun {
+    fn new(graph: TaskGraph, nodes: usize, pool_threads: usize, metrics: bool) -> RealRun {
         let nv = graph.version_count();
         let remaining = graph
             .tasks()
@@ -139,7 +169,7 @@ impl RealRun {
         RealRun {
             remaining,
             stores,
-            shm: ShmWorld::new(nodes, SHM_POOL_BUFS),
+            shm: ShmWorld::new_observed(nodes, SHM_POOL_BUFS, metrics),
             worker_stats: (0..pool_threads)
                 .map(|_| Mutex::new(WorkerStat::default()))
                 .collect(),
@@ -147,8 +177,32 @@ impl RealRun {
                 .map(|_| Mutex::new(FlowStats::default()))
                 .collect(),
             executed: AtomicU64::new(0),
+            metrics_on: metrics,
+            calib: Mutex::new(CalibSamples::default()),
             graph,
         }
+    }
+
+    /// Append one record-handler duration sample (metrics mode only).
+    fn record_sample(&self, key: &'static str, ns: u64) {
+        self.calib
+            .lock()
+            .expect("calib samples")
+            .records
+            .entry(key)
+            .or_default()
+            .push(ns);
+    }
+
+    /// Append one kernel wall-time sample (metrics mode only).
+    fn kernel_sample(&self, name: &'static str, ns: u64) {
+        self.calib
+            .lock()
+            .expect("calib samples")
+            .classes
+            .entry(name)
+            .or_default()
+            .push(ns);
     }
 
     /// Remote consumer nodes of version `v`, deduplicated, ascending.
@@ -200,9 +254,11 @@ fn announce(sub: &mut dyn Substrate, run: &Arc<RealRun>, v: usize) {
         .map(|t| run.graph.task(t).priority)
         .unwrap_or(0);
     for dst in run.remote_consumer_nodes(v) {
-        let rec = ActivateRec::direct(v as u64, ver.size as u64, priority, sub.now().as_ns());
+        let now_ns = sub.now().as_ns();
+        let rec = ActivateRec::direct(v as u64, ver.size as u64, priority, now_ns);
         let frame = rec.encode_one_shared(run.shm.node(home).pool());
-        run.shm.send_am(home, dst, AM_ACTIVATE, Frames::One(frame));
+        run.shm
+            .send_am(home, dst, AM_ACTIVATE, Frames::One(frame), now_ns);
         spawn_progress(sub, run, dst);
     }
 }
@@ -225,6 +281,9 @@ fn spawn_progress(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize) {
 fn exec_task(sub: &mut dyn Substrate, run: &Arc<RealRun>, t: TaskId) {
     let task = run.graph.task(t);
     let node = task.node;
+    // Dispatch-overhead measurement brackets the whole job (input gather,
+    // kernel, completion protocol); metrics mode only.
+    let t_entry = run.metrics_on.then(|| sub.now());
 
     // Gather input payloads (only data-carrying versions feed kernels,
     // exactly like the sequential oracle).
@@ -245,12 +304,16 @@ fn exec_task(sub: &mut dyn Substrate, run: &Arc<RealRun>, t: TaskId) {
         Vec::new()
     };
 
-    let started = std::time::Instant::now();
+    let started = sub.now();
     let outs: Vec<Bytes> = match &task.kernel {
         Some(k) => k(&inputs),
         None => Vec::new(),
     };
-    let busy_ns = started.elapsed().as_nanos() as u64;
+    let ended = sub.now();
+    let busy_ns = (ended - started).as_ns();
+    // On a traced pool this lands in the worker's lock-free buffer; on an
+    // untraced pool (and the virtual substrate) it is a no-op.
+    sub.trace_task(task.name, node, started, ended);
     if task.kernel.is_some() {
         assert_eq!(outs.len(), task.outputs.len(), "kernel output arity");
     }
@@ -265,6 +328,9 @@ fn exec_task(sub: &mut dyn Substrate, run: &Arc<RealRun>, t: TaskId) {
         e.1 += busy_ns;
     }
     run.executed.fetch_add(1, SeqCst);
+    if run.metrics_on {
+        run.kernel_sample(task.name, busy_ns);
+    }
 
     // Completion: outputs become present locally; collect newly-ready
     // local tasks, then announce to remote consumers.
@@ -284,26 +350,61 @@ fn exec_task(sub: &mut dyn Substrate, run: &Arc<RealRun>, t: TaskId) {
     for &out in &task.outputs {
         announce(sub, run, out.0);
     }
+    if let Some(t_entry) = t_entry {
+        let total_ns = (sub.now() - t_entry).as_ns();
+        run.record_sample(REC_TASK_OVERHEAD, total_ns.saturating_sub(busy_ns));
+    }
 }
 
 /// Drain and handle every message pending at `node`.
 fn progress(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize) {
     while let Some(msg) = run.shm.node(node).pop() {
+        let now_ns = sub.now().as_ns();
         match msg {
-            ShmMsg::Am { src, tag, frames } if tag == AM_ACTIVATE => {
-                run.shm.delivered(node, false, 0);
+            ShmMsg::Am {
+                src,
+                tag,
+                frames,
+                sent_at_ns,
+            } if tag == AM_ACTIVATE => {
+                run.shm.delivered(node, false, 0, now_ns, sent_at_ns);
                 let recs = ActivateRec::decode_frames(&frames);
                 run.shm.node(node).pool().recycle_frames(frames);
+                let mut callback_ns = 0u64;
                 for rec in recs {
+                    let t0 = run.metrics_on.then(|| sub.now());
                     on_activate(sub, run, node, src, rec);
+                    if let Some(t0) = t0 {
+                        let d = (sub.now() - t0).as_ns();
+                        callback_ns += d;
+                        run.record_sample(REC_ACTIVATE, d);
+                    }
+                }
+                if run.metrics_on {
+                    run.shm.record_stage(node, "am.callback_ns", callback_ns);
                 }
             }
-            ShmMsg::Am { src, tag, frames } if tag == AM_GETDATA => {
-                run.shm.delivered(node, false, 0);
+            ShmMsg::Am {
+                src,
+                tag,
+                frames,
+                sent_at_ns,
+            } if tag == AM_GETDATA => {
+                run.shm.delivered(node, false, 0, now_ns, sent_at_ns);
                 let recs = GetRec::decode_frames(&frames);
                 run.shm.node(node).pool().recycle_frames(frames);
+                let mut callback_ns = 0u64;
                 for rec in recs {
+                    let t0 = run.metrics_on.then(|| sub.now());
                     on_getdata(sub, run, node, src, rec);
+                    if let Some(t0) = t0 {
+                        let d = (sub.now() - t0).as_ns();
+                        callback_ns += d;
+                        run.record_sample(REC_GET_REQUEST, d);
+                    }
+                }
+                if run.metrics_on {
+                    run.shm.record_stage(node, "am.callback_ns", callback_ns);
                 }
             }
             ShmMsg::Am { tag, .. } => panic!("unregistered AM tag {tag}"),
@@ -312,11 +413,18 @@ fn progress(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize) {
                 data,
                 size,
                 cb,
+                sent_at_ns,
                 ..
             } => {
                 debug_assert_eq!(r_tag, RTAG_DATA, "unexpected one-sided tag");
-                run.shm.delivered(node, true, size);
+                run.shm.delivered(node, true, size, now_ns, sent_at_ns);
+                let t0 = run.metrics_on.then(|| sub.now());
                 on_data(sub, run, node, data, cb);
+                if let Some(t0) = t0 {
+                    let d = (sub.now() - t0).as_ns();
+                    run.record_sample(REC_ARRIVAL, d);
+                    run.shm.record_stage(node, "put.callback_ns", d);
+                }
             }
         }
     }
@@ -363,7 +471,8 @@ fn on_activate(
         activate_sent_at_ns: rec.sent_at_ns,
     };
     let frame = get.encode_shared(run.shm.node(node).pool());
-    run.shm.send_am(node, src, AM_GETDATA, Frames::One(frame));
+    run.shm
+        .send_am(node, src, AM_GETDATA, Frames::One(frame), sub.now().as_ns());
     spawn_progress(sub, run, src);
 }
 
@@ -391,7 +500,8 @@ fn on_getdata(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize, src: usi
         activate_sent_at_ns: rec.activate_sent_at_ns,
     }
     .encode_shared(run.shm.node(node).pool());
-    run.shm.put(node, src, RTAG_DATA, data, size, cb);
+    run.shm
+        .put(node, src, RTAG_DATA, data, size, cb, sub.now().as_ns());
     spawn_progress(sub, run, src);
 }
 
@@ -416,19 +526,84 @@ fn on_data(
     }
 }
 
+/// Rebuild a wall-clock [`Trace`] from the pool's drained per-worker
+/// event buffers. Task spans land on `n{node}.w{worker}` tracks (the
+/// same vocabulary as virtual traces); steal arrows, park/unpark
+/// instants, and queue-depth counters on `pool.w{worker}` tracks.
+fn build_trace(drained: Option<Vec<Vec<TraceEvent>>>) -> Trace {
+    let mut trace = Trace::new(drained.is_some());
+    let Some(per_worker) = drained else {
+        return trace;
+    };
+    for (w, events) in per_worker.into_iter().enumerate() {
+        let worker = format!("pool.w{w}");
+        for ev in events {
+            match ev {
+                TraceEvent::Span {
+                    name,
+                    node,
+                    start_ns,
+                    end_ns,
+                } => trace.record(
+                    format!("n{node}.w{w}"),
+                    name,
+                    SimTime::from_ns(start_ns),
+                    SimTime::from_ns(end_ns),
+                ),
+                TraceEvent::Steal { id, victim, at_ns } => {
+                    let at = SimTime::from_ns(at_ns);
+                    // Zero-width anchor slices on both tracks so viewers
+                    // that bind flows to enclosing slices render the
+                    // arrow; `id` pairs the endpoints.
+                    trace.record(format!("pool.w{victim}"), "stolen", at, at);
+                    trace.record(worker.clone(), "steal", at, at);
+                    trace.flow_start(format!("pool.w{victim}"), "steal", id, at);
+                    trace.flow_end(worker.clone(), "steal", id, at);
+                }
+                TraceEvent::Park { at_ns } => {
+                    trace.instant(worker.clone(), "park", SimTime::from_ns(at_ns));
+                }
+                TraceEvent::Unpark { at_ns } => {
+                    trace.instant(worker.clone(), "unpark", SimTime::from_ns(at_ns));
+                }
+                TraceEvent::DequeDepth { at_ns, depth } => {
+                    trace.counter(
+                        format!("{worker}.deque"),
+                        SimTime::from_ns(at_ns),
+                        depth as f64,
+                    );
+                }
+                TraceEvent::InjectorDepth { at_ns, depth } => {
+                    trace.counter(
+                        format!("{worker}.injector"),
+                        SimTime::from_ns(at_ns),
+                        depth as f64,
+                    );
+                }
+            }
+        }
+    }
+    trace
+}
+
 /// Execute `graph` for real on `threads` pool workers (`0` = one per
-/// core). Returns the run report and every payload held anywhere at the
-/// end (for [`crate::Cluster::data`]).
+/// core). Returns the run report, every payload held anywhere at the
+/// end (for [`crate::Cluster::data`]), and the run's observability
+/// artifacts.
 pub(crate) fn run(
     graph: TaskGraph,
     cfg: &ClusterConfig,
     threads: usize,
-) -> (RunReport, HashMap<VersionId, Bytes>) {
-    let pool = Pool::new(threads, STEAL_SEED);
+) -> (RunReport, HashMap<VersionId, Bytes>, RealObs) {
+    let pool = if cfg.trace {
+        Pool::new_traced(threads, STEAL_SEED)
+    } else {
+        Pool::new(threads, STEAL_SEED)
+    };
     let threads = pool.threads();
     let nodes = cfg.nodes;
     let tasks_total = graph.task_count() as u64;
-    let run = Arc::new(RealRun::new(graph, nodes, threads));
+    let run = Arc::new(RealRun::new(graph, nodes, threads, cfg.metrics));
 
     let t0 = pool.now();
     // Root spawns: announce initial versions to their remote consumers,
@@ -451,6 +626,11 @@ pub(crate) fn run(
     }
     pool.run_until_idle();
     let makespan = pool.now() - t0;
+    // Quiescence first, then the observability drains: every worker's
+    // buffer publications happen-before the parked state run_until_idle
+    // observed, so the snapshots are complete.
+    let pool_stats = pool.stats();
+    let trace = build_trace(pool.drain_trace());
     drop(pool);
 
     let run = Arc::try_unwrap(run).unwrap_or_else(|_| panic!("run state still shared after idle"));
@@ -501,6 +681,33 @@ pub(crate) fn run(
         }
     }
 
+    // Calibration profile from the measured samples (metrics mode only):
+    // lower medians, deterministic BTreeMap key order.
+    let calib = cfg.metrics.then(|| {
+        let samples = run.calib.lock().expect("calib samples");
+        let mut profile = CalibrationProfile {
+            threads,
+            tasks: executed,
+            ..Default::default()
+        };
+        for (name, v) in &samples.classes {
+            profile
+                .classes
+                .insert((*name).to_string(), CostSummary::from_samples(v.clone()));
+        }
+        for (key, v) in &samples.records {
+            profile
+                .records
+                .insert((*key).to_string(), CostSummary::from_samples(v.clone()));
+        }
+        profile
+    });
+    let metrics = if cfg.metrics {
+        run.shm.merged_metrics()
+    } else {
+        MetricsRegistry::new(false)
+    };
+
     let report = RunReport {
         makespan,
         tasks_executed: executed,
@@ -516,6 +723,15 @@ pub(crate) fn run(
         class_stats,
         sim_events: 0,
         schedule_past_clamped: 0,
+        pool: Some(pool_stats),
     };
-    (report, data)
+    (
+        report,
+        data,
+        RealObs {
+            trace,
+            metrics,
+            calib,
+        },
+    )
 }

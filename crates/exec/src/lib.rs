@@ -12,6 +12,12 @@
 //!   `DetRng` (reproducible probe sequences per run seed), an epoch-based
 //!   parker/wake protocol for idle workers, and quiescence detection
 //!   ([`Pool::run_until_idle`]) via a pending-job counter.
+//! * Observability — always-on per-worker scheduling counters
+//!   ([`PoolStats`]: spawns, executions, steals, failed probes, parks)
+//!   and, on a traced pool ([`Pool::new_traced`]), per-worker lock-free
+//!   trace buffers recording task spans, steal flow arrows, park/unpark
+//!   instants, and queue-depth samples ([`TraceEvent`]), drained at
+//!   quiescence by [`Pool::drain_trace`].
 //!
 //! Jobs are [`SubstrateJob`] closures taking `&mut dyn Substrate`, so
 //! code scheduled here is written once and also runs on the virtual
@@ -22,10 +28,12 @@
 #![deny(missing_docs)]
 
 pub mod deque;
+mod obs;
 mod pool;
 
 pub use amt_simnet::{Substrate, SubstrateJob, SubstrateKind};
 pub use deque::{deque, Steal, Stealer, Worker};
+pub use obs::{PoolStats, TraceEvent, WorkerStats};
 pub use pool::{Pool, PoolHandle, WorkerCtx};
 
 #[cfg(test)]

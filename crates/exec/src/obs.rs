@@ -1,0 +1,271 @@
+//! Pool observability: per-worker lock-free trace buffers and scheduling
+//! counters.
+//!
+//! ## Trace buffers
+//!
+//! Each worker owns one fixed-capacity [`TraceBuf`]: a slot array written
+//! only by the owning worker (single writer), published slot by slot with
+//! a release store of the length. Recording is wait-free and allocation-
+//! free; when a buffer fills, further events increment a dropped counter
+//! instead of blocking or reallocating, so tracing never perturbs the
+//! run's memory behavior mid-flight. Buffers are only allocated when the
+//! pool is constructed traced ([`crate::Pool::new_traced`]) — an untraced
+//! pool carries `None` and every record site is a single branch.
+//!
+//! The drain ([`crate::Pool::drain_trace`]) is a snapshot taken at
+//! quiescence (after [`crate::Pool::run_until_idle`]): workers are parked,
+//! so the acquire load of each length observes every published slot.
+//!
+//! ## Counters
+//!
+//! [`PoolStats`] counters are always on: per-worker relaxed atomics
+//! bumped on the paths they describe (a relaxed `fetch_add` on the miss
+//! or spawn path, never inside the deque fast path). They feed the
+//! conservation invariant *spawns = executions* checked by the unit
+//! tests and surfaced through `RunReport`.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{
+    AtomicU64, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release},
+};
+
+/// One recorded pool event. Timestamps are nanoseconds since pool start
+/// (the real substrate's clock anchor), matching `Substrate::now`.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceEvent {
+    /// A completed task execution on this worker (recorded by the layer
+    /// above through `Substrate::trace_task`).
+    Span {
+        /// Task class name.
+        name: &'static str,
+        /// Simulated node the task belongs to.
+        node: u32,
+        /// Span start, ns since pool start.
+        start_ns: u64,
+        /// Span end, ns since pool start.
+        end_ns: u64,
+    },
+    /// A successful steal: this worker took a job from `victim`'s deque.
+    /// `id` is globally unique so the victim/thief endpoints of the flow
+    /// arrow pair up at export time.
+    Steal {
+        /// Flow-arrow id, unique across the pool.
+        id: u64,
+        /// Worker index the job was stolen from.
+        victim: u32,
+        /// Steal instant, ns since pool start.
+        at_ns: u64,
+    },
+    /// This worker committed to parking (found no work).
+    Park {
+        /// Park instant, ns since pool start.
+        at_ns: u64,
+    },
+    /// This worker woke from a park.
+    Unpark {
+        /// Wake instant, ns since pool start.
+        at_ns: u64,
+    },
+    /// Own-deque depth after a local push or pop.
+    DequeDepth {
+        /// Sample instant, ns since pool start.
+        at_ns: u64,
+        /// Deque length after the operation.
+        depth: u32,
+    },
+    /// Shared-injector depth after this worker pushed to or popped from
+    /// it.
+    InjectorDepth {
+        /// Sample instant, ns since pool start.
+        at_ns: u64,
+        /// Injector length after the operation.
+        depth: u32,
+    },
+}
+
+/// Events each worker's trace buffer can hold before dropping.
+pub(crate) const TRACE_CAP: usize = 1 << 16;
+
+/// A single-writer, fixed-capacity event buffer (see module docs).
+pub(crate) struct TraceBuf {
+    slots: Box<[UnsafeCell<MaybeUninit<TraceEvent>>]>,
+    len: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// The owning worker is the only writer; concurrent readers only touch
+// slots below the published length (release/acquire on `len`).
+unsafe impl Sync for TraceBuf {}
+
+impl TraceBuf {
+    pub(crate) fn new(cap: usize) -> TraceBuf {
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        TraceBuf {
+            slots,
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Owner-only push. Full buffers count the event as dropped.
+    pub(crate) fn push(&self, ev: TraceEvent) {
+        let len = self.len.load(Relaxed);
+        if len >= self.slots.len() {
+            self.dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        unsafe { (*self.slots[len].get()).write(ev) };
+        self.len.store(len + 1, Release);
+    }
+
+    /// Snapshot of every published event (call at quiescence).
+    pub(crate) fn drain(&self) -> Vec<TraceEvent> {
+        let len = self.len.load(Acquire);
+        (0..len)
+            .map(|i| unsafe { (*self.slots[i].get()).assume_init() })
+            .collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+}
+
+/// Always-on per-worker scheduling counters (relaxed atomics inside the
+/// pool; this is the snapshot form).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker ran to completion.
+    pub executed: u64,
+    /// Jobs this worker pushed onto its own deque (`Substrate::defer`).
+    pub deque_pushes: u64,
+    /// Deferred jobs that overflowed the bounded deque to the injector.
+    pub overflow_pushes: u64,
+    /// Successful steals by this worker (as the thief).
+    pub steals: u64,
+    /// Steal probes that found the victim empty or contended.
+    pub failed_probes: u64,
+    /// Times this worker parked after a fruitless scan.
+    pub parks: u64,
+}
+
+/// Snapshot of pool scheduling internals ([`crate::Pool::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// One entry per worker, index = worker index.
+    pub per_worker: Vec<WorkerStats>,
+    /// Jobs spawned from outside the pool (injector pushes via
+    /// `Pool::spawn` / `PoolHandle::spawn`).
+    pub injector_pushes: u64,
+    /// Trace events lost to full buffers (0 when untraced).
+    pub trace_dropped: u64,
+}
+
+impl PoolStats {
+    /// Total jobs that entered the pool: external injector pushes plus
+    /// every worker-side defer (local or overflowed).
+    pub fn spawns(&self) -> u64 {
+        self.injector_pushes
+            + self
+                .per_worker
+                .iter()
+                .map(|w| w.deque_pushes + w.overflow_pushes)
+                .sum::<u64>()
+    }
+
+    /// Total jobs run to completion.
+    pub fn executions(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.executed).sum()
+    }
+
+    /// Total successful steals.
+    pub fn steals(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total failed steal probes.
+    pub fn failed_probes(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.failed_probes).sum()
+    }
+
+    /// Total parks.
+    pub fn parks(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.parks).sum()
+    }
+}
+
+/// The atomic originals the snapshot above is read from.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerCounters {
+    pub(crate) executed: AtomicU64,
+    pub(crate) deque_pushes: AtomicU64,
+    pub(crate) overflow_pushes: AtomicU64,
+    pub(crate) steals: AtomicU64,
+    pub(crate) failed_probes: AtomicU64,
+    pub(crate) parks: AtomicU64,
+}
+
+impl WorkerCounters {
+    pub(crate) fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            executed: self.executed.load(Relaxed),
+            deque_pushes: self.deque_pushes.load(Relaxed),
+            overflow_pushes: self.overflow_pushes.load(Relaxed),
+            steals: self.steals.load(Relaxed),
+            failed_probes: self.failed_probes.load(Relaxed),
+            parks: self.parks.load(Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_buf_drops_past_capacity_and_counts() {
+        let b = TraceBuf::new(4);
+        for i in 0..6 {
+            b.push(TraceEvent::Park { at_ns: i });
+        }
+        let evs = b.drain();
+        assert_eq!(evs.len(), 4);
+        assert!(matches!(evs[3], TraceEvent::Park { at_ns: 3 }));
+        assert_eq!(b.dropped(), 2);
+    }
+
+    #[test]
+    fn pool_stats_totals_sum_workers() {
+        let s = PoolStats {
+            per_worker: vec![
+                WorkerStats {
+                    executed: 3,
+                    deque_pushes: 2,
+                    overflow_pushes: 1,
+                    steals: 1,
+                    failed_probes: 5,
+                    parks: 2,
+                },
+                WorkerStats {
+                    executed: 4,
+                    deque_pushes: 0,
+                    overflow_pushes: 0,
+                    steals: 2,
+                    failed_probes: 0,
+                    parks: 1,
+                },
+            ],
+            injector_pushes: 4,
+            trace_dropped: 0,
+        };
+        assert_eq!(s.spawns(), 7);
+        assert_eq!(s.executions(), 7);
+        assert_eq!(s.steals(), 3);
+        assert_eq!(s.failed_probes(), 5);
+        assert_eq!(s.parks(), 3);
+    }
+}

@@ -63,6 +63,18 @@ pub trait Substrate {
     /// thread pool it is a spawn onto the local worker deque (LIFO, so
     /// freshly-released work runs hot) from which idle workers may steal.
     fn defer(&mut self, job: SubstrateJob);
+
+    /// Observability hook: a task named `name`, belonging to simulated
+    /// node `node`, executed on this substrate over `[start, end]`.
+    ///
+    /// The default is a no-op. The virtual substrate keeps it (virtual
+    /// task spans are recorded by the per-node runtime, which knows the
+    /// simulated core); the real pool overrides it to push a span into
+    /// the executing worker's lock-free trace buffer, so wall-clock runs
+    /// produce the same Chrome-trace vocabulary as simulated ones.
+    fn trace_task(&mut self, name: &'static str, node: usize, start: SimTime, end: SimTime) {
+        let _ = (name, node, start, end);
+    }
 }
 
 /// The DES implementation of the seam **is** [`Sim`]: scheduling a

@@ -15,7 +15,7 @@
 //! `1` = deterministic) — same protocol over the in-process shared-memory
 //! transport, wall-clock time, and the identical oracle-checked result.
 
-use amtlc::bench::{threads_arg, ObsSink};
+use amtlc::bench::{cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, GraphBuilder, TaskDesc};
 use bytes::Bytes;
@@ -84,6 +84,12 @@ fn build_graph(nodes: usize) -> (amtlc::core::TaskGraph, amtlc::core::VersionId)
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     ObsSink::install(&args);
+    // An explicit --threads directs the observability flags at the real
+    // execution below instead of the first simulated backend.
+    let threads_flag = threads_arg_opt(&args);
+    // --cost-model: overlay measured charges (from a --calibrate-out
+    // profile) onto the simulated runs.
+    let profile = cost_model_arg(&args);
     let nodes = 4;
     println!("amtlc quickstart: map-shuffle-reduce on {nodes} simulated nodes\n");
 
@@ -97,7 +103,12 @@ fn main() {
             backend,
             ..Default::default()
         };
-        ObsSink::arm(&mut cfg);
+        if let Some(p) = &profile {
+            cfg.cost.apply_profile(p);
+        }
+        if threads_flag.is_none() {
+            ObsSink::arm(&mut cfg);
+        }
         let mut cluster = Cluster::new(cfg);
         let report = cluster.execute(graph);
         ObsSink::capture(&cluster, &report);
@@ -126,12 +137,18 @@ fn main() {
     let threads = threads_arg(&args);
     let (graph, out) = build_graph(nodes);
     let oracle = graph.sequential_oracle()[&out].clone();
-    let mut cluster = Cluster::new(ClusterConfig {
+    let mut cfg = ClusterConfig {
         nodes,
         workers_per_node: 4,
         ..Default::default()
-    });
+    };
+    // Arm unconditionally: if the virtual sweep already captured, this
+    // only turns on what is still pending (e.g. the calibration profile,
+    // which only a real run can supply).
+    ObsSink::arm(&mut cfg);
+    let mut cluster = Cluster::new(cfg);
     let report = cluster.execute_real(graph, threads);
+    ObsSink::capture(&cluster, &report);
     let result = cluster.data(out).expect("reduce output data");
     assert_eq!(result, oracle, "real result must match the oracle");
     println!("real execution ({threads} thread(s)):");

@@ -11,7 +11,7 @@
 //! cargo run --release --example stencil
 //! ```
 
-use amtlc::bench::{threads_arg, ObsSink};
+use amtlc::bench::{cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, DataDist, ExecMode, GraphBuilder, TaskDesc, TileDist2d};
 
@@ -58,6 +58,12 @@ fn build_stencil(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     ObsSink::install(&args);
+    // An explicit --threads directs the observability flags at the real
+    // execution below instead of the first simulated backend.
+    let threads_flag = threads_arg_opt(&args);
+    // --cost-model: overlay measured charges (from a --calibrate-out
+    // profile) onto the simulated runs.
+    let profile = cost_model_arg(&args);
     let tiles = 16u64; // 16×16 tile grid
     let tile_elems = 512; // 512² doubles per tile (2 MiB)
     let sweeps = 8;
@@ -75,7 +81,12 @@ fn main() {
                 mode: ExecMode::CostOnly,
                 ..ClusterConfig::expanse(backend, nodes)
             };
-            ObsSink::arm(&mut cfg);
+            if let Some(p) = &profile {
+                cfg.cost.apply_profile(p);
+            }
+            if threads_flag.is_none() {
+                ObsSink::arm(&mut cfg);
+            }
             let mut cluster = Cluster::new(cfg);
             let report = cluster.execute(graph);
             assert!(report.complete());
@@ -110,12 +121,18 @@ fn main() {
     let nodes = 4;
     let dist = TileDist2d::square_grid(8, 8, nodes);
     let graph = build_stencil(8, tile_elems, 2, &dist);
-    let mut cluster = Cluster::new(ClusterConfig {
+    let mut cfg = ClusterConfig {
         mode: ExecMode::CostOnly,
         ..ClusterConfig::expanse(BackendKind::Lci, nodes)
-    });
+    };
+    // Arm unconditionally: if the virtual sweep already captured, this
+    // only turns on what is still pending (e.g. the calibration profile,
+    // which only a real run can supply).
+    ObsSink::arm(&mut cfg);
+    let mut cluster = Cluster::new(cfg);
     let report = cluster.execute_real(graph, threads);
     assert!(report.complete());
+    ObsSink::capture(&cluster, &report);
     println!(
         "\nreal execution ({threads} thread(s)): 8x8 tiles, 2 sweeps on {nodes} nodes — \
          {} tasks, {} halo flows, wall-clock {}",

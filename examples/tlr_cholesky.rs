@@ -11,7 +11,7 @@
 //! work-stealing thread pool (`--threads N`; `0`/default = one per core,
 //! `1` = deterministic) and verifies the identical residual.
 
-use amtlc::bench::{threads_arg, ObsSink};
+use amtlc::bench::{cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, ExecMode};
 use amtlc::tlr::{TlrCholesky, TlrProblem};
@@ -19,6 +19,12 @@ use amtlc::tlr::{TlrCholesky, TlrProblem};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     ObsSink::install(&args);
+    // An explicit --threads directs the observability flags at the real
+    // execution below instead of the first simulated backend.
+    let threads_flag = threads_arg_opt(&args);
+    // --cost-model: overlay measured charges (from a --calibrate-out
+    // profile) onto the simulated runs.
+    let profile = cost_model_arg(&args);
     let n = 512;
     let ts = 64;
     let nodes = 4;
@@ -49,7 +55,12 @@ fn main() {
             mode: ExecMode::Numeric,
             ..Default::default()
         };
-        ObsSink::arm(&mut cfg);
+        if let Some(p) = &profile {
+            cfg.cost.apply_profile(p);
+        }
+        if threads_flag.is_none() {
+            ObsSink::arm(&mut cfg);
+        }
         let mut cluster = Cluster::new(cfg);
         let report = cluster.execute(graph);
         assert!(report.complete());
@@ -70,14 +81,20 @@ fn main() {
     let threads = threads_arg(&args);
     let problem = TlrProblem::new(n, ts);
     let (chol, graph) = TlrCholesky::build_numeric(problem, nodes);
-    let mut cluster = Cluster::new(ClusterConfig {
+    let mut cfg = ClusterConfig {
         nodes,
         workers_per_node: 8,
         mode: ExecMode::Numeric,
         ..Default::default()
-    });
+    };
+    // Arm unconditionally: if the virtual sweep already captured, this
+    // only turns on what is still pending (e.g. the calibration profile,
+    // which only a real run can supply).
+    ObsSink::arm(&mut cfg);
+    let mut cluster = Cluster::new(cfg);
     let report = cluster.execute_real(graph, threads);
     assert!(report.complete());
+    ObsSink::capture(&cluster, &report);
     let residual = chol.residual(&cluster);
     println!("real execution ({threads} thread(s)):");
     println!("  tasks executed   : {}", report.tasks_executed);

@@ -124,9 +124,18 @@ for path, quick in ((sys.argv[1], True), (sys.argv[2], False)):
     assert classes == {"gemm", "potrf", "syrk", "trsm"}, (path, classes)
     for c in d["calibration"]:
         assert c["sim_us"] > 0 and c["real_us"] > 0 and c["count"] > 0, c
+    obs = d["obs_overhead"]
+    for mode in ("off", "on"):
+        assert obs[mode]["wall_ms"] > 0 and obs[mode]["allocs_per_task"] > 0, (path, mode)
+# Observability is pay-for-what-you-use: the obs-off run's deterministic
+# allocations/task may not regress past the committed full-run column.
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+off = fresh["obs_overhead"]["off"]["allocs_per_task"]
+bound = committed["obs_overhead"]["off"]["allocs_per_task"] * 1.3 + 3.0
+assert off <= bound, f"obs-off allocs/task {off} > committed bound {bound:.2f}"
 # Multicore boxes must show real 1 -> 2 scaling; single-core boxes
 # honestly can't (the committed run records whatever this box measured).
-fresh = json.load(open(sys.argv[1]))
 if fresh["threads_available"] >= 2:
     s = fresh["fine_grained_dag"]["scaling_1_to_2"]
     assert s >= 1.3, f"multicore box but 1->2 thread scaling only {s}"
@@ -160,5 +169,58 @@ cargo run --release --quiet --example quickstart -- \
 python3 -m json.tool "$TMP_DIR/trace.json" > /dev/null
 python3 -m json.tool "$TMP_DIR/metrics.json" > /dev/null
 echo "trace and metrics artifacts are valid JSON"
+
+echo "== observability: traced 2-thread real execution (tlr_cholesky) =="
+timeout 300 cargo run --release --quiet --example tlr_cholesky -- --threads 2 \
+    --trace-out "$TMP_DIR/real_trace.json" \
+    --metrics-out "$TMP_DIR/real_metrics.json" > /dev/null
+python3 - "$TMP_DIR/real_trace.json" "$TMP_DIR/real_metrics.json" <<'PY'
+import json, sys
+ev = json.load(open(sys.argv[1]))["traceEvents"]
+spans = [e for e in ev if e["ph"] == "X"]
+tracks = {e["args"]["name"] for e in ev
+          if e["ph"] == "M" and e["name"] == "thread_name"}
+assert any(t.startswith("n0.w") for t in tracks), tracks
+kernels = {e["name"] for e in spans} & {"gemm", "potrf", "syrk", "trsm"}
+assert kernels, "no kernel spans in the real trace"
+starts = sum(1 for e in ev if e["ph"] == "s")
+ends = sum(1 for e in ev if e["ph"] == "f")
+assert starts == ends, f"unpaired steal flows: {starts} starts, {ends} ends"
+assert any(e["ph"] == "C" for e in ev), "no depth counters"
+m = json.load(open(sys.argv[2]))
+assert m["substrate"] == "real", m.get("substrate")
+pool = m["pool"]
+assert pool["spawns"] == pool["executions"] > 0, pool
+assert pool["workers"] == 2, pool
+print(f"real trace valid: {len(spans)} spans, {starts} steal arrows, "
+      f"{pool['executions']} pool executions")
+PY
+
+echo "== observability: calibrate -> re-simulate round trip (quickstart) =="
+timeout 120 cargo run --release --quiet --example quickstart -- --threads 2 \
+    --calibrate-out "$TMP_DIR/calib.json" > /dev/null
+python3 - "$TMP_DIR/calib.json" <<'PY'
+import json, sys
+c = json.load(open(sys.argv[1]))
+assert c["schema"] == "amtlc-calib-v1", c.get("schema")
+assert c["threads"] == 2 and c["tasks"] > 0
+assert set(c["classes"]) == {"map", "shuffle", "reduce"}, c["classes"]
+want = {"activate_record_ns", "get_request_ns", "arrival_ns", "task_overhead_ns"}
+assert set(c["records"]) == want, c["records"]
+for fam in ("classes", "records"):
+    for name, s in c[fam].items():
+        assert s["count"] > 0 and s["median_ns"] >= 0, (fam, name, s)
+print(f"calibration profile valid ({c['tasks']} tasks sampled)")
+PY
+timeout 120 cargo run --release --quiet --example quickstart -- \
+    --cost-model "$TMP_DIR/calib.json" \
+    --metrics-out "$TMP_DIR/resim_metrics.json" > "$TMP_DIR/resim.txt"
+grep -q "matches sequential oracle" "$TMP_DIR/resim.txt"
+python3 - "$TMP_DIR/resim_metrics.json" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["substrate"] == "virtual" and m["makespan_ns"] > 0
+print("simulator accepted the measured cost model (valid virtual run)")
+PY
 
 echo "verify: all checks passed"

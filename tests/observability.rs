@@ -6,7 +6,11 @@
 use std::collections::HashMap;
 
 use amtlc::comm::BackendKind;
-use amtlc::core::{Cluster, ClusterConfig, ExecMode, GraphBuilder, TaskDesc, TaskGraph};
+use amtlc::core::{
+    CalibrationProfile, Cluster, ClusterConfig, CostModel, ExecMode, GraphBuilder, TaskDesc,
+    TaskGraph,
+};
+use amtlc::tlr::{TlrCholesky, TlrProblem};
 
 // ---------------------------------------------------------------------------
 // Minimal JSON parser — just enough to round-trip the trace and metrics
@@ -405,6 +409,242 @@ fn metrics_report_is_byte_identical_across_identical_runs() {
         let t2 = c2.trace_json().expect("trace");
         assert_eq!(t1, t2, "{backend:?}: trace not deterministic");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Real substrate: the same observability layer over wall-clock execution on
+// the work-stealing pool.
+
+fn observed_real_run(threads: usize) -> (Cluster, amtlc::core::RunReport) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        workers_per_node: 4,
+        mode: ExecMode::CostOnly,
+        trace: true,
+        metrics: true,
+        ..Default::default()
+    });
+    let report = cluster.execute_real(flow_graph(2), threads);
+    assert!(report.complete());
+    (cluster, report)
+}
+
+#[test]
+fn real_trace_has_worker_spans_steal_flows_and_park_instants() {
+    let (cluster, report) = observed_real_run(4);
+    let stats = report.pool.clone().expect("real runs carry pool stats");
+    assert_eq!(
+        stats.trace_dropped, 0,
+        "trace ring overflowed on a tiny run"
+    );
+
+    let json = cluster.trace_json().expect("trace after execute_real");
+    let events_owner = parse_json(&json);
+    let events = events_owner
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut tracks: Vec<String> = Vec::new();
+    let mut hop_spans = 0u64;
+    let mut steal_spans = 0u64;
+    let mut stolen_spans = 0u64;
+    let mut flow_starts: HashMap<u64, u64> = HashMap::new();
+    let mut flow_ends: HashMap<u64, u64> = HashMap::new();
+    let mut counter_last_ts: HashMap<String, f64> = HashMap::new();
+    let mut parks = 0u64;
+    let mut unparks = 0u64;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
+        match ph {
+            "M" if ev.get("name").and_then(Json::as_str) == Some("thread_name") => {
+                let t = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .expect("thread_name args");
+                tracks.push(t.to_string());
+            }
+            "X" => match ev.get("name").and_then(Json::as_str).expect("name") {
+                "hop" => hop_spans += 1,
+                "steal" => steal_spans += 1,
+                "stolen" => stolen_spans += 1,
+                other => panic!("unexpected span {other}"),
+            },
+            "s" | "f" => {
+                let id = ev.get("id").and_then(Json::as_num).expect("flow id") as u64;
+                let m = if ph == "s" {
+                    &mut flow_starts
+                } else {
+                    assert_eq!(ev.get("bp").and_then(Json::as_str), Some("e"));
+                    &mut flow_ends
+                };
+                *m.entry(id).or_insert(0) += 1;
+            }
+            "C" => {
+                let name = ev.get("name").and_then(Json::as_str).expect("name");
+                let ts = ev.get("ts").and_then(Json::as_num).expect("ts");
+                let last = counter_last_ts.entry(name.to_string()).or_insert(-1.0);
+                assert!(ts >= *last, "counter {name} ts regressed");
+                *last = ts;
+            }
+            "i" => match ev.get("name").and_then(Json::as_str).expect("name") {
+                "park" => parks += 1,
+                "unpark" => unparks += 1,
+                other => panic!("unexpected instant {other}"),
+            },
+            _ => {}
+        }
+    }
+
+    // Every executed task left a span on a per-node worker track.
+    assert_eq!(hop_spans, report.tasks_executed);
+    assert!(
+        tracks.iter().any(|t| t.starts_with("n0.w"))
+            && tracks.iter().any(|t| t.starts_with("n1.w")),
+        "task spans must land on n{{node}}.w{{worker}} tracks: {tracks:?}"
+    );
+    // Steal arrows reconcile exactly with the pool's steal counter: one
+    // start (victim) + one end (thief) + both anchor spans per steal.
+    let steals = stats.steals();
+    assert_eq!(flow_starts.values().sum::<u64>(), steals);
+    assert_eq!(flow_ends.values().sum::<u64>(), steals);
+    assert_eq!(flow_starts, flow_ends, "unpaired steal-flow endpoints");
+    assert_eq!(steal_spans, steals);
+    assert_eq!(stolen_spans, steals);
+    // Park instants reconcile with the pool's park counter, and an idle
+    // 4-worker pool over this mostly-serial graph parks at least once.
+    assert_eq!(parks, stats.parks());
+    assert!(parks >= 1, "no worker ever parked");
+    assert!(unparks <= parks, "more unparks than parks");
+    // Depth counters present on pool tracks; monotonicity checked above.
+    assert!(
+        counter_last_ts.keys().any(|k| k.ends_with(".deque")),
+        "expected deque-depth counters, got {counter_last_ts:?}"
+    );
+}
+
+#[test]
+fn real_and_virtual_lifecycle_counts_agree_on_cholesky() {
+    let cfg = || ClusterConfig {
+        nodes: 2,
+        workers_per_node: 4,
+        mode: ExecMode::CostOnly,
+        metrics: true,
+        ..Default::default()
+    };
+    let (_, graph) = TlrCholesky::build_numeric(TlrProblem::new(256, 32), 2);
+    let mut virt = Cluster::new(cfg());
+    let vr = virt.execute(graph);
+    assert!(vr.complete());
+    let (_, graph) = TlrCholesky::build_numeric(TlrProblem::new(256, 32), 2);
+    let mut real = Cluster::new(cfg());
+    let rr = real.execute_real(graph, 2);
+    assert!(rr.complete());
+
+    // The protocol is substrate-invariant: same tasks, same data flows,
+    // same bytes over the (simulated or shared-memory) wire.
+    assert_eq!(vr.tasks_executed, rr.tasks_executed);
+    assert_eq!(vr.e2e_latency_us.count(), rr.e2e_latency_us.count());
+    assert_eq!(vr.bytes_transferred(), rr.bytes_transferred());
+
+    let vj = parse_json(&virt.metrics_report(&vr).to_json());
+    let rj = parse_json(&real.metrics_report(&rr).to_json());
+    assert_eq!(vj.get("substrate").and_then(Json::as_str), Some("virtual"));
+    assert_eq!(rj.get("substrate").and_then(Json::as_str), Some("real"));
+    let stage_count = |j: &Json, name: &str| {
+        j.get("stages")
+            .and_then(|s| s.get("histograms"))
+            .and_then(|h| h.get(name))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64
+    };
+    // Per-put lifecycle samples count completed data movements — one per
+    // flow on either substrate. (AM wire counts are not compared: virtual
+    // backends aggregate records into fewer wire messages.)
+    for stage in ["put.wire_ns", "put.callback_ns"] {
+        assert_eq!(
+            stage_count(&vj, stage),
+            stage_count(&rj, stage),
+            "{stage} count diverged across substrates"
+        );
+        assert_eq!(
+            stage_count(&rj, stage),
+            rr.e2e_latency_us.count(),
+            "{stage}: one sample per completed flow"
+        );
+    }
+    // Pool stats only exist on the real substrate, and conserve work.
+    assert!(vj.get("pool") == Some(&Json::Null));
+    let pool = rj.get("pool").expect("real pool stats");
+    assert_eq!(
+        pool.get("spawns").and_then(Json::as_num),
+        pool.get("executions").and_then(Json::as_num),
+        "spawned jobs must all execute"
+    );
+}
+
+#[test]
+fn calibration_profile_round_trips_through_cluster_and_cost_model() {
+    let (cluster, report) = observed_real_run(2);
+    let profile = cluster
+        .calibration_profile()
+        .expect("metrics-on real run yields a calibration profile");
+    assert_eq!(profile.threads, 2);
+    assert_eq!(profile.tasks, report.tasks_executed);
+    assert!(profile.classes.contains_key("hop"));
+    for rec in [
+        amtlc::core::REC_ACTIVATE,
+        amtlc::core::REC_GET_REQUEST,
+        amtlc::core::REC_ARRIVAL,
+        amtlc::core::REC_TASK_OVERHEAD,
+    ] {
+        let s = profile.records.get(rec).unwrap_or_else(|| panic!("{rec}"));
+        assert!(s.count > 0, "{rec}: no samples");
+    }
+    // Byte-stable serialization and a faithful parse round trip.
+    let json = profile.to_json();
+    let back = CalibrationProfile::from_json(&json).expect("parse own output");
+    assert_eq!(back.to_json(), json);
+    // Loading the profile moves the simulator's charges to the medians.
+    let cost = CostModel::from_profile(&profile);
+    assert_eq!(
+        cost.task_charge("hop", 1e9, 1.0),
+        cost.task_overhead + amtlc::simnet::SimTime::from_ns(profile.classes["hop"].median_ns)
+    );
+}
+
+#[test]
+fn disabled_real_observability_emits_nothing() {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        workers_per_node: 4,
+        mode: ExecMode::CostOnly,
+        ..Default::default()
+    });
+    let report = cluster.execute_real(flow_graph(2), 2);
+    assert!(report.complete());
+    let trace = cluster.trace_json().expect("merged trace exists");
+    let parsed = parse_json(&trace);
+    assert_eq!(
+        parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0),
+        "untraced real run must produce an empty event array"
+    );
+    let metrics = cluster.metrics_report(&report);
+    assert!(metrics.stages.is_empty(), "unmetered real run stays empty");
+    assert!(
+        cluster.calibration_profile().is_none(),
+        "no profile without metrics"
+    );
+    // Pool conservation counters are always-on (they are plain atomics).
+    let pool = report.pool.as_ref().expect("pool stats");
+    assert_eq!(pool.spawns(), pool.executions());
 }
 
 #[test]
