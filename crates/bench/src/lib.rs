@@ -11,6 +11,7 @@
 
 pub mod alloc_count;
 pub mod pingpong;
+pub mod stencil;
 pub mod table;
 pub mod tlrrun;
 
@@ -329,6 +330,107 @@ pub fn backend_arg(args: &[String]) -> Option<amt_comm::BackendKind> {
     None
 }
 
+/// Parse a `--name N` / `--name=N` numeric flag.
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let eq = format!("{name}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let v = if a == name {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+                .as_str()
+        } else if let Some(v) = a.strip_prefix(&eq) {
+            v
+        } else {
+            continue;
+        };
+        return Some(
+            v.parse()
+                .unwrap_or_else(|e| panic!("{name} {v:?} is not a number: {e}")),
+        );
+    }
+    None
+}
+
+/// Message-layer tuning knobs shared by the examples and harnesses:
+/// `--batch-bytes N`, `--batch-window-ns N`, `--multicast-k K`. Parsed by
+/// [`comm_tuning_args`]; overlaid on a configuration with
+/// [`CommTuning::apply`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommTuning {
+    /// AM-batch byte threshold (flush a destination's buffer at this many
+    /// bytes; `None`/0 falls back to the engine's aggregation cap).
+    pub batch_bytes: Option<usize>,
+    /// AM-batch virtual-time window in ns. Zero (or absent, with no
+    /// `--batch-bytes` either) keeps batching off: every submission
+    /// flushes immediately, the seed behavior.
+    pub batch_window_ns: Option<u64>,
+    /// Multicast tree arity for wide activations; enables tree
+    /// announcements (`bcast_tree_min = 2`) when the config has none.
+    pub multicast_k: Option<usize>,
+}
+
+/// Parse the [`CommTuning`] flags from harness/example arguments,
+/// validating eagerly: `--multicast-k` below 2 cannot form a tree and is
+/// rejected here rather than at cluster construction.
+pub fn comm_tuning_args(args: &[String]) -> CommTuning {
+    let t = CommTuning {
+        batch_bytes: num_flag(args, "--batch-bytes"),
+        batch_window_ns: num_flag(args, "--batch-window-ns"),
+        multicast_k: num_flag(args, "--multicast-k"),
+    };
+    if let Some(k) = t.multicast_k {
+        assert!(k >= 2, "--multicast-k must be at least 2 (got {k})");
+    }
+    t
+}
+
+impl CommTuning {
+    /// Whether any knob was given (callers print the active tuning once).
+    pub fn is_default(&self) -> bool {
+        *self == CommTuning::default()
+    }
+
+    /// Overlay the present knobs onto `cfg`. A `--batch-bytes` without a
+    /// window gets a 1 µs default window so the threshold can act at all;
+    /// an explicit `--batch-window-ns 0` keeps batching off.
+    pub fn apply(&self, cfg: &mut ClusterConfig) {
+        if self.batch_bytes.is_some() || self.batch_window_ns.is_some() {
+            let window = self
+                .batch_window_ns
+                .unwrap_or(if self.batch_bytes.is_some() { 1_000 } else { 0 });
+            cfg.engine = cfg
+                .engine
+                .clone()
+                .with_batching(window, self.batch_bytes.unwrap_or(0));
+        }
+        if let Some(k) = self.multicast_k {
+            cfg.multicast_k = Some(k);
+            if cfg.bcast_tree_min.is_none() {
+                cfg.bcast_tree_min = Some(2);
+            }
+        }
+    }
+
+    /// One-line summary of the active knobs, for example banners.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(w) = self.batch_window_ns {
+            parts.push(format!("batch window {w} ns"));
+        }
+        if let Some(b) = self.batch_bytes {
+            parts.push(format!("batch threshold {b} B"));
+        }
+        if let Some(k) = self.multicast_k {
+            parts.push(format!("multicast {k}-ary trees"));
+        }
+        parts.join(", ")
+    }
+}
+
 /// Granularities of Fig. 2/3: 8 KiB → 8 MiB in √2 steps (the paper's
 /// 90.5 KiB / 45.25 KiB points come from these half-power steps).
 pub fn granularities(min_bytes: usize) -> Vec<usize> {
@@ -451,5 +553,52 @@ mod tests {
     fn run_sweep_maps_items_in_order() {
         let items = ["a", "bb", "ccc"];
         assert_eq!(run_sweep(&items, 8, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn comm_tuning_parses_and_applies() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let t = comm_tuning_args(&args(&[
+            "--batch-window-ns",
+            "5000",
+            "--batch-bytes=4096",
+            "--multicast-k",
+            "4",
+        ]));
+        assert_eq!(t.batch_window_ns, Some(5_000));
+        assert_eq!(t.batch_bytes, Some(4096));
+        assert_eq!(t.multicast_k, Some(4));
+        assert!(!t.is_default());
+        let mut cfg = ClusterConfig::default();
+        t.apply(&mut cfg);
+        assert_eq!(cfg.engine.batch_window_ns, 5_000);
+        assert_eq!(cfg.engine.batch_bytes, 4096);
+        assert_eq!(cfg.multicast_k, Some(4));
+        assert_eq!(cfg.bcast_tree_min, Some(2));
+
+        // No flags: the configuration stays at seed defaults.
+        let mut cfg = ClusterConfig::default();
+        let none = comm_tuning_args(&args(&["--full"]));
+        assert!(none.is_default());
+        none.apply(&mut cfg);
+        assert_eq!(cfg.engine.batch_window_ns, 0);
+        assert_eq!(cfg.multicast_k, None);
+        assert_eq!(cfg.bcast_tree_min, None);
+
+        // A byte threshold alone gets the 1 µs default window; an explicit
+        // zero window stays off.
+        let mut cfg = ClusterConfig::default();
+        comm_tuning_args(&args(&["--batch-bytes", "512"])).apply(&mut cfg);
+        assert_eq!(cfg.engine.batch_window_ns, 1_000);
+        assert_eq!(cfg.engine.batch_bytes, 512);
+        let mut cfg = ClusterConfig::default();
+        comm_tuning_args(&args(&["--batch-window-ns=0", "--batch-bytes=512"])).apply(&mut cfg);
+        assert_eq!(cfg.engine.batch_window_ns, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multicast-k")]
+    fn comm_tuning_rejects_unary_tree() {
+        comm_tuning_args(&["--multicast-k=1".to_string()]);
     }
 }

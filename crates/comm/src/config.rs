@@ -70,6 +70,21 @@ pub struct EngineConfig {
     /// Aggregate funneled AMs to the same (destination, tag) up to this many
     /// payload bytes (§4.3 duty #1). Set to 0 to disable aggregation.
     pub agg_max_bytes: usize,
+    /// Engine-level AM batching: coalesce records addressed to the same
+    /// `(destination, tag)` into one wire message, rate-limiting each link
+    /// to one message per window under sustained traffic. A record to a
+    /// link that has been quiet for at least a window flushes at the end
+    /// of the current virtual instant (no added latency; a burst issued in
+    /// one callback still coalesces); a record to a hot link is held until
+    /// a full window has passed since the link's previous flush. `0`
+    /// (the default) disables the batching layer entirely — every submission
+    /// follows the classic funnel path and flushes immediately, preserving
+    /// the pre-batching schedule byte for byte.
+    pub batch_window_ns: u64,
+    /// Byte threshold that flushes a batching buffer early (before its
+    /// window expires). `0` falls back to `agg_max_bytes`. Only meaningful
+    /// when `batch_window_ns > 0`.
+    pub batch_bytes: usize,
     /// Multithreaded-ACTIVATE mode: workers send AMs directly instead of
     /// funneling through the communication thread (§6.4.3).
     pub multithread_am: bool,
@@ -107,6 +122,8 @@ impl Default for EngineConfig {
             am_batch: 5,
             eager_put_max: 4096,
             agg_max_bytes: 8192,
+            batch_window_ns: 0,
+            batch_bytes: 0,
             multithread_am: false,
             lci_shared_progress: false,
             lci_progress_threads: 1,
@@ -171,6 +188,25 @@ impl EngineConfig {
         self.metrics = metrics;
         self
     }
+
+    /// Enable the engine-level AM batching layer: hold same-destination
+    /// records for up to `window_ns` of virtual time, flushing early at
+    /// `bytes` payload bytes (`0` = use `agg_max_bytes`). A zero window
+    /// means flush-immediately, i.e. batching disabled.
+    pub fn with_batching(mut self, window_ns: u64, bytes: usize) -> Self {
+        self.batch_window_ns = window_ns;
+        self.batch_bytes = bytes;
+        self
+    }
+
+    /// Effective byte threshold of the batching layer.
+    pub fn batch_flush_bytes(&self) -> usize {
+        if self.batch_bytes > 0 {
+            self.batch_bytes
+        } else {
+            self.agg_max_bytes
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +220,19 @@ mod tests {
         assert_eq!(c.max_concurrent_transfers, 30);
         assert_eq!(c.am_batch, 5);
         assert!(!c.multithread_am);
+        // Batching is off by default: zero window = flush-immediately.
+        assert_eq!(c.batch_window_ns, 0);
+        assert_eq!(c.batch_bytes, 0);
+    }
+
+    #[test]
+    fn batching_builder_and_threshold_fallback() {
+        let c = EngineConfig::lci().with_batching(5_000, 0);
+        assert_eq!(c.batch_window_ns, 5_000);
+        // Zero batch_bytes falls back to the aggregation cap.
+        assert_eq!(c.batch_flush_bytes(), c.agg_max_bytes);
+        let c = c.with_batching(5_000, 2048);
+        assert_eq!(c.batch_flush_bytes(), 2048);
     }
 
     #[test]

@@ -108,11 +108,35 @@ pub(crate) enum Micro {
     BackendUnit(u32),
 }
 
+/// A per-`(destination, tag)` batching buffer: records held back from the
+/// wire until the byte threshold fills or the virtual-time window expires.
+pub(crate) struct AmBatch {
+    frames: Frames,
+    size: usize,
+    submissions: u64,
+    /// When the first record entered the buffer (queue-wait stage of the
+    /// eventual wire message is measured from here).
+    first_submitted: SimTime,
+    /// Distinguishes this buffer from any later buffer for the same key, so
+    /// a window-expiry event scheduled for a buffer that already flushed on
+    /// its byte threshold is a no-op.
+    gen: u64,
+}
+
 pub(crate) struct Inner {
     pub am_cbs: HashMap<u64, AmCallback>,
     pub onesided_cbs: HashMap<u64, OnesidedCallback>,
     pub pending: VecDeque<Command>,
     pub micro: VecDeque<Micro>,
+    /// Open batching buffers (only when `cfg.batch_window_ns > 0`).
+    pub(crate) batch: HashMap<(NodeId, u64), AmBatch>,
+    pub(crate) batch_gen: u64,
+    /// When the last batch to each `(destination, tag)` left for the wire.
+    /// The window is a *rate limit* anchored here: a record to a link that
+    /// has been quiet for a window flushes at the end of the current
+    /// instant (zero added latency), a record to a hot link waits until a
+    /// full window has passed since the previous flush.
+    pub(crate) batch_last_flush: HashMap<(NodeId, u64), SimTime>,
     /// A charge is in flight on the communication core.
     pub busy: bool,
     /// The communication thread is parked, waiting for a waker.
@@ -158,6 +182,9 @@ pub struct CommEngine {
     /// traffic reuses a bounded working set instead of allocating per
     /// message.
     pool: BufPool,
+    /// Human-readable labels per registered AM tag, for the per-class
+    /// `msg.<class>.msgs_on_wire` / `records_per_msg` metrics.
+    tag_labels: RefCell<HashMap<u64, &'static str>>,
 }
 
 /// Factory for per-node engines over a shared fabric.
@@ -189,6 +216,7 @@ impl CommWorld {
                 cmdq_name: format!("n{node}.cmdq"),
                 puts_name: format!("n{node}.puts"),
                 pool: BufPool::new(64),
+                tag_labels: RefCell::new(HashMap::new()),
             });
             eng.backend.init(&eng, sim);
             engines.push(eng);
@@ -204,6 +232,9 @@ impl Inner {
             onesided_cbs: HashMap::new(),
             pending: VecDeque::new(),
             micro: VecDeque::new(),
+            batch: HashMap::new(),
+            batch_gen: 0,
+            batch_last_flush: HashMap::new(),
             busy: false,
             idle: true,
             in_ctx: false,
@@ -360,10 +391,19 @@ impl CommEngine {
         aggregate: bool,
     ) {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        self.inner.borrow_mut().stats.am_submitted.inc();
+        // Engine-level batching: hold the record in a per-(dst, tag) buffer
+        // until its window expires or its byte threshold fills. Checked
+        // *before* the in-context fast path so sends issued from inside a
+        // communication-thread callback (GET issuance, tree forwarding) —
+        // which would otherwise go straight to the wire — coalesce too.
+        if aggregate && self.cfg.batch_window_ns > 0 {
+            self.batch_am(sim, dst, tag, size, data);
+            return;
+        }
         let depth;
         {
             let mut inner = self.inner.borrow_mut();
-            inner.stats.am_submitted.inc();
             if inner.in_ctx {
                 drop(inner);
                 // Issued immediately from communication-thread context: the
@@ -410,6 +450,110 @@ impl CommEngine {
         }
         self.sample_cmdq(sim.now(), depth);
         CommEngine::wake_comm(self, sim);
+    }
+
+    /// Add a record to its `(dst, tag)` batching buffer, opening the buffer
+    /// (and scheduling its flush) if none is open.
+    ///
+    /// The flush time implements per-link rate limiting rather than a
+    /// fixed hold-back delay: if the link has been quiet for at least one
+    /// window the buffer flushes at the *current* instant — after the rest
+    /// of this instant's submissions, so a burst issued in one callback
+    /// still coalesces — and otherwise at `last_flush + window`, bounding
+    /// each `(dst, tag)` pair to one wire message per window under
+    /// sustained traffic while adding no latency to sporadic sends.
+    fn batch_am(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        dst: NodeId,
+        tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) {
+        let flush_at = self.cfg.batch_flush_bytes();
+        let flush_now;
+        let mut schedule = None;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            match inner.batch.get_mut(&(dst, tag)) {
+                Some(b) => {
+                    if let Some(d) = data {
+                        b.frames.push(d);
+                    }
+                    b.size += size;
+                    b.submissions += 1;
+                    flush_now = b.size >= flush_at;
+                }
+                None => {
+                    inner.batch_gen += 1;
+                    let gen = inner.batch_gen;
+                    inner.batch.insert(
+                        (dst, tag),
+                        AmBatch {
+                            frames: Frames::from(data),
+                            size,
+                            submissions: 1,
+                            first_submitted: sim.now(),
+                            gen,
+                        },
+                    );
+                    flush_now = size >= flush_at;
+                    if !flush_now {
+                        let window = SimTime::from_ns(self.cfg.batch_window_ns);
+                        let earliest = inner
+                            .batch_last_flush
+                            .get(&(dst, tag))
+                            .map_or(SimTime::ZERO, |t| *t + window);
+                        schedule = Some((gen, earliest));
+                    }
+                }
+            }
+        }
+        if flush_now {
+            CommEngine::flush_batch(self, sim, dst, tag, None);
+        } else if let Some((gen, earliest)) = schedule {
+            let eng = self.clone();
+            let flush =
+                move |sim: &mut Sim| CommEngine::flush_batch(&eng, sim, dst, tag, Some(gen));
+            if earliest <= sim.now() {
+                sim.schedule_now(flush);
+            } else {
+                sim.schedule_at(earliest, flush);
+            }
+        }
+    }
+
+    /// Move a batching buffer onto the communication thread's command
+    /// queue. `gen` (window-expiry flushes) makes the flush conditional on
+    /// the buffer still being the one the event was scheduled for; `None`
+    /// (threshold flushes) is unconditional.
+    fn flush_batch(eng: &Rc<Self>, sim: &mut Sim, dst: NodeId, tag: u64, gen: Option<u64>) {
+        let depth;
+        {
+            let mut inner = eng.inner.borrow_mut();
+            match inner.batch.get(&(dst, tag)) {
+                Some(b) if gen.is_none_or(|g| b.gen == g) => {}
+                _ => return,
+            }
+            let b = inner
+                .batch
+                .remove(&(dst, tag))
+                .expect("batch checked above");
+            inner.batch_last_flush.insert((dst, tag), sim.now());
+            inner.pending.push_back(Command::SendAm {
+                dst,
+                tag,
+                size: b.size,
+                frames: b.frames,
+                aggregate: true,
+                submissions: b.submissions,
+                submitted_at: b.first_submitted,
+            });
+            depth = inner.pending.len();
+        }
+        eng.sample_cmdq(sim.now(), depth);
+        CommEngine::wake_comm(eng, sim);
     }
 
     /// Multithreaded AM send (§6.4.3): the calling worker thread sends
@@ -616,14 +760,33 @@ impl CommEngine {
         {
             let mut inner = self.inner.borrow_mut();
             inner.stats.am_sent.inc();
-            let _ = submissions;
+        }
+        if self.cfg.metrics {
+            let label = self.tag_label(tag);
+            let mut m = self.metrics.borrow_mut();
+            m.count(&format!("msg.{label}.msgs_on_wire"), 1);
+            m.record(&format!("msg.{label}.records_per_msg"), submissions);
         }
         let c = self.backend.issue_am(self, sim, dst, tag, size, frames);
         self.record_stage("am.inject_ns", c);
         c
     }
 
+    /// Attach a human-readable class label to an AM tag, naming its
+    /// per-class wire counters (`msg.<label>.msgs_on_wire`,
+    /// `msg.<label>.records_per_msg`). Unlabeled tags count under `am`.
+    pub fn label_tag(&self, tag: u64, label: &'static str) {
+        self.tag_labels.borrow_mut().insert(tag, label);
+    }
+
+    fn tag_label(&self, tag: u64) -> &'static str {
+        self.tag_labels.borrow().get(&tag).copied().unwrap_or("am")
+    }
+
     pub(crate) fn issue_put(self: &Rc<Self>, sim: &mut Sim, req: PutRequest) -> SimTime {
+        if self.cfg.metrics {
+            self.metrics.borrow_mut().count("msg.data.msgs_on_wire", 1);
+        }
         let c = self.backend.issue_put(self, sim, req);
         self.record_stage("put.inject_ns", c);
         self.sample_inflight_puts(sim.now());

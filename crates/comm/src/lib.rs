@@ -45,6 +45,7 @@
 //! MPI backend, contends on the library's serializing lock.
 
 mod backend;
+pub mod collectives;
 mod config;
 mod engine;
 mod lci_backend;
@@ -54,6 +55,9 @@ pub mod shm;
 mod stats;
 mod wire;
 
+pub use collectives::{
+    kary_children, kary_parent, EngineCollectives, ReduceStep, TreeBcast, TreeReduce,
+};
 pub use config::{BackendKind, EngineConfig};
 pub use engine::{
     AmCallback, AmEvent, CommEngine, CommWorld, OnesidedCallback, PutEvent, PutLocalCb, PutRequest,

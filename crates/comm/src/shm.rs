@@ -27,7 +27,7 @@
 //! datapath mechanics (frame boundaries, buffer recycling) so the layers
 //! above run unchanged.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
@@ -143,6 +143,9 @@ impl ShmNode {
 #[derive(Clone, Debug)]
 pub struct ShmWorld {
     nodes: Arc<Vec<ShmNode>>,
+    /// AM-tag → message-class label for the per-class wire counters
+    /// (`msg.<label>.msgs_on_wire`); unlabeled tags fall back to `"am"`.
+    labels: Arc<Mutex<HashMap<u64, &'static str>>>,
 }
 
 impl ShmWorld {
@@ -161,7 +164,23 @@ impl ShmWorld {
                     .map(|_| ShmNode::new(pool_bufs, metrics))
                     .collect(),
             ),
+            labels: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Name the message class of AM tag `tag` for the per-class wire
+    /// counters (mirrors `CommEngine::label_tag` on the virtual path).
+    pub fn label_tag(&self, tag: u64, label: &'static str) {
+        self.labels.lock().expect("shm labels").insert(tag, label);
+    }
+
+    fn tag_label(&self, tag: u64) -> &'static str {
+        self.labels
+            .lock()
+            .expect("shm labels")
+            .get(&tag)
+            .copied()
+            .unwrap_or("am")
     }
 
     /// Record a lifecycle-stage duration into `node`'s registry (no-op
@@ -212,6 +231,12 @@ impl ShmWorld {
                 // aligned with the virtual backends.
                 m.record("am.queue_ns", 0);
                 m.record("am.inject_ns", 0);
+                let label = self.tag_label(tag);
+                m.count(&format!("msg.{label}.msgs_on_wire"), 1);
+                m.record(
+                    &format!("msg.{label}.records_per_msg"),
+                    frames.frame_count() as u64,
+                );
             }
         }
         self.nodes[dst]
@@ -246,6 +271,7 @@ impl ShmWorld {
             if m.enabled() {
                 m.record("put.queue_ns", 0);
                 m.record("put.inject_ns", 0);
+                m.count("msg.data.msgs_on_wire", 1);
             }
         }
         self.nodes[dst]

@@ -159,6 +159,9 @@ pub struct Cluster {
 
 impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Self {
+        if let Some(k) = cfg.multicast_k {
+            assert!(k >= 2, "multicast_k must be at least 2 (got {k})");
+        }
         let mut fabric_cfg = cfg.fabric.clone();
         fabric_cfg.nodes = cfg.nodes;
         let mut engine_cfg = cfg.engine.clone();
@@ -190,6 +193,8 @@ impl Cluster {
 
         let rts: Rc<RefCell<Option<Vec<RtHandle>>>> = Rc::new(RefCell::new(None));
         for (node, engine) in engines.iter().enumerate() {
+            engine.label_tag(AM_ACTIVATE, "activate");
+            engine.label_tag(AM_GETDATA, "get");
             let slot = rts.clone();
             engine.register_am(
                 &mut sim,

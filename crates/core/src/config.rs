@@ -151,6 +151,12 @@ pub struct ClusterConfig {
     /// forward the announcement down their subtree. `None` = always direct
     /// fan-out from the producer.
     pub bcast_tree_min: Option<usize>,
+    /// Multicast tree arity: `Some(k)` splits wide fan-outs into k-way
+    /// subtrees ([`crate::records::tree_children_k`]) instead of the
+    /// default binomial recursive halving. Only meaningful together with
+    /// [`ClusterConfig::bcast_tree_min`]; `k < 2` is rejected at cluster
+    /// construction.
+    pub multicast_k: Option<usize>,
     /// Record a Chrome-trace timeline of task executions, communication /
     /// progress-thread activity, message flows, and queue-depth counters
     /// (see [`crate::Cluster::trace_json`]). Adds memory proportional to
@@ -187,6 +193,7 @@ impl Default for ClusterConfig {
             get_window_bytes: 0,
             get_window_min_flows: 4,
             bcast_tree_min: None,
+            multicast_k: None,
             trace: false,
             metrics: false,
             mode: ExecMode::Numeric,

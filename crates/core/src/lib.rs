@@ -89,6 +89,7 @@ pub use graph::{
     DataKey, GraphBuilder, GraphHandle, GraphSource, Kernel, TaskDesc, TaskGraph, TaskId, VersionId,
 };
 pub use metrics::{LatencySummary, MetricsReport};
+pub use records::{tree_children, tree_children_k};
 
 #[cfg(test)]
 mod tests;

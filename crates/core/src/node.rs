@@ -460,12 +460,13 @@ impl NodeRt {
         let sent_at = sim.now().as_ns();
         let mut extra = SimTime::ZERO;
 
-        // Wide broadcasts go through a binomial multicast tree (Figure 1).
+        // Wide broadcasts go through a multicast tree (Figure 1): binomial
+        // recursive halving by default, k-way when `multicast_k` is set.
         if rt.cfg.bcast_tree_min.is_some_and(|m| dests.len() >= m) {
             let best_priority = dests.iter().map(|(_, p)| *p).max().expect("non-empty");
             let mut ids: Vec<u32> = dests.iter().map(|(n, _)| *n as u32).collect();
             ids.sort_unstable();
-            for (child, subtree) in crate::records::tree_children(&ids) {
+            for (child, subtree) in NodeRt::split_subtree(rt, &ids) {
                 let rec = ActivateRec {
                     version: version.0 as u64,
                     size: size as u64,
@@ -476,9 +477,32 @@ impl NodeRt {
                 extra += NodeRt::send_activate(rt, sim, child as NodeId, &rec, mt);
             }
         } else {
+            // Record bodies differ only by priority here; encode once per
+            // distinct priority into a pooled buffer and send clones of the
+            // shared frame (wire bytes identical to per-destination
+            // encodes; the refcount-checked pool never reclaims a shared
+            // buffer early).
+            let mut encoded: Vec<(i64, Bytes)> = Vec::new();
             for &(dst, priority) in &dests {
-                let rec = ActivateRec::direct(version.0 as u64, size as u64, priority, sent_at);
-                extra += NodeRt::send_activate(rt, sim, dst, &rec, mt);
+                let payload = match encoded.iter().find(|(p, _)| *p == priority) {
+                    Some((_, b)) => b.clone(),
+                    None => {
+                        let rec =
+                            ActivateRec::direct(version.0 as u64, size as u64, priority, sent_at);
+                        let b = rec.encode_one_with(rt.engine.buf_pool());
+                        encoded.push((priority, b.clone()));
+                        b
+                    }
+                };
+                extra += NodeRt::send_activate_encoded(
+                    rt,
+                    sim,
+                    dst,
+                    version.0 as u64,
+                    ACTIVATE_WIRE_BYTES,
+                    payload,
+                    mt,
+                );
             }
         }
         if from_scratch {
@@ -501,11 +525,25 @@ impl NodeRt {
         rec: &ActivateRec,
         mt: bool,
     ) -> SimTime {
-        let engine = &rt.engine;
         let wire = ACTIVATE_WIRE_BYTES + 4 * rec.forward.len();
-        let payload = rec.encode_one_with(engine.buf_pool());
+        let payload = rec.encode_one_with(rt.engine.buf_pool());
+        NodeRt::send_activate_encoded(rt, sim, dst, rec.version, wire, payload, mt)
+    }
+
+    /// [`NodeRt::send_activate`] with the record already encoded — the
+    /// announce loop encodes identical bodies once and sends shared clones.
+    fn send_activate_encoded(
+        rt: &RtHandle,
+        sim: &mut Sim,
+        dst: NodeId,
+        version: u64,
+        wire: usize,
+        payload: Bytes,
+        mt: bool,
+    ) -> SimTime {
+        let engine = &rt.engine;
         if rt.trace_on {
-            let id = flow_id(FLOW_ACTIVATE, rec.version, rt.node, dst);
+            let id = flow_id(FLOW_ACTIVATE, version, rt.node, dst);
             rt.state.borrow_mut().trace.flow_start(
                 rt.comm_track.clone(),
                 "activate",
@@ -521,6 +559,16 @@ impl NodeRt {
         }
     }
 
+    /// Split a multicast destination list into child subtrees: k-way when
+    /// the configuration names an arity, binomial recursive halving
+    /// otherwise.
+    fn split_subtree(rt: &RtHandle, ids: &[u32]) -> Vec<(u32, Vec<u32>)> {
+        match rt.cfg.multicast_k {
+            Some(k) => crate::records::tree_children_k(ids, k),
+            None => crate::records::tree_children(ids),
+        }
+    }
+
     /// Forward a multicast announcement down the subtree once the data is
     /// locally present (called from the communication-thread context).
     fn forward_subtree(
@@ -532,7 +580,7 @@ impl NodeRt {
         sent_at_ns: u64,
         size: usize,
     ) {
-        for (child, sub) in crate::records::tree_children(subtree) {
+        for (child, sub) in NodeRt::split_subtree(rt, subtree) {
             let rec = ActivateRec {
                 version: version.0 as u64,
                 size: size as u64,
@@ -843,13 +891,17 @@ impl NodeRt {
                 activate_sent_at_ns: get.activate_sent_at_ns,
             };
             let engine = &rt.engine;
+            // GETs issue from communication-thread context and historically
+            // never aggregate; with a batching window configured they are
+            // batch-eligible like any other record.
+            let batch = engine.config().batch_window_ns > 0;
             engine.send_am_opts(
                 sim,
                 get.src,
                 AM_GETDATA,
                 GET_WIRE_BYTES,
                 Some(rec.encode_with(engine.buf_pool())),
-                false,
+                batch,
             );
             cost += rt.cfg.cost.get_send_cost;
         }

@@ -21,10 +21,21 @@
 //!
 //! ## Differences from the virtual path (by design)
 //!
-//! * No GET-window throttling and no binomial multicast: those are
-//!   engine behaviors under *study* in the simulator; here every
-//!   announce is a direct send and every GET issues immediately.
-//! * No aggregation: one record per wire message.
+//! * No GET-window throttling and no engine-level AM aggregation: those
+//!   are engine behaviors under *study* in the simulator; here every GET
+//!   issues immediately and every record travels as its own wire message.
+//! * Multicast *is* honored: with `bcast_tree_min` set, wide announces
+//!   fan out over the same forward-list trees as the virtual engines
+//!   (binomial halving, or k-ary under `multicast_k`). Control flows
+//!   relay down the tree immediately; data flows relay only once the
+//!   payload is locally present, so children always GET from a tree
+//!   parent that holds the data.
+//! * Startup and quiescence run on the collectives primitives
+//!   ([`amt_comm::kary_children`] / [`amt_comm::TreeReduce`]): a
+//!   go-token broadcast down a k-ary tree starts each node's announces
+//!   and seed tasks, and per-node executed-task counts reduce back up
+//!   the same tree to confirm completion at the root — no single root
+//!   job touching every node's state.
 //! * `e2e`/`msg`/`request` latencies are wall-clock (anchored at pool
 //!   start), measured through the same record timestamps as §6.1.3.
 //!
@@ -41,10 +52,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
-use amt_comm::{EngineStats, ShmMsg, ShmWorld};
+use amt_comm::{kary_children, EngineStats, ReduceStep, ShmMsg, ShmWorld, TreeReduce};
 use amt_exec::{Pool, TraceEvent};
 use amt_simnet::{MetricsRegistry, OnlineStats, SimTime, Substrate, Trace};
-use bytes::{Bytes, Frames};
+use bytes::{Buf, BufMut, Bytes, Frames};
 
 use crate::calib::{
     CalibrationProfile, CostSummary, REC_ACTIVATE, REC_ARRIVAL, REC_GET_REQUEST, REC_TASK_OVERHEAD,
@@ -53,7 +64,12 @@ use crate::cluster::RunReport;
 use crate::config::ClusterConfig;
 use crate::graph::{TaskGraph, TaskId, VersionId};
 use crate::node::{AM_ACTIVATE, AM_GETDATA, RTAG_DATA};
-use crate::records::{ActivateRec, GetRec, PutCb};
+use crate::records::{tree_children, tree_children_k, ActivateRec, GetRec, PutCb};
+
+/// AM tag of the startup go-token broadcast down the collective tree.
+const AM_COLL_GO: u64 = 3;
+/// AM tag of quiescence-reduce partial sums up the collective tree.
+const AM_COLL_SUM: u64 = 4;
 
 /// Steal-victim seed for [`crate::Cluster::execute_real`] pools; fixed so
 /// probe sequences are reproducible run to run.
@@ -68,6 +84,9 @@ struct NodeStore {
     present: Vec<bool>,
     requested: Vec<bool>,
     payload: HashMap<usize, Bytes>,
+    /// Multicast subtrees (`(forward list, priority)`) this node must
+    /// relay once the version's data arrives.
+    pending_forwards: HashMap<usize, (Vec<u32>, i64)>,
 }
 
 /// Per-worker execution accounting (merged into the report at the end).
@@ -119,6 +138,18 @@ struct RealRun {
     worker_stats: Vec<Mutex<WorkerStat>>,
     flows: Vec<Mutex<FlowStats>>,
     executed: AtomicU64,
+    /// Per-node executed-task counts — the contributions of the
+    /// quiescence tree reduce.
+    node_executed: Vec<AtomicU64>,
+    /// Quiescence reduce over the collective tree (root = node 0).
+    reduce: TreeReduce,
+    /// Announce over a multicast tree when a version has at least this
+    /// many remote consumers (`None` = always unicast).
+    bcast_tree_min: Option<usize>,
+    /// Multicast tree arity (`None` = binomial halving).
+    multicast_k: Option<usize>,
+    /// Arity of the startup/quiescence collective trees.
+    coll_k: usize,
     /// Gate for handler timing and calibration sampling; `false` keeps
     /// the unobserved hot path free of extra clock reads and locks.
     metrics_on: bool,
@@ -132,7 +163,10 @@ const _: fn() = || {
 };
 
 impl RealRun {
-    fn new(graph: TaskGraph, nodes: usize, pool_threads: usize, metrics: bool) -> RealRun {
+    fn new(graph: TaskGraph, cfg: &ClusterConfig, pool_threads: usize) -> RealRun {
+        let nodes = cfg.nodes;
+        let metrics = cfg.metrics;
+        let coll_k = cfg.multicast_k.unwrap_or(2);
         let nv = graph.version_count();
         let remaining = graph
             .tasks()
@@ -154,6 +188,7 @@ impl RealRun {
                     present: vec![false; nv],
                     requested: vec![false; nv],
                     payload: HashMap::new(),
+                    pending_forwards: HashMap::new(),
                 };
                 for (i, v) in graph.versions().enumerate() {
                     if v.producer.is_none() && v.home == n {
@@ -166,10 +201,15 @@ impl RealRun {
                 Mutex::new(s)
             })
             .collect();
+        let shm = ShmWorld::new_observed(nodes, SHM_POOL_BUFS, metrics);
+        shm.label_tag(AM_ACTIVATE, "activate");
+        shm.label_tag(AM_GETDATA, "get");
+        shm.label_tag(AM_COLL_GO, "coll");
+        shm.label_tag(AM_COLL_SUM, "coll");
         RealRun {
             remaining,
             stores,
-            shm: ShmWorld::new_observed(nodes, SHM_POOL_BUFS, metrics),
+            shm,
             worker_stats: (0..pool_threads)
                 .map(|_| Mutex::new(WorkerStat::default()))
                 .collect(),
@@ -177,9 +217,24 @@ impl RealRun {
                 .map(|_| Mutex::new(FlowStats::default()))
                 .collect(),
             executed: AtomicU64::new(0),
+            node_executed: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            reduce: TreeReduce::new(nodes, 0, coll_k),
+            bcast_tree_min: cfg.bcast_tree_min,
+            multicast_k: cfg.multicast_k,
+            coll_k,
             metrics_on: metrics,
             calib: Mutex::new(CalibSamples::default()),
             graph,
+        }
+    }
+
+    /// Split a multicast destination list into child subtrees: k-way when
+    /// the configuration names an arity, binomial recursive halving
+    /// otherwise (the exact split the virtual engines use).
+    fn split_subtree(&self, ids: &[u32]) -> Vec<(u32, Vec<u32>)> {
+        match self.multicast_k {
+            Some(k) => tree_children_k(ids, k),
+            None => tree_children(ids),
         }
     }
 
@@ -244,8 +299,10 @@ impl RealRun {
 }
 
 /// Announce `v` to every remote consumer node and schedule their
-/// progress; called once, by the producer's node (or init for initial
-/// versions).
+/// progress; called once, by the producer's node (or that node's startup
+/// for initial versions). Wide announces go down a multicast tree when
+/// `bcast_tree_min` allows; each destination still receives exactly one
+/// ACTIVATE.
 fn announce(sub: &mut dyn Substrate, run: &Arc<RealRun>, v: usize) {
     let ver = run.graph.version(v);
     let home = ver.home;
@@ -253,13 +310,54 @@ fn announce(sub: &mut dyn Substrate, run: &Arc<RealRun>, v: usize) {
         .producer
         .map(|t| run.graph.task(t).priority)
         .unwrap_or(0);
-    for dst in run.remote_consumer_nodes(v) {
+    let dests = run.remote_consumer_nodes(v);
+    if run.bcast_tree_min.is_some_and(|m| dests.len() >= m) {
+        let ids: Vec<u32> = dests.iter().map(|&d| d as u32).collect();
+        let now_ns = sub.now().as_ns();
+        relay_subtree(sub, run, home, v, &ids, priority, now_ns);
+        return;
+    }
+    for dst in dests {
         let now_ns = sub.now().as_ns();
         let rec = ActivateRec::direct(v as u64, ver.size as u64, priority, now_ns);
         let frame = rec.encode_one_shared(run.shm.node(home).pool());
         run.shm
             .send_am(home, dst, AM_ACTIVATE, Frames::One(frame), now_ns);
         spawn_progress(sub, run, dst);
+    }
+}
+
+/// Send ACTIVATEs for `v` to the tree children of `subtree`, each
+/// carrying its forward list; `sent_at_ns` is the *original* announce
+/// instant so downstream latencies span the whole multicast path, exactly
+/// like the virtual engines' relays.
+fn relay_subtree(
+    sub: &mut dyn Substrate,
+    run: &Arc<RealRun>,
+    node: usize,
+    v: usize,
+    subtree: &[u32],
+    priority: i64,
+    sent_at_ns: u64,
+) {
+    let size = run.graph.version(v).size as u64;
+    for (child, forward) in run.split_subtree(subtree) {
+        let rec = ActivateRec {
+            version: v as u64,
+            size,
+            priority,
+            sent_at_ns,
+            forward,
+        };
+        let frame = rec.encode_one_shared(run.shm.node(node).pool());
+        run.shm.send_am(
+            node,
+            child as usize,
+            AM_ACTIVATE,
+            Frames::One(frame),
+            sub.now().as_ns(),
+        );
+        spawn_progress(sub, run, child as usize);
     }
 }
 
@@ -328,6 +426,7 @@ fn exec_task(sub: &mut dyn Substrate, run: &Arc<RealRun>, t: TaskId) {
         e.1 += busy_ns;
     }
     run.executed.fetch_add(1, SeqCst);
+    run.node_executed[node].fetch_add(1, SeqCst);
     if run.metrics_on {
         run.kernel_sample(task.name, busy_ns);
     }
@@ -407,6 +506,36 @@ fn progress(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize) {
                     run.shm.record_stage(node, "am.callback_ns", callback_ns);
                 }
             }
+            ShmMsg::Am {
+                tag,
+                frames,
+                sent_at_ns,
+                ..
+            } if tag == AM_COLL_GO => {
+                run.shm.delivered(node, false, 0, now_ns, sent_at_ns);
+                run.shm.node(node).pool().recycle_frames(frames);
+                node_startup(sub, run, node);
+            }
+            ShmMsg::Am {
+                tag,
+                frames,
+                sent_at_ns,
+                ..
+            } if tag == AM_COLL_SUM => {
+                run.shm.delivered(node, false, 0, now_ns, sent_at_ns);
+                let partials: Vec<u64> = frames
+                    .iter()
+                    .map(|b| {
+                        let mut b = b.clone();
+                        b.get_u64_le()
+                    })
+                    .collect();
+                run.shm.node(node).pool().recycle_frames(frames);
+                for p in partials {
+                    let step = run.reduce.arrive(node, p);
+                    coll_step(sub, run, node, step);
+                }
+            }
             ShmMsg::Am { tag, .. } => panic!("unregistered AM tag {tag}"),
             ShmMsg::Put {
                 r_tag,
@@ -430,6 +559,63 @@ fn progress(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize) {
     }
 }
 
+/// Startup at `node`, triggered by the go-token reaching it: relay the
+/// token to the node's collective-tree children first (subtree startups
+/// overlap with this node's own work), then announce this node's initial
+/// versions and seed its dependence-free tasks, in task order.
+fn node_startup(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize) {
+    for child in kary_children(node, 0, run.shm.len(), run.coll_k) {
+        run.shm
+            .send_am(node, child, AM_COLL_GO, Frames::new(), sub.now().as_ns());
+        spawn_progress(sub, run, child);
+    }
+    for v in 0..run.graph.version_count() {
+        let ver = run.graph.version(v);
+        if ver.producer.is_none() && ver.home == node {
+            announce(sub, run, v);
+        }
+    }
+    // Seed only *statically* dependence-free tasks — every input a
+    // pre-satisfied initial version homed here. Tasks whose counters hit
+    // zero dynamically are spawned by `fulfill_local` at the releasing
+    // delivery; re-checking live counters here would double-spawn any
+    // task released by a remote flow that outran this node's go token.
+    let ready: Vec<TaskId> = (0..run.graph.task_count())
+        .filter(|&t| {
+            let task = run.graph.task(t);
+            task.node == node
+                && task.inputs.iter().all(|v| {
+                    let ver = run.graph.version(v.0);
+                    ver.producer.is_none() && ver.home == node
+                })
+        })
+        .collect();
+    for t in ready {
+        spawn_task(sub, run, t);
+    }
+}
+
+/// Act on one quiescence-reduce transition: forward a completed partial
+/// sum to the tree parent (the root's completion is read off
+/// [`TreeReduce::result`] after the pool drains).
+fn coll_step(sub: &mut dyn Substrate, run: &Arc<RealRun>, node: usize, step: ReduceStep) {
+    match step {
+        ReduceStep::Send { parent, partial } => {
+            let mut b = run.shm.node(node).pool().take(8);
+            b.put_u64_le(partial);
+            run.shm.send_am(
+                node,
+                parent,
+                AM_COLL_SUM,
+                Frames::One(b.freeze()),
+                sub.now().as_ns(),
+            );
+            spawn_progress(sub, run, parent);
+        }
+        ReduceStep::Done(_) | ReduceStep::Wait => {}
+    }
+}
+
 /// ACTIVATE at a consumer node: control flows complete immediately; data
 /// flows request the payload from the producing node.
 fn on_activate(
@@ -447,7 +633,9 @@ fn on_activate(
     }
     let v = rec.version as usize;
     if rec.size == 0 {
-        // Pure control dependence: no payload will follow.
+        // Pure control dependence: no payload will follow; relay the
+        // multicast subtree (if any) immediately — there is no data to
+        // wait for.
         {
             let mut f = run.flows[node].lock().expect("flow stats");
             f.e2e.record_time_us(lat);
@@ -455,6 +643,17 @@ fn on_activate(
         let ready = run.fulfill_local(node, v, None);
         for t in ready {
             spawn_task(sub, run, t);
+        }
+        if !rec.forward.is_empty() {
+            relay_subtree(
+                sub,
+                run,
+                node,
+                v,
+                &rec.forward,
+                rec.priority,
+                rec.sent_at_ns,
+            );
         }
         return;
     }
@@ -465,6 +664,13 @@ fn on_activate(
             "version {v} requested twice by node {node}"
         );
         store.requested[v] = true;
+        if !rec.forward.is_empty() {
+            // Data flow: relay only once the payload lands here (on_data),
+            // so children GET from a parent that holds it.
+            store
+                .pending_forwards
+                .insert(v, (rec.forward.clone(), rec.priority));
+        }
     }
     let get = GetRec {
         version: rec.version,
@@ -520,9 +726,27 @@ fn on_data(
         f.e2e
             .record_time_us(SimTime::from_ns(now.saturating_sub(cb.activate_sent_at_ns)));
     }
-    let ready = run.fulfill_local(node, cb.version as usize, data);
+    let v = cb.version as usize;
+    let ready = run.fulfill_local(node, v, data);
     for t in ready {
         spawn_task(sub, run, t);
+    }
+    // Multicast relay: the data is local now; announce it down the
+    // subtree so children GET it from this node.
+    let fwd = {
+        let mut store = run.stores[node].lock().expect("node store");
+        store.pending_forwards.remove(&v)
+    };
+    if let Some((subtree, priority)) = fwd {
+        relay_subtree(
+            sub,
+            run,
+            node,
+            v,
+            &subtree,
+            priority,
+            cb.activate_sent_at_ns,
+        );
     }
 }
 
@@ -603,29 +827,33 @@ pub(crate) fn run(
     let threads = pool.threads();
     let nodes = cfg.nodes;
     let tasks_total = graph.task_count() as u64;
-    let run = Arc::new(RealRun::new(graph, nodes, threads, cfg.metrics));
+    let run = Arc::new(RealRun::new(graph, cfg, threads));
 
     let t0 = pool.now();
-    // Root spawns: announce initial versions to their remote consumers,
-    // then seed every dependence-free task, in task order.
+    // Startup collective: the root's startup job relays a go-token down
+    // the k-ary tree; every node announces its own initial versions and
+    // seeds its own dependence-free tasks when the token reaches it.
+    {
+        let run2 = run.clone();
+        pool.spawn(Box::new(move |sub| node_startup(sub, &run2, 0)));
+    }
+    pool.run_until_idle();
+    let makespan = pool.now() - t0;
+    // Quiescence collective: every node contributes its executed-task
+    // count to a tree reduce; partial sums climb to the root, which must
+    // see exactly the graph's task count. Runs after the makespan clock
+    // stops — it is a completion check, not part of the workload.
     {
         let run2 = run.clone();
         pool.spawn(Box::new(move |sub| {
-            for v in 0..run2.graph.version_count() {
-                if run2.graph.version(v).producer.is_none() {
-                    announce(sub, &run2, v);
-                }
-            }
-            let ready: Vec<TaskId> = (0..run2.graph.task_count())
-                .filter(|&t| run2.remaining[t].load(SeqCst) == 0)
-                .collect();
-            for t in ready {
-                spawn_task(sub, &run2, t);
+            for node in 0..run2.shm.len() {
+                let count = run2.node_executed[node].load(SeqCst);
+                let step = run2.reduce.contribute(node, count);
+                coll_step(sub, &run2, node, step);
             }
         }));
     }
     pool.run_until_idle();
-    let makespan = pool.now() - t0;
     // Quiescence first, then the observability drains: every worker's
     // buffer publications happen-before the parked state run_until_idle
     // observed, so the snapshots are complete.
@@ -638,6 +866,14 @@ pub(crate) fn run(
     assert_eq!(
         executed, tasks_total,
         "real execution drained with unexecuted tasks (protocol stall)"
+    );
+    let reduced = run
+        .reduce
+        .result()
+        .expect("quiescence reduce did not complete at the root");
+    assert_eq!(
+        reduced, tasks_total,
+        "quiescence reduce disagrees with the task count"
     );
 
     let mut e2e = OnlineStats::new();

@@ -134,6 +134,26 @@ pub fn tree_children(dests: &[u32]) -> Vec<(u32, Vec<u32>)> {
     out
 }
 
+/// K-way children assignment over the (deterministically ordered)
+/// destination list: chunk the list into `k` near-equal runs, each headed
+/// by its first destination with the rest as that child's forward subtree.
+/// `k = 2` matches the shape (though not the exact splits) of
+/// [`tree_children`]; larger `k` trades depth for per-node fan-out.
+pub fn tree_children_k(dests: &[u32], k: usize) -> Vec<(u32, Vec<u32>)> {
+    assert!(k >= 2, "multicast tree arity must be at least 2 (got {k})");
+    let mut out = Vec::new();
+    let mut rest = dests;
+    let mut ways = k.min(rest.len().max(1));
+    while !rest.is_empty() {
+        let chunk = rest.len().div_ceil(ways);
+        let (a, b) = rest.split_at(chunk);
+        out.push((a[0], a[1..].to_vec()));
+        rest = b;
+        ways = ways.saturating_sub(1).max(1);
+    }
+    out
+}
+
 /// A GET DATA request: "send me version `v` now".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GetRec {
@@ -334,6 +354,27 @@ mod tests {
         all.sort_unstable();
         assert_eq!(all, dests, "every destination covered exactly once");
         assert!(depth(&dests) <= 4, "15 nodes within log2 depth");
+    }
+
+    #[test]
+    fn tree_children_k_cover_all_nodes_bounded_fanout() {
+        fn collect(d: &[u32], k: usize, out: &mut Vec<u32>) {
+            let children = tree_children_k(d, k);
+            assert!(children.len() <= k, "fan-out exceeds arity");
+            for (c, sub) in children {
+                out.push(c);
+                collect(&sub, k, out);
+            }
+        }
+        for k in [2, 3, 4, 8] {
+            for n in [1u32, 2, 5, 15, 33] {
+                let dests: Vec<u32> = (1..=n).collect();
+                let mut all = Vec::new();
+                collect(&dests, k, &mut all);
+                all.sort_unstable();
+                assert_eq!(all, dests, "k={k} n={n}: coverage broken");
+            }
+        }
     }
 
     #[test]

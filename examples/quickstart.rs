@@ -15,7 +15,7 @@
 //! `1` = deterministic) — same protocol over the in-process shared-memory
 //! transport, wall-clock time, and the identical oracle-checked result.
 
-use amtlc::bench::{cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
+use amtlc::bench::{comm_tuning_args, cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, GraphBuilder, TaskDesc};
 use bytes::Bytes;
@@ -90,8 +90,15 @@ fn main() {
     // --cost-model: overlay measured charges (from a --calibrate-out
     // profile) onto the simulated runs.
     let profile = cost_model_arg(&args);
+    // --batch-bytes / --batch-window-ns / --multicast-k: message-layer
+    // tuning, applied identically to every backend and the real run.
+    let tuning = comm_tuning_args(&args);
     let nodes = 4;
-    println!("amtlc quickstart: map-shuffle-reduce on {nodes} simulated nodes\n");
+    println!("amtlc quickstart: map-shuffle-reduce on {nodes} simulated nodes");
+    if !tuning.is_default() {
+        println!("comm tuning: {}", tuning.describe());
+    }
+    println!();
 
     for backend in BackendKind::ALL {
         let (graph, out) = build_graph(nodes);
@@ -106,6 +113,7 @@ fn main() {
         if let Some(p) = &profile {
             cfg.cost.apply_profile(p);
         }
+        tuning.apply(&mut cfg);
         if threads_flag.is_none() {
             ObsSink::arm(&mut cfg);
         }
@@ -142,6 +150,7 @@ fn main() {
         workers_per_node: 4,
         ..Default::default()
     };
+    tuning.apply(&mut cfg);
     // Arm unconditionally: if the virtual sweep already captured, this
     // only turns on what is still pending (e.g. the calibration profile,
     // which only a real run can supply).

@@ -11,49 +11,10 @@
 //! cargo run --release --example stencil
 //! ```
 
-use amtlc::bench::{cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
+use amtlc::bench::stencil::build_stencil;
+use amtlc::bench::{comm_tuning_args, cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
 use amtlc::comm::BackendKind;
-use amtlc::core::{Cluster, ClusterConfig, DataDist, ExecMode, GraphBuilder, TaskDesc, TileDist2d};
-
-fn build_stencil(
-    tiles: u64,
-    tile_elems: usize,
-    sweeps: u64,
-    dist: &TileDist2d,
-) -> amtlc::core::TaskGraph {
-    let nodes = dist.nodes();
-    let mut g = GraphBuilder::new(nodes);
-    let bytes = tile_elems * tile_elems * 8;
-    // 5-point update: ~5 flops per element per sweep.
-    let flops = 5.0 * (tile_elems * tile_elems) as f64;
-
-    for r in 0..tiles {
-        for c in 0..tiles {
-            g.data(dist.key(r, c), bytes, dist.owner(dist.key(r, c)), None);
-        }
-    }
-    for _s in 0..sweeps {
-        for r in 0..tiles {
-            for c in 0..tiles {
-                let key = dist.key(r, c);
-                let mut desc = TaskDesc::new("stencil")
-                    .on_node(dist.owner(key))
-                    .flops(flops)
-                    .efficiency(0.15) // stencils are memory-bound
-                    .read_key(key)
-                    .write(key, bytes);
-                for (dr, dc) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
-                    let (nr, nc) = (r as i64 + dr, c as i64 + dc);
-                    if nr >= 0 && nc >= 0 && (nr as u64) < tiles && (nc as u64) < tiles {
-                        desc = desc.read_key(dist.key(nr as u64, nc as u64));
-                    }
-                }
-                g.insert(desc);
-            }
-        }
-    }
-    g.build()
-}
+use amtlc::core::{Cluster, ClusterConfig, ExecMode, TileDist2d};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,10 +25,17 @@ fn main() {
     // --cost-model: overlay measured charges (from a --calibrate-out
     // profile) onto the simulated runs.
     let profile = cost_model_arg(&args);
+    // --batch-bytes / --batch-window-ns / --multicast-k: message-layer
+    // tuning, applied identically to every backend and the real run.
+    let tuning = comm_tuning_args(&args);
     let tiles = 16u64; // 16×16 tile grid
     let tile_elems = 512; // 512² doubles per tile (2 MiB)
     let sweeps = 8;
-    println!("2-D 5-point stencil, {tiles}x{tiles} tiles of {tile_elems}^2 f64, {sweeps} sweeps\n");
+    println!("2-D 5-point stencil, {tiles}x{tiles} tiles of {tile_elems}^2 f64, {sweeps} sweeps");
+    if !tuning.is_default() {
+        println!("comm tuning: {}", tuning.describe());
+    }
+    println!();
     println!(
         "{:>6} {:>13} {:>13} {:>13} {:>10} {:>10} {:>10}",
         "nodes", "LCI", "LCI-direct", "MPI", "LCI us", "direct us", "MPI us"
@@ -84,6 +52,7 @@ fn main() {
             if let Some(p) = &profile {
                 cfg.cost.apply_profile(p);
             }
+            tuning.apply(&mut cfg);
             if threads_flag.is_none() {
                 ObsSink::arm(&mut cfg);
             }
@@ -125,6 +94,7 @@ fn main() {
         mode: ExecMode::CostOnly,
         ..ClusterConfig::expanse(BackendKind::Lci, nodes)
     };
+    tuning.apply(&mut cfg);
     // Arm unconditionally: if the virtual sweep already captured, this
     // only turns on what is still pending (e.g. the calibration profile,
     // which only a real run can supply).

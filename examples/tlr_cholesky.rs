@@ -11,7 +11,7 @@
 //! work-stealing thread pool (`--threads N`; `0`/default = one per core,
 //! `1` = deterministic) and verifies the identical residual.
 
-use amtlc::bench::{cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
+use amtlc::bench::{comm_tuning_args, cost_model_arg, threads_arg, threads_arg_opt, ObsSink};
 use amtlc::comm::BackendKind;
 use amtlc::core::{Cluster, ClusterConfig, ExecMode};
 use amtlc::tlr::{TlrCholesky, TlrProblem};
@@ -25,11 +25,18 @@ fn main() {
     // --cost-model: overlay measured charges (from a --calibrate-out
     // profile) onto the simulated runs.
     let profile = cost_model_arg(&args);
+    // --batch-bytes / --batch-window-ns / --multicast-k: message-layer
+    // tuning, applied identically to every backend and the real run.
+    let tuning = comm_tuning_args(&args);
     let n = 512;
     let ts = 64;
     let nodes = 4;
     println!("TLR Cholesky (st-2d-sqexp), N = {n}, tile {ts}, {nodes} simulated nodes");
-    println!("accuracy 1e-8, maxrank 150, band 1, two-flow algorithm\n");
+    println!("accuracy 1e-8, maxrank 150, band 1, two-flow algorithm");
+    if !tuning.is_default() {
+        println!("comm tuning: {}", tuning.describe());
+    }
+    println!();
 
     for backend in BackendKind::ALL {
         let problem = TlrProblem::new(n, ts);
@@ -58,6 +65,7 @@ fn main() {
         if let Some(p) = &profile {
             cfg.cost.apply_profile(p);
         }
+        tuning.apply(&mut cfg);
         if threads_flag.is_none() {
             ObsSink::arm(&mut cfg);
         }
@@ -87,6 +95,7 @@ fn main() {
         mode: ExecMode::Numeric,
         ..Default::default()
     };
+    tuning.apply(&mut cfg);
     // Arm unconditionally: if the virtual sweep already captured, this
     // only turns on what is still pending (e.g. the calibration profile,
     // which only a real run can supply).

@@ -91,6 +91,37 @@ print(f"BENCH_sched.json valid; allocs/task {dense:.2f} vs ref {ref:.2f}, "
       f"quick window ratio {ratio:.1f}x")
 PY
 
+echo "== message rate: msg_rate --quick + BENCH_msgrate.json schema/gates =="
+cargo bench --quiet -p amt-bench --bench msg_rate -- \
+    --quick --out "$TMP_DIR/BENCH_msgrate.json"
+python3 - "$TMP_DIR/BENCH_msgrate.json" BENCH_msgrate.json <<'PY'
+import json, sys
+for path, quick in ((sys.argv[1], True), (sys.argv[2], False)):
+    d = json.load(open(path))
+    assert d["schema"] == "amtlc-bench-msgrate-v1", (path, d.get("schema"))
+    assert d["quick"] is quick, (path, "quick flag")
+    assert set(d["scenarios"]) == {"tlr_wide", "stencil"}, path
+    for name, scen in d["scenarios"].items():
+        assert set(scen) == {"flat", "batched", "batched_tree"}, (path, name)
+        flat = scen["flat"]
+        for mode, r in scen.items():
+            assert r["msgs_on_wire"] > 0 and r["tts_s"] > 0, (path, name, mode)
+            # Batching/trees change message counts only: same records
+            # submitted, same payload deliveries.
+            assert r["records_submitted"] == flat["records_submitted"], (path, name, mode)
+            assert r["data_puts"] == flat["data_puts"], (path, name, mode)
+    # The tentpole gate, on the wide-fan-out scenario: batched+tree puts
+    # >= 2x fewer control messages on the wire at <= 1.05x flat's
+    # time-to-solution (virtual time: deterministic, no noise margin).
+    bt = d["scenarios"]["tlr_wide"]["batched_tree"]
+    assert bt["reduction_vs_flat"] >= 2.0, (path, bt["reduction_vs_flat"])
+    assert bt["time_vs_flat"] <= 1.05, (path, bt["time_vs_flat"])
+fresh = json.load(open(sys.argv[1]))["scenarios"]["tlr_wide"]["batched_tree"]
+print(f"BENCH_msgrate.json valid; tlr_wide batched+tree "
+      f"{fresh['reduction_vs_flat']:.2f}x fewer msgs at "
+      f"{fresh['time_vs_flat']:.3f}x time")
+PY
+
 echo "== real substrate: quickstart + TLR smoke on 2 threads (wall-clock gated) =="
 # The quickstart's final section and the cross-mode oracle both run
 # Cluster::execute_real; a protocol stall would hang, so cap wall time.

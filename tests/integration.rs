@@ -377,3 +377,84 @@ fn execution_modes_agree_byte_for_byte_on_numeric_cholesky() {
         );
     }
 }
+
+/// AM batching and multicast activation trees are pure message-layer
+/// optimizations: with them on, a Numeric-mode TLR Cholesky produces
+/// factor tiles bitwise identical to the flat defaults — on every virtual
+/// backend and on the real substrate.
+#[test]
+fn batching_and_multicast_preserve_payloads_byte_for_byte() {
+    let nodes = 4;
+    let collect = |chol: &TlrCholesky, cluster: &Cluster| -> Vec<(String, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (k, v) in chol.diag_out.iter().enumerate() {
+            out.push((
+                format!("diag[{k}]"),
+                cluster.data(*v).expect("diag").to_vec(),
+            ));
+        }
+        let mut lr: Vec<_> = chol.lr_out.iter().collect();
+        lr.sort_by_key(|(ij, _)| **ij);
+        for (&(i, j), &(uv, vv)) in lr {
+            out.push((format!("u[{i},{j}]"), cluster.data(uv).expect("u").to_vec()));
+            out.push((format!("v[{i},{j}]"), cluster.data(vv).expect("v").to_vec()));
+        }
+        out
+    };
+    let build = || TlrCholesky::build_numeric(TlrProblem::new(256, 64), nodes);
+    let base = |backend: BackendKind| ClusterConfig {
+        nodes,
+        workers_per_node: 4,
+        backend,
+        mode: ExecMode::Numeric,
+        ..Default::default()
+    };
+    let with_tree = |mut cfg: ClusterConfig| {
+        cfg.bcast_tree_min = Some(2);
+        cfg.multicast_k = Some(3);
+        cfg
+    };
+    let with_batch = |mut cfg: ClusterConfig| {
+        cfg.engine = cfg.engine.clone().with_batching(5_000, 4096);
+        cfg
+    };
+
+    // Flat reference: library defaults (no batching, no trees).
+    let (chol, graph) = build();
+    let mut flat = Cluster::new(base(BackendKind::Mpi));
+    assert!(flat.execute(graph).complete());
+    let reference = collect(&chol, &flat);
+    assert!(!reference.is_empty());
+
+    for backend in backends() {
+        for (label, cfg) in [
+            ("batched", with_batch(base(backend))),
+            ("batched+tree", with_tree(with_batch(base(backend)))),
+        ] {
+            let (chol_v, graph_v) = build();
+            let mut cluster = Cluster::new(cfg);
+            assert!(cluster.execute(graph_v).complete(), "{backend} {label}");
+            assert_eq!(
+                collect(&chol_v, &cluster),
+                reference,
+                "{backend} {label}: payloads diverged from flat"
+            );
+        }
+    }
+
+    // Real substrate with multicast trees on (batching is an engine
+    // behavior the transport deliberately lacks; the knob must be inert).
+    for threads in [1usize, 3] {
+        let (chol_r, graph_r) = build();
+        let mut real = Cluster::new(with_tree(with_batch(base(BackendKind::Lci))));
+        assert!(
+            real.execute_real(graph_r, threads).complete(),
+            "real threads={threads}"
+        );
+        assert_eq!(
+            collect(&chol_r, &real),
+            reference,
+            "real batched+tree at {threads} thread(s) diverged from flat"
+        );
+    }
+}
