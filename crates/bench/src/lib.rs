@@ -331,7 +331,7 @@ pub fn backend_arg(args: &[String]) -> Option<amt_comm::BackendKind> {
 }
 
 /// Parse a `--name N` / `--name=N` numeric flag.
-fn num_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T>
+pub fn num_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T>
 where
     T::Err: std::fmt::Display,
 {

@@ -378,6 +378,69 @@ mod tests {
     }
 
     #[test]
+    fn kary_tree_conformance_at_scale() {
+        // Cluster-scale rank counts (the scale bench runs up to 1024
+        // simulated nodes): the tree must still span, stay acyclic, keep
+        // parent/child agreement, and respect the arity bound everywhere.
+        for &(n, root, k) in &[(128, 0, 2), (128, 77, 4), (1024, 0, 4), (1024, 511, 3)] {
+            assert!(reachable(root, n, k).iter().all(|&s| s), "n={n} k={k}");
+            for r in 0..n {
+                let children = kary_children(r, root, n, k);
+                assert!(children.len() <= k, "rank {r} exceeds arity {k}");
+                for &c in &children {
+                    assert_eq!(kary_parent(c, root, n, k), Some(r), "n={n} k={k} c={c}");
+                }
+                match kary_parent(r, root, n, k) {
+                    None => assert_eq!(r, root),
+                    Some(p) => {
+                        assert!(p < n);
+                        assert!(kary_children(p, root, n, k).contains(&r), "n={n} r={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drive a [`TreeReduce`] to fixpoint with every rank contributing
+    /// `rank + 1`, returning the root's result.
+    fn drive_reduce(n: usize, root: usize, k: usize) -> Option<u64> {
+        let red = TreeReduce::new(n, root, k);
+        let mut inbox: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut steps: Vec<ReduceStep> = (0..n).map(|r| red.contribute(r, r as u64 + 1)).collect();
+        loop {
+            let mut progressed = false;
+            for s in std::mem::take(&mut steps) {
+                if let ReduceStep::Send { parent, partial } = s {
+                    inbox[parent].push(partial);
+                    progressed = true;
+                }
+            }
+            for (node, mail) in inbox.iter_mut().enumerate() {
+                for partial in std::mem::take(mail) {
+                    steps.push(red.arrive(node, partial));
+                }
+            }
+            if !progressed && steps.is_empty() {
+                break;
+            }
+        }
+        red.result()
+    }
+
+    #[test]
+    fn tree_reduce_sums_at_scale() {
+        // 128- and 1024-rank reductions (non-zero roots included) complete
+        // and produce the exact integer sum.
+        for &(n, root, k) in &[(128, 0, 2), (128, 99, 4), (1024, 0, 8), (1024, 1023, 3)] {
+            assert_eq!(
+                drive_reduce(n, root, k),
+                Some((1..=n as u64).sum()),
+                "n={n} root={root} k={k}"
+            );
+        }
+    }
+
+    #[test]
     fn tree_reduce_sums_in_any_order() {
         let n = 9;
         let red = TreeReduce::new(n, 2, 3);

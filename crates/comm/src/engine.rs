@@ -397,7 +397,7 @@ impl CommEngine {
         // *before* the in-context fast path so sends issued from inside a
         // communication-thread callback (GET issuance, tree forwarding) —
         // which would otherwise go straight to the wire — coalesce too.
-        if aggregate && self.cfg.batch_window_ns > 0 {
+        if aggregate && self.cfg.batch_window_for(tag) > 0 {
             self.batch_am(sim, dst, tag, size, data);
             return;
         }
@@ -500,7 +500,7 @@ impl CommEngine {
                     );
                     flush_now = size >= flush_at;
                     if !flush_now {
-                        let window = SimTime::from_ns(self.cfg.batch_window_ns);
+                        let window = SimTime::from_ns(self.cfg.batch_window_for(tag));
                         let earliest = inner
                             .batch_last_flush
                             .get(&(dst, tag))

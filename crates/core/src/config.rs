@@ -180,6 +180,14 @@ pub struct ClusterConfig {
     /// identical either way; this exists for differential tests and the
     /// `sched_overhead` benchmark baseline.
     pub reference_sched: bool,
+    /// Flyweight per-node state for wide clusters: the per-node version
+    /// store becomes a hash map over the versions that node actually
+    /// touches instead of a byte per version cluster-wide — O(total
+    /// versions × nodes) → O(total versions) across the cluster.
+    /// Scheduling decisions and reports are byte-identical; dense is
+    /// faster per access and remains the default at paper scale (≤ 32
+    /// nodes). Ignored under `reference_sched`.
+    pub flyweight: bool,
 }
 
 impl Default for ClusterConfig {
@@ -201,6 +209,7 @@ impl Default for ClusterConfig {
             fabric: FabricConfig::default(),
             engine: EngineConfig::default(),
             reference_sched: false,
+            flyweight: false,
         }
     }
 }

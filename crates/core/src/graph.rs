@@ -93,6 +93,16 @@ impl<T> ChunkVec<T> {
         }
     }
 
+    /// Like [`ChunkVec::get`], but `None` for an item whose chunk has been
+    /// freed (and that was not evacuated) instead of panicking.
+    pub fn try_get(&self, i: usize) -> Option<&T> {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        match &self.chunks[i >> CHUNK_SHIFT] {
+            Some(c) => Some(&c[i & (CHUNK - 1)]),
+            None => self.evacuated.get(&i),
+        }
+    }
+
     pub fn get_mut(&mut self, i: usize) -> &mut T {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         match &mut self.chunks[i >> CHUNK_SHIFT] {
@@ -238,6 +248,12 @@ pub struct Task {
     pub id: TaskId,
     pub name: &'static str,
     pub node: NodeId,
+    /// Index of this task among the tasks assigned to its node (insertion
+    /// order). Per-node runtime tables (dependence counters) are indexed by
+    /// this instead of the global id, so each node's table is
+    /// O(tasks-on-node), not O(total tasks) — the difference between 4 GB
+    /// and 4 MB of counters at a million tasks on 1024 nodes.
+    pub local_ix: u32,
     pub flops: f64,
     pub efficiency: f64,
     pub priority: i64,
@@ -264,6 +280,10 @@ pub struct Version {
 pub struct TaskGraph {
     tasks: ChunkVec<Task>,
     versions: ChunkVec<Version>,
+    /// Tasks assigned to each node so far (source of [`Task::local_ix`];
+    /// survives windowed growth because the windowed driver appends through
+    /// the same shared graph).
+    local_counts: Vec<u32>,
 }
 
 impl TaskGraph {
@@ -271,11 +291,17 @@ impl TaskGraph {
         TaskGraph {
             tasks: ChunkVec::new(),
             versions: ChunkVec::new(),
+            local_counts: Vec::new(),
         }
     }
 
     pub fn task_count(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Number of tasks assigned to `node` (so far, under windowed growth).
+    pub fn local_task_count(&self, node: NodeId) -> usize {
+        self.local_counts.get(node).copied().unwrap_or(0) as usize
     }
 
     pub fn version_count(&self) -> usize {
@@ -284,6 +310,12 @@ impl TaskGraph {
 
     pub fn task(&self, id: TaskId) -> &Task {
         self.tasks.get(id)
+    }
+
+    /// `None` once `id`'s storage chunk has been freed by windowed
+    /// retirement — which can only happen after the task completed.
+    pub fn task_if_live(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.try_get(id)
     }
 
     pub fn version(&self, id: usize) -> &Version {
@@ -566,10 +598,16 @@ impl GraphBuilder {
                 vid
             })
             .collect();
+        if g.local_counts.len() <= node {
+            g.local_counts.resize(node + 1, 0);
+        }
+        let local_ix = g.local_counts[node];
+        g.local_counts[node] += 1;
         g.tasks.push(Task {
             id,
             name: desc.name,
             node,
+            local_ix,
             flops: desc.flops,
             efficiency: desc.efficiency,
             priority: desc.priority,

@@ -1,0 +1,276 @@
+//! Island-parallel execution: conservative-lookahead (YAWNS-style) parallel
+//! DES over contiguous node partitions.
+//!
+//! The cluster's nodes are split into `islands` contiguous ranges. Each
+//! island is a full [`Cluster`] instance — its own [`amt_simnet::Sim`]
+//! event queue, fabric partition, engines, and node runtimes for its
+//! resident range — running on its own OS thread. Islands advance in
+//! *rounds*: every round, the coordinator computes the global minimum next
+//! event time `M` across islands, each island then processes every event
+//! strictly before the horizon `H = M + L` (where `L` is the fabric's
+//! conservative lookahead, [`amt_netmodel::FabricConfig::lookahead`]), and
+//! the islands exchange the chunks their fabrics diverted to per-island
+//! outboxes. Any chunk produced by an event at time `t ≥ M` materializes on
+//! another island at `t + L ≥ H`, so exchanged chunks always land at or
+//! beyond the horizon — no island ever receives an event in its past, and
+//! no rollback is needed.
+//!
+//! **Determinism.** Results are byte-identical to a monolithic
+//! [`Cluster::execute`] at any island count. Event *sequence numbers*
+//! differ across island counts (they are insertion-order artifacts), but
+//! the fabric's arrival calendars make every observable effect a pure
+//! function of virtual time and stable per-source chunk keys: all paths
+//! into a shared resource buffer chunks per `(resource, instant)` and a
+//! single drain charges them in ascending `(src, chunk_seq)` order. The
+//! coordinator additionally reproduces the monolithic report's merge order
+//! (global node order) so even floating-point statistics match bit-for-bit
+//! — [`RunReport::to_json`] is compared as one string in tests.
+
+use std::ops::Range;
+use std::sync::{Barrier, Mutex};
+
+use amt_netmodel::{Fabric, RemoteChunk, Topology};
+use amt_simnet::{OnlineStats, SimTime};
+
+use crate::cluster::{Cluster, IslandPartial, RunReport};
+use crate::config::ClusterConfig;
+use crate::graph::{GraphBuilder, GraphHandle};
+
+/// Contiguous node range of island `i` of `islands` over `nodes` nodes.
+pub fn island_range(nodes: usize, islands: usize, i: usize) -> Range<usize> {
+    let chunk = nodes.div_ceil(islands);
+    (i * chunk).min(nodes)..((i + 1) * chunk).min(nodes)
+}
+
+/// Island index owning `node`.
+fn island_of(nodes: usize, islands: usize, node: usize) -> usize {
+    node / nodes.div_ceil(islands)
+}
+
+/// Shared round state: one slot per island for its next event time, and one
+/// mailbox per island for chunks in flight toward it.
+struct Coord {
+    barrier: Barrier,
+    next_times: Mutex<Vec<Option<SimTime>>>,
+    mailboxes: Vec<Mutex<Vec<RemoteChunk>>>,
+}
+
+/// Execute the graph produced by `build` on `islands` parallel islands and
+/// return a report byte-identical (via [`RunReport::to_json`]) to a
+/// monolithic [`Cluster::execute`] of the same graph.
+///
+/// `build` is invoked once per island (each island unrolls its own copy of
+/// the task graph — graphs are cheap relative to simulation state, and this
+/// keeps every island self-contained and `Send`-free).
+///
+/// Panics if the configuration cannot be partitioned: windowed discovery,
+/// tracing, and metrics are cluster-global (single-island only), and
+/// fat-tree runs require island boundaries to align with pod boundaries so
+/// the spine latency is a valid lookahead.
+pub fn execute_islands(
+    cfg: &ClusterConfig,
+    islands: usize,
+    build: impl Fn(&mut GraphBuilder) + Sync,
+) -> RunReport {
+    assert!(islands >= 1, "need at least one island");
+    assert!(
+        islands <= cfg.nodes,
+        "more islands ({islands}) than nodes ({})",
+        cfg.nodes
+    );
+    assert!(
+        !cfg.trace && !cfg.metrics,
+        "trace/metrics are cluster-global; run them on a single island"
+    );
+    let mut fabric_cfg = cfg.fabric.clone();
+    fabric_cfg.nodes = cfg.nodes;
+    if islands > 1 {
+        if let Topology::FatTree(_) = &fabric_cfg.topology {
+            for i in 1..islands {
+                let b = island_range(cfg.nodes, islands, i).start;
+                if b < cfg.nodes {
+                    assert_ne!(
+                        fabric_cfg.pod_of(b - 1),
+                        fabric_cfg.pod_of(b),
+                        "island boundary at node {b} splits a pod; align islands to pods \
+                         so the spine latency is a valid lookahead"
+                    );
+                }
+            }
+        }
+    }
+    let lookahead = fabric_cfg.lookahead();
+    assert!(
+        lookahead > SimTime::ZERO,
+        "fabric lookahead must be nonzero for island execution"
+    );
+
+    let coord = Coord {
+        barrier: Barrier::new(islands),
+        next_times: Mutex::new(vec![None; islands]),
+        mailboxes: (0..islands).map(|_| Mutex::new(Vec::new())).collect(),
+    };
+
+    let partials: Vec<IslandPartial> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(islands);
+        for i in 0..islands {
+            let coord = &coord;
+            let build = &build;
+            handles.push(scope.spawn(move || run_island(cfg, islands, i, coord, build)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("island thread panicked"))
+            .collect()
+    });
+
+    merge_partials(cfg, partials)
+}
+
+/// One island's thread body: build the world, seed it, run the round loop,
+/// and collect the partial report.
+fn run_island(
+    cfg: &ClusterConfig,
+    islands: usize,
+    i: usize,
+    coord: &Coord,
+    build: &(impl Fn(&mut GraphBuilder) + Sync),
+) -> IslandPartial {
+    let local = island_range(cfg.nodes, islands, i);
+    let mut cluster = Cluster::new_partition(cfg.clone(), local);
+    let mut b = GraphBuilder::new(cfg.nodes);
+    build(&mut b);
+    let graph = GraphHandle::new(b.build());
+    let start = cluster.begin_execution(&graph, None);
+    let lookahead = cluster.config().fabric.lookahead();
+    let fabric = cluster.fabric_handle();
+    let nodes = cfg.nodes;
+
+    loop {
+        // 1. Publish this island's next event time; wait for everyone.
+        let next = cluster.sim_mut().next_event_time();
+        coord.next_times.lock().unwrap()[i] = next;
+        coord.barrier.wait();
+        // 2. Everyone reads the same global minimum.
+        let m = coord
+            .next_times
+            .lock()
+            .unwrap()
+            .iter()
+            .flatten()
+            .min()
+            .copied();
+        let Some(m) = m else { break };
+        let horizon = m + lookahead;
+        // 3. Process every event strictly before the horizon; chunks for
+        //    other islands pile up in the fabric outbox.
+        cluster.sim_mut().run_before(horizon);
+        // 4. Route the outbox into the destination islands' mailboxes.
+        let outbox = fabric.borrow_mut().take_outbox();
+        if !outbox.is_empty() {
+            let mut sorted: Vec<Vec<RemoteChunk>> = (0..islands).map(|_| Vec::new()).collect();
+            for rc in outbox {
+                sorted[island_of(nodes, islands, rc.dst())].push(rc);
+            }
+            for (j, chunks) in sorted.into_iter().enumerate() {
+                if !chunks.is_empty() {
+                    coord.mailboxes[j].lock().unwrap().extend(chunks);
+                }
+            }
+        }
+        coord.barrier.wait();
+        // 5. Inject what the other islands sent us. Injection order across
+        //    sources is irrelevant: the calendars re-establish the
+        //    deterministic (src, chunk_seq) drain order per instant.
+        let mine = std::mem::take(&mut *coord.mailboxes[i].lock().unwrap());
+        if !mine.is_empty() {
+            Fabric::inject_remote(&fabric, cluster.sim_mut(), mine);
+        }
+        // No third barrier needed: an island writes its round-r+1 slot and
+        // mailbox pushes only after barrier 2 of round r *and* its own
+        // mailbox take, so no read of round-r state can race them.
+    }
+
+    cluster.collect_partial(&graph, start)
+}
+
+/// Assemble the global [`RunReport`] from per-island partials, reproducing
+/// the monolithic assembly (merge order, float operations) exactly.
+fn merge_partials(cfg: &ClusterConfig, partials: Vec<IslandPartial>) -> RunReport {
+    let makespan = partials.iter().map(|p| p.final_now).max().unwrap();
+    let now = makespan; // islands start at t=0, like a fresh monolithic run
+    let tasks_total = partials[0].tasks_total;
+    let sim_events = partials.iter().map(|p| p.sim_events).sum();
+    let schedule_past_clamped = partials.iter().map(|p| p.schedule_past_clamped).sum();
+
+    let mut e2e = OnlineStats::new();
+    let mut msg = OnlineStats::new();
+    let mut req = OnlineStats::new();
+    let mut executed = 0;
+    let mut worker_busy = SimTime::ZERO;
+    let mut classes: std::collections::HashMap<&'static str, (u64, SimTime)> =
+        std::collections::HashMap::new();
+    // Per-node stats in global node order — the monolithic fold.
+    for p in &partials {
+        for (ex, busy, ne2e, nmsg, nreq) in &p.node_stats {
+            e2e.merge(ne2e);
+            msg.merge(nmsg);
+            req.merge(nreq);
+            executed += ex;
+            worker_busy += *busy;
+        }
+        for (name, n, busy) in &p.classes {
+            let e = classes.entry(name).or_insert((0, SimTime::ZERO));
+            e.0 += n;
+            e.1 += *busy;
+        }
+    }
+    let mut class_stats: Vec<(String, u64, SimTime)> = classes
+        .into_iter()
+        .map(|(k, (n, b))| (k.to_string(), n, b))
+        .collect();
+    class_stats.sort_by_key(|c| std::cmp::Reverse(c.2));
+
+    let total_workers = (cfg.nodes * cfg.workers_per_node) as f64;
+    let span = makespan.as_secs_f64().max(1e-12);
+    let worker_util = worker_busy.as_secs_f64() / (span * total_workers);
+    // Utilizations at the global end time, summed in global node order —
+    // the same left fold (and the same divisions) as the monolithic report.
+    let utilization = |busy: SimTime| -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            busy.min(now).as_secs_f64() / now.as_secs_f64()
+        }
+    };
+    let comm_util = partials
+        .iter()
+        .flat_map(|p| p.core_busy.iter())
+        .map(|&(c, _)| utilization(c))
+        .sum::<f64>()
+        / cfg.nodes as f64;
+    let progress_util = partials
+        .iter()
+        .flat_map(|p| p.core_busy.iter())
+        .filter_map(|&(_, pb)| pb.map(&utilization))
+        .sum::<f64>()
+        / cfg.nodes as f64;
+
+    RunReport {
+        makespan,
+        tasks_executed: executed,
+        tasks_total,
+        e2e_latency_us: e2e,
+        msg_latency_us: msg,
+        request_latency_us: req,
+        worker_busy,
+        worker_util,
+        comm_util,
+        progress_util,
+        engine_stats: partials.into_iter().flat_map(|p| p.engine_stats).collect(),
+        class_stats,
+        sim_events,
+        schedule_past_clamped,
+        pool: None,
+    }
+}

@@ -71,6 +71,7 @@ mod cluster;
 mod config;
 mod dist;
 mod graph;
+mod island;
 mod metrics;
 mod node;
 mod queue;
@@ -88,6 +89,7 @@ pub use dist::{Cyclic1d, DataDist, TileDist2d};
 pub use graph::{
     DataKey, GraphBuilder, GraphHandle, GraphSource, Kernel, TaskDesc, TaskGraph, TaskId, VersionId,
 };
+pub use island::{execute_islands, island_range};
 pub use metrics::{LatencySummary, MetricsReport};
 pub use records::{tree_children, tree_children_k};
 

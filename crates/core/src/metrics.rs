@@ -61,6 +61,10 @@ pub struct MetricsReport {
     /// Release-mode past-scheduling clamps — non-zero flags a model bug
     /// that debug builds turn into a panic.
     pub schedule_past_clamped: u64,
+    /// High-water mark of the simulator's pending-event queue over the
+    /// cluster's lifetime — the queue-pressure signal for scale runs
+    /// (0 on the real substrate: there is no event queue).
+    pub events_peak_pending: u64,
     /// Per-stage lifecycle histograms + engine-internal counters, merged
     /// across all nodes.
     pub stages: MetricsRegistry,
@@ -105,8 +109,8 @@ impl MetricsReport {
         );
         let _ = write!(
             out,
-            r#""sim":{{"events":{},"schedule_past_clamped":{}}},"#,
-            self.sim_events, self.schedule_past_clamped
+            r#""sim":{{"events":{},"schedule_past_clamped":{},"events_peak_pending":{}}},"#,
+            self.sim_events, self.schedule_past_clamped, self.events_peak_pending
         );
         let _ = write!(
             out,

@@ -72,19 +72,32 @@ const V_PRESENT_DATA: u8 = 3;
 
 /// Per-version data-presence table. Dense mode is a byte per version
 /// (VersionIds are contiguous indices) with payload bytes in a side map;
-/// reference mode is the seed's `HashMap<VersionId, DataState>`.
+/// sparse mode ([`crate::ClusterConfig::flyweight`]) keeps only the
+/// versions this node has actually touched in a hash map, so per-node
+/// memory is O(versions-seen-here) instead of O(all versions) × nodes;
+/// reference mode is the seed's `HashMap<VersionId, DataState>`. All three
+/// implement the same state machine — scheduling is byte-identical.
 enum VersionStore {
     Dense {
         state: Vec<u8>,
+        payloads: HashMap<usize, Bytes>,
+    },
+    Sparse {
+        state: HashMap<usize, u8>,
         payloads: HashMap<usize, Bytes>,
     },
     Reference(HashMap<usize, RefDataState>),
 }
 
 impl VersionStore {
-    fn new(reference: bool) -> VersionStore {
+    fn new(reference: bool, flyweight: bool) -> VersionStore {
         if reference {
             VersionStore::Reference(HashMap::new())
+        } else if flyweight {
+            VersionStore::Sparse {
+                state: HashMap::new(),
+                payloads: HashMap::new(),
+            }
         } else {
             VersionStore::Dense {
                 state: Vec::new(),
@@ -101,85 +114,95 @@ impl VersionStore {
         }
     }
 
+    fn get(&self, v: usize) -> u8 {
+        match self {
+            VersionStore::Dense { state, .. } => state.get(v).copied().unwrap_or(V_VACANT),
+            VersionStore::Sparse { state, .. } => state.get(&v).copied().unwrap_or(V_VACANT),
+            VersionStore::Reference(_) => unreachable!("reference store has no byte states"),
+        }
+    }
+
     /// Any entry at all (Present *or* Requested)?
     fn exists(&self, v: usize) -> bool {
         match self {
-            VersionStore::Dense { state, .. } => {
-                state.get(v).copied().unwrap_or(V_VACANT) != V_VACANT
-            }
             VersionStore::Reference(m) => m.contains_key(&v),
+            _ => self.get(v) != V_VACANT,
         }
     }
 
     fn is_present(&self, v: usize) -> bool {
         match self {
-            VersionStore::Dense { state, .. } => {
-                state.get(v).copied().unwrap_or(V_VACANT) >= V_PRESENT
-            }
             VersionStore::Reference(m) => matches!(m.get(&v), Some(RefDataState::Present(_))),
+            _ => self.get(v) >= V_PRESENT,
+        }
+    }
+
+    /// Write state byte `to` for `v`, returning the previous byte.
+    /// Dense mode requires `v` to be covered by `ensure_len`.
+    fn set(&mut self, v: usize, to: u8) -> u8 {
+        match self {
+            VersionStore::Dense { state, .. } => std::mem::replace(&mut state[v], to),
+            VersionStore::Sparse { state, .. } => state.insert(v, to).unwrap_or(V_VACANT),
+            VersionStore::Reference(_) => unreachable!("reference store has no byte states"),
         }
     }
 
     /// Mark `v` present; returns whether the slot was previously vacant.
     fn insert_present(&mut self, v: usize, bytes: Option<Bytes>) -> bool {
-        match self {
-            VersionStore::Dense { state, payloads } => {
-                let s = &mut state[v];
-                let fresh = *s == V_VACANT;
-                match bytes {
-                    Some(b) => {
-                        payloads.insert(v, b);
-                        *s = V_PRESENT_DATA;
-                    }
-                    None => *s = V_PRESENT,
-                }
-                fresh
-            }
-            VersionStore::Reference(m) => m.insert(v, RefDataState::Present(bytes)).is_none(),
+        if let VersionStore::Reference(m) = self {
+            return m.insert(v, RefDataState::Present(bytes)).is_none();
         }
+        let prev = match bytes {
+            Some(b) => {
+                self.payloads().insert(v, b);
+                self.set(v, V_PRESENT_DATA)
+            }
+            None => self.set(v, V_PRESENT),
+        };
+        prev == V_VACANT
     }
 
     /// Mark `v` requested; returns whether the slot was previously vacant.
     fn insert_requested(&mut self, v: usize) -> bool {
-        match self {
-            VersionStore::Dense { state, .. } => {
-                let s = &mut state[v];
-                let fresh = *s == V_VACANT;
-                *s = V_REQUESTED;
-                fresh
-            }
-            VersionStore::Reference(m) => m.insert(v, RefDataState::Requested).is_none(),
+        if let VersionStore::Reference(m) = self {
+            return m.insert(v, RefDataState::Requested).is_none();
         }
+        self.set(v, V_REQUESTED) == V_VACANT
     }
 
     /// Requested → Present transition on data arrival; returns whether the
     /// previous state was Requested.
     fn fulfill(&mut self, v: usize, bytes: Option<Bytes>) -> bool {
-        match self {
-            VersionStore::Dense { state, payloads } => {
-                let s = &mut state[v];
-                let was_requested = *s == V_REQUESTED;
-                match bytes {
-                    Some(b) => {
-                        payloads.insert(v, b);
-                        *s = V_PRESENT_DATA;
-                    }
-                    None => *s = V_PRESENT,
-                }
-                was_requested
-            }
-            VersionStore::Reference(m) => matches!(
+        if let VersionStore::Reference(m) = self {
+            return matches!(
                 m.insert(v, RefDataState::Present(bytes)),
                 Some(RefDataState::Requested)
-            ),
+            );
+        }
+        let prev = match bytes {
+            Some(b) => {
+                self.payloads().insert(v, b);
+                self.set(v, V_PRESENT_DATA)
+            }
+            None => self.set(v, V_PRESENT),
+        };
+        prev == V_REQUESTED
+    }
+
+    fn payloads(&mut self) -> &mut HashMap<usize, Bytes> {
+        match self {
+            VersionStore::Dense { payloads, .. } | VersionStore::Sparse { payloads, .. } => {
+                payloads
+            }
+            VersionStore::Reference(_) => unreachable!("reference store holds payloads inline"),
         }
     }
 
     /// Payload bytes of a present version (None for cost-only entries).
     fn payload(&self, v: usize) -> Option<Bytes> {
         match self {
-            VersionStore::Dense { state, payloads } => {
-                if state.get(v).copied().unwrap_or(V_VACANT) == V_PRESENT_DATA {
+            VersionStore::Dense { payloads, .. } | VersionStore::Sparse { payloads, .. } => {
+                if self.get(v) == V_PRESENT_DATA {
                     payloads.get(&v).cloned()
                 } else {
                     None
@@ -194,8 +217,8 @@ impl VersionStore {
 
     fn payload_len(&self, v: usize) -> Option<usize> {
         match self {
-            VersionStore::Dense { state, payloads } => {
-                if state.get(v).copied().unwrap_or(V_VACANT) == V_PRESENT_DATA {
+            VersionStore::Dense { payloads, .. } | VersionStore::Sparse { payloads, .. } => {
+                if self.get(v) == V_PRESENT_DATA {
                     payloads.get(&v).map(|b| b.len())
                 } else {
                     None
@@ -212,15 +235,15 @@ impl VersionStore {
     /// (windowed-mode memory reclamation).
     fn drop_payload(&mut self, v: usize) {
         match self {
-            VersionStore::Dense { state, payloads } => {
-                if state.get(v).copied().unwrap_or(V_VACANT) == V_PRESENT_DATA {
-                    payloads.remove(&v);
-                    state[v] = V_PRESENT;
-                }
-            }
             VersionStore::Reference(m) => {
                 if let Some(e @ RefDataState::Present(Some(_))) = m.get_mut(&v) {
                     *e = RefDataState::Present(None);
+                }
+            }
+            _ => {
+                if self.get(v) == V_PRESENT_DATA {
+                    self.payloads().remove(&v);
+                    self.set(v, V_PRESENT);
                 }
             }
         }
@@ -242,7 +265,9 @@ struct NodeState {
     reference: bool,
     idle_workers: Vec<usize>,
     ready: ReadyQueue<TaskId>,
-    /// Unsatisfied input count per task (only local tasks maintained).
+    /// Unsatisfied input count per *local* task, indexed by
+    /// [`crate::graph::Task::local_ix`] — O(tasks-on-this-node), not
+    /// O(total tasks).
     remaining: Vec<u32>,
     store: VersionStore,
     pending_gets: ReadyQueue<GetInfo>,
@@ -291,12 +316,16 @@ pub(crate) struct NodeRt {
     pub node: NodeId,
     pub graph: GraphHandle,
     pub engine: Rc<CommEngine>,
-    pub cfg: ClusterConfig,
+    /// Shared cluster config — one allocation for the whole cluster
+    /// (the cost-model map alone would otherwise be cloned per node).
+    pub cfg: Rc<ClusterConfig>,
     pub workers: Vec<CoreHandle>,
     trace_on: bool,
-    /// Interned `n{i}.comm` trace track name (no `format!` per send).
+    /// Interned `n{i}.comm` trace track name (no `format!` per send);
+    /// empty when tracing is off.
     comm_track: String,
-    /// Interned `n{i}.w{j}` trace track names (no `format!` per task).
+    /// Interned `n{i}.w{j}` trace track names (no `format!` per task);
+    /// empty when tracing is off.
     worker_tracks: Vec<String>,
     state: RefCell<NodeState>,
     /// Windowed-discovery driver, when executing via
@@ -311,7 +340,7 @@ impl NodeRt {
         node: NodeId,
         graph: GraphHandle,
         engine: Rc<CommEngine>,
-        cfg: ClusterConfig,
+        cfg: Rc<ClusterConfig>,
         workers: Vec<CoreHandle>,
         overlap: Option<Shared<OverlapTracker>>,
     ) -> NodeRt {
@@ -321,19 +350,30 @@ impl NodeRt {
         assert!(nworkers <= 1 << 16, "worker index must fit 16 bits");
         let trace = Trace::new(cfg.trace);
         let reference = cfg.reference_sched;
+        // Track-name strings are only read under `trace_on`; skip the
+        // per-node allocations on untraced runs (1024 nodes × 128 workers
+        // of them otherwise).
+        let (comm_track, worker_tracks) = if cfg.trace {
+            (
+                format!("n{node}.comm"),
+                (0..nworkers).map(|w| format!("n{node}.w{w}")).collect(),
+            )
+        } else {
+            (String::new(), Vec::new())
+        };
         NodeRt {
             node,
             graph,
             engine,
             trace_on: cfg.trace,
-            comm_track: format!("n{node}.comm"),
-            worker_tracks: (0..nworkers).map(|w| format!("n{node}.w{w}")).collect(),
+            comm_track,
+            worker_tracks,
             state: RefCell::new(NodeState {
                 reference,
                 idle_workers: (0..nworkers).rev().collect(),
                 ready: ReadyQueue::new(reference),
                 remaining: Vec::new(),
-                store: VersionStore::new(reference),
+                store: VersionStore::new(reference, cfg.flyweight),
                 pending_gets: ReadyQueue::new(reference),
                 inflight_gets: 0,
                 inflight_get_bytes: 0,
@@ -350,7 +390,10 @@ impl NodeRt {
                 overlap,
                 inputs_scratch: Vec::new(),
                 dests_scratch: Vec::new(),
-                node_best: vec![(0, 0); cfg.nodes],
+                // Grown on demand in `announce` — nodes that never send a
+                // wide announce (most of a 1024-node cluster) keep it empty
+                // instead of O(nodes) each.
+                node_best: Vec::new(),
                 node_epoch: 0,
             }),
             window: RefCell::new(None),
@@ -371,7 +414,7 @@ impl NodeRt {
         {
             let g = rt.graph.get();
             let mut s = rt.state.borrow_mut();
-            s.remaining = vec![0; g.task_count()];
+            s.remaining = vec![0; g.local_task_count(node)];
             s.store.ensure_len(g.version_count());
             for i in 0..g.version_count() {
                 let v = g.version(i);
@@ -385,7 +428,7 @@ impl NodeRt {
                     continue;
                 }
                 let missing = t.inputs.iter().filter(|v| !s.store.is_present(v.0)).count();
-                s.remaining[i] = missing as u32;
+                s.remaining[t.local_ix as usize] = missing as u32;
                 if missing == 0 {
                     let seq = s.next_seq();
                     s.ready.push(t.priority, seq, i);
@@ -436,6 +479,9 @@ impl NodeRt {
                 let task = g.task(t);
                 if task.node == node {
                     continue;
+                }
+                if s.node_best.len() <= task.node {
+                    s.node_best.resize(task.node + 1, (0, 0));
                 }
                 let e = &mut s.node_best[task.node];
                 if e.0 != epoch {
@@ -770,11 +816,17 @@ impl NodeRt {
         let g = rt.graph.get();
         let mut s = rt.state.borrow_mut();
         for &c in &g.version(version.0).consumers {
-            let t = g.task(c);
+            // Data can arrive here while consumers on *other* nodes — long
+            // since satisfied from their own copies — have completed and had
+            // their graph chunk freed by windowed retirement. A freed
+            // consumer finished already, so there is nothing to release.
+            let Some(t) = g.task_if_live(c) else {
+                continue;
+            };
             if t.node != rt.node {
                 continue;
             }
-            let rem = &mut s.remaining[c];
+            let rem = &mut s.remaining[t.local_ix as usize];
             debug_assert!(*rem > 0, "double release of task {c}");
             *rem -= 1;
             if *rem == 0 {
@@ -892,9 +944,9 @@ impl NodeRt {
             };
             let engine = &rt.engine;
             // GETs issue from communication-thread context and historically
-            // never aggregate; with a batching window configured they are
-            // batch-eligible like any other record.
-            let batch = engine.config().batch_window_ns > 0;
+            // never aggregate; with a batching window configured for their
+            // tag they are batch-eligible like any other record.
+            let batch = engine.config().batch_window_for(AM_GETDATA) > 0;
             engine.send_am_opts(
                 sim,
                 get.src,
@@ -1041,13 +1093,12 @@ impl NodeRt {
 
     // ---- windowed-discovery hooks (window.rs) -----------------------
 
-    /// Grow the dense tables to cover newly discovered tasks/versions.
-    pub(crate) fn window_ensure(&self, ntasks: usize, nversions: usize) {
-        let mut s = self.state.borrow_mut();
-        if s.remaining.len() < ntasks {
-            s.remaining.resize(ntasks, 0);
-        }
-        s.store.ensure_len(nversions);
+    /// Grow the dense version table to cover newly discovered versions.
+    /// (`remaining` is local_ix-indexed and grown per admitted local task
+    /// by [`NodeRt::window_admit_local`] — sizing it to the *global* task
+    /// count here would cost O(nodes × tasks) across the cluster.)
+    pub(crate) fn window_ensure(&self, nversions: usize) {
+        self.state.borrow_mut().store.ensure_len(nversions);
     }
 
     /// Seed a newly declared producer-less version at its home node.
@@ -1083,9 +1134,19 @@ impl NodeRt {
 
     /// Record the dependence count of a newly admitted local task; queues
     /// it when already satisfied. Returns whether it became ready.
-    pub(crate) fn window_admit_local(&self, task: TaskId, priority: i64, missing: u32) -> bool {
+    pub(crate) fn window_admit_local(
+        &self,
+        task: TaskId,
+        local_ix: u32,
+        priority: i64,
+        missing: u32,
+    ) -> bool {
         let mut s = self.state.borrow_mut();
-        s.remaining[task] = missing;
+        let ix = local_ix as usize;
+        if s.remaining.len() <= ix {
+            s.remaining.resize(ix + 1, 0);
+        }
+        s.remaining[ix] = missing;
         if missing == 0 {
             let seq = s.next_seq();
             s.ready.push(priority, seq, task);

@@ -471,6 +471,13 @@ fn report_utilizations_are_sane() {
 /// bucketed ready queue, and CTL flows.
 fn stress_graph(nodes: usize) -> crate::TaskGraph {
     let mut g = GraphBuilder::new(nodes);
+    stress_build(&mut g, nodes);
+    g.build()
+}
+
+/// The body of [`stress_graph`] as a builder closure (island runs build one
+/// graph per island).
+fn stress_build(g: &mut GraphBuilder, nodes: usize) {
     for k in 0..4u64 {
         g.data(k, 256 + 64 * k as usize, (k as usize) % nodes, None);
     }
@@ -502,7 +509,158 @@ fn stress_graph(nodes: usize) -> crate::TaskGraph {
             );
         }
     }
-    g.build()
+}
+
+#[test]
+fn island_execution_matches_on_fat_tree() {
+    // Same byte-identity over the contended fat-tree fabric, with islands
+    // aligned to pod boundaries (8 nodes, 4 pods of 2).
+    use amt_netmodel::{FatTreeConfig, Topology};
+    for backend in backends() {
+        let mut cfg = ClusterConfig {
+            nodes: 8,
+            workers_per_node: 2,
+            backend,
+            mode: ExecMode::CostOnly,
+            bcast_tree_min: Some(2),
+            ..Default::default()
+        };
+        cfg.fabric.topology = Topology::FatTree(FatTreeConfig {
+            pods: 4,
+            ..Default::default()
+        });
+        let mono = {
+            let mut cluster = Cluster::new(cfg.clone());
+            let report = cluster.execute(stress_graph(8));
+            assert!(report.complete(), "{backend}");
+            report.to_json()
+        };
+        for islands in [2, 4] {
+            let report = crate::execute_islands(&cfg, islands, |g| stress_build(g, 8));
+            assert_eq!(report.to_json(), mono, "{backend} islands={islands}");
+        }
+    }
+}
+
+#[test]
+fn fat_tree_cluster_completes_and_reports() {
+    // The full protocol stack (ACTIVATE / GET DATA / put, multicast trees)
+    // must run unchanged over the contended fat-tree fabric.
+    use amt_netmodel::{FatTreeConfig, Topology};
+    for backend in backends() {
+        let mut cfg = small_cfg(backend, 4);
+        cfg.mode = ExecMode::CostOnly;
+        cfg.bcast_tree_min = Some(2);
+        cfg.fabric.topology = Topology::FatTree(FatTreeConfig {
+            pods: 2,
+            link_bandwidth_gbps: 50.0, // narrower than one NIC
+            spine_latency: amt_simnet::SimTime::from_ns(600),
+        });
+        let report = Cluster::new(cfg).execute(stress_graph(4));
+        assert!(report.complete(), "{backend}");
+        assert!(report.bytes_transferred() > 0, "{backend}");
+    }
+}
+
+#[test]
+fn flyweight_store_is_byte_identical_to_dense() {
+    // The hash-backed per-node version store must make identical
+    // scheduling decisions to the dense byte-per-version table — plain
+    // and windowed, on every backend.
+    for backend in backends() {
+        let run = |flyweight: bool, windowed: bool| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes: 6,
+                workers_per_node: 2,
+                backend,
+                mode: ExecMode::CostOnly,
+                bcast_tree_min: Some(2),
+                flyweight,
+                ..Default::default()
+            });
+            let report = if windowed {
+                cluster.execute_windowed(Box::new(ChainSource { len: 40, next: 0 }), 7)
+            } else {
+                cluster.execute(stress_graph(6))
+            };
+            assert!(report.complete(), "{backend}");
+            report.to_json()
+        };
+        assert_eq!(run(false, false), run(true, false), "{backend}");
+        assert_eq!(run(false, true), run(true, true), "{backend} windowed");
+    }
+}
+
+#[test]
+fn island_execution_is_byte_identical_to_monolithic() {
+    // The conservative-lookahead island runner must reproduce the
+    // monolithic engine's report — makespan, event count, every latency
+    // statistic — byte-for-byte at any island count, on every backend.
+    for backend in backends() {
+        let cfg = ClusterConfig {
+            nodes: 8,
+            workers_per_node: 2,
+            backend,
+            mode: ExecMode::CostOnly,
+            bcast_tree_min: Some(2),
+            ..Default::default()
+        };
+        let mono = {
+            let mut cluster = Cluster::new(cfg.clone());
+            let report = cluster.execute(stress_graph(8));
+            assert!(report.complete(), "{backend}");
+            report.to_json()
+        };
+        for islands in [1, 2, 4, 8] {
+            let report = crate::execute_islands(&cfg, islands, |g| stress_build(g, 8));
+            assert!(report.complete(), "{backend} islands={islands}");
+            assert_eq!(report.to_json(), mono, "{backend} islands={islands}");
+        }
+    }
+}
+
+#[test]
+fn per_tag_zero_window_reproduces_flat_path() {
+    // Exempting every runtime tag from the batching layer via per-tag
+    // zero-window overrides must reproduce the flat funnel path byte for
+    // byte — same report JSON — even though batching is globally enabled.
+    use amt_comm::EngineConfig;
+    const TAG_ACTIVATE: u64 = 1;
+    const TAG_GETDATA: u64 = 2;
+    for backend in backends() {
+        let run = |engine: EngineConfig| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes: 6,
+                workers_per_node: 2,
+                backend,
+                mode: ExecMode::CostOnly,
+                engine,
+                ..Default::default()
+            });
+            let report = cluster.execute(stress_graph(6));
+            assert!(report.complete(), "{backend}");
+            report.to_json()
+        };
+        let flat = run(EngineConfig::for_backend(backend));
+        let exempted = run(EngineConfig::for_backend(backend)
+            .with_batching(5_000, 4096)
+            .with_batch_window_override(TAG_ACTIVATE, 0)
+            .with_batch_window_override(TAG_GETDATA, 0));
+        assert_eq!(
+            exempted, flat,
+            "{backend}: exempted tags diverged from flat"
+        );
+        // Meaningfulness guard: without the overrides the batching layer
+        // engages on this workload and changes the schedule.
+        let batched = run(EngineConfig::for_backend(backend).with_batching(5_000, 4096));
+        assert_ne!(batched, flat, "{backend}: batching had no effect");
+        // A shorter GET-only window keeps the run valid (tighter latency
+        // for the critical path while announces keep the wide window).
+        let tiered = run(EngineConfig::for_backend(backend)
+            .with_batching(5_000, 4096)
+            .with_batch_window_override(TAG_GETDATA, 250));
+        assert!(!tiered.is_empty());
+    }
 }
 
 #[test]

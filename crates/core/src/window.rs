@@ -240,7 +240,7 @@ impl WindowInner {
             .resize(nversions.div_ceil(GRAPH_CHUNK), false);
         if self.live {
             for rt in &self.rts {
-                rt.window_ensure(ntasks, nversions);
+                rt.window_ensure(nversions);
             }
             // Seed newly declared producer-less versions at their home.
             for i in self.seeded_versions..nversions {
@@ -259,7 +259,7 @@ impl WindowInner {
         let mut late = std::mem::take(&mut self.late_scratch);
         for t in self.admitted_tasks..ntasks {
             late.clear();
-            let (node, priority, missing) = {
+            let (node, local_ix, priority, missing) = {
                 let g = handle.get();
                 let task = g.task(t);
                 let node = task.node;
@@ -289,12 +289,12 @@ impl WindowInner {
                         late.push((ver.home, node, v.0, size, task.priority));
                     }
                 }
-                (node, task.priority, missing)
+                (node, task.local_ix, task.priority, missing)
             };
             for &(home, dst, version, size, prio) in &late {
                 NodeRt::send_late_activate(&self.rts[home], sim, dst, version, size, prio);
             }
-            if self.live && self.rts[node].window_admit_local(t, priority, missing) {
+            if self.live && self.rts[node].window_admit_local(t, local_ix, priority, missing) {
                 let rt = self.rts[node].clone();
                 sim.schedule_now(move |sim| NodeRt::dispatch(&rt, sim));
             }

@@ -169,7 +169,7 @@ type Waker = Rc<dyn Fn(&mut Sim)>;
 struct EpState {
     am_handler: Option<AmHandler>,
     put_handler: Option<PutHandler>,
-    incoming: VecDeque<(Rc<LWire>, SimTime)>,
+    incoming: VecDeque<(Box<LWire>, SimTime)>,
     /// Hardware send completions awaiting surfacing by `progress`.
     local_done: VecDeque<usize>,
     tx_packets_avail: usize,
@@ -354,7 +354,7 @@ impl Lci {
             (w.costs.clone(), w.fabric.clone())
         };
         assert!(size <= costs.imm_max, "sendi payload too large: {size}");
-        let wire = Rc::new(LWire::Imm {
+        let wire = Box::new(LWire::Imm {
             src: self.rank,
             tag,
             size,
@@ -395,7 +395,7 @@ impl Lci {
             ep.tx_packets_avail -= 1;
             (costs, w.fabric.clone())
         };
-        let wire = Rc::new(LWire::Buf {
+        let wire = Box::new(LWire::Buf {
             src: self.rank,
             tag,
             size,
@@ -460,7 +460,7 @@ impl Lci {
             });
             (costs, w.fabric.clone(), idx)
         };
-        let wire = Rc::new(LWire::Rts {
+        let wire = Box::new(LWire::Rts {
             src: self.rank,
             rtag,
             size,
@@ -515,7 +515,7 @@ impl Lci {
             });
             (costs, w.fabric.clone(), idx)
         };
-        let wire = Rc::new(LWire::PutD {
+        let wire = Box::new(LWire::PutD {
             src: self.rank,
             rtag,
             size,
@@ -596,7 +596,7 @@ impl Lci {
             w.costs.call_base + w.costs.recvd_base
         };
         if let Some((info, recvd_idx, fabric, costs)) = matched {
-            let wire = Rc::new(LWire::Rtr {
+            let wire = Box::new(LWire::Rtr {
                 sendd_idx: info.sendd_idx,
                 recvd_idx,
                 recver: self.rank,
@@ -819,7 +819,7 @@ impl Lci {
                 match matched {
                     Some(recvd_idx) => {
                         let fabric = self.world.borrow().fabric.clone();
-                        let wire = Rc::new(LWire::Rtr {
+                        let wire = Box::new(LWire::Rtr {
                             sendd_idx: *sendd_idx,
                             recvd_idx,
                             recver: self.rank,
@@ -861,7 +861,7 @@ impl Lci {
                     (s.size, s.data.take(), s.rtag)
                 };
                 let fabric = self.world.borrow().fabric.clone();
-                let wire = Rc::new(LWire::Data {
+                let wire = Box::new(LWire::Data {
                     recvd_idx: *recvd_idx,
                     src: self.rank,
                     rtag,

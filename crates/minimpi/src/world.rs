@@ -150,7 +150,7 @@ struct RankState {
     unexpected: UnexpTable<Unexpected>,
     /// Hardware queue of delivered-but-unprogressed wire messages, with
     /// their injection timestamps.
-    incoming: VecDeque<(Rc<Wire>, SimTime)>,
+    incoming: VecDeque<(Box<Wire>, SimTime)>,
     /// Invoked when something poll-worthy happens (message arrival, local
     /// send completion) so a simulated polling thread can schedule a round
     /// without busy-waiting in virtual time.
@@ -281,7 +281,7 @@ impl Mpi {
         let mut cost = costs.call_base;
         if costs.is_eager(size) {
             cost += costs.send_eager_base + costs.copy_cost(size);
-            let wire = Rc::new(Wire::Eager {
+            let wire = Box::new(Wire::Eager {
                 src: self.rank,
                 tag,
                 size,
@@ -319,7 +319,7 @@ impl Mpi {
             cost += costs.send_rndv_base;
             let (idx, gen) =
                 w.ranks[self.rank].alloc(RState::SendInFlight { tag, size, data }, None);
-            let wire = Rc::new(Wire::Rts {
+            let wire = Box::new(Wire::Rts {
                 src: self.rank,
                 tag,
                 size,
@@ -405,7 +405,7 @@ impl Mpi {
                     let _ = size;
                     let (idx, gen) = rs.alloc(RState::RecvAwaitData { src: usrc, tag }, None);
                     let fabric = w.fabric.clone();
-                    let wire = Rc::new(Wire::Cts {
+                    let wire = Box::new(Wire::Cts {
                         sender_req,
                         recver: self.rank,
                         recver_req: idx,
@@ -504,7 +504,7 @@ impl Mpi {
                     let _ = size;
                     rs.requests[req.idx].state = RState::RecvAwaitData { src: usrc, tag };
                     let fabric = w.fabric.clone();
-                    let wire = Rc::new(Wire::Cts {
+                    let wire = Box::new(Wire::Cts {
                         sender_req,
                         recver: self.rank,
                         recver_req: req.idx,
@@ -597,7 +597,7 @@ impl Mpi {
                             tag: *tag,
                         };
                         let fabric = w.fabric.clone();
-                        let wire = Rc::new(Wire::Cts {
+                        let wire = Box::new(Wire::Cts {
                             sender_req: *sender_req,
                             recver: self.rank,
                             recver_req: ridx,
@@ -635,7 +635,7 @@ impl Mpi {
                 };
                 let fabric = w.fabric.clone();
                 let hdr = w.costs.header_bytes;
-                let wire = Rc::new(Wire::Data {
+                let wire = Box::new(Wire::Data {
                     recver_req: *recver_req,
                     size,
                     data: RefCell::new(data),

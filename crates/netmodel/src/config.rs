@@ -3,6 +3,58 @@
 
 use amt_simnet::SimTime;
 
+/// Switch-level topology of the fabric.
+///
+/// `Flat` is the seed model: every pair of nodes is one constant-latency
+/// wire apart and only the NICs contend (Expanse's hybrid fat tree is close
+/// to non-blocking at the paper's ≤32-node scale). `FatTree` adds a
+/// two-level hierarchy for wide clusters: nodes are grouped into contiguous
+/// pods, intra-pod traffic behaves exactly like `Flat`, and cross-pod
+/// traffic is serialized through the source pod's shared up-link, crosses
+/// the spine with its own latency, and is serialized through the
+/// destination pod's shared down-link before the last intra-pod hop.
+#[derive(Debug, Clone)]
+pub enum Topology {
+    Flat,
+    FatTree(FatTreeConfig),
+}
+
+/// Parameters of the two-level fat-tree topology.
+#[derive(Debug, Clone)]
+pub struct FatTreeConfig {
+    /// Number of pods; nodes are assigned contiguously
+    /// (`pod = node / ceil(nodes / pods)`).
+    pub pods: usize,
+    /// Shared per-pod up-link / down-link bandwidth in Gbit/s (each
+    /// direction is an independent serial resource).
+    pub link_bandwidth_gbps: f64,
+    /// One-way latency across the spine (up-link exit → down-link entry).
+    /// Must be nonzero: it is the conservative lookahead between pods.
+    pub spine_latency: SimTime,
+}
+
+impl Default for FatTreeConfig {
+    fn default() -> Self {
+        FatTreeConfig {
+            pods: 2,
+            // A pod shares 4 node-widths of up-link (8:1 oversubscription
+            // at 32-node pods) — wide runs see realistic congestion.
+            link_bandwidth_gbps: 400.0,
+            spine_latency: SimTime::from_ns(600),
+        }
+    }
+}
+
+/// One hop of a routed message (diagnostics / routing proptests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hop {
+    SrcNic(usize),
+    PodUp(usize),
+    Spine,
+    PodDown(usize),
+    DstNic(usize),
+}
+
 /// Hardware parameters of the simulated fabric.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
@@ -22,6 +74,9 @@ pub struct FabricConfig {
     pub per_message_overhead: SimTime,
     /// Fixed cost charged per chunk on each side (DMA descriptor handling).
     pub per_chunk_overhead: SimTime,
+    /// Switch-level topology. `Flat` (the default) is byte-identical to the
+    /// seed model.
+    pub topology: Topology,
 }
 
 impl Default for FabricConfig {
@@ -33,6 +88,7 @@ impl Default for FabricConfig {
             chunk_bytes: 64 * 1024,
             per_message_overhead: SimTime::from_ns(250),
             per_chunk_overhead: SimTime::from_ns(40),
+            topology: Topology::Flat,
         }
     }
 }
@@ -57,6 +113,52 @@ impl FabricConfig {
     #[inline]
     pub fn serialization_time(&self, bytes: usize) -> SimTime {
         SimTime::from_ns_f64(bytes as f64 / self.bytes_per_ns())
+    }
+
+    /// Serialization time of `bytes` through a shared pod link (fat tree).
+    #[inline]
+    pub fn link_time(&self, bytes: usize, gbps: f64) -> SimTime {
+        SimTime::from_ns_f64(bytes as f64 / (gbps / 8.0))
+    }
+
+    /// Pod index of `node` under the fat-tree topology (0 under `Flat`).
+    #[inline]
+    pub fn pod_of(&self, node: usize) -> usize {
+        match &self.topology {
+            Topology::Flat => 0,
+            Topology::FatTree(ft) => node / self.nodes.div_ceil(ft.pods),
+        }
+    }
+
+    /// The deterministic route of a message, as a hop list. Intra-pod (and
+    /// all `Flat`) traffic goes NIC → NIC; cross-pod traffic climbs the
+    /// source pod's up-link, crosses the spine, and descends the
+    /// destination pod's down-link.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<Hop> {
+        let (sp, dp) = (self.pod_of(src), self.pod_of(dst));
+        if sp == dp {
+            vec![Hop::SrcNic(src), Hop::DstNic(dst)]
+        } else {
+            vec![
+                Hop::SrcNic(src),
+                Hop::PodUp(sp),
+                Hop::Spine,
+                Hop::PodDown(dp),
+                Hop::DstNic(dst),
+            ]
+        }
+    }
+
+    /// Conservative lookahead between node partitions: the minimum latency
+    /// any message experiences after the last event on its source partition
+    /// (tx-done or up-link completion) before it can affect another
+    /// partition. Pod-aligned partitions under `FatTree` are separated by
+    /// at least the spine latency; under `Flat`, by the wire latency.
+    pub fn lookahead(&self) -> SimTime {
+        match &self.topology {
+            Topology::Flat => self.wire_latency,
+            Topology::FatTree(ft) => ft.spine_latency,
+        }
     }
 
     /// Number of chunks a message of `bytes` occupies (at least 1).

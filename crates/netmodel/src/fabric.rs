@@ -1,31 +1,49 @@
 //! The fabric proper: per-node NIC transmit/receive engines, chunked
 //! round-robin serialization, wire latency, and delivery to node handlers.
+//!
+//! ## Arrival calendars and deterministic drain order
+//!
+//! Every path into a shared resource (a destination NIC's receive engine, a
+//! fat-tree pod link) goes through an *arrival calendar*: chunks destined
+//! for resource `R` at instant `T` are buffered under `(R, T)` and charged
+//! by a single drain event in ascending `(src, per-src chunk seq)` order.
+//! That key is a pure function of the traffic (not of simulator event
+//! sequence numbers), so the charge order for same-instant arrivals is
+//! identical whether the cluster runs in one event queue or is partitioned
+//! into node islands (`Fabric::new_partition`) — the property the
+//! conservative-lookahead parallel engine relies on for byte-identical
+//! results at any island count (DESIGN.md §3.10).
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::ops::Range;
 use std::rc::Rc;
 
 use amt_simnet::{CoreResource, Counter, EventFn, Shared, Sim, SimTime, Trace};
 use bytes::Bytes;
 
-use crate::config::FabricConfig;
+use crate::config::{FabricConfig, Topology};
 
 /// Index of a node in the simulated cluster.
 pub type NodeId = usize;
 
-/// Unique id of a message on the fabric (tracing / debugging).
+/// Unique id of a message on the fabric (tracing / debugging). Encodes the
+/// source: `(src << 40) | per-src counter`, so ids are identical whether
+/// the fabric runs whole or partitioned into islands.
 pub type MsgId = u64;
 
 /// What a message carries. The fabric is payload-agnostic; communication
-/// libraries layered on top define their own protocol structures.
+/// libraries layered on top define their own protocol structures. Payloads
+/// are `Send` so messages can cross island boundaries between threads.
 pub enum Payload {
     /// No payload (pure control signal; the wire size is still accounted).
     Empty,
     /// Real data bytes (zero-copy shared).
     Bytes(Bytes),
     /// An arbitrary protocol structure.
-    Any(Rc<dyn Any>),
+    Any(Box<dyn Any + Send>),
 }
 
 impl Payload {
@@ -46,7 +64,7 @@ impl Payload {
     }
 
     /// Downcast an `Any` payload to a concrete protocol type.
-    pub fn downcast<T: 'static>(self) -> Rc<T> {
+    pub fn downcast<T: 'static>(self) -> Box<T> {
         match self {
             Payload::Any(a) => a.downcast::<T>().expect("payload downcast failed"),
             _ => panic!("payload is not Any"),
@@ -98,10 +116,28 @@ struct Transfer {
     on_tx_done: Option<TxDone>,
 }
 
-/// Boxed when created (one allocation per chunk) so the three per-chunk
-/// events — tx done, wire flight, rx completion — each capture only the
-/// fabric handle plus the box and stay inline in their `EventFn` slots.
-struct ChunkArrival {
+/// Total order on same-instant arrivals at a shared resource:
+/// `(src, per-src chunk sequence)` — island-invariant by construction.
+type ChunkKey = (NodeId, u64);
+
+/// The tx-done callback slot of a [`ChunkRec`]. `EventFn` is not `Send`,
+/// but the callback fires — and the slot empties — the instant the chunk
+/// leaves its source NIC, strictly before the chunk can enter an island
+/// outbox: a chunk crossing a thread boundary always carries `None`
+/// (debug-asserted at both outbox sites).
+struct TxDoneSlot(Option<TxDone>);
+
+// SAFETY: the slot is `None` whenever its `ChunkRec` moves between
+// threads; see the type docs.
+unsafe impl Send for TxDoneSlot {}
+
+/// One chunk in flight past its source NIC. Boxed when created (one
+/// allocation per chunk); `Send`, so it can cross island boundaries. The
+/// calendar key and tx-done callback ride inside the box so every
+/// per-chunk event captures only the fabric handle plus the box and stays
+/// inline in its `EventFn` slot.
+struct ChunkRec {
+    key: ChunkKey,
     msg_id: MsgId,
     src: NodeId,
     dst: NodeId,
@@ -109,9 +145,96 @@ struct ChunkArrival {
     sent_at: SimTime,
     chunk_bytes: usize,
     first_chunk: bool,
-    wire_latency: SimTime,
+    /// Fires when this (final) chunk leaves the sender's NIC.
+    on_tx_done: TxDoneSlot,
     /// Present only on the final chunk; its receive completion delivers.
-    finale: Option<(Payload, Option<TxDone>)>,
+    finale: Option<Payload>,
+}
+
+/// Which calendar a cross-island chunk enters on the destination island.
+enum RemoteStage {
+    /// Flat (or intra-pod) wire: straight into the destination NIC's
+    /// receive calendar.
+    Rx,
+    /// Fat-tree spine crossing: into the destination pod's down-link
+    /// calendar.
+    Down(usize),
+}
+
+/// A chunk crossing an island boundary: drained from the source island's
+/// outbox, injected into the destination island at `t` (which the
+/// conservative lookahead guarantees lies at or beyond the destination's
+/// synchronization horizon).
+pub struct RemoteChunk {
+    stage: RemoteStage,
+    t: SimTime,
+    rec: Box<ChunkRec>,
+}
+
+impl RemoteChunk {
+    /// The destination node (routes the chunk to its owning island).
+    pub fn dst(&self) -> NodeId {
+        self.rec.dst
+    }
+
+    /// The virtual instant at which the chunk enters the destination
+    /// island (arrival-calendar timestamp).
+    pub fn arrives_at(&self) -> SimTime {
+        self.t
+    }
+}
+
+/// An arrival calendar: chunks buffered per `(resource, instant)`, drained
+/// by one event per occupied instant in ascending [`ChunkKey`] order.
+///
+/// Lookups are only ever by exact key (never iterated), so a `HashMap` —
+/// which retains its capacity across remove/insert cycles — keeps
+/// steady-state traffic allocation-free; drained slot vectors are recycled
+/// through a free list for the same reason. (A `BTreeMap` here cost one
+/// root-node allocation per occupied instant: the map oscillates between
+/// empty and one entry on the common NIC receive path.)
+// A chunk stays in its box from source NIC to delivery (the per-chunk
+// events hold the box); the calendar only parks boxes between arrival and
+// drain, so unboxing into the vectors would force a re-box per hop.
+#[allow(clippy::vec_box)]
+struct Calendar<K: Eq + Hash + Copy> {
+    map: HashMap<(K, SimTime), Vec<Box<ChunkRec>>>,
+    free: Vec<Vec<Box<ChunkRec>>>,
+}
+
+#[allow(clippy::vec_box)]
+impl<K: Eq + Hash + Copy> Calendar<K> {
+    fn new() -> Self {
+        Calendar {
+            map: HashMap::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Buffer a chunk; returns true when this `(resource, instant)` slot
+    /// was vacant and the caller must schedule its drain.
+    fn push(&mut self, k: K, t: SimTime, rec: Box<ChunkRec>) -> bool {
+        let slot = self
+            .map
+            .entry((k, t))
+            .or_insert_with(|| self.free.pop().unwrap_or_default());
+        slot.push(rec);
+        slot.len() == 1
+    }
+
+    /// Remove and key-sort the batch for `(resource, instant)`. Return the
+    /// emptied vector via [`Calendar::recycle`].
+    fn drain(&mut self, k: K, t: SimTime) -> Vec<Box<ChunkRec>> {
+        let mut batch = self.map.remove(&(k, t)).unwrap_or_default();
+        batch.sort_by_key(|rec| rec.key);
+        batch
+    }
+
+    /// Hand a drained batch's storage back for reuse.
+    fn recycle(&mut self, mut batch: Vec<Box<ChunkRec>>) {
+        batch.clear();
+        self.free.push(batch);
+    }
 }
 
 struct NodeNic {
@@ -126,6 +249,10 @@ struct NodeNic {
     tx_msgs: Counter,
     rx_msgs: Counter,
     tx_busy_time: SimTime,
+    /// Per-source message counter (deterministic [`MsgId`] low bits).
+    next_msg: u64,
+    /// Per-source chunk counter (the [`ChunkKey`] tiebreak).
+    next_chunk: u64,
 }
 
 impl NodeNic {
@@ -140,8 +267,16 @@ impl NodeNic {
             tx_msgs: Counter::default(),
             rx_msgs: Counter::default(),
             tx_busy_time: SimTime::ZERO,
+            next_msg: 0,
+            next_chunk: 0,
         }
     }
+}
+
+/// Shared up/down links of one fat-tree pod.
+struct PodLinks {
+    up: CoreResource,
+    down: CoreResource,
 }
 
 /// The simulated cluster fabric. See the crate docs for the model.
@@ -149,9 +284,22 @@ pub struct Fabric {
     cfg: FabricConfig,
     nics: Vec<NodeNic>,
     handlers: Vec<Option<RxHandler>>,
-    next_msg: MsgId,
     /// Optional trace sink for per-node NIC injection-occupancy counters.
     trace: Option<Shared<Trace>>,
+    /// Fat-tree pod links (empty under `Topology::Flat`).
+    pods: Vec<PodLinks>,
+    /// Nodes simulated by this fabric instance (the whole cluster unless
+    /// partitioned into islands).
+    local: Range<NodeId>,
+    /// Chunks bound for other islands, drained by the coordinator at
+    /// synchronization barriers.
+    outbox: Vec<RemoteChunk>,
+    /// Destination-NIC receive calendar.
+    rx_cal: Calendar<NodeId>,
+    /// Pod up-link calendars (same-instant tx-done ties).
+    up_cal: Calendar<usize>,
+    /// Pod down-link ingress calendars (post-spine arrivals).
+    down_cal: Calendar<usize>,
 }
 
 /// Shared handle to a [`Fabric`]; all operations are associated functions
@@ -159,16 +307,47 @@ pub struct Fabric {
 pub type FabricHandle = Rc<RefCell<Fabric>>;
 
 impl Fabric {
-    /// Build a fabric and return a shared handle.
+    /// Build a fabric simulating the whole cluster.
     pub fn new(cfg: FabricConfig) -> FabricHandle {
+        let nodes = cfg.nodes;
+        Fabric::new_partition(cfg, 0..nodes)
+    }
+
+    /// Build a fabric simulating only the nodes in `local` (one island of
+    /// a partitioned cluster). Sends must originate from local nodes;
+    /// chunks addressed to non-local nodes accumulate in the outbox
+    /// ([`Fabric::take_outbox`]) for the island coordinator to move.
+    pub fn new_partition(cfg: FabricConfig, local: Range<NodeId>) -> FabricHandle {
+        assert!(local.end <= cfg.nodes, "partition exceeds cluster");
         let nics = (0..cfg.nodes).map(NodeNic::new).collect();
         let handlers = (0..cfg.nodes).map(|_| None).collect();
+        let pods = match &cfg.topology {
+            Topology::Flat => Vec::new(),
+            Topology::FatTree(ft) => {
+                assert!(ft.pods >= 1, "fat tree needs at least one pod");
+                assert!(
+                    !ft.spine_latency.is_zero(),
+                    "fat-tree spine latency must be nonzero"
+                );
+                (0..ft.pods)
+                    .map(|p| PodLinks {
+                        up: CoreResource::new(format!("pod{p}.up")),
+                        down: CoreResource::new(format!("pod{p}.down")),
+                    })
+                    .collect()
+            }
+        };
         Rc::new(RefCell::new(Fabric {
             cfg,
             nics,
             handlers,
-            next_msg: 0,
             trace: None,
+            pods,
+            local,
+            outbox: Vec::new(),
+            rx_cal: Calendar::new(),
+            up_cal: Calendar::new(),
+            down_cal: Calendar::new(),
         }))
     }
 
@@ -194,6 +373,16 @@ impl Fabric {
 
     pub fn nodes(&self) -> usize {
         self.cfg.nodes
+    }
+
+    /// The node range this fabric instance simulates.
+    pub fn local_range(&self) -> Range<NodeId> {
+        self.local.clone()
+    }
+
+    #[inline]
+    fn is_local(&self, node: NodeId) -> bool {
+        self.local.contains(&node)
     }
 
     /// Register the receive handler for `node` (replaces any previous one).
@@ -222,6 +411,34 @@ impl Fabric {
         self.nics[node].tx_busy_time
     }
 
+    /// Total occupancy of pod `p`'s up-link (fat tree only).
+    pub fn pod_up_busy(&self, p: usize) -> SimTime {
+        self.pods[p].up.busy_time()
+    }
+
+    /// Total occupancy of pod `p`'s down-link (fat tree only).
+    pub fn pod_down_busy(&self, p: usize) -> SimTime {
+        self.pods[p].down.busy_time()
+    }
+
+    /// Drain the chunks bound for other islands.
+    pub fn take_outbox(&mut self) -> Vec<RemoteChunk> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Inject chunks handed over from other islands. Their timestamps must
+    /// lie at or beyond the current horizon (guaranteed by the conservative
+    /// lookahead), so every drain here is a future event.
+    pub fn inject_remote(fab: &FabricHandle, sim: &mut Sim, chunks: Vec<RemoteChunk>) {
+        for c in chunks {
+            debug_assert!(c.t >= sim.now(), "remote chunk in the past");
+            match c.stage {
+                RemoteStage::Rx => Fabric::rx_push(fab, sim, c.t, c.rec),
+                RemoteStage::Down(pod) => Fabric::down_push(fab, sim, pod, c.t, c.rec),
+            }
+        }
+    }
+
     /// Inject a message. `size` is the wire size in bytes (the caller
     /// accounts for headers); `payload` rides along and is handed to the
     /// destination handler; `on_tx_done` fires when the last chunk leaves
@@ -241,9 +458,10 @@ impl Fabric {
         let msg_id;
         {
             let mut f = fab.borrow_mut();
-            msg_id = f.next_msg;
-            f.next_msg += 1;
             assert!(src < f.cfg.nodes && dst < f.cfg.nodes, "bad node id");
+            debug_assert!(f.is_local(src), "send from non-local node {src}");
+            msg_id = ((src as u64) << 40) | f.nics[src].next_msg;
+            f.nics[src].next_msg += 1;
 
             if src == dst {
                 drop(f);
@@ -309,7 +527,7 @@ impl Fabric {
     /// the seed's linear `position(size <= chunk)` scan selected, since
     /// relative order within each class is preserved by both schemes.
     fn tx_pump(fab: &FabricHandle, sim: &mut Sim, node: NodeId) {
-        let (dur, arrival);
+        let (dur, mut rec);
         {
             let mut f = fab.borrow_mut();
             if f.nics[node].tx_busy {
@@ -336,7 +554,10 @@ impl Fabric {
                     SimTime::ZERO
                 };
 
-            arrival = Box::new(ChunkArrival {
+            let key = (t.src, f.nics[node].next_chunk);
+            f.nics[node].next_chunk += 1;
+            rec = Box::new(ChunkRec {
+                key,
                 msg_id: t.msg_id,
                 src: t.src,
                 dst: t.dst,
@@ -344,12 +565,9 @@ impl Fabric {
                 sent_at: t.sent_at,
                 chunk_bytes: chunk,
                 first_chunk: first,
-                wire_latency: f.cfg.wire_latency,
+                on_tx_done: TxDoneSlot(if finished { t.on_tx_done.take() } else { None }),
                 finale: if finished {
-                    Some((
-                        t.payload.take().expect("payload consumed twice"),
-                        t.on_tx_done.take(),
-                    ))
+                    Some(t.payload.take().expect("payload consumed twice"))
                 } else {
                     None
                 },
@@ -363,72 +581,196 @@ impl Fabric {
             f.nics[node].tx_busy_time += dur;
         }
 
-        // Captures: one Rc + one Box — inline in the event slot.
+        // Captures: one Rc + one Box — inline in the `EventFn` slot.
         let fab2 = fab.clone();
         sim.schedule_in(dur, move |sim| {
             // Chunk left the sender NIC (transfers queue at their source,
-            // so the transmitting node is `arrival.src`).
-            let node = arrival.src;
+            // so the transmitting node is the chunk's src).
+            let node = rec.src;
             {
                 let mut f = fab2.borrow_mut();
                 f.nics[node].tx_busy = false;
                 f.sample_nic(node, sim.now());
             }
-            let mut arrival = arrival;
-            let on_tx_done = arrival.finale.as_mut().and_then(|(_, cb)| cb.take());
-            if let Some(cb) = on_tx_done {
+            if let Some(cb) = rec.on_tx_done.0.take() {
                 cb.invoke(sim);
             }
-            let fab3 = fab2.clone();
-            let wire_latency = arrival.wire_latency;
-            sim.schedule_in(wire_latency, move |sim| {
-                Fabric::rx_chunk(&fab3, sim, arrival);
-            });
+            Fabric::route_chunk(&fab2, sim, rec);
             Fabric::tx_pump(&fab2, sim, node);
         });
     }
 
-    /// A chunk reached the destination NIC: serialize through the receive
-    /// engine; the final chunk's completion delivers the message.
-    fn rx_chunk(fab: &FabricHandle, sim: &mut Sim, arrival: Box<ChunkArrival>) {
-        let dst = arrival.dst;
-        let dur = {
+    /// A chunk has left its source NIC: route it to the next hop.
+    fn route_chunk(fab: &FabricHandle, sim: &mut Sim, rec: Box<ChunkRec>) {
+        let (wire_latency, src_pod, dst_pod) = {
             let f = fab.borrow();
-            f.cfg.serialization_time(arrival.chunk_bytes)
+            (
+                f.cfg.wire_latency,
+                f.cfg.pod_of(rec.src),
+                f.cfg.pod_of(rec.dst),
+            )
+        };
+        if src_pod == dst_pod {
+            let t = sim.now() + wire_latency;
+            Fabric::rx_push(fab, sim, t, rec);
+        } else {
+            // Cross-pod: same-instant tx-done ties from different NICs
+            // contend for the shared up-link; the calendar orders them.
+            Fabric::up_push(fab, sim, src_pod, sim.now(), rec);
+        }
+    }
+
+    /// Buffer a chunk in the destination NIC's receive calendar (or the
+    /// outbox, when the destination belongs to another island), scheduling
+    /// the drain on first occupancy of the `(dst, t)` slot.
+    fn rx_push(fab: &FabricHandle, sim: &mut Sim, t: SimTime, rec: Box<ChunkRec>) {
+        let dst = rec.dst;
+        let vacant = {
+            let mut f = fab.borrow_mut();
+            if !f.is_local(dst) {
+                debug_assert!(rec.on_tx_done.0.is_none(), "tx-done crossing islands");
+                f.outbox.push(RemoteChunk {
+                    stage: RemoteStage::Rx,
+                    t,
+                    rec,
+                });
+                return;
+            }
+            f.rx_cal.push(dst, t, rec)
+        };
+        if vacant {
+            let fab2 = fab.clone();
+            let drain = move |sim: &mut Sim| Fabric::drain_rx(&fab2, sim, dst, t);
+            if t <= sim.now() {
+                sim.schedule_now(drain);
+            } else {
+                sim.schedule_at(t, drain);
+            }
+        }
+    }
+
+    /// Charge the key-sorted batch for `(dst, t)` through the receive
+    /// engine; each final chunk's completion delivers its message.
+    fn drain_rx(fab: &FabricHandle, sim: &mut Sim, dst: NodeId, t: SimTime) {
+        let mut batch = fab.borrow_mut().rx_cal.drain(dst, t);
+        for mut rec in batch.drain(..) {
+            let fab2 = fab.clone();
+            let mut f = fab.borrow_mut();
+            let dur = f.cfg.serialization_time(rec.chunk_bytes)
                 + f.cfg.per_chunk_overhead
-                + if arrival.first_chunk {
+                + if rec.first_chunk {
                     f.cfg.per_message_overhead
                 } else {
                     SimTime::ZERO
+                };
+            f.nics[dst].rx.charge(sim, dur, move |sim| {
+                let dst = rec.dst;
+                if let Some(payload) = rec.finale.take() {
+                    {
+                        let mut f = fab2.borrow_mut();
+                        f.nics[dst].rx_msgs.inc();
+                        f.nics[dst].rx_bytes.add(rec.size as u64);
+                    }
+                    Fabric::deliver(
+                        &fab2,
+                        sim,
+                        Delivery {
+                            src: rec.src,
+                            dst,
+                            size: rec.size,
+                            msg_id: rec.msg_id,
+                            payload,
+                            sent_at: rec.sent_at,
+                        },
+                    );
                 }
-        };
-        let fab2 = fab.clone();
-        // Charge the rx engine; deliver on completion of the final chunk.
-        // (Again one Rc + one Box: inline in the waiter's EventFn.)
-        let mut f = fab.borrow_mut();
-        f.nics[dst].rx.charge(sim, dur, move |sim| {
-            let arrival = *arrival;
-            let dst = arrival.dst;
-            if let Some((payload, _)) = arrival.finale {
-                {
-                    let mut f = fab2.borrow_mut();
-                    f.nics[dst].rx_msgs.inc();
-                    f.nics[dst].rx_bytes.add(arrival.size as u64);
+            });
+        }
+        fab.borrow_mut().rx_cal.recycle(batch);
+    }
+
+    /// Buffer a chunk in its source pod's up-link calendar (same-instant
+    /// slot: tx-done ties from different NICs of one pod).
+    fn up_push(fab: &FabricHandle, sim: &mut Sim, pod: usize, t: SimTime, rec: Box<ChunkRec>) {
+        let vacant = fab.borrow_mut().up_cal.push(pod, t, rec);
+        if vacant {
+            let fab2 = fab.clone();
+            sim.schedule_now(move |sim| Fabric::drain_up(&fab2, sim, pod, t));
+        }
+    }
+
+    /// Serialize the key-sorted batch through the pod up-link; each chunk's
+    /// completion launches it across the spine toward the destination
+    /// pod's down-link (possibly on another island).
+    fn drain_up(fab: &FabricHandle, sim: &mut Sim, pod: usize, t: SimTime) {
+        let mut batch = fab.borrow_mut().up_cal.drain(pod, t);
+        for rec in batch.drain(..) {
+            let fab2 = fab.clone();
+            let mut f = fab.borrow_mut();
+            let ft = match &f.cfg.topology {
+                Topology::FatTree(ft) => ft,
+                Topology::Flat => unreachable!("up-link on flat topology"),
+            };
+            let dur = f.cfg.link_time(rec.chunk_bytes, ft.link_bandwidth_gbps);
+            f.pods[pod].up.charge(sim, dur, move |sim| {
+                let (spine, dst_pod, dst_local) = {
+                    let f = fab2.borrow();
+                    let ft = match &f.cfg.topology {
+                        Topology::FatTree(ft) => ft,
+                        Topology::Flat => unreachable!("up-link on flat topology"),
+                    };
+                    (ft.spine_latency, f.cfg.pod_of(rec.dst), f.is_local(rec.dst))
+                };
+                let ingress = sim.now() + spine;
+                if dst_local {
+                    Fabric::down_push(&fab2, sim, dst_pod, ingress, rec);
+                } else {
+                    debug_assert!(rec.on_tx_done.0.is_none(), "tx-done crossing islands");
+                    fab2.borrow_mut().outbox.push(RemoteChunk {
+                        stage: RemoteStage::Down(dst_pod),
+                        t: ingress,
+                        rec,
+                    });
                 }
-                Fabric::deliver(
-                    &fab2,
-                    sim,
-                    Delivery {
-                        src: arrival.src,
-                        dst,
-                        size: arrival.size,
-                        msg_id: arrival.msg_id,
-                        payload,
-                        sent_at: arrival.sent_at,
-                    },
-                );
+            });
+        }
+        fab.borrow_mut().up_cal.recycle(batch);
+    }
+
+    /// Buffer a post-spine chunk in the destination pod's down-link
+    /// calendar (a strictly-future slot: the spine latency is nonzero).
+    fn down_push(fab: &FabricHandle, sim: &mut Sim, pod: usize, t: SimTime, rec: Box<ChunkRec>) {
+        let vacant = fab.borrow_mut().down_cal.push(pod, t, rec);
+        if vacant {
+            let fab2 = fab.clone();
+            let drain = move |sim: &mut Sim| Fabric::drain_down(&fab2, sim, pod, t);
+            if t <= sim.now() {
+                sim.schedule_now(drain);
+            } else {
+                sim.schedule_at(t, drain);
             }
-        });
+        }
+    }
+
+    /// Serialize the key-sorted batch through the pod down-link; each
+    /// chunk's completion takes the last intra-pod wire hop into the
+    /// destination NIC's receive calendar.
+    fn drain_down(fab: &FabricHandle, sim: &mut Sim, pod: usize, t: SimTime) {
+        let mut batch = fab.borrow_mut().down_cal.drain(pod, t);
+        for rec in batch.drain(..) {
+            let fab2 = fab.clone();
+            let mut f = fab.borrow_mut();
+            let ft = match &f.cfg.topology {
+                Topology::FatTree(ft) => ft,
+                Topology::Flat => unreachable!("down-link on flat topology"),
+            };
+            let dur = f.cfg.link_time(rec.chunk_bytes, ft.link_bandwidth_gbps);
+            f.pods[pod].down.charge(sim, dur, move |sim| {
+                let t = sim.now() + fab2.borrow().cfg.wire_latency;
+                Fabric::rx_push(&fab2, sim, t, rec);
+            });
+        }
+        fab.borrow_mut().down_cal.recycle(batch);
     }
 
     fn deliver(fab: &FabricHandle, sim: &mut Sim, delivery: Delivery) {

@@ -122,6 +122,41 @@ print(f"BENCH_msgrate.json valid; tlr_wide batched+tree "
       f"{fresh['time_vs_flat']:.3f}x time")
 PY
 
+echo "== cluster scale: scale --quick + BENCH_scale.json schema/gates =="
+cargo bench --quiet -p amt-bench --bench scale -- \
+    --quick --out "$TMP_DIR/BENCH_scale.json"
+python3 - "$TMP_DIR/BENCH_scale.json" BENCH_scale.json <<'PY'
+import json, sys
+for path, quick in ((sys.argv[1], True), (sys.argv[2], False)):
+    d = json.load(open(path))
+    assert d["schema"] == "amtlc-bench-scale-v1", (path, d.get("schema"))
+    assert d["quick"] is quick, (path, "quick flag")
+    assert d["threads_available"] >= 1
+    nodes = [r["nodes"] for r in d["scaling"]]
+    assert nodes == ([32, 128] if quick else [32, 128, 512, 1024]), (path, nodes)
+    for r in d["scaling"] + [d["million_task"]]:
+        assert r["tasks"] > 0 and r["sim_events"] > 0, (path, r)
+        assert r["events_per_sec"] > 0 and r["peak_live_bytes"] > 0, (path, r)
+    # Flyweight node state: peak live bytes at most half the dense
+    # baseline on the 512-sharded-chains workload (counting-allocator
+    # measurements are deterministic).
+    fm = d["flyweight_memory"]
+    assert fm["flyweight_peak_bytes"] <= 0.5 * fm["dense_peak_bytes"], (path, fm)
+    # Island-parallel DES: reports byte-identical at every island count;
+    # wall-clock speedup is only gated where the cores exist (a 1-core
+    # box honestly records ~<=1x).
+    isl = d["islands"]
+    assert isl["byte_identical"] is True, path
+    if d["threads_available"] >= 4 and not quick:
+        assert isl["speedup_at_max"] >= 1.5, (path, isl["speedup_at_max"])
+committed = json.load(open(sys.argv[2]))
+assert committed["million_task"]["tasks"] >= 1_000_000, committed["million_task"]
+assert committed["million_task"]["nodes"] == 1024
+print(f"BENCH_scale.json valid; flyweight ratio "
+      f"{committed['flyweight_memory']['ratio']:.3f}, million-task point "
+      f"{committed['million_task']['tasks']} tasks on 1024 nodes")
+PY
+
 echo "== real substrate: quickstart + TLR smoke on 2 threads (wall-clock gated) =="
 # The quickstart's final section and the cross-mode oracle both run
 # Cluster::execute_real; a protocol stall would hang, so cap wall time.
@@ -186,13 +221,20 @@ else
     echo "nightly+rust-src unavailable; deque stress ran in plain release mode"
 fi
 
-echo "== golden fig4 point: virtual-time byte-identity across backends and --jobs =="
+echo "== golden fig4 point: virtual-time byte-identity across backends, --jobs, --islands =="
 for jobs in 1 3; do
     cargo bench --quiet -p amt-bench --bench fig4_tile_scaling -- --golden --jobs "$jobs" \
         > "$TMP_DIR/golden_fig4.txt"
     diff -u results/golden_fig4.txt "$TMP_DIR/golden_fig4.txt"
 done
-echo "golden fig4 report is byte-identical (jobs 1 and 3)"
+# The island-parallel DES must reproduce the monolithic engine byte for
+# byte at every island count (DESIGN.md §3.10).
+for islands in 1 2 4; do
+    cargo bench --quiet -p amt-bench --bench fig4_tile_scaling -- --golden --islands "$islands" \
+        > "$TMP_DIR/golden_fig4.txt"
+    diff -u results/golden_fig4.txt "$TMP_DIR/golden_fig4.txt"
+done
+echo "golden fig4 report is byte-identical (jobs 1, 3; islands 1, 2, 4)"
 
 echo "== observability: example run with --trace-out/--metrics-out =="
 cargo run --release --quiet --example quickstart -- \

@@ -262,6 +262,7 @@ fn paper_headline_orderings_hold() {
         n: 36_000,
         tile_size: 1500,
         multithread_am: false,
+        tuning: Default::default(),
     });
     let mpi_r = run_tlr(&TlrRunCfg {
         backend: BackendKind::Mpi,
@@ -269,6 +270,7 @@ fn paper_headline_orderings_hold() {
         n: 36_000,
         tile_size: 1500,
         multithread_am: false,
+        tuning: Default::default(),
     });
     assert!(
         lci_r.req_us < mpi_r.req_us,
@@ -374,6 +376,47 @@ fn execution_modes_agree_byte_for_byte_on_numeric_cholesky() {
             collect(&chol_r, &real),
             reference,
             "real execution at {threads} thread(s) diverged bitwise"
+        );
+    }
+}
+
+/// Windowed retirement frees whole task-storage chunks as the completion
+/// frontier passes — but data for a version can still arrive at a node
+/// *after* consumers on other nodes (already satisfied from their own
+/// copies) completed and had their chunk freed. The release scan must skip
+/// those instead of touching freed storage. Regression: panicked with
+/// "access to a retired (freed) graph chunk" at 512 simulated nodes, with
+/// both the dense and the flyweight store. Both flavors must also still
+/// agree with the full unroll on virtual time.
+#[test]
+fn windowed_retirement_survives_late_arrivals_at_scale() {
+    use amtlc::tlr::TlrCholeskySource;
+
+    let nodes = 512;
+    let problem = || TlrProblem::new(24 * 1200, 1200);
+    let cfg = |flyweight: bool| ClusterConfig {
+        flyweight,
+        mode: ExecMode::CostOnly,
+        get_window_bytes: 2 << 20,
+        ..ClusterConfig::expanse(BackendKind::Lci, nodes)
+    };
+
+    let (_, graph) = TlrCholesky::build_cost_only(problem(), nodes);
+    let mut full = Cluster::new(cfg(false));
+    let full_report = full.execute(graph);
+    assert!(full_report.complete());
+
+    for flyweight in [false, true] {
+        let mut cluster = Cluster::new(cfg(flyweight));
+        let report = cluster.execute_windowed(
+            Box::new(TlrCholeskySource::cost_only(problem(), nodes)),
+            20_000,
+        );
+        assert!(report.complete(), "flyweight={flyweight}");
+        assert_eq!(report.tasks_total, full_report.tasks_total);
+        assert_eq!(
+            report.makespan, full_report.makespan,
+            "flyweight={flyweight}: windowed diverged from full unroll"
         );
     }
 }

@@ -318,6 +318,20 @@ fn trace_round_trips_with_paired_flows_and_monotone_counters() {
 }
 
 #[test]
+fn metrics_report_surfaces_event_queue_pressure() {
+    // `events_peak_pending` must appear in the sim section alongside the
+    // clamp counter, and a real run necessarily queued at least one event.
+    let (cluster, report) = observed_run(BackendKind::Lci);
+    let parsed = parse_json(&cluster.metrics_report(&report).to_json());
+    let peak = parsed
+        .get("sim")
+        .and_then(|s| s.get("events_peak_pending"))
+        .and_then(Json::as_num)
+        .expect("missing sim.events_peak_pending");
+    assert!(peak >= 1.0, "no queue pressure recorded: {peak}");
+}
+
+#[test]
 fn lifecycle_counts_are_consistent_across_backends() {
     let mut per_backend: Vec<(BackendKind, Json)> = Vec::new();
     for backend in BackendKind::ALL {

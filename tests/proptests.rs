@@ -301,6 +301,120 @@ fn collective_trees_span_for_arbitrary_shapes() {
     }
 }
 
+/// Fat-tree routing is deterministic and loop-free for arbitrary
+/// topologies: recomputing a route yields the identical hop list, no hop
+/// repeats, every route starts at the source NIC and ends at the
+/// destination NIC, and cross-pod routes climb exactly once through the
+/// two pods' shared links and the spine.
+#[test]
+fn fat_tree_routes_are_deterministic_and_loop_free() {
+    use amtlc::netmodel::{FabricConfig, FatTreeConfig, Hop, Topology};
+
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0xf47_0000 + case);
+        let nodes = rng.gen_usize(2..130);
+        let pods = rng.gen_usize(1..nodes.min(16) + 1);
+        let mut cfg = FabricConfig::expanse(nodes);
+        cfg.topology = Topology::FatTree(FatTreeConfig {
+            pods,
+            link_bandwidth_gbps: 50.0 + rng.gen_f64() * 750.0,
+            spine_latency: SimTime::from_ns(rng.gen_range(1..5_000)),
+        });
+        // The spine latency is the islands' conservative lookahead; a
+        // random topology must never degenerate to zero.
+        assert!(cfg.lookahead() > SimTime::ZERO, "case {case}");
+        for _ in 0..64 {
+            let src = rng.gen_usize(0..nodes);
+            let dst = rng.gen_usize(0..nodes);
+            let route = cfg.route(src, dst);
+            assert_eq!(route, cfg.route(src, dst), "case {case}: nondeterministic");
+            for (i, h) in route.iter().enumerate() {
+                assert!(!route[..i].contains(h), "case {case}: loop in {route:?}");
+            }
+            assert_eq!(route.first(), Some(&Hop::SrcNic(src)), "case {case}");
+            assert_eq!(route.last(), Some(&Hop::DstNic(dst)), "case {case}");
+            if cfg.pod_of(src) == cfg.pod_of(dst) {
+                assert_eq!(route.len(), 2, "case {case}: {route:?}");
+            } else {
+                assert_eq!(
+                    route,
+                    vec![
+                        Hop::SrcNic(src),
+                        Hop::PodUp(cfg.pod_of(src)),
+                        Hop::Spine,
+                        Hop::PodDown(cfg.pod_of(dst)),
+                        Hop::DstNic(dst),
+                    ],
+                    "case {case}"
+                );
+            }
+        }
+    }
+}
+
+/// Island-parallel execution reproduces the monolithic engine's report
+/// byte for byte on randomized task graphs, island counts, and backends.
+#[test]
+fn island_execution_matches_monolithic_on_random_graphs() {
+    use amtlc::core::{execute_islands, ExecMode};
+
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x151a_0000 + case);
+        let nodes = rng.gen_usize(2..9);
+        let n_ops = rng.gen_usize(5..60);
+        let ops: Vec<(u64, u64, usize, i64)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.gen_range(0..5),
+                    rng.gen_range(0..5),
+                    rng.gen_usize(0..nodes),
+                    rng.gen_range(0..7) as i64 - 3,
+                )
+            })
+            .collect();
+        let backend = BackendKind::ALL[rng.gen_usize(0..3)];
+        let islands = rng.gen_usize(1..nodes + 1);
+
+        let build = |g: &mut GraphBuilder| {
+            for k in 0..5u64 {
+                g.data(k, 128 + 32 * k as usize, (k as usize) % nodes, None);
+            }
+            for &(src, dst, node, pri) in &ops {
+                g.insert(
+                    TaskDesc::new("op")
+                        .on_node(node)
+                        .flops(2e5)
+                        .priority(pri)
+                        .read_key(src)
+                        .write(dst, 64),
+                );
+            }
+        };
+        let cfg = ClusterConfig {
+            nodes,
+            workers_per_node: 2,
+            backend,
+            mode: ExecMode::CostOnly,
+            ..Default::default()
+        };
+        let mono = {
+            let mut g = GraphBuilder::new(nodes);
+            build(&mut g);
+            let mut cluster = Cluster::new(cfg.clone());
+            let report = cluster.execute(g.build());
+            assert!(report.complete(), "case {case}");
+            report.to_json()
+        };
+        let island = execute_islands(&cfg, islands, build);
+        assert!(island.complete(), "case {case} islands={islands}");
+        assert_eq!(
+            island.to_json(),
+            mono,
+            "case {case} islands={islands} backend={backend}"
+        );
+    }
+}
+
 /// TLR compression respects the error bound: the truncated tile
 /// reconstructs the original within tol × √(matrix area) (absolute
 /// threshold on singular values bounds the Frobenius error).
