@@ -2,6 +2,8 @@
 
 use amt_simnet::SimTime;
 
+use crate::tune::TuneConfig;
+
 /// Which communication library backs the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
@@ -118,6 +120,12 @@ pub struct EngineConfig {
     /// (`submit → aggregate → inject → wire → deliver → callback`) into the
     /// engine's [`amt_simnet::MetricsRegistry`]. Off by default.
     pub metrics: bool,
+    /// Self-tuning controller (see [`crate::tune`]): per-destination AIMD
+    /// adaptation of the eager-put threshold, the batching window and the
+    /// GET-window depth, fed by the lifecycle histograms. Off by default;
+    /// when enabled the engine records lifecycle stages even with
+    /// `metrics` off (the controller reads them as its congestion signal).
+    pub tune: TuneConfig,
 }
 
 impl Default for EngineConfig {
@@ -140,6 +148,7 @@ impl Default for EngineConfig {
             wake_latency: SimTime::from_ns(100),
             trace: false,
             metrics: false,
+            tune: TuneConfig::default(),
         }
     }
 }
@@ -223,6 +232,19 @@ impl EngineConfig {
             .iter()
             .find(|&&(t, _)| t == tag)
             .map_or(self.batch_window_ns, |&(_, w)| w)
+    }
+
+    /// Enable (or disable) the self-tuning controller with its default
+    /// cadence and bounds.
+    pub fn with_tuning(mut self, on: bool) -> Self {
+        self.tune.enabled = on;
+        self
+    }
+
+    /// True when the engine must record lifecycle-stage histograms: either
+    /// the user asked for metrics or the controller needs them as input.
+    pub fn stages_enabled(&self) -> bool {
+        self.metrics || self.tune.enabled
     }
 
     /// Effective byte threshold of the batching layer.

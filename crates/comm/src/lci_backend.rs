@@ -344,6 +344,7 @@ impl LciBackend {
                     st.put_seq -= 1;
                 }
                 eng.trace_instant("retry", sim.now());
+                eng.note_pressure(dst);
                 let mut inner = eng.inner.borrow_mut();
                 inner.stats.puts_started.dec();
                 inner.pending.push_front(Command::Put {
@@ -534,6 +535,7 @@ impl CommBackend for LciBackend {
             Err(_) => {
                 self.st.borrow_mut().stat_retries.inc();
                 eng.trace_instant("retry", sim.now());
+                eng.note_pressure(dst);
                 let mut inner = eng.inner.borrow_mut();
                 inner.stats.am_sent.dec();
                 inner
@@ -578,6 +580,7 @@ impl CommBackend for LciBackend {
                 // re-counts the submission, so undo this one.
                 self.st.borrow_mut().stat_retries.inc();
                 eng.trace_instant("retry", sim.now());
+                eng.note_pressure(dst);
                 {
                     let mut inner = eng.inner.borrow_mut();
                     inner.stats.am_sent.dec();
@@ -608,7 +611,7 @@ impl CommBackend for LciBackend {
             on_local,
         } = req;
 
-        if size <= eng.cfg.eager_put_max {
+        if size <= eng.eager_put_max_for(dst) {
             let eager = match data {
                 Some(b) => EagerMode::EagerBytes(b),
                 None => EagerMode::EagerCostOnly,
@@ -648,6 +651,7 @@ impl CommBackend for LciBackend {
                         st.put_seq -= 1;
                     }
                     eng.trace_instant("retry", sim.now());
+                    eng.note_pressure(dst);
                     let mut inner = eng.inner.borrow_mut();
                     inner.stats.puts_started.dec();
                     let data = match hs.eager {
@@ -702,6 +706,7 @@ impl CommBackend for LciBackend {
                         st.put_seq -= 1;
                     }
                     eng.trace_instant("retry", sim.now());
+                    eng.note_pressure(dst);
                     let mut inner = eng.inner.borrow_mut();
                     inner.stats.puts_started.dec();
                     inner.pending.push_front(Command::Put {
@@ -744,6 +749,7 @@ impl CommBackend for LciBackend {
                     // retrying.
                     self.st.borrow_mut().stat_retries.inc();
                     eng.trace_instant("retry", sim.now());
+                    eng.note_pressure(dst);
                     eng.inner
                         .borrow_mut()
                         .pending
@@ -814,6 +820,7 @@ impl CommBackend for LciBackend {
                 Err(_) => {
                     self.st.borrow_mut().stat_retries.inc();
                     eng.trace_instant("retry", sim.now());
+                    eng.note_pressure(dst);
                     eng.inner
                         .borrow_mut()
                         .pending

@@ -87,9 +87,9 @@ impl CommBackend for LciDirect {
 
     fn issue_put(&self, eng: &Rc<CommEngine>, sim: &mut Sim, req: PutRequest) -> SimTime {
         // Small puts already travel as one inline buffered message on the
-        // base path; only above the eager threshold does the direct write
-        // beat the handshake + rendezvous emulation.
-        if req.size <= eng.cfg.eager_put_max {
+        // base path; only above the (possibly adapted) eager threshold does
+        // the direct write beat the handshake + rendezvous emulation.
+        if req.size <= eng.eager_put_max_for(req.dst) {
             self.base.issue_put(eng, sim, req)
         } else {
             self.base.issue_put_direct(eng, sim, req)

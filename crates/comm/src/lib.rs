@@ -53,6 +53,7 @@ mod lci_direct;
 mod mpi_backend;
 pub mod shm;
 mod stats;
+pub mod tune;
 mod wire;
 
 pub use collectives::{
@@ -64,6 +65,7 @@ pub use engine::{
 };
 pub use shm::{ShmMsg, ShmNode, ShmWorld};
 pub use stats::EngineStats;
+pub use tune::{TuneConfig, TuneEvents, Tuner, WindowBounds, WindowState};
 
 #[cfg(test)]
 mod tests;

@@ -317,7 +317,7 @@ impl MpiBackend {
             },
             seq,
         };
-        if st.slots_in_use < eng.cfg.max_concurrent_transfers {
+        if st.slots_in_use < eng.max_transfers_now() {
             st.slots_in_use += 1;
             st.tracked.push(tracked);
             st.progress_queued = true;
@@ -342,7 +342,7 @@ impl MpiBackend {
             }
             let next = {
                 let mut st = self.st.borrow_mut();
-                if st.slots_in_use >= eng.cfg.max_concurrent_transfers {
+                if st.slots_in_use >= eng.max_transfers_now() {
                     Next::None
                 } else {
                     let pseq = st.deferred_puts.front().map(|(s, _)| *s);
@@ -453,11 +453,13 @@ impl CommBackend for MpiBackend {
         eng.inner.borrow_mut().stats.puts_started.inc();
         {
             let mut st = self.st.borrow_mut();
-            if st.slots_in_use >= eng.cfg.max_concurrent_transfers {
+            if st.slots_in_use >= eng.max_transfers_now() {
                 st.stat_deferred.inc();
                 let seq = st.bump_seq();
+                let dst = req.dst;
                 st.deferred_puts.push_back((seq, req));
                 eng.trace_instant("deferred_put", sim.now());
+                eng.note_pressure(dst);
                 return eng.cfg.cmd_overhead;
             }
             st.slots_in_use += 1;

@@ -604,6 +604,16 @@ impl Cluster {
         let mut stages = amt_simnet::MetricsRegistry::new(true);
         for engine in &self.engines {
             stages.merge(&engine.metrics_handle().borrow());
+            // Adaptive-controller state: per-node current knob values and
+            // adaptation event counts. All-zero aggregates when the
+            // controller is off, so consumers can key on them blindly —
+            // but only when observability is on at all: a run with both
+            // metrics and tuning disabled keeps its report empty.
+            if self.cfg.metrics || self.cfg.engine.tune.enabled {
+                for (name, v) in engine.tune_counters() {
+                    stages.count(&name, v);
+                }
+            }
         }
         let mut engine_totals = EngineStats::default();
         for s in &report.engine_stats {

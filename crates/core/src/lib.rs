@@ -77,6 +77,7 @@ mod node;
 mod queue;
 mod real;
 mod records;
+mod tune;
 mod window;
 
 pub use calib::{
@@ -92,6 +93,7 @@ pub use graph::{
 pub use island::{execute_islands, island_range};
 pub use metrics::{LatencySummary, MetricsReport};
 pub use records::{tree_children, tree_children_k};
+pub use tune::{TuneProfile, TUNE_COST_DEFAULT, TUNE_SCHEMA};
 
 #[cfg(test)]
 mod tests;

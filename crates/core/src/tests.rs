@@ -989,3 +989,178 @@ fn real_then_virtual_data_stores_supersede_each_other() {
         "virtual run must clear stale real-run data"
     );
 }
+
+// ---------------------------------------------------------------------
+// Self-tuning controller (engine.tune)
+// ---------------------------------------------------------------------
+
+/// Like [`stress_build`] but with ~6 KB version payloads: above the
+/// static 4 KiB eager-put ceiling, below the adaptive one — every remote
+/// fetch is a near-miss until the controller raises the destination's
+/// threshold mid-run.
+fn adaptive_build(g: &mut GraphBuilder, nodes: usize) {
+    for k in 0..4u64 {
+        g.data(k, 6_000, (k as usize) % nodes, None);
+    }
+    let mut next_key = 100u64;
+    for round in 0..6i64 {
+        for k in 0..4u64 {
+            for c in 0..5i64 {
+                let node = ((c as usize) * 3 + round as usize) % nodes;
+                g.insert(
+                    TaskDesc::new("fan")
+                        .on_node(node)
+                        .flops(5e5)
+                        .priority((c % 3) - 1 + round)
+                        .read_key(k)
+                        .write(next_key, 6_000),
+                );
+                next_key += 1;
+            }
+            g.insert(
+                TaskDesc::new("bump")
+                    .on_node((k as usize + round as usize) % nodes)
+                    .flops(1e6)
+                    .priority(round)
+                    .read_key(k)
+                    .write(k, 6_000),
+            );
+        }
+    }
+}
+
+/// A tuning config that reaches several adaptation epochs inside a short
+/// test run.
+fn fast_tune() -> amt_comm::TuneConfig {
+    amt_comm::TuneConfig {
+        enabled: true,
+        epoch_ns: 20_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn adaptive_runs_are_byte_identical_at_any_island_count() {
+    // An adapting run must stay exactly as deterministic as a static one:
+    // every controller signal is node-local and epochs are virtual-time
+    // keyed, so the island runner reproduces the monolithic report
+    // byte-for-byte — on every backend.
+    for backend in backends() {
+        let mut cfg = ClusterConfig {
+            nodes: 8,
+            workers_per_node: 2,
+            backend,
+            mode: ExecMode::CostOnly,
+            bcast_tree_min: Some(2),
+            ..Default::default()
+        };
+        cfg.engine.tune = fast_tune();
+        let mono = {
+            let mut cluster = Cluster::new(cfg.clone());
+            let mut g = GraphBuilder::new(8);
+            adaptive_build(&mut g, 8);
+            let report = cluster.execute(g.build());
+            assert!(report.complete(), "{backend}");
+            report.to_json()
+        };
+        for islands in [1, 2, 4] {
+            let report = crate::execute_islands(&cfg, islands, |g| adaptive_build(g, 8));
+            assert_eq!(report.to_json(), mono, "{backend} islands={islands}");
+        }
+    }
+}
+
+#[test]
+fn adaptive_thresholds_never_change_delivered_bytes() {
+    // The controller moves protocol choices (eager vs rendezvous, batching,
+    // fetch depth) — never payloads. Delivered put bytes must match the
+    // static run on every backend, and agree across backends.
+    let mut delivered = Vec::new();
+    for backend in backends() {
+        let run = |adaptive: bool| {
+            let mut cfg = ClusterConfig {
+                nodes: 4,
+                workers_per_node: 2,
+                backend,
+                mode: ExecMode::CostOnly,
+                ..Default::default()
+            };
+            if adaptive {
+                cfg.engine.tune = fast_tune();
+            }
+            let mut g = GraphBuilder::new(4);
+            adaptive_build(&mut g, 4);
+            let report = Cluster::new(cfg).execute(g.build());
+            assert!(report.complete(), "{backend} adaptive={adaptive}");
+            report.bytes_transferred()
+        };
+        let (stat, adap) = (run(false), run(true));
+        assert!(stat > 0, "{backend}");
+        assert_eq!(stat, adap, "{backend}: adaptation changed delivered bytes");
+        delivered.push(adap);
+    }
+    assert!(
+        delivered.windows(2).all(|w| w[0] == w[1]),
+        "backends disagree on delivered payload bytes: {delivered:?}"
+    );
+}
+
+#[test]
+fn adaptive_controller_converges_on_the_6k_mode() {
+    // AIMD convergence end-to-end: a producer/consumer chain of 6 KB
+    // versions must raise the producer's eager threshold just past the
+    // mode, visible through the metrics-report tune counters.
+    let mut cfg = ClusterConfig {
+        nodes: 2,
+        workers_per_node: 2,
+        backend: BackendKind::Lci,
+        mode: ExecMode::CostOnly,
+        metrics: true,
+        ..Default::default()
+    };
+    cfg.engine.tune = fast_tune();
+    let mut g = GraphBuilder::new(2);
+    let mut key = 0u64;
+    for _ in 0..40 {
+        g.insert(
+            TaskDesc::new("prod")
+                .on_node(0)
+                .flops(1e4)
+                .write(key, 6_000),
+        );
+        g.insert(
+            TaskDesc::new("cons")
+                .on_node(1)
+                .flops(1e4)
+                .read_key(key)
+                .write(key + 1, 0),
+        );
+        // Chain rounds through the zero-byte token.
+        g.insert(
+            TaskDesc::new("next")
+                .on_node(0)
+                .flops(1e4)
+                .read_key(key + 1)
+                .write(key + 2, 0),
+        );
+        key += 3;
+    }
+    let mut cluster = Cluster::new(cfg);
+    let report = cluster.execute(g.build());
+    assert!(report.complete());
+    let m = cluster.metrics_report(&report);
+    let counter = |name: &str| {
+        m.stages
+            .counters()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert!(counter("tune.epochs") > 0, "controller never ran an epoch");
+    assert!(counter("tune.eager_raise") >= 1, "no eager raise happened");
+    let threshold = counter("tune.n0.d1.eager_put_max");
+    assert!(
+        (6_000..=12_032).contains(&(threshold as usize)),
+        "producer threshold {threshold} does not cover the 6 KB mode"
+    );
+}

@@ -1,0 +1,222 @@
+//! Autotune profiles: the best communication-knob settings found by the
+//! offline sweep (`--autotune-out`), packaged as a stable-JSON profile a
+//! later run can load back (`--tuned`).
+//!
+//! A [`TuneProfile`] is the offline half of the adaptive comm engine
+//! ([`amt_comm::TuneConfig`] is the online half): the `autotune` bench
+//! sweeps eager-put ceiling × batching window × GET window over the
+//! deterministic parallel sweep runner, scores each candidate on the
+//! Fig. 2 bandwidth-knee position and the Fig. 3 overlap fraction, and
+//! emits the winner here. Serialization follows the calibration-profile
+//! pattern ([`crate::CalibrationProfile`]): integers only, fixed field
+//! order, so `from_json(to_json(p))` re-serializes byte-identically.
+//!
+//! ## `--cost-model` precedence
+//!
+//! The sweep searches knob space *under some simulator cost model*, and a
+//! profile is only evidence about the model it was searched under. The
+//! profile therefore records a `cost_model` tag (`"default"`, or the tag
+//! of the calibration profile the sweep loaded). When a run passes both
+//! `--tuned` and an explicit `--cost-model`, the explicit charges win —
+//! the tune profile only sets knobs — and [`TuneProfile::cost_model_conflict`]
+//! returns a warning to print when the tags disagree, instead of the old
+//! silent drift.
+//!
+//! Schema identifier: [`TUNE_SCHEMA`] (`amtlc-tune-v1`).
+
+use std::fmt::Write as _;
+
+use crate::calib::{get, parse_json};
+use crate::config::ClusterConfig;
+
+/// Schema identifier emitted in (and required of) every profile.
+pub const TUNE_SCHEMA: &str = "amtlc-tune-v1";
+
+/// Cost-model tag of a profile searched under the built-in charges.
+pub const TUNE_COST_DEFAULT: &str = "default";
+
+/// Best-found communication knobs of one autotune sweep (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneProfile {
+    /// Eager-put ceiling of the winning candidate, bytes.
+    pub eager_put_max: u64,
+    /// AM batching window of the winning candidate, ns (0 = no batching).
+    pub batch_window_ns: u64,
+    /// Consumer-side GET window of the winning candidate, flows.
+    pub get_window: u64,
+    /// Whether the winning candidate also ran the online controller.
+    pub adaptive: bool,
+    /// Cost model the sweep searched under ([`TUNE_COST_DEFAULT`] or the
+    /// tag of a loaded calibration profile).
+    pub cost_model: String,
+    /// Fig. 2 bandwidth-knee position of the winner: smallest fragment
+    /// size (bytes) reaching half of peak bandwidth. Lower is better.
+    pub knee_bytes: u64,
+    /// Fig. 3 overlap fraction of the winner on the wide TLR workload,
+    /// in thousandths (integer, for byte-stable JSON).
+    pub overlap_millis: u64,
+    /// Candidates the sweep evaluated.
+    pub candidates: u64,
+}
+
+impl Default for TuneProfile {
+    fn default() -> Self {
+        TuneProfile {
+            eager_put_max: 4096,
+            batch_window_ns: 0,
+            get_window: 512,
+            adaptive: false,
+            cost_model: TUNE_COST_DEFAULT.to_string(),
+            knee_bytes: 0,
+            overlap_millis: 0,
+            candidates: 0,
+        }
+    }
+}
+
+impl TuneProfile {
+    /// Apply the winning knobs to a cluster configuration. Only knobs —
+    /// simulator charges are the cost model's business, so `--cost-model`
+    /// composes with (and wins over) `--tuned` on charges.
+    pub fn apply(&self, cfg: &mut ClusterConfig) {
+        cfg.engine.eager_put_max = self.eager_put_max as usize;
+        cfg.engine.batch_window_ns = self.batch_window_ns;
+        cfg.get_window = self.get_window as usize;
+        cfg.engine.tune.enabled = self.adaptive;
+    }
+
+    /// Warning text when an explicit cost model overrides the charges
+    /// this profile was searched under; `None` when they agree (or no
+    /// explicit model was passed).
+    pub fn cost_model_conflict(&self, explicit: Option<&str>) -> Option<String> {
+        match explicit {
+            Some(tag) if tag != self.cost_model => Some(format!(
+                "--cost-model {tag:?} overrides the charges this tuning profile \
+                 was searched under ({:?}); knob choices may be stale for the \
+                 explicit model — re-run the autotune sweep under it",
+                self.cost_model
+            )),
+            _ => None,
+        }
+    }
+
+    /// Stable JSON serialization: fixed field order, integers and one
+    /// escaped string — byte-identical across a
+    /// [`TuneProfile::from_json`] round trip.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"schema":"{schema}","eager_put_max":{},"batch_window_ns":{},"#,
+                r#""get_window":{},"adaptive":{},"cost_model":"{}","knee_bytes":{},"#,
+                r#""overlap_millis":{},"candidates":{}}}"#
+            ),
+            self.eager_put_max,
+            self.batch_window_ns,
+            self.get_window,
+            self.adaptive as u64,
+            amt_simnet::json_escape(&self.cost_model),
+            self.knee_bytes,
+            self.overlap_millis,
+            self.candidates,
+            schema = TUNE_SCHEMA,
+        );
+        out
+    }
+
+    /// Parse a profile back from its JSON form (schema-checked).
+    pub fn from_json(text: &str) -> Result<TuneProfile, String> {
+        let v = parse_json(text)?;
+        let obj = v.as_obj("profile")?;
+        let schema = get(obj, "schema")?.as_str("schema")?;
+        if schema != TUNE_SCHEMA {
+            return Err(format!("schema {schema:?}, expected {TUNE_SCHEMA:?}"));
+        }
+        let num = |key: &str| -> Result<u64, String> { get(obj, key)?.as_u64(key) };
+        Ok(TuneProfile {
+            eager_put_max: num("eager_put_max")?,
+            batch_window_ns: num("batch_window_ns")?,
+            get_window: num("get_window")?,
+            adaptive: match num("adaptive")? {
+                0 => false,
+                1 => true,
+                n => return Err(format!("adaptive: expected 0 or 1, got {n}")),
+            },
+            cost_model: get(obj, "cost_model")?.as_str("cost_model")?.to_string(),
+            knee_bytes: num("knee_bytes")?,
+            overlap_millis: num("overlap_millis")?,
+            candidates: num("candidates")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TuneProfile {
+        TuneProfile {
+            eager_put_max: 12032,
+            batch_window_ns: 200_000,
+            get_window: 256,
+            adaptive: true,
+            cost_model: TUNE_COST_DEFAULT.to_string(),
+            knee_bytes: 16_384,
+            overlap_millis: 412,
+            candidates: 18,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_stable() {
+        let p = sample();
+        let json = p.to_json();
+        assert!(json.starts_with(r#"{"schema":"amtlc-tune-v1""#), "{json}");
+        let q = TuneProfile::from_json(&json).expect("parse back");
+        assert_eq!(p, q);
+        assert_eq!(json, q.to_json(), "round trip is byte-identical");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_bad_bool() {
+        let wrong = sample().to_json().replace("tune-v1", "tune-v9");
+        assert!(TuneProfile::from_json(&wrong)
+            .unwrap_err()
+            .contains("schema"));
+        let bad = sample()
+            .to_json()
+            .replace(r#""adaptive":1"#, r#""adaptive":7"#);
+        assert!(TuneProfile::from_json(&bad)
+            .unwrap_err()
+            .contains("adaptive"));
+    }
+
+    #[test]
+    fn apply_sets_knobs_only() {
+        let mut cfg = ClusterConfig::default();
+        let baseline_charge = cfg.cost.get_send_cost;
+        let p = sample();
+        p.apply(&mut cfg);
+        assert_eq!(cfg.engine.eager_put_max, 12032);
+        assert_eq!(cfg.engine.batch_window_ns, 200_000);
+        assert_eq!(cfg.get_window, 256);
+        assert!(cfg.engine.tune.enabled);
+        assert_eq!(
+            cfg.cost.get_send_cost, baseline_charge,
+            "tuning never touches simulator charges"
+        );
+    }
+
+    #[test]
+    fn cost_model_precedence_warns_on_mismatch_only() {
+        let p = sample();
+        assert!(p.cost_model_conflict(None).is_none());
+        assert!(p.cost_model_conflict(Some(TUNE_COST_DEFAULT)).is_none());
+        let warn = p
+            .cost_model_conflict(Some("calib/run7.json"))
+            .expect("mismatch warns");
+        assert!(warn.contains("overrides"), "{warn}");
+        assert!(warn.contains("default"), "{warn}");
+    }
+}

@@ -296,4 +296,42 @@ assert m["substrate"] == "virtual" and m["makespan_ns"] > 0
 print("simulator accepted the measured cost model (valid virtual run)")
 PY
 
+echo "== self-tuning: autotune --quick sweep + schema + adaptive-vs-static gates =="
+cargo bench --quiet -p amt-bench --bench autotune -- --quick --jobs 3 \
+    --autotune-out "$TMP_DIR/tune.json" --out "$TMP_DIR/BENCH_tune.json" > "$TMP_DIR/autotune.txt"
+python3 - "$TMP_DIR/tune.json" "$TMP_DIR/BENCH_tune.json" BENCH_tune.json <<'PY'
+import json, sys
+prof = json.load(open(sys.argv[1]))
+assert prof["schema"] == "amtlc-tune-v1", prof.get("schema")
+for key in ("eager_put_max", "batch_window_ns", "get_window", "adaptive",
+            "cost_model", "knee_bytes", "overlap_millis", "candidates"):
+    assert key in prof, f"tune profile missing {key}"
+assert prof["adaptive"] in (0, 1), prof["adaptive"]
+for path in sys.argv[2:]:
+    d = json.load(open(path))
+    assert d["schema"] == "amtlc-bench-tune-v1", (path, d.get("schema"))
+    base, best, bim = d["baseline"], d["best"], d["bimodal"]
+    for p in (base, d["adaptive"], best):
+        for key in ("eager_put_max", "batch_window_ns", "get_window",
+                    "adaptive", "knee_bytes", "overlap_millis", "tlr_tts_s"):
+            assert key in p, (path, key)
+    # Gate: the sweep winner must beat the static baseline — knee no worse,
+    # overlap no worse, at least one strictly better or equal-with-adaptive.
+    assert best["knee_bytes"] <= base["knee_bytes"], (path, best, base)
+    assert best["overlap_millis"] >= base["overlap_millis"], (path, best, base)
+    # Gate: the online controller must strictly beat static on the bimodal
+    # message-size regression workload.
+    assert bim["adaptive_tts_s"] < bim["static_tts_s"], (path, bim)
+d = json.load(open(sys.argv[2]))
+# Round trip: the emitted amtlc-tune-v1 profile IS the sweep winner.
+for key in ("eager_put_max", "batch_window_ns", "get_window", "knee_bytes",
+            "overlap_millis"):
+    assert prof[key] == d["best"][key], (key, prof, d["best"])
+assert bool(prof["adaptive"]) == d["best"]["adaptive"]
+print("autotune artifacts valid; adaptive >= static on tlr_wide, strictly "
+      "better on bimodal (fresh quick + committed)")
+PY
+# The golden fig4 diffs above ran with the controller at its default (off):
+# their byte-identity doubles as the controller-off no-change gate.
+
 echo "verify: all checks passed"
